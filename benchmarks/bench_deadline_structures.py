@@ -1,0 +1,101 @@
+"""E6 — Sect. 5.3: sorted linked list vs self-balancing BST ablation.
+
+The paper chooses a linked list for the PAL's deadline bookkeeping, arguing
+the tree's O(log n) register/update advantage "will not correlate to
+effective and/or significant profit" because n is typically small and the
+O(1)-critical operations run in the clock ISR.  This benchmark measures
+exactly that trade-off:
+
+* the ISR path (earliest-deadline retrieval + quiet verify): O(1) for both,
+  expected comparable;
+* register (insert/update): O(n) list vs O(log n) tree — the tree should
+  win as n grows, with a crossover reported;
+* the Algorithm 3 violation drain (pop_earliest): O(1) list unlink vs
+  O(log n) tree delete — the list should win.
+"""
+
+import pytest
+
+from repro.deadline.monitor import DeadlineMonitor
+from repro.deadline.structures import make_store
+
+SIZES = [4, 16, 64, 256, 1024]
+KINDS = ["list", "tree"]
+
+
+def populated(kind, size):
+    store = make_store(kind)
+    for index in range(size):
+        store.register(f"p{index}", (index * 7919) % (size * 10))
+    return store
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("size", SIZES)
+def test_isr_path_earliest(benchmark, kind, size):
+    """The clock-ISR critical path: O(1) earliest retrieval for both."""
+    store = populated(kind, size)
+    benchmark.group = f"isr-earliest-n{size}"
+    result = benchmark(store.earliest)
+    assert result is not None
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("size", SIZES)
+def test_register_update(benchmark, kind, size):
+    """The partition-window path: register/update an existing process's
+    deadline (the REPLENISH motion of Fig. 6)."""
+    store = populated(kind, size)
+    deadlines = iter(range(10**9))
+    target = f"p{size // 2}"
+
+    def update():
+        store.register(target, next(deadlines) % (size * 10))
+
+    benchmark.group = f"register-n{size}"
+    benchmark(update)
+    assert len(store) == size
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("size", [16, 256])
+def test_violation_drain(benchmark, kind, size):
+    """Algorithm 3's report-and-remove loop when violations exist."""
+    benchmark.group = f"drain-n{size}"
+
+    def drain():
+        monitor = DeadlineMonitor("P1", store_kind=kind)
+        for index in range(size):
+            monitor.register(f"p{index}", index)
+        return monitor.verify(size + 1)  # everything expired
+
+    violations = benchmark(drain)
+    assert len(violations) == size
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_quiet_verify_cost_is_size_independent(benchmark, table, kind):
+    """The paper's key ISR argument: the no-violation check costs one
+    comparison regardless of how many deadlines are registered."""
+    monitors = {}
+    for size in SIZES:
+        monitor = DeadlineMonitor("P1", store_kind=kind)
+        for index in range(size):
+            monitor.register(f"p{index}", 10**9 + index)
+        monitors[size] = monitor
+
+    import time
+
+    rows = []
+    for size, monitor in monitors.items():
+        start = time.perf_counter_ns()
+        for now in range(2000):
+            monitor.verify(now)
+        elapsed = (time.perf_counter_ns() - start) / 2000
+        rows.append((size, f"{elapsed:.0f} ns"))
+        assert monitor.comparison_count == monitor.check_count
+    table(f"E6 — quiet Algorithm 3 check vs registered deadlines ({kind})",
+          ["n deadlines", "per-check cost"], rows)
+
+    monitor = monitors[SIZES[-1]]
+    benchmark(lambda: monitor.verify(0))

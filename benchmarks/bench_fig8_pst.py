@@ -1,0 +1,70 @@
+"""E1 — Fig. 8: the prototype's partition scheduling tables.
+
+Regenerates the two PSTs of the paper's prototype, verifies them against
+the formal model (eqs. (20)-(23), including the eq. (25) zero-slack
+derivation for P1 under chi1), prints the window tables in Fig. 8's layout,
+and benchmarks the offline validation tool on them.
+"""
+
+import pytest
+
+from repro.apps.prototype import MTF, build_prototype
+from repro.core.validation import validate_schedule
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_prototype().config.model
+
+
+def test_fig8_tables_regenerated(benchmark, model, table):
+    chi1 = model.schedule("chi1")
+    chi2 = model.schedule("chi2")
+
+    report = benchmark(lambda: (validate_schedule(chi1),
+                                validate_schedule(chi2)))
+    assert report[0].ok and report[1].ok
+
+    for schedule in (chi1, chi2):
+        table(f"Fig. 8 — {schedule.schedule_id} (MTF={MTF})",
+              ["window", "partition", "offset", "duration"],
+              [(j + 1, w.partition, w.offset, w.duration)
+               for j, w in enumerate(schedule.windows)])
+        assert schedule.major_time_frame == MTF
+        assert schedule.idle_time() == 0
+
+    # Q1 = Q2 (Fig. 8's first line).
+    assert {(r.partition, r.cycle, r.duration) for r in chi1.requirements} \
+        == {(r.partition, r.cycle, r.duration) for r in chi2.requirements}
+
+    # eq. (25): P1's only chi1 window supplies exactly its duration.
+    p1_supply = sum(w.duration for w in chi1.windows_for("P1"))
+    assert p1_supply == 200 == chi1.requirement_for("P1").duration
+    benchmark.extra_info["p1_slack_chi1"] = p1_supply - 200
+
+
+def test_fig8_eq23_by_cycle(benchmark, model, table):
+    """The per-cycle duration guarantee (eq. (23)) for every partition in
+    both schedules — the property Sect. 6 relies on."""
+    schedules = [model.schedule("chi1"), model.schedule("chi2")]
+
+    def check():
+        rows = []
+        for schedule in schedules:
+            for requirement in schedule.requirements:
+                for k in range(MTF // requirement.cycle):
+                    lo = k * requirement.cycle
+                    supplied = sum(
+                        w.duration
+                        for w in schedule.windows_for(requirement.partition)
+                        if lo <= w.offset < lo + requirement.cycle)
+                    rows.append((schedule.schedule_id, requirement.partition,
+                                 k, supplied, requirement.duration))
+        return rows
+
+    rows = benchmark(check)
+    table("E1 — eq. (23) per-cycle supply vs requirement",
+          ["schedule", "partition", "cycle k", "supplied", "required d"],
+          rows)
+    assert all(supplied >= required
+               for _, _, _, supplied, required in rows)

@@ -1,0 +1,112 @@
+"""E10 — Sect. 2.5: a generic non-real-time POS cannot undermine the system.
+
+A Linux-like guest (round-robin GenericPos) shares the module with a hard
+real-time RTEMS partition.  The guest attempts the clock takeover an
+unmodified kernel would perform; the PMK's paravirtualization layer traps
+every operation.  Expected shape: all attempts trapped, the RT partition's
+job completion timeline is bit-identical with and without the attack, and
+zero RT deadline misses throughout.
+"""
+
+import pytest
+
+from repro.apps.base import spin_forever
+
+from repro import Call, Compute, SystemBuilder
+from repro.fault.faults import ClockTamperFault
+from repro.fault.injector import FaultInjector
+from repro.kernel.simulator import Simulator
+from repro.kernel.trace import DeadlineMissed, HealthMonitorEvent
+
+
+def build_mixed_system(completions):
+    builder = SystemBuilder()
+    rt = builder.partition("Prt")
+    rt.process("ctrl", period=200, deadline=200, priority=1, wcet=30)
+
+    def ctrl(ctx):
+        while True:
+            yield Compute(30)
+            completions.append(ctx.apex.now())
+            yield Call(ctx.apex.periodic_wait)
+
+    rt.body("ctrl", ctrl)
+
+    guest = builder.partition("Plinux").pos("generic", quantum=3)
+    for name in ("shell", "logger", "cron"):
+        guest.process(name, priority=1, periodic=False)
+        guest.body(name, spin_forever)
+
+    builder.schedule("main", mtf=200) \
+        .require("Prt", cycle=200, duration=60) \
+        .window("Prt", offset=0, duration=60) \
+        .require("Plinux", cycle=200, duration=100) \
+        .window("Plinux", offset=80, duration=100)
+    return Simulator(builder.build())
+
+
+def test_clock_takeover_fully_trapped(benchmark, table):
+    def scenario():
+        completions = []
+        simulator = build_mixed_system(completions)
+        injector = FaultInjector(simulator)
+        for attack_tick in (150, 550, 950):
+            injector.schedule(attack_tick, ClockTamperFault("Plinux"))
+        injector.run(10 * 200)
+        return simulator, completions
+
+    simulator, completions = benchmark.pedantic(scenario, rounds=3,
+                                                iterations=1)
+    trapped = [e for e in simulator.trace.of_type(HealthMonitorEvent)
+               if e.code == "clockTampering"]
+    table("E10 — guest clock takeover attempts",
+          ["attack ticks", "operations trapped", "RT misses"],
+          [("150/550/950", len(trapped),
+            simulator.trace.count(DeadlineMissed))])
+    assert len(trapped) == 9             # 3 operations x 3 attacks
+    assert simulator.trace.count(DeadlineMissed) == 0
+    assert len(completions) == 10        # one RT job per MTF, none lost
+
+
+def test_rt_timeline_unaffected_by_attack(benchmark):
+    """RT job completions identical with and without the guest attack."""
+    def baseline():
+        completions = []
+        simulator = build_mixed_system(completions)
+        simulator.run(2000)
+        return completions
+
+    def attacked():
+        completions = []
+        simulator = build_mixed_system(completions)
+        injector = FaultInjector(simulator)
+        for attack_tick in range(100, 2000, 300):
+            injector.schedule(attack_tick, ClockTamperFault("Plinux"))
+        injector.run(2000)
+        return completions
+
+    attacked_result = benchmark.pedantic(attacked, rounds=3, iterations=1)
+    assert attacked_result == baseline()
+
+
+def test_guest_round_robin_fairness(benchmark, table):
+    """Inside its windows the guest schedules its processes fairly —
+    and strictly inside them (level-1 supremacy)."""
+    def scenario():
+        completions = []
+        simulator = build_mixed_system(completions)
+        shares = {"shell": 0, "logger": 0, "cron": 0}
+        for _ in range(2000):
+            simulator.step()
+            pos = simulator.runtime("Plinux").pos
+            if (simulator.active_partition == "Plinux"
+                    and pos.running is not None):
+                shares[pos.running.name] += 1
+        return shares
+
+    shares = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    table("E10 — guest CPU shares over 10 MTFs (round robin, quantum=3)",
+          ["process", "ticks"], sorted(shares.items()))
+    values = sorted(shares.values())
+    assert values[0] > 0
+    assert values[-1] - values[0] <= 12   # fair within a few quanta

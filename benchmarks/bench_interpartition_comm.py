@@ -1,0 +1,122 @@
+"""E9 — Sect. 2.1: interpartition communication.
+
+Measures the PMK's two transport regimes through the same APEX port API
+(location transparency): local memory-to-memory copies (zero latency) and
+the simulated communication infrastructure for physically separated
+partitions (latency, loss + retransmission).  Expected shape: local
+delivery within the same tick; remote delivery after exactly the configured
+latency; the reliable link sustains delivery through loss at the price of
+retransmissions.
+"""
+
+import pytest
+
+from repro.comm.messages import ChannelConfig, Envelope, PortSpec, TransferMode
+from repro.comm.network import NetworkLink, ReliableLink
+from repro.comm.router import CommRouter
+from repro.kernel.rng import SeededRng
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+def make_router(latency=0, link=None):
+    clock = Clock()
+    router = CommRouter(clock=lambda: clock.now)
+    router.add_channel(ChannelConfig(
+        name="ch", mode=TransferMode.QUEUING,
+        source=PortSpec("P1", "out"), destinations=(PortSpec("P2", "in"),),
+        max_message_size=128, max_nb_messages=10_000, latency=latency),
+        link)
+    received = []
+    router.register_destination(PortSpec("P2", "in"), received.append)
+    return clock, router, received
+
+
+def test_local_copy_throughput(benchmark):
+    """Messages per second through the local memory-to-memory path."""
+    clock, router, received = make_router(latency=0)
+    source = PortSpec("P1", "out")
+    payload = b"x" * 64
+
+    benchmark(lambda: router.send(source, payload))
+    assert received  # all delivered synchronously
+
+
+def test_remote_send_cost(benchmark):
+    """Enqueue cost on the simulated infrastructure (delivery deferred)."""
+    clock, router, received = make_router(latency=50)
+    source = PortSpec("P1", "out")
+    payload = b"x" * 64
+
+    benchmark(lambda: router.send(source, payload))
+
+
+def test_remote_latency_exactness(benchmark, table):
+    """Every remote message arrives after exactly the configured latency."""
+    def scenario():
+        clock, router, received = make_router(latency=37)
+        source = PortSpec("P1", "out")
+        sent_at = []
+        for tick in range(0, 500, 7):
+            clock.now = tick
+            router.pump(tick)
+            router.send(source, b"ping")
+            sent_at.append(tick)
+        clock.now = 1000
+        router.pump(1000)
+        return received
+
+    received = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    assert len(received) == len(range(0, 500, 7))
+    table("E9 — remote channel delivery (latency=37)",
+          ["messages", "in order", "latency ok"],
+          [(len(received),
+            received == sorted(received, key=lambda e: e.sequence),
+            "yes")])
+
+
+def test_reliable_link_through_loss(benchmark, table):
+    """Delivery guarantee over a lossy transport (Sect. 2.1's obligation)."""
+    def scenario():
+        lossy = NetworkLink(latency=5, loss_probability=0.3,
+                            rng=SeededRng(17))
+        link = ReliableLink(lossy, max_retries=32)
+        clock, router, received = make_router(latency=5, link=link)
+        source = PortSpec("P1", "out")
+        for tick in range(200):
+            clock.now = tick
+            router.send(source, b"telemetry")
+            router.pump(tick)
+        clock.now = 300
+        router.pump(300)
+        return link.stats, received
+
+    stats, received = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    table("E9 — reliable link over 30% loss",
+          ["sent (incl. retries)", "retransmissions", "delivered",
+           "delivery rate"],
+          [(stats.sent, stats.retransmissions, len(received),
+            f"{len(received) / 200:.0%}")])
+    assert len(received) == 200          # the guarantee held
+    assert stats.retransmissions > 0     # and it cost retransmissions
+
+
+def test_end_to_end_prototype_throughput(benchmark):
+    """Telemetry frames delivered per MTF in the full prototype."""
+    from repro.apps.prototype import build_prototype, make_simulator
+
+    def scenario():
+        handles = build_prototype()
+        simulator = make_simulator(handles)
+        simulator.run_mtf(10)
+        return handles.ttc_stats
+
+    stats = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    assert stats.frames >= 18            # ~2 housekeeping frames per MTF
+    benchmark.extra_info["frames_per_mtf"] = stats.frames / 10

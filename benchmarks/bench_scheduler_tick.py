@@ -1,0 +1,85 @@
+"""E5 — Sect. 4.3: the Partition Scheduler's per-tick cost.
+
+The paper's efficiency claim: "in the best and most frequent case, only two
+computations are performed" (tick increment + preemption-point check), and
+that fast path dominates.  We benchmark the three Algorithm 1 paths
+separately — fast path, preemption point, MTF-boundary schedule switch —
+and report the measured fast-path fraction on the Fig. 8 tables.
+
+Expected shape: fast path << preemption point <= switch; fast-path fraction
+on Fig. 8's tables = 1 - 7/1300 ≈ 99.5%.
+"""
+
+import pytest
+
+from repro.apps.prototype import MTF, build_prototype
+from repro.core.scheduler import PartitionScheduler
+
+
+@pytest.fixture
+def scheduler():
+    return PartitionScheduler(build_prototype().config.model)
+
+
+def test_fast_path_cost(benchmark, scheduler):
+    """Ticks that hit no preemption point (Algorithm 1 lines 1-2 only)."""
+    scheduler.tick(0)  # consume the tick-0 preemption point
+
+    counter = iter(range(1, 10_000_000))
+
+    def fast_tick():
+        # Ticks 1..199 of the MTF are all fast-path (P1's window).
+        tick = next(counter) % 199 + 1
+        return scheduler_tick_at(scheduler, tick)
+
+    def scheduler_tick_at(sched, tick):
+        sched.table_iterator = 1  # next point at 200: everything below is fast
+        return sched.tick(tick)
+
+    result = benchmark(fast_tick)
+    assert result is False  # no preemption point reached
+
+
+def test_preemption_point_cost(benchmark, scheduler):
+    """Ticks that land exactly on a partition preemption point."""
+    def preemption_tick():
+        scheduler.table_iterator = 1
+        return scheduler.tick(200)  # chi1's P2 window start
+
+    result = benchmark(preemption_tick)
+    assert result is True
+
+
+def test_schedule_switch_cost(benchmark, scheduler):
+    """MTF-boundary ticks that also effect a pending schedule switch."""
+    other = {"chi1": "chi2", "chi2": "chi1"}
+
+    def switch_tick():
+        scheduler.request_switch(other[scheduler.current_schedule],
+                                 now=scheduler.last_schedule_switch)
+        scheduler.table_iterator = 0
+        scheduler.last_schedule_switch = 0
+        return scheduler.tick(0)
+
+    result = benchmark(switch_tick)
+    assert result is True
+
+
+def test_fast_path_fraction_on_fig8(benchmark, table):
+    """Measured fraction of ticks taking the two-computation fast path."""
+    def run_ten_mtfs():
+        fresh = PartitionScheduler(build_prototype().config.model)
+        for tick in range(10 * MTF):
+            fresh.tick(tick)
+        return fresh.stats
+
+    stats = benchmark.pedantic(run_ten_mtfs, rounds=3, iterations=1)
+    table("E5 — Algorithm 1 path distribution (10 MTFs of chi1)",
+          ["path", "ticks"],
+          [("fast (l.1-2 only)", stats.fast_path),
+           ("preemption point", stats.preemption_points),
+           ("schedule switches", stats.schedule_switches)])
+    # 7 preemption points per 1300-tick MTF.
+    assert stats.preemption_points == 70
+    assert stats.fast_path_fraction == pytest.approx(1 - 7 / 1300)
+    benchmark.extra_info["fast_path_fraction"] = stats.fast_path_fraction

@@ -1,0 +1,110 @@
+"""E4 — Sect. 6: mode-based schedule switching.
+
+Regenerates the demonstration's second scenario: repeated chi1 <-> chi2
+switch requests are "correctly handled at the end of the current MTF and do
+not introduce deadline violations".  Also runs the DESIGN.md ablation on
+the ScheduleChangeAction application policy (Algorithm 2 line 9's
+first-dispatch placement vs the all-at-MTF-start alternative).
+
+Expected shape: every switch tick is an MTF boundary; request-to-effect
+latency is uniform in (0, MTF]; zero induced deadline misses; under the
+first-dispatch policy a restarted partition loses only its own window.
+"""
+
+import pytest
+
+from repro.apps.prototype import MTF, build_prototype, make_simulator
+from repro.kernel.trace import (
+    DeadlineMissed,
+    ScheduleChangeActionApplied,
+    ScheduleSwitchRequested,
+    ScheduleSwitched,
+)
+from repro.types import ScheduleChangeAction
+
+
+def test_switch_latency_distribution(benchmark, table):
+    """Request switches at varied MTF offsets; measure effect latency."""
+    offsets = [100, 400, 650, 900, 1250]
+
+    def scenario():
+        simulator = make_simulator()
+        simulator.run_mtf(1)
+        records = []
+        for index, offset in enumerate(offsets):
+            target = "chi2" if index % 2 == 0 else "chi1"
+            simulator.run_until((index + 1) * MTF + offset)
+            simulator.pmk.set_module_schedule(target, requested_by="bench")
+            request_tick = simulator.now
+            simulator.run_mtf(1)
+            simulator.step()  # the boundary tick's ISR effects the switch
+            switch = simulator.trace.last(ScheduleSwitched)
+            records.append((request_tick, switch.tick,
+                            switch.tick - request_tick, target))
+        return simulator, records
+
+    simulator, records = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    table("E4 — schedule switch latency (request -> MTF boundary)",
+          ["requested at", "effective at", "latency", "target"], records)
+
+    for requested, effective, latency, _ in records:
+        assert effective % MTF == 0          # only at MTF boundaries
+        assert 0 < latency <= MTF            # within one MTF
+        assert latency == MTF - (requested % MTF)
+    assert simulator.trace.count(DeadlineMissed) == 0
+    benchmark.extra_info["switches"] = len(records)
+
+
+def test_rapid_successive_requests_converge(benchmark):
+    """A burst of conflicting requests: only the last one takes effect."""
+    def scenario():
+        simulator = make_simulator()
+        simulator.run_mtf(1)
+        for target in ("chi2", "chi1", "chi2", "chi1", "chi2"):
+            simulator.pmk.set_module_schedule(target, requested_by="bench")
+        simulator.run_mtf(2)
+        return simulator
+
+    simulator = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    switches = simulator.trace.of_type(ScheduleSwitched)
+    assert len(switches) == 1
+    assert switches[0].to_schedule == "chi2"
+    assert simulator.pmk.scheduler.current_schedule == "chi2"
+    assert simulator.trace.count(DeadlineMissed) == 0
+
+
+@pytest.mark.parametrize("policy", ["first_dispatch", "mtf_start"])
+def test_change_action_policy_ablation(benchmark, table, policy):
+    """DESIGN.md ablation 2: when are ScheduleChangeActions applied?
+
+    The paper argues first-dispatch placement confines the restart to the
+    partition's own window (Sect. 4.3).  We measure the tick at which P1's
+    WARM_START action fires under each policy.
+    """
+    def scenario():
+        handles = build_prototype(
+            change_action_policy=policy,
+            p1_change_action=ScheduleChangeAction.WARM_START)
+        simulator = make_simulator(handles)
+        simulator.run_mtf(1)
+        simulator.pmk.set_module_schedule("chi2", requested_by="bench")
+        simulator.run_mtf(2)
+        return simulator
+
+    simulator = benchmark.pedantic(scenario, rounds=3, iterations=1)
+    switch = simulator.trace.last(ScheduleSwitched)
+    actions = simulator.trace.of_type(ScheduleChangeActionApplied)
+    assert len(actions) == 1
+    action = actions[0]
+    table(f"E4 ablation — change-action timing under {policy!r}",
+          ["switch tick", "action tick", "offset into new MTF"],
+          [(switch.tick, action.tick, action.tick - switch.tick)])
+    # Both policies coincide here because P1 owns the first window of chi2
+    # (offset 0) — the *mechanism* difference is asserted structurally:
+    if policy == "mtf_start":
+        assert action.tick == switch.tick
+    else:
+        chi2 = simulator.config.model.schedule("chi2")
+        first_p1_offset = chi2.windows_for("P1")[0].offset
+        assert action.tick == switch.tick + first_p1_offset
+    assert simulator.trace.count(DeadlineMissed) == 0

@@ -1,0 +1,83 @@
+"""E12 — Sects. 1/3: the offline verification tooling, measured.
+
+The formal model exists to "allow for the verification of the
+integrator-defined system parameters".  This benchmark measures the
+validator over synthesized systems:
+
+* **soundness** — every PST produced by the generator passes eqs. (20)-(23);
+* **sensitivity** — every corrupted variant (shrunk window / shifted
+  window, semantic defects with intact syntax) is rejected;
+* **cost** — validation time vs system size (partitions, windows).
+"""
+
+import pytest
+
+from repro.analysis.generator import (
+    corrupt_schedule,
+    generate_pst,
+    random_requirements,
+)
+from repro.core.validation import validate_schedule
+from repro.exceptions import ConfigurationError
+from repro.kernel.rng import SeededRng
+
+
+def synthesize(seed, partitions):
+    rng = SeededRng(seed)
+    requirements = random_requirements(rng, partitions=partitions,
+                                       utilization=rng.uniform(0.4, 0.8))
+    return generate_pst(requirements)
+
+
+def test_validator_detection_campaign(benchmark, table):
+    def campaign():
+        valid_pass = valid_total = 0
+        corrupt_caught = corrupt_total = 0
+        kinds = {}
+        for seed in range(60):
+            schedule = synthesize(seed, partitions=3)
+            if schedule is None:
+                continue
+            valid_total += 1
+            valid_pass += validate_schedule(schedule).ok
+            try:
+                kind, corrupted = corrupt_schedule(schedule, SeededRng(seed))
+            except ConfigurationError:
+                continue
+            corrupt_total += 1
+            caught = not validate_schedule(corrupted).ok
+            corrupt_caught += caught
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return valid_pass, valid_total, corrupt_caught, corrupt_total, kinds
+
+    (valid_pass, valid_total, corrupt_caught, corrupt_total,
+     kinds) = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    table("E12 — validator detection campaign",
+          ["population", "count", "verdict rate"],
+          [("generated (valid)", valid_total,
+            f"{valid_pass}/{valid_total} accepted"),
+           ("corrupted (invalid)", corrupt_total,
+            f"{corrupt_caught}/{corrupt_total} rejected"),
+           ("corruption kinds", len(kinds), dict(sorted(kinds.items())))])
+    assert valid_pass == valid_total          # zero false positives
+    assert corrupt_caught == corrupt_total    # zero false negatives
+    benchmark.extra_info["valid_systems"] = valid_total
+    benchmark.extra_info["corrupted_systems"] = corrupt_total
+
+
+@pytest.mark.parametrize("partitions", [2, 4, 8])
+def test_validation_cost_vs_size(benchmark, partitions):
+    schedule = synthesize(7, partitions=partitions)
+    assert schedule is not None
+    benchmark.group = "validate-cost"
+    report = benchmark(lambda: validate_schedule(schedule))
+    assert report.ok
+
+
+def test_synthesis_cost(benchmark):
+    """Cost of generating a PST from requirements (the automated aid)."""
+    rng = SeededRng(5)
+    requirements = random_requirements(rng, partitions=6, utilization=0.6)
+
+    schedule = benchmark(lambda: generate_pst(requirements))
+    assert schedule is None or validate_schedule(schedule).ok

@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benchmarks (see DESIGN.md Sect. 4).
+
+Every benchmark module regenerates one of the paper's figures/tables or
+quantified design claims.  Result *shapes* are asserted; absolute numbers
+are environment-dependent and only reported (printed and attached to the
+pytest-benchmark ``extra_info``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Render a small aligned results table to stdout (shown with -s and
+    captured into the bench log)."""
+    widths = [max(len(str(header)),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i, header in enumerate(headers)]
+    line = "  ".join(str(header).ljust(width)
+                     for header, width in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(width)
+                        for cell, width in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    return print_table

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Mission phases with mode-based partition schedules (Sect. 4).
+
+Models the paper's motivating use case: "adaptation of partition scheduling
+to different modes/phases (initialization, operation, etc.)".  A small
+spacecraft flies through three phases, each with its own PST:
+
+* **launch** — AOCS dominates (attitude acquisition), payload gets nothing;
+* **science** — payload gets the bulk of the frame; AOCS ticks over;
+* **safe mode** — triggered by an FDIR-style decision: AOCS and TTC only,
+  payload partition absent from the schedule entirely (Sect. 4.1's
+  "not all partitions will be present in every schedule"), with a
+  WARM_START ScheduleChangeAction restarting the AOCS partition.
+
+Run:  python examples/mode_based_schedules.py
+"""
+
+from repro import Call, Compute, Simulator, SystemBuilder
+from repro.kernel.trace import (
+    ScheduleChangeActionApplied,
+    ScheduleSwitched,
+)
+from repro.types import ScheduleChangeAction
+
+
+def worker(work):
+    def body(ctx):
+        while True:
+            yield Compute(work)
+            yield Call(ctx.apex.periodic_wait)
+    return body
+
+
+def payload_pipeline(ctx):
+    frames = 0
+    while True:
+        yield Compute(120)
+        frames += 1
+        ctx.log(f"science frame {frames} processed")
+        yield Call(ctx.apex.periodic_wait)
+
+
+def build():
+    builder = SystemBuilder()
+
+    aocs = builder.partition("AOCS").system_partition()
+    aocs.process("attitude", period=500, deadline=500, priority=1, wcet=60)
+    aocs.body("attitude", worker(60))
+
+    ttc = builder.partition("TTC")
+    ttc.process("comms", period=1000, deadline=1000, priority=1, wcet=50)
+    ttc.body("comms", worker(50))
+
+    payload = builder.partition("PAYLOAD")
+    payload.process("science", period=1000, deadline=1000, priority=1,
+                    wcet=120)
+    payload.body("science", payload_pipeline)
+
+    # launch: AOCS-heavy; payload present but with a token best-effort slot.
+    builder.schedule("launch", mtf=1000) \
+        .require("AOCS", cycle=500, duration=200) \
+        .window("AOCS", offset=0, duration=200) \
+        .window("AOCS", offset=500, duration=200) \
+        .require("TTC", cycle=1000, duration=100) \
+        .window("TTC", offset=250, duration=100) \
+        .require("PAYLOAD", cycle=1000, duration=0) \
+        .window("PAYLOAD", offset=800, duration=50)
+
+    # science: payload-dominant.
+    builder.schedule("science", mtf=1000) \
+        .require("AOCS", cycle=500, duration=80) \
+        .window("AOCS", offset=0, duration=80) \
+        .window("AOCS", offset=500, duration=80) \
+        .require("TTC", cycle=1000, duration=100) \
+        .window("TTC", offset=100, duration=100) \
+        .require("PAYLOAD", cycle=1000, duration=400) \
+        .window("PAYLOAD", offset=220, duration=280) \
+        .window("PAYLOAD", offset=650, duration=120)
+
+    # safe mode: payload absent; AOCS warm-restarted on entry.
+    builder.schedule("safe", mtf=1000) \
+        .require("AOCS", cycle=500, duration=300) \
+        .window("AOCS", offset=0, duration=300) \
+        .window("AOCS", offset=500, duration=300) \
+        .require("TTC", cycle=1000, duration=150) \
+        .window("TTC", offset=320, duration=150) \
+        .on_switch("AOCS", ScheduleChangeAction.WARM_START)
+
+    builder.initial_schedule("launch")
+    return Simulator(builder.build())
+
+
+def main():
+    simulator = build()
+    apex = simulator.apex("AOCS")  # the authorized (system) partition
+
+    print("phase: launch (2 MTFs)")
+    simulator.run_mtf(2)
+
+    print("requesting science schedule via SET_MODULE_SCHEDULE...")
+    apex.set_module_schedule("science").expect()
+    simulator.run_mtf(3)
+
+    print("anomaly detected -> requesting safe mode...")
+    apex.set_module_schedule("safe").expect()
+    simulator.run_mtf(3)
+
+    print("\nschedule switches (always at MTF boundaries):")
+    for switch in simulator.trace.of_type(ScheduleSwitched):
+        print(f"  t={switch.tick}: {switch.from_schedule} -> "
+              f"{switch.to_schedule}")
+
+    print("\nschedule change actions applied:")
+    for action in simulator.trace.of_type(ScheduleChangeActionApplied):
+        print(f"  t={action.tick}: {action.partition} {action.action} "
+              f"(first dispatch under {action.schedule})")
+
+    status = apex.get_module_schedule_status().expect()
+    print(f"\nfinal schedule: {status.current_schedule} "
+          f"(last switch at t={status.last_switch_tick})")
+    print(f"AOCS restarts: {simulator.runtime('AOCS').init_count - 1}")
+    print(f"PAYLOAD science frames: see trace "
+          f"({sum(1 for e in simulator.trace.events if getattr(e, 'text', '').startswith('science'))} logged)")
+
+
+if __name__ == "__main__":
+    main()

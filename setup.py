@@ -1,0 +1,9 @@
+"""Shim for editable installs on environments without the `wheel` package.
+
+`pip install -e .` falls back to this via --no-use-pep517; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""repro — reproduction of "Architecting Robustness and Timeliness in a New
+Generation of Aerospace Systems" (Rufino, Craveiro & Verissimo, DSN 2009).
+
+A production-quality Python library implementing the AIR (ARINC 653 In
+Space RTOS) architecture for robust temporal and spatial partitioning
+(TSP), including:
+
+* the formal system model and offline verification tools (Sect. 3-4);
+* the AIR PMK two-level hierarchical scheduler with mode-based partition
+  schedules (Algorithms 1-2);
+* process deadline violation monitoring (Algorithm 3);
+* a full APEX (ARINC 653) service layer, POS adaptation layer, health
+  monitoring, spatial partitioning over a simulated 3-level MMU, and
+  interpartition communication;
+* a deterministic tick-driven simulator substituting for the paper's
+  RTEMS/QEMU prototype substrate (see DESIGN.md for substitutions).
+
+Quickstart::
+
+    from repro import SystemBuilder, Simulator, Compute, Call
+
+    builder = SystemBuilder()
+    part = builder.partition("P1")
+    part.process("task", period=100, deadline=100, priority=1, wcet=10)
+
+    def task_body(ctx):
+        while True:
+            yield Compute(10)
+            ctx.log("job done")
+            yield Call(ctx.apex.periodic_wait)
+
+    part.body("task", task_body)
+    builder.schedule("main", mtf=100) \
+        .require("P1", cycle=100, duration=50) \
+        .window("P1", offset=0, duration=50)
+    sim = Simulator(builder.build())
+    sim.run_mtf(10)
+"""
+
+from .types import (
+    INFINITE_TIME,
+    AccessKind,
+    ErrorCode,
+    ErrorLevel,
+    PartitionMode,
+    PortDirection,
+    PrivilegeLevel,
+    ProcessState,
+    QueuingDiscipline,
+    RecoveryAction,
+    ScheduleChangeAction,
+    Ticks,
+)
+from .exceptions import (
+    AirError,
+    AuthorizationError,
+    ClockTamperingError,
+    ConfigurationError,
+    SchedulingError,
+    SimulationError,
+    SpatialViolationError,
+    UnknownPartitionError,
+    UnknownProcessError,
+    UnknownScheduleError,
+    ValidationError,
+)
+from .core.model import (
+    Partition,
+    PartitionRequirement,
+    ProcessModel,
+    ScheduleTable,
+    SystemModel,
+    TimeWindow,
+    single_schedule_system,
+)
+from .core.validation import ValidationReport, validate_schedule, validate_system
+from .core.scheduler import PartitionScheduler
+from .core.dispatcher import PartitionDispatcher
+from .core.pmk import Pmk
+from .pos.effects import Call, Compute
+from .apex.types import ReturnCode, ServiceResult
+from .apex.interface import ApexInterface, ProcessContext
+from .config.schema import PartitionRuntimeConfig, SystemConfig
+from .config.builder import SystemBuilder
+from .kernel.simulator import Simulator
+from .kernel.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "INFINITE_TIME", "AccessKind", "ErrorCode", "ErrorLevel",
+    "PartitionMode", "PortDirection", "PrivilegeLevel", "ProcessState",
+    "QueuingDiscipline", "RecoveryAction", "ScheduleChangeAction", "Ticks",
+    "AirError", "AuthorizationError", "ClockTamperingError",
+    "ConfigurationError", "SchedulingError", "SimulationError",
+    "SpatialViolationError", "UnknownPartitionError", "UnknownProcessError",
+    "UnknownScheduleError", "ValidationError",
+    "Partition", "PartitionRequirement", "ProcessModel", "ScheduleTable",
+    "SystemModel", "TimeWindow", "single_schedule_system",
+    "ValidationReport", "validate_schedule", "validate_system",
+    "PartitionScheduler", "PartitionDispatcher", "Pmk",
+    "Call", "Compute", "ReturnCode", "ServiceResult", "ApexInterface",
+    "ProcessContext", "PartitionRuntimeConfig", "SystemConfig",
+    "SystemBuilder", "Simulator", "Trace",
+    "__version__",
+]

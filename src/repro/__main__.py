@@ -1,0 +1,120 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Integrator-facing entry points over the library:
+
+* ``demo`` — run the Sect. 6 prototype demonstration (fault injection +
+  schedule switch) and print the VITRAL frame;
+* ``validate <config.json>`` — offline verification of a serialized
+  configuration (eqs. (20)-(23) + configuration cross-checks);
+* ``analyze <config.json>`` — process-level schedulability analysis of
+  every partition under every schedule;
+* ``run <config.json> --ticks N`` — execute the scheduling skeleton of a
+  serialized configuration (bodies are code and are not serialized; the
+  partitions idle inside their windows) and report window occupancy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import build_report
+from .config.loader import read_config
+from .kernel.simulator import Simulator
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .apps.prototype import (
+        build_prototype,
+        inject_faulty_process,
+        make_simulator,
+    )
+    from .kernel.trace import DeadlineMissed, ScheduleSwitched
+    from .vitral.windows import VitralScreen
+
+    handles = build_prototype()
+    simulator = make_simulator(handles)
+    screen = VitralScreen(simulator)
+    simulator.run_mtf(args.mtfs)
+    inject_faulty_process(simulator)
+    simulator.run_mtf(args.mtfs)
+    handles.ttc_stats.queue_schedule_command("chi2")
+    simulator.run_mtf(args.mtfs)
+    print(screen.render())
+    print(f"\ndeadline misses: {simulator.trace.count(DeadlineMissed)}")
+    print(f"schedule switches: {simulator.trace.count(ScheduleSwitched)}")
+    print(f"telemetry frames: {handles.ttc_stats.frames}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    config = read_config(args.config)
+    report = config.validate()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    config = read_config(args.config)
+    report = build_report(config)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = read_config(args.config)
+    simulator = Simulator(config)
+    occupancy: dict = {}
+    for _ in range(args.ticks):
+        if simulator.stopped:
+            break
+        active = simulator.active_partition
+        occupancy[active] = occupancy.get(active, 0) + 1
+        simulator.step()
+    print(f"ran {simulator.now} ticks under "
+          f"{simulator.pmk.scheduler.current_schedule!r}")
+    for partition, ticks in sorted(occupancy.items(),
+                                   key=lambda item: str(item[0])):
+        label = partition if partition is not None else "(idle)"
+        print(f"  {label:12s} {ticks:8d} ticks "
+              f"({ticks / simulator.now:6.1%})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AIR TSP architecture reproduction (Rufino, Craveiro & "
+                    "Verissimo, 2009)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run the Sect. 6 prototype demo")
+    demo.add_argument("--mtfs", type=int, default=3,
+                      help="MTFs per demo phase (default 3)")
+    demo.set_defaults(handler=_cmd_demo)
+
+    validate = commands.add_parser("validate",
+                                   help="offline verification of a config")
+    validate.add_argument("config", help="path to a config JSON document")
+    validate.set_defaults(handler=_cmd_validate)
+
+    analyze = commands.add_parser("analyze",
+                                  help="schedulability analysis of a config")
+    analyze.add_argument("config", help="path to a config JSON document")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    run = commands.add_parser("run",
+                              help="execute a config's scheduling skeleton")
+    run.add_argument("config", help="path to a config JSON document")
+    run.add_argument("--ticks", type=int, default=10_000,
+                     help="ticks to simulate (default 10000)")
+    run.set_defaults(handler=_cmd_run)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Schedulability analysis, supply functions, baselines and PST synthesis
+(Sects. 1, 3, 7)."""
+
+from .supply import (
+    SupplyCurve,
+    linear_supply_bound,
+    supplied_in,
+    supply_bound_function,
+)
+from .schedulability import (
+    PartitionAnalysis,
+    ProcessVerdict,
+    analyze_partition,
+    analyze_system,
+    higher_priority_demand,
+    response_time,
+)
+from .baselines import (
+    GlobalVerdict,
+    analyze_partition_reservation,
+    analyze_partition_single_window,
+    analyze_single_level,
+    periodic_resource_supply,
+    single_window_applicable,
+    single_window_supply,
+)
+from .generator import corrupt_schedule, generate_pst, random_requirements
+from .multicore import (
+    MulticoreSchedule,
+    generate_multicore_pst,
+    validate_multicore,
+)
+from .report import ModuleReport, ScheduleReport, SupplySummary, build_report
+from .timeline import occupancy_from_trace, render_schedule, render_timeline
+
+__all__ = [
+    "SupplyCurve", "linear_supply_bound", "supplied_in",
+    "supply_bound_function", "PartitionAnalysis", "ProcessVerdict",
+    "analyze_partition", "analyze_system", "higher_priority_demand",
+    "response_time", "GlobalVerdict", "analyze_partition_reservation",
+    "analyze_partition_single_window", "analyze_single_level",
+    "periodic_resource_supply", "single_window_applicable",
+    "single_window_supply", "corrupt_schedule", "generate_pst",
+    "random_requirements", "MulticoreSchedule", "generate_multicore_pst",
+    "validate_multicore", "ModuleReport", "ScheduleReport",
+    "SupplySummary", "build_report", "occupancy_from_trace",
+    "render_schedule", "render_timeline",
+]

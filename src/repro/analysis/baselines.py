@@ -1,0 +1,195 @@
+"""Baseline scheduling analyses the paper positions itself against (Sect. 7).
+
+Three comparators, each implemented as a supply abstraction (or a different
+architecture) pluggable into the response-time machinery of
+:mod:`repro.analysis.schedulability`:
+
+* **Single-window theorem** (Lee et al. [18]) — assumes each partition gets
+  "a single continuous execution time window within each iteration of its
+  cycle", which the paper calls "much of a simplification of the scheduling
+  mechanisms for TSP systems".  :func:`single_window_supply` is that
+  abstraction; :func:`single_window_applicable` reports whether a real PST
+  even satisfies the assumption (fragmented schedules do not).
+* **Single-level priority preemptive scheduling** (Audsley & Wellings [4])
+  — the Sect. 7 proposal of "abandoning two-level scheduling": all
+  processes of all partitions in one global fixed-priority scheduler.
+  Classic RTA, no partition windows — and no temporal partitioning.
+* **Reservation-based scheduling** (Grigg & Audsley [14], via the periodic
+  resource model of Mok & Feng [20] / Shin & Lee) — each partition becomes
+  a periodic reservation ``(budget d, period eta)`` with no fixed table;
+  :func:`periodic_resource_supply` is the standard worst-case sbf.
+
+Benchmark E11 sweeps synthetic systems through all of them against AIR's
+exact window-based analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.model import (
+    Partition,
+    PartitionRequirement,
+    ProcessModel,
+    ScheduleTable,
+    SystemModel,
+)
+from ..types import Ticks, is_infinite
+from .schedulability import (
+    PartitionAnalysis,
+    ProcessVerdict,
+    SupplyFn,
+    analyze_partition,
+    higher_priority_demand,
+    response_time,
+)
+
+__all__ = [
+    "single_window_applicable",
+    "single_window_supply",
+    "periodic_resource_supply",
+    "analyze_partition_single_window",
+    "analyze_partition_reservation",
+    "analyze_single_level",
+    "GlobalVerdict",
+]
+
+
+# ------------------------------------------------------------------ #
+# single-window theorem [18]
+# ------------------------------------------------------------------ #
+
+
+def single_window_applicable(schedule: ScheduleTable, partition: str) -> bool:
+    """True if *partition* has exactly one window in each of its cycles —
+    the [18] theorem's applicability condition."""
+    requirement = schedule.requirement_for(partition)
+    cycles = schedule.major_time_frame // requirement.cycle
+    windows = schedule.windows_for(partition)
+    if len(windows) != cycles:
+        return False
+    for k, window in enumerate(sorted(windows, key=lambda w: w.offset)):
+        if not (k * requirement.cycle <= window.offset
+                and window.end <= (k + 1) * requirement.cycle):
+            return False
+    return True
+
+
+def single_window_supply(cycle: Ticks, duration: Ticks) -> SupplyFn:
+    """Worst-case supply of one *duration*-long window every *cycle* ticks.
+
+    Worst phasing starts immediately after a window closes: a blackout of
+    ``cycle - duration``, then ``duration`` supplied per cycle.
+    """
+    blackout = cycle - duration
+
+    def supply(delta: Ticks) -> Ticks:
+        if delta <= 0:
+            return 0
+        full_cycles = delta // cycle
+        remainder = delta - full_cycles * cycle
+        partial = min(duration, max(0, remainder - blackout))
+        return full_cycles * duration + partial
+
+    return supply
+
+
+def analyze_partition_single_window(
+        partition: Partition, schedule: ScheduleTable
+) -> Optional[PartitionAnalysis]:
+    """[18]-style analysis; None when the schedule violates its assumption.
+
+    Returning None for fragmented schedules is the point of experiment
+    E11: AIR's window-exact analysis still applies where the single-window
+    simplification cannot.
+    """
+    if not single_window_applicable(schedule, partition.name):
+        return None
+    requirement = schedule.requirement_for(partition.name)
+    supply = single_window_supply(requirement.cycle, requirement.duration)
+    return analyze_partition(partition, schedule, supply=supply)
+
+
+# ------------------------------------------------------------------ #
+# reservation-based scheduling [14] via the periodic resource model
+# ------------------------------------------------------------------ #
+
+
+def periodic_resource_supply(period: Ticks, budget: Ticks) -> SupplyFn:
+    """Shin & Lee supply bound of the periodic resource ``Gamma(period,
+    budget)`` — the reservation abstraction of [14]/[20].
+
+    ``sbf(t) = k*budget + max(0, t - (k+1)(period-budget) - k*budget)``
+    with ``k = floor((t - (period - budget)) / period)``, 0 for small t.
+    """
+    gap = period - budget
+
+    def supply_exact(delta: Ticks) -> Ticks:
+        if delta <= gap:
+            return 0
+        shifted = delta - gap
+        k = shifted // period
+        rem = shifted - k * period
+        return k * budget + min(budget, max(0, rem - gap))
+
+    return supply_exact
+
+
+def analyze_partition_reservation(partition: Partition,
+                                  requirement: PartitionRequirement,
+                                  schedule: ScheduleTable
+                                  ) -> PartitionAnalysis:
+    """Reservation-based analysis: the partition's supply is the worst-case
+    periodic resource, regardless of the actual (more informative) table."""
+    supply = periodic_resource_supply(requirement.cycle, requirement.duration)
+    return analyze_partition(partition, schedule, supply=supply)
+
+
+# ------------------------------------------------------------------ #
+# single-level priority preemptive scheduling [4]
+# ------------------------------------------------------------------ #
+
+
+@dataclass(frozen=True)
+class GlobalVerdict:
+    """Outcome of the single-level analysis for one process."""
+
+    partition: str
+    process: str
+    response_time: Optional[Ticks]
+    schedulable: bool
+
+
+def analyze_single_level(system: SystemModel, *,
+                         horizon: Optional[Ticks] = None
+                         ) -> List[GlobalVerdict]:
+    """Flatten every partition's processes into one fixed-priority set.
+
+    Priorities collide across partitions (each partition numbers its own);
+    ties are interference-conservative (see
+    :func:`~repro.analysis.schedulability.higher_priority_demand`).  The
+    supply is the full processor (``supply(t) = t``) — this is what
+    "abandoning two-level scheduling" [4] buys analytically, at the price
+    of abandoning temporal partitioning entirely.
+    """
+    flat: List[Tuple[str, ProcessModel]] = [
+        (partition.name, process)
+        for partition, process in system.processes()
+        if (process.has_deadline and not is_infinite(process.wcet)
+            and not is_infinite(process.period))]
+    taskset = [process for _, process in flat]
+    if horizon is None:
+        horizon = 4 * max((schedule.major_time_frame
+                           for schedule in system.schedules), default=1000)
+    verdicts: List[GlobalVerdict] = []
+    for index, (partition_name, process) in enumerate(flat):
+        response = response_time(taskset, index, lambda t: t,
+                                 horizon=horizon)
+        verdicts.append(GlobalVerdict(
+            partition=partition_name, process=process.name,
+            response_time=response,
+            schedulable=(response is not None
+                         and response <= process.deadline)))
+    return verdicts

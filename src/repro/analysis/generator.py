@@ -1,0 +1,197 @@
+"""Automated aids to the definition of system parameters (Sect. 1).
+
+The paper's model "lays the ground for ... automated aids to the definition
+of system parameters"; this module is that tooling:
+
+* :func:`generate_pst` — synthesize a partition scheduling table satisfying
+  eqs. (20)-(23) from bare timing requirements ``{(partition, eta, d)}``,
+  by earliest-cycle first-fit over a free timeline;
+* :func:`random_requirements` — random synthetic systems for the E11/E12
+  sweeps (target utilization, cycle menu);
+* :func:`corrupt_schedule` — derive *invalid* variants of a valid PST
+  (shrunk windows, boundary shifts) so the validator's detection rate can
+  be measured (E12).
+
+All randomness flows through a :class:`~repro.kernel.rng.SeededRng`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.model import (
+    PartitionRequirement,
+    ScheduleTable,
+    TimeWindow,
+    lcm_of_cycles,
+)
+from ..exceptions import ConfigurationError
+from ..kernel.rng import SeededRng
+from ..types import Ticks
+
+__all__ = ["generate_pst", "random_requirements", "corrupt_schedule"]
+
+
+class _Timeline:
+    """Free-interval bookkeeping over one MTF."""
+
+    def __init__(self, mtf: Ticks) -> None:
+        self._free: List[Tuple[Ticks, Ticks]] = [(0, mtf)]
+
+    def allocate(self, lo: Ticks, hi: Ticks, amount: Ticks
+                 ) -> Optional[List[Tuple[Ticks, Ticks]]]:
+        """Claim *amount* ticks inside ``[lo, hi)``, possibly fragmented.
+
+        First-fit over free intervals; returns the claimed spans or None
+        if the range cannot supply the amount.
+        """
+        claims: List[Tuple[Ticks, Ticks]] = []
+        remaining = amount
+        updated: List[Tuple[Ticks, Ticks]] = []
+        for start, end in self._free:
+            if remaining > 0:
+                usable_start = max(start, lo)
+                usable_end = min(end, hi)
+                usable = usable_end - usable_start
+                if usable > 0:
+                    take = min(usable, remaining)
+                    claims.append((usable_start, usable_start + take))
+                    remaining -= take
+                    if start < usable_start:
+                        updated.append((start, usable_start))
+                    if usable_start + take < end:
+                        updated.append((usable_start + take, end))
+                    continue
+            updated.append((start, end))
+        if remaining > 0:
+            return None  # allocation failed; leave the timeline untouched
+        self._free = updated
+        return claims
+
+
+def generate_pst(requirements: Sequence[PartitionRequirement], *,
+                 schedule_id: str = "generated",
+                 mtf: Optional[Ticks] = None) -> Optional[ScheduleTable]:
+    """Synthesize a PST meeting eq. (23) for *requirements*, or None.
+
+    The MTF defaults to the lcm of the cycles (the minimal eq. (22)
+    choice).  Partitions are placed shortest-cycle first (rate-monotonic
+    order); each activation cycle gets its full duration inside its own
+    ``[k*eta, (k+1)*eta)`` range, fragmented if necessary — precisely what
+    the single-window abstraction of [18] cannot represent.
+    """
+    if not requirements:
+        raise ConfigurationError("generate_pst needs at least one requirement")
+    if mtf is None:
+        mtf = lcm_of_cycles(req.cycle for req in requirements)
+    elif mtf % lcm_of_cycles(req.cycle for req in requirements) != 0:
+        raise ConfigurationError(
+            f"requested MTF {mtf} is not a multiple of the lcm of cycles")
+    timeline = _Timeline(mtf)
+    windows: List[TimeWindow] = []
+    for requirement in sorted(requirements, key=lambda r: (r.cycle,
+                                                           r.partition)):
+        if requirement.duration == 0:
+            # Non-real-time partition: give it one best-effort window in the
+            # first free slot so it appears in omega (Sect. 3.2 assumption).
+            claims = timeline.allocate(0, mtf, 1)
+            if claims is None:
+                return None
+            windows.extend(TimeWindow(requirement.partition, lo, hi - lo)
+                           for lo, hi in claims)
+            continue
+        cycles = mtf // requirement.cycle
+        for k in range(cycles):
+            claims = timeline.allocate(k * requirement.cycle,
+                                       (k + 1) * requirement.cycle,
+                                       requirement.duration)
+            if claims is None:
+                return None
+            windows.extend(TimeWindow(requirement.partition, lo, hi - lo)
+                           for lo, hi in claims)
+    return ScheduleTable(schedule_id=schedule_id, major_time_frame=mtf,
+                         requirements=tuple(requirements),
+                         windows=tuple(windows))
+
+
+def random_requirements(rng: SeededRng, *, partitions: int,
+                        utilization: float,
+                        cycle_menu: Sequence[Ticks] = (100, 200, 400, 800)
+                        ) -> List[PartitionRequirement]:
+    """Random per-partition timing requirements with total supply
+    ``sum(d/eta)`` approximately *utilization* (UUniFast-style split)."""
+    if not 0 < utilization <= 1.0:
+        raise ConfigurationError(
+            f"utilization must be in (0, 1], got {utilization}")
+    shares: List[float] = []
+    remaining = utilization
+    for index in range(partitions - 1):
+        # UUniFast: keep the remaining utilization uniformly distributable.
+        next_remaining = remaining * rng.uniform(0.0, 1.0) ** (
+            1.0 / (partitions - index - 1))
+        shares.append(remaining - next_remaining)
+        remaining = next_remaining
+    shares.append(remaining)
+    requirements = []
+    for index, share in enumerate(shares):
+        cycle = rng.choice(list(cycle_menu))
+        duration = max(1, int(round(share * cycle)))
+        duration = min(duration, cycle)
+        requirements.append(PartitionRequirement(
+            partition=f"P{index + 1}", cycle=cycle, duration=duration))
+    return requirements
+
+
+def corrupt_schedule(schedule: ScheduleTable, rng: SeededRng
+                     ) -> Tuple[str, ScheduleTable]:
+    """Derive an *invalid* variant of a valid PST (for validator testing).
+
+    Returns ``(corruption_kind, corrupted_schedule)``.  The corruption is
+    chosen among: shrinking one window below the required duration
+    (violates eq. (23)) and shifting one window out of its activation
+    cycle (violates eq. (23) placement).  Both keep eq. (21) intact so the
+    defect is semantic, not syntactic.
+    """
+    windows = list(schedule.windows)
+    for _ in range(64):
+        kind = rng.choice(["shrink", "shift"])
+        index = rng.randint(0, len(windows) - 1)
+        window = windows[index]
+        mutated = None
+        if kind == "shrink" and window.duration > 1:
+            mutated = TimeWindow(window.partition, window.offset,
+                                 window.duration - 1)
+        elif kind == "shift":
+            requirement = schedule.requirement_for(window.partition)
+            shifted = window.offset + requirement.cycle
+            limit = schedule.major_time_frame - window.duration
+            if shifted <= limit:
+                neighbours_ok = all(
+                    other is window or not TimeWindow(
+                        window.partition, shifted,
+                        window.duration).overlaps(other)
+                    for other in windows)
+                if neighbours_ok:
+                    mutated = TimeWindow(window.partition, shifted,
+                                         window.duration)
+        if mutated is None:
+            continue
+        candidate_windows = list(windows)
+        candidate_windows[index] = mutated
+        try:
+            candidate = ScheduleTable(
+                schedule_id=f"{schedule.schedule_id}-{kind}",
+                major_time_frame=schedule.major_time_frame,
+                requirements=schedule.requirements,
+                windows=tuple(candidate_windows),
+                change_actions=dict(schedule.change_actions))
+        except ConfigurationError:
+            continue  # mutation broke well-formedness; try again
+        from ..core.validation import validate_schedule
+
+        if not validate_schedule(candidate).ok:
+            return kind, candidate
+    raise ConfigurationError(
+        f"could not derive an invalid variant of {schedule.schedule_id!r} "
+        f"in 64 attempts")

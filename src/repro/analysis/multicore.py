@@ -1,0 +1,210 @@
+"""Multicore extension of the system model (Sect. 8, future work item iv).
+
+The paper lists "parallelism between partition time windows on a multicore
+platform" as a planned model extension.  This module provides it at the
+model/validation level (the simulator itself remains single-core, as the
+prototype was):
+
+* :class:`MulticoreSchedule` — one PST per core, sharing a module-wide MTF;
+* :func:`validate_multicore` — per-core eqs. (20)-(23) plus the two
+  genuinely multicore conditions:
+
+  - **no self-parallelism**: a partition must not hold two cores at the
+    same instant unless it is declared ``parallel_capable`` (most
+    partition operating systems in this class are uniprocessor kernels);
+  - **aggregate duration**: a partition's requirement ``d`` per cycle may
+    be satisfied by the *union* of its windows across cores (the
+    multicore generalization of eq. (23)).
+
+* :func:`generate_multicore_pst` — first-fit synthesis across cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.model import (
+    PartitionRequirement,
+    ScheduleTable,
+    TimeWindow,
+    lcm_of_cycles,
+)
+from ..core.validation import Severity, ValidationReport, validate_schedule
+from ..exceptions import ConfigurationError
+from ..types import Ticks
+from .generator import generate_pst
+
+__all__ = ["MulticoreSchedule", "validate_multicore",
+           "generate_multicore_pst"]
+
+
+@dataclass(frozen=True)
+class MulticoreSchedule:
+    """A module-wide schedule over several cores.
+
+    ``cores`` maps a core name to its PST; every PST must share the module
+    MTF.  ``requirements`` are module-level (a partition's duty may be
+    split across cores); per-core tables carry core-local requirement
+    splits.  ``parallel_capable`` names partitions allowed to hold several
+    cores at once.
+    """
+
+    schedule_id: str
+    major_time_frame: Ticks
+    requirements: Tuple[PartitionRequirement, ...]
+    cores: Mapping[str, ScheduleTable]
+    parallel_capable: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise ConfigurationError(
+                f"multicore schedule {self.schedule_id!r} needs >= 1 core")
+        for core, table in self.cores.items():
+            if table.major_time_frame != self.major_time_frame:
+                raise ConfigurationError(
+                    f"core {core!r}: MTF {table.major_time_frame} differs "
+                    f"from the module MTF {self.major_time_frame}")
+        names = [r.partition for r in self.requirements]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(
+                f"multicore schedule {self.schedule_id!r}: duplicate "
+                f"requirements {names}")
+
+    @property
+    def core_names(self) -> Tuple[str, ...]:
+        """Names of the platform's cores."""
+        return tuple(self.cores)
+
+    def windows_of(self, partition: str) -> List[Tuple[str, TimeWindow]]:
+        """All (core, window) pairs assigned to *partition*."""
+        out: List[Tuple[str, TimeWindow]] = []
+        for core, table in self.cores.items():
+            for window in table.windows:
+                if window.partition == partition:
+                    out.append((core, window))
+        return out
+
+    def requirement_for(self, partition: str) -> PartitionRequirement:
+        """Module-level requirement of *partition*."""
+        for requirement in self.requirements:
+            if requirement.partition == partition:
+                return requirement
+        raise ConfigurationError(
+            f"multicore schedule {self.schedule_id!r}: no requirement for "
+            f"{partition!r}")
+
+
+def _overlapping(first: TimeWindow, second: TimeWindow) -> bool:
+    return first.offset < second.end and second.offset < first.end
+
+
+def validate_multicore(schedule: MulticoreSchedule) -> ValidationReport:
+    """Check per-core tables, self-parallelism, and aggregate duration."""
+    report = ValidationReport()
+
+    # 1. every core's table is well-formed on its own (eqs. (20)-(22);
+    #    per-core eq. (23) is deliberately NOT required — the aggregate
+    #    check below replaces it).
+    for core, table in schedule.cores.items():
+        core_report = validate_schedule(table)
+        for finding in core_report:
+            if finding.code in ("EQ23_VIOLATED", "EQ8_TOTAL_DURATION"):
+                continue  # superseded by the aggregate condition
+            report.add(finding.severity, f"CORE_{finding.code}",
+                       f"[core {core}] {finding.message}",
+                       schedule=schedule.schedule_id,
+                       partition=finding.partition)
+
+    # 2. no self-parallelism for uniprocessor partitions.
+    partitions = {window.partition
+                  for table in schedule.cores.values()
+                  for window in table.windows}
+    cores = list(schedule.cores.items())
+    for partition in sorted(partitions):
+        if partition in schedule.parallel_capable:
+            continue
+        placements = schedule.windows_of(partition)
+        for index, (core_a, window_a) in enumerate(placements):
+            for core_b, window_b in placements[index + 1:]:
+                if core_a != core_b and _overlapping(window_a, window_b):
+                    report.add(
+                        Severity.ERROR, "SELF_PARALLELISM",
+                        f"partition {partition!r} holds cores {core_a!r} "
+                        f"and {core_b!r} simultaneously "
+                        f"([{window_a.offset},{window_a.end}) vs "
+                        f"[{window_b.offset},{window_b.end})) but is not "
+                        f"parallel-capable",
+                        schedule=schedule.schedule_id, partition=partition)
+
+    # 3. aggregate per-cycle duration across cores (multicore eq. (23)).
+    for requirement in schedule.requirements:
+        if schedule.major_time_frame % requirement.cycle != 0:
+            report.add(Severity.ERROR, "CYCLE_NOT_DIVIDING_MTF",
+                       f"cycle {requirement.cycle} of "
+                       f"{requirement.partition!r} does not divide the "
+                       f"module MTF {schedule.major_time_frame}",
+                       schedule=schedule.schedule_id,
+                       partition=requirement.partition)
+            continue
+        cycles = schedule.major_time_frame // requirement.cycle
+        placements = schedule.windows_of(requirement.partition)
+        for k in range(cycles):
+            lo = k * requirement.cycle
+            hi = lo + requirement.cycle
+            supplied = sum(window.duration
+                           for _, window in placements
+                           if lo <= window.offset < hi)
+            if supplied < requirement.duration:
+                report.add(Severity.ERROR, "EQ23_MULTICORE",
+                           f"partition {requirement.partition!r}, cycle "
+                           f"k={k}: windows across all cores supply "
+                           f"{supplied} < required {requirement.duration}",
+                           schedule=schedule.schedule_id,
+                           partition=requirement.partition)
+    return report
+
+
+def generate_multicore_pst(
+        requirements: Sequence[PartitionRequirement], *, cores: int,
+        schedule_id: str = "generated-mc",
+        parallel_capable: FrozenSet[str] = frozenset(),
+) -> Optional[MulticoreSchedule]:
+    """First-fit synthesis of a multicore schedule.
+
+    Partitions are spread across cores by descending utilization (a
+    longest-processing-time-style heuristic), then each core's table is
+    synthesized independently with :func:`~repro.analysis.generator
+    .generate_pst`; non-parallel partitions live on exactly one core, so
+    the self-parallelism condition holds by construction.  Returns None if
+    any core's synthesis fails.
+    """
+    if cores < 1:
+        raise ConfigurationError(f"need >= 1 core, got {cores}")
+    mtf = lcm_of_cycles(requirement.cycle for requirement in requirements)
+    buckets: List[List[PartitionRequirement]] = [[] for _ in range(cores)]
+    loads = [0.0] * cores
+    for requirement in sorted(requirements,
+                              key=lambda r: r.utilization(), reverse=True):
+        target = loads.index(min(loads))
+        buckets[target].append(requirement)
+        loads[target] += requirement.utilization()
+
+    tables: Dict[str, ScheduleTable] = {}
+    for index, bucket in enumerate(buckets):
+        core = f"core{index}"
+        if not bucket:
+            # An idle core gets a trivial placeholder-free empty schedule:
+            # model tables need >= 1 window, so give the least-loaded
+            # partition a bonus window there if one exists; otherwise skip.
+            continue
+        table = generate_pst(bucket, schedule_id=f"{schedule_id}-{core}",
+                             mtf=mtf)
+        if table is None:
+            return None
+        tables[core] = table
+    if not tables:
+        return None
+    return MulticoreSchedule(schedule_id=schedule_id, major_time_frame=mtf,
+                             requirements=tuple(requirements), cores=tables,
+                             parallel_capable=parallel_capable)

@@ -1,0 +1,135 @@
+"""Integrated module analysis report (the integrator's one-stop output).
+
+Combines, for a :class:`~repro.core.model.SystemModel` (or full
+:class:`~repro.config.schema.SystemConfig`):
+
+* the offline verification findings (eqs. (20)-(23) + config checks);
+* per-schedule utilization/idle metrics;
+* per-partition supply characterization (rate, worst service delay);
+* per-process response-time verdicts.
+
+The output is both a structured :class:`ModuleReport` (for tooling) and a
+rendered text document (for humans) — the "automated aids to the definition
+of system parameters" the paper's model is meant to enable (Sect. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..config.schema import SystemConfig
+from ..core.model import SystemModel
+from ..core.validation import ValidationReport, validate_system
+from .schedulability import PartitionAnalysis, analyze_partition
+from .supply import linear_supply_bound
+
+__all__ = ["SupplySummary", "ScheduleReport", "ModuleReport",
+           "build_report"]
+
+
+@dataclass(frozen=True)
+class SupplySummary:
+    """Linear supply characterization of one partition under one schedule."""
+
+    partition: str
+    allocated_per_mtf: int
+    rate: float
+    service_delay: int
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Everything known about one PST."""
+
+    schedule_id: str
+    major_time_frame: int
+    utilization: float
+    idle_ticks: int
+    supplies: Tuple[SupplySummary, ...]
+    analyses: Tuple[PartitionAnalysis, ...]
+
+    @property
+    def schedulable(self) -> bool:
+        """True if every analyzable process in every partition passes."""
+        return all(analysis.schedulable for analysis in self.analyses)
+
+
+@dataclass(frozen=True)
+class ModuleReport:
+    """The full integration report."""
+
+    validation: ValidationReport
+    schedules: Tuple[ScheduleReport, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True if validation has no errors and everything is schedulable."""
+        return self.validation.ok and all(s.schedulable
+                                          for s in self.schedules)
+
+    def schedule(self, schedule_id: str) -> ScheduleReport:
+        """The report for *schedule_id*."""
+        for report in self.schedules:
+            if report.schedule_id == schedule_id:
+                return report
+        raise KeyError(f"no schedule report for {schedule_id!r}")
+
+    def render(self) -> str:
+        """Multi-line human-readable document."""
+        lines: List[str] = ["MODULE ANALYSIS REPORT",
+                            "=" * 40, "",
+                            "offline verification:",
+                            self.validation.render(), ""]
+        for report in self.schedules:
+            lines.append(f"schedule {report.schedule_id!r}: "
+                         f"MTF={report.major_time_frame}, "
+                         f"utilization={report.utilization:.1%}, "
+                         f"idle={report.idle_ticks}")
+            for supply in report.supplies:
+                lines.append(f"  supply {supply.partition}: "
+                             f"{supply.allocated_per_mtf}/MTF "
+                             f"(rate {supply.rate:.3f}, "
+                             f"delay<={supply.service_delay})")
+            for analysis in report.analyses:
+                for verdict in analysis.verdicts:
+                    flag = "OK  " if verdict.schedulable else "MISS"
+                    lines.append(
+                        f"  {flag} {analysis.partition}/{verdict.process}: "
+                        f"R={verdict.response_time} D={verdict.deadline}"
+                        + (f" ({verdict.reason})" if verdict.reason else ""))
+            lines.append("")
+        lines.append(f"overall: {'ACCEPTABLE' if self.ok else 'REJECTED'}")
+        return "\n".join(lines)
+
+
+def build_report(target: Union[SystemModel, SystemConfig]) -> ModuleReport:
+    """Produce the full report for a model or configuration."""
+    if isinstance(target, SystemConfig):
+        validation = target.validate()
+        model = target.model
+    else:
+        validation = validate_system(target)
+        model = target
+
+    schedules: List[ScheduleReport] = []
+    for schedule in model.schedules:
+        supplies: List[SupplySummary] = []
+        analyses: List[PartitionAnalysis] = []
+        for requirement in schedule.requirements:
+            partition = model.partition(requirement.partition)
+            rate, delay = linear_supply_bound(schedule, requirement.partition)
+            supplies.append(SupplySummary(
+                partition=requirement.partition,
+                allocated_per_mtf=schedule.allocated_time(
+                    requirement.partition),
+                rate=rate, service_delay=delay))
+            analyses.append(analyze_partition(partition, schedule))
+        schedules.append(ScheduleReport(
+            schedule_id=schedule.schedule_id,
+            major_time_frame=schedule.major_time_frame,
+            utilization=schedule.utilization(),
+            idle_ticks=schedule.idle_time(),
+            supplies=tuple(supplies),
+            analyses=tuple(analyses)))
+    return ModuleReport(validation=validation, schedules=tuple(schedules))

@@ -1,0 +1,119 @@
+"""Text timelines (Gantt-style) from execution traces.
+
+Turns a simulation trace into the kind of picture Fig. 8's bottom half
+draws: one lane per partition, one character per time quantum, showing who
+held the processor when — plus markers for deadline misses and schedule
+switches.  Useful in examples, documentation and debugging.
+
+Example output::
+
+    t=0                                                        t=1300
+    P1 ████░░░░░░░░░░░░░░░░░░░░░░
+    P2 ░░░░██░░░░░░░░░░░░░░██░░░░
+    ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.model import ScheduleTable
+from ..kernel.simulator import Simulator
+from ..kernel.trace import DeadlineMissed, PartitionDispatched, ScheduleSwitched, Trace
+from ..types import Ticks
+
+__all__ = ["occupancy_from_trace", "render_timeline", "render_schedule"]
+
+#: Characters used by the renderer.
+_BUSY = "#"
+_IDLE = "."
+_MISS = "!"
+_SWITCH = "|"
+
+
+def occupancy_from_trace(trace: Trace, *, start: Ticks, end: Ticks
+                         ) -> List[Optional[str]]:
+    """Reconstruct per-tick processor ownership from dispatch events.
+
+    Requires the trace to cover the interval (no ring-buffer eviction of
+    the relevant ``PartitionDispatched`` events, including the last one at
+    or before *start*).
+    """
+    if end <= start:
+        raise ValueError(f"empty interval [{start}, {end})")
+    dispatches = [(e.tick, e.heir)
+                  for e in trace.of_type(PartitionDispatched)]
+    owner: Optional[str] = None
+    timeline: List[Optional[str]] = []
+    index = 0
+    for tick in range(start, end):
+        while index < len(dispatches) and dispatches[index][0] <= tick:
+            owner = dispatches[index][1]
+            index += 1
+        timeline.append(owner)
+    return timeline
+
+
+def render_timeline(simulator: Simulator, *, start: Ticks, end: Ticks,
+                    resolution: Ticks = 10) -> str:
+    """Render the trace interval as one text lane per partition.
+
+    Each character covers *resolution* ticks: ``#`` when the partition held
+    the majority of that quantum, ``.`` otherwise; a trailing marker line
+    shows deadline misses (``!``) and schedule switches (``|``).
+    """
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+    occupancy = occupancy_from_trace(simulator.trace, start=start, end=end)
+    names = simulator.config.model.partition_names
+    width = (end - start + resolution - 1) // resolution
+
+    lanes: Dict[str, List[str]] = {name: [] for name in names}
+    for cell in range(width):
+        lo = cell * resolution
+        hi = min(lo + resolution, end - start)
+        counts: Dict[Optional[str], int] = {}
+        for owner in occupancy[lo:hi]:
+            counts[owner] = counts.get(owner, 0) + 1
+        majority = max(counts, key=lambda key: counts[key])
+        for name in names:
+            lanes[name].append(_BUSY if majority == name else _IDLE)
+
+    markers = [" "] * width
+    for event in simulator.trace.of_type(DeadlineMissed):
+        if start <= event.tick < end:
+            markers[(event.tick - start) // resolution] = _MISS
+    for event in simulator.trace.of_type(ScheduleSwitched):
+        if start <= event.tick < end:
+            markers[(event.tick - start) // resolution] = _SWITCH
+
+    label_width = max(len(name) for name in names)
+    lines = [f"t={start}  ({resolution} ticks/char)  t={end}"]
+    for name in names:
+        lines.append(f"{name.ljust(label_width)} {''.join(lanes[name])}")
+    if any(marker != " " for marker in markers):
+        lines.append(f"{''.ljust(label_width)} {''.join(markers)}  "
+                     f"({_MISS}=deadline miss, {_SWITCH}=schedule switch)")
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: ScheduleTable, *, resolution: Ticks = 10
+                    ) -> str:
+    """Render a PST statically (no trace needed) — the Fig. 8 picture."""
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+    names = schedule.partitions
+    width = (schedule.major_time_frame + resolution - 1) // resolution
+    label_width = max(len(name) for name in names)
+    lines = [f"{schedule.schedule_id}: MTF={schedule.major_time_frame} "
+             f"({resolution} ticks/char)"]
+    for name in names:
+        lane = []
+        for cell in range(width):
+            midpoint = min(cell * resolution + resolution // 2,
+                           schedule.major_time_frame - 1)
+            lane.append(_BUSY if schedule.active_partition_at(midpoint) == name
+                        else _IDLE)
+        lines.append(f"{name.ljust(label_width)} {''.join(lane)}")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""The APEX interface: ARINC 653 application services (Sect. 2.3)."""
+
+from .types import (
+    PartitionStatus,
+    ProcessStatus,
+    ReturnCode,
+    ScheduleStatus,
+    ServiceResult,
+    error,
+    ok,
+)
+from .resources import Blackboard, Buffer, Event, Semaphore, WaitQueue
+from .ports import QueuingPort, SamplingPort
+from .interface import (
+    ApexInterface,
+    ModuleControl,
+    PartitionControl,
+    ProcessContext,
+)
+
+__all__ = [
+    "PartitionStatus", "ProcessStatus", "ReturnCode", "ScheduleStatus",
+    "ServiceResult", "error", "ok", "Blackboard", "Buffer", "Event",
+    "Semaphore", "WaitQueue", "QueuingPort", "SamplingPort",
+    "ApexInterface", "ModuleControl", "PartitionControl", "ProcessContext",
+]

@@ -1,0 +1,119 @@
+"""APEX service types: return codes, statuses, and the service result wrapper.
+
+The APEX (APplication EXecutive) interface is the ARINC 653 standard
+services layer (Sect. 2.3).  Every service returns a
+:class:`ServiceResult` carrying a :class:`ReturnCode` — mirroring the
+specification's ``RETURN_CODE`` out-parameter — plus an optional value.
+Application bodies receive these results as the value of their ``yield``
+expressions (see :mod:`repro.pos.effects`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Generic, Optional, TypeVar
+
+from ..types import PartitionMode, ProcessState, StartCondition, Ticks
+
+__all__ = [
+    "ReturnCode",
+    "ServiceResult",
+    "ProcessStatus",
+    "PartitionStatus",
+    "ScheduleStatus",
+    "ok",
+    "error",
+]
+
+T = TypeVar("T")
+
+
+class ReturnCode(enum.Enum):
+    """ARINC 653 APEX return codes."""
+
+    NO_ERROR = "noError"
+    NO_ACTION = "noAction"
+    NOT_AVAILABLE = "notAvailable"
+    INVALID_PARAM = "invalidParam"
+    INVALID_CONFIG = "invalidConfig"
+    INVALID_MODE = "invalidMode"
+    TIMED_OUT = "timedOut"
+
+
+@dataclass(frozen=True)
+class ServiceResult(Generic[T]):
+    """Outcome of one APEX service invocation."""
+
+    code: ReturnCode
+    value: Optional[T] = None
+
+    @property
+    def is_ok(self) -> bool:
+        """True if the service completed with ``NO_ERROR``."""
+        return self.code is ReturnCode.NO_ERROR
+
+    def expect(self, context: str = "") -> T:
+        """Return the value, raising if the call did not succeed.
+
+        Convenience for application code that treats failure as a bug.
+        """
+        if not self.is_ok:
+            raise RuntimeError(
+                f"APEX call failed with {self.code.value}"
+                f"{': ' + context if context else ''}")
+        return self.value  # type: ignore[return-value]
+
+
+def ok(value: Optional[T] = None) -> ServiceResult[T]:
+    """Shorthand for a ``NO_ERROR`` result."""
+    return ServiceResult(ReturnCode.NO_ERROR, value)
+
+
+def error(code: ReturnCode, value: Optional[T] = None) -> ServiceResult[T]:
+    """Shorthand for a failing result."""
+    return ServiceResult(code, value)
+
+
+@dataclass(frozen=True)
+class ProcessStatus:
+    """GET_PROCESS_STATUS output: the eq. (12) status vector plus attributes."""
+
+    name: str
+    state: ProcessState
+    current_priority: int
+    deadline_time: Optional[Ticks]
+    period: Ticks
+    time_capacity: Ticks
+    base_priority: int
+
+
+@dataclass(frozen=True)
+class PartitionStatus:
+    """GET_PARTITION_STATUS output."""
+
+    identifier: str
+    operating_mode: PartitionMode
+    start_condition: "StartCondition"
+    lock_level: int
+
+
+@dataclass(frozen=True)
+class ScheduleStatus:
+    """GET_MODULE_SCHEDULE_STATUS output (ARINC 653 Part 2 — Sect. 4.2).
+
+    * ``last_switch_tick`` — time of the last schedule switch (0 if none
+      ever occurred);
+    * ``current_schedule`` — identifier of the schedule in force;
+    * ``next_schedule`` — identifier taking effect at the end of the
+      present MTF; equals ``current_schedule`` when no change is pending.
+    """
+
+    last_switch_tick: Ticks
+    current_schedule: str
+    next_schedule: str
+
+    @property
+    def switch_pending(self) -> bool:
+        """True if a schedule change awaits the next MTF boundary."""
+        return self.next_schedule != self.current_schedule

@@ -1,0 +1,30 @@
+"""Mockup satellite applications and the Sect. 6 prototype system."""
+
+from . import aocs, fdir, obdh, payload, ttc
+from .base import (
+    jittery_periodic_worker,
+    one_shot,
+    overrunning_worker,
+    periodic_worker,
+    queuing_consumer,
+    queuing_producer,
+    sampling_consumer,
+    sampling_producer,
+)
+from .prototype import (
+    FAULTY_PROCESS,
+    MTF,
+    PrototypeHandles,
+    build_prototype,
+    inject_faulty_process,
+    make_simulator,
+)
+
+__all__ = [
+    "aocs", "fdir", "obdh", "payload", "ttc",
+    "jittery_periodic_worker", "one_shot", "overrunning_worker",
+    "periodic_worker", "queuing_consumer", "queuing_producer",
+    "sampling_consumer", "sampling_producer",
+    "FAULTY_PROCESS", "MTF", "PrototypeHandles", "build_prototype",
+    "inject_faulty_process", "make_simulator",
+]

@@ -1,0 +1,99 @@
+"""AOCS — Attitude and Orbit Control Subsystem mockup (Sects. 1, 6).
+
+The AOCS is the canonical hard-real-time avionics function of Sect. 1's
+inventory.  The mockup runs three processes (the prototype partitions hold
+"one to three mockup processes, which period is a multiple of the
+respective partition's cycle duration" — Sect. 6):
+
+* ``aocs-sensing`` — sensor acquisition and fusion (highest priority);
+* ``aocs-control`` — the control law; publishes the attitude quaternion on
+  the ``attitude_out`` sampling port each cycle;
+* ``aocs-momentum`` — slower momentum management, at twice the cycle.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from ..apex.interface import ProcessContext
+from ..config.builder import PartitionBuilder
+from ..pos.effects import Call, Compute
+from ..types import PortDirection, Ticks
+
+__all__ = ["ATTITUDE_PORT", "configure", "attitude_payload"]
+
+#: Sampling port on which the control process publishes attitude data.
+ATTITUDE_PORT = "attitude_out"
+
+
+def attitude_payload(job: int, ctx: ProcessContext) -> bytes:
+    """A plausible attitude record: job counter plus a drifting quaternion."""
+    drift = (job % 360) / 360.0
+    return struct.pack("<Ifff", job, drift, 1.0 - drift, 0.5 * drift)
+
+
+def _sensing_body(work: Ticks):
+    def factory(ctx: ProcessContext) -> Iterator:
+        while True:
+            yield Compute(work)
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def _control_body(work: Ticks):
+    def factory(ctx: ProcessContext) -> Iterator:
+        job = 0
+        while True:
+            yield Compute(work)
+            job += 1
+            yield Call(ctx.apex.sampling_port(ATTITUDE_PORT).write,
+                       (attitude_payload(job, ctx),))
+            if job % 8 == 0:
+                yield Call(ctx.log, (f"aocs-control: cycle {job}",))
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def _momentum_body(work: Ticks):
+    def factory(ctx: ProcessContext) -> Iterator:
+        while True:
+            yield Compute(work)
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def configure(builder: PartitionBuilder, *, cycle: Ticks,
+              duty: Ticks) -> PartitionBuilder:
+    """Declare the AOCS processes on *builder*.
+
+    *cycle* is the partition's activation cycle ``eta``; *duty* its duration
+    ``d`` per cycle.  Process WCETs are sized to fit inside ``duty`` with
+    headroom; periods are multiples of the cycle (Sect. 6).
+    """
+    sensing = max(duty // 5, 1)
+    control = max(duty // 4, 1)
+    momentum = max(duty // 8, 1)
+    builder.process("aocs-sensing", period=cycle, deadline=cycle,
+                    priority=1, wcet=sensing)
+    builder.process("aocs-control", period=cycle, deadline=cycle,
+                    priority=2, wcet=control)
+    builder.process("aocs-momentum", period=2 * cycle, deadline=2 * cycle,
+                    priority=3, wcet=momentum)
+    builder.body("aocs-sensing", _sensing_body(sensing))
+    builder.body("aocs-control", _control_body(control))
+    builder.body("aocs-momentum", _momentum_body(momentum))
+
+    def init(apex) -> None:
+        from ..types import PartitionMode
+
+        apex.create_sampling_port(ATTITUDE_PORT, PortDirection.SOURCE)
+        for process in ("aocs-sensing", "aocs-control", "aocs-momentum"):
+            apex.start(process).expect(f"starting {process}")
+        apex.set_partition_mode(PartitionMode.NORMAL)
+
+    builder.init_hook(init)
+    return builder

@@ -1,0 +1,179 @@
+"""Framework for mockup satellite applications (Sect. 6).
+
+The paper's prototype runs, in each partition, "an RTEMS-based mockup
+application representative of typical functions present in a satellite
+system".  This module provides the building blocks those mockups share:
+parameterized periodic worker bodies, port-driven producer/consumer bodies,
+and small helpers for writing application code against the APEX interface.
+
+All bodies are generator factories with the standard signature
+``factory(ctx: ProcessContext)`` (see :mod:`repro.apex.interface`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..apex.interface import ProcessContext
+from ..apex.types import ReturnCode
+from ..pos.effects import Call, Compute
+from ..types import Ticks
+
+__all__ = [
+    "spin_forever",
+    "periodic_worker",
+    "jittery_periodic_worker",
+    "sampling_producer",
+    "sampling_consumer",
+    "queuing_producer",
+    "queuing_consumer",
+    "overrunning_worker",
+    "one_shot",
+]
+
+
+def spin_forever(ctx: ProcessContext) -> Iterator:
+    """A body that computes forever — never blocks, never completes.
+
+    Useful as a background hog or as a deadline-carrying spinner in tests
+    and benchmarks (pass directly as a body factory).
+    """
+    while True:
+        yield Compute(1_000_000)
+
+
+def periodic_worker(work: Ticks, *, label: str = "",
+                    log_every: int = 0) -> Callable[[ProcessContext], Iterator]:
+    """A process that computes *work* ticks per period, then waits for release.
+
+    ``log_every = n`` emits one traced message every n-th job (0 = never);
+    the messages surface in the partition's VITRAL window.
+    """
+
+    def factory(ctx: ProcessContext) -> Iterator:
+        job = 0
+        while True:
+            yield Compute(work)
+            job += 1
+            if log_every and job % log_every == 0:
+                yield Call(ctx.log, (f"{label or ctx.process}: job {job}",))
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def jittery_periodic_worker(base_work: Ticks, jitter: Ticks, *,
+                            label: str = ""
+                            ) -> Callable[[ProcessContext], Iterator]:
+    """Periodic worker whose execution time varies in
+    ``[base_work, base_work + jitter]`` using the process's seeded RNG —
+    deterministic per (system seed, partition, process)."""
+
+    def factory(ctx: ProcessContext) -> Iterator:
+        while True:
+            work = base_work + (ctx.rng.randint(0, jitter) if jitter else 0)
+            yield Compute(work)
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def overrunning_worker(work: Ticks, budget: Ticks
+                       ) -> Callable[[ProcessContext], Iterator]:
+    """The Sect. 6 *faulty process*: every iteration replenishes a deadline
+    of *budget* ticks, then computes *work* > budget — guaranteeing a
+    deadline miss that Algorithm 3 detects at the partition's next tick
+    announcement (typically its next dispatch)."""
+
+    def factory(ctx: ProcessContext) -> Iterator:
+        while True:
+            yield Call(ctx.apex.replenish, (budget,))
+            yield Compute(work)
+
+    return factory
+
+
+def one_shot(work: Ticks, *, message: str = ""
+             ) -> Callable[[ProcessContext], Iterator]:
+    """A process that computes once, optionally logs, and terminates."""
+
+    def factory(ctx: ProcessContext) -> Iterator:
+        yield Compute(work)
+        if message:
+            yield Call(ctx.log, (message,))
+
+    return factory
+
+
+def sampling_producer(port: str, *, work: Ticks,
+                      payload: Callable[[int, ProcessContext], bytes]
+                      ) -> Callable[[ProcessContext], Iterator]:
+    """Periodic producer writing *payload(job, ctx)* to a sampling port."""
+
+    def factory(ctx: ProcessContext) -> Iterator:
+        job = 0
+        while True:
+            yield Compute(work)
+            job += 1
+            yield Call(ctx.apex.sampling_port(port).write,
+                       (payload(job, ctx),))
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def sampling_consumer(port: str, *, work: Ticks,
+                      on_sample: Optional[
+                          Callable[[bytes, bool, ProcessContext], None]] = None
+                      ) -> Callable[[ProcessContext], Iterator]:
+    """Periodic consumer reading a sampling port; *on_sample* receives
+    ``(payload, validity, ctx)`` for each successful read."""
+
+    def factory(ctx: ProcessContext) -> Iterator:
+        while True:
+            yield Compute(work)
+            result = yield Call(ctx.apex.sampling_port(port).read)
+            if result.is_ok and on_sample is not None:
+                payload, valid = result.value
+                on_sample(payload, valid, ctx)
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def queuing_producer(port: str, *, work: Ticks,
+                     payload: Callable[[int, ProcessContext], bytes]
+                     ) -> Callable[[ProcessContext], Iterator]:
+    """Periodic producer sending *payload(job, ctx)* on a queuing port."""
+
+    def factory(ctx: ProcessContext) -> Iterator:
+        job = 0
+        while True:
+            yield Compute(work)
+            job += 1
+            yield Call(ctx.apex.queuing_port(port).send,
+                       (payload(job, ctx),))
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def queuing_consumer(port: str, *, work_per_message: Ticks,
+                     on_message: Optional[
+                         Callable[[bytes, ProcessContext], None]] = None,
+                     drain_limit: int = 8
+                     ) -> Callable[[ProcessContext], Iterator]:
+    """Periodic consumer draining up to *drain_limit* messages per period."""
+
+    def factory(ctx: ProcessContext) -> Iterator:
+        while True:
+            for _ in range(drain_limit):
+                result = yield Call(ctx.apex.queuing_port(port).receive)
+                if not result.is_ok:
+                    break
+                yield Compute(work_per_message)
+                if on_message is not None:
+                    on_message(result.value, ctx)
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory

@@ -1,0 +1,107 @@
+"""FDIR — Fault Detection, Isolation and Recovery mockup (Sects. 1, 6).
+
+Monitors the AOCS attitude feed (the "transmit data to FDIR" flow of
+Sect. 2.1): stale or missing samples increment an anomaly counter; crossing
+the threshold raises an alert on the ``alert_out`` queuing port and reports
+an application error to Health Monitoring.
+
+Processes:
+
+* ``fdir-monitor`` — the watchdog described above;
+* ``fdir-logger`` — slow background consolidation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..apex.interface import ApexInterface, ProcessContext
+from ..config.builder import PartitionBuilder
+from ..pos.effects import Call, Compute
+from ..types import PortDirection, Ticks
+
+__all__ = ["ATTITUDE_MON_PORT", "ALERT_PORT", "FdirStats", "configure"]
+
+#: Destination sampling port monitoring AOCS attitude.
+ATTITUDE_MON_PORT = "attitude_mon"
+
+#: Source queuing port raising alerts toward TTC.
+ALERT_PORT = "alert_out"
+
+
+class FdirStats:
+    """Counters exposed for tests and the demo."""
+
+    def __init__(self) -> None:
+        self.samples_ok = 0
+        self.samples_stale = 0
+        self.samples_missing = 0
+        self.alerts_raised = 0
+
+
+def _monitor_body(work: Ticks, stats: FdirStats, threshold: int):
+    def factory(ctx: ProcessContext) -> Iterator:
+        anomalies = 0
+        while True:
+            yield Compute(work)
+            sample = yield Call(
+                ctx.apex.sampling_port(ATTITUDE_MON_PORT).read)
+            if not sample.is_ok:
+                stats.samples_missing += 1
+                anomalies += 1
+            else:
+                _, valid = sample.value
+                if valid:
+                    stats.samples_ok += 1
+                    anomalies = 0
+                else:
+                    stats.samples_stale += 1
+                    anomalies += 1
+            if anomalies >= threshold:
+                stats.alerts_raised += 1
+                anomalies = 0
+                yield Call(ctx.apex.queuing_port(ALERT_PORT).send,
+                           (b"FDIR:attitude-anomaly",))
+                yield Call(ctx.log, ("fdir: attitude anomaly alert",))
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def _logger_body(work: Ticks):
+    def factory(ctx: ProcessContext) -> Iterator:
+        while True:
+            yield Compute(work)
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def configure(builder: PartitionBuilder, *, cycle: Ticks, duty: Ticks,
+              stats: Optional[FdirStats] = None,
+              anomaly_threshold: int = 3) -> FdirStats:
+    """Declare the FDIR processes on *builder*; returns the stats object."""
+    if stats is None:
+        stats = FdirStats()
+    monitor = max(duty // 4, 1)
+    logger = max(duty // 8, 1)
+    builder.process("fdir-monitor", period=cycle, deadline=cycle,
+                    priority=1, wcet=monitor)
+    builder.process("fdir-logger", period=2 * cycle, deadline=2 * cycle,
+                    priority=5, wcet=logger)
+    builder.body("fdir-monitor",
+                 _monitor_body(monitor, stats, anomaly_threshold))
+    builder.body("fdir-logger", _logger_body(logger))
+
+    def init(apex: ApexInterface) -> None:
+        from ..types import PartitionMode
+
+        apex.create_sampling_port(ATTITUDE_MON_PORT,
+                                  PortDirection.DESTINATION)
+        apex.create_queuing_port(ALERT_PORT, PortDirection.SOURCE)
+        for process in ("fdir-monitor", "fdir-logger"):
+            apex.start(process).expect(f"starting {process}")
+        apex.set_partition_mode(PartitionMode.NORMAL)
+
+    builder.init_hook(init)
+    return stats

@@ -1,0 +1,87 @@
+"""OBDH — Onboard Data Handling mockup (Sects. 1, 6).
+
+Collects attitude samples published by the AOCS, packs housekeeping
+telemetry frames, and forwards them to the TTC partition on a queuing port
+— the "some payload subsystems may need to read AOCS data" flow of
+Sect. 2.1.
+
+Processes:
+
+* ``obdh-housekeeping`` — reads the ``attitude_in`` sampling port, builds a
+  telemetry frame, sends it on ``tm_out``;
+* ``obdh-storage`` — background mass-memory bookkeeping.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from ..apex.interface import ProcessContext
+from ..config.builder import PartitionBuilder
+from ..pos.effects import Call, Compute
+from ..types import PortDirection, Ticks
+
+__all__ = ["ATTITUDE_IN_PORT", "TELEMETRY_PORT", "configure"]
+
+#: Destination sampling port receiving AOCS attitude data.
+ATTITUDE_IN_PORT = "attitude_in"
+
+#: Source queuing port carrying telemetry frames to TTC.
+TELEMETRY_PORT = "tm_out"
+
+
+def _housekeeping_body(work: Ticks):
+    def factory(ctx: ProcessContext) -> Iterator:
+        frame = 0
+        while True:
+            yield Compute(work)
+            sample = yield Call(ctx.apex.sampling_port(ATTITUDE_IN_PORT).read)
+            frame += 1
+            if sample.is_ok:
+                payload, valid = sample.value
+                header = struct.pack("<IB", frame, 1 if valid else 0)
+                yield Call(ctx.apex.queuing_port(TELEMETRY_PORT).send,
+                           (header + payload,))
+            else:
+                # No attitude yet: send an empty housekeeping frame.
+                yield Call(ctx.apex.queuing_port(TELEMETRY_PORT).send,
+                           (struct.pack("<IB", frame, 2),))
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def _storage_body(work: Ticks):
+    def factory(ctx: ProcessContext) -> Iterator:
+        while True:
+            yield Compute(work)
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
+def configure(builder: PartitionBuilder, *, cycle: Ticks,
+              duty: Ticks) -> PartitionBuilder:
+    """Declare the OBDH processes on *builder* (see :mod:`repro.apps.aocs`
+    for the cycle/duty convention)."""
+    housekeeping = max(duty // 4, 1)
+    storage = max(duty // 6, 1)
+    builder.process("obdh-housekeeping", period=cycle, deadline=cycle,
+                    priority=1, wcet=housekeeping)
+    builder.process("obdh-storage", period=2 * cycle, deadline=2 * cycle,
+                    priority=4, wcet=storage)
+    builder.body("obdh-housekeeping", _housekeeping_body(housekeeping))
+    builder.body("obdh-storage", _storage_body(storage))
+
+    def init(apex) -> None:
+        from ..types import PartitionMode
+
+        apex.create_sampling_port(ATTITUDE_IN_PORT, PortDirection.DESTINATION)
+        apex.create_queuing_port(TELEMETRY_PORT, PortDirection.SOURCE)
+        for process in ("obdh-housekeeping", "obdh-storage"):
+            apex.start(process).expect(f"starting {process}")
+        apex.set_partition_mode(PartitionMode.NORMAL)
+
+    builder.init_hook(init)
+    return builder

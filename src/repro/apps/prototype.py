@@ -1,0 +1,175 @@
+"""The Sect. 6 prototype system: four partitions, two PSTs, fault injection.
+
+This module encodes, verbatim, the demonstration configuration of the
+paper's prototype implementation (Fig. 8):
+
+.. code-block:: text
+
+    P = {P1, P2, P3, P4}
+    Q1 = Q2 = {<P1,1300,200>, <P2,650,100>, <P3,650,100>, <P4,1300,100>}
+    chi1 = <MTF=1300, {<P1,0,200>, <P2,200,100>, <P3,300,100>, <P4,400,600>,
+                       <P2,1000,100>, <P3,1100,100>, <P4,1200,100>}>
+    chi2 = <MTF=1300, {<P1,0,200>, <P4,200,100>, <P3,300,100>, <P2,400,600>,
+                       <P4,1000,100>, <P3,1100,100>, <P2,1200,100>}>
+
+Each partition runs a mockup application "representative of typical
+functions present in a satellite system": P1 hosts the AOCS, P2 the OBDH,
+P3 the TTC (the authorized system partition able to switch schedules) and
+P4 the FDIR.  Every mockup process's period is a multiple of its
+partition's cycle (Sect. 6).
+
+The *faulty process* of the paper's demonstration lives dormant in P1:
+its configured WCET (150) fits its declared deadline budget (200), but its
+actual behaviour overruns — "its WCET was underestimated at system
+configuration and integration time" (Sect. 5) — so, once injected
+(started), its deadline violation "is detected and reported every time
+(except the first) that P1 is scheduled and dispatched to execute".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apex.interface import ApexInterface
+from ..config.builder import SystemBuilder
+from ..config.schema import SystemConfig
+from ..kernel.simulator import Simulator
+from ..types import PartitionMode, PortDirection, ScheduleChangeAction
+from . import aocs, fdir, obdh, ttc
+from .base import overrunning_worker
+
+__all__ = ["PrototypeHandles", "MTF", "FAULTY_PROCESS", "build_prototype",
+           "make_simulator", "inject_faulty_process"]
+
+#: Major time frame of both prototype schedules (Fig. 8).
+MTF = 1300
+
+#: Name of the injectable faulty process hosted by P1.
+FAULTY_PROCESS = "p1-faulty"
+
+#: Budget the faulty process replenishes each iteration (its declared
+#: time capacity), and the work it actually performs.
+FAULTY_BUDGET = 200
+FAULTY_WORK = 300
+
+
+@dataclass
+class PrototypeHandles:
+    """Observability handles into the prototype's applications."""
+
+    config: SystemConfig
+    ttc_stats: "ttc.DownlinkStats"
+    fdir_stats: "fdir.FdirStats"
+
+
+def build_prototype(*, seed: int = 0, deadline_store: str = "list",
+                    change_action_policy: str = "first_dispatch",
+                    p1_change_action: ScheduleChangeAction =
+                    ScheduleChangeAction.IGNORE) -> PrototypeHandles:
+    """Build the Sect. 6 system configuration.
+
+    ``p1_change_action`` optionally arms a ScheduleChangeAction for P1 on
+    both schedules (the paper's demo uses none; tests use this hook).
+    """
+    builder = SystemBuilder()
+    builder.seed(seed)
+    builder.deadline_store(deadline_store)
+    builder.change_action_policy(change_action_policy)
+
+    # P1's integration-time HM policy for deadline misses is the Sect. 5
+    # recovery action "stopping the faulty process, and reinitializing it
+    # from the entry address": the restarted process re-registers a fresh
+    # deadline, overruns again, and is re-detected — so the violation is
+    # "detected and reported every time (except the first) that P1 is
+    # scheduled and dispatched to execute" (Sect. 6).
+    from ..hm.tables import HmTables
+    from ..types import ErrorCode, RecoveryAction
+
+    builder.hm_tables(HmTables(partition_actions={
+        "P1": {ErrorCode.DEADLINE_MISSED:
+               RecoveryAction.STOP_AND_RESTART_PROCESS},
+    }))
+
+    # --- partitions and their mockup applications ------------------- #
+    p1 = builder.partition("P1")
+    aocs.configure(p1, cycle=MTF, duty=200)
+    # The faulty process's declared WCET (40) passes every offline check —
+    # it is "underestimated at system configuration and integration time"
+    # (Sect. 5); the body actually computes FAULTY_WORK=300 per budget.
+    p1.process(FAULTY_PROCESS, period=MTF, deadline=FAULTY_BUDGET,
+               priority=9, wcet=40)
+    p1.body(FAULTY_PROCESS, overrunning_worker(FAULTY_WORK, FAULTY_BUDGET))
+
+    obdh.configure(builder.partition("P2"), cycle=650, duty=100)
+    ttc_stats = ttc.configure(builder.partition("P3"), cycle=650, duty=100)
+    fdir_stats = fdir.configure(builder.partition("P4"), cycle=MTF, duty=100)
+
+    # --- interpartition channels ------------------------------------ #
+    builder.sampling_channel(
+        "attitude", source=("P1", aocs.ATTITUDE_PORT),
+        destinations=(("P2", obdh.ATTITUDE_IN_PORT),
+                      ("P4", fdir.ATTITUDE_MON_PORT)),
+        max_message_size=64, refresh_period=2 * MTF)
+    builder.queuing_channel(
+        "telemetry", source=("P2", obdh.TELEMETRY_PORT),
+        destination=("P3", ttc.TELEMETRY_IN_PORT),
+        max_message_size=128, max_nb_messages=32)
+    builder.queuing_channel(
+        "alerts", source=("P4", fdir.ALERT_PORT),
+        destination=("P3", ttc.ALERT_IN_PORT),
+        max_message_size=64, max_nb_messages=8)
+
+    # --- the two PSTs of Fig. 8 ------------------------------------- #
+    chi1 = builder.schedule("chi1", mtf=MTF)
+    chi2 = builder.schedule("chi2", mtf=MTF)
+    for chi in (chi1, chi2):
+        chi.require("P1", cycle=1300, duration=200)
+        chi.require("P2", cycle=650, duration=100)
+        chi.require("P3", cycle=650, duration=100)
+        chi.require("P4", cycle=1300, duration=100)
+        if p1_change_action is not ScheduleChangeAction.IGNORE:
+            chi.on_switch("P1", p1_change_action)
+    chi1.window("P1", offset=0, duration=200) \
+        .window("P2", offset=200, duration=100) \
+        .window("P3", offset=300, duration=100) \
+        .window("P4", offset=400, duration=600) \
+        .window("P2", offset=1000, duration=100) \
+        .window("P3", offset=1100, duration=100) \
+        .window("P4", offset=1200, duration=100)
+    chi2.window("P1", offset=0, duration=200) \
+        .window("P4", offset=200, duration=100) \
+        .window("P3", offset=300, duration=100) \
+        .window("P2", offset=400, duration=600) \
+        .window("P4", offset=1000, duration=100) \
+        .window("P3", offset=1100, duration=100) \
+        .window("P2", offset=1200, duration=100)
+    builder.initial_schedule("chi1")
+
+    return PrototypeHandles(config=builder.build(), ttc_stats=ttc_stats,
+                            fdir_stats=fdir_stats)
+
+
+def make_simulator(handles: Optional[PrototypeHandles] = None,
+                   **kwargs) -> Simulator:
+    """Convenience: build (or reuse) a prototype config and wrap it in a
+    simulator."""
+    if handles is None:
+        handles = build_prototype(**kwargs)
+    return Simulator(handles.config)
+
+
+def inject_faulty_process(simulator: Simulator) -> None:
+    """Activate the faulty process on P1 — the paper demo's keyboard action.
+
+    START registers the process's first deadline (now + its declared time
+    capacity); its body then overruns every replenished budget.  Injection
+    before P1's own initialization has run (which is what registers bodies)
+    wires the body directly from the integration configuration.
+    """
+    apex = simulator.apex("P1")
+    if not apex.has_body(FAULTY_PROCESS):
+        runtime = simulator.runtime("P1")
+        apex.register_body(FAULTY_PROCESS,
+                           runtime.config.bodies[FAULTY_PROCESS])
+    apex.start(FAULTY_PROCESS).expect("injecting faulty process")

@@ -1,0 +1,19 @@
+"""Integration-time configuration: schema, fluent builder, (de)serialization."""
+
+from .schema import DEFAULT_PARTITION_MEMORY, PartitionRuntimeConfig, SystemConfig
+from .builder import PartitionBuilder, ScheduleBuilder, SystemBuilder
+from .loader import (
+    dump_config,
+    dump_model,
+    load_config,
+    load_model,
+    read_config,
+    save_config,
+)
+
+__all__ = [
+    "DEFAULT_PARTITION_MEMORY", "PartitionRuntimeConfig", "SystemConfig",
+    "PartitionBuilder", "ScheduleBuilder", "SystemBuilder",
+    "dump_config", "dump_model", "load_config", "load_model",
+    "read_config", "save_config",
+]

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: formal model, validation, and the AIR
+PMK's partition scheduler/dispatcher (Sects. 2-4)."""
+
+from .model import (
+    DispatchEntry,
+    Partition,
+    PartitionRequirement,
+    ProcessModel,
+    ScheduleTable,
+    SystemModel,
+    TimeWindow,
+    lcm_of_cycles,
+    single_schedule_system,
+)
+from .validation import (
+    Finding,
+    Severity,
+    ValidationReport,
+    validate_schedule,
+    validate_system,
+)
+from .scheduler import CompiledSchedule, PartitionScheduler, SchedulerStats
+from .dispatcher import DispatchOutcome, DispatcherStats, PartitionDispatcher
+from .runtime import PartitionRuntime
+from .pmk import Pmk
+
+__all__ = [
+    "DispatchEntry", "Partition", "PartitionRequirement", "ProcessModel",
+    "ScheduleTable", "SystemModel", "TimeWindow", "lcm_of_cycles",
+    "single_schedule_system", "Finding", "Severity", "ValidationReport",
+    "validate_schedule", "validate_system", "CompiledSchedule",
+    "PartitionScheduler", "SchedulerStats", "DispatchOutcome",
+    "DispatcherStats", "PartitionDispatcher", "PartitionRuntime", "Pmk",
+]

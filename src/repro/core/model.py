@@ -1,0 +1,585 @@
+"""Formal system model of an AIR / ARINC 653 based TSP system (Sect. 3, 4.1, 5.1).
+
+This module encodes, as immutable dataclasses, the entities of the paper's
+formal model in its final (mode-based) formulation:
+
+* :class:`ProcessModel` — a process ``tau_m,q = <T, D, p, C>`` (eq. (11);
+  the runtime status ``S_m,q(t)`` of eq. (12) lives in :mod:`repro.pos.tcb`);
+* :class:`Partition` — a partition ``P_m = <tau_m, M_m(t)>`` (eq. (16);
+  the runtime mode is tracked by the runtime, not the model);
+* :class:`TimeWindow` — a window ``omega_i,j = <P, O, c>`` (eq. (20));
+* :class:`PartitionRequirement` — per-schedule timing requirements
+  ``Q_i,m = <P, eta, d>`` (eq. (19));
+* :class:`ScheduleTable` — a partition scheduling table
+  ``chi_i = <MTF_i, Q_i, omega_i>`` (eq. (18));
+* :class:`SystemModel` — the whole system ``<P, chi>`` (eqs. (1), (17)).
+
+The classes validate *local* well-formedness eagerly in ``__post_init__``
+(non-negative durations, window containment in the MTF — eq. (21), windows
+referring only to partitions present in ``Q_i`` — eq. (20)).  The *global*
+integration-time conditions — MTF as a multiple of the lcm of cycles
+(eq. (22)) and the per-cycle duration guarantee (eq. (23)) — are checked by
+:mod:`repro.core.validation`, which produces a structured report instead of
+failing fast, because an integrator wants to see *all* configuration problems
+at once.
+
+The original single-schedule model of Sect. 3 (eqs. (2), (4)-(9)) is the
+special case ``n(chi) = 1`` (the paper makes this observation at the end of
+Sect. 4.1); :func:`single_schedule_system` builds exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import (
+    ConfigurationError,
+    UnknownPartitionError,
+    UnknownProcessError,
+    UnknownScheduleError,
+)
+from ..types import (
+    INFINITE_TIME,
+    PartitionMode,
+    ScheduleChangeAction,
+    Ticks,
+    is_infinite,
+)
+
+__all__ = [
+    "ProcessModel",
+    "Partition",
+    "TimeWindow",
+    "PartitionRequirement",
+    "ScheduleTable",
+    "SystemModel",
+    "DispatchEntry",
+    "single_schedule_system",
+    "lcm_of_cycles",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with *message* unless *condition*."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def lcm_of_cycles(cycles: Iterable[Ticks]) -> Ticks:
+    """Least common multiple of partition activation cycles — used by eq. (22)."""
+    result = 1
+    seen = False
+    for cycle in cycles:
+        _require(cycle > 0, f"partition cycle must be positive, got {cycle}")
+        result = math.lcm(result, cycle)
+        seen = True
+    _require(seen, "cannot take the lcm of an empty set of cycles")
+    return result
+
+
+@dataclass(frozen=True)
+class ProcessModel:
+    """Static attributes of a process ``tau_m,q`` — eq. (11).
+
+    Attributes
+    ----------
+    name:
+        Process identifier, unique within its partition.
+    period:
+        ``T_m,q``.  For a periodic process, the activation period; for an
+        aperiodic or sporadic process, the lower bound between consecutive
+        activations.  ``INFINITE_TIME`` marks a purely aperiodic process
+        with no minimum separation.
+    deadline:
+        ``D_m,q`` — relative deadline (time capacity in ARINC 653 terms).
+        ``INFINITE_TIME`` means the process has no deadline (eq. (24)
+        excludes it from deadline violation monitoring).
+    priority:
+        ``p_m,q`` — base priority.  Lower numerical value = greater
+        priority (the paper's convention, Sect. 3.3).
+    wcet:
+        ``C_m,q`` — worst case execution time.  Not an ARINC 653 attribute;
+        added by the paper's model for schedulability analysis.
+        ``INFINITE_TIME`` if unknown.
+    periodic:
+        True for strictly periodic processes (release points separated by
+        exactly ``period``).
+    """
+
+    name: str
+    period: Ticks = INFINITE_TIME
+    deadline: Ticks = INFINITE_TIME
+    priority: int = 0
+    wcet: Ticks = INFINITE_TIME
+    periodic: bool = True
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "process name must be non-empty")
+        for label, value in (("period", self.period), ("deadline", self.deadline),
+                             ("wcet", self.wcet)):
+            _require(value > 0 or is_infinite(value),
+                     f"process {self.name!r}: {label} must be positive or "
+                     f"INFINITE_TIME, got {value}")
+        _require(self.priority >= 0,
+                 f"process {self.name!r}: priority must be >= 0, got {self.priority}")
+        if self.periodic:
+            _require(not is_infinite(self.period),
+                     f"process {self.name!r}: a periodic process needs a finite period")
+        if not is_infinite(self.wcet) and not is_infinite(self.deadline):
+            _require(self.wcet <= self.deadline,
+                     f"process {self.name!r}: WCET {self.wcet} exceeds its own "
+                     f"deadline {self.deadline}; it can never meet it")
+
+    @property
+    def has_deadline(self) -> bool:
+        """True if deadline violation monitoring applies — the ``D != inf``
+        condition of eq. (24)."""
+        return not is_infinite(self.deadline)
+
+    @property
+    def is_sporadic(self) -> bool:
+        """True for sporadic processes: not periodic, but with a finite
+        ``T`` — "the lower bound for the time between consecutive
+        activations" (Sect. 3.3)."""
+        return not self.periodic and not is_infinite(self.period)
+
+    def utilization(self) -> float:
+        """CPU utilization ``C/T`` of this process, or 0.0 if unknown/aperiodic."""
+        if is_infinite(self.wcet) or is_infinite(self.period):
+            return 0.0
+        return self.wcet / self.period
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A partition ``P_m = <tau_m, M_m(t)>`` — eq. (16).
+
+    Timing requirements (cycle, duration) are *not* attributes of the
+    partition: since Sect. 4.1 they belong to the partition *within a given
+    schedule* (:class:`PartitionRequirement`).  The runtime operating mode
+    ``M_m(t)`` is tracked by the runtime layer; here only the *initial* mode
+    is recorded.
+
+    Attributes
+    ----------
+    name:
+        Partition identifier ``P_m``, unique system-wide.
+    processes:
+        The taskset ``tau_m`` — eq. (10).
+    system_partition:
+        True for ARINC 653 *system partitions*, which may bypass APEX and
+        invoke privileged services (e.g. the mode-based schedule switch of
+        Sect. 4.2 requires an *authorized* partition).
+    initial_mode:
+        Mode entered at module start (typically ``COLD_START``).
+    criticality:
+        Free-form integration label (e.g. "A".."E"), carried for reporting.
+    """
+
+    name: str
+    processes: Tuple[ProcessModel, ...] = ()
+    system_partition: bool = False
+    initial_mode: PartitionMode = PartitionMode.COLD_START
+    criticality: str = "C"
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "partition name must be non-empty")
+        names = [process.name for process in self.processes]
+        _require(len(names) == len(set(names)),
+                 f"partition {self.name!r}: duplicate process names {names}")
+
+    def process(self, name: str) -> ProcessModel:
+        """Return the process called *name*, or raise :class:`UnknownProcessError`."""
+        for process in self.processes:
+            if process.name == name:
+                return process
+        raise UnknownProcessError(
+            f"partition {self.name!r} has no process named {name!r}")
+
+    @property
+    def process_names(self) -> Tuple[str, ...]:
+        """Names of all processes in declaration order."""
+        return tuple(process.name for process in self.processes)
+
+    def utilization(self) -> float:
+        """Aggregate ``sum(C/T)`` over processes with known WCET and period."""
+        return sum(process.utilization() for process in self.processes)
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A partition execution time window ``omega_i,j = <P, O, c>`` — eq. (20).
+
+    Attributes
+    ----------
+    partition:
+        Name of the partition active during the window (``P^omega_i,j``).
+    offset:
+        ``O_i,j`` — start, relative to the beginning of the MTF.
+    duration:
+        ``c_i,j`` — length of the window, in ticks.
+    """
+
+    partition: str
+    offset: Ticks
+    duration: Ticks
+
+    def __post_init__(self) -> None:
+        _require(bool(self.partition), "time window must name a partition")
+        _require(self.offset >= 0,
+                 f"window for {self.partition!r}: offset must be >= 0, "
+                 f"got {self.offset}")
+        _require(self.duration > 0,
+                 f"window for {self.partition!r}: duration must be > 0, "
+                 f"got {self.duration}")
+
+    @property
+    def end(self) -> Ticks:
+        """First tick after the window (``O + c``)."""
+        return self.offset + self.duration
+
+    def contains(self, tick_in_mtf: Ticks) -> bool:
+        """True if *tick_in_mtf* (already reduced mod MTF) falls inside."""
+        return self.offset <= tick_in_mtf < self.end
+
+    def overlaps(self, other: "TimeWindow") -> bool:
+        """True if this window and *other* intersect in time."""
+        return self.offset < other.end and other.offset < self.end
+
+
+@dataclass(frozen=True)
+class PartitionRequirement:
+    """Timing requirements of a partition under one schedule — eq. (19).
+
+    ``Q_i,m = <P^chi_i,m, eta_i,m, d_i,m>``: the partition, its activation
+    cycle under this schedule, and the duration (execution time) it must
+    receive per cycle.
+
+    Partitions without strict time requirements (e.g. those running
+    non-real-time operating systems) have ``duration == 0`` (Sect. 3.1).
+    A partition that is not inherently periodic is modeled with a cycle
+    equal to the MTF.
+    """
+
+    partition: str
+    cycle: Ticks
+    duration: Ticks
+
+    def __post_init__(self) -> None:
+        _require(bool(self.partition), "requirement must name a partition")
+        _require(self.cycle > 0,
+                 f"requirement for {self.partition!r}: cycle must be > 0, "
+                 f"got {self.cycle}")
+        _require(self.duration >= 0,
+                 f"requirement for {self.partition!r}: duration must be >= 0, "
+                 f"got {self.duration}")
+        _require(self.duration <= self.cycle,
+                 f"requirement for {self.partition!r}: duration {self.duration} "
+                 f"exceeds cycle {self.cycle}")
+
+    def utilization(self) -> float:
+        """Fraction of the processor demanded: ``d / eta``."""
+        return self.duration / self.cycle
+
+
+@dataclass(frozen=True)
+class DispatchEntry:
+    """One partition preemption point in a schedule's dispatch table.
+
+    ``tick`` is the offset within the MTF at which the preemption point
+    occurs; ``partition`` is the heir partition, or ``None`` when the point
+    opens an idle gap (no partition scheduled).  This is the run-time
+    representation consulted by the AIR Partition Scheduler (Algorithm 1,
+    line 2: ``schedules[cs].table[it].tick``).
+    """
+
+    tick: Ticks
+    partition: Optional[str]
+
+
+@dataclass(frozen=True)
+class ScheduleTable:
+    """A partition scheduling table ``chi_i = <MTF_i, Q_i, omega_i>`` — eq. (18).
+
+    Local well-formedness enforced here:
+
+    * windows are sorted, non-overlapping and contained in one MTF
+      (eq. (21));
+    * every window names a partition present in ``Q_i`` (eq. (20):
+      ``P^omega in Q_i``), and every requirement has at least one window;
+    * requirements name distinct partitions.
+
+    Global conditions (eqs. (22)-(23)) are checked by
+    :func:`repro.core.validation.validate_schedule`.
+
+    Attributes
+    ----------
+    schedule_id:
+        Identifier used by the mode-based schedule services (Sect. 4.2).
+    major_time_frame:
+        ``MTF_i`` — the interval over which the table repeats.
+    requirements:
+        ``Q_i`` — per-partition timing requirements under this schedule.
+    windows:
+        ``omega_i`` — the execution time windows, in ascending offset order
+        (unordered input is accepted and sorted).
+    change_actions:
+        Per-partition ``ScheduleChangeAction`` applied on the first dispatch
+        after a switch *to* this schedule (Sect. 4; default ``IGNORE``).
+    """
+
+    schedule_id: str
+    major_time_frame: Ticks
+    requirements: Tuple[PartitionRequirement, ...]
+    windows: Tuple[TimeWindow, ...]
+    change_actions: Mapping[str, ScheduleChangeAction] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.schedule_id), "schedule id must be non-empty")
+        _require(self.major_time_frame > 0,
+                 f"schedule {self.schedule_id!r}: MTF must be > 0, "
+                 f"got {self.major_time_frame}")
+        _require(len(self.requirements) > 0,
+                 f"schedule {self.schedule_id!r}: needs at least one partition "
+                 f"requirement")
+        req_names = [req.partition for req in self.requirements]
+        _require(len(req_names) == len(set(req_names)),
+                 f"schedule {self.schedule_id!r}: duplicate requirements for "
+                 f"partitions {req_names}")
+
+        ordered = tuple(sorted(self.windows, key=lambda w: w.offset))
+        object.__setattr__(self, "windows", ordered)
+        _require(len(ordered) > 0,
+                 f"schedule {self.schedule_id!r}: needs at least one time window")
+
+        # eq. (21): O_j + c_j <= O_{j+1}, and the last window ends within the MTF.
+        for first, second in zip(ordered, ordered[1:]):
+            _require(first.end <= second.offset,
+                     f"schedule {self.schedule_id!r}: windows overlap — "
+                     f"{first.partition!r}@[{first.offset},{first.end}) and "
+                     f"{second.partition!r}@[{second.offset},{second.end})")
+        _require(ordered[-1].end <= self.major_time_frame,
+                 f"schedule {self.schedule_id!r}: last window ends at "
+                 f"{ordered[-1].end}, beyond MTF {self.major_time_frame}")
+
+        # eq. (20): every window's partition must appear in Q_i ...
+        partitions_in_q = set(req_names)
+        for window in ordered:
+            _require(window.partition in partitions_in_q,
+                     f"schedule {self.schedule_id!r}: window at offset "
+                     f"{window.offset} names partition {window.partition!r} "
+                     f"absent from the schedule's requirements Q")
+        # ... and every partition in Q_i has at least one window (Sect. 3.2's
+        # assumption, carried over per-schedule).
+        partitions_in_omega = {window.partition for window in ordered}
+        for req in self.requirements:
+            _require(req.partition in partitions_in_omega,
+                     f"schedule {self.schedule_id!r}: partition "
+                     f"{req.partition!r} has a requirement but no time window")
+
+        for partition in self.change_actions:
+            _require(partition in partitions_in_q,
+                     f"schedule {self.schedule_id!r}: change action for unknown "
+                     f"partition {partition!r}")
+
+    # ------------------------------------------------------------------ #
+    # lookup helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def partitions(self) -> Tuple[str, ...]:
+        """Names of partitions scheduled by this table, in requirement order."""
+        return tuple(req.partition for req in self.requirements)
+
+    def requirement_for(self, partition: str) -> PartitionRequirement:
+        """Return ``Q_i,m`` for *partition*, or raise :class:`UnknownPartitionError`."""
+        for req in self.requirements:
+            if req.partition == partition:
+                return req
+        raise UnknownPartitionError(
+            f"schedule {self.schedule_id!r} has no requirement for "
+            f"partition {partition!r}")
+
+    def windows_for(self, partition: str) -> Tuple[TimeWindow, ...]:
+        """All time windows assigned to *partition*, in offset order."""
+        return tuple(w for w in self.windows if w.partition == partition)
+
+    def change_action_for(self, partition: str) -> ScheduleChangeAction:
+        """The ``ScheduleChangeAction`` for *partition* (default ``IGNORE``)."""
+        return self.change_actions.get(partition, ScheduleChangeAction.IGNORE)
+
+    def window_at(self, tick_in_mtf: Ticks) -> Optional[TimeWindow]:
+        """The window covering *tick_in_mtf* (reduced mod MTF), if any."""
+        tick = tick_in_mtf % self.major_time_frame
+        for window in self.windows:
+            if window.contains(tick):
+                return window
+            if window.offset > tick:
+                break
+        return None
+
+    def active_partition_at(self, tick_in_mtf: Ticks) -> Optional[str]:
+        """Partition holding the processor at *tick_in_mtf*, or None (idle)."""
+        window = self.window_at(tick_in_mtf)
+        return window.partition if window is not None else None
+
+    # ------------------------------------------------------------------ #
+    # derived run-time structures
+    # ------------------------------------------------------------------ #
+
+    def dispatch_table(self) -> Tuple[DispatchEntry, ...]:
+        """Partition preemption points, as consulted by Algorithm 1.
+
+        One entry per window start; an extra ``partition=None`` entry opens
+        each idle gap (between non-contiguous windows, or between the last
+        window's end and the MTF boundary).
+        """
+        entries: list[DispatchEntry] = []
+        cursor: Ticks = 0
+        for window in self.windows:
+            if window.offset > cursor:
+                entries.append(DispatchEntry(tick=cursor, partition=None))
+            entries.append(DispatchEntry(tick=window.offset,
+                                         partition=window.partition))
+            cursor = window.end
+        if cursor < self.major_time_frame:
+            entries.append(DispatchEntry(tick=cursor, partition=None))
+        return tuple(entries)
+
+    def preemption_points(self) -> Tuple[Ticks, ...]:
+        """Offsets (within the MTF) at which a context switch may occur."""
+        return tuple(entry.tick for entry in self.dispatch_table())
+
+    def idle_time(self) -> Ticks:
+        """Ticks per MTF during which no partition is scheduled."""
+        return self.major_time_frame - sum(w.duration for w in self.windows)
+
+    def allocated_time(self, partition: str) -> Ticks:
+        """Total window time given to *partition* per MTF (left side of eq. (8))."""
+        return sum(w.duration for w in self.windows_for(partition))
+
+    def utilization(self) -> float:
+        """Fraction of the MTF covered by windows (1.0 = no idle gap)."""
+        return 1.0 - self.idle_time() / self.major_time_frame
+
+    def cycles_of(self, partition: str) -> int:
+        """Number of activation cycles *partition* completes per MTF
+        (``MTF_i / eta_m`` in eqs. (8)-(9), (23))."""
+        req = self.requirement_for(partition)
+        return self.major_time_frame // req.cycle
+
+
+@dataclass(frozen=True)
+class SystemModel:
+    """A complete AIR system: ``<P, chi>`` — eqs. (1) and (17).
+
+    Attributes
+    ----------
+    partitions:
+        The system's set of partitions ``P``.
+    schedules:
+        The set of partition scheduling tables ``chi``.  Every partition
+        named by any schedule must exist in ``partitions``; the converse is
+        *not* required (Sect. 4.1: not all partitions appear in every
+        schedule — nor, indeed, in any).
+    initial_schedule:
+        Identifier of the PST in force at module start.
+    """
+
+    partitions: Tuple[Partition, ...]
+    schedules: Tuple[ScheduleTable, ...]
+    initial_schedule: str
+
+    def __post_init__(self) -> None:
+        _require(len(self.partitions) > 0, "system must define at least one partition")
+        _require(len(self.schedules) > 0, "system must define at least one schedule")
+
+        partition_names = [p.name for p in self.partitions]
+        _require(len(partition_names) == len(set(partition_names)),
+                 f"duplicate partition names: {partition_names}")
+        schedule_ids = [s.schedule_id for s in self.schedules]
+        _require(len(schedule_ids) == len(set(schedule_ids)),
+                 f"duplicate schedule ids: {schedule_ids}")
+        _require(self.initial_schedule in schedule_ids,
+                 f"initial schedule {self.initial_schedule!r} is not one of "
+                 f"{schedule_ids}")
+
+        known = set(partition_names)
+        for schedule in self.schedules:
+            for req in schedule.requirements:
+                _require(req.partition in known,
+                         f"schedule {schedule.schedule_id!r} schedules unknown "
+                         f"partition {req.partition!r}")
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+
+    @property
+    def partition_names(self) -> Tuple[str, ...]:
+        """Names of all partitions, in declaration order."""
+        return tuple(p.name for p in self.partitions)
+
+    @property
+    def schedule_ids(self) -> Tuple[str, ...]:
+        """Identifiers of all schedules, in declaration order."""
+        return tuple(s.schedule_id for s in self.schedules)
+
+    def partition(self, name: str) -> Partition:
+        """Return partition *name*, or raise :class:`UnknownPartitionError`."""
+        for partition in self.partitions:
+            if partition.name == name:
+                return partition
+        raise UnknownPartitionError(f"no partition named {name!r}")
+
+    def schedule(self, schedule_id: str) -> ScheduleTable:
+        """Return schedule *schedule_id*, or raise :class:`UnknownScheduleError`."""
+        for schedule in self.schedules:
+            if schedule.schedule_id == schedule_id:
+                return schedule
+        raise UnknownScheduleError(f"no schedule named {schedule_id!r}")
+
+    def processes(self) -> Iterator[Tuple[Partition, ProcessModel]]:
+        """Iterate ``(partition, process)`` over the whole system —
+        the union in eq. (24)."""
+        for partition in self.partitions:
+            for process in partition.processes:
+                yield partition, process
+
+    @property
+    def single_schedule(self) -> bool:
+        """True for the original Sect. 3 model (``n(chi) == 1``)."""
+        return len(self.schedules) == 1
+
+    def validate(self) -> "ValidationReport":  # noqa: F821 - forward ref
+        """Run the full offline verification (eqs. (20)-(23)) and return the
+        structured report.  Convenience wrapper over
+        :func:`repro.core.validation.validate_system`."""
+        from .validation import validate_system
+
+        return validate_system(self)
+
+
+def single_schedule_system(
+    partitions: Sequence[Partition],
+    major_time_frame: Ticks,
+    requirements: Sequence[PartitionRequirement],
+    windows: Sequence[TimeWindow],
+    schedule_id: str = "default",
+) -> SystemModel:
+    """Build the original Sect. 3 single-PST system (eqs. (2), (4)).
+
+    The paper notes (end of Sect. 4.1) that the initially described system
+    with one statically defined PST is the special case ``n(chi) = 1`` of the
+    mode-based model; this helper constructs exactly that special case.
+    """
+    schedule = ScheduleTable(
+        schedule_id=schedule_id,
+        major_time_frame=major_time_frame,
+        requirements=tuple(requirements),
+        windows=tuple(windows),
+    )
+    return SystemModel(partitions=tuple(partitions), schedules=(schedule,),
+                       initial_schedule=schedule_id)

@@ -1,0 +1,383 @@
+"""AIR Partition Management Kernel (PMK) — Sect. 2.1.
+
+"The AIR Partition Management Kernel component, transversal to the whole
+system, could be seen as a hypervisor, playing nevertheless a major role in
+achieving dependability, by ensuring robust TSP."
+
+:class:`Pmk` composes, from a validated
+:class:`~repro.config.schema.SystemConfig`:
+
+* **temporal partitioning** — the Partition Scheduler (Algorithm 1) and
+  Partition Dispatcher (Algorithm 2), executed in the clock-tick ISR;
+* **spatial partitioning** — the automatic memory layout, compiled MMU
+  contexts, and the fault-to-Health-Monitor routing (Fig. 3);
+* **interpartition communication** — the channel router (local
+  memory-to-memory copies and simulated remote links);
+* one **containment domain per partition** — POS + PAL + APEX +
+  :class:`~repro.core.runtime.PartitionRuntime`;
+* the **Health Monitor** with the PMK as recovery-action executor.
+
+It also implements the module-level service surface used by APEX
+(:class:`~repro.apex.interface.ModuleControl`: schedule switching per
+Sect. 4.2) and exposes :meth:`clock_tick`, the ISR body the simulator binds
+to the clock interrupt vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..apex.interface import ApexInterface, ModuleControl
+from ..apex.types import ScheduleStatus
+from ..comm.router import CommRouter
+from ..config.schema import SystemConfig
+from ..exceptions import SimulationError, SpatialViolationError
+from ..hm.monitor import ActionExecutor, HealthMonitor
+from ..kernel.context import ContextBank
+from ..kernel.rng import SeededRng
+from ..kernel.time import TimeSource
+from ..kernel.trace import ClockTamperTrapped, MemoryFault, Trace
+from ..pos.base import PartitionOs
+from ..pos.generic import GenericPos
+from ..pos.pal import PosAdaptationLayer
+from ..pos.rtems import RtemsPos
+from ..pos.tcb import Tcb
+from ..spatial.descriptors import (
+    MemoryDescriptor,
+    MemorySection,
+    ModuleMemoryLayout,
+    PartitionMemoryMap,
+)
+from ..spatial.memory import MemoryBus, PhysicalMemory
+from ..spatial.mmu import Mmu
+from ..types import (
+    AccessKind,
+    ErrorCode,
+    PartitionMode,
+    PrivilegeLevel,
+    ScheduleChangeAction,
+    StartCondition,
+    Ticks,
+)
+from .dispatcher import PartitionDispatcher
+from .runtime import PartitionRuntime
+from .scheduler import PartitionScheduler
+
+__all__ = ["Pmk"]
+
+#: Alignment of per-partition memory areas in the automatic layout.
+_AREA_ALIGN = 64 * 1024
+
+
+class Pmk(ModuleControl, ActionExecutor):
+    """The Partition Management Kernel instance for one module."""
+
+    def __init__(self, config: SystemConfig, *, time: TimeSource,
+                 trace: Trace) -> None:
+        config.validate().raise_if_invalid()
+        self.config = config
+        self.time = time
+        self.trace = trace
+        self.stopped = False
+        self.module_restarts = 0
+        self._rng = SeededRng(config.seed)
+
+        # --- spatial partitioning -------------------------------------- #
+        self.layout = ModuleMemoryLayout()
+        self.mmu = Mmu(fault_handler=self._on_memory_fault)
+        area_base = _AREA_ALIGN  # area 0 is PMK-reserved
+        for partition in config.model.partitions:
+            runtime_config = config.runtime_for(partition.name)
+            memory_map = self._build_memory_map(
+                partition.name, area_base, runtime_config.memory_size)
+            self.layout.add_partition(memory_map)
+            self.mmu.add_context(memory_map)
+            area_base += self._aligned(runtime_config.memory_size)
+        self.memory = PhysicalMemory(area_base)
+        self.bus = MemoryBus(self.memory, self.mmu)
+
+        # --- health monitoring ------------------------------------------ #
+        self.health_monitor = HealthMonitor(
+            config.hm_tables, self, clock=lambda: self.time.now, trace=trace)
+
+        # --- interpartition communication -------------------------------- #
+        self.router = CommRouter(clock=lambda: self.time.now, trace=trace)
+        for channel in config.channels:
+            self.router.add_channel(channel)
+
+        # --- temporal partitioning --------------------------------------- #
+        self.scheduler = PartitionScheduler(config.model, trace)
+        self.contexts = ContextBank()
+        self.dispatcher = PartitionDispatcher(
+            self.contexts, self.scheduler, mmu=self.mmu,
+            apply_change_action=self._apply_change_action, trace=trace,
+            change_action_policy=config.change_action_policy)
+
+        # --- per-partition containment domains --------------------------- #
+        self.runtimes: Dict[str, PartitionRuntime] = {}
+        for partition in config.model.partitions:
+            self.runtimes[partition.name] = self._build_partition(partition.name)
+
+        self.ticks_executed = 0
+        self.idle_ticks = 0
+        #: Ticks each partition held the processor (window occupancy).
+        self.partition_ticks: Dict[str, int] = {
+            name: 0 for name in config.model.partition_names}
+        # Per-partition (data, stack) probe regions for memory emulation.
+        self._memory_probes: Dict[str, Tuple[MemoryDescriptor,
+                                             MemoryDescriptor]] = {}
+        if config.memory_emulation:
+            for name in config.model.partition_names:
+                memory_map = self.layout.map_of(name)
+                data = memory_map.section(MemorySection.DATA)[0]
+                stack = memory_map.section(MemorySection.STACK)[0]
+                self._memory_probes[name] = (data, stack)
+
+    # -------------------------------------------------------------- #
+    # construction helpers
+    # -------------------------------------------------------------- #
+
+    @staticmethod
+    def _aligned(size: int) -> int:
+        return ((size + _AREA_ALIGN - 1) // _AREA_ALIGN) * _AREA_ALIGN
+
+    def _build_memory_map(self, partition: str, base: int,
+                          size: int) -> PartitionMemoryMap:
+        """Automatic spatial layout: code (R+X), data (RW), stack (RW) at
+        application level, plus a POS-level control block area (Fig. 3's
+        per-level descriptors)."""
+        code_size = max(size // 4, 4096)
+        data_size = max(size // 2, 4096)
+        stack_size = max(size // 8, 4096)
+        pos_size = max(size - code_size - data_size - stack_size, 4096)
+        cursor = base
+        descriptors = []
+        for section, section_size, level in (
+                (MemorySection.CODE, code_size, PrivilegeLevel.APPLICATION),
+                (MemorySection.DATA, data_size, PrivilegeLevel.APPLICATION),
+                (MemorySection.STACK, stack_size, PrivilegeLevel.APPLICATION),
+                (MemorySection.DATA, pos_size, PrivilegeLevel.POS)):
+            descriptors.append(MemoryDescriptor(
+                partition=partition, level=level, section=section,
+                base=cursor, size=section_size))
+            cursor += section_size
+        return PartitionMemoryMap(partition, descriptors)
+
+    def _build_partition(self, name: str) -> PartitionRuntime:
+        partition = self.config.model.partition(name)
+        runtime_config = self.config.runtime_for(name)
+        pos: PartitionOs
+        if runtime_config.pos_kind == "generic":
+            generic = GenericPos(partition, quantum=runtime_config.quantum)
+            generic.attach_guest_clock(self.time.guest_view(name))
+            pos = generic
+        else:
+            pos = RtemsPos(partition)
+        pal = PosAdaptationLayer(
+            pos, clock=lambda: self.time.now, trace=self.trace,
+            store_kind=self.config.store_kind_for(name),
+            on_violation=lambda violation, p=name: self.health_monitor.report(
+                ErrorCode.DEADLINE_MISSED, partition=p,
+                process=violation.process,
+                detail=f"deadline {violation.deadline_time} missed, detected "
+                       f"at {violation.detected_at}"),
+            on_fault=lambda tcb, exc, p=name: self._on_process_fault(
+                p, tcb, exc))
+        runtime = PartitionRuntime(pos=pos, pal=pal, config=runtime_config,
+                                   clock=lambda: self.time.now,
+                                   trace=self.trace)
+        apex = ApexInterface(
+            pal=pal, partition_control=runtime, module_control=self,
+            health_monitor=self.health_monitor, router=self.router,
+            trace=self.trace, system_partition=partition.system_partition,
+            rng=self._rng.fork(name))
+        runtime.attach_apex(apex)
+        self.contexts.register(name)
+        return runtime
+
+    # -------------------------------------------------------------- #
+    # accessors
+    # -------------------------------------------------------------- #
+
+    def runtime(self, partition: str) -> PartitionRuntime:
+        """The runtime of *partition*."""
+        try:
+            return self.runtimes[partition]
+        except KeyError:
+            raise SimulationError(
+                f"no runtime for partition {partition!r}") from None
+
+    def apex(self, partition: str) -> ApexInterface:
+        """The APEX instance of *partition*."""
+        apex = self.runtime(partition).apex
+        assert apex is not None
+        return apex
+
+    @property
+    def active_partition(self) -> Optional[str]:
+        """Partition currently holding the processor."""
+        return self.dispatcher.active_partition
+
+    def occupancy(self) -> Dict[str, float]:
+        """Fraction of executed ticks each partition held the processor.
+
+        The run-time counterpart of the PST's allocation — temporal
+        isolation tests assert these fractions match the table exactly.
+        """
+        total = max(self.ticks_executed, 1)
+        return {name: ticks / total
+                for name, ticks in self.partition_ticks.items()}
+
+    # -------------------------------------------------------------- #
+    # the clock-tick ISR body
+    # -------------------------------------------------------------- #
+
+    def clock_tick(self) -> None:
+        """One system clock tick (installed on the clock interrupt vector).
+
+        Sequence per tick (Figs. 2, 4, 5, 7):
+
+        1. AIR Partition Scheduler (Algorithm 1);
+        2. at preemption points, AIR Partition Dispatcher (Algorithm 2) —
+           yielding ``elapsedTicks``; otherwise ``elapsedTicks = 1``;
+        3. the active partition's PAL surrogate tick announcement
+           (Fig. 7): native POS timer bookkeeping, then Algorithm 3
+           deadline verification;
+        4. one tick of process execution in the active partition
+           (the second scheduling level, eq. (14));
+        5. pump of in-flight remote interpartition messages.
+        """
+        if self.stopped:
+            return
+        now = self.time.now
+        self.ticks_executed += 1
+        elapsed: Ticks = 1
+        if self.scheduler.tick(now):
+            active = self.dispatcher.active_partition
+            running = (self.runtimes[active].pos.running
+                       if active is not None else None)
+            outcome = self.dispatcher.run(
+                now, running_process=running.name if running else None)
+            elapsed = outcome.elapsed_ticks
+        active = self.dispatcher.active_partition
+        if active is None:
+            self.idle_ticks += 1
+        else:
+            self.partition_ticks[active] += 1
+            runtime = self.runtimes[active]
+            runtime.pal.announce_ticks(elapsed)
+            if not self.stopped:
+                executed = runtime.execute_tick(now)
+                if executed is not None and self._memory_probes:
+                    self._emulate_memory_traffic(active, now)
+        self.router.pump(now)
+
+    def _emulate_memory_traffic(self, partition: str, now: Ticks) -> None:
+        """One data read + one stack write through the MMU (Fig. 3's
+        protection path exercised on every executed tick).
+
+        Addresses walk the partition's own regions, so a fault here would
+        indicate a broken layout or MMU — exactly what the emulation is
+        meant to surface.
+        """
+        data, stack = self._memory_probes[partition]
+        self.bus.read(data.base + (now % max(data.size - 4, 1)), 4,
+                      level=PrivilegeLevel.APPLICATION, partition=partition)
+        self.bus.write(stack.base + (now % max(stack.size - 4, 1)),
+                       b"\x00\x00\x00\x00",
+                       level=PrivilegeLevel.APPLICATION, partition=partition)
+
+    # -------------------------------------------------------------- #
+    # ModuleControl (APEX mode-based schedule services — Sect. 4.2)
+    # -------------------------------------------------------------- #
+
+    def set_module_schedule(self, schedule_id: str, *,
+                            requested_by: str) -> None:
+        """Store the next-schedule identifier (effective at MTF end)."""
+        self.scheduler.request_switch(schedule_id, now=self.time.now,
+                                      requested_by=requested_by)
+
+    def schedule_status(self) -> ScheduleStatus:
+        """Current schedule status (ARINC 653 Part 2 fields)."""
+        return ScheduleStatus(
+            last_switch_tick=self.scheduler.last_schedule_switch,
+            current_schedule=self.scheduler.current_schedule,
+            next_schedule=self.scheduler.next_schedule)
+
+    # -------------------------------------------------------------- #
+    # ActionExecutor (Health Monitor recovery actions — Sect. 5)
+    # -------------------------------------------------------------- #
+
+    def stop_process(self, partition: str, process: str) -> None:
+        """Stop the faulty process."""
+        self.apex(partition).stop(process)
+
+    def restart_process(self, partition: str, process: str) -> None:
+        """Stop and reinitialize the process from its entry address."""
+        apex = self.apex(partition)
+        apex.stop(process)
+        apex.start(process)
+
+    def restart_partition(self, partition: str) -> None:
+        """Warm-restart the partition (a Health Monitor recovery action)."""
+        self.runtime(partition).request_restart(
+            PartitionMode.WARM_START,
+            condition=StartCondition.HM_PARTITION_RESTART)
+
+    def stop_partition(self, partition: str) -> None:
+        """Shut the partition down (idle)."""
+        self.runtime(partition).shutdown()
+
+    def module_stop(self) -> None:
+        """System-level halt (Sect. 2.4)."""
+        self.stopped = True
+
+    def module_restart(self) -> None:
+        """System-level reinitialization: every partition cold-starts."""
+        self.module_restarts += 1
+        for runtime in self.runtimes.values():
+            runtime.request_restart(
+                PartitionMode.COLD_START,
+                condition=StartCondition.HM_MODULE_RESTART)
+
+    # -------------------------------------------------------------- #
+    # fault routing
+    # -------------------------------------------------------------- #
+
+    def _apply_change_action(self, partition: str,
+                             action: ScheduleChangeAction) -> None:
+        from ..kernel.trace import ScheduleChangeActionApplied
+
+        self.trace.record(ScheduleChangeActionApplied(
+            tick=self.time.now, partition=partition, action=action.value,
+            schedule=self.scheduler.current_schedule))
+        self.runtime(partition).apply_change_action(action)
+
+    def _on_memory_fault(self, partition: str, address: int,
+                         access: AccessKind, detail: str) -> None:
+        self.trace.record(MemoryFault(
+            tick=self.time.now, partition=partition, address=address,
+            access=access.value, detail=detail))
+        if partition in self.runtimes:
+            self.health_monitor.report(
+                ErrorCode.MEMORY_VIOLATION, partition=partition,
+                detail=f"{access.value}@{address:#x}: {detail}")
+
+    def _on_process_fault(self, partition: str, tcb: Tcb,
+                          exc: BaseException) -> None:
+        if isinstance(exc, SpatialViolationError):
+            # Already routed by the MMU fault handler.
+            return
+        from ..exceptions import ClockTamperingError
+
+        if isinstance(exc, ClockTamperingError):
+            self.trace.record(ClockTamperTrapped(
+                tick=self.time.now, partition=partition,
+                operation=exc.operation))
+            self.health_monitor.report(
+                ErrorCode.CLOCK_TAMPERING, partition=partition,
+                process=tcb.name, detail=exc.operation)
+            return
+        self.health_monitor.report(
+            ErrorCode.APPLICATION_ERROR, partition=partition,
+            process=tcb.name, detail=repr(exc))

@@ -1,0 +1,225 @@
+"""AIR Partition Scheduler with mode-based schedules — Algorithm 1 (Sect. 4).
+
+The scheduler runs at every system clock tick.  Its fast path — the best and
+most frequent case the paper highlights in Sect. 4.3 — performs only two
+computations: increment the tick counter and check whether a partition
+preemption point has been reached.  Only at preemption points does it do
+more: effect a pending schedule switch if the MTF boundary was crossed
+(lines 3-7), pick the heir partition (line 8) and advance the table iterator
+(line 9).
+
+The implementation mirrors Algorithm 1 line by line (see the docstring of
+:meth:`PartitionScheduler.tick`); instrumentation counters let benchmark E5
+separate the fast path from the preemption-point and switch paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import SchedulingError, UnknownScheduleError
+from ..kernel.trace import ScheduleSwitched, ScheduleSwitchRequested, Trace
+from ..types import ScheduleChangeAction, Ticks
+from .model import DispatchEntry, ScheduleTable, SystemModel
+
+__all__ = ["CompiledSchedule", "SchedulerStats", "PartitionScheduler"]
+
+
+@dataclass(frozen=True)
+class CompiledSchedule:
+    """Run-time form of one PST, as consulted by Algorithm 1.
+
+    ``table`` is the dispatch table (one entry per partition preemption
+    point); ``mtf`` the major time frame; both are precomputed so the tick
+    path does no model traversal.
+    """
+
+    schedule_id: str
+    mtf: Ticks
+    table: Tuple[DispatchEntry, ...]
+    source: ScheduleTable
+
+    @classmethod
+    def compile(cls, schedule: ScheduleTable) -> "CompiledSchedule":
+        """Precompute the dispatch table of *schedule*."""
+        return cls(schedule_id=schedule.schedule_id,
+                   mtf=schedule.major_time_frame,
+                   table=schedule.dispatch_table(),
+                   source=schedule)
+
+    @property
+    def number_partition_preemption_points(self) -> int:
+        """Algorithm 1's ``numberPartitionPreemptionPoints``."""
+        return len(self.table)
+
+
+@dataclass
+class SchedulerStats:
+    """Instrumentation for experiment E5 (Sect. 4.3's efficiency claim)."""
+
+    ticks: int = 0
+    fast_path: int = 0
+    preemption_points: int = 0
+    schedule_switches: int = 0
+
+    @property
+    def fast_path_fraction(self) -> float:
+        """Fraction of ticks that took the two-computation fast path."""
+        return self.fast_path / self.ticks if self.ticks else 0.0
+
+
+class PartitionScheduler:
+    """First level of the two-level hierarchical scheduler (Fig. 2, Fig. 4).
+
+    Parameters
+    ----------
+    system:
+        The validated system model; every PST is compiled at construction.
+    trace:
+        Event sink for switch requests and effective switches.
+    """
+
+    def __init__(self, system: SystemModel,
+                 trace: Optional[Trace] = None) -> None:
+        self._schedules: Dict[str, CompiledSchedule] = {
+            schedule.schedule_id: CompiledSchedule.compile(schedule)
+            for schedule in system.schedules}
+        self._trace = trace
+        self.current_schedule: str = system.initial_schedule
+        self.next_schedule: str = system.initial_schedule
+        self.last_schedule_switch: Ticks = 0
+        self.table_iterator: int = 0
+        self.heir_partition: Optional[str] = None
+        self.stats = SchedulerStats()
+        #: Partitions owing a ScheduleChangeAction at their next dispatch
+        #: (consumed by the Partition Dispatcher — Algorithm 2, line 9).
+        self.pending_change_actions: Dict[str, ScheduleChangeAction] = {}
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+
+    @property
+    def schedule_ids(self) -> Tuple[str, ...]:
+        """All compiled schedule identifiers."""
+        return tuple(self._schedules)
+
+    def schedule(self, schedule_id: str) -> CompiledSchedule:
+        """The compiled schedule *schedule_id*."""
+        try:
+            return self._schedules[schedule_id]
+        except KeyError:
+            raise UnknownScheduleError(
+                f"no schedule named {schedule_id!r}") from None
+
+    @property
+    def current(self) -> CompiledSchedule:
+        """The schedule currently in force."""
+        return self._schedules[self.current_schedule]
+
+    @property
+    def switch_pending(self) -> bool:
+        """True if a schedule change awaits the next MTF boundary."""
+        return self.next_schedule != self.current_schedule
+
+    # -------------------------------------------------------------- #
+    # mode-based schedule service entry point (Sect. 4.2)
+    # -------------------------------------------------------------- #
+
+    def request_switch(self, schedule_id: str, *, now: Ticks,
+                       requested_by: str = "") -> None:
+        """SET_MODULE_SCHEDULE backend: store the next-schedule identifier.
+
+        "The immediate result is only that of storing the identifier of
+        the next schedule" — the switch takes effect at the start of the
+        next MTF (Sect. 4.2).  A later request before the boundary simply
+        overwrites the pending identifier; requesting the current schedule
+        cancels a pending switch.
+        """
+        if schedule_id not in self._schedules:
+            raise UnknownScheduleError(
+                f"cannot switch to unknown schedule {schedule_id!r} "
+                f"(available: {sorted(self._schedules)})")
+        self.next_schedule = schedule_id
+        if self._trace is not None:
+            self._trace.record(ScheduleSwitchRequested(
+                tick=now, requested_by=requested_by,
+                from_schedule=self.current_schedule, to_schedule=schedule_id))
+
+    # -------------------------------------------------------------- #
+    # Algorithm 1
+    # -------------------------------------------------------------- #
+
+    def tick(self, ticks: Ticks) -> bool:
+        """One clock tick of the AIR Partition Scheduler.
+
+        *ticks* is the global clock tick counter value (the caller — the
+        clock ISR — performs line 1's increment by advancing the
+        :class:`~repro.kernel.time.TimeSource`; it is passed in rather
+        than re-read for testability).
+
+        Returns True when a partition preemption point was reached, i.e.
+        the Partition Dispatcher must run (:attr:`heir_partition` holds
+        the heir).
+
+        Line-by-line correspondence with Algorithm 1::
+
+            1: ticks <- ticks + 1                      (caller)
+            2: if schedules[cs].table[it].tick ==
+                  (ticks - lastScheduleSwitch) mod schedules[cs].mtf:
+            3:   if cs != nextSchedule and
+                    (ticks - lastScheduleSwitch) mod schedules[cs].mtf == 0:
+            4:     cs <- nextSchedule
+            5:     lastScheduleSwitch <- ticks
+            6:     tableIterator <- 0
+            7:   end if
+            8:   heirPartition <- schedules[cs].table[it].partition
+            9:   tableIterator <- (it + 1) mod
+                    schedules[cs].numberPartitionPreemptionPoints
+            10: end if
+        """
+        self.stats.ticks += 1
+        schedule = self._schedules[self.current_schedule]
+        offset = (ticks - self.last_schedule_switch) % schedule.mtf
+        if schedule.table[self.table_iterator].tick != offset:          # l. 2
+            self.stats.fast_path += 1
+            return False
+        if self.current_schedule != self.next_schedule and offset == 0:  # l. 3
+            previous = self.current_schedule
+            self.current_schedule = self.next_schedule                  # l. 4
+            self.last_schedule_switch = ticks                           # l. 5
+            self.table_iterator = 0                                     # l. 6
+            schedule = self._schedules[self.current_schedule]
+            self.stats.schedule_switches += 1
+            self._arm_change_actions(schedule)
+            if self._trace is not None:
+                self._trace.record(ScheduleSwitched(
+                    tick=ticks, from_schedule=previous,
+                    to_schedule=self.current_schedule))
+        entry = schedule.table[self.table_iterator]
+        self.heir_partition = entry.partition                           # l. 8
+        self.table_iterator = ((self.table_iterator + 1)                # l. 9
+                               % schedule.number_partition_preemption_points)
+        self.stats.preemption_points += 1
+        return True
+
+    def _arm_change_actions(self, schedule: CompiledSchedule) -> None:
+        """Arm each scheduled partition's ScheduleChangeAction.
+
+        The actions are *performed* per partition at its first dispatch
+        after the switch (Algorithm 2, line 9 — the paper's reading of
+        ARINC 653 Part 2, Sect. 4.3); here they are only recorded as
+        pending.
+        """
+        self.pending_change_actions.clear()
+        for requirement in schedule.source.requirements:
+            action = schedule.source.change_action_for(requirement.partition)
+            if action is not ScheduleChangeAction.IGNORE:
+                self.pending_change_actions[requirement.partition] = action
+
+    def take_pending_action(
+            self, partition: str) -> Optional[ScheduleChangeAction]:
+        """Pop the pending change action for *partition*, if any
+        (PENDINGSCHEDULECHANGEACTION — Algorithm 2, line 9)."""
+        return self.pending_change_actions.pop(partition, None)

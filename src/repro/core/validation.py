@@ -1,0 +1,372 @@
+"""Offline verification of integrator-defined system parameters (Sects. 3-4).
+
+The paper's formal model exists "to allow for formal verification of
+properties and requirements" and to lay "the ground for schedulability
+analysis and automated aids to the definition of system parameters"
+(Sect. 1).  This module is that verification tool: it checks a
+:class:`~repro.core.model.SystemModel` against the model's conditions and
+returns a structured :class:`ValidationReport` listing *every* finding
+(errors, warnings and informative notes) instead of stopping at the first,
+because an integrator fixing a configuration wants the complete picture.
+
+Conditions checked per schedule ``chi_i``:
+
+* **window ordering / containment** — eq. (21) (also enforced eagerly by the
+  model constructors; revalidated here so reports are self-contained);
+* **MTF multiplicity** — eq. (22): ``MTF_i = k * lcm(eta_m)`` over the
+  partitions in ``Q_i``;
+* **aggregate duration** — eq. (8), adapted per-schedule: each partition's
+  windows must sum to at least ``d * MTF/eta``;
+* **per-cycle duration** — eq. (23): within *every* activation cycle
+  ``[k*eta, (k+1)*eta)`` the partition's windows must sum to at least ``d``.
+  The paper proves eq. (23) implies eq. (8); we still evaluate both so a
+  report can show which (weaker or stronger) condition failed.
+
+Window accounting across cycle boundaries
+-----------------------------------------
+Eq. (23) indexes windows by their *offset*: a window belongs to the cycle
+containing ``O_i,j``.  A window straddling a cycle boundary therefore counts
+wholly toward the cycle it starts in.  The validator follows the equation
+literally (that is what the paper verifies), but emits a *warning* when a
+window crosses a cycle boundary, since the literal sum may then overstate
+the time actually available inside the cycle.
+
+System-wide checks:
+
+* every partition referenced by any schedule exists (also eager);
+* process-level sanity inside each partition: WCET vs deadline vs period,
+  and an advisory utilization bound per partition vs its best-case supply.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..types import Ticks, is_infinite
+from .model import (
+    Partition,
+    PartitionRequirement,
+    ScheduleTable,
+    SystemModel,
+    TimeWindow,
+    lcm_of_cycles,
+)
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "ValidationReport",
+    "validate_schedule",
+    "validate_system",
+]
+
+
+class Severity(enum.Enum):
+    """Weight of a validation finding."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation result.
+
+    Attributes
+    ----------
+    severity:
+        ERROR findings make the configuration unfit for deployment; WARNING
+        findings deserve integrator attention; INFO findings are advisory
+        metrics (utilization, idle time).
+    code:
+        Stable machine-readable identifier (e.g. ``"EQ23_VIOLATED"``).
+    message:
+        Human-readable explanation naming the offending entities.
+    schedule:
+        Schedule id the finding concerns, if any.
+    partition:
+        Partition name the finding concerns, if any.
+    """
+
+    severity: Severity
+    code: str
+    message: str
+    schedule: Optional[str] = None
+    partition: Optional[str] = None
+
+
+@dataclass
+class ValidationReport:
+    """Aggregation of findings from one validation run."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, severity: Severity, code: str, message: str, *,
+            schedule: Optional[str] = None,
+            partition: Optional[str] = None) -> None:
+        """Record one finding."""
+        self.findings.append(Finding(severity=severity, code=code,
+                                     message=message, schedule=schedule,
+                                     partition=partition))
+
+    def extend(self, other: "ValidationReport") -> None:
+        """Absorb all findings of *other*."""
+        self.findings.extend(other.findings)
+
+    @property
+    def errors(self) -> Tuple[Finding, ...]:
+        """All ERROR findings."""
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Finding, ...]:
+        """All WARNING findings."""
+        return tuple(f for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True if no ERROR finding was recorded (warnings allowed)."""
+        return not self.errors
+
+    def by_code(self, code: str) -> Tuple[Finding, ...]:
+        """All findings with machine code *code*."""
+        return tuple(f for f in self.findings if f.code == code)
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`~repro.exceptions.ValidationError` if any error exists."""
+        from ..exceptions import ValidationError
+
+        if not self.ok:
+            lines = [f"[{f.code}] {f.message}" for f in self.errors]
+            raise ValidationError(
+                "system model failed offline verification:\n" + "\n".join(lines))
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        if not self.findings:
+            return "validation: no findings (model is well-formed)"
+        lines = []
+        for finding in self.findings:
+            scope = ""
+            if finding.schedule:
+                scope += f" schedule={finding.schedule}"
+            if finding.partition:
+                scope += f" partition={finding.partition}"
+            lines.append(f"{finding.severity.value.upper():7s} "
+                         f"{finding.code}{scope}: {finding.message}")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+
+# ---------------------------------------------------------------------- #
+# schedule-level checks
+# ---------------------------------------------------------------------- #
+
+
+def _check_window_layout(schedule: ScheduleTable,
+                         report: ValidationReport) -> None:
+    """Re-verify eq. (21) so reports are self-contained."""
+    windows = schedule.windows
+    for first, second in zip(windows, windows[1:]):
+        if first.end > second.offset:
+            report.add(Severity.ERROR, "EQ21_OVERLAP",
+                       f"windows overlap: {first.partition!r}"
+                       f"@[{first.offset},{first.end}) and {second.partition!r}"
+                       f"@[{second.offset},{second.end})",
+                       schedule=schedule.schedule_id)
+    if windows and windows[-1].end > schedule.major_time_frame:
+        report.add(Severity.ERROR, "EQ21_MTF_OVERRUN",
+                   f"last window ends at {windows[-1].end}, beyond "
+                   f"MTF {schedule.major_time_frame}",
+                   schedule=schedule.schedule_id)
+
+
+def _check_mtf_multiplicity(schedule: ScheduleTable,
+                            report: ValidationReport) -> None:
+    """eq. (22): MTF_i must be a positive multiple of lcm of cycles in Q_i."""
+    lcm = lcm_of_cycles(req.cycle for req in schedule.requirements)
+    if schedule.major_time_frame % lcm != 0:
+        report.add(Severity.ERROR, "EQ22_MTF_NOT_MULTIPLE",
+                   f"MTF {schedule.major_time_frame} is not a multiple of "
+                   f"lcm of partition cycles ({lcm})",
+                   schedule=schedule.schedule_id)
+
+
+def _windows_by_cycle(schedule: ScheduleTable, partition: str,
+                      cycle: Ticks) -> List[List[TimeWindow]]:
+    """Group *partition*'s windows by the activation cycle containing their
+    offset — the index set of eq. (23)."""
+    cycles = schedule.major_time_frame // cycle
+    buckets: List[List[TimeWindow]] = [[] for _ in range(max(cycles, 1))]
+    for window in schedule.windows_for(partition):
+        index = window.offset // cycle
+        if index < len(buckets):
+            buckets[index].append(window)
+    return buckets
+
+
+def _check_durations(schedule: ScheduleTable, report: ValidationReport) -> None:
+    """eqs. (8) and (23): aggregate and per-cycle duration guarantees."""
+    for req in schedule.requirements:
+        if schedule.major_time_frame % req.cycle != 0:
+            report.add(Severity.ERROR, "CYCLE_NOT_DIVIDING_MTF",
+                       f"cycle {req.cycle} of partition {req.partition!r} does "
+                       f"not divide MTF {schedule.major_time_frame}; eq. (23) "
+                       f"cannot be evaluated on whole cycles",
+                       schedule=schedule.schedule_id, partition=req.partition)
+            continue
+
+        cycles = schedule.major_time_frame // req.cycle
+        allocated = schedule.allocated_time(req.partition)
+        needed_total = req.duration * cycles
+
+        # eq. (8) (necessary, weaker)
+        if allocated < needed_total:
+            report.add(Severity.ERROR, "EQ8_TOTAL_DURATION",
+                       f"partition {req.partition!r} receives {allocated} ticks "
+                       f"per MTF but requires d*MTF/eta = {req.duration}*"
+                       f"{cycles} = {needed_total}",
+                       schedule=schedule.schedule_id, partition=req.partition)
+
+        # eq. (23) (sufficient for the timing requirement, stronger)
+        for k, bucket in enumerate(_windows_by_cycle(schedule, req.partition,
+                                                     req.cycle)):
+            supplied = sum(w.duration for w in bucket)
+            if supplied < req.duration:
+                report.add(Severity.ERROR, "EQ23_VIOLATED",
+                           f"partition {req.partition!r}, cycle k={k} "
+                           f"[{k * req.cycle},{(k + 1) * req.cycle}): windows "
+                           f"supply {supplied} < required duration "
+                           f"{req.duration}",
+                           schedule=schedule.schedule_id,
+                           partition=req.partition)
+            for window in bucket:
+                if window.end > (k + 1) * req.cycle:
+                    report.add(Severity.WARNING, "WINDOW_CROSSES_CYCLE",
+                               f"window of {req.partition!r}@[{window.offset},"
+                               f"{window.end}) crosses the cycle boundary at "
+                               f"{(k + 1) * req.cycle}; eq. (23) counts it "
+                               f"wholly in cycle k={k}",
+                               schedule=schedule.schedule_id,
+                               partition=req.partition)
+
+
+def _check_schedule_metrics(schedule: ScheduleTable,
+                            report: ValidationReport) -> None:
+    """Advisory metrics: idle time, utilization, zero-duration partitions."""
+    idle = schedule.idle_time()
+    report.add(Severity.INFO, "SCHEDULE_METRICS",
+               f"MTF={schedule.major_time_frame}, windows={len(schedule.windows)}, "
+               f"idle={idle} ticks ({idle / schedule.major_time_frame:.1%}), "
+               f"utilization={schedule.utilization():.1%}",
+               schedule=schedule.schedule_id)
+    for req in schedule.requirements:
+        if req.duration == 0:
+            report.add(Severity.INFO, "NON_REALTIME_PARTITION",
+                       f"partition {req.partition!r} has d=0 (no strict time "
+                       f"requirement — Sect. 3.1 non-real-time case)",
+                       schedule=schedule.schedule_id, partition=req.partition)
+
+
+def validate_schedule(schedule: ScheduleTable) -> ValidationReport:
+    """Check one PST against eqs. (21), (22), (8) and (23).
+
+    Returns a report; use :meth:`ValidationReport.ok` or
+    :meth:`ValidationReport.raise_if_invalid` to act on it.
+    """
+    report = ValidationReport()
+    _check_window_layout(schedule, report)
+    _check_mtf_multiplicity(schedule, report)
+    _check_durations(schedule, report)
+    _check_schedule_metrics(schedule, report)
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# process-level and system-wide checks
+# ---------------------------------------------------------------------- #
+
+
+def _check_partition_processes(partition: Partition,
+                               report: ValidationReport) -> None:
+    """Per-process sanity: deadline vs period, WCET presence."""
+    for process in partition.processes:
+        if (process.periodic and not is_infinite(process.deadline)
+                and process.deadline > process.period):
+            report.add(Severity.WARNING, "DEADLINE_EXCEEDS_PERIOD",
+                       f"process {process.name!r}: deadline {process.deadline} "
+                       f"> period {process.period}; multiple jobs may be "
+                       f"simultaneously pending",
+                       partition=partition.name)
+        if is_infinite(process.wcet) and process.has_deadline:
+            report.add(Severity.WARNING, "WCET_UNKNOWN",
+                       f"process {process.name!r} has a deadline but no WCET; "
+                       f"schedulability analysis is impossible for it "
+                       f"(the paper adds C to the model for exactly this)",
+                       partition=partition.name)
+
+
+def _check_partition_supply(system: SystemModel, schedule: ScheduleTable,
+                            report: ValidationReport) -> None:
+    """Advisory: taskset utilization vs fraction of CPU supplied.
+
+    A partition whose processes demand more CPU than its requirement
+    supplies (``sum(C/T) > d/eta``) cannot be process-schedulable under
+    this PST regardless of the intra-partition policy — a necessary
+    condition, flagged as an error.
+    """
+    for req in schedule.requirements:
+        partition = system.partition(req.partition)
+        demand = partition.utilization()
+        supply = req.utilization()
+        if demand > supply:
+            if req.duration == 0:
+                # Sect. 3.1: d = 0 partitions have no strict time
+                # requirements; their processes run best-effort in whatever
+                # windows the schedule grants.  Worth flagging, not fatal.
+                report.add(Severity.WARNING, "BEST_EFFORT_UNDER_SUPPLIED",
+                           f"partition {req.partition!r} declares taskset "
+                           f"utilization {demand:.3f} but has no guaranteed "
+                           f"duration (d=0) under this schedule; its "
+                           f"deadlines (if any) rely on run-time monitoring",
+                           schedule=schedule.schedule_id,
+                           partition=req.partition)
+                continue
+            report.add(Severity.ERROR, "UTILIZATION_EXCEEDS_SUPPLY",
+                       f"partition {req.partition!r}: taskset utilization "
+                       f"{demand:.3f} exceeds supplied fraction d/eta = "
+                       f"{supply:.3f}",
+                       schedule=schedule.schedule_id, partition=req.partition)
+
+
+def validate_system(system: SystemModel) -> ValidationReport:
+    """Full offline verification of a system model.
+
+    Runs :func:`validate_schedule` on every PST, process-level checks on
+    every partition, and the cross-cutting utilization-vs-supply check.
+    """
+    report = ValidationReport()
+    for schedule in system.schedules:
+        report.extend(validate_schedule(schedule))
+        _check_partition_supply(system, schedule, report)
+    for partition in system.partitions:
+        _check_partition_processes(partition, report)
+
+    scheduled = {req.partition
+                 for schedule in system.schedules
+                 for req in schedule.requirements}
+    for partition in system.partitions:
+        if partition.name not in scheduled:
+            report.add(Severity.WARNING, "PARTITION_NEVER_SCHEDULED",
+                       f"partition {partition.name!r} appears in no schedule; "
+                       f"it will never execute",
+                       partition=partition.name)
+    return report

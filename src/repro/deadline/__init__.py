@@ -1,0 +1,15 @@
+"""Process deadline violation monitoring (Sect. 5, Algorithm 3)."""
+
+from .structures import (
+    DeadlineList,
+    DeadlineRecord,
+    DeadlineStore,
+    DeadlineTree,
+    make_store,
+)
+from .monitor import DeadlineMonitor, Violation
+
+__all__ = [
+    "DeadlineList", "DeadlineRecord", "DeadlineStore", "DeadlineTree",
+    "make_store", "DeadlineMonitor", "Violation",
+]

@@ -1,0 +1,18 @@
+"""Fault injection framework (Sect. 6's demonstration methodology)."""
+
+from .faults import (
+    ClockTamperFault,
+    Fault,
+    MemoryViolationFault,
+    MessageFloodFault,
+    PartitionCrashFault,
+    ProcessKillFault,
+    StartProcessFault,
+)
+from .injector import FaultInjector, InjectionRecord
+
+__all__ = [
+    "ClockTamperFault", "Fault", "MemoryViolationFault", "MessageFloodFault",
+    "PartitionCrashFault", "ProcessKillFault", "StartProcessFault",
+    "FaultInjector", "InjectionRecord",
+]

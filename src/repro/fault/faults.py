@@ -1,0 +1,160 @@
+"""Fault models injectable into a running simulation (Sect. 6).
+
+The paper's prototype demonstrates robustness by *injecting* faults ("we
+have the possibility to inject a faulty process on P1") and observing the
+containment machinery respond.  Each class here is one executable fault;
+:class:`~repro.fault.injector.FaultInjector` schedules them at simulated
+times.
+
+All faults implement :meth:`Fault.apply`, returning a human-readable status
+string (surfaced in VITRAL and injector logs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import ClockTamperingError, SpatialViolationError
+from ..kernel.simulator import Simulator
+from ..pos.generic import GenericPos
+from ..types import AccessKind, ErrorCode, PartitionMode, PrivilegeLevel
+
+__all__ = [
+    "Fault",
+    "StartProcessFault",
+    "MemoryViolationFault",
+    "ClockTamperFault",
+    "PartitionCrashFault",
+    "MessageFloodFault",
+    "ProcessKillFault",
+]
+
+
+class Fault:
+    """One injectable fault."""
+
+    def apply(self, simulator: Simulator) -> str:
+        """Inject into *simulator*; returns a status line."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class StartProcessFault(Fault):
+    """Activate a (faulty) dormant process — the Sect. 6 injection.
+
+    The process itself embodies the fault (e.g. a WCET-overrunning body,
+    :func:`repro.apps.base.overrunning_worker`)."""
+
+    partition: str
+    process: str
+
+    def apply(self, simulator: Simulator) -> str:
+        result = simulator.apex(self.partition).start(self.process)
+        return (f"started {self.partition}/{self.process}: "
+                f"{result.code.value}")
+
+
+@dataclass(frozen=True)
+class MemoryViolationFault(Fault):
+    """Attempt a cross-boundary memory access from a partition's context.
+
+    The simulated MMU must refuse it (Fig. 3); the refusal reaches Health
+    Monitoring as a partition-level MEMORY_VIOLATION error.  ``address``
+    defaults to another partition's first mapped byte, making the fault a
+    genuine spatial-partitioning attack.
+    """
+
+    partition: str
+    address: Optional[int] = None
+    access: AccessKind = AccessKind.WRITE
+
+    def apply(self, simulator: Simulator) -> str:
+        pmk = simulator.pmk
+        address = self.address
+        if address is None:
+            victim = next(name for name in pmk.layout.partitions
+                          if name != self.partition)
+            address = pmk.layout.map_of(victim).descriptors[0].base
+        try:
+            pmk.bus.write(address, b"\xde\xad",
+                          level=PrivilegeLevel.APPLICATION,
+                          partition=self.partition)
+        except SpatialViolationError:
+            return (f"{self.partition}: {self.access.value}@{address:#x} "
+                    f"trapped by MMU")
+        return (f"{self.partition}: {self.access.value}@{address:#x} "
+                f"WAS NOT TRAPPED (containment breach!)")
+
+
+@dataclass(frozen=True)
+class ClockTamperFault(Fault):
+    """A generic (non-real-time) POS tries to take over the system clock.
+
+    Exercises the Sect. 2.5 paravirtualization: every privileged clock
+    operation must be trapped.  Requires the partition to run a
+    :class:`~repro.pos.generic.GenericPos`.
+    """
+
+    partition: str
+
+    def apply(self, simulator: Simulator) -> str:
+        pos = simulator.runtime(self.partition).pos
+        if not isinstance(pos, GenericPos):
+            return (f"{self.partition}: not a generic POS; "
+                    f"clock tampering not applicable")
+        trapped = pos.attempt_clock_takeover()
+        for operation in trapped:
+            simulator.pmk.health_monitor.report(
+                ErrorCode.CLOCK_TAMPERING,
+                partition=self.partition, detail=operation)
+        return f"{self.partition}: {len(trapped)} clock operations trapped"
+
+
+@dataclass(frozen=True)
+class PartitionCrashFault(Fault):
+    """Force a partition restart (models an unrecoverable internal crash)."""
+
+    partition: str
+    cold: bool = False
+
+    def apply(self, simulator: Simulator) -> str:
+        mode = (PartitionMode.COLD_START if self.cold
+                else PartitionMode.WARM_START)
+        simulator.runtime(self.partition).request_restart(mode)
+        return f"{self.partition}: crashed, restarting {mode.value}"
+
+
+@dataclass(frozen=True)
+class MessageFloodFault(Fault):
+    """Babbling idiot: flood a queuing channel from its source port.
+
+    The destination's bounded queue must absorb up to its depth and count
+    overflows — the flood must not propagate outside the channel.
+    """
+
+    partition: str
+    port: str
+    count: int = 64
+    payload: bytes = b"BABBLE"
+
+    def apply(self, simulator: Simulator) -> str:
+        apex = simulator.apex(self.partition)
+        sent = 0
+        for _ in range(self.count):
+            if apex.queuing_port(self.port).send(self.payload).is_ok:
+                sent += 1
+        return f"{self.partition}:{self.port}: flooded {sent}/{self.count}"
+
+
+@dataclass(frozen=True)
+class ProcessKillFault(Fault):
+    """Stop a process outright (models a detected unrecoverable fault)."""
+
+    partition: str
+    process: str
+
+    def apply(self, simulator: Simulator) -> str:
+        result = simulator.apex(self.partition).stop(self.process)
+        return (f"stopped {self.partition}/{self.process}: "
+                f"{result.code.value}")

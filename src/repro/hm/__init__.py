@@ -1,0 +1,20 @@
+"""AIR Health Monitoring (Sect. 2.4)."""
+
+from .tables import (
+    DEFAULT_LEVELS,
+    DEFAULT_MODULE_ACTIONS,
+    DEFAULT_PARTITION_ACTIONS,
+    HmTables,
+)
+from .monitor import (
+    ActionExecutor,
+    ErrorReport,
+    HandledError,
+    HealthMonitor,
+)
+
+__all__ = [
+    "DEFAULT_LEVELS", "DEFAULT_MODULE_ACTIONS", "DEFAULT_PARTITION_ACTIONS",
+    "HmTables", "ActionExecutor", "ErrorReport", "HandledError",
+    "HealthMonitor",
+]

@@ -1,0 +1,119 @@
+"""Health Monitoring tables (Sect. 2.4, 5).
+
+ARINC 653 routes every detected error through integration-time tables that
+decide *at which level* the error is handled and *what* is done about it:
+
+* the **system table** classifies each error code into a level — process,
+  partition or module;
+* the **partition tables** give, per partition, the recovery action for
+  errors handled at partition level (and the fallback for process-level
+  errors when the application installed no error handler);
+* the **module table** gives the action for module-level errors.
+
+The defaults below follow the paper's discussion: deadline misses are
+process-level errors (Sect. 5); memory violations are partition-level
+(spatial partitioning faults are confined to their domain of occurrence);
+hardware faults and clock tampering escalate to module/partition level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from ..types import ErrorCode, ErrorLevel, RecoveryAction
+
+__all__ = ["HmTables", "DEFAULT_LEVELS", "DEFAULT_PARTITION_ACTIONS",
+           "DEFAULT_MODULE_ACTIONS"]
+
+#: Default system-table classification of each error code.
+DEFAULT_LEVELS: Mapping[ErrorCode, ErrorLevel] = {
+    ErrorCode.DEADLINE_MISSED: ErrorLevel.PROCESS,
+    ErrorCode.APPLICATION_ERROR: ErrorLevel.PROCESS,
+    ErrorCode.NUMERIC_ERROR: ErrorLevel.PROCESS,
+    ErrorCode.ILLEGAL_REQUEST: ErrorLevel.PROCESS,
+    ErrorCode.STACK_OVERFLOW: ErrorLevel.PROCESS,
+    ErrorCode.MEMORY_VIOLATION: ErrorLevel.PARTITION,
+    ErrorCode.CLOCK_TAMPERING: ErrorLevel.PARTITION,
+    ErrorCode.CONFIG_ERROR: ErrorLevel.MODULE,
+    ErrorCode.HARDWARE_FAULT: ErrorLevel.MODULE,
+    ErrorCode.POWER_FAILURE: ErrorLevel.MODULE,
+}
+
+#: Default partition-level recovery actions.
+DEFAULT_PARTITION_ACTIONS: Mapping[ErrorCode, RecoveryAction] = {
+    ErrorCode.DEADLINE_MISSED: RecoveryAction.IGNORE,
+    ErrorCode.APPLICATION_ERROR: RecoveryAction.STOP_PROCESS,
+    ErrorCode.NUMERIC_ERROR: RecoveryAction.STOP_PROCESS,
+    ErrorCode.ILLEGAL_REQUEST: RecoveryAction.STOP_PROCESS,
+    ErrorCode.STACK_OVERFLOW: RecoveryAction.STOP_PROCESS,
+    ErrorCode.MEMORY_VIOLATION: RecoveryAction.RESTART_PARTITION,
+    ErrorCode.CLOCK_TAMPERING: RecoveryAction.IGNORE,
+    ErrorCode.CONFIG_ERROR: RecoveryAction.STOP_PARTITION,
+    ErrorCode.HARDWARE_FAULT: RecoveryAction.STOP_PARTITION,
+    ErrorCode.POWER_FAILURE: RecoveryAction.STOP_PARTITION,
+}
+
+#: Default module-level recovery actions (Sect. 2.4: stop or reinitialize).
+DEFAULT_MODULE_ACTIONS: Mapping[ErrorCode, RecoveryAction] = {
+    ErrorCode.CONFIG_ERROR: RecoveryAction.MODULE_STOP,
+    ErrorCode.HARDWARE_FAULT: RecoveryAction.MODULE_RESTART,
+    ErrorCode.POWER_FAILURE: RecoveryAction.MODULE_STOP,
+}
+
+
+@dataclass
+class HmTables:
+    """The three-level HM routing table set, with per-partition overrides.
+
+    Parameters
+    ----------
+    levels:
+        Overrides of :data:`DEFAULT_LEVELS`.
+    partition_actions:
+        Per-partition overrides: ``{partition: {code: action}}``.  Actions
+        for partitions absent from the mapping fall back to
+        :data:`DEFAULT_PARTITION_ACTIONS`.
+    module_actions:
+        Overrides of :data:`DEFAULT_MODULE_ACTIONS`.
+    log_threshold:
+        For :attr:`~repro.types.RecoveryAction.LOG_THEN_ACT`: how many
+        occurrences are logged before the fallback action fires
+        ("logging the error a certain number of times before acting upon
+        it" — Sect. 5).
+    log_fallback_action:
+        The action taken once the threshold is exceeded.
+    """
+
+    levels: Dict[ErrorCode, ErrorLevel] = field(default_factory=dict)
+    partition_actions: Dict[str, Dict[ErrorCode, RecoveryAction]] = field(
+        default_factory=dict)
+    module_actions: Dict[ErrorCode, RecoveryAction] = field(default_factory=dict)
+    log_threshold: int = 3
+    log_fallback_action: RecoveryAction = RecoveryAction.STOP_PROCESS
+
+    def __post_init__(self) -> None:
+        if self.log_threshold < 1:
+            raise ConfigurationError(
+                f"log_threshold must be >= 1, got {self.log_threshold}")
+
+    def level_of(self, code: ErrorCode) -> ErrorLevel:
+        """System-table classification of *code*."""
+        if code in self.levels:
+            return self.levels[code]
+        return DEFAULT_LEVELS.get(code, ErrorLevel.PARTITION)
+
+    def partition_action(self, partition: str,
+                         code: ErrorCode) -> RecoveryAction:
+        """Recovery action for *code* in *partition* (with defaults)."""
+        overrides = self.partition_actions.get(partition, {})
+        if code in overrides:
+            return overrides[code]
+        return DEFAULT_PARTITION_ACTIONS.get(code, RecoveryAction.STOP_PARTITION)
+
+    def module_action(self, code: ErrorCode) -> RecoveryAction:
+        """Recovery action for a module-level *code* (with defaults)."""
+        if code in self.module_actions:
+            return self.module_actions[code]
+        return DEFAULT_MODULE_ACTIONS.get(code, RecoveryAction.MODULE_STOP)

@@ -1,0 +1,24 @@
+"""Simulated platform substrate: clock, interrupts, contexts, trace,
+simulator (the reproduction's stand-in for RTEMS/QEMU/IA-32 — DESIGN.md)."""
+
+from .time import GuestClock, TamperAttempt, TimeSource
+from .context import ContextBank, PartitionContext
+from .interrupts import InterruptController, IsrRegistration, Vector
+from .rng import SeededRng
+from .trace import Trace
+
+
+def __getattr__(name):
+    # Imported lazily: the simulator depends on repro.core (the PMK), which
+    # in turn imports kernel submodules — an eager import here would cycle.
+    if name == "Simulator":
+        from .simulator import Simulator
+
+        return Simulator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "GuestClock", "TamperAttempt", "TimeSource", "ContextBank",
+    "PartitionContext", "InterruptController", "IsrRegistration", "Vector",
+    "SeededRng", "Trace", "Simulator",
+]

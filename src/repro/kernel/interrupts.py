@@ -1,0 +1,122 @@
+"""Interrupt vector management for the simulated platform.
+
+The system clock interrupt drives everything in AIR: the PMK's Partition
+Scheduler and Dispatcher execute in the clock interrupt service routine
+(ISR), and the PAL's surrogate tick-announcement (Fig. 7) — including
+deadline verification (Algorithm 3) — runs there too.  This module provides
+the vector table that binds them, and enforces the ownership rule from
+Sect. 2.5: the clock vector belongs to the PMK, and guest attempts to rebind
+or mask it are trapped, not honoured.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import ClockTamperingError, SimulationError
+from ..types import Ticks
+
+__all__ = ["Vector", "InterruptController", "IsrRegistration"]
+
+
+class Vector(enum.Enum):
+    """Interrupt vectors of the simulated platform."""
+
+    CLOCK = "clock"
+    MEMORY_FAULT = "memoryFault"
+    ILLEGAL_INSTRUCTION = "illegalInstruction"
+    EXTERNAL_IO = "externalIo"
+
+
+@dataclass(frozen=True)
+class IsrRegistration:
+    """Bookkeeping for one installed interrupt service routine."""
+
+    vector: Vector
+    owner: str
+    handler: Callable[[], None]
+
+
+class InterruptController:
+    """Vector table with PMK-owned clock vector.
+
+    Handlers are installed with an *owner* label.  Only the owner ``"PMK"``
+    may bind :attr:`Vector.CLOCK`; any other owner attempting it triggers
+    the paravirtualization trap (recorded, and raised as
+    :class:`ClockTamperingError` so the POS adaptation layer can route it to
+    Health Monitoring).  Multiple handlers may chain on a vector; they run
+    in installation order.
+    """
+
+    PMK_OWNER = "PMK"
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Vector, List[IsrRegistration]] = {
+            vector: [] for vector in Vector}
+        self._masked: Dict[Vector, bool] = {vector: False for vector in Vector}
+        self._dispatch_counts: Dict[Vector, int] = {vector: 0 for vector in Vector}
+
+    def install(self, vector: Vector, handler: Callable[[], None], *,
+                owner: str) -> IsrRegistration:
+        """Bind *handler* to *vector* on behalf of *owner*.
+
+        Raises :class:`ClockTamperingError` if a non-PMK owner touches the
+        clock vector (Sect. 2.5 protection).
+        """
+        if vector is Vector.CLOCK and owner != self.PMK_OWNER:
+            raise ClockTamperingError(
+                f"{owner!r} attempted to install a handler on the clock "
+                f"vector; only the PMK owns it",
+                partition=owner, operation="install_clock_isr")
+        registration = IsrRegistration(vector=vector, owner=owner,
+                                       handler=handler)
+        self._handlers[vector].append(registration)
+        return registration
+
+    def uninstall(self, registration: IsrRegistration) -> None:
+        """Remove a previously installed handler."""
+        try:
+            self._handlers[registration.vector].remove(registration)
+        except ValueError:
+            raise SimulationError(
+                f"handler by {registration.owner!r} on "
+                f"{registration.vector.value} is not installed") from None
+
+    def mask(self, vector: Vector, *, owner: str) -> None:
+        """Mask *vector*.  The clock vector may only be masked by the PMK."""
+        if vector is Vector.CLOCK and owner != self.PMK_OWNER:
+            raise ClockTamperingError(
+                f"{owner!r} attempted to mask the clock interrupt",
+                partition=owner, operation="mask_clock")
+        self._masked[vector] = True
+
+    def unmask(self, vector: Vector) -> None:
+        """Unmask *vector*."""
+        self._masked[vector] = False
+
+    def is_masked(self, vector: Vector) -> bool:
+        """True if *vector* is currently masked."""
+        return self._masked[vector]
+
+    def raise_interrupt(self, vector: Vector) -> int:
+        """Deliver *vector*: run its handler chain unless masked.
+
+        Returns the number of handlers that ran.
+        """
+        if self._masked[vector]:
+            return 0
+        chain = tuple(self._handlers[vector])
+        for registration in chain:
+            registration.handler()
+        self._dispatch_counts[vector] += 1
+        return len(chain)
+
+    def handlers_on(self, vector: Vector) -> Tuple[IsrRegistration, ...]:
+        """Currently installed handlers on *vector*, in chain order."""
+        return tuple(self._handlers[vector])
+
+    def dispatch_count(self, vector: Vector) -> int:
+        """How many times *vector* has been delivered (unmasked)."""
+        return self._dispatch_counts[vector]

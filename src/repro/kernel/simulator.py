@@ -1,0 +1,161 @@
+"""The simulated platform: clock loop driving the PMK (Sect. 6 substrate).
+
+The paper's prototype ran four RTEMS partitions on QEMU/IA-32; this module
+is the reproduction's equivalent substrate.  A :class:`Simulator` owns the
+time source, trace, interrupt controller and the PMK; :meth:`step` delivers
+one clock interrupt (whose ISR is the PMK's
+:meth:`~repro.core.pmk.Pmk.clock_tick`) and advances time, and the ``run``
+helpers drive whole spans, MTFs, or predicates.
+
+Determinism: no wall-clock, threads or global randomness — a configuration
+plus a seed fully determines every trace event.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..config.schema import SystemConfig
+from ..core.pmk import Pmk
+from ..core.runtime import PartitionRuntime
+from ..exceptions import SimulationError
+from ..types import Ticks
+from .interrupts import InterruptController, Vector
+from .time import TimeSource
+from .trace import Trace
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic tick-driven execution of one AIR module."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.time = TimeSource()
+        self.trace = Trace(capacity=config.trace_capacity)
+        self.interrupts = InterruptController()
+        self.pmk = Pmk(config, time=self.time, trace=self.trace)
+        self.interrupts.install(Vector.CLOCK, self.pmk.clock_tick,
+                                owner=InterruptController.PMK_OWNER)
+
+    # -------------------------------------------------------------- #
+    # time control
+    # -------------------------------------------------------------- #
+
+    @property
+    def now(self) -> Ticks:
+        """Current simulated time."""
+        return self.time.now
+
+    @property
+    def stopped(self) -> bool:
+        """True after a module-stop recovery action (Sect. 2.4)."""
+        return self.pmk.stopped
+
+    def step(self) -> None:
+        """Execute exactly one clock tick."""
+        self.interrupts.raise_interrupt(Vector.CLOCK)
+        self.time.advance()
+
+    def run(self, ticks: Ticks) -> None:
+        """Execute *ticks* clock ticks (stopping early on module stop)."""
+        if ticks < 0:
+            raise SimulationError(f"cannot run {ticks} ticks")
+        for _ in range(ticks):
+            if self.pmk.stopped:
+                break
+            self.step()
+
+    def run_fast(self, ticks: Ticks) -> None:
+        """Execute *ticks* clock ticks, skipping provably inert stretches.
+
+        DESIGN.md design-decision 4: during an *idle* window (no partition
+        holds the processor) with no interpartition message in flight, the
+        only per-tick work is Algorithm 1's fast path — nothing observable
+        can happen until the next partition preemption point.  This mode
+        jumps straight there, keeping the trace bit-identical to
+        :meth:`run` (asserted by the equivalence tests); only the
+        instrumentation counters are batch-updated.
+
+        Schedule switches cannot be missed: an MTF boundary always carries
+        a dispatch-table entry (offset 0), i.e. it *is* a preemption point.
+        """
+        if ticks < 0:
+            raise SimulationError(f"cannot run {ticks} ticks")
+        target = self.time.now + ticks
+        while self.time.now < target:
+            if self.pmk.stopped:
+                return
+            if (self.pmk.active_partition is None
+                    and self.pmk.router.in_flight == 0):
+                skip = min(self._ticks_to_next_preemption_point(),
+                           target - self.time.now)
+                if skip > 0:
+                    self._skip_inert(skip)
+                    continue
+            self.step()
+
+    def _ticks_to_next_preemption_point(self) -> Ticks:
+        """Distance from *now* to the next Algorithm 1 table-entry match."""
+        scheduler = self.pmk.scheduler
+        schedule = scheduler.current
+        entry = schedule.table[scheduler.table_iterator]
+        offset = (self.time.now - scheduler.last_schedule_switch) \
+            % schedule.mtf
+        return (entry.tick - offset) % schedule.mtf
+
+    def _skip_inert(self, count: Ticks) -> None:
+        """Batch-account *count* inert idle ticks."""
+        self.time.skip(count)
+        stats = self.pmk.scheduler.stats
+        stats.ticks += count
+        stats.fast_path += count
+        self.pmk.ticks_executed += count
+        self.pmk.idle_ticks += count
+
+    def run_until(self, tick: Ticks) -> None:
+        """Run until simulated time reaches *tick*."""
+        if tick < self.time.now:
+            raise SimulationError(
+                f"cannot run backwards: now={self.time.now}, target={tick}")
+        self.run(tick - self.time.now)
+
+    def run_mtf(self, count: int = 1) -> None:
+        """Run *count* complete major time frames of the current schedule.
+
+        Alignment is relative to the last schedule switch, matching
+        Algorithm 1's modulo arithmetic.
+        """
+        for _ in range(count):
+            scheduler = self.pmk.scheduler
+            mtf = scheduler.current.mtf
+            offset = (self.time.now - scheduler.last_schedule_switch) % mtf
+            self.run(mtf - offset if offset else mtf)
+
+    def run_while(self, predicate: Callable[["Simulator"], bool], *,
+                  limit: Ticks = 1_000_000) -> None:
+        """Run while *predicate(self)* holds, bounded by *limit* ticks."""
+        for _ in range(limit):
+            if self.pmk.stopped or not predicate(self):
+                return
+            self.step()
+        raise SimulationError(
+            f"run_while exceeded the {limit}-tick safety bound")
+
+    # -------------------------------------------------------------- #
+    # convenience accessors
+    # -------------------------------------------------------------- #
+
+    def runtime(self, partition: str) -> PartitionRuntime:
+        """The runtime of *partition*."""
+        return self.pmk.runtime(partition)
+
+    def apex(self, partition: str):
+        """The APEX instance of *partition*."""
+        return self.pmk.apex(partition)
+
+    @property
+    def active_partition(self) -> Optional[str]:
+        """Partition currently holding the processor."""
+        return self.pmk.active_partition

@@ -1,0 +1,354 @@
+"""Structured execution tracing for the simulated AIR system.
+
+Every observable action of the runtime — partition dispatches, schedule
+switches, deadline misses, Health Monitor decisions, memory faults, process
+state changes — is recorded as a typed event.  The trace is the primary
+instrument for the paper's experiments: the prototype of Sect. 6 demonstrates
+its claims by *observing* scheduler and HM behaviour, and the tests/benches
+of this reproduction assert on these events.
+
+Events are frozen dataclasses sharing the :class:`TraceEvent` base (a ``tick``
+timestamp plus a ``kind`` string for cheap filtering).  :class:`Trace` is an
+append-only collector with query helpers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple, Type, TypeVar
+
+from ..types import Ticks
+
+__all__ = [
+    "TraceEvent",
+    "PartitionDispatched",
+    "PartitionWindowStarted",
+    "IdleWindowStarted",
+    "ScheduleSwitchRequested",
+    "ScheduleSwitched",
+    "ScheduleChangeActionApplied",
+    "ProcessDispatched",
+    "ProcessStateChanged",
+    "ProcessCompleted",
+    "DeadlineRegistered",
+    "DeadlineUnregistered",
+    "DeadlineMissed",
+    "HealthMonitorEvent",
+    "MemoryFault",
+    "ClockTamperTrapped",
+    "PortMessageSent",
+    "PortMessageReceived",
+    "PartitionModeChanged",
+    "ApplicationMessage",
+    "Trace",
+]
+
+E = TypeVar("E", bound="TraceEvent")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: something that happened at simulated time ``tick``."""
+
+    tick: Ticks
+
+    @property
+    def kind(self) -> str:
+        """Short event-kind label (the class name)."""
+        return type(self).__name__
+
+
+# ------------------------------------------------------------------ #
+# partition-level scheduling events
+# ------------------------------------------------------------------ #
+
+
+@dataclass(frozen=True)
+class PartitionDispatched(TraceEvent):
+    """The Partition Dispatcher switched contexts (Algorithm 2, else-branch)."""
+
+    previous: Optional[str]
+    heir: Optional[str]
+
+
+@dataclass(frozen=True)
+class PartitionWindowStarted(TraceEvent):
+    """A partition's execution time window opened."""
+
+    partition: str
+    schedule: str
+    window_offset: Ticks
+    window_duration: Ticks
+
+
+@dataclass(frozen=True)
+class IdleWindowStarted(TraceEvent):
+    """An idle gap (no partition scheduled) opened."""
+
+    schedule: str
+    duration: Ticks
+
+
+@dataclass(frozen=True)
+class ScheduleSwitchRequested(TraceEvent):
+    """SET_MODULE_SCHEDULE accepted a pending switch (Sect. 4.2)."""
+
+    requested_by: str
+    from_schedule: str
+    to_schedule: str
+
+
+@dataclass(frozen=True)
+class ScheduleSwitched(TraceEvent):
+    """A pending switch took effect at an MTF boundary (Algorithm 1, l. 4-6)."""
+
+    from_schedule: str
+    to_schedule: str
+
+
+@dataclass(frozen=True)
+class ScheduleChangeActionApplied(TraceEvent):
+    """A partition's ScheduleChangeAction ran at its first post-switch
+    dispatch (Algorithm 2, line 9)."""
+
+    partition: str
+    action: str
+    schedule: str
+
+
+@dataclass(frozen=True)
+class PartitionModeChanged(TraceEvent):
+    """A partition's operating mode M_m(t) changed (eq. (3))."""
+
+    partition: str
+    previous_mode: str
+    new_mode: str
+
+
+# ------------------------------------------------------------------ #
+# process-level events
+# ------------------------------------------------------------------ #
+
+
+@dataclass(frozen=True)
+class ProcessDispatched(TraceEvent):
+    """The partition's POS selected a new heir process (eq. (14))."""
+
+    partition: str
+    previous: Optional[str]
+    heir: Optional[str]
+
+
+@dataclass(frozen=True)
+class ProcessStateChanged(TraceEvent):
+    """A process moved between eq. (13) states."""
+
+    partition: str
+    process: str
+    previous_state: str
+    new_state: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ProcessCompleted(TraceEvent):
+    """A process body ran to completion (returned)."""
+
+    partition: str
+    process: str
+
+
+# ------------------------------------------------------------------ #
+# deadline events (Sect. 5)
+# ------------------------------------------------------------------ #
+
+
+@dataclass(frozen=True)
+class DeadlineRegistered(TraceEvent):
+    """The PAL registered/updated a process deadline (Fig. 6)."""
+
+    partition: str
+    process: str
+    deadline_time: Ticks
+
+
+@dataclass(frozen=True)
+class DeadlineUnregistered(TraceEvent):
+    """The PAL removed a process's deadline (process stopped)."""
+
+    partition: str
+    process: str
+
+
+@dataclass(frozen=True)
+class DeadlineMissed(TraceEvent):
+    """Algorithm 3 detected a deadline violation — membership in V(t), eq. (24)."""
+
+    partition: str
+    process: str
+    deadline_time: Ticks
+    detection_latency: Ticks
+
+
+# ------------------------------------------------------------------ #
+# health monitoring / containment events
+# ------------------------------------------------------------------ #
+
+
+@dataclass(frozen=True)
+class HealthMonitorEvent(TraceEvent):
+    """The Health Monitor classified an error and chose an action (Sect. 2.4)."""
+
+    level: str
+    code: str
+    partition: Optional[str]
+    process: Optional[str]
+    action: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class MemoryFault(TraceEvent):
+    """The simulated MMU refused a cross-boundary access (Fig. 3)."""
+
+    partition: str
+    address: int
+    access: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ClockTamperTrapped(TraceEvent):
+    """The paravirtualization layer trapped a guest clock operation (Sect. 2.5)."""
+
+    partition: str
+    operation: str
+
+
+# ------------------------------------------------------------------ #
+# communication / application events
+# ------------------------------------------------------------------ #
+
+
+@dataclass(frozen=True)
+class PortMessageSent(TraceEvent):
+    """A message entered an interpartition channel."""
+
+    partition: str
+    port: str
+    size: int
+
+
+@dataclass(frozen=True)
+class PortMessageReceived(TraceEvent):
+    """A message was delivered from an interpartition channel."""
+
+    partition: str
+    port: str
+    size: int
+    latency: Ticks
+
+
+@dataclass(frozen=True)
+class ApplicationMessage(TraceEvent):
+    """Free-form output from an application (rendered by VITRAL windows)."""
+
+    partition: str
+    process: Optional[str]
+    text: str
+
+
+# ------------------------------------------------------------------ #
+# the collector
+# ------------------------------------------------------------------ #
+
+
+class Trace:
+    """Append-only event log with query helpers.
+
+    The trace is unbounded by default; pass ``capacity`` to keep only the
+    most recent events (a ring buffer) for long-running simulations.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._events: List[TraceEvent] = []
+        self._capacity = capacity
+        self._dropped = 0
+
+    def record(self, event: TraceEvent) -> None:
+        """Append *event*; evict the oldest if capacity is bounded."""
+        self._events.append(event)
+        if self._capacity is not None and len(self._events) > self._capacity:
+            del self._events[0]
+            self._dropped += 1
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """All retained events, oldest first."""
+        return tuple(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Number of events evicted due to the capacity bound."""
+        return self._dropped
+
+    def of_type(self, event_type: Type[E]) -> Tuple[E, ...]:
+        """All events of exactly (or a subclass of) *event_type*."""
+        return tuple(e for e in self._events if isinstance(e, event_type))
+
+    def where(self, predicate: Callable[[TraceEvent], bool]) -> Tuple[TraceEvent, ...]:
+        """All events satisfying *predicate*."""
+        return tuple(e for e in self._events if predicate(e))
+
+    def last(self, event_type: Type[E]) -> Optional[E]:
+        """Most recent event of *event_type*, or None."""
+        for event in reversed(self._events):
+            if isinstance(event, event_type):
+                return event
+        return None
+
+    def count(self, event_type: Type[E]) -> int:
+        """Number of events of *event_type*."""
+        return sum(1 for e in self._events if isinstance(e, event_type))
+
+    def between(self, start: Ticks, end: Ticks) -> Tuple[TraceEvent, ...]:
+        """Events with ``start <= tick < end``."""
+        return tuple(e for e in self._events if start <= e.tick < end)
+
+    def clear(self) -> None:
+        """Drop all retained events (the drop counter is kept)."""
+        self._events.clear()
+
+    # -------------------------------------------------------------- #
+    # export
+    # -------------------------------------------------------------- #
+
+    def to_dicts(self) -> List[dict]:
+        """Every retained event as a JSON-compatible dict (``kind`` field
+        added for dispatch on the consuming side)."""
+        out = []
+        for event in self._events:
+            record = dataclasses.asdict(event)
+            record["kind"] = event.kind
+            out.append(record)
+        return out
+
+    def save_jsonl(self, path: str) -> int:
+        """Write the trace as JSON Lines (one event per line) to *path*.
+
+        The ground-analysis-friendly format: greppable, streamable,
+        loadable into any tooling.  Returns the number of events written.
+        """
+        events = self.to_dicts()
+        with open(path, "w", encoding="utf-8") as stream:
+            for record in events:
+                stream.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)

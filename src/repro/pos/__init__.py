@@ -1,0 +1,14 @@
+"""Partition Operating Systems and the AIR POS Adaptation Layer (Sect. 2.2)."""
+
+from .effects import Call, Compute
+from .tcb import BodyFactory, Tcb, WaitCondition, WaitReason
+from .base import PartitionOs, PosCallbacks
+from .rtems import RtemsPos
+from .generic import GenericPos
+from .pal import PosAdaptationLayer
+
+__all__ = [
+    "Call", "Compute", "BodyFactory", "Tcb", "WaitCondition", "WaitReason",
+    "PartitionOs", "PosCallbacks", "RtemsPos", "GenericPos",
+    "PosAdaptationLayer",
+]

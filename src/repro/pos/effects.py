@@ -1,0 +1,65 @@
+"""Effects yielded by application process bodies.
+
+Application code in this reproduction is written as Python generator
+functions ("process bodies") that *yield effects* to their partition
+operating system — the simulated analogue of executing instructions and
+invoking APEX services.  Two effects exist:
+
+* :class:`Compute` — burn CPU for a number of ticks (the process's useful
+  work, charged against its execution time window);
+* :class:`Call` — invoke a service (typically a bound APEX method).  The
+  call itself is instantaneous in simulated time, but may *block* the
+  process (eq. (13) ``waiting`` state); the value sent back into the
+  generator is the service's return value, delivered when the process next
+  runs.
+
+Example body::
+
+    def body(ctx):
+        while True:
+            yield Compute(30)                          # do work
+            result = yield Call(ctx.apex.periodic_wait)  # wait next period
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from ..types import Ticks
+
+__all__ = ["Compute", "Call", "Effect"]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Consume *ticks* of CPU time before the body resumes."""
+
+    ticks: Ticks
+
+    def __post_init__(self) -> None:
+        if self.ticks <= 0:
+            raise ValueError(f"Compute requires a positive tick count, "
+                             f"got {self.ticks}")
+
+
+@dataclass(frozen=True)
+class Call:
+    """Invoke ``service(*args, **kwargs)`` on behalf of the process.
+
+    The service runs synchronously inside the simulation step; if it leaves
+    the calling process in the ``waiting`` state, the process is descheduled
+    and the service's return value is delivered when it resumes.
+    """
+
+    service: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def invoke(self) -> Any:
+        """Execute the wrapped service call."""
+        return self.service(*self.args, **self.kwargs)
+
+
+#: Union of everything a process body may yield.
+Effect = object

@@ -1,0 +1,40 @@
+"""RTEMS-like real-time partition operating system.
+
+The AIR prototype runs RTEMS in every partition (Sect. 6); its process
+scheduler is the preemptive priority-driven policy the paper formalizes in
+eq. (14): the heir is the highest-priority schedulable process (lower
+numerical value = greater priority, Sect. 3.3), with ties broken by
+antiquity in the ready state (the *oldest* ready process wins).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.model import Partition
+from ..types import Ticks
+from .base import PartitionOs
+from .tcb import Tcb
+
+__all__ = ["RtemsPos"]
+
+
+class RtemsPos(PartitionOs):
+    """Preemptive priority-based scheduler implementing eq. (14)."""
+
+    kernel_name = "rtems"
+
+    def choose_heir(self, now: Ticks) -> Optional[Tcb]:
+        """``heir_m(t)`` — eq. (14).
+
+        Selects, among ``Ready_m(t)``, the process minimizing
+        ``(p'(t), antiquity)``: strictly higher priority wins; equal
+        priorities go to the process that entered the ready state first
+        (the paper's ``h < q`` index tie-break generalized to arrival
+        order, which is how RTEMS FIFO-orders equal-priority tasks).
+        """
+        ready = self.ready_set()
+        if not ready:
+            return None
+        return min(ready, key=lambda tcb: (tcb.current_priority,
+                                           tcb.ready_since))

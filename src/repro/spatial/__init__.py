@@ -1,0 +1,17 @@
+"""Spatial partitioning: descriptors, simulated 3-level MMU, memory bus
+(Sect. 2.1, Fig. 3)."""
+
+from .descriptors import (
+    MemoryDescriptor,
+    MemorySection,
+    ModuleMemoryLayout,
+    PartitionMemoryMap,
+)
+from .mmu import Mmu, MmuContext, PAGE_SIZE, PageTable, PageTableEntry
+from .memory import MemoryBus, PhysicalMemory
+
+__all__ = [
+    "MemoryDescriptor", "MemorySection", "ModuleMemoryLayout",
+    "PartitionMemoryMap", "Mmu", "MmuContext", "PAGE_SIZE", "PageTable",
+    "PageTableEntry", "MemoryBus", "PhysicalMemory",
+]

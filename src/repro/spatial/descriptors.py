@@ -1,0 +1,210 @@
+"""Spatial partitioning descriptors (Sect. 2.1, Fig. 3).
+
+Spatial partitioning requirements are "described in runtime through a
+high-level processor-independent abstraction layer": a set of descriptors
+per partition, "primarily corresponding to the several levels of execution
+(e.g. application, operating system and AIR PMK) and to its different
+memory sections (e.g. code, data and stack)".
+
+:class:`MemoryDescriptor` is that abstraction; :class:`PartitionMemoryMap`
+groups a partition's descriptors; :class:`ModuleMemoryLayout` assembles all
+partitions' maps and verifies the cross-partition disjointness that spatial
+partitioning requires (explicitly shared regions — e.g. interpartition
+message areas owned by the PMK — are opt-in).
+
+The processor-specific mapping of these descriptors onto a hardware MMU
+(Fig. 3's lowest layer; e.g. the LEON3 SPARC V8 three-level page-based MMU)
+is done by :mod:`repro.spatial.mmu`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from ..types import AccessKind, PrivilegeLevel
+
+__all__ = ["MemorySection", "MemoryDescriptor", "PartitionMemoryMap",
+           "ModuleMemoryLayout"]
+
+
+class MemorySection(enum.Enum):
+    """Memory section kinds a descriptor may cover (Fig. 3)."""
+
+    CODE = "code"
+    DATA = "data"
+    STACK = "stack"
+    IO = "io"
+    SHARED = "shared"
+
+
+#: Conventional permissions per section kind.
+_DEFAULT_PERMISSIONS: Dict[MemorySection, FrozenSet[AccessKind]] = {
+    MemorySection.CODE: frozenset({AccessKind.READ, AccessKind.EXECUTE}),
+    MemorySection.DATA: frozenset({AccessKind.READ, AccessKind.WRITE}),
+    MemorySection.STACK: frozenset({AccessKind.READ, AccessKind.WRITE}),
+    MemorySection.IO: frozenset({AccessKind.READ, AccessKind.WRITE}),
+    MemorySection.SHARED: frozenset({AccessKind.READ}),
+}
+
+
+@dataclass(frozen=True)
+class MemoryDescriptor:
+    """One contiguous region a partition may touch.
+
+    Attributes
+    ----------
+    partition:
+        Owning partition.
+    level:
+        Most permissive execution level allowed to use the descriptor
+        (Fig. 3's levels: application / operating system / AIR PMK).
+        An access at a *less* privileged level than required is refused —
+        e.g. application code cannot touch a POS-level region.
+    section:
+        Section kind; selects default permissions.
+    base / size:
+        Region bounds (bytes).
+    permissions:
+        Allowed access kinds; defaults by section kind.
+    shared:
+        True for regions deliberately visible to several partitions
+        (interpartition communication areas).  Only shared regions may
+        overlap another partition's descriptors.
+    """
+
+    partition: str
+    level: PrivilegeLevel
+    section: MemorySection
+    base: int
+    size: int
+    permissions: FrozenSet[AccessKind] = frozenset()
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ConfigurationError(
+                f"descriptor {self.partition}/{self.section.value}: invalid "
+                f"bounds base={self.base}, size={self.size}")
+        if not self.permissions:
+            object.__setattr__(self, "permissions",
+                               _DEFAULT_PERMISSIONS[self.section])
+
+    @property
+    def end(self) -> int:
+        """First byte after the region."""
+        return self.base + self.size
+
+    def covers(self, address: int) -> bool:
+        """True if *address* lies inside the region."""
+        return self.base <= address < self.end
+
+    def covers_range(self, address: int, length: int) -> bool:
+        """True if ``[address, address+length)`` lies wholly inside."""
+        return self.base <= address and address + length <= self.end
+
+    def overlaps(self, other: "MemoryDescriptor") -> bool:
+        """True if the two regions intersect."""
+        return self.base < other.end and other.base < self.end
+
+    def allows(self, access: AccessKind, level: PrivilegeLevel) -> bool:
+        """Permission check: right kind *and* sufficient privilege.
+
+        ``level`` is the privilege of the executing code; it must be at
+        least as privileged (numerically <=) as the descriptor's level.
+        """
+        return access in self.permissions and level <= self.level
+
+
+class PartitionMemoryMap:
+    """All descriptors of one partition."""
+
+    def __init__(self, partition: str,
+                 descriptors: Iterable[MemoryDescriptor] = ()) -> None:
+        self.partition = partition
+        self._descriptors: List[MemoryDescriptor] = []
+        for descriptor in descriptors:
+            self.add(descriptor)
+
+    def add(self, descriptor: MemoryDescriptor) -> None:
+        """Add *descriptor*, verifying ownership and intra-map disjointness."""
+        if descriptor.partition != self.partition:
+            raise ConfigurationError(
+                f"descriptor for {descriptor.partition!r} added to the map of "
+                f"{self.partition!r}")
+        for existing in self._descriptors:
+            if descriptor.overlaps(existing):
+                raise ConfigurationError(
+                    f"partition {self.partition!r}: descriptor "
+                    f"[{descriptor.base:#x},{descriptor.end:#x}) overlaps "
+                    f"[{existing.base:#x},{existing.end:#x})")
+        self._descriptors.append(descriptor)
+
+    @property
+    def descriptors(self) -> Tuple[MemoryDescriptor, ...]:
+        """All descriptors, in insertion order."""
+        return tuple(self._descriptors)
+
+    def find(self, address: int) -> Optional[MemoryDescriptor]:
+        """The descriptor covering *address*, if any."""
+        for descriptor in self._descriptors:
+            if descriptor.covers(address):
+                return descriptor
+        return None
+
+    def section(self, section: MemorySection) -> Tuple[MemoryDescriptor, ...]:
+        """Descriptors of the given section kind."""
+        return tuple(d for d in self._descriptors if d.section is section)
+
+    def total_size(self) -> int:
+        """Total bytes granted to the partition."""
+        return sum(d.size for d in self._descriptors)
+
+
+class ModuleMemoryLayout:
+    """Every partition's memory map, with cross-partition disjointness.
+
+    Non-shared regions of different partitions must not overlap — that *is*
+    spatial partitioning ("applications running in one partition cannot
+    access addressing spaces outside those belonging to that partition",
+    Sect. 2.1).  Violations are integration-time errors, caught here rather
+    than at run time.
+    """
+
+    def __init__(self) -> None:
+        self._maps: Dict[str, PartitionMemoryMap] = {}
+
+    def add_partition(self, memory_map: PartitionMemoryMap) -> None:
+        """Register *memory_map*, verifying disjointness with all others."""
+        if memory_map.partition in self._maps:
+            raise ConfigurationError(
+                f"memory map for {memory_map.partition!r} already registered")
+        for other in self._maps.values():
+            for mine in memory_map.descriptors:
+                for theirs in other.descriptors:
+                    if mine.overlaps(theirs) and not (mine.shared
+                                                      and theirs.shared):
+                        raise ConfigurationError(
+                            f"spatial violation at integration: "
+                            f"{memory_map.partition!r} "
+                            f"[{mine.base:#x},{mine.end:#x}) overlaps "
+                            f"{other.partition!r} "
+                            f"[{theirs.base:#x},{theirs.end:#x}) and they "
+                            f"are not both shared")
+        self._maps[memory_map.partition] = memory_map
+
+    def map_of(self, partition: str) -> PartitionMemoryMap:
+        """The memory map of *partition*."""
+        try:
+            return self._maps[partition]
+        except KeyError:
+            raise ConfigurationError(
+                f"no memory map registered for partition {partition!r}"
+            ) from None
+
+    @property
+    def partitions(self) -> Tuple[str, ...]:
+        """Partitions with registered maps."""
+        return tuple(self._maps)

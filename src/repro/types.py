@@ -1,0 +1,184 @@
+"""Shared enumerations and elementary types used across the library.
+
+Time is measured in integer *clock ticks*, matching the paper's model where
+the AIR Partition Scheduler runs at every system clock tick (Sect. 4.3).
+``Ticks`` is an alias of :class:`int` kept for documentation value.
+
+The enumerations mirror the paper's formal model:
+
+* :class:`PartitionMode` — eq. (3), the operating mode ``M_m(t)``;
+* :class:`ProcessState` — eq. (13), the state ``St_m,q(t)``;
+* :class:`ErrorLevel` and :class:`ErrorCode` — the ARINC 653 Health
+  Monitoring classification used in Sects. 2.4 and 5;
+* :class:`RecoveryAction` — the per-error recovery actions listed in Sect. 5;
+* :class:`ScheduleChangeAction` — the per-partition restart behaviour applied
+  on a mode-based schedule switch (Sect. 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NewType
+
+#: Simulated time, in system clock ticks.
+Ticks = int
+
+#: Identifier of a partition (``P_m``), unique system-wide.
+PartitionId = NewType("PartitionId", str)
+
+#: Identifier of a process (``tau_m,q``), unique within its partition.
+ProcessName = NewType("ProcessName", str)
+
+#: Identifier of a partition scheduling table (``chi_i``).
+ScheduleId = NewType("ScheduleId", str)
+
+#: Sentinel relative deadline for processes with no deadline (``D = infinity``).
+INFINITE_TIME: Ticks = -1
+
+
+def is_infinite(value: Ticks) -> bool:
+    """Return True if *value* is the infinite-time sentinel (``D = infinity``)."""
+    return value == INFINITE_TIME
+
+
+class PartitionMode(enum.Enum):
+    """Operating mode of a partition — eq. (3).
+
+    ``NORMAL`` means the partition is operational with its process scheduler
+    active.  ``IDLE`` is a shut-down partition executing no processes.
+    ``COLD_START`` and ``WARM_START`` both denote initialization with process
+    scheduling disabled, differing in the initial context.
+    """
+
+    NORMAL = "normal"
+    IDLE = "idle"
+    COLD_START = "coldStart"
+    WARM_START = "warmStart"
+
+    @property
+    def is_starting(self) -> bool:
+        """True for the two initialization modes (process scheduling disabled)."""
+        return self in (PartitionMode.COLD_START, PartitionMode.WARM_START)
+
+
+class ProcessState(enum.Enum):
+    """State of a process — eq. (13).
+
+    A ``DORMANT`` process is ineligible for resources (not started, or
+    stopped).  ``READY`` is able to execute; ``RUNNING`` is the single
+    process currently executing; ``WAITING`` is blocked on an event
+    (delay, semaphore, period, suspension...).
+    """
+
+    DORMANT = "dormant"
+    READY = "ready"
+    RUNNING = "running"
+    WAITING = "waiting"
+
+    @property
+    def is_schedulable(self) -> bool:
+        """True if the process belongs to ``Ready_m(t)`` — eq. (15)."""
+        return self in (ProcessState.READY, ProcessState.RUNNING)
+
+
+class ErrorLevel(enum.Enum):
+    """Scope at which the Health Monitor handles an error (Sect. 2.4)."""
+
+    PROCESS = "process"
+    PARTITION = "partition"
+    MODULE = "module"
+
+
+class ErrorCode(enum.Enum):
+    """Error identities routed through Health Monitoring tables."""
+
+    DEADLINE_MISSED = "deadlineMissed"
+    APPLICATION_ERROR = "applicationError"
+    NUMERIC_ERROR = "numericError"
+    ILLEGAL_REQUEST = "illegalRequest"
+    STACK_OVERFLOW = "stackOverflow"
+    MEMORY_VIOLATION = "memoryViolation"
+    HARDWARE_FAULT = "hardwareFault"
+    POWER_FAILURE = "powerFailure"
+    CLOCK_TAMPERING = "clockTampering"
+    CONFIG_ERROR = "configError"
+
+
+class RecoveryAction(enum.Enum):
+    """Recovery actions available to error handlers (Sect. 5).
+
+    The paper lists: ignore (log only); log a number of times before acting;
+    stop the faulty process and reinitialize it or start another; stop the
+    faulty process and let the partition recover; restart or stop the
+    partition.  Module-level additions (``MODULE_*``) correspond to Sect. 2.4
+    "errors detected at system level may lead the entire system to be stopped
+    or reinitialized".
+    """
+
+    IGNORE = "ignore"
+    LOG_THEN_ACT = "logThenAct"
+    STOP_PROCESS = "stopProcess"
+    STOP_AND_RESTART_PROCESS = "stopAndRestartProcess"
+    STOP_PROCESS_PARTITION_RECOVERS = "stopProcessPartitionRecovers"
+    RESTART_PARTITION = "restartPartition"
+    STOP_PARTITION = "stopPartition"
+    MODULE_RESTART = "moduleRestart"
+    MODULE_STOP = "moduleStop"
+
+
+class ScheduleChangeAction(enum.Enum):
+    """Per-partition restart behaviour on a schedule switch (Sect. 4).
+
+    Applied the first time a partition is dispatched after the switch
+    (the paper's reading of ARINC 653 Part 2 — Sect. 4.3).
+    """
+
+    IGNORE = "ignore"
+    COLD_START = "coldStart"
+    WARM_START = "warmStart"
+
+
+class StartCondition(enum.Enum):
+    """Why a partition (re)entered a start mode (ARINC 653 GET_PARTITION_STATUS).
+
+    Lets initialization code distinguish a power-on start from the various
+    recovery restarts (Sect. 5's recovery actions all funnel through here).
+    """
+
+    NORMAL_START = "normalStart"
+    PARTITION_RESTART = "partitionRestart"
+    HM_PARTITION_RESTART = "hmPartitionRestart"
+    HM_MODULE_RESTART = "hmModuleRestart"
+
+
+class AccessKind(enum.Enum):
+    """Kind of memory access, checked against spatial descriptors (Fig. 3)."""
+
+    READ = "read"
+    WRITE = "write"
+    EXECUTE = "execute"
+
+
+class PrivilegeLevel(enum.IntEnum):
+    """Execution level of a memory access (Fig. 3's levels of execution).
+
+    Lower value = more privileged, mirroring hardware ring conventions.
+    """
+
+    PMK = 0
+    POS = 1
+    APPLICATION = 2
+
+
+class QueuingDiscipline(enum.Enum):
+    """Ordering of processes blocked on a shared resource (ARINC 653)."""
+
+    FIFO = "fifo"
+    PRIORITY = "priority"
+
+
+class PortDirection(enum.Enum):
+    """Direction of an interpartition communication port."""
+
+    SOURCE = "source"
+    DESTINATION = "destination"

@@ -1,0 +1,5 @@
+"""VITRAL-like text-mode window manager (Sect. 6, Fig. 9)."""
+
+from .windows import VitralScreen, Window
+
+__all__ = ["VitralScreen", "Window"]

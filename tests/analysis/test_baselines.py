@@ -1,0 +1,134 @@
+"""Tests for the Sect. 7 baseline analyses (repro.analysis.baselines)."""
+
+import pytest
+
+from repro.analysis.baselines import (
+    analyze_partition_reservation,
+    analyze_partition_single_window,
+    analyze_single_level,
+    periodic_resource_supply,
+    single_window_applicable,
+    single_window_supply,
+)
+from repro.analysis.supply import SupplyCurve, supply_bound_function
+from repro.core.model import Partition, PartitionRequirement, ProcessModel, SystemModel
+
+from ..conftest import make_schedule
+
+SINGLE_WINDOW = dict(mtf=200, requirements=(("P1", 100, 30),),
+                     windows=(("P1", 0, 30), ("P1", 100, 30)))
+FRAGMENTED = dict(mtf=200, requirements=(("P1", 100, 30),),
+                  windows=(("P1", 0, 15), ("P1", 50, 15),
+                           ("P1", 100, 30)))
+
+
+def tasks(*specs):
+    return tuple(ProcessModel(name=n, period=p, deadline=d, priority=pr,
+                              wcet=c) for n, p, d, pr, c in specs)
+
+
+class TestSingleWindowTheorem:
+    def test_applicability_accepts_one_window_per_cycle(self):
+        schedule = make_schedule(**SINGLE_WINDOW)
+        assert single_window_applicable(schedule, "P1")
+
+    def test_applicability_rejects_fragmented_schedules(self):
+        # The paper's critique of [18]: fragmentation breaks the theorem's
+        # core assumption (Sect. 7).
+        schedule = make_schedule(**FRAGMENTED)
+        assert not single_window_applicable(schedule, "P1")
+
+    def test_supply_function_shape(self):
+        supply = single_window_supply(cycle=100, duration=30)
+        assert supply(0) == 0
+        assert supply(70) == 0          # blackout of cycle - duration
+        assert supply(100) == 30
+        assert supply(170) == 30
+        assert supply(200) == 60
+
+    def test_analysis_returns_none_when_inapplicable(self):
+        partition = Partition(name="P1", processes=tasks(
+            ("a", 100, 100, 1, 10)))
+        assert analyze_partition_single_window(
+            partition, make_schedule(**FRAGMENTED)) is None
+
+    def test_matches_exact_analysis_on_single_window_schedules(self):
+        partition = Partition(name="P1", processes=tasks(
+            ("a", 200, 200, 1, 20)))
+        schedule = make_schedule(**SINGLE_WINDOW)
+        simple = analyze_partition_single_window(partition, schedule)
+        assert simple is not None and simple.schedulable
+
+
+class TestPeriodicResource:
+    def test_shin_lee_supply_shape(self):
+        # Worst-case starvation of a periodic resource is 2*(period-budget):
+        # a budget at the very start of one period, the next at the very
+        # end of the following one.
+        supply = periodic_resource_supply(period=100, budget=30)
+        assert supply(140) == 0
+        assert supply(155) == 15               # mid-budget
+        assert supply(170) == 30
+        assert supply(240) == 30               # plateau until the next budget
+        assert supply(270) == 60
+
+    def test_reservation_is_no_more_optimistic_than_actual_table(self):
+        # The reservation abstraction ignores the table, so it must never
+        # promise more supply than the real single-window layout provides
+        # at its own worst case... both describe d per eta worst-phased.
+        schedule = make_schedule(**SINGLE_WINDOW)
+        reservation = periodic_resource_supply(100, 30)
+        for delta in range(0, 400, 7):
+            assert reservation(delta) <= supply_bound_function(
+                schedule, "P1", delta) + 30  # within one budget of exact
+
+    def test_reservation_analysis_runs(self):
+        partition = Partition(name="P1", processes=tasks(
+            ("a", 200, 200, 1, 20)))
+        schedule = make_schedule(**SINGLE_WINDOW)
+        analysis = analyze_partition_reservation(
+            partition, PartitionRequirement("P1", 100, 30), schedule)
+        assert analysis.schedulable
+
+
+class TestSingleLevel:
+    def test_all_processes_flattened(self):
+        system = SystemModel(
+            partitions=(
+                Partition(name="P1", processes=tasks(("a", 100, 100, 1, 10))),
+                Partition(name="P2", processes=tasks(("b", 100, 100, 2, 10)))),
+            schedules=(make_schedule(
+                mtf=100, requirements=(("P1", 100, 40), ("P2", 100, 40)),
+                windows=(("P1", 0, 40), ("P2", 40, 40))),),
+            initial_schedule="s1")
+        verdicts = analyze_single_level(system)
+        assert [(v.partition, v.process) for v in verdicts] == [
+            ("P1", "a"), ("P2", "b")]
+        assert all(v.schedulable for v in verdicts)
+
+    def test_single_level_accepts_what_partitioning_rejects(self):
+        # Abandoning two-level scheduling [4] buys schedulability at the
+        # price of losing temporal partitioning: a process set that does
+        # not fit its partition windows may fit the whole CPU.
+        partition = Partition(name="P1", processes=tasks(
+            ("tight", 100, 50, 1, 35)))
+        schedule = make_schedule(mtf=100, requirements=(("P1", 100, 40),),
+                                 windows=(("P1", 0, 40),))
+        system = SystemModel(partitions=(partition,), schedules=(schedule,),
+                             initial_schedule="s1")
+        partitioned = analyze_partition_single_window(partition, schedule)
+        flat = analyze_single_level(system)
+        assert partitioned is not None and not partitioned.schedulable
+        assert flat[0].schedulable
+
+    def test_exact_window_analysis_beats_single_window_theorem(self):
+        # E11's headline: AIR's window-exact sbf accepts a fragmented
+        # schedule the [18] abstraction cannot even analyze.
+        partition = Partition(name="P1", processes=tasks(
+            ("a", 100, 90, 1, 15)))
+        schedule = make_schedule(**FRAGMENTED)
+        from repro.analysis.schedulability import analyze_partition
+
+        exact = analyze_partition(partition, schedule)
+        assert exact.schedulable
+        assert analyze_partition_single_window(partition, schedule) is None

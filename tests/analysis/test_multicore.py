@@ -1,0 +1,150 @@
+"""Tests for the multicore model extension (repro.analysis.multicore) —
+the paper's future-work item (iv)."""
+
+import pytest
+
+from repro.analysis.multicore import (
+    MulticoreSchedule,
+    generate_multicore_pst,
+    validate_multicore,
+)
+from repro.core.model import PartitionRequirement
+from repro.exceptions import ConfigurationError
+from repro.kernel.rng import SeededRng
+
+from ..conftest import make_schedule
+
+
+def dual_core(parallel_capable=frozenset(), p1_core1_offset=0):
+    """P1 on both cores; offset controls whether its windows overlap."""
+    core0 = make_schedule(
+        schedule_id="c0", mtf=100,
+        requirements=(("P1", 100, 30), ("P2", 100, 40)),
+        windows=(("P1", 0, 30), ("P2", 30, 40)))
+    core1 = make_schedule(
+        schedule_id="c1", mtf=100,
+        requirements=(("P1", 100, 20), ("P3", 100, 40)),
+        windows=(("P1", p1_core1_offset, 20),
+                 ("P3", max(p1_core1_offset + 20, 40), 40)))
+    return MulticoreSchedule(
+        schedule_id="mc", major_time_frame=100,
+        requirements=(PartitionRequirement("P1", 100, 50),
+                      PartitionRequirement("P2", 100, 40),
+                      PartitionRequirement("P3", 100, 40)),
+        cores={"core0": core0, "core1": core1},
+        parallel_capable=parallel_capable)
+
+
+class TestModel:
+    def test_mismatched_mtf_rejected(self):
+        core0 = make_schedule(mtf=100)
+        core1 = make_schedule(schedule_id="s2", mtf=200,
+                              requirements=(("P1", 200, 40),),
+                              windows=(("P1", 0, 40),))
+        with pytest.raises(ConfigurationError, match="MTF"):
+            MulticoreSchedule(schedule_id="mc", major_time_frame=100,
+                              requirements=(PartitionRequirement(
+                                  "P1", 100, 40),),
+                              cores={"core0": core0, "core1": core1})
+
+    def test_windows_of_spans_cores(self):
+        schedule = dual_core()
+        placements = schedule.windows_of("P1")
+        assert {core for core, _ in placements} == {"core0", "core1"}
+
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(ConfigurationError, match="core"):
+            MulticoreSchedule(schedule_id="mc", major_time_frame=100,
+                              requirements=(PartitionRequirement(
+                                  "P1", 100, 40),),
+                              cores={})
+
+
+class TestValidation:
+    def test_self_parallelism_detected(self):
+        # P1's windows on both cores overlap in [0, 20).
+        schedule = dual_core(p1_core1_offset=0)
+        report = validate_multicore(schedule)
+        assert report.by_code("SELF_PARALLELISM")
+        assert not report.ok
+
+    def test_parallel_capable_partition_allowed(self):
+        schedule = dual_core(parallel_capable=frozenset({"P1"}))
+        report = validate_multicore(schedule)
+        assert not report.by_code("SELF_PARALLELISM")
+
+    def test_disjoint_placements_are_fine(self):
+        # P1 on core1 at offset 40: no instant with both cores held.
+        schedule = dual_core(p1_core1_offset=40)
+        report = validate_multicore(schedule)
+        assert not report.by_code("SELF_PARALLELISM")
+        assert report.ok, report.render()
+
+    def test_aggregate_duration_across_cores(self):
+        # P1 needs 50/cycle: 30 on core0 + 20 on core1 = exactly met.
+        schedule = dual_core(p1_core1_offset=40)
+        report = validate_multicore(schedule)
+        assert not report.by_code("EQ23_MULTICORE")
+
+    def test_aggregate_shortfall_detected(self):
+        schedule = MulticoreSchedule(
+            schedule_id="mc", major_time_frame=100,
+            requirements=(PartitionRequirement("P1", 100, 60),),
+            cores={"core0": make_schedule(
+                mtf=100, requirements=(("P1", 100, 30),),
+                windows=(("P1", 0, 30),))})
+        report = validate_multicore(schedule)
+        assert report.by_code("EQ23_MULTICORE")
+
+    def test_per_core_wellformedness_reported_with_core_prefix(self):
+        bad_core = make_schedule(
+            mtf=150, requirements=(("P1", 100, 10),),
+            windows=(("P1", 0, 10),))
+        schedule = MulticoreSchedule(
+            schedule_id="mc", major_time_frame=150,
+            requirements=(PartitionRequirement("P1", 100, 10),),
+            cores={"core0": bad_core})
+        report = validate_multicore(schedule)
+        assert report.by_code("CORE_EQ22_MTF_NOT_MULTIPLE")
+
+
+class TestGeneration:
+    def test_two_core_synthesis(self):
+        requirements = [PartitionRequirement("P1", 100, 60),
+                        PartitionRequirement("P2", 100, 60),
+                        PartitionRequirement("P3", 200, 80),
+                        PartitionRequirement("P4", 200, 60)]
+        schedule = generate_multicore_pst(requirements, cores=2)
+        assert schedule is not None
+        report = validate_multicore(schedule)
+        assert report.ok, report.render()
+
+    def test_load_exceeding_all_cores_fails(self):
+        requirements = [PartitionRequirement(f"P{i}", 100, 80)
+                        for i in range(1, 5)]  # 3.2 cores of load on 2
+        assert generate_multicore_pst(requirements, cores=2) is None
+
+    def test_single_core_degenerates_to_generate_pst(self):
+        requirements = [PartitionRequirement("P1", 100, 30),
+                        PartitionRequirement("P2", 100, 40)]
+        schedule = generate_multicore_pst(requirements, cores=1)
+        assert schedule is not None
+        assert schedule.core_names == ("core0",)
+        assert validate_multicore(schedule).ok
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ConfigurationError):
+            generate_multicore_pst([PartitionRequirement("P1", 100, 10)],
+                                   cores=0)
+
+    def test_partitions_never_split_across_cores(self):
+        # Non-parallel partitions must land on exactly one core.
+        requirements = [PartitionRequirement(f"P{i}", 100, 30)
+                        for i in range(1, 7)]
+        schedule = generate_multicore_pst(requirements, cores=3)
+        assert schedule is not None
+        for requirement in requirements:
+            cores_used = {core for core, _
+                          in schedule.windows_of(requirement.partition)}
+            assert len(cores_used) == 1
+        assert validate_multicore(schedule).ok

@@ -1,0 +1,75 @@
+"""Tests for the integrated module analysis report (repro.analysis.report)."""
+
+import pytest
+
+from repro.analysis.report import ModuleReport, build_report
+from repro.apps.prototype import build_prototype
+from repro.core.model import Partition, ProcessModel, SystemModel
+
+from ..conftest import make_schedule, make_system
+
+
+class TestBuildReport:
+    def test_prototype_report_complete(self):
+        report = build_report(build_prototype().config)
+        assert report.validation.ok
+        assert {s.schedule_id for s in report.schedules} == {"chi1", "chi2"}
+        chi1 = report.schedule("chi1")
+        assert chi1.major_time_frame == 1300
+        assert chi1.idle_ticks == 0
+        assert {s.partition for s in chi1.supplies} == \
+            {"P1", "P2", "P3", "P4"}
+
+    def test_report_from_bare_model(self):
+        report = build_report(make_system())
+        assert len(report.schedules) == 1
+        assert report.ok
+
+    def test_unschedulable_process_rejects_module(self):
+        system = SystemModel(
+            partitions=(Partition(name="P1", processes=(
+                ProcessModel(name="tight", period=100, deadline=35,
+                             priority=1, wcet=30),)),),
+            schedules=(make_schedule(requirements=(("P1", 100, 40),),
+                                     windows=(("P1", 0, 40),)),),
+            initial_schedule="s1")
+        report = build_report(system)
+        assert report.validation.ok          # the config itself is legal...
+        assert not report.ok                 # ...but the taskset can't make it
+        verdict = report.schedule("s1").analyses[0].verdict_for("tight")
+        assert not verdict.schedulable
+
+    def test_render_mentions_everything(self):
+        report = build_report(build_prototype().config)
+        text = report.render()
+        assert "MODULE ANALYSIS REPORT" in text
+        assert "schedule 'chi1'" in text
+        assert "supply P1:" in text
+        assert "P1/aocs-sensing" in text
+        assert text.endswith(("ACCEPTABLE", "REJECTED"))
+
+    def test_unknown_schedule_lookup(self):
+        report = build_report(make_system())
+        with pytest.raises(KeyError):
+            report.schedule("ghost")
+
+
+class TestTraceExport:
+    def test_to_dicts_and_jsonl(self, tmp_path):
+        import json
+
+        from repro.apps.prototype import make_simulator
+
+        simulator = make_simulator()
+        simulator.run_mtf(1)
+        records = simulator.trace.to_dicts()
+        assert records
+        assert all("kind" in record and "tick" in record
+                   for record in records)
+
+        path = tmp_path / "trace.jsonl"
+        written = simulator.trace.save_jsonl(str(path))
+        lines = path.read_text().strip().split("\n")
+        assert written == len(records) == len(lines)
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["kind"] == records[0]["kind"]

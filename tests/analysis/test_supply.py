@@ -1,0 +1,92 @@
+"""Tests for partition supply functions (repro.analysis.supply)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.supply import (
+    SupplyCurve,
+    linear_supply_bound,
+    supplied_in,
+    supply_bound_function,
+)
+
+from ..conftest import make_schedule
+
+FRAGMENTED = dict(
+    mtf=100, requirements=(("P1", 100, 30), ("P2", 100, 40)),
+    windows=(("P1", 0, 10), ("P2", 10, 40), ("P1", 50, 20)))
+
+
+class TestSuppliedIn:
+    def test_inside_one_window(self):
+        schedule = make_schedule(**FRAGMENTED)
+        assert supplied_in(schedule, "P1", 0, 10) == 10
+        assert supplied_in(schedule, "P1", 2, 5) == 5
+
+    def test_across_windows_and_gaps(self):
+        schedule = make_schedule(**FRAGMENTED)
+        assert supplied_in(schedule, "P1", 0, 100) == 30
+        assert supplied_in(schedule, "P1", 5, 50) == 10  # 5 + 5 of [50,70)
+
+    def test_across_mtf_boundary(self):
+        schedule = make_schedule(**FRAGMENTED)
+        assert supplied_in(schedule, "P1", 60, 50) == 20  # [60,70) + [100,110)
+
+    def test_zero_length(self):
+        schedule = make_schedule(**FRAGMENTED)
+        assert supplied_in(schedule, "P1", 5, 0) == 0
+
+    def test_unknown_partition_rejected(self):
+        schedule = make_schedule(**FRAGMENTED)
+        with pytest.raises(ValueError):
+            supplied_in(schedule, "P9", 0, 10)
+
+
+class TestSupplyBoundFunction:
+    def test_sbf_is_worst_case(self):
+        schedule = make_schedule(**FRAGMENTED)
+        # Starting right after P1's window [0, 10) is worst: 40 ticks of
+        # starvation until the [50, 70) window opens.
+        assert supply_bound_function(schedule, "P1", 40) == 0
+        assert supply_bound_function(schedule, "P1", 50) == 10
+        assert supply_bound_function(schedule, "P1", 60) == 10
+        assert supply_bound_function(schedule, "P1", 100) == 30
+
+    def test_sbf_full_mtf_supplies_allocation(self):
+        schedule = make_schedule(**FRAGMENTED)
+        assert supply_bound_function(schedule, "P1", 100) == \
+            schedule.allocated_time("P1")
+
+    def test_sbf_monotone_nondecreasing(self):
+        schedule = make_schedule(**FRAGMENTED)
+        values = [supply_bound_function(schedule, "P1", d)
+                  for d in range(0, 220)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_supply_curve_memoizes(self):
+        schedule = make_schedule(**FRAGMENTED)
+        curve = SupplyCurve(schedule, "P1")
+        assert curve(60) == supply_bound_function(schedule, "P1", 60)
+        assert curve(60) == curve(60)
+
+
+class TestLinearBound:
+    def test_alpha_is_long_run_rate(self):
+        schedule = make_schedule(**FRAGMENTED)
+        alpha, delay = linear_supply_bound(schedule, "P1")
+        assert alpha == pytest.approx(0.30)
+        assert delay > 0
+        # The bound must actually lower-bound the sbf.
+        for delta in range(1, 200):
+            assert supply_bound_function(schedule, "P1", delta) >= \
+                alpha * (delta - delay) - 1e-9
+
+
+@given(st.integers(0, 60), st.integers(1, 120))
+@settings(max_examples=100, deadline=None)
+def test_sbf_never_exceeds_any_concrete_placement(start, length):
+    """Property: sbf(L) <= supplied_in(start, L) for every placement."""
+    schedule = make_schedule(**FRAGMENTED)
+    assert supply_bound_function(schedule, "P1", length) <= \
+        supplied_in(schedule, "P1", start, length)

@@ -1,0 +1,90 @@
+"""Tests for the text timeline renderer (repro.analysis.timeline)."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    occupancy_from_trace,
+    render_schedule,
+    render_timeline,
+)
+from repro.apps.prototype import MTF, build_prototype, inject_faulty_process, \
+    make_simulator
+
+from ..conftest import make_schedule
+
+
+class TestOccupancyFromTrace:
+    def test_matches_live_sampling(self):
+        # "Owner of tick t" = the partition dispatched at or before t;
+        # sampling *after* step() observes exactly that.
+        simulator = make_simulator()
+        live = []
+        for _ in range(2 * MTF):
+            simulator.step()
+            live.append(simulator.active_partition)
+        reconstructed = occupancy_from_trace(simulator.trace, start=0,
+                                             end=2 * MTF)
+        assert reconstructed == live
+
+    def test_interval_not_starting_at_zero(self):
+        simulator = make_simulator()
+        simulator.run(2 * MTF)
+        occupancy = occupancy_from_trace(simulator.trace, start=MTF + 250,
+                                         end=MTF + 350)
+        # MTF offsets [250, 350): P2 holds [200, 300), P3 holds [300, 400).
+        assert occupancy == ["P2"] * 50 + ["P3"] * 50
+
+    def test_empty_interval_rejected(self):
+        simulator = make_simulator()
+        with pytest.raises(ValueError):
+            occupancy_from_trace(simulator.trace, start=10, end=10)
+
+
+class TestRenderTimeline:
+    def test_lanes_for_every_partition(self):
+        simulator = make_simulator()
+        simulator.run(MTF)
+        text = render_timeline(simulator, start=0, end=MTF, resolution=100)
+        for name in ("P1", "P2", "P3", "P4"):
+            assert name in text
+        # P1 holds [0, 200): first two 100-tick cells of its lane are busy.
+        p1_lane = next(line for line in text.splitlines()
+                       if line.startswith("P1"))
+        assert p1_lane.split()[1].startswith("##.")
+
+    def test_markers_for_misses_and_switches(self):
+        handles = build_prototype()
+        simulator = make_simulator(handles)
+        inject_faulty_process(simulator)
+        simulator.run_mtf(2)
+        handles.ttc_stats.queue_schedule_command("chi2")
+        simulator.run_mtf(3)
+        text = render_timeline(simulator, start=0, end=simulator.now,
+                               resolution=100)
+        assert "!" in text   # deadline miss marker
+        assert "|" in text   # schedule switch marker
+
+    def test_invalid_resolution(self):
+        simulator = make_simulator()
+        simulator.run(10)
+        with pytest.raises(ValueError):
+            render_timeline(simulator, start=0, end=10, resolution=0)
+
+
+class TestRenderSchedule:
+    def test_static_fig8_rendering(self):
+        chi1 = build_prototype().config.model.schedule("chi1")
+        text = render_schedule(chi1, resolution=100)
+        lines = text.splitlines()
+        assert lines[0].startswith("chi1: MTF=1300")
+        p4 = next(line for line in lines if line.startswith("P4"))
+        # P4 holds [400, 1000) and [1200, 1300): cells 4-9 and 12.
+        assert p4.split()[1] == "....######..#"
+
+    def test_idle_gaps_rendered_as_dots(self):
+        schedule = make_schedule(
+            mtf=100, requirements=(("P1", 100, 30),),
+            windows=(("P1", 20, 30),))
+        text = render_schedule(schedule, resolution=10)
+        lane = text.splitlines()[1].split()[1]
+        assert lane == "..###....."

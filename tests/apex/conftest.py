@@ -1,0 +1,112 @@
+"""Harness for APEX service tests: a partition stack without the full PMK."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apex.interface import ApexInterface, ModuleControl, PartitionControl
+from repro.apex.types import ScheduleStatus
+from repro.core.model import Partition, ProcessModel
+from repro.kernel.trace import Trace
+from repro.pos.pal import PosAdaptationLayer
+from repro.pos.rtems import RtemsPos
+from repro.types import PartitionMode
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, by=1):
+        self.now += by
+        return self.now
+
+
+class FakePartitionControl(PartitionControl):
+    def __init__(self):
+        self._mode = PartitionMode.COLD_START
+        self.restarts = []
+        self.shutdowns = 0
+
+    @property
+    def mode(self):
+        return self._mode
+
+    def enter_normal(self):
+        self._mode = PartitionMode.NORMAL
+
+    def shutdown(self):
+        self._mode = PartitionMode.IDLE
+        self.shutdowns += 1
+
+    def request_restart(self, mode):
+        self._mode = mode
+        self.restarts.append(mode)
+
+
+class FakeModuleControl(ModuleControl):
+    def __init__(self):
+        self.requests = []
+        self.current = "s1"
+        self.next = "s1"
+
+    def set_module_schedule(self, schedule_id, *, requested_by):
+        self.requests.append((schedule_id, requested_by))
+        self.next = schedule_id
+
+    def schedule_status(self):
+        return ScheduleStatus(last_switch_tick=0, current_schedule=self.current,
+                              next_schedule=self.next)
+
+
+DEFAULT_MODELS = (
+    ProcessModel(name="worker", period=100, deadline=80, priority=2, wcet=10),
+    ProcessModel(name="helper", period=200, deadline=200, priority=4, wcet=10),
+    ProcessModel(name="aper", priority=6, periodic=False),
+)
+
+
+class ApexHarness:
+    """One partition's APEX stack with a hand-cranked clock and tick driver."""
+
+    def __init__(self, models=DEFAULT_MODELS, system_partition=False):
+        self.partition = Partition(name="P1", processes=tuple(models))
+        self.pos = RtemsPos(self.partition)
+        self.clock = FakeClock()
+        self.trace = Trace()
+        self.violations = []
+        self.faults = []
+        self.pal = PosAdaptationLayer(
+            self.pos, clock=self.clock, trace=self.trace,
+            on_violation=self.violations.append,
+            on_fault=lambda tcb, exc: self.faults.append((tcb.name, exc)))
+        self.control = FakePartitionControl()
+        self.module = FakeModuleControl()
+        self.apex = ApexInterface(pal=self.pal, partition_control=self.control,
+                                  module_control=self.module, trace=self.trace,
+                                  system_partition=system_partition)
+
+    def run_ticks(self, count):
+        """Advance time tick by tick, announcing and executing each one."""
+        executed = []
+        for _ in range(count):
+            self.pal.announce_ticks(1)
+            executed.append(self.pos.execute_tick(self.clock.now))
+            self.clock.tick()
+        return executed
+
+
+@pytest.fixture
+def harness():
+    return ApexHarness()
+
+
+@pytest.fixture
+def normal_harness():
+    """Harness already in NORMAL mode (creation window closed)."""
+    h = ApexHarness()
+    h.control.enter_normal()
+    return h

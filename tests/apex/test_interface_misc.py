@@ -1,0 +1,74 @@
+"""Miscellaneous APEX interface coverage: lookups, guards, no-router paths."""
+
+import pytest
+
+from repro.apex.types import ReturnCode
+from repro.core.model import ProcessModel
+from repro.types import PortDirection, QueuingDiscipline
+
+from .conftest import ApexHarness
+
+
+class TestBodiesAndLookups:
+    def test_has_body(self, harness):
+        assert not harness.apex.has_body("worker")
+        harness.apex.register_body("worker", lambda ctx=None: iter(()))
+        assert harness.apex.has_body("worker")
+
+    def test_register_body_unknown_process(self, harness):
+        from repro.exceptions import UnknownProcessError
+
+        with pytest.raises(UnknownProcessError):
+            harness.apex.register_body("ghost", lambda: None)
+
+    def test_now_tracks_clock(self, harness):
+        harness.clock.now = 77
+        assert harness.apex.now() == 77
+
+    def test_resource_lookup_by_name(self, harness):
+        created = harness.apex.create_event("ev").expect()
+        assert harness.apex.event("ev") is created
+        with pytest.raises(KeyError):
+            harness.apex.event("ghost")
+
+    def test_duplicate_resource_names_rejected(self, harness):
+        harness.apex.create_event("ev")
+        assert harness.apex.create_event("ev").code is ReturnCode.NO_ACTION
+        harness.apex.create_blackboard("bb")
+        assert harness.apex.create_blackboard("bb").code is \
+            ReturnCode.NO_ACTION
+
+    def test_priority_discipline_buffer_creation(self, harness):
+        buffer = harness.apex.create_buffer(
+            "b", max_messages=2,
+            discipline=QueuingDiscipline.PRIORITY).expect()
+        assert buffer.queue.discipline is QueuingDiscipline.PRIORITY
+
+
+class TestNoRouterPaths:
+    def test_port_creation_without_router(self, harness):
+        # The harness wires no CommRouter: ports are NOT_AVAILABLE.
+        assert harness.apex.create_sampling_port(
+            "p", PortDirection.SOURCE).code is ReturnCode.NOT_AVAILABLE
+        assert harness.apex.create_queuing_port(
+            "q", PortDirection.SOURCE).code is ReturnCode.NOT_AVAILABLE
+
+
+class TestSporadicGuards:
+    def test_delayed_start_of_sporadic_rejected(self):
+        harness = ApexHarness(models=(
+            ProcessModel(name="alarm", period=50, deadline=40, priority=1,
+                         wcet=5, periodic=False),))
+        harness.apex.register_body("alarm", lambda ctx=None: iter(()))
+        assert harness.apex.delayed_start("alarm", 10).code is \
+            ReturnCode.INVALID_MODE
+
+
+class TestServiceResult:
+    def test_expect_passes_value(self, harness):
+        assert harness.apex.get_time().expect("reading time") == 0
+
+    def test_expect_raises_with_context(self, harness):
+        result = harness.apex.start("ghost")
+        with pytest.raises(RuntimeError, match="starting ghost"):
+            result.expect("starting ghost")

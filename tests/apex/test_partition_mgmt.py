@@ -1,0 +1,90 @@
+"""Tests for APEX partition management and schedule services."""
+
+import pytest
+
+from repro.apex.types import ReturnCode
+from repro.types import ErrorCode, PartitionMode
+
+
+class TestSetPartitionMode:
+    def test_enter_normal_from_cold_start(self, harness):
+        assert harness.control.mode is PartitionMode.COLD_START
+        assert harness.apex.set_partition_mode(PartitionMode.NORMAL).is_ok
+        assert harness.control.mode is PartitionMode.NORMAL
+
+    def test_normal_to_normal_is_no_action(self, normal_harness):
+        assert normal_harness.apex.set_partition_mode(
+            PartitionMode.NORMAL).code is ReturnCode.NO_ACTION
+
+    def test_idle_shuts_down(self, normal_harness):
+        assert normal_harness.apex.set_partition_mode(PartitionMode.IDLE).is_ok
+        assert normal_harness.control.mode is PartitionMode.IDLE
+        assert normal_harness.control.shutdowns == 1
+
+    def test_idle_to_normal_is_invalid(self, normal_harness):
+        normal_harness.apex.set_partition_mode(PartitionMode.IDLE)
+        assert normal_harness.apex.set_partition_mode(
+            PartitionMode.NORMAL).code is ReturnCode.INVALID_MODE
+
+    def test_warm_start_requests_restart(self, normal_harness):
+        assert normal_harness.apex.set_partition_mode(
+            PartitionMode.WARM_START).is_ok
+        assert normal_harness.control.restarts == [PartitionMode.WARM_START]
+
+    def test_get_partition_status(self, normal_harness):
+        status = normal_harness.apex.get_partition_status().expect()
+        assert status.identifier == "P1"
+        assert status.operating_mode is PartitionMode.NORMAL
+        assert status.lock_level == 0
+
+
+class TestModuleScheduleServices:
+    def test_authorized_partition_requests_switch(self):
+        from .conftest import ApexHarness
+
+        harness = ApexHarness(system_partition=True)
+        assert harness.apex.set_module_schedule("s2").is_ok
+        assert harness.module.requests == [("s2", "P1")]
+
+    def test_unauthorized_partition_rejected(self, harness):
+        # Sect. 4.2: the service "must be invoked by an authorized
+        # partition".
+        assert harness.apex.set_module_schedule("s2").code is \
+            ReturnCode.INVALID_MODE
+        assert harness.module.requests == []
+
+    def test_get_module_schedule_status(self):
+        from .conftest import ApexHarness
+
+        harness = ApexHarness(system_partition=True)
+        harness.apex.set_module_schedule("s2")
+        status = harness.apex.get_module_schedule_status().expect()
+        # Sect. 4.2's three fields.
+        assert status.last_switch_tick == 0
+        assert status.current_schedule == "s1"
+        assert status.next_schedule == "s2"
+        assert status.switch_pending
+
+    def test_status_without_pending_switch(self, harness):
+        status = harness.apex.get_module_schedule_status().expect()
+        assert not status.switch_pending
+
+
+class TestErrorServices:
+    def test_report_application_message_traced(self, harness):
+        from repro.kernel.trace import ApplicationMessage
+
+        harness.apex.report_application_message("hello", process="worker")
+        messages = harness.trace.of_type(ApplicationMessage)
+        assert len(messages) == 1
+        assert messages[0].text == "hello"
+        assert messages[0].process == "worker"
+
+    def test_raise_application_error_without_hm(self, harness):
+        # The harness wires no HealthMonitor: NOT_AVAILABLE, not a crash.
+        assert harness.apex.raise_application_error("x").code is \
+            ReturnCode.NOT_AVAILABLE
+
+    def test_create_error_handler_without_hm(self, harness):
+        assert harness.apex.create_error_handler(
+            lambda report: None).code is ReturnCode.NOT_AVAILABLE

@@ -1,0 +1,202 @@
+"""Tests for APEX interpartition ports (repro.apex.ports), driven through a
+full two-partition simulation so blocking receive and cross-window delivery
+are exercised for real."""
+
+import pytest
+
+from repro import Call, Compute, SystemBuilder
+from repro.apex.types import ReturnCode
+from repro.kernel.simulator import Simulator
+from repro.types import INFINITE_TIME, PartitionMode, PortDirection
+
+
+def build_sim(*, mode="queuing", refresh_period=0, max_nb_messages=4,
+              producer_body=None, consumer_body=None, latency=0):
+    builder = SystemBuilder()
+    outcome = {"received": [], "codes": [], "valid": []}
+
+    producer = builder.partition("Psrc")
+    producer.process("tx", period=100, deadline=100, priority=1, wcet=10)
+
+    def default_producer(ctx):
+        job = 0
+        while True:
+            yield Compute(2)
+            job += 1
+            if mode == "queuing":
+                port = ctx.apex.queuing_port("out")
+                yield Call(port.send, (b"msg-%d" % job,))
+            else:
+                port = ctx.apex.sampling_port("out")
+                yield Call(port.write, (b"sample-%d" % job,))
+            yield Call(ctx.apex.periodic_wait)
+
+    producer.body("tx", producer_body or default_producer)
+
+    def producer_init(apex):
+        if mode == "queuing":
+            apex.create_queuing_port("out", PortDirection.SOURCE)
+        else:
+            apex.create_sampling_port("out", PortDirection.SOURCE)
+        apex.start("tx")
+        apex.set_partition_mode(PartitionMode.NORMAL)
+
+    producer.init_hook(producer_init)
+
+    consumer = builder.partition("Pdst")
+    consumer.process("rx", period=100, deadline=100, priority=1, wcet=10)
+
+    def default_consumer(ctx):
+        while True:
+            yield Compute(1)
+            if mode == "queuing":
+                port = ctx.apex.queuing_port("in")
+                result = yield Call(port.receive)
+                outcome["codes"].append(result.code)
+                if result.is_ok:
+                    outcome["received"].append(result.value)
+            else:
+                port = ctx.apex.sampling_port("in")
+                result = yield Call(port.read)
+                outcome["codes"].append(result.code)
+                if result.is_ok:
+                    payload, valid = result.value
+                    outcome["received"].append(payload)
+                    outcome["valid"].append(valid)
+            yield Call(ctx.apex.periodic_wait)
+
+    consumer.body("rx", consumer_body or default_consumer)
+
+    def consumer_init(apex):
+        if mode == "queuing":
+            apex.create_queuing_port("in", PortDirection.DESTINATION)
+        else:
+            apex.create_sampling_port("in", PortDirection.DESTINATION)
+        apex.start("rx")
+        apex.set_partition_mode(PartitionMode.NORMAL)
+
+    consumer.init_hook(consumer_init)
+
+    if mode == "queuing":
+        builder.queuing_channel("ch", source=("Psrc", "out"),
+                                destination=("Pdst", "in"),
+                                max_nb_messages=max_nb_messages,
+                                latency=latency)
+    else:
+        builder.sampling_channel("ch", source=("Psrc", "out"),
+                                 destinations=(("Pdst", "in"),),
+                                 refresh_period=refresh_period,
+                                 latency=latency)
+    builder.schedule("main", mtf=100) \
+        .require("Psrc", cycle=100, duration=40) \
+        .window("Psrc", offset=0, duration=40) \
+        .require("Pdst", cycle=100, duration=40) \
+        .window("Pdst", offset=50, duration=40)
+    return Simulator(builder.build()), outcome
+
+
+class TestQueuingPorts:
+    def test_messages_flow_in_fifo_order(self):
+        sim, outcome = build_sim(mode="queuing")
+        sim.run_mtf(4)
+        assert outcome["received"] == [b"msg-1", b"msg-2", b"msg-3", b"msg-4"]
+
+    def test_blocking_receive_wakes_on_delivery(self):
+        def consumer(ctx):
+            while True:
+                port = ctx.apex.queuing_port("in")
+                result = yield Call(port.receive, (INFINITE_TIME,))
+                if result.is_ok:
+                    ctx.log(f"got {result.value!r}")
+                yield Compute(1)
+
+        sim, outcome = build_sim(mode="queuing", consumer_body=consumer)
+        sim.run_mtf(3)
+        from repro.kernel.trace import ApplicationMessage
+
+        got = [e.text for e in sim.trace.of_type(ApplicationMessage)
+               if e.partition == "Pdst"]
+        assert got == ["got b'msg-1'", "got b'msg-2'", "got b'msg-3'"]
+
+    def test_overflow_counts_and_drops(self):
+        def flooding_producer(ctx):
+            port = ctx.apex.queuing_port("out")
+            while True:
+                yield Compute(1)
+                for index in range(10):
+                    yield Call(port.send, (b"x%d" % index,))
+                yield Call(ctx.apex.periodic_wait)
+
+        def lazy_consumer(ctx):
+            while True:
+                yield Compute(1)
+                yield Call(ctx.apex.periodic_wait)
+
+        sim, _ = build_sim(mode="queuing", max_nb_messages=4,
+                           producer_body=flooding_producer,
+                           consumer_body=lazy_consumer)
+        # MTF 1's flood lands in PMK-side channel storage (the port does
+        # not exist yet) and is bounded there silently; MTF 2's flood hits
+        # the already-full port and is counted as overflow.
+        sim.run_mtf(2)
+        port = sim.apex("Pdst").queuing_port("in")
+        assert port.count == 4
+        assert port.overflow_count == 10
+
+    def test_source_port_cannot_receive(self):
+        sim, _ = build_sim(mode="queuing")
+        sim.run_mtf(1)
+        assert sim.apex("Psrc").queuing_port("out").receive().code is \
+            ReturnCode.INVALID_MODE
+
+    def test_destination_port_cannot_send(self):
+        sim, _ = build_sim(mode="queuing")
+        sim.run_mtf(1)
+        assert sim.apex("Pdst").queuing_port("in").send(b"x").code is \
+            ReturnCode.INVALID_MODE
+
+    def test_remote_channel_delivers_with_latency(self):
+        sim, outcome = build_sim(mode="queuing", latency=30)
+        sim.run_mtf(4)
+        # Producer sends early in its [0, 40) window; 30 ticks of latency
+        # still lands before the consumer's [50, 90) window each MTF.
+        assert outcome["received"][:3] == [b"msg-1", b"msg-2", b"msg-3"]
+
+
+class TestSamplingPorts:
+    def test_read_returns_latest_value(self):
+        sim, outcome = build_sim(mode="sampling")
+        sim.run_mtf(3)
+        assert outcome["received"] == [b"sample-1", b"sample-2", b"sample-3"]
+
+    def test_empty_port_not_available(self):
+        sim, outcome = build_sim(mode="sampling")
+        # Swap windows so the consumer reads before any write: run only the
+        # first consumer pass after disabling the producer.
+        sim.apex("Psrc")  # force init order; then stop tx before it runs
+        sim.run(1)
+        sim.apex("Psrc").stop("tx")
+        sim.run_mtf(1)
+        assert ReturnCode.NOT_AVAILABLE in outcome["codes"]
+
+    def test_validity_reflects_refresh_period(self):
+        sim, outcome = build_sim(mode="sampling", refresh_period=60)
+        sim.run_mtf(2)
+        # Written at ~3 each MTF, read at ~51: age ~48 <= 60 -> valid.
+        assert outcome["valid"] and all(outcome["valid"])
+        # Now stop the producer: the stale sample must turn invalid.
+        sim.apex("Psrc").stop("tx")
+        sim.run_mtf(2)
+        assert outcome["valid"][-1] is False
+
+    def test_oversized_write_rejected(self):
+        sim, _ = build_sim(mode="sampling")
+        sim.run_mtf(1)
+        port = sim.apex("Psrc").sampling_port("out")
+        assert port.write(b"z" * 10_000).code is ReturnCode.INVALID_PARAM
+
+    def test_sampling_read_is_non_consuming(self):
+        sim, outcome = build_sim(mode="sampling")
+        sim.run_mtf(1)
+        port = sim.apex("Pdst").sampling_port("in")
+        assert port.read().expect()[0] == port.read().expect()[0]

@@ -1,0 +1,207 @@
+"""Tests for APEX process management services (repro.apex.interface)."""
+
+import pytest
+
+from repro.apex.types import ReturnCode
+from repro.core.model import ProcessModel
+from repro.pos.effects import Call, Compute
+from repro.types import INFINITE_TIME, ProcessState
+
+
+def spin(ctx):
+    while True:
+        yield Compute(10_000)
+
+
+def register_and_start(harness, name="worker", factory=spin):
+    harness.apex.register_body(name, factory)
+    return harness.apex.start(name)
+
+
+class TestStart:
+    def test_start_readies_and_registers_deadline(self, harness):
+        # Fig. 6: START sets the deadline to now + time capacity.
+        harness.clock.now = 7
+        result = register_and_start(harness)
+        assert result.is_ok
+        tcb = harness.pos.tcb("worker")
+        assert tcb.state is ProcessState.READY
+        assert tcb.deadline_time == 87          # 7 + 80
+        assert harness.pal.monitor.deadline_of("worker") == 87
+
+    def test_start_sets_first_release_for_periodic(self, harness):
+        harness.clock.now = 10
+        register_and_start(harness)
+        assert harness.pos.tcb("worker").next_release == 110
+
+    def test_start_non_dormant_is_no_action(self, harness):
+        register_and_start(harness)
+        assert harness.apex.start("worker").code is ReturnCode.NO_ACTION
+
+    def test_start_unknown_process(self, harness):
+        assert harness.apex.start("ghost").code is ReturnCode.INVALID_PARAM
+
+    def test_start_without_body_is_invalid_config(self, harness):
+        assert harness.apex.start("worker").code is ReturnCode.INVALID_CONFIG
+
+    def test_start_resets_current_priority(self, harness):
+        harness.apex.register_body("worker", spin)
+        harness.apex.start("worker")
+        harness.apex.set_priority("worker", 9)
+        harness.apex.stop("worker")
+        harness.apex.start("worker")
+        assert harness.pos.tcb("worker").current_priority == 2
+
+    def test_deadline_free_process_registers_nothing(self, harness):
+        harness.apex.register_body("aper", spin)
+        harness.apex.start("aper")
+        assert harness.pal.monitor.deadline_of("aper") is None
+
+
+class TestDelayedStart:
+    def test_waits_for_delay_then_runs(self, harness):
+        # Sect. 5.2: "start a process with a given delay, by placing it in
+        # the waiting state until the requested delay is expired".
+        harness.apex.register_body("worker", spin)
+        result = harness.apex.delayed_start("worker", 5)
+        assert result.is_ok
+        tcb = harness.pos.tcb("worker")
+        assert tcb.state is ProcessState.WAITING
+        executed = harness.run_ticks(6)
+        assert executed[:5] == [None] * 5
+        assert executed[5] == "worker"
+
+    def test_deadline_accounts_for_delay(self, harness):
+        harness.clock.now = 10
+        harness.apex.register_body("worker", spin)
+        harness.apex.delayed_start("worker", 5)
+        assert harness.pal.monitor.deadline_of("worker") == 95  # 10+5+80
+
+    def test_negative_delay_invalid(self, harness):
+        harness.apex.register_body("worker", spin)
+        assert harness.apex.delayed_start("worker", -1).code is \
+            ReturnCode.INVALID_PARAM
+
+
+class TestStop:
+    def test_stop_unregisters_deadline(self, harness):
+        # Sect. 5.2: services which stop a process remove the deadline
+        # information from the control data structures.
+        register_and_start(harness)
+        assert harness.apex.stop("worker").is_ok
+        tcb = harness.pos.tcb("worker")
+        assert tcb.state is ProcessState.DORMANT
+        assert harness.pal.monitor.deadline_of("worker") is None
+
+    def test_stop_dormant_is_no_action(self, harness):
+        assert harness.apex.stop("worker").code is ReturnCode.NO_ACTION
+
+    def test_stop_self_from_body(self, harness):
+        log = []
+
+        def body(ctx=None):
+            yield Compute(1)
+            result = yield Call(harness.apex.stop_self)
+            log.append("resumed!?")  # must never run
+
+        harness.apex.register_body("worker", body)
+        harness.apex.start("worker")
+        harness.run_ticks(5)
+        assert harness.pos.tcb("worker").state is ProcessState.DORMANT
+        assert log == []
+
+
+class TestSuspendResume:
+    def test_suspend_ready_process(self, harness):
+        register_and_start(harness)
+        assert harness.apex.suspend("worker").is_ok
+        assert harness.pos.tcb("worker").state is ProcessState.WAITING
+        assert harness.apex.resume("worker").is_ok
+        assert harness.pos.tcb("worker").state is ProcessState.READY
+
+    def test_resume_non_suspended_is_no_action(self, harness):
+        register_and_start(harness)
+        assert harness.apex.resume("worker").code is ReturnCode.NO_ACTION
+
+    def test_suspend_self_with_timeout_auto_resumes(self, harness):
+        def body(ctx=None):
+            yield Compute(1)
+            yield Call(harness.apex.suspend_self, (3,))
+            while True:
+                yield Compute(1)
+
+        harness.apex.register_body("worker", body)
+        harness.apex.start("worker")
+        executed = harness.run_ticks(8)
+        # tick 0 computes; tick 1 suspends (idle); wakes at now=1+3=4.
+        assert executed[0] == "worker"
+        assert executed[2] is None
+        assert "worker" in executed[4:6]
+
+    def test_suspended_process_ignored_by_scheduler(self, harness):
+        register_and_start(harness)
+        harness.apex.register_body("helper", spin)
+        harness.apex.start("helper")
+        harness.apex.suspend("worker")
+        assert harness.run_ticks(1) == ["helper"]
+
+
+class TestPriorityAndStatus:
+    def test_set_priority_changes_current_only(self, harness):
+        register_and_start(harness)
+        assert harness.apex.set_priority("worker", 0).is_ok
+        tcb = harness.pos.tcb("worker")
+        assert tcb.current_priority == 0
+        assert tcb.model.priority == 2
+
+    def test_set_priority_on_dormant_is_invalid_mode(self, harness):
+        assert harness.apex.set_priority("worker", 1).code is \
+            ReturnCode.INVALID_MODE
+
+    def test_negative_priority_invalid(self, harness):
+        register_and_start(harness)
+        assert harness.apex.set_priority("worker", -2).code is \
+            ReturnCode.INVALID_PARAM
+
+    def test_get_process_status_reflects_eq12(self, harness):
+        harness.clock.now = 3
+        register_and_start(harness)
+        status = harness.apex.get_process_status("worker").expect()
+        assert status.name == "worker"
+        assert status.state is ProcessState.READY
+        assert status.current_priority == 2
+        assert status.deadline_time == 83
+        assert status.period == 100
+        assert status.time_capacity == 80
+
+    def test_get_status_unknown_process(self, harness):
+        assert harness.apex.get_process_status("ghost").code is \
+            ReturnCode.INVALID_PARAM
+
+
+class TestCreateProcess:
+    def test_create_during_initialization(self, harness):
+        result = harness.apex.create_process(
+            ProcessModel(name="dyn", period=50, deadline=50, priority=1,
+                         wcet=5), spin)
+        assert result.is_ok
+        assert harness.apex.start("dyn").is_ok
+
+    def test_create_in_normal_mode_rejected(self, normal_harness):
+        result = normal_harness.apex.create_process(
+            ProcessModel(name="dyn", period=50, priority=1), spin)
+        assert result.code is ReturnCode.INVALID_MODE
+
+    def test_create_duplicate_rejected(self, harness):
+        assert harness.apex.create_process(
+            ProcessModel(name="worker", period=50, priority=1), spin
+        ).code is ReturnCode.NO_ACTION
+
+
+class TestPreemptionLock:
+    def test_lock_unlock_levels(self, harness):
+        assert harness.apex.lock_preemption().expect() == 1
+        assert harness.apex.lock_preemption().expect() == 2
+        assert harness.apex.unlock_preemption().expect() == 1
+        assert harness.apex.unlock_preemption().expect() == 0
+        assert harness.apex.unlock_preemption().code is ReturnCode.NO_ACTION

@@ -1,0 +1,260 @@
+"""Tests for intrapartition resources: buffers, blackboards, events,
+semaphores (repro.apex.resources)."""
+
+import pytest
+
+from repro.apex.resources import Blackboard, Buffer, Event, Semaphore
+from repro.apex.types import ReturnCode
+from repro.core.model import ProcessModel
+from repro.pos.effects import Call, Compute
+from repro.types import INFINITE_TIME, ProcessState, QueuingDiscipline
+
+from .conftest import ApexHarness
+
+
+@pytest.fixture
+def h():
+    return ApexHarness(models=(
+        ProcessModel(name="prod", priority=2, periodic=False),
+        ProcessModel(name="cons", priority=3, periodic=False),
+        ProcessModel(name="third", priority=4, periodic=False)))
+
+
+def run_bodies(h, bodies, ticks):
+    for name, body in bodies.items():
+        h.apex.register_body(name, body)
+        h.apex.start(name)
+    return h.run_ticks(ticks)
+
+
+class TestBufferDirect:
+    def test_fifo_order(self, harness):
+        buffer = harness.apex.create_buffer("b", max_messages=4).expect()
+        assert buffer.send(b"one").is_ok
+        assert buffer.send(b"two").is_ok
+        assert buffer.receive().expect() == b"one"
+        assert buffer.receive().expect() == b"two"
+
+    def test_empty_receive_without_timeout(self, harness):
+        buffer = harness.apex.create_buffer("b", max_messages=4).expect()
+        assert buffer.receive().code is ReturnCode.NOT_AVAILABLE
+
+    def test_full_send_without_timeout(self, harness):
+        buffer = harness.apex.create_buffer("b", max_messages=1).expect()
+        buffer.send(b"x")
+        assert buffer.send(b"y").code is ReturnCode.NOT_AVAILABLE
+        assert buffer.count == 1
+
+    def test_oversized_message_rejected(self, harness):
+        buffer = harness.apex.create_buffer("b", max_messages=2,
+                                            max_message_size=4).expect()
+        assert buffer.send(b"12345").code is ReturnCode.INVALID_PARAM
+
+    def test_creation_only_during_initialization(self, normal_harness):
+        assert normal_harness.apex.create_buffer(
+            "b", max_messages=2).code is ReturnCode.INVALID_MODE
+
+
+class TestBufferBlocking:
+    def test_receiver_blocks_until_message(self, h):
+        buffer = h.apex.create_buffer("b", max_messages=4).expect()
+        got = []
+
+        def consumer(ctx=None):
+            result = yield Call(buffer.receive, (INFINITE_TIME,))
+            got.append(result.expect())
+            yield Compute(1)
+
+        def producer(ctx=None):
+            yield Compute(5)
+            yield Call(buffer.send, (b"payload",))
+            yield Compute(1)
+
+        # consumer (cons, prio 3) blocks; producer (prod, prio 2) sends.
+        run_bodies(h, {"cons": consumer, "prod": producer}, 12)
+        assert got == [b"payload"]
+
+    def test_receive_timeout_returns_timed_out(self, h):
+        buffer = h.apex.create_buffer("b", max_messages=4).expect()
+        codes = []
+
+        def consumer(ctx=None):
+            result = yield Call(buffer.receive, (3,))
+            codes.append(result.code)
+            yield Compute(1)
+
+        run_bodies(h, {"cons": consumer}, 8)
+        assert codes == [ReturnCode.TIMED_OUT]
+
+    def test_sender_blocks_on_full_buffer_until_drain(self, h):
+        buffer = h.apex.create_buffer("b", max_messages=1).expect()
+        events = []
+
+        def producer(ctx=None):
+            yield Call(buffer.send, (b"first",))
+            result = yield Call(buffer.send, (b"second", INFINITE_TIME))
+            events.append(("second-sent", result.code))
+            yield Compute(1)
+
+        def consumer(ctx=None):
+            yield Compute(5)
+            first = yield Call(buffer.receive)
+            events.append(("got", first.expect()))
+            yield Compute(3)
+            second = yield Call(buffer.receive)
+            events.append(("got", second.expect()))
+
+        run_bodies(h, {"prod": producer, "cons": consumer}, 20)
+        assert ("second-sent", ReturnCode.NO_ERROR) in events
+        assert ("got", b"first") in events and ("got", b"second") in events
+
+
+class TestBlackboard:
+    def test_display_read_clear(self, harness):
+        board = harness.apex.create_blackboard("bb").expect()
+        assert board.read().code is ReturnCode.NOT_AVAILABLE
+        board.display(b"state-1")
+        assert board.read().expect() == b"state-1"
+        assert board.read().expect() == b"state-1"  # non-consuming
+        board.display(b"state-2")
+        assert board.read().expect() == b"state-2"  # overwritten
+        board.clear()
+        assert not board.is_displayed
+
+    def test_display_wakes_all_waiting_readers(self, h):
+        board = h.apex.create_blackboard("bb").expect()
+        got = []
+
+        def reader(tag):
+            def body(ctx=None):
+                result = yield Call(board.read, (INFINITE_TIME,))
+                got.append((tag, result.expect()))
+                yield Compute(1)
+            return body
+
+        def writer(ctx=None):
+            yield Compute(4)
+            yield Call(board.display, (b"go",))
+            yield Compute(1)
+
+        run_bodies(h, {"cons": reader("cons"), "third": reader("third"),
+                       "prod": writer}, 12)
+        assert sorted(got) == [("cons", b"go"), ("third", b"go")]
+
+    def test_oversized_display_rejected(self, harness):
+        board = harness.apex.create_blackboard(
+            "bb", max_message_size=2).expect()
+        assert board.display(b"xxx").code is ReturnCode.INVALID_PARAM
+
+
+class TestEvent:
+    def test_set_reset_wait_nonblocking(self, harness):
+        event = harness.apex.create_event("ev").expect()
+        assert event.wait().code is ReturnCode.NOT_AVAILABLE
+        event.set()
+        assert event.wait().is_ok
+        event.reset()
+        assert event.wait().code is ReturnCode.NOT_AVAILABLE
+
+    def test_set_wakes_all_waiters(self, h):
+        event = h.apex.create_event("ev").expect()
+        woken = []
+
+        def waiter(tag):
+            def body(ctx=None):
+                result = yield Call(event.wait, (INFINITE_TIME,))
+                woken.append((tag, result.code))
+                yield Compute(1)
+            return body
+
+        def setter(ctx=None):
+            yield Compute(3)
+            yield Call(event.set)
+            yield Compute(1)
+
+        run_bodies(h, {"cons": waiter("cons"), "third": waiter("third"),
+                       "prod": setter}, 12)
+        assert sorted(woken) == [("cons", ReturnCode.NO_ERROR),
+                                 ("third", ReturnCode.NO_ERROR)]
+
+    def test_wait_timeout(self, h):
+        event = h.apex.create_event("ev").expect()
+        codes = []
+
+        def waiter(ctx=None):
+            result = yield Call(event.wait, (2,))
+            codes.append(result.code)
+            yield Compute(1)
+
+        run_bodies(h, {"cons": waiter}, 8)
+        assert codes == [ReturnCode.TIMED_OUT]
+
+
+class TestSemaphore:
+    def test_counting_semantics(self, harness):
+        sem = harness.apex.create_semaphore("s", initial=2,
+                                            maximum=2).expect()
+        assert sem.wait().is_ok
+        assert sem.wait().is_ok
+        assert sem.wait().code is ReturnCode.NOT_AVAILABLE
+        assert sem.signal().is_ok
+        assert sem.value == 1
+
+    def test_signal_beyond_maximum_is_no_action(self, harness):
+        sem = harness.apex.create_semaphore("s", initial=1,
+                                            maximum=1).expect()
+        assert sem.signal().code is ReturnCode.NO_ACTION
+
+    def test_invalid_initial_rejected(self, harness):
+        with pytest.raises(ValueError):
+            Semaphore("s", harness.pos, initial=3, maximum=2)
+
+    def test_signal_hands_unit_to_waiter(self, h):
+        sem = h.apex.create_semaphore("s", initial=0, maximum=1).expect()
+        acquired = []
+
+        def taker(ctx=None):
+            result = yield Call(sem.wait, (INFINITE_TIME,))
+            acquired.append(result.code)
+            yield Compute(1)
+
+        def giver(ctx=None):
+            yield Compute(3)
+            yield Call(sem.signal)
+            yield Compute(1)
+
+        run_bodies(h, {"cons": taker, "prod": giver}, 10)
+        assert acquired == [ReturnCode.NO_ERROR]
+        assert sem.value == 0  # the unit went to the waiter, not the count
+
+    def test_priority_discipline_wakes_highest_priority_first(self, h):
+        sem = Semaphore("s", h.pos, initial=0, maximum=1,
+                        discipline=QueuingDiscipline.PRIORITY,
+                        clock=h.clock)
+        order = []
+
+        def taker(tag):
+            def body(ctx=None):
+                yield Call(sem.wait, (INFINITE_TIME,))
+                order.append(tag)
+                yield Compute(1)
+            return body
+
+        def giver(ctx=None):
+            yield Compute(5)
+            yield Call(sem.signal)
+            yield Compute(2)
+            yield Call(sem.signal)
+            yield Compute(1)
+
+        # "third" (prio 4) blocks first, "cons" (prio 3) second; priority
+        # discipline must wake "cons" first despite its later arrival.
+        h.apex.register_body("third", taker("third"))
+        h.apex.register_body("cons", taker("cons"))
+        h.apex.register_body("prod", giver)
+        h.apex.start("third")
+        h.run_ticks(1)
+        h.apex.start("cons")
+        h.apex.start("prod")
+        h.run_ticks(15)
+        assert order == ["cons", "third"]

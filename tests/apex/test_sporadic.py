@@ -1,0 +1,155 @@
+"""Tests for sporadic process support — future-work item (iii):
+aperiodic/sporadic processes and event overload (repro.apex.interface)."""
+
+import pytest
+
+from repro.apex.types import ReturnCode
+from repro.core.model import ProcessModel
+from repro.pos.effects import Call, Compute
+from repro.types import ProcessState
+
+from .conftest import ApexHarness
+
+#: Sporadic: min separation 50, deadline 30, wcet 5.
+SPORADIC_MODELS = (
+    ProcessModel(name="alarm", period=50, deadline=30, priority=1, wcet=5,
+                 periodic=False),
+    ProcessModel(name="bg", priority=5, periodic=False),
+)
+
+
+@pytest.fixture
+def h():
+    return ApexHarness(models=SPORADIC_MODELS)
+
+
+def alarm_body(harness, served):
+    def body(ctx=None):
+        while True:
+            yield Compute(5)
+            served.append(harness.clock.now)
+            yield Call(harness.apex.sporadic_wait)
+    return body
+
+
+def started(h, served):
+    h.apex.register_body("alarm", alarm_body(h, served))
+    assert h.apex.start("alarm").is_ok
+    return h.pos.tcb("alarm")
+
+
+class TestActivation:
+    def test_start_leaves_sporadic_waiting(self, h):
+        tcb = started(h, [])
+        assert tcb.state is ProcessState.WAITING
+        assert h.pal.monitor.deadline_of("alarm") is None  # no job yet
+
+    def test_release_runs_one_activation(self, h):
+        served = []
+        tcb = started(h, served)
+        assert h.apex.release_sporadic("alarm").is_ok
+        assert h.pal.monitor.deadline_of("alarm") == 30  # now + D
+        h.run_ticks(10)
+        assert len(served) == 1
+        assert tcb.state is ProcessState.WAITING          # back to waiting
+        assert h.pal.monitor.deadline_of("alarm") is None  # job completed
+
+    def test_activation_deadline_per_job(self, h):
+        served = []
+        started(h, served)
+        h.apex.release_sporadic("alarm")
+        h.run_ticks(60)
+        h.apex.release_sporadic("alarm")
+        assert h.pal.monitor.deadline_of("alarm") == 60 + 30
+
+    def test_release_non_sporadic_rejected(self, h):
+        h.apex.register_body("bg", alarm_body(h, []))
+        h.apex.start("bg")
+        assert h.apex.release_sporadic("bg").code is ReturnCode.INVALID_MODE
+
+    def test_release_unknown_process(self, h):
+        assert h.apex.release_sporadic("ghost").code is \
+            ReturnCode.INVALID_PARAM
+
+    def test_sporadic_wait_from_non_sporadic_rejected(self, h):
+        results = []
+
+        def body(ctx=None):
+            yield Compute(1)
+            result = yield Call(h.apex.sporadic_wait)
+            results.append(result.code)
+
+        h.apex.register_body("bg", body)
+        h.apex.start("bg")
+        h.run_ticks(3)
+        assert results == [ReturnCode.INVALID_MODE]
+
+
+class TestMinimumSeparation:
+    def test_early_reactivation_rejected_and_counted(self, h):
+        # T is "the lower bound for the time between consecutive
+        # activations" (Sect. 3.3): a second event inside the separation
+        # window is an overload event.
+        served = []
+        tcb = started(h, served)
+        assert h.apex.release_sporadic("alarm").is_ok
+        h.run_ticks(10)                     # job served; now = 10 < 50
+        result = h.apex.release_sporadic("alarm")
+        assert result.code is ReturnCode.NO_ACTION
+        assert tcb.overload_rejections == 1
+        assert len(served) == 1
+
+    def test_reactivation_after_separation_accepted(self, h):
+        served = []
+        tcb = started(h, served)
+        h.apex.release_sporadic("alarm")
+        h.run_ticks(50)                     # now = 50 >= 0 + 50
+        assert h.apex.release_sporadic("alarm").is_ok
+        h.run_ticks(10)
+        assert len(served) == 2
+        assert tcb.activation_count == 2
+
+    def test_burst_overload_is_absorbed(self, h):
+        # An event burst: exactly one activation is served per separation
+        # window; the rest are counted, never queued silently.
+        served = []
+        tcb = started(h, served)
+        accepted = sum(h.apex.release_sporadic("alarm").is_ok
+                       for _ in range(10))
+        assert accepted == 1
+        assert tcb.overload_rejections == 9
+        h.run_ticks(10)
+        assert len(served) == 1
+
+    def test_activation_while_busy_rejected(self, h):
+        served = []
+        tcb = started(h, served)
+        h.apex.release_sporadic("alarm")
+        h.run_ticks(2)                      # mid-job (wcet 5)
+        h.clock.now = 60                    # past the separation window...
+        result = h.apex.release_sporadic("alarm")
+        assert result.code is ReturnCode.NOT_AVAILABLE  # ...but still busy
+        assert tcb.overload_rejections == 1
+
+
+class TestDeadlineInteraction:
+    def test_missed_sporadic_deadline_detected(self, h):
+        served = []
+        started(h, served)
+        # Make the job overrun: priority-1 hog occupies the CPU.
+        hog_model = ProcessModel(name="hog", priority=0, periodic=False)
+        h.pos.add_process(hog_model)
+        h.pos.tcb("hog").on_state_change = None
+
+        def hog_body(ctx=None):
+            while True:
+                yield Compute(1_000)
+
+        h.apex.register_body("hog", hog_body)
+        h.apex.start("hog")
+        h.apex.release_sporadic("alarm")    # deadline at 30
+        detected = []
+        h.pal.on_violation = detected.append
+        h.run_ticks(40)
+        assert [v.process for v in detected] == ["alarm"]
+        assert served == []                 # never got the CPU

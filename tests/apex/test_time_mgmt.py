@@ -1,0 +1,159 @@
+"""Tests for APEX time management services (GET_TIME, TIMED_WAIT,
+PERIODIC_WAIT, REPLENISH — Fig. 6)."""
+
+import pytest
+
+from repro.apex.types import ReturnCode
+from repro.pos.effects import Call, Compute
+from repro.types import ProcessState
+
+
+class TestGetTime:
+    def test_reports_pal_clock(self, harness):
+        harness.clock.now = 123
+        assert harness.apex.get_time().expect() == 123
+
+
+class TestTimedWait:
+    def test_blocks_for_the_delay(self, harness):
+        ticks_run = []
+
+        def body(ctx=None):
+            while True:
+                yield Compute(1)
+                ticks_run.append(harness.clock.now)
+                yield Call(harness.apex.timed_wait, (4,))
+
+        harness.apex.register_body("worker", body)
+        harness.apex.start("worker")
+        harness.run_ticks(12)
+        # One compute tick, body resumes on the following tick (recording
+        # the time), then sleeps 4: resumptions at 1, 6, 11.
+        assert ticks_run == [1, 6, 11]
+
+    def test_zero_delay_yields_to_equal_priority(self):
+        # TIMED_WAIT(0) is a yield: the caller re-enters ready *behind*
+        # equal-priority peers (fresh antiquity stamp), so two equal
+        # priority yielding processes alternate.
+        from repro.core.model import ProcessModel
+
+        from .conftest import ApexHarness
+
+        harness = ApexHarness(models=(
+            ProcessModel(name="alpha", priority=3, periodic=False),
+            ProcessModel(name="beta", priority=3, periodic=False)))
+        order = []
+
+        def make_body(tag):
+            def body(ctx=None):
+                while True:
+                    yield Compute(1)
+                    order.append(tag)
+                    yield Call(harness.apex.timed_wait, (0,))
+            return body
+
+        harness.apex.register_body("alpha", make_body("alpha"))
+        harness.apex.register_body("beta", make_body("beta"))
+        harness.apex.start("alpha")
+        harness.apex.start("beta")
+        harness.run_ticks(8)
+        assert order[:6] == ["alpha", "beta", "alpha", "beta", "alpha",
+                             "beta"]
+
+    def test_negative_delay_invalid(self, harness):
+        assert harness.apex.timed_wait(-5).code is ReturnCode.INVALID_PARAM
+
+    def test_outside_process_context_invalid(self, harness):
+        # No running process: nothing to block.
+        assert harness.apex.timed_wait(5).code is ReturnCode.INVALID_MODE
+
+
+class TestPeriodicWait:
+    def test_release_points_separated_by_period(self, harness):
+        # Footnote 1: consecutive release points of a periodic process are
+        # separated by the period.
+        completions = []
+
+        def body(ctx=None):
+            while True:
+                yield Compute(10)
+                completions.append(harness.clock.now)
+                yield Call(harness.apex.periodic_wait)
+
+        harness.apex.register_body("worker", body)
+        harness.apex.start("worker")          # period 100
+        harness.run_ticks(350)
+        assert completions == [10, 110, 210, 310]
+
+    def test_deadline_reregistered_each_release(self, harness):
+        def body(ctx=None):
+            while True:
+                yield Compute(10)
+                yield Call(harness.apex.periodic_wait)
+
+        harness.apex.register_body("worker", body)
+        harness.apex.start("worker")
+        harness.run_ticks(150)  # past the first release at 100
+        # Fig. 6: new deadline = release point + time capacity = 100 + 80.
+        assert harness.pal.monitor.deadline_of("worker") == 180
+
+    def test_aperiodic_process_cannot_periodic_wait(self, harness):
+        results = []
+
+        def body(ctx=None):
+            yield Compute(1)
+            result = yield Call(harness.apex.periodic_wait)
+            results.append(result.code)
+
+        harness.apex.register_body("aper", body)
+        harness.apex.start("aper")
+        harness.run_ticks(3)
+        assert results == [ReturnCode.INVALID_MODE]
+
+
+class TestReplenish:
+    def test_replenish_moves_deadline(self, harness):
+        # Fig. 6: REPLENISH computes t4 = now + budget and updates the
+        # sorted structure.
+        observed = []
+
+        def body(ctx=None):
+            yield Compute(5)
+            result = yield Call(harness.apex.replenish, (50,))
+            observed.append(result.code)
+            observed.append(harness.pal.monitor.deadline_of("worker"))
+            yield Compute(1)
+
+        harness.apex.register_body("worker", body)
+        harness.apex.start("worker")           # deadline = 0 + 80
+        harness.run_ticks(6)
+        assert observed == [ReturnCode.NO_ERROR, 55]  # now=5, 5+50
+
+    def test_replenish_without_deadline_is_no_action(self, harness):
+        results = []
+
+        def body(ctx=None):
+            yield Compute(1)
+            result = yield Call(harness.apex.replenish, (50,))
+            results.append(result.code)
+
+        harness.apex.register_body("aper", body)
+        harness.apex.start("aper")
+        harness.run_ticks(3)
+        assert results == [ReturnCode.NO_ACTION]
+
+    def test_replenish_non_positive_budget_invalid(self, harness):
+        results = []
+
+        def body(ctx=None):
+            yield Compute(1)
+            result = yield Call(harness.apex.replenish, (0,))
+            results.append(result.code)
+
+        harness.apex.register_body("worker", body)
+        harness.apex.start("worker")
+        harness.run_ticks(3)
+        assert results == [ReturnCode.INVALID_PARAM]
+
+    def test_replenish_outside_process_invalid(self, harness):
+        assert harness.apex.replenish(10).code is ReturnCode.INVALID_MODE

@@ -1,0 +1,58 @@
+"""Tests for channel configuration (repro.comm.messages)."""
+
+import pytest
+
+from repro.comm.messages import ChannelConfig, PortSpec, TransferMode
+from repro.exceptions import ConfigurationError
+
+
+def channel(**kwargs):
+    defaults = dict(name="ch", mode=TransferMode.QUEUING,
+                    source=PortSpec("P1", "out"),
+                    destinations=(PortSpec("P2", "in"),))
+    defaults.update(kwargs)
+    return ChannelConfig(**defaults)
+
+
+class TestPortSpec:
+    def test_str(self):
+        assert str(PortSpec("P1", "out")) == "P1:out"
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PortSpec("", "out")
+        with pytest.raises(ConfigurationError):
+            PortSpec("P1", "")
+
+
+class TestChannelConfig:
+    def test_local_channel(self):
+        assert channel().is_local
+
+    def test_remote_channel(self):
+        assert not channel(latency=10).is_local
+
+    def test_queuing_requires_single_destination(self):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            channel(destinations=(PortSpec("P2", "in"),
+                                  PortSpec("P3", "in")))
+
+    def test_sampling_allows_fan_out(self):
+        fan_out = channel(mode=TransferMode.SAMPLING,
+                          destinations=(PortSpec("P2", "in"),
+                                        PortSpec("P3", "in")))
+        assert len(fan_out.destinations) == 2
+
+    def test_source_equal_destination_rejected(self):
+        with pytest.raises(ConfigurationError, match="coincide"):
+            channel(destinations=(PortSpec("P1", "out"),))
+
+    def test_needs_destination(self):
+        with pytest.raises(ConfigurationError):
+            channel(destinations=())
+
+    @pytest.mark.parametrize("field,value", [
+        ("max_message_size", 0), ("max_nb_messages", 0), ("latency", -1)])
+    def test_invalid_numbers_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            channel(**{field: value})

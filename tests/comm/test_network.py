@@ -1,0 +1,90 @@
+"""Tests for the simulated transport (repro.comm.network)."""
+
+import pytest
+
+from repro.comm.messages import Envelope
+from repro.comm.network import NetworkLink, ReliableLink
+from repro.kernel.rng import SeededRng
+
+
+def envelope(sequence=1, sent_at=0):
+    return Envelope(payload=b"x", sent_at=sent_at, channel="ch",
+                    sequence=sequence)
+
+
+class TestNetworkLink:
+    def test_delivery_after_latency(self):
+        link = NetworkLink(latency=5)
+        delivered = []
+        link.transmit(envelope(), now=10, deliver=delivered.append)
+        assert link.pump(14) == 0
+        assert link.pump(15) == 1
+        assert len(delivered) == 1
+        assert link.stats.delivered == 1
+
+    def test_in_order_delivery(self):
+        link = NetworkLink(latency=3)
+        delivered = []
+        for sequence in range(5):
+            link.transmit(envelope(sequence), now=sequence,
+                          deliver=lambda e: delivered.append(e.sequence))
+        link.pump(100)
+        assert delivered == [0, 1, 2, 3, 4]
+
+    def test_zero_latency_delivers_same_tick(self):
+        link = NetworkLink(latency=0)
+        delivered = []
+        link.transmit(envelope(), now=7, deliver=delivered.append)
+        assert link.pump(7) == 1
+
+    def test_loss_is_deterministic_per_seed(self):
+        def dropped_count(seed):
+            link = NetworkLink(latency=1, loss_probability=0.5,
+                               rng=SeededRng(seed))
+            for sequence in range(100):
+                link.transmit(envelope(sequence), now=0, deliver=lambda e: None)
+            return link.stats.dropped
+
+        assert dropped_count(1) == dropped_count(1)
+        assert 20 < dropped_count(1) < 80  # plausibly half
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NetworkLink(latency=-1)
+        with pytest.raises(ValueError):
+            NetworkLink(latency=0, loss_probability=1.0)
+
+    def test_in_flight_count(self):
+        link = NetworkLink(latency=10)
+        link.transmit(envelope(), now=0, deliver=lambda e: None)
+        assert link.in_flight == 1
+        link.pump(10)
+        assert link.in_flight == 0
+
+
+class TestReliableLink:
+    def test_retransmits_through_loss(self):
+        # The PMK's delivery guarantee (Sect. 2.1) over a lossy transport.
+        lossy = NetworkLink(latency=2, loss_probability=0.6,
+                            rng=SeededRng(3))
+        link = ReliableLink(lossy, max_retries=64)
+        delivered = []
+        for sequence in range(50):
+            assert link.transmit(envelope(sequence), now=0,
+                                 deliver=lambda e: delivered.append(e))
+        link.pump(100)
+        assert len(delivered) == 50
+        assert link.stats.retransmissions > 0
+
+    def test_retry_exhaustion_reports_failure(self):
+        always_lossy = NetworkLink(latency=1, loss_probability=0.99,
+                                   rng=SeededRng(0))
+        link = ReliableLink(always_lossy, max_retries=2)
+        outcomes = [link.transmit(envelope(sequence), now=0,
+                                  deliver=lambda e: None)
+                    for sequence in range(200)]
+        assert not all(outcomes)
+
+    def test_invalid_retries(self):
+        with pytest.raises(ValueError):
+            ReliableLink(NetworkLink(latency=1), max_retries=0)

@@ -1,0 +1,151 @@
+"""Tests for the PMK message router (repro.comm.router)."""
+
+import pytest
+
+from repro.comm.messages import ChannelConfig, PortSpec, TransferMode
+from repro.comm.network import NetworkLink
+from repro.comm.router import CommRouter
+from repro.exceptions import ConfigurationError
+from repro.kernel.trace import PortMessageReceived, PortMessageSent, Trace
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+def queuing_channel(name="ch", latency=0, max_nb_messages=4):
+    return ChannelConfig(name=name, mode=TransferMode.QUEUING,
+                         source=PortSpec("P1", "out"),
+                         destinations=(PortSpec("P2", "in"),),
+                         max_message_size=32,
+                         max_nb_messages=max_nb_messages, latency=latency)
+
+
+def sampling_fanout(name="fan"):
+    return ChannelConfig(name=name, mode=TransferMode.SAMPLING,
+                         source=PortSpec("P1", "att"),
+                         destinations=(PortSpec("P2", "att"),
+                                       PortSpec("P3", "att")))
+
+
+@pytest.fixture
+def setup():
+    clock = Clock()
+    trace = Trace()
+    router = CommRouter(clock=lambda: clock.now, trace=trace)
+    return clock, trace, router
+
+
+class TestConfiguration:
+    def test_duplicate_channel_rejected(self, setup):
+        _, _, router = setup
+        router.add_channel(queuing_channel())
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            router.add_channel(queuing_channel())
+
+    def test_source_port_feeds_one_channel_only(self, setup):
+        _, _, router = setup
+        router.add_channel(queuing_channel("a"))
+        with pytest.raises(ConfigurationError, match="already feeds"):
+            router.add_channel(queuing_channel("b"))
+
+    def test_destination_must_be_configured(self, setup):
+        _, _, router = setup
+        router.add_channel(queuing_channel())
+        with pytest.raises(ConfigurationError, match="no configured channel"):
+            router.register_destination(PortSpec("P9", "x"), lambda e: None)
+
+    def test_lookup_helpers(self, setup):
+        _, _, router = setup
+        router.add_channel(queuing_channel())
+        assert router.channel("ch").name == "ch"
+        assert router.channel_for_source(PortSpec("P1", "out")).name == "ch"
+        assert router.channel_names == ("ch",)
+        with pytest.raises(ConfigurationError):
+            router.channel("ghost")
+
+
+class TestLocalDelivery:
+    def test_immediate_memory_to_memory_copy(self, setup):
+        clock, trace, router = setup
+        router.add_channel(queuing_channel())
+        received = []
+        router.register_destination(PortSpec("P2", "in"), received.append)
+        router.send(PortSpec("P1", "out"), b"hello")
+        assert len(received) == 1
+        assert received[0].payload == b"hello"
+        assert trace.count(PortMessageSent) == 1
+        assert trace.count(PortMessageReceived) == 1
+
+    def test_payload_is_copied_not_aliased(self, setup):
+        _, _, router = setup
+        router.add_channel(queuing_channel())
+        received = []
+        router.register_destination(PortSpec("P2", "in"), received.append)
+        payload = bytearray(b"abcd")
+        router.send(PortSpec("P1", "out"), bytes(payload))
+        payload[0] = 0x5A
+        assert received[0].payload == b"abcd"
+
+    def test_oversized_payload_rejected(self, setup):
+        _, _, router = setup
+        router.add_channel(queuing_channel())
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            router.send(PortSpec("P1", "out"), b"z" * 100)
+
+    def test_fan_out_reaches_all_destinations(self, setup):
+        _, _, router = setup
+        router.add_channel(sampling_fanout())
+        hits = []
+        router.register_destination(PortSpec("P2", "att"),
+                                    lambda e: hits.append("P2"))
+        router.register_destination(PortSpec("P3", "att"),
+                                    lambda e: hits.append("P3"))
+        router.send(PortSpec("P1", "att"), b"q")
+        assert sorted(hits) == ["P2", "P3"]
+
+    def test_messages_held_until_destination_registers(self, setup):
+        # Channel storage belongs to the PMK: pre-registration sends are
+        # delivered at registration, bounded by the queue depth.
+        _, _, router = setup
+        router.add_channel(queuing_channel(max_nb_messages=2))
+        for index in range(4):
+            router.send(PortSpec("P1", "out"), b"m%d" % index)
+        received = []
+        router.register_destination(PortSpec("P2", "in"), received.append)
+        assert [e.payload for e in received] == [b"m2", b"m3"]
+
+
+class TestRemoteDelivery:
+    def test_latency_respected_and_traced(self, setup):
+        clock, trace, router = setup
+        router.add_channel(queuing_channel(latency=10))
+        received = []
+        router.register_destination(PortSpec("P2", "in"), received.append)
+        router.send(PortSpec("P1", "out"), b"far")
+        assert received == []
+        clock.now = 9
+        router.pump(9)
+        assert received == []
+        clock.now = 10
+        router.pump(10)
+        assert len(received) == 1
+        event = trace.of_type(PortMessageReceived)[0]
+        assert event.latency == 10
+
+    def test_custom_link_injected(self, setup):
+        clock, _, router = setup
+        link = NetworkLink(latency=3)
+        router.add_channel(queuing_channel(latency=3), link)
+        router.register_destination(PortSpec("P2", "in"), lambda e: None)
+        router.send(PortSpec("P1", "out"), b"x")
+        assert link.in_flight == 1
+
+    def test_unknown_source_rejected(self, setup):
+        _, _, router = setup
+        with pytest.raises(ConfigurationError):
+            router.send(PortSpec("P1", "ghost"), b"x")

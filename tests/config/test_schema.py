@@ -1,0 +1,85 @@
+"""Tests for the configuration schema (repro.config.schema)."""
+
+import pytest
+
+from repro.config.schema import PartitionRuntimeConfig, SystemConfig
+from repro.exceptions import ConfigurationError
+
+from ..conftest import make_system, periodic_body
+
+
+class TestPartitionRuntimeConfig:
+    def test_defaults(self):
+        config = PartitionRuntimeConfig()
+        assert config.pos_kind == "rtems"
+        assert config.deadline_store_kind is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"pos_kind": "windows"},
+        {"quantum": 0},
+        {"memory_size": 0},
+        {"deadline_store_kind": "skiplist"},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PartitionRuntimeConfig(**kwargs)
+
+
+class TestSystemConfig:
+    def test_runtime_for_creates_default(self):
+        config = SystemConfig(model=make_system())
+        runtime = config.runtime_for("P1")
+        assert runtime.pos_kind == "rtems"
+        assert config.runtime_for("P1") is runtime
+
+    def test_runtime_for_unknown_partition_rejected(self):
+        config = SystemConfig(model=make_system())
+        with pytest.raises(Exception):
+            SystemConfig(model=make_system(),
+                         runtime={"P9": PartitionRuntimeConfig()})
+
+    def test_store_kind_override(self):
+        config = SystemConfig(
+            model=make_system(), deadline_store_kind="list",
+            runtime={"P1": PartitionRuntimeConfig(
+                deadline_store_kind="tree")})
+        assert config.store_kind_for("P1") == "tree"
+
+    def test_store_kind_inherits_module_default(self):
+        config = SystemConfig(model=make_system(), deadline_store_kind="tree")
+        assert config.store_kind_for("P1") == "tree"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"deadline_store_kind": "skiplist"},
+        {"change_action_policy": "whenever"},
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(model=make_system(), **kwargs)
+
+    def test_validate_flags_body_for_unknown_process(self):
+        config = SystemConfig(
+            model=make_system(),
+            runtime={"P1": PartitionRuntimeConfig(
+                bodies={"ghost": periodic_body(1)})})
+        report = config.validate()
+        assert report.by_code("BODY_FOR_UNKNOWN_PROCESS")
+
+    def test_validate_flags_autostart_issues(self):
+        config = SystemConfig(
+            model=make_system(),
+            runtime={"P1": PartitionRuntimeConfig(auto_start=("ghost",))})
+        report = config.validate()
+        assert report.by_code("AUTOSTART_UNKNOWN_PROCESS")
+
+    def test_validate_flags_channel_unknown_partition(self):
+        from repro.comm.messages import ChannelConfig, PortSpec, TransferMode
+
+        config = SystemConfig(
+            model=make_system(),
+            channels=(ChannelConfig(
+                name="ch", mode=TransferMode.QUEUING,
+                source=PortSpec("P1", "out"),
+                destinations=(PortSpec("P9", "in"),)),))
+        report = config.validate()
+        assert report.by_code("CHANNEL_UNKNOWN_PARTITION")

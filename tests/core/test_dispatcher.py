@@ -1,0 +1,136 @@
+"""Tests for the AIR Partition Dispatcher — Algorithm 2 (repro.core.dispatcher)."""
+
+import pytest
+
+from repro.core.dispatcher import PartitionDispatcher
+from repro.core.model import Partition, SystemModel
+from repro.core.scheduler import PartitionScheduler
+from repro.kernel.context import ContextBank
+from repro.kernel.trace import PartitionDispatched, Trace
+from repro.types import ScheduleChangeAction
+
+from ..conftest import make_schedule
+
+
+def build(change_action_policy="first_dispatch", applier=None, trace=None):
+    s1 = make_schedule(schedule_id="s1", mtf=100,
+                       requirements=(("P1", 100, 40), ("P2", 100, 40)),
+                       windows=(("P1", 0, 40), ("P2", 40, 40)),
+                       change_actions={"P1": ScheduleChangeAction.WARM_START})
+    s2 = make_schedule(schedule_id="s2", mtf=100,
+                       requirements=(("P1", 100, 30), ("P2", 100, 30)),
+                       windows=(("P2", 0, 30), ("P1", 30, 30)),
+                       change_actions={"P1": ScheduleChangeAction.WARM_START})
+    system = SystemModel(partitions=(Partition(name="P1"),
+                                     Partition(name="P2")),
+                         schedules=(s1, s2), initial_schedule="s1")
+    scheduler = PartitionScheduler(system, trace)
+    contexts = ContextBank()
+    contexts.register("P1")
+    contexts.register("P2")
+    dispatcher = PartitionDispatcher(
+        contexts, scheduler, apply_change_action=applier, trace=trace,
+        change_action_policy=change_action_policy)
+    return scheduler, dispatcher, contexts
+
+
+def drive(scheduler, dispatcher, start, end, running=None):
+    outcomes = []
+    for tick in range(start, end):
+        if scheduler.tick(tick):
+            outcomes.append((tick, dispatcher.run(tick,
+                                                  running_process=running)))
+    return outcomes
+
+
+class TestAlgorithm2:
+    def test_first_dispatch_elapsed_equals_current_tick(self):
+        # Line 6: elapsedTicks = ticks - heirPartition.lastTick; a partition
+        # never yet dispatched has lastTick 0.
+        scheduler, dispatcher, _ = build()
+        outcomes = drive(scheduler, dispatcher, 0, 41)
+        (t0, first), (t40, second) = outcomes
+        assert (t0, first.active_partition, first.elapsed_ticks) == (0, "P1", 0)
+        assert (t40, second.active_partition, second.elapsed_ticks) == \
+            (40, "P2", 40)
+
+    def test_same_partition_dispatch_is_one_tick(self):
+        # Lines 1-2: heir == active -> elapsedTicks = 1, no context switch.
+        scheduler, dispatcher, contexts = build()
+        drive(scheduler, dispatcher, 0, 1)
+        scheduler.heir_partition = "P1"  # force a same-partition point
+        outcome = dispatcher.run(5)
+        assert outcome.elapsed_ticks == 1
+        assert not outcome.switched
+        assert contexts.context_of("P1").save_count == 0
+
+    def test_elapsed_spans_inactive_gap(self):
+        # A partition re-dispatched after a gap is told the full elapsed
+        # span (consumed by Fig. 7's announcement loop).
+        scheduler, dispatcher, _ = build()
+        outcomes = drive(scheduler, dispatcher, 0, 141)
+        by_tick = dict((t, o) for t, o in outcomes)
+        # P1 held [0, 40); re-dispatched at 100: elapsed = 100 - 39 = 61.
+        assert by_tick[100].elapsed_ticks == 61
+
+    def test_context_save_restore_counts(self):
+        scheduler, dispatcher, contexts = build()
+        drive(scheduler, dispatcher, 0, 200, running="proc")
+        p1 = contexts.context_of("P1")
+        p2 = contexts.context_of("P2")
+        assert p1.restore_count == 2     # dispatched at 0, 100
+        assert p1.save_count == 2        # preempted at 40, 140
+        assert p1.running_process == "proc"
+        assert p2.restore_count == 2
+        assert p2.save_count == 2        # idle gap at 80, 180
+
+    def test_last_tick_stamped_on_save(self):
+        # Line 5: activePartition.lastTick <- ticks - 1.
+        scheduler, dispatcher, contexts = build()
+        drive(scheduler, dispatcher, 0, 41)
+        assert contexts.context_of("P1").last_tick == 39
+
+    def test_idle_gap_has_no_active_partition(self):
+        scheduler, dispatcher, _ = build()
+        drive(scheduler, dispatcher, 0, 81)
+        assert dispatcher.active_partition is None
+
+    def test_change_action_applied_at_first_dispatch_policy(self):
+        # Algorithm 2 line 9 / Sect. 4.3: the restart only affects the
+        # partition's own execution time window.
+        applied = []
+        scheduler, dispatcher, _ = build(
+            applier=lambda p, a: applied.append((p, a)))
+        drive(scheduler, dispatcher, 0, 10)
+        scheduler.request_switch("s2", now=10)
+        drive(scheduler, dispatcher, 10, 101)
+        # switch effective at 100; s2 dispatches P2 first — no action yet.
+        assert applied == []
+        drive(scheduler, dispatcher, 101, 131)
+        # P1's first post-switch dispatch is at 130.
+        assert applied == [("P1", ScheduleChangeAction.WARM_START)]
+        assert dispatcher.stats.change_actions_applied == 1
+
+    def test_change_action_applied_at_mtf_start_policy(self):
+        # The ablation alternative: all pending actions fire at the first
+        # dispatcher run under the new schedule.
+        applied = []
+        scheduler, dispatcher, _ = build(
+            change_action_policy="mtf_start",
+            applier=lambda p, a: applied.append((p, a)))
+        drive(scheduler, dispatcher, 0, 10)
+        scheduler.request_switch("s2", now=10)
+        drive(scheduler, dispatcher, 10, 101)
+        assert applied == [("P1", ScheduleChangeAction.WARM_START)]
+
+    def test_dispatch_events_traced(self):
+        trace = Trace()
+        scheduler, dispatcher, _ = build(trace=trace)
+        drive(scheduler, dispatcher, 0, 100)
+        events = trace.of_type(PartitionDispatched)
+        assert [(e.tick, e.previous, e.heir) for e in events] == [
+            (0, None, "P1"), (40, "P1", "P2"), (80, "P2", None)]
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            build(change_action_policy="whenever")

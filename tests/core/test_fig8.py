@@ -1,0 +1,118 @@
+"""Fig. 8 / Sect. 6: the paper's prototype scheduling tables, verified.
+
+Encodes the exact PSTs of the prototype implementation and checks the
+properties the paper states about them, including the eq. (25) derivation
+(P1's timing requirement is met with zero slack under chi1).
+"""
+
+import pytest
+
+from repro.apps.prototype import MTF, build_prototype
+from repro.core.validation import validate_schedule
+from repro.kernel.simulator import Simulator
+from repro.kernel.trace import PartitionDispatched
+
+
+@pytest.fixture(scope="module")
+def prototype():
+    return build_prototype()
+
+
+@pytest.fixture(scope="module")
+def model(prototype):
+    return prototype.config.model
+
+
+class TestFig8Tables:
+    def test_mtf_is_1300(self, model):
+        for schedule in model.schedules:
+            assert schedule.major_time_frame == 1300
+
+    def test_four_partitions(self, model):
+        assert model.partition_names == ("P1", "P2", "P3", "P4")
+
+    def test_q_sets_match_fig8(self, model):
+        # Q1 = Q2 = {<P1,1300,200>, <P2,650,100>, <P3,650,100>, <P4,1300,100>}
+        expected = {("P1", 1300, 200), ("P2", 650, 100),
+                    ("P3", 650, 100), ("P4", 1300, 100)}
+        for schedule in model.schedules:
+            got = {(r.partition, r.cycle, r.duration)
+                   for r in schedule.requirements}
+            assert got == expected
+
+    def test_chi1_windows_match_fig8(self, model):
+        chi1 = model.schedule("chi1")
+        assert [(w.partition, w.offset, w.duration) for w in chi1.windows] == [
+            ("P1", 0, 200), ("P2", 200, 100), ("P3", 300, 100),
+            ("P4", 400, 600), ("P2", 1000, 100), ("P3", 1100, 100),
+            ("P4", 1200, 100)]
+
+    def test_chi2_windows_match_fig8(self, model):
+        chi2 = model.schedule("chi2")
+        assert [(w.partition, w.offset, w.duration) for w in chi2.windows] == [
+            ("P1", 0, 200), ("P4", 200, 100), ("P3", 300, 100),
+            ("P2", 400, 600), ("P4", 1000, 100), ("P3", 1100, 100),
+            ("P2", 1200, 100)]
+
+    def test_both_tables_fully_pack_the_mtf(self, model):
+        for schedule in model.schedules:
+            assert schedule.idle_time() == 0
+
+    def test_mtf_not_strict_but_derived_from_eq22(self, model):
+        # Sect. 6: the common MTF "stems from the partitions' timing
+        # requirements as per (22)" — lcm of cycles is 1300.
+        from repro.core.model import lcm_of_cycles
+
+        for schedule in model.schedules:
+            lcm = lcm_of_cycles(r.cycle for r in schedule.requirements)
+            assert schedule.major_time_frame % lcm == 0
+            assert lcm == 1300
+
+    def test_both_tables_validate(self, model):
+        for schedule in model.schedules:
+            assert validate_schedule(schedule).ok
+
+    def test_eq25_p1_zero_slack_under_chi1(self, model):
+        # The Sect. 6 derivation: for i=1, P_m = Q_1,1, k=0 the window sum
+        # is exactly 200 >= 200.
+        chi1 = model.schedule("chi1")
+        supplied = sum(w.duration for w in chi1.windows_for("P1")
+                       if 0 <= w.offset < 1300)
+        assert supplied == 200
+        assert supplied >= chi1.requirement_for("P1").duration
+
+    def test_eq23_holds_per_cycle_for_every_partition(self, model):
+        for schedule in model.schedules:
+            for requirement in schedule.requirements:
+                cycles = schedule.major_time_frame // requirement.cycle
+                for k in range(cycles):
+                    lo = k * requirement.cycle
+                    hi = lo + requirement.cycle
+                    supplied = sum(
+                        w.duration for w in
+                        schedule.windows_for(requirement.partition)
+                        if lo <= w.offset < hi)
+                    assert supplied >= requirement.duration, (
+                        f"{schedule.schedule_id}/{requirement.partition} "
+                        f"cycle {k}")
+
+
+class TestFig8Execution:
+    def test_chi1_dispatch_sequence_over_one_mtf(self, prototype):
+        simulator = Simulator(prototype.config)
+        simulator.run(MTF)
+        dispatches = [(e.tick, e.heir)
+                      for e in simulator.trace.of_type(PartitionDispatched)]
+        assert dispatches == [
+            (0, "P1"), (200, "P2"), (300, "P3"), (400, "P4"),
+            (1000, "P2"), (1100, "P3"), (1200, "P4")]
+
+    def test_partition_active_at_matches_runtime(self, prototype):
+        simulator = Simulator(prototype.config)
+        chi1 = prototype.config.model.schedule("chi1")
+        checkpoints = {50: "P1", 250: "P2", 350: "P3", 700: "P4",
+                       1050: "P2", 1150: "P3", 1250: "P4"}
+        for tick in sorted(checkpoints):
+            simulator.run_until(tick + 1)
+            assert simulator.active_partition == checkpoints[tick]
+            assert chi1.active_partition_at(tick) == checkpoints[tick]

@@ -1,0 +1,318 @@
+"""Unit tests for the formal system model (repro.core.model)."""
+
+import pytest
+
+from repro.core.model import (
+    DispatchEntry,
+    Partition,
+    PartitionRequirement,
+    ProcessModel,
+    ScheduleTable,
+    SystemModel,
+    TimeWindow,
+    lcm_of_cycles,
+    single_schedule_system,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    UnknownPartitionError,
+    UnknownProcessError,
+    UnknownScheduleError,
+)
+from repro.types import INFINITE_TIME, PartitionMode, ScheduleChangeAction
+
+from ..conftest import make_schedule, make_system
+
+
+class TestLcmOfCycles:
+    def test_single_cycle(self):
+        assert lcm_of_cycles([650]) == 650
+
+    def test_fig8_cycles(self):
+        # Fig. 8: cycles {1300, 650, 650, 1300} -> lcm 1300 = the MTF.
+        assert lcm_of_cycles([1300, 650, 650, 1300]) == 1300
+
+    def test_coprime_cycles(self):
+        assert lcm_of_cycles([3, 5, 7]) == 105
+
+    def test_rejects_zero_cycle(self):
+        with pytest.raises(ConfigurationError):
+            lcm_of_cycles([100, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            lcm_of_cycles([])
+
+
+class TestProcessModel:
+    def test_defaults_are_aperiodic_no_deadline(self):
+        process = ProcessModel(name="bg", periodic=False)
+        assert not process.has_deadline
+        assert process.utilization() == 0.0
+
+    def test_eq24_deadline_applicability(self):
+        # The D != infinity condition of eq. (24).
+        with_deadline = ProcessModel(name="a", period=10, deadline=10, wcet=1)
+        without = ProcessModel(name="b", period=10, wcet=1)
+        assert with_deadline.has_deadline
+        assert not without.has_deadline
+
+    def test_utilization(self):
+        process = ProcessModel(name="a", period=100, deadline=100, wcet=25)
+        assert process.utilization() == 0.25
+
+    def test_periodic_requires_period(self):
+        with pytest.raises(ConfigurationError):
+            ProcessModel(name="a", periodic=True)
+
+    def test_rejects_wcet_exceeding_deadline(self):
+        with pytest.raises(ConfigurationError):
+            ProcessModel(name="a", period=100, deadline=10, wcet=20)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            ProcessModel(name="", period=10)
+
+    def test_rejects_negative_priority(self):
+        with pytest.raises(ConfigurationError):
+            ProcessModel(name="a", period=10, priority=-1)
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(ConfigurationError):
+            ProcessModel(name="a", period=0)
+
+
+class TestPartition:
+    def test_process_lookup(self):
+        partition = Partition(name="P1", processes=(
+            ProcessModel(name="a", period=10),
+            ProcessModel(name="b", period=20)))
+        assert partition.process("b").period == 20
+        assert partition.process_names == ("a", "b")
+
+    def test_unknown_process(self):
+        partition = Partition(name="P1")
+        with pytest.raises(UnknownProcessError):
+            partition.process("ghost")
+
+    def test_duplicate_process_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Partition(name="P1", processes=(
+                ProcessModel(name="a", period=10),
+                ProcessModel(name="a", period=20)))
+
+    def test_utilization_sums_processes(self):
+        partition = Partition(name="P1", processes=(
+            ProcessModel(name="a", period=100, deadline=100, wcet=10),
+            ProcessModel(name="b", period=200, deadline=200, wcet=30)))
+        assert partition.utilization() == pytest.approx(0.25)
+
+    def test_default_initial_mode_is_cold_start(self):
+        assert Partition(name="P1").initial_mode is PartitionMode.COLD_START
+
+
+class TestTimeWindow:
+    def test_end_and_contains(self):
+        window = TimeWindow("P1", 200, 100)
+        assert window.end == 300
+        assert window.contains(200)
+        assert window.contains(299)
+        assert not window.contains(300)
+        assert not window.contains(199)
+
+    def test_overlap_detection(self):
+        a = TimeWindow("P1", 0, 100)
+        assert a.overlaps(TimeWindow("P2", 50, 100))
+        assert not a.overlaps(TimeWindow("P2", 100, 100))
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindow("P1", 0, 0)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindow("P1", -1, 10)
+
+
+class TestPartitionRequirement:
+    def test_utilization(self):
+        requirement = PartitionRequirement("P1", 650, 100)
+        assert requirement.utilization() == pytest.approx(100 / 650)
+
+    def test_zero_duration_allowed(self):
+        # Sect. 3.1: partitions without strict time requirements have d = 0.
+        requirement = PartitionRequirement("P1", 100, 0)
+        assert requirement.utilization() == 0.0
+
+    def test_duration_cannot_exceed_cycle(self):
+        with pytest.raises(ConfigurationError):
+            PartitionRequirement("P1", 100, 101)
+
+
+class TestScheduleTable:
+    def test_windows_sorted_on_construction(self):
+        schedule = make_schedule(
+            mtf=100, requirements=(("P1", 100, 30), ("P2", 100, 20)),
+            windows=(("P2", 50, 20), ("P1", 0, 30)))
+        assert [w.offset for w in schedule.windows] == [0, 50]
+
+    def test_eq21_overlap_rejected(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            make_schedule(mtf=100,
+                          requirements=(("P1", 100, 30), ("P2", 100, 30)),
+                          windows=(("P1", 0, 40), ("P2", 30, 30)))
+
+    def test_eq21_mtf_overrun_rejected(self):
+        with pytest.raises(ConfigurationError, match="beyond MTF"):
+            make_schedule(mtf=100, windows=(("P1", 80, 30),),
+                          requirements=(("P1", 100, 30),))
+
+    def test_eq20_window_partition_must_be_in_q(self):
+        with pytest.raises(ConfigurationError, match="absent from"):
+            make_schedule(requirements=(("P1", 100, 40),),
+                          windows=(("P1", 0, 40), ("P2", 50, 10)))
+
+    def test_requirement_without_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="no time window"):
+            make_schedule(requirements=(("P1", 100, 40), ("P2", 100, 10)),
+                          windows=(("P1", 0, 40),))
+
+    def test_duplicate_requirements_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            make_schedule(requirements=(("P1", 100, 10), ("P1", 100, 20)),
+                          windows=(("P1", 0, 10),))
+
+    def test_change_action_for_unknown_partition_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            make_schedule(change_actions={
+                "P9": ScheduleChangeAction.COLD_START})
+
+    def test_window_at(self):
+        schedule = make_schedule(
+            mtf=100, requirements=(("P1", 100, 30), ("P2", 100, 20)),
+            windows=(("P1", 0, 30), ("P2", 50, 20)))
+        assert schedule.active_partition_at(0) == "P1"
+        assert schedule.active_partition_at(29) == "P1"
+        assert schedule.active_partition_at(30) is None
+        assert schedule.active_partition_at(55) == "P2"
+        assert schedule.active_partition_at(70) is None
+        # wraps modulo the MTF
+        assert schedule.active_partition_at(100) == "P1"
+
+    def test_dispatch_table_with_gaps(self):
+        schedule = make_schedule(
+            mtf=100, requirements=(("P1", 100, 30), ("P2", 100, 20)),
+            windows=(("P1", 10, 30), ("P2", 50, 20)))
+        table = schedule.dispatch_table()
+        assert table == (
+            DispatchEntry(0, None), DispatchEntry(10, "P1"),
+            DispatchEntry(40, None), DispatchEntry(50, "P2"),
+            DispatchEntry(70, None))
+
+    def test_dispatch_table_fully_packed(self):
+        schedule = make_schedule(
+            mtf=100, requirements=(("P1", 100, 60), ("P2", 100, 40)),
+            windows=(("P1", 0, 60), ("P2", 60, 40)))
+        assert schedule.dispatch_table() == (
+            DispatchEntry(0, "P1"), DispatchEntry(60, "P2"))
+
+    def test_idle_time_and_utilization(self):
+        schedule = make_schedule(
+            mtf=100, requirements=(("P1", 100, 30),), windows=(("P1", 0, 30),))
+        assert schedule.idle_time() == 70
+        assert schedule.utilization() == pytest.approx(0.30)
+
+    def test_allocated_time_sums_windows(self):
+        schedule = make_schedule(
+            mtf=100, requirements=(("P1", 50, 10),),
+            windows=(("P1", 0, 10), ("P1", 50, 15)))
+        assert schedule.allocated_time("P1") == 25
+
+    def test_cycles_of(self):
+        schedule = make_schedule(
+            mtf=1300, requirements=(("P2", 650, 100),),
+            windows=(("P2", 0, 100), ("P2", 650, 100)))
+        assert schedule.cycles_of("P2") == 2
+
+    def test_requirement_lookup_unknown(self):
+        schedule = make_schedule()
+        with pytest.raises(UnknownPartitionError):
+            schedule.requirement_for("P9")
+
+    def test_change_action_defaults_to_ignore(self):
+        schedule = make_schedule()
+        assert (schedule.change_action_for("P1")
+                is ScheduleChangeAction.IGNORE)
+
+
+class TestSystemModel:
+    def test_lookups(self):
+        system = make_system(partitions=("P1", "P2"),
+                             requirements=(("P1", 100, 30), ("P2", 100, 20)),
+                             windows=(("P1", 0, 30), ("P2", 50, 20)))
+        assert system.partition("P2").name == "P2"
+        assert system.schedule("s1").major_time_frame == 100
+        assert system.single_schedule
+
+    def test_unknown_lookups(self):
+        system = make_system()
+        with pytest.raises(UnknownPartitionError):
+            system.partition("P9")
+        with pytest.raises(UnknownScheduleError):
+            system.schedule("ghost")
+
+    def test_schedule_referencing_unknown_partition_rejected(self):
+        schedule = make_schedule(requirements=(("P9", 100, 10),),
+                                 windows=(("P9", 0, 10),))
+        with pytest.raises(ConfigurationError, match="unknown"):
+            SystemModel(partitions=(Partition(name="P1"),),
+                        schedules=(schedule,), initial_schedule="s1")
+
+    def test_initial_schedule_must_exist(self):
+        schedule = make_schedule()
+        with pytest.raises(ConfigurationError, match="initial schedule"):
+            SystemModel(partitions=(Partition(name="P1"),),
+                        schedules=(schedule,), initial_schedule="nope")
+
+    def test_duplicate_partition_names_rejected(self):
+        schedule = make_schedule()
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            SystemModel(partitions=(Partition(name="P1"),
+                                    Partition(name="P1")),
+                        schedules=(schedule,), initial_schedule="s1")
+
+    def test_processes_iterates_whole_system(self):
+        system = SystemModel(
+            partitions=(
+                Partition(name="P1", processes=(
+                    ProcessModel(name="a", period=10),)),
+                Partition(name="P2", processes=(
+                    ProcessModel(name="b", period=10),
+                    ProcessModel(name="c", period=10)))),
+            schedules=(make_schedule(
+                requirements=(("P1", 100, 20), ("P2", 100, 20)),
+                windows=(("P1", 0, 20), ("P2", 20, 20))),),
+            initial_schedule="s1")
+        names = [(p.name, t.name) for p, t in system.processes()]
+        assert names == [("P1", "a"), ("P2", "b"), ("P2", "c")]
+
+    def test_single_schedule_system_helper(self):
+        # The end-of-Sect. 4.1 observation: n(chi) = 1 is the Sect. 3 model.
+        system = single_schedule_system(
+            partitions=[Partition(name="P1")],
+            major_time_frame=100,
+            requirements=[PartitionRequirement("P1", 100, 40)],
+            windows=[TimeWindow("P1", 0, 40)])
+        assert system.single_schedule
+        assert system.initial_schedule == "default"
+
+    def test_partition_absent_from_a_schedule_is_allowed(self):
+        # Sect. 4.1: "not all partitions will be present in every schedule".
+        s1 = make_schedule(schedule_id="s1")
+        s2 = make_schedule(schedule_id="s2",
+                           requirements=(("P2", 100, 20),),
+                           windows=(("P2", 0, 20),))
+        system = SystemModel(
+            partitions=(Partition(name="P1"), Partition(name="P2")),
+            schedules=(s1, s2), initial_schedule="s1")
+        assert system.schedule("s2").partitions == ("P2",)

@@ -1,0 +1,148 @@
+"""Tests for the partition runtime lifecycle (repro.core.runtime)."""
+
+import pytest
+
+from repro import Call, Compute, SystemBuilder
+from repro.kernel.simulator import Simulator
+from repro.kernel.trace import PartitionModeChanged
+from repro.types import PartitionMode, ProcessState, ScheduleChangeAction
+
+from ..conftest import periodic_body
+
+
+def build_sim(*, init_hook=None, error_handler=None, auto_start=None):
+    builder = SystemBuilder()
+    part = builder.partition("P1")
+    part.process("worker", period=100, deadline=100, priority=1, wcet=10)
+    part.process("extra", period=100, deadline=100, priority=2, wcet=5)
+    part.body("worker", periodic_body(10))
+    part.body("extra", periodic_body(5))
+    if init_hook is not None:
+        part.init_hook(init_hook)
+    if error_handler is not None:
+        part.error_handler(error_handler)
+    if auto_start is not None:
+        part.auto_start(*auto_start)
+    builder.schedule("main", mtf=100) \
+        .require("P1", cycle=100, duration=50) \
+        .window("P1", offset=0, duration=50)
+    return Simulator(builder.build())
+
+
+class TestInitialization:
+    def test_cold_start_to_normal_on_first_window_tick(self):
+        sim = build_sim()
+        assert sim.runtime("P1").mode is PartitionMode.COLD_START
+        sim.run(1)
+        assert sim.runtime("P1").mode is PartitionMode.NORMAL
+        modes = sim.trace.of_type(PartitionModeChanged)
+        assert [(e.previous_mode, e.new_mode) for e in modes] == [
+            ("coldStart", "normal")]
+
+    def test_default_init_starts_all_bodies(self):
+        sim = build_sim()
+        sim.run(2)
+        pos = sim.runtime("P1").pos
+        assert pos.tcb("worker").state in (ProcessState.READY,
+                                           ProcessState.RUNNING)
+        assert pos.tcb("extra").state in (ProcessState.READY,
+                                          ProcessState.RUNNING)
+
+    def test_auto_start_subset(self):
+        sim = build_sim(auto_start=("worker",))
+        sim.run(2)
+        pos = sim.runtime("P1").pos
+        assert pos.tcb("worker").is_schedulable
+        assert pos.tcb("extra").state is ProcessState.DORMANT
+
+    def test_custom_init_hook_controls_everything(self):
+        staged = []
+
+        def init(apex):
+            staged.append(apex.partition)
+            apex.start("worker")
+            apex.set_partition_mode(PartitionMode.NORMAL)
+
+        sim = build_sim(init_hook=init)
+        sim.run(2)
+        assert staged == ["P1"]
+        pos = sim.runtime("P1").pos
+        assert pos.tcb("worker").is_schedulable
+        assert pos.tcb("extra").state is ProcessState.DORMANT
+
+    def test_init_consumes_its_tick(self):
+        sim = build_sim()
+        sim.run(1)
+        # Tick 0 went to initialization, not to a process.
+        assert sim.runtime("P1").pos.running is None
+
+
+class TestRestart:
+    def test_restart_reinitializes(self):
+        sim = build_sim()
+        sim.run_mtf(1)
+        sim.runtime("P1").request_restart(PartitionMode.WARM_START)
+        assert sim.runtime("P1").mode is PartitionMode.WARM_START
+        sim.run_mtf(1)
+        assert sim.runtime("P1").mode is PartitionMode.NORMAL
+        assert sim.runtime("P1").init_count == 2
+
+    def test_restart_from_inside_a_process(self):
+        sim = build_sim()
+        sim.run_mtf(1)
+        apex = sim.apex("P1")
+        apex.set_partition_mode(PartitionMode.WARM_START)
+        sim.run_mtf(1)
+        assert sim.runtime("P1").mode is PartitionMode.NORMAL
+
+    def test_restart_clears_deadlines(self):
+        sim = build_sim()
+        sim.run_mtf(1)
+        runtime = sim.runtime("P1")
+        assert runtime.pal.monitor.pending_count() > 0
+        runtime.request_restart(PartitionMode.COLD_START)
+        assert runtime.pal.monitor.pending_count() == 0
+
+    def test_invalid_restart_mode_rejected(self):
+        sim = build_sim()
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            sim.runtime("P1").request_restart(PartitionMode.NORMAL)
+
+
+class TestShutdown:
+    def test_shutdown_stops_everything(self):
+        sim = build_sim()
+        sim.run_mtf(1)
+        sim.runtime("P1").shutdown()
+        assert sim.runtime("P1").mode is PartitionMode.IDLE
+        pos = sim.runtime("P1").pos
+        assert all(t.state is ProcessState.DORMANT for t in pos.tcbs())
+        # Idle partition consumes its windows doing nothing.
+        before = sim.trace.count(PartitionModeChanged)
+        sim.run_mtf(2)
+        assert sim.trace.count(PartitionModeChanged) == before
+
+
+class TestScheduleChangeAction:
+    def test_action_restarts_partition_in_normal_mode(self):
+        sim = build_sim()
+        sim.run_mtf(1)
+        sim.runtime("P1").apply_change_action(ScheduleChangeAction.WARM_START)
+        assert sim.runtime("P1").mode is PartitionMode.WARM_START
+        assert sim.runtime("P1").restart_count == 1
+
+    def test_ignore_action_is_noop(self):
+        sim = build_sim()
+        sim.run_mtf(1)
+        sim.runtime("P1").apply_change_action(ScheduleChangeAction.IGNORE)
+        assert sim.runtime("P1").mode is PartitionMode.NORMAL
+
+    def test_action_skipped_for_non_normal_partition(self):
+        # Sect. 4.2: only partitions running in normal mode are restarted.
+        sim = build_sim()
+        sim.run_mtf(1)
+        sim.runtime("P1").shutdown()
+        sim.runtime("P1").apply_change_action(ScheduleChangeAction.COLD_START)
+        assert sim.runtime("P1").mode is PartitionMode.IDLE

@@ -1,0 +1,160 @@
+"""Tests for the AIR Partition Scheduler — Algorithm 1 (repro.core.scheduler)."""
+
+import pytest
+
+from repro.core.model import (
+    Partition,
+    PartitionRequirement,
+    ScheduleTable,
+    SystemModel,
+    TimeWindow,
+)
+from repro.core.scheduler import CompiledSchedule, PartitionScheduler
+from repro.exceptions import UnknownScheduleError
+from repro.kernel.trace import ScheduleSwitchRequested, ScheduleSwitched, Trace
+from repro.types import ScheduleChangeAction
+
+from ..conftest import make_schedule
+
+
+def two_schedule_system(change_actions=None):
+    s1 = make_schedule(schedule_id="s1", mtf=100,
+                       requirements=(("P1", 100, 40), ("P2", 100, 40)),
+                       windows=(("P1", 0, 40), ("P2", 40, 40)))
+    s2 = ScheduleTable(
+        schedule_id="s2", major_time_frame=200,
+        requirements=(PartitionRequirement("P1", 200, 60),
+                      PartitionRequirement("P2", 200, 100)),
+        windows=(TimeWindow("P2", 0, 100), TimeWindow("P1", 100, 60)),
+        change_actions=change_actions or {})
+    return SystemModel(partitions=(Partition(name="P1"),
+                                   Partition(name="P2")),
+                       schedules=(s1, s2), initial_schedule="s1")
+
+
+def drive(scheduler, start, end):
+    """Run ticks [start, end); return [(tick, heir)] at preemption points."""
+    points = []
+    for tick in range(start, end):
+        if scheduler.tick(tick):
+            points.append((tick, scheduler.heir_partition))
+    return points
+
+
+class TestCompiledSchedule:
+    def test_compile_precomputes_dispatch_table(self):
+        schedule = make_schedule(
+            mtf=100, requirements=(("P1", 100, 40), ("P2", 100, 40)),
+            windows=(("P1", 0, 40), ("P2", 50, 40)))
+        compiled = CompiledSchedule.compile(schedule)
+        assert compiled.mtf == 100
+        assert compiled.number_partition_preemption_points == 4
+
+
+class TestAlgorithm1:
+    def test_preemption_points_within_one_mtf(self):
+        scheduler = PartitionScheduler(two_schedule_system())
+        points = drive(scheduler, 0, 100)
+        assert points == [(0, "P1"), (40, "P2"), (80, None)]
+
+    def test_cyclic_repetition_over_mtfs(self):
+        scheduler = PartitionScheduler(two_schedule_system())
+        first = drive(scheduler, 0, 100)
+        second = drive(scheduler, 100, 200)
+        assert [(t + 100, h) for t, h in first] == second
+
+    def test_fast_path_dominates(self):
+        # Sect. 4.3: the fast path "will turn out false far more often
+        # than true".
+        scheduler = PartitionScheduler(two_schedule_system())
+        drive(scheduler, 0, 1000)
+        stats = scheduler.stats
+        assert stats.ticks == 1000
+        assert stats.preemption_points == 30  # 3 per 100-tick MTF
+        assert stats.fast_path == 970
+        assert stats.fast_path_fraction == pytest.approx(0.97)
+
+    def test_switch_request_is_deferred_to_mtf_boundary(self):
+        # Sect. 4.2: "the immediate result is only that of storing the
+        # identifier of the next schedule".
+        scheduler = PartitionScheduler(two_schedule_system())
+        drive(scheduler, 0, 50)
+        scheduler.request_switch("s2", now=50)
+        assert scheduler.current_schedule == "s1"
+        assert scheduler.switch_pending
+        points = drive(scheduler, 50, 100)
+        assert scheduler.current_schedule == "s1"  # still before boundary
+        points = drive(scheduler, 100, 101)
+        assert scheduler.current_schedule == "s2"
+        assert scheduler.last_schedule_switch == 100
+        assert points == [(100, "P2")]  # s2's first window
+
+    def test_switch_resets_table_iterator_and_mtf_phase(self):
+        scheduler = PartitionScheduler(two_schedule_system())
+        drive(scheduler, 0, 60)
+        scheduler.request_switch("s2", now=60)
+        drive(scheduler, 60, 100)   # boundary at 100
+        points = drive(scheduler, 100, 300)
+        # s2 (MTF 200) now phase-aligned at 100: P2@100, P1@200, gap@260.
+        assert points == [(100, "P2"), (200, "P1"), (260, None)]
+
+    def test_mid_mtf_requests_do_not_switch_early(self):
+        scheduler = PartitionScheduler(two_schedule_system())
+        for tick in range(0, 100):
+            scheduler.tick(tick)
+            assert scheduler.current_schedule == "s1"
+
+    def test_successive_requests_last_one_wins(self):
+        # Sect. 6: "successive requests to change schedule are correctly
+        # handled at the end of the current MTF".
+        scheduler = PartitionScheduler(two_schedule_system())
+        drive(scheduler, 0, 10)
+        scheduler.request_switch("s2", now=10)
+        scheduler.request_switch("s1", now=20)  # cancels the pending switch
+        assert not scheduler.switch_pending
+        drive(scheduler, 10, 150)
+        assert scheduler.current_schedule == "s1"
+
+    def test_unknown_schedule_rejected(self):
+        scheduler = PartitionScheduler(two_schedule_system())
+        with pytest.raises(UnknownScheduleError):
+            scheduler.request_switch("ghost", now=0)
+
+    def test_switch_events_traced(self):
+        trace = Trace()
+        scheduler = PartitionScheduler(two_schedule_system(), trace)
+        drive(scheduler, 0, 10)
+        scheduler.request_switch("s2", now=10, requested_by="P1")
+        drive(scheduler, 10, 101)
+        requested = trace.of_type(ScheduleSwitchRequested)
+        switched = trace.of_type(ScheduleSwitched)
+        assert len(requested) == 1 and requested[0].requested_by == "P1"
+        assert len(switched) == 1
+        assert switched[0].tick == 100
+        assert (switched[0].from_schedule, switched[0].to_schedule) == \
+            ("s1", "s2")
+
+    def test_change_actions_armed_on_switch(self):
+        system = two_schedule_system(change_actions={
+            "P1": ScheduleChangeAction.WARM_START})
+        scheduler = PartitionScheduler(system)
+        drive(scheduler, 0, 10)
+        scheduler.request_switch("s2", now=10)
+        drive(scheduler, 10, 101)
+        assert scheduler.pending_change_actions == {
+            "P1": ScheduleChangeAction.WARM_START}
+        assert (scheduler.take_pending_action("P1")
+                is ScheduleChangeAction.WARM_START)
+        assert scheduler.take_pending_action("P1") is None  # consumed
+        assert scheduler.take_pending_action("P2") is None  # IGNORE default
+
+    def test_switch_counts_in_stats(self):
+        scheduler = PartitionScheduler(two_schedule_system())
+        scheduler.request_switch("s2", now=0)
+        drive(scheduler, 0, 400)
+        assert scheduler.stats.schedule_switches == 1
+
+    def test_heir_none_during_idle_gap(self):
+        scheduler = PartitionScheduler(two_schedule_system())
+        drive(scheduler, 0, 81)
+        assert scheduler.heir_partition is None

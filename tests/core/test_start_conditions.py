@@ -1,0 +1,52 @@
+"""Tests for ARINC 653 start-condition tracking (repro.core.runtime)."""
+
+import pytest
+
+from repro.apps.prototype import make_simulator
+from repro.fault.faults import MemoryViolationFault
+from repro.fault.injector import FaultInjector
+from repro.types import PartitionMode, StartCondition
+
+
+@pytest.fixture
+def sim():
+    simulator = make_simulator()
+    simulator.run_mtf(1)
+    return simulator
+
+
+class TestStartConditions:
+    def test_initial_condition_is_normal_start(self, sim):
+        for name in ("P1", "P2", "P3", "P4"):
+            assert sim.runtime(name).start_condition is \
+                StartCondition.NORMAL_START
+
+    def test_self_requested_restart(self, sim):
+        sim.apex("P2").set_partition_mode(PartitionMode.WARM_START)
+        assert sim.runtime("P2").start_condition is \
+            StartCondition.PARTITION_RESTART
+
+    def test_hm_ordered_restart(self, sim):
+        FaultInjector(sim).inject_now(MemoryViolationFault("P4"))
+        assert sim.runtime("P4").start_condition is \
+            StartCondition.HM_PARTITION_RESTART
+
+    def test_module_restart(self, sim):
+        sim.pmk.module_restart()
+        for name in ("P1", "P2", "P3", "P4"):
+            assert sim.runtime(name).start_condition is \
+                StartCondition.HM_MODULE_RESTART
+
+    def test_condition_visible_through_apex_status(self, sim):
+        sim.apex("P3").set_partition_mode(PartitionMode.COLD_START)
+        sim.run_mtf(1)  # re-initialize
+        status = sim.apex("P3").get_partition_status().expect()
+        assert status.operating_mode is PartitionMode.NORMAL
+        assert status.start_condition is StartCondition.PARTITION_RESTART
+
+    def test_condition_persists_after_reaching_normal(self, sim):
+        FaultInjector(sim).inject_now(MemoryViolationFault("P2"))
+        sim.run_mtf(1)
+        assert sim.runtime("P2").mode is PartitionMode.NORMAL
+        assert sim.runtime("P2").start_condition is \
+            StartCondition.HM_PARTITION_RESTART

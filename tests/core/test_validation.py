@@ -1,0 +1,186 @@
+"""Tests for offline verification (eqs. (8), (21)-(23)) — repro.core.validation."""
+
+import pytest
+
+from repro.core.model import (
+    Partition,
+    PartitionRequirement,
+    ProcessModel,
+    ScheduleTable,
+    SystemModel,
+    TimeWindow,
+)
+from repro.core.validation import (
+    Severity,
+    ValidationReport,
+    validate_schedule,
+    validate_system,
+)
+from repro.exceptions import ValidationError
+
+from ..conftest import make_schedule, make_system
+
+
+class TestValidateSchedule:
+    def test_valid_schedule_has_no_errors(self):
+        report = validate_schedule(make_schedule())
+        assert report.ok
+        assert report.by_code("SCHEDULE_METRICS")  # metrics always reported
+
+    def test_eq22_mtf_not_multiple_of_lcm(self):
+        schedule = make_schedule(
+            mtf=150, requirements=(("P1", 100, 10),),
+            windows=(("P1", 0, 10),))
+        report = validate_schedule(schedule)
+        assert not report.ok
+        assert report.by_code("EQ22_MTF_NOT_MULTIPLE")
+
+    def test_eq23_insufficient_duration_in_one_cycle(self):
+        # P1 needs 30 per 100-tick cycle; the second cycle only gets 10.
+        schedule = make_schedule(
+            mtf=200, requirements=(("P1", 100, 30),),
+            windows=(("P1", 0, 30), ("P1", 100, 10)))
+        report = validate_schedule(schedule)
+        violations = report.by_code("EQ23_VIOLATED")
+        assert len(violations) == 1
+        assert "k=1" in violations[0].message
+
+    def test_eq8_total_duration_also_reported(self):
+        schedule = make_schedule(
+            mtf=200, requirements=(("P1", 100, 30),),
+            windows=(("P1", 0, 30), ("P1", 100, 10)))
+        report = validate_schedule(schedule)
+        assert report.by_code("EQ8_TOTAL_DURATION")
+
+    def test_eq23_satisfied_by_fragmented_windows(self):
+        # Two fragments summing to the duration within the same cycle.
+        schedule = make_schedule(
+            mtf=100, requirements=(("P1", 100, 30),),
+            windows=(("P1", 0, 15), ("P1", 50, 15)))
+        report = validate_schedule(schedule)
+        assert report.ok
+
+    def test_window_crossing_cycle_boundary_warns(self):
+        # Fig. 8's chi2 has exactly this shape: a 600-tick window of a
+        # 650-cycle partition starting at 400.
+        schedule = make_schedule(
+            mtf=1300, requirements=(("P2", 650, 100),),
+            windows=(("P2", 400, 600), ("P2", 1200, 100)))
+        report = validate_schedule(schedule)
+        assert report.ok
+        assert report.by_code("WINDOW_CROSSES_CYCLE")
+
+    def test_mixed_dividing_cycles_ok(self):
+        schedule = make_schedule(
+            mtf=300, requirements=(("P1", 100, 10), ("P2", 150, 10)),
+            windows=(("P1", 0, 10), ("P1", 100, 10), ("P1", 200, 10),
+                     ("P2", 20, 10), ("P2", 160, 10)))
+        assert validate_schedule(schedule).ok
+
+    def test_cycle_not_dividing_mtf_is_error(self):
+        schedule = make_schedule(
+            mtf=400, requirements=(("P1", 100, 10), ("P2", 120, 10)),
+            windows=(("P1", 0, 10), ("P1", 100, 10), ("P1", 200, 10),
+                     ("P1", 300, 10), ("P2", 20, 10)))
+        report = validate_schedule(schedule)
+        assert report.by_code("CYCLE_NOT_DIVIDING_MTF")
+        assert report.by_code("EQ22_MTF_NOT_MULTIPLE")
+
+    def test_non_realtime_partition_noted(self):
+        schedule = make_schedule(
+            mtf=100, requirements=(("P1", 100, 0),), windows=(("P1", 0, 10),))
+        report = validate_schedule(schedule)
+        assert report.ok
+        assert report.by_code("NON_REALTIME_PARTITION")
+
+
+class TestValidateSystem:
+    def test_valid_system(self):
+        assert validate_system(make_system()).ok
+
+    def test_utilization_exceeds_supply(self):
+        system = SystemModel(
+            partitions=(Partition(name="P1", processes=(
+                ProcessModel(name="hog", period=100, deadline=100,
+                             wcet=90),)),),
+            schedules=(make_schedule(
+                requirements=(("P1", 100, 40),), windows=(("P1", 0, 40),)),),
+            initial_schedule="s1")
+        report = validate_system(system)
+        assert report.by_code("UTILIZATION_EXCEEDS_SUPPLY")
+        assert not report.ok
+
+    def test_deadline_exceeding_period_warns(self):
+        system = SystemModel(
+            partitions=(Partition(name="P1", processes=(
+                ProcessModel(name="a", period=50, deadline=80, wcet=5),)),),
+            schedules=(make_schedule(requirements=(("P1", 100, 40),),
+                                     windows=(("P1", 0, 40),)),),
+            initial_schedule="s1")
+        report = validate_system(system)
+        assert report.by_code("DEADLINE_EXCEEDS_PERIOD")
+        assert report.ok  # warning only
+
+    def test_missing_wcet_with_deadline_warns(self):
+        system = SystemModel(
+            partitions=(Partition(name="P1", processes=(
+                ProcessModel(name="a", period=50, deadline=50),)),),
+            schedules=(make_schedule(requirements=(("P1", 100, 40),),
+                                     windows=(("P1", 0, 40),)),),
+            initial_schedule="s1")
+        report = validate_system(system)
+        assert report.by_code("WCET_UNKNOWN")
+
+    def test_partition_never_scheduled_warns(self):
+        system = SystemModel(
+            partitions=(Partition(name="P1"), Partition(name="Porphan")),
+            schedules=(make_schedule(),), initial_schedule="s1")
+        report = validate_system(system)
+        findings = report.by_code("PARTITION_NEVER_SCHEDULED")
+        assert len(findings) == 1
+        assert findings[0].partition == "Porphan"
+
+    def test_multi_schedule_systems_check_each_pst(self):
+        good = make_schedule(schedule_id="good")
+        bad = ScheduleTable(
+            schedule_id="bad", major_time_frame=200,
+            requirements=(PartitionRequirement("P1", 100, 30),),
+            windows=(TimeWindow("P1", 0, 30), TimeWindow("P1", 100, 10)))
+        system = SystemModel(partitions=(Partition(name="P1"),),
+                             schedules=(good, bad), initial_schedule="good")
+        report = validate_system(system)
+        assert not report.ok
+        assert all(f.schedule == "bad"
+                   for f in report.by_code("EQ23_VIOLATED"))
+
+
+class TestValidationReport:
+    def test_raise_if_invalid(self):
+        report = ValidationReport()
+        report.add(Severity.ERROR, "X", "boom")
+        with pytest.raises(ValidationError, match="boom"):
+            report.raise_if_invalid()
+
+    def test_ok_with_warnings_only(self):
+        report = ValidationReport()
+        report.add(Severity.WARNING, "W", "meh")
+        assert report.ok
+        report.raise_if_invalid()  # must not raise
+
+    def test_render_includes_scope(self):
+        report = ValidationReport()
+        report.add(Severity.ERROR, "X", "boom", schedule="s1", partition="P1")
+        text = report.render()
+        assert "schedule=s1" in text and "partition=P1" in text
+
+    def test_render_empty(self):
+        assert "no findings" in ValidationReport().render()
+
+    def test_extend_and_len(self):
+        first = ValidationReport()
+        first.add(Severity.INFO, "A", "a")
+        second = ValidationReport()
+        second.add(Severity.INFO, "B", "b")
+        first.extend(second)
+        assert len(first) == 2
+        assert [f.code for f in first] == ["A", "B"]

@@ -1,0 +1,87 @@
+"""Tests for the deadline violation monitor — Algorithm 3 (repro.deadline.monitor)."""
+
+import pytest
+
+from repro.deadline.monitor import DeadlineMonitor, Violation
+
+
+@pytest.fixture(params=["list", "tree"])
+def monitor(request):
+    return DeadlineMonitor("P1", store_kind=request.param)
+
+
+class TestAlgorithm3:
+    def test_no_violation_while_deadline_in_future(self, monitor):
+        monitor.register("a", 50)
+        assert monitor.verify(49) == []
+        assert monitor.verify(50) == []  # line 3: d >= now -> break
+
+    def test_violation_detected_once_deadline_passes(self, monitor):
+        monitor.register("a", 50)
+        violations = monitor.verify(51)
+        assert violations == [Violation(process="a", deadline_time=50,
+                                        detected_at=51, detection_latency=1)]
+        assert monitor.pending_count() == 0  # line 7: removed
+
+    def test_violation_reported_only_once(self, monitor):
+        monitor.register("a", 50)
+        monitor.verify(60)
+        assert monitor.verify(61) == []
+
+    def test_multiple_expired_deadlines_in_ascending_order(self, monitor):
+        # Sect. 5: "following deadlines may subsequently be verified until
+        # one has not been missed".
+        monitor.register("a", 10)
+        monitor.register("b", 20)
+        monitor.register("c", 99)
+        violations = monitor.verify(30)
+        assert [v.process for v in violations] == ["a", "b"]
+        assert monitor.pending_count() == 1
+
+    def test_detection_latency_when_partition_inactive(self, monitor):
+        # Sect. 5: a deadline expiring while the partition is inactive is
+        # detected at its next dispatch — the latency is the gap.
+        monitor.register("a", 100)
+        violations = monitor.verify(1300)
+        assert violations[0].detection_latency == 1200
+
+    def test_callback_invoked_per_violation(self):
+        seen = []
+        monitor = DeadlineMonitor("P1", on_violation=seen.append)
+        monitor.register("a", 5)
+        monitor.register("b", 6)
+        monitor.verify(10)
+        assert [v.process for v in seen] == ["a", "b"]
+
+    def test_unregister_prevents_detection(self, monitor):
+        monitor.register("a", 5)
+        assert monitor.unregister("a")
+        assert monitor.verify(10) == []
+
+    def test_replenish_style_update_moves_deadline(self, monitor):
+        monitor.register("a", 5)
+        monitor.register("a", 50)  # REPLENISH re-registration
+        assert monitor.verify(10) == []
+        assert monitor.verify(51)[0].deadline_time == 50
+
+
+class TestInstrumentation:
+    def test_comparison_count_is_one_per_quiet_check(self, monitor):
+        # Sect. 5.3: "only the earliest deadline is verified by default".
+        monitor.register("a", 1000)
+        monitor.register("b", 2000)
+        for now in range(100):
+            monitor.verify(now)
+        assert monitor.check_count == 100
+        assert monitor.comparison_count == 100
+
+    def test_violations_accumulate(self, monitor):
+        monitor.register("a", 1)
+        monitor.verify(2)
+        monitor.register("b", 3)
+        monitor.verify(4)
+        assert [v.process for v in monitor.violations] == ["a", "b"]
+
+    def test_empty_store_check_is_cheap_and_clean(self, monitor):
+        assert monitor.verify(100) == []
+        assert monitor.pending_count() == 0

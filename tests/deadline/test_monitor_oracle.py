@@ -1,0 +1,75 @@
+"""Property-based oracle test: the deadline monitor (over either structure)
+must behave exactly like a naive brute-force implementation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deadline.monitor import DeadlineMonitor
+
+
+class NaiveOracle:
+    """Dict-based reference semantics of Sect. 5's bookkeeping."""
+
+    def __init__(self):
+        self.deadlines = {}
+        self.violations = []
+
+    def register(self, process, deadline_time):
+        self.deadlines[process] = deadline_time
+
+    def unregister(self, process):
+        return self.deadlines.pop(process, None) is not None
+
+    def verify(self, now):
+        expired = sorted(
+            ((deadline, process)
+             for process, deadline in self.deadlines.items()
+             if deadline < now))
+        out = []
+        for deadline, process in expired:
+            del self.deadlines[process]
+            out.append((process, deadline))
+            self.violations.append((process, deadline, now))
+        return out
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("register"), st.integers(0, 12),
+                  st.integers(0, 200)),
+        st.tuples(st.just("unregister"), st.integers(0, 12)),
+        st.tuples(st.just("verify"), st.integers(0, 250)),
+    ),
+    max_size=80)
+
+
+@given(_ops, st.sampled_from(["list", "tree"]))
+@settings(max_examples=300, deadline=None)
+def test_monitor_matches_naive_oracle(operations, store_kind):
+    monitor = DeadlineMonitor("P1", store_kind=store_kind)
+    oracle = NaiveOracle()
+    now = 0
+    for operation in operations:
+        if operation[0] == "register":
+            _, process, offset = operation
+            deadline = now + offset
+            monitor.register(f"p{process}", deadline)
+            oracle.register(f"p{process}", deadline)
+        elif operation[0] == "unregister":
+            _, process = operation
+            assert (monitor.unregister(f"p{process}")
+                    == oracle.unregister(f"p{process}"))
+        else:
+            _, advance = operation
+            now += advance  # time is monotone, as in the real system
+            got = [(v.process, v.deadline_time)
+                   for v in monitor.verify(now)]
+            expected = oracle.verify(now)
+            # Equal-deadline ties may differ in registration order between
+            # the oracle's (deadline, name) sort and the store's
+            # (deadline, insertion) order — compare as multisets per
+            # deadline, and exact order of deadlines.
+            assert [d for _, d in got] == [d for _, d in expected]
+            assert sorted(got) == sorted(expected)
+        assert monitor.pending_count() == len(oracle.deadlines)
+    assert len(monitor.violations) == len(oracle.violations)

@@ -1,0 +1,174 @@
+"""Tests for the deadline bookkeeping structures (Sect. 5.3 ablation):
+sorted linked list (paper's choice) vs AVL tree (discussed alternative),
+including hypothesis-driven observational equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deadline.structures import (
+    DeadlineList,
+    DeadlineRecord,
+    DeadlineTree,
+    make_store,
+)
+from repro.exceptions import SimulationError
+
+STORES = ["list", "tree"]
+
+
+@pytest.fixture(params=STORES)
+def store(request):
+    return make_store(request.param)
+
+
+class TestBasicOperations:
+    def test_empty_store(self, store):
+        assert len(store) == 0
+        assert store.earliest() is None
+        assert store.as_list() == []
+        assert store.deadline_of("x") is None
+
+    def test_register_and_earliest(self, store):
+        store.register("b", 50)
+        store.register("a", 30)
+        store.register("c", 70)
+        assert len(store) == 3
+        assert store.earliest() == DeadlineRecord("a", 30)
+
+    def test_ascending_iteration(self, store):
+        for name, deadline in (("c", 70), ("a", 30), ("b", 50)):
+            store.register(name, deadline)
+        assert [r.process for r in store] == ["a", "b", "c"]
+
+    def test_equal_deadlines_kept_in_registration_order(self, store):
+        store.register("x", 40)
+        store.register("y", 40)
+        store.register("z", 40)
+        assert [r.process for r in store] == ["x", "y", "z"]
+
+    def test_register_existing_moves_entry(self, store):
+        # Fig. 6's REPLENISH path: the entry is moved, keeping the order.
+        store.register("a", 30)
+        store.register("b", 50)
+        store.register("a", 90)
+        assert len(store) == 2
+        assert store.earliest().process == "b"
+        assert store.deadline_of("a") == 90
+
+    def test_unregister(self, store):
+        store.register("a", 30)
+        assert store.unregister("a")
+        assert not store.unregister("a")
+        assert len(store) == 0
+        assert store.earliest() is None
+
+    def test_pop_earliest(self, store):
+        store.register("a", 30)
+        store.register("b", 50)
+        assert store.pop_earliest() == DeadlineRecord("a", 30)
+        assert store.earliest().process == "b"
+
+    def test_pop_empty_raises(self, store):
+        with pytest.raises(SimulationError):
+            store.pop_earliest()
+
+    def test_unregister_middle_keeps_order(self, store):
+        for name, deadline in (("a", 10), ("b", 20), ("c", 30)):
+            store.register(name, deadline)
+        store.unregister("b")
+        assert [r.process for r in store] == ["a", "c"]
+
+    def test_make_store_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_store("skiplist")
+
+
+class TestScale:
+    @pytest.mark.parametrize("kind", STORES)
+    def test_thousand_entries_sorted(self, kind):
+        store = make_store(kind)
+        for index in range(1000):
+            # Deterministic pseudo-shuffle of deadlines.
+            store.register(f"p{index}", (index * 7919) % 10_000)
+        deadlines = [r.deadline_time for r in store]
+        assert deadlines == sorted(deadlines)
+        assert len(store) == 1000
+
+    @pytest.mark.parametrize("kind", STORES)
+    def test_drain_by_pop(self, kind):
+        store = make_store(kind)
+        for index in range(100):
+            store.register(f"p{index}", (index * 37) % 100)
+        popped = [store.pop_earliest().deadline_time for _ in range(100)]
+        assert popped == sorted(popped)
+        assert len(store) == 0
+
+
+# ------------------------------------------------------------------ #
+# property-based equivalence (the Sect. 5.3 claim that both structures
+# are functionally interchangeable — only their costs differ)
+# ------------------------------------------------------------------ #
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("register"),
+                  st.integers(0, 15),            # process id
+                  st.integers(0, 100)),          # deadline time
+        st.tuples(st.just("unregister"), st.integers(0, 15)),
+        st.tuples(st.just("pop"),),
+    ),
+    max_size=60)
+
+
+@given(_ops)
+@settings(max_examples=200, deadline=None)
+def test_list_and_tree_are_observationally_equivalent(operations):
+    linked = DeadlineList()
+    tree = DeadlineTree()
+    for operation in operations:
+        if operation[0] == "register":
+            _, process, deadline = operation
+            linked.register(f"p{process}", deadline)
+            tree.register(f"p{process}", deadline)
+        elif operation[0] == "unregister":
+            _, process = operation
+            assert (linked.unregister(f"p{process}")
+                    == tree.unregister(f"p{process}"))
+        else:  # pop
+            if len(linked) == 0:
+                continue
+            assert linked.pop_earliest() == tree.pop_earliest()
+        assert len(linked) == len(tree)
+        assert linked.earliest() == tree.earliest()
+    assert linked.as_list() == tree.as_list()
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 1000)),
+                min_size=1, max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_tree_stays_sorted_and_balanced(entries):
+    tree = DeadlineTree()
+    for process, deadline in entries:
+        tree.register(f"p{process}", deadline)
+    deadlines = [r.deadline_time for r in tree]
+    assert deadlines == sorted(deadlines)
+    # AVL balance: height bounded by ~1.44 log2(n + 2).
+    import math
+
+    count = len(tree)
+    height = tree._root.height if tree._root else 0
+    assert height <= 1.44 * math.log2(count + 2) + 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 1000)),
+                max_size=80))
+@settings(max_examples=100, deadline=None)
+def test_earliest_is_always_minimum(entries):
+    for kind in STORES:
+        store = make_store(kind)
+        for process, deadline in entries:
+            store.register(f"p{process}", deadline)
+        if len(store):
+            assert store.earliest().deadline_time == min(
+                r.deadline_time for r in store)

@@ -1,0 +1,138 @@
+"""Tests for the fault injection framework (repro.fault)."""
+
+import pytest
+
+from repro.apps.base import spin_forever
+
+from repro.apps.prototype import FAULTY_PROCESS, MTF, build_prototype, make_simulator
+from repro.fault.faults import (
+    ClockTamperFault,
+    MemoryViolationFault,
+    MessageFloodFault,
+    PartitionCrashFault,
+    ProcessKillFault,
+    StartProcessFault,
+)
+from repro.fault.injector import FaultInjector
+from repro.exceptions import SimulationError
+from repro.kernel.trace import DeadlineMissed, HealthMonitorEvent, MemoryFault
+from repro.types import PartitionMode, ProcessState
+
+
+@pytest.fixture
+def sim():
+    return make_simulator()
+
+
+class TestInjector:
+    def test_scheduled_fault_applies_at_tick(self, sim):
+        injector = FaultInjector(sim)
+        injector.schedule(2 * MTF, StartProcessFault("P1", FAULTY_PROCESS))
+        injector.run(3 * MTF)
+        assert len(injector.log) == 1
+        assert injector.log[0].tick == 2 * MTF
+        assert "noError" in injector.log[0].status
+
+    def test_cannot_schedule_in_the_past(self, sim):
+        sim.run(100)
+        injector = FaultInjector(sim)
+        with pytest.raises(SimulationError):
+            injector.schedule(50, StartProcessFault("P1", FAULTY_PROCESS))
+
+    def test_faults_apply_in_time_order(self, sim):
+        injector = FaultInjector(sim)
+        injector.schedule(200, ProcessKillFault("P2", "obdh-storage"))
+        injector.schedule(100, ProcessKillFault("P2", "obdh-housekeeping"))
+        injector.run(300)
+        assert [r.tick for r in injector.log] == [100, 200]
+
+    def test_run_mtf_helper(self, sim):
+        injector = FaultInjector(sim)
+        injector.run_mtf(2)
+        assert sim.now == 2 * MTF
+
+    def test_pending_count(self, sim):
+        injector = FaultInjector(sim)
+        injector.schedule(10_000, PartitionCrashFault("P2"))
+        assert injector.pending_count == 1
+
+
+class TestFaults:
+    def test_start_process_fault_triggers_deadline_misses(self, sim):
+        injector = FaultInjector(sim)
+        injector.schedule(MTF, StartProcessFault("P1", FAULTY_PROCESS))
+        injector.run(4 * MTF)
+        assert sim.trace.count(DeadlineMissed) >= 2
+
+    def test_memory_violation_fault_is_trapped_and_reported(self, sim):
+        sim.run_mtf(1)
+        injector = FaultInjector(sim)
+        record = injector.inject_now(MemoryViolationFault("P2"))
+        assert "trapped by MMU" in record.status
+        assert sim.trace.count(MemoryFault) == 1
+        hm_events = sim.trace.of_type(HealthMonitorEvent)
+        assert any(e.code == "memoryViolation" and e.partition == "P2"
+                   for e in hm_events)
+
+    def test_memory_violation_recovery_restarts_partition(self, sim):
+        sim.run_mtf(1)
+        FaultInjector(sim).inject_now(MemoryViolationFault("P2"))
+        # Default HM action for MEMORY_VIOLATION is RESTART_PARTITION.
+        assert sim.runtime("P2").mode is PartitionMode.WARM_START
+        sim.run_mtf(1)
+        assert sim.runtime("P2").mode is PartitionMode.NORMAL
+
+    def test_partition_crash_fault(self, sim):
+        sim.run_mtf(1)
+        record = FaultInjector(sim).inject_now(
+            PartitionCrashFault("P4", cold=True))
+        assert "coldStart" in record.status
+        assert sim.runtime("P4").mode is PartitionMode.COLD_START
+        sim.run_mtf(1)
+        assert sim.runtime("P4").mode is PartitionMode.NORMAL
+        assert sim.runtime("P4").init_count == 2
+
+    def test_process_kill_fault(self, sim):
+        sim.run_mtf(1)
+        FaultInjector(sim).inject_now(ProcessKillFault("P2", "obdh-storage"))
+        assert sim.runtime("P2").pos.tcb("obdh-storage").state is \
+            ProcessState.DORMANT
+
+    def test_message_flood_is_contained_to_the_channel(self, sim):
+        sim.run_mtf(1)
+        record = FaultInjector(sim).inject_now(
+            MessageFloodFault("P4", "alert_out", count=50))
+        assert "flooded 50/50" in record.status
+        port = sim.apex("P3").queuing_port("alert_in")
+        assert port.count <= 8              # bounded by channel depth
+        assert port.overflow_count >= 40
+        # The flood cannot break other partitions' timeliness.
+        sim.run_mtf(2)
+        assert sim.trace.count(DeadlineMissed) == 0
+
+    def test_clock_tamper_fault_on_rtems_partition_not_applicable(self, sim):
+        sim.run_mtf(1)
+        record = FaultInjector(sim).inject_now(ClockTamperFault("P2"))
+        assert "not applicable" in record.status
+
+    def test_clock_tamper_fault_on_generic_partition(self):
+        from repro import Compute, SystemBuilder
+        from repro.kernel.simulator import Simulator
+
+        builder = SystemBuilder()
+        part = builder.partition("Plinux").pos("generic")
+        part.process("bg", priority=1, periodic=False)
+        part.body("bg", spin_forever)
+        builder.schedule("main", mtf=100) \
+            .require("Plinux", cycle=100, duration=50) \
+            .window("Plinux", offset=0, duration=50)
+        sim = Simulator(builder.build())
+        sim.run_mtf(1)
+        record = FaultInjector(sim).inject_now(ClockTamperFault("Plinux"))
+        assert "3 clock operations trapped" in record.status
+        hm_events = sim.trace.of_type(HealthMonitorEvent)
+        assert sum(1 for e in hm_events if e.code == "clockTampering") == 3
+        # Time kept flowing despite the takeover attempt.
+        before = sim.now
+        sim.run(10)
+        assert sim.now == before + 10

@@ -1,0 +1,146 @@
+"""Tests for the Health Monitor (repro.hm.monitor)."""
+
+import pytest
+
+from repro.hm.monitor import ActionExecutor, HealthMonitor
+from repro.hm.tables import HmTables
+from repro.kernel.trace import HealthMonitorEvent, Trace
+from repro.types import ErrorCode, ErrorLevel, RecoveryAction
+
+
+class RecordingExecutor(ActionExecutor):
+    def __init__(self):
+        self.calls = []
+
+    def stop_process(self, partition, process):
+        self.calls.append(("stop_process", partition, process))
+
+    def restart_process(self, partition, process):
+        self.calls.append(("restart_process", partition, process))
+
+    def restart_partition(self, partition):
+        self.calls.append(("restart_partition", partition))
+
+    def stop_partition(self, partition):
+        self.calls.append(("stop_partition", partition))
+
+    def module_stop(self):
+        self.calls.append(("module_stop",))
+
+    def module_restart(self):
+        self.calls.append(("module_restart",))
+
+
+def make_monitor(tables=None, trace=None):
+    executor = RecordingExecutor()
+    monitor = HealthMonitor(tables or HmTables(), executor,
+                            clock=lambda: 42, trace=trace)
+    return monitor, executor
+
+
+class TestRouting:
+    def test_process_level_error_without_handler_uses_partition_table(self):
+        monitor, executor = make_monitor()
+        handled = monitor.report(ErrorCode.APPLICATION_ERROR, partition="P1",
+                                 process="a")
+        assert handled.level is ErrorLevel.PROCESS
+        assert handled.action is RecoveryAction.STOP_PROCESS
+        assert not handled.handled_by_application
+        assert executor.calls == [("stop_process", "P1", "a")]
+
+    def test_application_handler_decides(self):
+        # Sect. 5: "the actual action to be performed is defined by the
+        # application programmer, through an appropriate error handler".
+        monitor, executor = make_monitor()
+        monitor.install_handler(
+            "P1", lambda report: RecoveryAction.STOP_AND_RESTART_PROCESS)
+        handled = monitor.report(ErrorCode.DEADLINE_MISSED, partition="P1",
+                                 process="a")
+        assert handled.handled_by_application
+        assert executor.calls == [("restart_process", "P1", "a")]
+
+    def test_handler_returning_none_defers_to_table(self):
+        monitor, executor = make_monitor()
+        monitor.install_handler("P1", lambda report: None)
+        handled = monitor.report(ErrorCode.APPLICATION_ERROR, partition="P1",
+                                 process="a")
+        assert not handled.handled_by_application
+        assert handled.action is RecoveryAction.STOP_PROCESS
+
+    def test_partition_level_error(self):
+        monitor, executor = make_monitor()
+        handled = monitor.report(ErrorCode.MEMORY_VIOLATION, partition="P1")
+        assert handled.level is ErrorLevel.PARTITION
+        assert executor.calls == [("restart_partition", "P1")]
+
+    def test_module_level_error(self):
+        monitor, executor = make_monitor()
+        handled = monitor.report(ErrorCode.POWER_FAILURE)
+        assert handled.level is ErrorLevel.MODULE
+        assert executor.calls == [("module_stop",)]
+
+    def test_process_code_without_identity_escalates(self):
+        monitor, executor = make_monitor()
+        handled = monitor.report(ErrorCode.DEADLINE_MISSED, partition="P1")
+        assert handled.level is ErrorLevel.PARTITION
+
+    def test_remove_handler(self):
+        monitor, executor = make_monitor()
+        monitor.install_handler("P1", lambda r: RecoveryAction.IGNORE)
+        monitor.remove_handler("P1")
+        handled = monitor.report(ErrorCode.APPLICATION_ERROR, partition="P1",
+                                 process="a")
+        assert not handled.handled_by_application
+
+
+class TestLogThreshold:
+    def test_log_then_act(self):
+        # Sect. 5: "logging the error a certain number of times before
+        # acting upon it".
+        tables = HmTables(partition_actions={
+            "P1": {ErrorCode.DEADLINE_MISSED: RecoveryAction.LOG_THEN_ACT}},
+            log_threshold=2,
+            log_fallback_action=RecoveryAction.STOP_PROCESS)
+        monitor, executor = make_monitor(tables)
+        for _ in range(2):
+            handled = monitor.report(ErrorCode.DEADLINE_MISSED,
+                                     partition="P1", process="a")
+            assert handled.action is RecoveryAction.IGNORE
+        handled = monitor.report(ErrorCode.DEADLINE_MISSED, partition="P1",
+                                 process="a")
+        assert handled.action is RecoveryAction.STOP_PROCESS
+        assert executor.calls == [("stop_process", "P1", "a")]
+
+    def test_occurrence_counting_is_per_partition_and_code(self):
+        monitor, _ = make_monitor()
+        monitor.report(ErrorCode.DEADLINE_MISSED, partition="P1", process="a")
+        monitor.report(ErrorCode.DEADLINE_MISSED, partition="P2", process="b")
+        assert monitor.occurrence_count("P1", ErrorCode.DEADLINE_MISSED) == 1
+        assert monitor.occurrence_count("P1", ErrorCode.MEMORY_VIOLATION) == 0
+
+
+class TestObservability:
+    def test_log_and_errors_for(self):
+        monitor, _ = make_monitor()
+        monitor.report(ErrorCode.APPLICATION_ERROR, partition="P1",
+                       process="a")
+        monitor.report(ErrorCode.MEMORY_VIOLATION, partition="P2")
+        assert len(monitor.log) == 2
+        assert len(monitor.errors_for("P1")) == 1
+
+    def test_events_traced(self):
+        trace = Trace()
+        monitor, _ = make_monitor(trace=trace)
+        monitor.report(ErrorCode.APPLICATION_ERROR, partition="P1",
+                       process="a", detail="numeric blowup")
+        events = trace.of_type(HealthMonitorEvent)
+        assert len(events) == 1
+        assert events[0].tick == 42
+        assert events[0].detail == "numeric blowup"
+
+    def test_ignore_action_executes_nothing(self):
+        tables = HmTables(partition_actions={
+            "P1": {ErrorCode.DEADLINE_MISSED: RecoveryAction.IGNORE}})
+        monitor, executor = make_monitor(tables)
+        monitor.report(ErrorCode.DEADLINE_MISSED, partition="P1", process="a")
+        assert executor.calls == []

@@ -1,0 +1,59 @@
+"""Tests for Health Monitoring tables (repro.hm.tables)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.hm.tables import HmTables
+from repro.types import ErrorCode, ErrorLevel, RecoveryAction
+
+
+class TestDefaults:
+    def test_deadline_miss_is_process_level(self):
+        # Sect. 5: "ARINC 653 classifies process deadline violation as a
+        # process level error".
+        assert HmTables().level_of(ErrorCode.DEADLINE_MISSED) is \
+            ErrorLevel.PROCESS
+
+    def test_memory_violation_is_partition_level(self):
+        assert HmTables().level_of(ErrorCode.MEMORY_VIOLATION) is \
+            ErrorLevel.PARTITION
+
+    def test_hardware_fault_is_module_level(self):
+        assert HmTables().level_of(ErrorCode.HARDWARE_FAULT) is \
+            ErrorLevel.MODULE
+
+    def test_default_partition_action(self):
+        tables = HmTables()
+        assert tables.partition_action("P1", ErrorCode.APPLICATION_ERROR) is \
+            RecoveryAction.STOP_PROCESS
+
+    def test_default_module_action(self):
+        assert HmTables().module_action(ErrorCode.POWER_FAILURE) is \
+            RecoveryAction.MODULE_STOP
+
+
+class TestOverrides:
+    def test_level_override(self):
+        tables = HmTables(levels={
+            ErrorCode.DEADLINE_MISSED: ErrorLevel.PARTITION})
+        assert tables.level_of(ErrorCode.DEADLINE_MISSED) is \
+            ErrorLevel.PARTITION
+
+    def test_partition_action_override_is_per_partition(self):
+        tables = HmTables(partition_actions={
+            "P1": {ErrorCode.DEADLINE_MISSED:
+                   RecoveryAction.RESTART_PARTITION}})
+        assert tables.partition_action("P1", ErrorCode.DEADLINE_MISSED) is \
+            RecoveryAction.RESTART_PARTITION
+        assert tables.partition_action("P2", ErrorCode.DEADLINE_MISSED) is \
+            RecoveryAction.IGNORE  # default untouched
+
+    def test_module_action_override(self):
+        tables = HmTables(module_actions={
+            ErrorCode.HARDWARE_FAULT: RecoveryAction.MODULE_STOP})
+        assert tables.module_action(ErrorCode.HARDWARE_FAULT) is \
+            RecoveryAction.MODULE_STOP
+
+    def test_log_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            HmTables(log_threshold=0)

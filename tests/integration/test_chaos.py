@@ -1,0 +1,118 @@
+"""Chaos integration test: every fault class at once against the prototype.
+
+The strongest statement of the paper's robustness claim: with WCET
+overruns, memory-violation attacks, message floods, partition crashes and
+schedule switches all happening in one run, the TSP invariants still hold —
+faults stay in their domain of occurrence, the scheduler never deviates
+from the tables, and untouched partitions behave exactly as in a quiet run.
+"""
+
+import pytest
+
+from repro.apps.prototype import (
+    FAULTY_PROCESS,
+    MTF,
+    build_prototype,
+    make_simulator,
+)
+from repro.fault.faults import (
+    MemoryViolationFault,
+    MessageFloodFault,
+    PartitionCrashFault,
+    StartProcessFault,
+)
+from repro.fault.injector import FaultInjector
+from repro.kernel.trace import (
+    DeadlineMissed,
+    HealthMonitorEvent,
+    MemoryFault,
+    PartitionDispatched,
+    ScheduleSwitched,
+)
+from repro.types import PartitionMode
+
+
+@pytest.fixture(scope="module")
+def chaos_run():
+    handles = build_prototype()
+    simulator = make_simulator(handles)
+    injector = FaultInjector(simulator)
+    # One of everything, spread over the mission:
+    injector.schedule(1 * MTF, StartProcessFault("P1", FAULTY_PROCESS))
+    injector.schedule(2 * MTF + 100, MemoryViolationFault("P4"))
+    injector.schedule(3 * MTF + 500, MessageFloodFault("P4", "alert_out",
+                                                       count=100))
+    injector.schedule(4 * MTF + 50, PartitionCrashFault("P2"))
+    injector.run_mtf(8)
+    handles.ttc_stats.queue_schedule_command("chi2")
+    injector.run_mtf(4)
+    return handles, simulator, injector
+
+
+class TestChaos:
+    def test_all_faults_were_applied(self, chaos_run):
+        _, _, injector = chaos_run
+        assert len(injector.log) == 4
+        assert injector.pending_count == 0
+
+    def test_partition_dispatch_sequence_never_deviates(self, chaos_run):
+        # Whatever happens inside partitions, level 1 follows the tables.
+        _, simulator, _ = chaos_run
+        model = simulator.config.model
+        switch = simulator.trace.last(ScheduleSwitched)
+        for event in simulator.trace.of_type(PartitionDispatched):
+            schedule_id = ("chi2" if switch and event.tick >= switch.tick
+                           else "chi1")
+            schedule = model.schedule(schedule_id)
+            phase = (event.tick - (switch.tick if switch
+                                   and event.tick >= switch.tick else 0))
+            expected = schedule.active_partition_at(phase % MTF)
+            assert event.heir == expected, f"tick {event.tick}"
+
+    def test_only_the_faulty_process_missed_deadlines(self, chaos_run):
+        _, simulator, _ = chaos_run
+        missers = {m.process for m in simulator.trace.of_type(DeadlineMissed)}
+        assert missers == {FAULTY_PROCESS}
+
+    def test_every_fault_reached_health_monitoring(self, chaos_run):
+        _, simulator, _ = chaos_run
+        codes = {e.code for e in simulator.trace.of_type(HealthMonitorEvent)}
+        assert "deadlineMissed" in codes
+        assert "memoryViolation" in codes
+
+    def test_memory_attack_trapped_and_p4_recovered(self, chaos_run):
+        _, simulator, _ = chaos_run
+        assert simulator.trace.count(MemoryFault) >= 1
+        # Default HM action restarted P4; by run end it is operational.
+        assert simulator.runtime("P4").mode is PartitionMode.NORMAL
+        assert simulator.runtime("P4").init_count >= 2
+
+    def test_crashed_partition_recovered(self, chaos_run):
+        _, simulator, _ = chaos_run
+        assert simulator.runtime("P2").mode is PartitionMode.NORMAL
+        assert simulator.runtime("P2").init_count >= 2
+
+    def test_schedule_switch_still_exact(self, chaos_run):
+        _, simulator, _ = chaos_run
+        switches = simulator.trace.of_type(ScheduleSwitched)
+        assert len(switches) == 1
+        assert switches[0].tick % MTF == 0
+
+    def test_flood_contained_to_its_channel(self, chaos_run):
+        _, simulator, _ = chaos_run
+        port = simulator.apex("P3").queuing_port("alert_in")
+        assert port.overflow_count > 0        # the flood hit the bound
+        assert port.count <= 8                # and never exceeded it
+
+    def test_p3_unaffected_by_everything(self, chaos_run):
+        # P3 (TTC) was never attacked: its window occupancy must be exactly
+        # the table allocation for the full run.
+        _, simulator, _ = chaos_run
+        assert simulator.pmk.partition_ticks["P3"] == \
+            12 * 200  # 2 windows x 100 per MTF x 12 MTFs
+        assert simulator.runtime("P3").init_count == 1
+
+    def test_module_never_stopped(self, chaos_run):
+        _, simulator, _ = chaos_run
+        assert not simulator.stopped
+        assert simulator.now == 12 * MTF

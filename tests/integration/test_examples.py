@@ -1,0 +1,69 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples are part of the public deliverable; these tests keep them
+working as the library evolves.  Each example's ``main()`` is imported and
+executed with captured stdout; key phrases of its expected narrative are
+asserted.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "deadline misses: 0" in out
+        assert "control job" in out
+
+    def test_satellite_demo(self, capsys):
+        out = run_example("satellite_demo", capsys)
+        assert "phase 1 — healthy operation" in out
+        assert "p1-faulty missed deadline" in out
+        assert "chi1 -> chi2 (MTF boundary: True)" in out
+        assert "AIR Partition Scheduler" in out
+        assert "Fig. 8" in out
+
+    def test_mode_based_schedules(self, capsys):
+        out = run_example("mode_based_schedules", capsys)
+        assert "launch -> science" in out
+        assert "science -> safe" in out
+        assert "AOCS warmStart" in out
+        assert "final schedule: safe" in out
+
+    def test_schedulability_analysis(self, capsys):
+        out = run_example("schedulability_analysis", capsys)
+        assert "validation: PASS" in out
+        assert "AIR exact" in out
+        assert "n/a (fragmented)" in out or "OK" in out
+
+    def test_deadline_monitoring(self, capsys):
+        out = run_example("deadline_monitoring", capsys)
+        assert "strike 3: restarting filter" in out
+        assert "steady task misses (must be zero): 0" in out
+
+    def test_multicore_analysis(self, capsys):
+        out = run_example("multicore_analysis", capsys)
+        assert "multicore validation: PASS" in out
+        assert "SELF_PARALLELISM" in out
+        assert "parallel-capable: PASS" in out
+
+    def test_distributed_modules(self, capsys):
+        out = run_example("distributed_modules", capsys)
+        assert "bare lossy link" in out
+        assert "delivered: 25" in out
+        assert "in order: True" in out

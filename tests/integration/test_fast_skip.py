@@ -1,0 +1,142 @@
+"""Equivalence tests for the fast-skip execution mode (DESIGN.md item 4).
+
+`Simulator.run_fast` may only differ from `Simulator.run` in wall-clock
+cost: traces, process states, deadline bookkeeping and instrumentation
+counters must match bit-for-bit.
+"""
+
+import pytest
+
+from repro import Call, Compute, SystemBuilder
+from repro.kernel.simulator import Simulator
+from repro.types import PortDirection
+
+from ..conftest import build_two_partition_config, periodic_body
+
+
+def sparse_config():
+    """A schedule that is ~80% idle — the fast-skip sweet spot."""
+    builder = SystemBuilder()
+    part = builder.partition("P1")
+    part.process("worker", period=1000, deadline=1000, priority=1, wcet=50)
+    part.body("worker", periodic_body(50))
+    builder.schedule("sparse", mtf=1000) \
+        .require("P1", cycle=1000, duration=100) \
+        .window("P1", offset=300, duration=100)
+    return builder.build()
+
+
+def remote_config():
+    """Idle gaps *with* in-flight remote messages (skip must defer)."""
+    builder = SystemBuilder()
+    src = builder.partition("SRC")
+    src.process("tx", period=500, deadline=500, priority=1, wcet=5)
+
+    def tx(ctx):
+        while True:
+            yield Compute(2)
+            yield Call(ctx.apex.queuing_port("out").send, (b"ping",))
+            yield Call(ctx.apex.periodic_wait)
+
+    src.body("tx", tx)
+
+    def src_init(apex):
+        from repro.types import PartitionMode
+
+        apex.create_queuing_port("out", PortDirection.SOURCE)
+        apex.start("tx")
+        apex.set_partition_mode(PartitionMode.NORMAL)
+
+    src.init_hook(src_init)
+
+    dst = builder.partition("DST")
+    dst.process("rx", period=500, deadline=500, priority=1, wcet=5)
+
+    def rx(ctx):
+        while True:
+            yield Compute(1)
+            result = yield Call(ctx.apex.queuing_port("in").receive)
+            if result.is_ok:
+                ctx.log(f"rx {result.value!r}")
+            yield Call(ctx.apex.periodic_wait)
+
+    dst.body("rx", rx)
+
+    def dst_init(apex):
+        from repro.types import PartitionMode
+
+        apex.create_queuing_port("in", PortDirection.DESTINATION)
+        apex.start("rx")
+        apex.set_partition_mode(PartitionMode.NORMAL)
+
+    dst.init_hook(dst_init)
+    # Remote channel whose latency lands deliveries inside idle gaps.
+    builder.queuing_channel("ch", source=("SRC", "out"),
+                            destination=("DST", "in"), latency=120)
+    builder.schedule("main", mtf=500) \
+        .require("SRC", cycle=500, duration=40) \
+        .window("SRC", offset=0, duration=40) \
+        .require("DST", cycle=500, duration=40) \
+        .window("DST", offset=300, duration=40)
+    return builder.build()
+
+
+def signature(simulator):
+    return [(e.tick, e.kind, getattr(e, "partition", None),
+             getattr(e, "heir", None), getattr(e, "text", None))
+            for e in simulator.trace.events]
+
+
+@pytest.mark.parametrize("make_config,ticks", [
+    (sparse_config, 5000),
+    (build_two_partition_config, 3000),
+    (remote_config, 4000),
+])
+def test_fast_skip_trace_equivalence(make_config, ticks):
+    normal = Simulator(make_config())
+    fast = Simulator(make_config())
+    normal.run(ticks)
+    fast.run_fast(ticks)
+    assert fast.now == normal.now
+    assert signature(fast) == signature(normal)
+    assert fast.pmk.idle_ticks == normal.pmk.idle_ticks
+    assert fast.pmk.scheduler.stats.ticks == normal.pmk.scheduler.stats.ticks
+    assert (fast.pmk.scheduler.stats.fast_path
+            == normal.pmk.scheduler.stats.fast_path)
+
+
+def test_fast_skip_is_actually_faster_on_sparse_schedules():
+    import time
+
+    def timed(runner):
+        simulator = Simulator(sparse_config())
+        start = time.perf_counter()
+        runner(simulator)
+        return time.perf_counter() - start
+
+    slow = timed(lambda s: s.run(200_000))
+    quick = timed(lambda s: s.run_fast(200_000))
+    assert quick < slow  # 80% of ticks are skippable
+
+    # and the skip accounting still adds up
+    simulator = Simulator(sparse_config())
+    simulator.run_fast(10_000)
+    assert simulator.pmk.idle_ticks == 9 * 1000  # 900 idle per MTF
+
+def test_fast_skip_respects_module_stop():
+    simulator = Simulator(sparse_config())
+    simulator.run_fast(100)
+    simulator.pmk.module_stop()
+    before = simulator.now
+    simulator.run_fast(1000)
+    assert simulator.now == before
+
+
+def test_fast_skip_mixed_with_normal_run():
+    reference = Simulator(sparse_config())
+    reference.run(4000)
+    mixed = Simulator(sparse_config())
+    mixed.run(700)
+    mixed.run_fast(2000)
+    mixed.run(1300)
+    assert signature(mixed) == signature(reference)

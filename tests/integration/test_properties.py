@@ -1,0 +1,121 @@
+"""Property-based integration tests over randomly generated systems.
+
+Hypothesis generates partition timing requirements; the PST synthesizer
+builds a valid schedule; a full simulation then runs and the paper's core
+temporal invariants are asserted against the trace.
+"""
+
+import pytest
+
+from repro.apps.base import spin_forever
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Compute, SystemBuilder
+from repro.analysis.generator import generate_pst, random_requirements
+from repro.kernel.rng import SeededRng
+from repro.kernel.simulator import Simulator
+from repro.kernel.trace import DeadlineMissed
+
+
+def build_simulator_from_requirements(requirements, schedule):
+    """Wrap generated requirements + PST into a runnable system: each
+    partition gets one well-behaved periodic process using half its duty."""
+    builder = SystemBuilder()
+    for requirement in requirements:
+        part = builder.partition(requirement.partition)
+        if requirement.duration < 3:
+            # Too little duty for a periodic job: the body's periodic_wait
+            # call itself consumes a window tick (like any real service
+            # call), so deadline-bearing work needs duty >= wcet + 2.
+            part.process("bg", priority=1, periodic=False)
+            part.body("bg", spin_forever)
+            continue
+        wcet = max(requirement.duration // 2, 1)
+        part.process("main", period=requirement.cycle,
+                     deadline=requirement.cycle, priority=1, wcet=wcet)
+
+        def make_body(work):
+            def body(ctx):
+                from repro.pos.effects import Call
+
+                while True:
+                    yield Compute(work)
+                    yield Call(ctx.apex.periodic_wait)
+            return body
+
+        part.body("main", make_body(wcet))
+    sched = builder.schedule(schedule.schedule_id,
+                             mtf=schedule.major_time_frame)
+    for requirement in schedule.requirements:
+        sched.require(requirement.partition, cycle=requirement.cycle,
+                      duration=requirement.duration)
+    for window in schedule.windows:
+        sched.window(window.partition, offset=window.offset,
+                     duration=window.duration)
+    return Simulator(builder.build())
+
+
+@given(st.integers(0, 10_000), st.integers(2, 5), st.floats(0.2, 0.7))
+@settings(max_examples=25, deadline=None)
+def test_generated_systems_run_without_deadline_misses(seed, partitions,
+                                                       utilization):
+    """A synthesized eq.(23)-valid PST with half-duty workloads never
+    misses a deadline over several MTFs."""
+    requirements = random_requirements(SeededRng(seed), partitions=partitions,
+                                       utilization=utilization)
+    schedule = generate_pst(requirements)
+    if schedule is None:
+        return  # synthesis legitimately failed (fragmented overcommit)
+    simulator = build_simulator_from_requirements(requirements, schedule)
+    simulator.run(3 * schedule.major_time_frame)
+    assert simulator.trace.count(DeadlineMissed) == 0
+
+
+@given(st.integers(0, 10_000), st.integers(2, 5), st.floats(0.2, 0.7))
+@settings(max_examples=15, deadline=None)
+def test_window_occupancy_matches_table_exactly(seed, partitions,
+                                                utilization):
+    """At every tick, the active partition equals the PST's static answer —
+    the run-time scheduler and the model agree tick-for-tick."""
+    requirements = random_requirements(SeededRng(seed), partitions=partitions,
+                                       utilization=utilization)
+    schedule = generate_pst(requirements)
+    if schedule is None:
+        return
+    simulator = build_simulator_from_requirements(requirements, schedule)
+    for _ in range(2 * schedule.major_time_frame):
+        tick = simulator.now
+        expected = schedule.active_partition_at(tick)
+        simulator.step()
+        assert simulator.active_partition == expected, (
+            f"tick {tick}: expected {expected}, "
+            f"got {simulator.active_partition}")
+
+
+@given(st.integers(0, 10_000), st.integers(2, 4), st.floats(0.2, 0.6))
+@settings(max_examples=15, deadline=None)
+def test_per_partition_supply_meets_eq23_at_runtime(seed, partitions,
+                                                    utilization):
+    """Measured per-cycle window time >= the requirement's duration — the
+    run-time restatement of eq. (23)."""
+    requirements = random_requirements(SeededRng(seed), partitions=partitions,
+                                       utilization=utilization)
+    schedule = generate_pst(requirements)
+    if schedule is None:
+        return
+    simulator = build_simulator_from_requirements(requirements, schedule)
+    mtf = schedule.major_time_frame
+    occupancy = []
+    for _ in range(mtf):
+        occupancy.append(simulator.active_partition)
+        simulator.step()
+    for requirement in requirements:
+        if requirement.duration == 0:
+            continue
+        cycles = mtf // requirement.cycle
+        for k in range(cycles):
+            supplied = occupancy[k * requirement.cycle:
+                                 (k + 1) * requirement.cycle].count(
+                requirement.partition)
+            assert supplied >= requirement.duration

@@ -1,0 +1,114 @@
+"""Integration tests of the core TSP claim: robust *temporal* partitioning.
+
+"Partitions do not mutually interfere in terms of fulfilment of real-time
+requirements" — we verify that a partition's window allocation and its
+processes' timing are bit-identical no matter what its neighbours do
+(CPU hogs, process storms, crashes, floods)."""
+
+import pytest
+
+from repro import Call, Compute, SystemBuilder
+from repro.kernel.simulator import Simulator
+from repro.types import PartitionMode
+
+from ..conftest import build_two_partition_config, periodic_body
+
+
+def window_occupancy(sim, ticks):
+    """Sample the active partition at every tick."""
+    samples = []
+    for _ in range(ticks):
+        samples.append(sim.active_partition)
+        sim.step()
+    return samples
+
+
+def p1_completion_ticks(sim, mtfs=5):
+    """Timestamps at which P1's periodic process completes each job."""
+    completions = []
+
+    def observed_body(ctx):
+        while True:
+            yield Compute(30)
+            completions.append(ctx.apex.now())
+            yield Call(ctx.apex.periodic_wait)
+
+    sim.pmk.config.runtime_for("P1").bodies["p1-main"] = observed_body
+    sim.run_mtf(mtfs)
+    return completions
+
+
+class TestWindowAllocationIsInvariant:
+    def test_hog_neighbour_cannot_steal_window_time(self):
+        normal = Simulator(build_two_partition_config(p2_spins=False))
+        hog = Simulator(build_two_partition_config(p2_spins=True))
+        occupancy_normal = window_occupancy(normal, 1000)
+        occupancy_hog = window_occupancy(hog, 1000)
+        assert occupancy_normal == occupancy_hog
+        # And the allocation matches the PST exactly: 60/200 per partition.
+        assert occupancy_hog.count("P1") == 5 * 60
+        assert occupancy_hog.count("P2") == 5 * 60
+        assert occupancy_hog.count(None) == 5 * 80
+
+    def test_p1_job_completions_unaffected_by_hog(self):
+        normal = p1_completion_ticks(
+            Simulator(build_two_partition_config(p2_spins=False)))
+        against_hog = p1_completion_ticks(
+            Simulator(build_two_partition_config(p2_spins=True)))
+        assert normal == against_hog
+        assert len(normal) == 5  # one job per 200-tick MTF
+
+    def test_neighbour_crash_does_not_shift_windows(self):
+        reference = Simulator(build_two_partition_config())
+        crashing = Simulator(build_two_partition_config())
+        crashing.run(150)
+        crashing.runtime("P2").request_restart(PartitionMode.COLD_START)
+        reference.run(150)
+        # From here, compare P1's window occupancy.
+        occupancy_ref = window_occupancy(reference, 600)
+        occupancy_crash = window_occupancy(crashing, 600)
+        p1_ref = [i for i, p in enumerate(occupancy_ref) if p == "P1"]
+        p1_crash = [i for i, p in enumerate(occupancy_crash) if p == "P1"]
+        assert p1_ref == p1_crash
+
+    def test_neighbour_shutdown_does_not_give_extra_time(self):
+        # A cyclic table is static: P2 going idle does NOT grow P1's share
+        # (that is what mode-based schedules are for instead).
+        sim = Simulator(build_two_partition_config())
+        sim.run_mtf(1)
+        sim.runtime("P2").shutdown()
+        occupancy = window_occupancy(sim, 600)
+        assert occupancy.count("P1") == 3 * 60
+        assert occupancy.count("P2") == 3 * 60  # windows held, idling inside
+
+
+class TestFaultContainment:
+    def test_faulting_process_cannot_take_down_neighbour(self):
+        builder = SystemBuilder()
+        p1 = builder.partition("P1")
+        p1.process("bomb", period=200, deadline=200, priority=1, wcet=10)
+
+        def bomb(ctx):
+            yield Compute(5)
+            raise RuntimeError("application bug")
+
+        p1.body("bomb", bomb)
+        p2 = builder.partition("P2")
+        p2.process("steady", period=200, deadline=200, priority=1, wcet=30)
+        p2.body("steady", periodic_body(30))
+        builder.schedule("main", mtf=200) \
+            .require("P1", cycle=200, duration=60) \
+            .window("P1", offset=0, duration=60) \
+            .require("P2", cycle=200, duration=60) \
+            .window("P2", offset=100, duration=60)
+        sim = Simulator(builder.build())
+        sim.run_mtf(4)
+        from repro.kernel.trace import DeadlineMissed, HealthMonitorEvent
+
+        # The bomb was handled (stopped) by HM...
+        assert any(e.code == "applicationError" and e.partition == "P1"
+                   for e in sim.trace.of_type(HealthMonitorEvent))
+        # ...and P2 never missed a beat.
+        assert not any(m.partition == "P2"
+                       for m in sim.trace.of_type(DeadlineMissed))
+        assert sim.runtime("P2").mode is PartitionMode.NORMAL

@@ -1,0 +1,60 @@
+"""Tests for context switching discipline (repro.kernel.context)."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.kernel.context import ContextBank
+
+
+@pytest.fixture
+def bank():
+    bank = ContextBank()
+    bank.register("P1")
+    bank.register("P2")
+    return bank
+
+
+class TestRegistration:
+    def test_double_registration_rejected(self, bank):
+        with pytest.raises(SimulationError):
+            bank.register("P1")
+
+    def test_unknown_context_lookup(self, bank):
+        with pytest.raises(SimulationError):
+            bank.context_of("P9")
+
+
+class TestSaveRestore:
+    def test_restore_then_save_round_trip(self, bank):
+        context = bank.restore("P1")
+        assert bank.live_partition == "P1"
+        assert context.restore_count == 1
+        saved = bank.save("P1", tick=40, running_process="proc-a")
+        assert saved.last_tick == 39          # Algorithm 2 line 5
+        assert saved.running_process == "proc-a"
+        assert bank.live_partition is None
+
+    def test_cannot_save_non_live_context(self, bank):
+        with pytest.raises(SimulationError):
+            bank.save("P1", tick=10, running_process=None)
+
+    def test_cannot_restore_over_live_context(self, bank):
+        bank.restore("P1")
+        with pytest.raises(SimulationError):
+            bank.restore("P2")
+
+    def test_release_allows_idle_transition(self, bank):
+        bank.restore("P1")
+        bank.save("P1", tick=10, running_process=None)
+        bank.release()  # idle gap — no context live
+        bank.restore("P2")
+        assert bank.live_partition == "P2"
+
+    def test_scratch_state_persists_across_switches(self, bank):
+        context = bank.restore("P1")
+        context.scratch["scheduler-state"] = {"cursor": 3}
+        bank.save("P1", tick=10, running_process=None)
+        bank.restore("P2")
+        bank.save("P2", tick=20, running_process=None)
+        restored = bank.restore("P1")
+        assert restored.scratch == {"scheduler-state": {"cursor": 3}}

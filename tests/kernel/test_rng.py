@@ -1,0 +1,44 @@
+"""Tests for deterministic randomness (repro.kernel.rng)."""
+
+from repro.kernel.rng import SeededRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = [SeededRng(42).randint(0, 1000) for _ in range(10)]
+        second = [SeededRng(42).randint(0, 1000) for _ in range(10)]
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        a = SeededRng(1)
+        b = SeededRng(2)
+        assert [a.randint(0, 10**9) for _ in range(4)] != \
+            [b.randint(0, 10**9) for _ in range(4)]
+
+    def test_fork_is_stable_per_label(self):
+        assert SeededRng(7).fork("aocs").randint(0, 10**9) == \
+            SeededRng(7).fork("aocs").randint(0, 10**9)
+
+    def test_fork_labels_decorrelate(self):
+        parent = SeededRng(7)
+        assert parent.fork("a").seed != parent.fork("b").seed
+
+
+class TestHelpers:
+    def test_chance_extremes(self):
+        rng = SeededRng(0)
+        assert not any(rng.chance(0.0) for _ in range(100))
+        assert all(rng.chance(1.0) for _ in range(100))
+
+    def test_choice_and_sample(self):
+        rng = SeededRng(3)
+        options = ["a", "b", "c", "d"]
+        assert rng.choice(options) in options
+        sample = rng.sample(options, 2)
+        assert len(sample) == len(set(sample)) == 2
+
+    def test_shuffle_preserves_elements(self):
+        rng = SeededRng(5)
+        items = list(range(20))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(20))

@@ -1,0 +1,66 @@
+"""Tests for the clock abstraction and paravirtualization traps
+(repro.kernel.time)."""
+
+import pytest
+
+from repro.exceptions import ClockTamperingError
+from repro.kernel.time import TimeSource
+
+
+class TestTimeSource:
+    def test_starts_at_zero(self):
+        assert TimeSource().now == 0
+
+    def test_advance_is_one_tick(self):
+        time = TimeSource()
+        assert time.advance() == 1
+        assert time.advance() == 2
+        assert time.now == 2
+
+    def test_no_tamper_attempts_initially(self):
+        assert TimeSource().tamper_attempts == ()
+
+
+class TestGuestClock:
+    def test_reading_time_is_allowed(self):
+        time = TimeSource()
+        guest = time.guest_view("P1")
+        time.advance()
+        assert guest.now == 1
+        assert guest.partition == "P1"
+
+    @pytest.mark.parametrize("operation", [
+        lambda g: g.disable_interrupts(),
+        lambda g: g.set_timer_frequency(100),
+        lambda g: g.divert_clock_vector(lambda: None),
+    ])
+    def test_privileged_operations_trap(self, operation):
+        # Sect. 2.5: instructions that could disable or divert clock
+        # interrupts are wrapped (paravirtualized).
+        time = TimeSource()
+        guest = time.guest_view("Plinux")
+        with pytest.raises(ClockTamperingError) as exc_info:
+            operation(guest)
+        assert exc_info.value.partition == "Plinux"
+        assert len(time.tamper_attempts) == 1
+        assert time.tamper_attempts[0].partition == "Plinux"
+
+    def test_trap_does_not_affect_time(self):
+        time = TimeSource()
+        guest = time.guest_view("P1")
+        time.advance()
+        with pytest.raises(ClockTamperingError):
+            guest.disable_interrupts()
+        time.advance()
+        assert time.now == 2  # the clock kept ticking
+
+    def test_tamper_attempts_accumulate_with_tick_stamps(self):
+        time = TimeSource()
+        guest = time.guest_view("P1")
+        for _ in range(3):
+            time.advance()
+            with pytest.raises(ClockTamperingError):
+                guest.set_timer_frequency(50)
+        assert [a.tick for a in time.tamper_attempts] == [1, 2, 3]
+        assert all("set_timer_frequency" in a.operation
+                   for a in time.tamper_attempts)

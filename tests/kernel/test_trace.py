@@ -1,0 +1,75 @@
+"""Tests for the structured execution trace (repro.kernel.trace)."""
+
+from repro.kernel.trace import (
+    ApplicationMessage,
+    DeadlineMissed,
+    PartitionDispatched,
+    Trace,
+)
+
+
+def dispatched(tick, heir="P1"):
+    return PartitionDispatched(tick=tick, previous=None, heir=heir)
+
+
+def missed(tick, process="p"):
+    return DeadlineMissed(tick=tick, partition="P1", process=process,
+                          deadline_time=tick - 1, detection_latency=1)
+
+
+class TestRecording:
+    def test_events_kept_in_order(self):
+        trace = Trace()
+        trace.record(dispatched(1))
+        trace.record(missed(2))
+        assert [e.tick for e in trace.events] == [1, 2]
+        assert len(trace) == 2
+
+    def test_kind_labels(self):
+        assert dispatched(0).kind == "PartitionDispatched"
+
+
+class TestQueries:
+    def test_of_type_filters(self):
+        trace = Trace()
+        trace.record(dispatched(1))
+        trace.record(missed(2))
+        trace.record(dispatched(3))
+        assert [e.tick for e in trace.of_type(PartitionDispatched)] == [1, 3]
+        assert trace.count(DeadlineMissed) == 1
+
+    def test_last(self):
+        trace = Trace()
+        assert trace.last(DeadlineMissed) is None
+        trace.record(missed(5))
+        trace.record(missed(9))
+        assert trace.last(DeadlineMissed).tick == 9
+
+    def test_where_and_between(self):
+        trace = Trace()
+        for tick in range(10):
+            trace.record(dispatched(tick, heir="P1" if tick % 2 else "P2"))
+        assert len(trace.where(lambda e: e.heir == "P1")) == 5
+        assert [e.tick for e in trace.between(3, 6)] == [3, 4, 5]
+
+    def test_clear(self):
+        trace = Trace()
+        trace.record(missed(1))
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest(self):
+        trace = Trace(capacity=3)
+        for tick in range(5):
+            trace.record(dispatched(tick))
+        assert [e.tick for e in trace.events] == [2, 3, 4]
+        assert trace.dropped == 2
+
+    def test_unbounded_by_default(self):
+        trace = Trace()
+        for tick in range(1000):
+            trace.record(dispatched(tick))
+        assert len(trace) == 1000
+        assert trace.dropped == 0

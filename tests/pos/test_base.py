@@ -1,0 +1,270 @@
+"""Tests for the shared POS machinery (repro.pos.base)."""
+
+import pytest
+
+from repro.core.model import Partition, ProcessModel
+from repro.exceptions import SimulationError
+from repro.pos.base import PartitionOs
+from repro.pos.effects import Call, Compute
+from repro.pos.rtems import RtemsPos
+from repro.pos.tcb import WaitCondition, WaitReason
+from repro.types import ProcessState
+
+
+def make_pos(*models):
+    if not models:
+        models = (ProcessModel(name="a", period=100, deadline=100,
+                               priority=1, wcet=10),)
+    return RtemsPos(Partition(name="P1", processes=tuple(models)))
+
+
+def start(pos, name, body_factory, *args):
+    """Minimal START bypassing APEX (unit-level harness)."""
+    tcb = pos.tcb(name)
+    tcb.body_factory = body_factory
+    tcb.instantiate_body(*args)
+    tcb.set_state(ProcessState.READY, ready_sequence=pos.next_ready_stamp())
+    return tcb
+
+
+class TestExecution:
+    def test_compute_consumes_ticks(self):
+        pos = make_pos()
+        executed = []
+
+        def body():
+            yield Compute(3)
+            executed.append("done")
+
+        start(pos, "a", body)
+        assert pos.execute_tick(0) == "a"
+        assert pos.execute_tick(1) == "a"
+        assert pos.execute_tick(2) == "a"
+        assert executed == []
+        # The 4th tick advances the generator past the Compute and the body
+        # completes; the tick is then idle (no schedulable process left).
+        assert pos.execute_tick(3) is None
+        assert executed == ["done"]
+        assert pos.tcb("a").completed
+
+    def test_service_calls_are_zero_time(self):
+        pos = make_pos()
+        calls = []
+
+        def service(tag):
+            calls.append(tag)
+            return tag
+
+        def body():
+            first = yield Call(service, ("x",))
+            second = yield Call(service, (first + "y",))
+            yield Compute(1)
+
+        start(pos, "a", body)
+        pos.execute_tick(0)  # both calls plus one compute tick
+        assert calls == ["x", "xy"]
+
+    def test_call_results_delivered_to_body(self):
+        pos = make_pos()
+        received = []
+
+        def service():
+            return 42
+
+        def body():
+            value = yield Call(service)
+            received.append(value)
+            yield Compute(1)
+
+        start(pos, "a", body)
+        pos.execute_tick(0)
+        assert received == [42]
+
+    def test_idle_when_no_schedulable_process(self):
+        pos = make_pos()
+        assert pos.execute_tick(0) is None
+
+    def test_completion_callback_fires(self):
+        pos = make_pos()
+        completed = []
+        pos.callbacks.on_completion = lambda tcb: completed.append(tcb.name)
+
+        def body():
+            yield Compute(1)
+
+        start(pos, "a", body)
+        pos.execute_tick(0)
+        pos.execute_tick(1)
+        assert completed == ["a"]
+
+    def test_fault_containment(self):
+        pos = make_pos()
+        faults = []
+        pos.callbacks.on_fault = lambda tcb, exc: faults.append(
+            (tcb.name, str(exc)))
+
+        def body():
+            yield Compute(1)
+            raise RuntimeError("kaboom")
+
+        start(pos, "a", body)
+        pos.execute_tick(0)
+        pos.execute_tick(1)  # advancing past the compute raises
+        assert faults == [("a", "kaboom")]
+        assert pos.tcb("a").state is ProcessState.DORMANT
+
+    def test_faulting_service_call_is_contained(self):
+        pos = make_pos()
+        faults = []
+        pos.callbacks.on_fault = lambda tcb, exc: faults.append(tcb.name)
+
+        def bad_service():
+            raise ValueError("bad args")
+
+        def body():
+            yield Call(bad_service)
+            yield Compute(1)
+
+        start(pos, "a", body)
+        pos.execute_tick(0)
+        assert faults == ["a"]
+
+    def test_livelock_guard(self):
+        pos = make_pos()
+
+        def noop():
+            return None
+
+        def body():
+            while True:
+                yield Call(noop)
+
+        start(pos, "a", body)
+        with pytest.raises(SimulationError, match="service calls"):
+            pos.execute_tick(0)
+
+    def test_unknown_effect_is_a_fault(self):
+        pos = make_pos()
+        faults = []
+        pos.callbacks.on_fault = lambda tcb, exc: faults.append(str(exc))
+
+        def body():
+            yield "not-an-effect"
+
+        start(pos, "a", body)
+        pos.execute_tick(0)
+        assert faults and "unknown effect" in faults[0]
+
+
+class TestTimerBookkeeping:
+    def test_delay_wakeup(self):
+        pos = make_pos()
+
+        def body():
+            yield Compute(1)
+
+        tcb = start(pos, "a", body)
+        tcb.block(WaitCondition(reason=WaitReason.DELAY, wake_at=10))
+        pos.announce_ticks(now=9, elapsed=9)
+        assert tcb.state is ProcessState.WAITING
+        pos.announce_ticks(now=10, elapsed=1)
+        assert tcb.state is ProcessState.READY
+
+    def test_periodic_release_bumps_next_release_and_fires_callback(self):
+        pos = make_pos(ProcessModel(name="a", period=50, deadline=50,
+                                    priority=1, wcet=5))
+        releases = []
+        pos.callbacks.on_release = lambda tcb, at: releases.append(at)
+
+        def body():
+            yield Compute(1)
+
+        tcb = start(pos, "a", body)
+        tcb.next_release = 50
+        tcb.block(WaitCondition(reason=WaitReason.PERIOD, wake_at=50))
+        pos.announce_ticks(now=50, elapsed=50)
+        assert tcb.state is ProcessState.READY
+        assert tcb.release_count == 1
+        assert tcb.next_release == 100
+        assert releases == [50]
+
+    def test_announce_spanning_gap_wakes_everything_due(self):
+        # The Fig. 7 dispatch case: one announcement covers a long
+        # inactive span; every expiry inside it must be honoured.
+        pos = make_pos(
+            ProcessModel(name="a", period=100, deadline=100, priority=1,
+                         wcet=5),
+            ProcessModel(name="b", period=100, deadline=100, priority=2,
+                         wcet=5))
+
+        def body():
+            yield Compute(1)
+
+        first = start(pos, "a", body)
+        second = start(pos, "b", body)
+        first.block(WaitCondition(reason=WaitReason.DELAY, wake_at=10))
+        second.block(WaitCondition(reason=WaitReason.DELAY, wake_at=70))
+        pos.announce_ticks(now=100, elapsed=100)
+        assert first.state is ProcessState.READY
+        assert second.state is ProcessState.READY
+
+
+class TestSchedulingSupport:
+    def test_preemption_lock_pins_running_process(self):
+        pos = make_pos(
+            ProcessModel(name="lo", period=100, deadline=100, priority=5,
+                         wcet=10),
+            ProcessModel(name="hi", period=100, deadline=100, priority=1,
+                         wcet=10))
+
+        def body():
+            while True:
+                yield Compute(100)
+
+        start(pos, "lo", body)
+        assert pos.execute_tick(0) == "lo"
+        pos.lock_preemption()
+        start(pos, "hi", body)
+        assert pos.execute_tick(1) == "lo"  # lock holds the low-prio task
+        pos.unlock_preemption()
+        assert pos.execute_tick(2) == "hi"  # preemption resumes
+
+    def test_unlock_underflow(self):
+        pos = make_pos()
+        with pytest.raises(SimulationError, match="underflow"):
+            pos.unlock_preemption()
+
+    def test_wake_requires_waiting_state(self):
+        pos = make_pos()
+
+        def body():
+            yield Compute(1)
+
+        tcb = start(pos, "a", body)
+        with pytest.raises(SimulationError, match="not waiting"):
+            pos.wake(tcb)
+
+    def test_stop_process_cancels_resource_wait(self):
+        pos = make_pos()
+        cancelled = []
+
+        class FakeResource:
+            def cancel_wait(self, tcb):
+                cancelled.append(tcb.name)
+
+        def body():
+            yield Compute(1)
+
+        tcb = start(pos, "a", body)
+        tcb.block(WaitCondition(reason=WaitReason.RESOURCE,
+                                resource=FakeResource()))
+        pos.stop_process(tcb, reason="test")
+        assert cancelled == ["a"]
+        assert tcb.state is ProcessState.DORMANT
+
+    def test_add_process_dynamic(self):
+        pos = make_pos()
+        pos.add_process(ProcessModel(name="dyn", period=10, priority=2))
+        assert pos.tcb("dyn").model.period == 10
+        with pytest.raises(SimulationError, match="already exists"):
+            pos.add_process(ProcessModel(name="dyn", period=10))

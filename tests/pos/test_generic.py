@@ -1,0 +1,84 @@
+"""Tests for the generic non-real-time POS (repro.pos.generic)."""
+
+import pytest
+
+from repro.core.model import Partition, ProcessModel
+from repro.exceptions import ClockTamperingError
+from repro.kernel.time import TimeSource
+from repro.pos.effects import Compute
+from repro.pos.generic import GenericPos
+from repro.types import ProcessState
+
+
+def make_pos(names=("a", "b", "c"), quantum=2):
+    models = tuple(ProcessModel(name=name, priority=index, periodic=False)
+                   for index, name in enumerate(names))
+    return GenericPos(Partition(name="Plinux", processes=models),
+                      quantum=quantum)
+
+
+def spin():
+    while True:
+        yield Compute(10_000)
+
+
+def start(pos, name):
+    tcb = pos.tcb(name)
+    tcb.body_factory = lambda: spin()
+    tcb.instantiate_body()
+    tcb.set_state(ProcessState.READY, ready_sequence=pos.next_ready_stamp())
+    return tcb
+
+
+class TestRoundRobin:
+    def test_rotation_each_quantum(self):
+        pos = make_pos(quantum=2)
+        for name in ("a", "b", "c"):
+            start(pos, name)
+        executed = [pos.execute_tick(t) for t in range(12)]
+        # Each process gets exactly `quantum` consecutive ticks.
+        runs = []
+        for name in executed:
+            if not runs or runs[-1][0] != name:
+                runs.append([name, 1])
+            else:
+                runs[-1][1] += 1
+        assert all(count == 2 for _, count in runs)
+        # Fair: everyone ran the same total.
+        totals = {name: executed.count(name) for name in ("a", "b", "c")}
+        assert set(totals.values()) == {4}
+
+    def test_priorities_are_ignored(self):
+        # A non-real-time guest offers no priority guarantees.
+        pos = make_pos(names=("low", "high"), quantum=1)
+        start(pos, "low")
+        start(pos, "high")
+        executed = {pos.execute_tick(t) for t in range(4)}
+        assert executed == {"low", "high"}
+
+    def test_single_process_runs_continuously(self):
+        pos = make_pos(names=("only",), quantum=3)
+        start(pos, "only")
+        assert [pos.execute_tick(t) for t in range(5)] == ["only"] * 5
+
+    def test_rejects_non_positive_quantum(self):
+        with pytest.raises(ValueError):
+            make_pos(quantum=0)
+
+
+class TestClockParavirtualization:
+    def test_takeover_attempts_all_trapped(self):
+        # Sect. 2.5: a non-real-time kernel "cannot undermine the overall
+        # time guarantees of the system".
+        pos = make_pos()
+        time = TimeSource()
+        pos.attach_guest_clock(time.guest_view("Plinux"))
+        trapped = pos.attempt_clock_takeover()
+        assert len(trapped) == 3
+        assert pos.takeover_attempts == 3
+        assert len(time.tamper_attempts) == 3
+
+    def test_takeover_without_clock_attached(self):
+        pos = make_pos()
+        with pytest.raises(RuntimeError, match="no guest clock"):
+            pos.attempt_clock_takeover()

@@ -1,0 +1,164 @@
+"""Tests for the POS Adaptation Layer (repro.pos.pal)."""
+
+import pytest
+
+from repro.core.model import Partition, ProcessModel
+from repro.kernel.trace import (
+    DeadlineMissed,
+    DeadlineRegistered,
+    DeadlineUnregistered,
+    ProcessDispatched,
+    ProcessStateChanged,
+    Trace,
+)
+from repro.pos.effects import Compute
+from repro.pos.pal import PosAdaptationLayer
+from repro.pos.rtems import RtemsPos
+from repro.pos.tcb import WaitCondition, WaitReason
+from repro.types import ProcessState
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def harness():
+    models = (ProcessModel(name="a", period=100, deadline=50, priority=1,
+                           wcet=10),
+              ProcessModel(name="b", period=100, deadline=100, priority=2,
+                           wcet=10))
+    pos = RtemsPos(Partition(name="P1", processes=models))
+    clock = Clock()
+    trace = Trace()
+    violations = []
+    pal = PosAdaptationLayer(pos, clock=clock, trace=trace,
+                             on_violation=violations.append)
+    return pos, pal, clock, trace, violations
+
+
+def start(pos, name):
+    def spin():
+        while True:
+            yield Compute(10_000)
+
+    tcb = pos.tcb(name)
+    tcb.body_factory = spin
+    tcb.instantiate_body()
+    tcb.set_state(ProcessState.READY, ready_sequence=pos.next_ready_stamp())
+    return tcb
+
+
+class TestDeadlineInterfaces:
+    def test_register_updates_tcb_and_traces(self, harness):
+        pos, pal, clock, trace, _ = harness
+        pal.register_deadline("a", 50)
+        assert pos.tcb("a").deadline_time == 50
+        assert pal.monitor.deadline_of("a") == 50
+        events = trace.of_type(DeadlineRegistered)
+        assert len(events) == 1 and events[0].deadline_time == 50
+
+    def test_unregister(self, harness):
+        pos, pal, clock, trace, _ = harness
+        pal.register_deadline("a", 50)
+        pal.unregister_deadline("a")
+        assert pos.tcb("a").deadline_time is None
+        assert pal.monitor.deadline_of("a") is None
+        assert trace.count(DeadlineUnregistered) == 1
+
+    def test_unregister_unknown_is_silent(self, harness):
+        _, pal, _, trace, _ = harness
+        pal.unregister_deadline("a")
+        assert trace.count(DeadlineUnregistered) == 0
+
+
+class TestSurrogateTickAnnounce:
+    def test_violation_detected_and_reported(self, harness):
+        # Fig. 7b: announce, then Algorithm 3 verification.
+        pos, pal, clock, trace, violations = harness
+        pal.register_deadline("a", 50)
+        clock.now = 60
+        detected = pal.announce_ticks(60)
+        assert len(detected) == 1
+        assert detected[0].process == "a"
+        assert detected[0].detection_latency == 10
+        assert violations == detected
+        missed = trace.of_type(DeadlineMissed)
+        assert len(missed) == 1 and missed[0].partition == "P1"
+
+    def test_no_violation_before_deadline(self, harness):
+        _, pal, clock, _, violations = harness
+        pal.register_deadline("a", 50)
+        clock.now = 50  # deadline tick itself is not yet a violation
+        assert pal.announce_ticks(50) == []
+        assert violations == []
+
+    def test_announce_drives_pos_timers(self, harness):
+        pos, pal, clock, _, _ = harness
+        tcb = start(pos, "a")
+        tcb.block(WaitCondition(reason=WaitReason.DELAY, wake_at=30))
+        clock.now = 30
+        pal.announce_ticks(30)
+        assert tcb.state is ProcessState.READY
+
+    def test_periodic_release_reregisters_deadline(self, harness):
+        # Fig. 6: each release point sets the new job's deadline.
+        pos, pal, clock, trace, _ = harness
+        tcb = start(pos, "a")
+        tcb.next_release = 100
+        tcb.block(WaitCondition(reason=WaitReason.PERIOD, wake_at=100))
+        clock.now = 100
+        pal.announce_ticks(100)
+        assert pal.monitor.deadline_of("a") == 150  # release + D (50)
+
+    def test_completion_unregisters_deadline(self, harness):
+        pos, pal, clock, trace, _ = harness
+
+        def once():
+            yield Compute(1)
+
+        tcb = pos.tcb("a")
+        tcb.body_factory = once
+        tcb.instantiate_body()
+        tcb.set_state(ProcessState.READY,
+                      ready_sequence=pos.next_ready_stamp())
+        pal.register_deadline("a", 500)
+        pos.execute_tick(0)
+        pos.execute_tick(1)  # completes
+        assert pal.monitor.deadline_of("a") is None
+        assert tcb.completed
+
+    def test_fault_unregisters_deadline_and_reports(self, harness):
+        pos, pal, clock, _, _ = harness
+        faults = []
+        pal.on_fault = lambda tcb, exc: faults.append((tcb.name, str(exc)))
+
+        def bad():
+            yield Compute(1)
+            raise RuntimeError("oops")
+
+        tcb = pos.tcb("a")
+        tcb.body_factory = bad
+        tcb.instantiate_body()
+        tcb.set_state(ProcessState.READY,
+                      ready_sequence=pos.next_ready_stamp())
+        pal.register_deadline("a", 500)
+        pos.execute_tick(0)
+        pos.execute_tick(1)
+        assert faults == [("a", "oops")]
+        assert pal.monitor.deadline_of("a") is None
+
+
+class TestTraceForwarding:
+    def test_dispatch_and_state_changes_traced(self, harness):
+        pos, pal, clock, trace, _ = harness
+        start(pos, "a")
+        pos.execute_tick(0)
+        assert trace.count(ProcessDispatched) == 1
+        states = trace.of_type(ProcessStateChanged)
+        assert [(e.previous_state, e.new_state) for e in states] == [
+            ("dormant", "ready"), ("ready", "running")]

@@ -1,0 +1,81 @@
+"""Tests for the RTEMS-like priority scheduler — eq. (14) (repro.pos.rtems)."""
+
+from repro.core.model import Partition, ProcessModel
+from repro.pos.effects import Compute
+from repro.pos.rtems import RtemsPos
+from repro.types import ProcessState
+
+
+def make_pos(*specs):
+    """specs: (name, priority) pairs."""
+    models = tuple(ProcessModel(name=name, period=1000, deadline=1000,
+                                priority=priority, wcet=10)
+                   for name, priority in specs)
+    return RtemsPos(Partition(name="P1", processes=models))
+
+
+def spin():
+    while True:
+        yield Compute(10_000)
+
+
+def start(pos, name):
+    tcb = pos.tcb(name)
+    tcb.body_factory = lambda: spin()
+    tcb.instantiate_body()
+    tcb.set_state(ProcessState.READY, ready_sequence=pos.next_ready_stamp())
+    return tcb
+
+
+class TestEquation14:
+    def test_lowest_numerical_priority_wins(self):
+        # Sect. 3.3: "lower numerical values represent greater priorities".
+        pos = make_pos(("lo", 7), ("hi", 1), ("mid", 3))
+        for name in ("lo", "hi", "mid"):
+            start(pos, name)
+        assert pos.execute_tick(0) == "hi"
+
+    def test_equal_priority_oldest_ready_wins(self):
+        # eq. (14) tie-break: decreasing order of antiquity in ready state.
+        pos = make_pos(("first", 2), ("second", 2))
+        start(pos, "second")   # becomes ready earlier
+        start(pos, "first")
+        assert pos.execute_tick(0) == "second"
+
+    def test_running_process_counts_as_schedulable(self):
+        # Ready_m(t) includes ready *and* running (eq. (15)).
+        pos = make_pos(("only", 1))
+        start(pos, "only")
+        assert pos.execute_tick(0) == "only"
+        assert pos.execute_tick(1) == "only"
+
+    def test_higher_priority_arrival_preempts(self):
+        pos = make_pos(("lo", 5), ("hi", 1))
+        start(pos, "lo")
+        assert pos.execute_tick(0) == "lo"
+        start(pos, "hi")
+        assert pos.execute_tick(1) == "hi"
+        assert pos.tcb("lo").state is ProcessState.READY
+
+    def test_preempted_process_keeps_seniority(self):
+        # A preempted equal-priority process resumes before later arrivals.
+        pos = make_pos(("old", 3), ("hi", 1), ("young", 3))
+        start(pos, "old")
+        assert pos.execute_tick(0) == "old"
+        start(pos, "hi")        # preempts old
+        start(pos, "young")     # same priority as old, arrived later
+        assert pos.execute_tick(1) == "hi"
+        pos.stop_process(pos.tcb("hi"), reason="done")
+        assert pos.execute_tick(2) == "old"   # seniority preserved
+
+    def test_current_priority_not_base_priority_decides(self):
+        # eq. (14) uses p'(t), the *current* priority.
+        pos = make_pos(("a", 2), ("b", 5))
+        start(pos, "a")
+        start(pos, "b")
+        pos.tcb("b").current_priority = 1    # SET_PRIORITY analogue
+        assert pos.execute_tick(0) == "b"
+
+    def test_empty_ready_set_yields_none(self):
+        pos = make_pos(("a", 1))
+        assert pos.choose_heir(0) is None

@@ -1,0 +1,110 @@
+"""Tests for task control blocks and the eq. (13) state machine
+(repro.pos.tcb)."""
+
+import pytest
+
+from repro.core.model import ProcessModel
+from repro.exceptions import SimulationError
+from repro.pos.tcb import Tcb, WaitCondition, WaitReason
+from repro.types import ProcessState
+
+
+def make_tcb(**kwargs):
+    model = ProcessModel(name="t", period=100, deadline=100, priority=3,
+                         wcet=10, **kwargs)
+    return Tcb(model=model, partition="P1")
+
+
+class TestStateMachine:
+    def test_initial_state_dormant(self):
+        tcb = make_tcb()
+        assert tcb.state is ProcessState.DORMANT
+        assert not tcb.is_schedulable
+
+    def test_dormant_to_ready_requires_stamp(self):
+        tcb = make_tcb()
+        with pytest.raises(SimulationError, match="ready_sequence"):
+            tcb.set_state(ProcessState.READY)
+        tcb.set_state(ProcessState.READY, ready_sequence=1)
+        assert tcb.ready_since == 1
+        assert tcb.is_schedulable
+
+    def test_dormant_cannot_run_directly(self):
+        tcb = make_tcb()
+        with pytest.raises(SimulationError, match="illegal state"):
+            tcb.set_state(ProcessState.RUNNING)
+
+    def test_waiting_cannot_run_directly(self):
+        # eq. (13): a waiting process must become ready first.
+        tcb = make_tcb()
+        tcb.block(WaitCondition(reason=WaitReason.DELAY, wake_at=5))
+        with pytest.raises(SimulationError, match="illegal state"):
+            tcb.set_state(ProcessState.RUNNING)
+
+    def test_full_lifecycle(self):
+        tcb = make_tcb()
+        tcb.set_state(ProcessState.READY, ready_sequence=1)
+        tcb.set_state(ProcessState.RUNNING)
+        tcb.block(WaitCondition(reason=WaitReason.PERIOD, wake_at=100))
+        assert tcb.wait is not None and tcb.wait.reason is WaitReason.PERIOD
+        tcb.set_state(ProcessState.READY, ready_sequence=2)
+        assert tcb.wait is None  # cleared on leaving waiting
+        tcb.set_state(ProcessState.RUNNING)
+        tcb.set_state(ProcessState.DORMANT)
+
+    def test_same_state_transition_is_noop(self):
+        tcb = make_tcb()
+        changes = []
+        tcb.on_state_change = lambda t, prev, reason: changes.append(prev)
+        tcb.set_state(ProcessState.DORMANT)
+        assert changes == []
+
+    def test_state_change_callback_receives_previous(self):
+        tcb = make_tcb()
+        changes = []
+        tcb.on_state_change = lambda t, prev, r: changes.append(
+            (prev, t.state, r))
+        tcb.set_state(ProcessState.READY, ready_sequence=1, reason="started")
+        assert changes == [(ProcessState.DORMANT, ProcessState.READY,
+                            "started")]
+
+
+class TestRuntimeMachinery:
+    def test_instantiate_body_resets_execution_state(self):
+        tcb = make_tcb()
+
+        def body(value):
+            yield value
+
+        tcb.body_factory = body
+        tcb.compute_remaining = 7
+        tcb.pending_result = "stale"
+        tcb.has_pending_result = True
+        tcb.completed = True
+        tcb.instantiate_body(1)
+        assert tcb.generator is not None
+        assert tcb.compute_remaining == 0
+        assert not tcb.has_pending_result
+        assert not tcb.completed
+
+    def test_instantiate_without_factory_fails(self):
+        tcb = make_tcb()
+        with pytest.raises(SimulationError, match="no body factory"):
+            tcb.instantiate_body()
+
+    def test_reset_runtime_restores_baseline(self):
+        tcb = make_tcb()
+        tcb.set_state(ProcessState.READY, ready_sequence=1)
+        tcb.current_priority = 9
+        tcb.deadline_time = 55
+        tcb.release_count = 3
+        tcb.reset_runtime()
+        assert tcb.state is ProcessState.DORMANT
+        assert tcb.current_priority == tcb.model.priority == 3
+        assert tcb.deadline_time is None
+        assert tcb.release_count == 0
+
+    def test_describe_is_single_line(self):
+        text = make_tcb().describe()
+        assert "\n" not in text
+        assert "dormant" in text

@@ -1,0 +1,124 @@
+"""Tests for spatial partitioning descriptors (repro.spatial.descriptors)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.spatial.descriptors import (
+    MemoryDescriptor,
+    MemorySection,
+    ModuleMemoryLayout,
+    PartitionMemoryMap,
+)
+from repro.types import AccessKind, PrivilegeLevel
+
+
+def descriptor(partition="P1", section=MemorySection.DATA, base=0x1000,
+               size=0x1000, level=PrivilegeLevel.APPLICATION, **kwargs):
+    return MemoryDescriptor(partition=partition, level=level, section=section,
+                            base=base, size=size, **kwargs)
+
+
+class TestMemoryDescriptor:
+    def test_default_permissions_by_section(self):
+        code = descriptor(section=MemorySection.CODE)
+        assert AccessKind.EXECUTE in code.permissions
+        assert AccessKind.WRITE not in code.permissions
+        data = descriptor(section=MemorySection.DATA)
+        assert data.permissions == frozenset({AccessKind.READ,
+                                              AccessKind.WRITE})
+
+    def test_covers_and_ranges(self):
+        d = descriptor(base=0x1000, size=0x100)
+        assert d.covers(0x1000) and d.covers(0x10FF)
+        assert not d.covers(0x1100)
+        assert d.covers_range(0x1000, 0x100)
+        assert not d.covers_range(0x10F0, 0x20)
+
+    def test_allows_checks_kind_and_privilege(self):
+        pos_level = descriptor(level=PrivilegeLevel.POS)
+        assert pos_level.allows(AccessKind.READ, PrivilegeLevel.PMK)
+        assert pos_level.allows(AccessKind.READ, PrivilegeLevel.POS)
+        assert not pos_level.allows(AccessKind.READ,
+                                    PrivilegeLevel.APPLICATION)
+        assert not pos_level.allows(AccessKind.EXECUTE, PrivilegeLevel.PMK)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            descriptor(size=0)
+        with pytest.raises(ConfigurationError):
+            descriptor(base=-4)
+
+
+class TestPartitionMemoryMap:
+    def test_add_and_find(self):
+        memory_map = PartitionMemoryMap("P1", [
+            descriptor(base=0x1000, size=0x1000),
+            descriptor(base=0x3000, size=0x1000,
+                       section=MemorySection.STACK)])
+        assert memory_map.find(0x1800).section is MemorySection.DATA
+        assert memory_map.find(0x3000).section is MemorySection.STACK
+        assert memory_map.find(0x2000) is None
+        assert memory_map.total_size() == 0x2000
+
+    def test_wrong_partition_rejected(self):
+        memory_map = PartitionMemoryMap("P1")
+        with pytest.raises(ConfigurationError, match="added to the map"):
+            memory_map.add(descriptor(partition="P2"))
+
+    def test_intra_map_overlap_rejected(self):
+        memory_map = PartitionMemoryMap("P1", [descriptor(base=0, size=0x2000)])
+        with pytest.raises(ConfigurationError, match="overlaps"):
+            memory_map.add(descriptor(base=0x1000, size=0x1000))
+
+    def test_section_query(self):
+        memory_map = PartitionMemoryMap("P1", [
+            descriptor(base=0, size=0x1000, section=MemorySection.CODE),
+            descriptor(base=0x1000, size=0x1000)])
+        assert len(memory_map.section(MemorySection.CODE)) == 1
+
+
+class TestModuleMemoryLayout:
+    def test_disjoint_partitions_accepted(self):
+        layout = ModuleMemoryLayout()
+        layout.add_partition(PartitionMemoryMap("P1", [
+            descriptor(base=0x0000, size=0x1000)]))
+        layout.add_partition(PartitionMemoryMap("P2", [
+            descriptor(partition="P2", base=0x1000, size=0x1000)]))
+        assert layout.partitions == ("P1", "P2")
+
+    def test_cross_partition_overlap_rejected(self):
+        # Spatial partitioning itself: one partition's memory cannot belong
+        # to another (Sect. 2.1).
+        layout = ModuleMemoryLayout()
+        layout.add_partition(PartitionMemoryMap("P1", [
+            descriptor(base=0x0000, size=0x2000)]))
+        with pytest.raises(ConfigurationError, match="spatial violation"):
+            layout.add_partition(PartitionMemoryMap("P2", [
+                descriptor(partition="P2", base=0x1000, size=0x1000)]))
+
+    def test_shared_regions_may_overlap(self):
+        layout = ModuleMemoryLayout()
+        layout.add_partition(PartitionMemoryMap("P1", [
+            descriptor(base=0, size=0x1000, section=MemorySection.SHARED,
+                       shared=True)]))
+        layout.add_partition(PartitionMemoryMap("P2", [
+            descriptor(partition="P2", base=0, size=0x1000,
+                       section=MemorySection.SHARED, shared=True)]))
+
+    def test_shared_flag_must_be_mutual(self):
+        layout = ModuleMemoryLayout()
+        layout.add_partition(PartitionMemoryMap("P1", [
+            descriptor(base=0, size=0x1000, shared=True)]))
+        with pytest.raises(ConfigurationError):
+            layout.add_partition(PartitionMemoryMap("P2", [
+                descriptor(partition="P2", base=0, size=0x1000)]))
+
+    def test_duplicate_partition_rejected(self):
+        layout = ModuleMemoryLayout()
+        layout.add_partition(PartitionMemoryMap("P1"))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            layout.add_partition(PartitionMemoryMap("P1"))
+
+    def test_unknown_map_lookup(self):
+        with pytest.raises(ConfigurationError, match="no memory map"):
+            ModuleMemoryLayout().map_of("P9")

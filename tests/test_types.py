@@ -1,0 +1,107 @@
+"""Tests for shared types and the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    AirError,
+    ClockTamperingError,
+    ConfigurationError,
+    ProcessFaultError,
+    SpatialViolationError,
+    ValidationError,
+)
+from repro.types import (
+    INFINITE_TIME,
+    AccessKind,
+    ErrorCode,
+    ErrorLevel,
+    PartitionMode,
+    PrivilegeLevel,
+    ProcessState,
+    RecoveryAction,
+    ScheduleChangeAction,
+    is_infinite,
+)
+
+
+class TestInfiniteTime:
+    def test_sentinel(self):
+        assert is_infinite(INFINITE_TIME)
+        assert not is_infinite(0)
+        assert not is_infinite(100)
+
+
+class TestPartitionMode:
+    def test_eq3_members(self):
+        # eq. (3): normal, idle, coldStart, warmStart.
+        assert {mode.value for mode in PartitionMode} == {
+            "normal", "idle", "coldStart", "warmStart"}
+
+    def test_is_starting(self):
+        assert PartitionMode.COLD_START.is_starting
+        assert PartitionMode.WARM_START.is_starting
+        assert not PartitionMode.NORMAL.is_starting
+        assert not PartitionMode.IDLE.is_starting
+
+
+class TestProcessState:
+    def test_eq13_members(self):
+        assert {state.value for state in ProcessState} == {
+            "dormant", "ready", "running", "waiting"}
+
+    def test_eq15_schedulable(self):
+        # Ready_m(t) = ready or running.
+        assert ProcessState.READY.is_schedulable
+        assert ProcessState.RUNNING.is_schedulable
+        assert not ProcessState.DORMANT.is_schedulable
+        assert not ProcessState.WAITING.is_schedulable
+
+
+class TestPrivilegeLevel:
+    def test_ordering_pmk_most_privileged(self):
+        assert PrivilegeLevel.PMK < PrivilegeLevel.POS < \
+            PrivilegeLevel.APPLICATION
+
+
+class TestEnumsRoundTripByValue:
+    @pytest.mark.parametrize("enum_type", [
+        PartitionMode, ProcessState, ErrorCode, ErrorLevel, RecoveryAction,
+        ScheduleChangeAction, AccessKind])
+    def test_value_round_trip(self, enum_type):
+        for member in enum_type:
+            assert enum_type(member.value) is member
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_air_error(self):
+        for exc_type in (ConfigurationError, ValidationError,
+                         ClockTamperingError, SpatialViolationError,
+                         ProcessFaultError):
+            assert issubclass(exc_type, AirError)
+
+    def test_validation_error_is_configuration_error(self):
+        assert issubclass(ValidationError, ConfigurationError)
+
+    def test_spatial_violation_carries_context(self):
+        exc = SpatialViolationError("boom", partition="P1", address=0x100,
+                                    access="write")
+        assert exc.partition == "P1"
+        assert exc.address == 0x100
+        assert exc.access == "write"
+
+    def test_clock_tampering_carries_context(self):
+        exc = ClockTamperingError("no", partition="Plinux",
+                                  operation="mask_clock")
+        assert exc.partition == "Plinux"
+        assert exc.operation == "mask_clock"
+
+    def test_process_fault_carries_cause(self):
+        cause = ValueError("inner")
+        exc = ProcessFaultError("outer", partition="P1", process="a",
+                                cause=cause)
+        assert exc.cause is cause
+
+    def test_one_catch_covers_everything(self):
+        with pytest.raises(AirError):
+            raise SpatialViolationError("x", partition="P", address=0,
+                                        access="read")

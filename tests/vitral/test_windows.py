@@ -1,0 +1,94 @@
+"""Tests for the VITRAL text-mode window manager (repro.vitral)."""
+
+import pytest
+
+from repro.apps.prototype import FAULTY_PROCESS, build_prototype, \
+    inject_faulty_process, make_simulator
+from repro.vitral.windows import VitralScreen, Window
+
+
+class TestWindow:
+    def test_render_dimensions(self):
+        window = Window("Test", width=20, height=5)
+        lines = window.render()
+        assert len(lines) == 5
+        assert all(len(line) == 20 for line in lines)
+
+    def test_scrollback_keeps_most_recent(self):
+        window = Window("Test", width=20, height=4)  # 2 content lines
+        for index in range(5):
+            window.write(f"line {index}")
+        assert window.lines == ("line 3", "line 4")
+
+    def test_long_lines_clipped(self):
+        window = Window("Test", width=12, height=3)
+        window.write("x" * 100)
+        assert len(window.lines[0]) == 10
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Window("t", width=5, height=3)
+
+
+class TestVitralScreen:
+    def test_one_window_per_partition_plus_air_windows(self):
+        # Sect. 6 / Fig. 9: one window per partition plus two more for AIR
+        # component observation.
+        sim = make_simulator()
+        screen = VitralScreen(sim)
+        assert set(screen.partition_windows) == {"P1", "P2", "P3", "P4"}
+        assert screen.scheduler_window.title == "AIR Partition Scheduler"
+        assert screen.hm_window.title == "AIR Health Monitor"
+
+    def test_sync_routes_events(self):
+        sim = make_simulator()
+        screen = VitralScreen(sim)
+        sim.run_mtf(1)
+        consumed = screen.sync()
+        assert consumed > 0
+        assert screen.sync() == 0  # idempotent until new events
+        assert any("->" in line for line in screen.scheduler_window.lines)
+
+    def test_deadline_miss_appears_in_partition_window(self):
+        sim = make_simulator()
+        screen = VitralScreen(sim)
+        inject_faulty_process(sim)
+        sim.run_mtf(3)
+        screen.sync()
+        assert any("DEADLINE MISS" in line
+                   for line in screen.partition_windows["P1"].lines)
+        assert any("deadlineMissed" in line
+                   for line in screen.hm_window.lines)
+
+    def test_render_produces_complete_frame(self):
+        sim = make_simulator()
+        sim.run_mtf(1)
+        screen = VitralScreen(sim)
+        frame = screen.render()
+        assert "Partition P1" in frame
+        assert "AIR Partition Scheduler" in frame
+        assert "schedule=chi1" in frame
+
+    def test_keyboard_bindings(self):
+        # The demo's interaction: keys switch schedules and inject faults.
+        handles = build_prototype()
+        sim = make_simulator(handles)
+        screen = VitralScreen(sim)
+        screen.bind("2", "switch to chi2", lambda s: (
+            s.pmk.set_module_schedule("chi2", requested_by="vitral"),
+            "requested")[1])
+        screen.bind("f", "inject fault", lambda s: (
+            inject_faulty_process(s), "injected")[1])
+        sim.run_mtf(1)
+        assert screen.press("2") == "requested"
+        assert screen.press("f") == "injected"
+        assert screen.press("z") == "unbound key 'z'"
+        assert screen.bindings == {"2": "switch to chi2",
+                                   "f": "inject fault"}
+        sim.run_mtf(2)
+        from repro.kernel.trace import DeadlineMissed, ScheduleSwitched
+
+        assert sim.trace.count(ScheduleSwitched) == 1
+        assert sim.trace.count(DeadlineMissed) >= 1
+        frame = screen.render()
+        assert "schedule=chi2" in frame  # footer reflects the switch
