@@ -89,6 +89,16 @@ class NetworkLink:
         """Messages currently traversing the link."""
         return len(self._in_flight)
 
+    @property
+    def next_delivery_tick(self) -> Optional[Ticks]:
+        """Arrival tick of the earliest in-flight message, or None.
+
+        The event-driven core uses this as the link's ``next_event_tick``
+        horizon: no delivery can happen strictly before it, so ticks up to
+        (excluding) it need no pump.
+        """
+        return self._in_flight[0][0] if self._in_flight else None
+
 
 class ReliableLink:
     """Delivery-guaranteeing wrapper: retransmit until the link accepts.
@@ -128,3 +138,8 @@ class ReliableLink:
     def in_flight(self) -> int:
         """Messages currently traversing the wrapped link."""
         return self.link.in_flight
+
+    @property
+    def next_delivery_tick(self) -> Optional[Ticks]:
+        """Arrival tick of the earliest in-flight message, or None."""
+        return self.link.next_delivery_tick

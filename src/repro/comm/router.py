@@ -54,6 +54,7 @@ class CommRouter:
         self._clock = clock
         self._trace = trace
         self._channels: Dict[str, _Channel] = {}
+        self._linked: List[_Channel] = []
         self._by_source: Dict[PortSpec, _Channel] = {}
         self._handlers: Dict[PortSpec, DeliveryHandler] = {}
         # Channel storage exists from configuration time (it belongs to the
@@ -83,6 +84,8 @@ class CommRouter:
             link = NetworkLink(latency=config.latency)
         channel = _Channel(config=config, link=link if not config.is_local else None)
         self._channels[config.name] = channel
+        if channel.link is not None:
+            self._linked.append(channel)
         self._by_source[config.source] = channel
 
     def register_destination(self, spec: PortSpec,
@@ -165,6 +168,21 @@ class CommRouter:
         return sum(channel.link.in_flight
                    for channel in self._channels.values()
                    if channel.link is not None)
+
+    def next_delivery_tick(self) -> Optional[Ticks]:
+        """Earliest arrival tick across all remote links, or None.
+
+        The router's ``next_event_tick`` horizon: :meth:`pump` is a no-op
+        at every tick strictly before the returned one, so the
+        event-driven core may batch across in-flight messages instead of
+        degrading to tick-by-tick execution the moment one is airborne.
+        """
+        earliest: Optional[Ticks] = None
+        for channel in self._linked:
+            arrival = channel.link.next_delivery_tick
+            if arrival is not None and (earliest is None or arrival < earliest):
+                earliest = arrival
+        return earliest
 
     def pump(self, now: Ticks) -> int:
         """Advance all remote links to *now*; returns deliveries performed."""

@@ -81,6 +81,10 @@ class Pmk(ModuleControl, ActionExecutor):
         self.stopped = False
         self.module_restarts = 0
         self._rng = SeededRng(config.seed)
+        # One shared clock callable for every component (HM, router, PALs,
+        # runtimes): a single bound method instead of a closure per
+        # consumer — these sit on the per-tick hot path.
+        self._clock = time.read
 
         # --- spatial partitioning -------------------------------------- #
         self.layout = ModuleMemoryLayout()
@@ -98,10 +102,10 @@ class Pmk(ModuleControl, ActionExecutor):
 
         # --- health monitoring ------------------------------------------ #
         self.health_monitor = HealthMonitor(
-            config.hm_tables, self, clock=lambda: self.time.now, trace=trace)
+            config.hm_tables, self, clock=self._clock, trace=trace)
 
         # --- interpartition communication -------------------------------- #
-        self.router = CommRouter(clock=lambda: self.time.now, trace=trace)
+        self.router = CommRouter(clock=self._clock, trace=trace)
         for channel in config.channels:
             self.router.add_channel(channel)
 
@@ -174,7 +178,7 @@ class Pmk(ModuleControl, ActionExecutor):
         else:
             pos = RtemsPos(partition)
         pal = PosAdaptationLayer(
-            pos, clock=lambda: self.time.now, trace=self.trace,
+            pos, clock=self._clock, trace=self.trace,
             store_kind=self.config.store_kind_for(name),
             on_violation=lambda violation, p=name: self.health_monitor.report(
                 ErrorCode.DEADLINE_MISSED, partition=p,
@@ -184,7 +188,7 @@ class Pmk(ModuleControl, ActionExecutor):
             on_fault=lambda tcb, exc, p=name: self._on_process_fault(
                 p, tcb, exc))
         runtime = PartitionRuntime(pos=pos, pal=pal, config=runtime_config,
-                                   clock=lambda: self.time.now,
+                                   clock=self._clock,
                                    trace=self.trace)
         apex = ApexInterface(
             pal=pal, partition_control=runtime, module_control=self,
@@ -271,6 +275,71 @@ class Pmk(ModuleControl, ActionExecutor):
                 if executed is not None and self._memory_probes:
                     self._emulate_memory_traffic(active, now)
         self.router.pump(now)
+
+    # -------------------------------------------------------------- #
+    # event-driven execution core
+    # -------------------------------------------------------------- #
+
+    def next_event_tick(self, now: Ticks) -> Ticks:
+        """First tick ≥ *now* that must execute through the full clock ISR.
+
+        The module-wide event horizon: the minimum of every layer's
+        ``next_event_tick`` —
+
+        * the Partition Scheduler's next preemption point (Algorithm 1's
+          next table-entry match; also covers pending schedule switches,
+          which only take effect at MTF boundaries);
+        * the router's next in-flight remote delivery;
+        * the active partition's horizon (POS timers, policy preemption,
+          Algorithm 3 deadline expiry, remaining ``Compute`` budget,
+          pending restarts/initialization).
+
+        Every tick strictly before the returned one is provably uniform:
+        its whole ISR reduces to counter updates and (at most) one
+        ``Compute`` decrement, which :meth:`execute_span` applies as a
+        batch.  Returning *now* means the current tick must be stepped.
+        """
+        if self.stopped:
+            return now
+        # The active partition most often pins the horizon to *now* (an
+        # exhausted compute budget, a dispatchable ready process): ask it
+        # first and skip the scheduler/router horizons when it does.
+        partition_event = None
+        active = self.dispatcher.active_partition
+        if active is not None:
+            partition_event = self.runtimes[active].next_event_tick(now)
+            if partition_event is not None and partition_event <= now:
+                return now
+        event = self.scheduler.next_preemption_tick(now)
+        delivery = self.router.next_delivery_tick()
+        if delivery is not None and delivery < event:
+            event = delivery
+        if partition_event is not None and partition_event < event:
+            event = partition_event
+        return event
+
+    def execute_span(self, now: Ticks, ticks: Ticks) -> None:
+        """Batch-execute *ticks* uniform clock ticks starting at *now*.
+
+        The caller guarantees ``now + ticks <= next_event_tick(now)``.
+        All per-tick effects of :meth:`clock_tick` over the span are
+        applied at once: scheduler fast-path accounting, occupancy
+        counters, the active partition's announcement bookkeeping and the
+        running process's ``Compute`` budget.  Memory-emulation probes are
+        inherently per-tick (addresses walk with the clock), so they are
+        batch-sampled in a tight loop — still far cheaper than full ISRs.
+        """
+        self.ticks_executed += ticks
+        self.scheduler.batch_account(ticks)
+        active = self.dispatcher.active_partition
+        if active is None:
+            self.idle_ticks += ticks
+            return
+        self.partition_ticks[active] += ticks
+        executed = self.runtimes[active].execute_span(ticks)
+        if executed is not None and self._memory_probes:
+            for tick in range(now, now + ticks):
+                self._emulate_memory_traffic(active, tick)
 
     def _emulate_memory_traffic(self, partition: str, now: Ticks) -> None:
         """One data read + one stack write through the MMU (Fig. 3's

@@ -136,6 +136,59 @@ class PartitionRuntime(PartitionControl):
         return self.pos.execute_tick(now)
 
     # -------------------------------------------------------------- #
+    # event-driven execution support
+    # -------------------------------------------------------------- #
+
+    def next_event_tick(self, now: Ticks) -> Optional[Ticks]:
+        """First tick ≥ *now* whose execution this partition cannot batch.
+
+        Returns *now* itself when the current tick must run through the
+        full per-tick path: a pending restart, an initialization tick, a
+        running process whose ``Compute`` budget is exhausted (its body
+        will advance), or a dispatchable ready process.  Otherwise the
+        bound is the earliest of the PAL horizon (timers, policy
+        preemption, deadline expiry) and the running process's remaining
+        compute budget; None means this partition imposes no bound.
+        """
+        mode = self._mode
+        if mode is PartitionMode.NORMAL:
+            # NORMAL implies no pending restart (a restart request moves
+            # the mode to coldStart/warmStart immediately).  Resolve the
+            # "this very tick is interesting" cases before paying for the
+            # PAL horizon — exhausted compute budgets dominate the stepped
+            # ticks on packed schedules.
+            budget_end = None
+            running = self.pos.running
+            if running is not None:
+                if running.compute_remaining <= 0:
+                    return now
+                budget_end = now + running.compute_remaining
+            elif self.pos.has_schedulable():
+                return now
+            event = self.pal.next_event_tick(now)
+            if budget_end is not None and (event is None or budget_end < event):
+                return budget_end
+            return event
+        if self._pending_restart is not None:
+            return now
+        if mode.is_starting and not self._initialized:
+            return now
+        return self.pal.next_event_tick(now)
+
+    def execute_span(self, ticks: Ticks) -> Optional[str]:
+        """Batch-execute *ticks* window ticks of a proven-uniform span.
+
+        The caller guarantees the span ends at or before
+        :meth:`next_event_tick`, so the per-tick sequence (surrogate
+        announcement, then process execution) reduces to batch
+        bookkeeping.  Returns the process charged, or None.
+        """
+        self.pal.announce_span(ticks)
+        if self._mode is not PartitionMode.NORMAL:
+            return None
+        return self.pos.execute_span(ticks)
+
+    # -------------------------------------------------------------- #
     # internals
     # -------------------------------------------------------------- #
 

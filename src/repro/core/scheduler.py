@@ -204,6 +204,40 @@ class PartitionScheduler:
         self.stats.preemption_points += 1
         return True
 
+    # -------------------------------------------------------------- #
+    # event-driven execution support
+    # -------------------------------------------------------------- #
+
+    def next_preemption_tick(self, now: Ticks) -> Ticks:
+        """Absolute tick of the next Algorithm 1 table-entry match.
+
+        Returns *now* itself when the current tick is a partition
+        preemption point (the ISR must run).  Every tick strictly before
+        the returned one takes the two-computation fast path, so the
+        event-driven core may batch them: this is the scheduler's
+        ``next_event_tick`` horizon.
+
+        Schedule switches cannot be missed by jumping here: a pending
+        switch takes effect at an MTF boundary, and an MTF boundary always
+        carries a dispatch-table entry (offset 0), i.e. it *is* a
+        preemption point of the current schedule.
+        """
+        schedule = self._schedules[self.current_schedule]
+        entry = schedule.table[self.table_iterator]
+        offset = (now - self.last_schedule_switch) % schedule.mtf
+        return now + (entry.tick - offset) % schedule.mtf
+
+    def batch_account(self, ticks: Ticks) -> None:
+        """Account *ticks* fast-path ticks executed as one batch.
+
+        The event-driven core only batches spans strictly inside a
+        preemption-point-free stretch, where :meth:`tick` would have taken
+        the fast path every time; the instrumentation counters stay
+        bit-identical to per-tick execution.
+        """
+        self.stats.ticks += ticks
+        self.stats.fast_path += ticks
+
     def _arm_change_actions(self, schedule: CompiledSchedule) -> None:
         """Arm each scheduled partition's ScheduleChangeAction.
 

@@ -125,6 +125,35 @@ class DeadlineMonitor:
         return violations
 
     # -------------------------------------------------------------- #
+    # event-driven execution support
+    # -------------------------------------------------------------- #
+
+    def next_violation_tick(self) -> Optional[Ticks]:
+        """First tick at which :meth:`verify` could detect a violation.
+
+        A deadline at ``D`` is violated once ``D`` has passed, i.e. first
+        observable at ``D + 1`` (Algorithm 3 reports when
+        ``deadline_time < now``).  O(1) via the store's earliest entry;
+        None when no deadline is registered.  This is the monitor's
+        ``next_event_tick`` horizon: every verification strictly before it
+        is the single no-violation comparison.
+        """
+        earliest = self.store.earliest()
+        return earliest.deadline_time + 1 if earliest is not None else None
+
+    def batch_account(self, checks: Ticks) -> None:
+        """Account *checks* uniform no-violation verifications at once.
+
+        The event-driven core calls this instead of :meth:`verify` for
+        batched spans it has proven violation-free (span end before
+        :meth:`next_violation_tick`); each skipped verification would have
+        cost exactly one comparison, keeping E6's instrumentation
+        bit-identical to per-tick execution.
+        """
+        self._checks += checks
+        self._comparisons += checks
+
+    # -------------------------------------------------------------- #
     # instrumentation
     # -------------------------------------------------------------- #
 

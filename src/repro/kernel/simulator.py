@@ -68,51 +68,45 @@ class Simulator:
             self.step()
 
     def run_fast(self, ticks: Ticks) -> None:
-        """Execute *ticks* clock ticks, skipping provably inert stretches.
+        """Execute *ticks* clock ticks on the event-driven execution core.
 
-        DESIGN.md design-decision 4: during an *idle* window (no partition
-        holds the processor) with no interpartition message in flight, the
-        only per-tick work is Algorithm 1's fast path — nothing observable
-        can happen until the next partition preemption point.  This mode
-        jumps straight there, keeping the trace bit-identical to
-        :meth:`run` (asserted by the equivalence tests); only the
-        instrumentation counters are batch-updated.
+        DESIGN.md design-decision 4: instead of raising one clock
+        interrupt per tick, ask every layer for its ``next_event_tick``
+        horizon — the scheduler's next preemption point, the router's next
+        in-flight delivery, the active partition's next timer wake-up,
+        policy preemption, deadline expiry, and the running process's
+        remaining ``Compute`` budget (see
+        :meth:`~repro.core.pmk.Pmk.next_event_tick`).  Every tick strictly
+        before the minimum of those horizons is provably uniform — idle
+        *or* actively computing — and is executed as one batched span;
+        only the interesting ticks go through the full ISR.
 
-        Schedule switches cannot be missed: an MTF boundary always carries
-        a dispatch-table entry (offset 0), i.e. it *is* a preemption point.
+        The trace (and every instrumentation counter) stays bit-identical
+        to :meth:`run`, asserted by the equivalence tests across active
+        windows, mode switches, deadline misses and HM restarts.
         """
         if ticks < 0:
             raise SimulationError(f"cannot run {ticks} ticks")
-        target = self.time.now + ticks
-        while self.time.now < target:
-            if self.pmk.stopped:
+        time = self.time
+        pmk = self.pmk
+        step = self.step
+        now = time.now
+        target = now + ticks
+        while now < target:
+            if pmk.stopped:
                 return
-            if (self.pmk.active_partition is None
-                    and self.pmk.router.in_flight == 0):
-                skip = min(self._ticks_to_next_preemption_point(),
-                           target - self.time.now)
-                if skip > 0:
-                    self._skip_inert(skip)
+            event = pmk.next_event_tick(now)
+            if event > now:
+                span = min(event, target) - now
+                pmk.execute_span(now, span)
+                time.skip(span)
+                now += span
+                if event >= target:
                     continue
-            self.step()
-
-    def _ticks_to_next_preemption_point(self) -> Ticks:
-        """Distance from *now* to the next Algorithm 1 table-entry match."""
-        scheduler = self.pmk.scheduler
-        schedule = scheduler.current
-        entry = schedule.table[scheduler.table_iterator]
-        offset = (self.time.now - scheduler.last_schedule_switch) \
-            % schedule.mtf
-        return (entry.tick - offset) % schedule.mtf
-
-    def _skip_inert(self, count: Ticks) -> None:
-        """Batch-account *count* inert idle ticks."""
-        self.time.skip(count)
-        stats = self.pmk.scheduler.stats
-        stats.ticks += count
-        stats.fast_path += count
-        self.pmk.ticks_executed += count
-        self.pmk.idle_ticks += count
+            # The event tick itself always goes through the full ISR —
+            # no need to recompute the horizon to discover that.
+            step()
+            now += 1
 
     def run_until(self, tick: Ticks) -> None:
         """Run until simulated time reaches *tick*."""

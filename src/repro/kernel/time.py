@@ -46,6 +46,17 @@ class TimeSource:
         """Current simulated time in ticks."""
         return self._ticks
 
+    def read(self) -> Ticks:
+        """Current simulated time, as a plain method.
+
+        ``time.read`` is the shared clock callable handed to every
+        component that needs to stamp events (Health Monitor, router, PAL,
+        runtimes): one bound method instead of one closure per consumer,
+        and one attribute load instead of a property dispatch on the
+        per-tick hot path.
+        """
+        return self._ticks
+
     def advance(self) -> Ticks:
         """Advance time by exactly one tick; returns the new time.
 
@@ -57,9 +68,10 @@ class TimeSource:
     def skip(self, count: Ticks) -> Ticks:
         """Advance time by *count* ticks at once.
 
-        Reserved for the simulator's fast-skip mode over provably inert
-        idle stretches (no active partition, no in-flight messages); the
-        per-tick clock ISR is the normal path.
+        Reserved for the simulator's event-driven execution core, which
+        batches provably uniform tick spans (idle stretches *and* active
+        compute windows) between interesting ticks; the per-tick clock ISR
+        is the normal path.
         """
         if count < 0:
             raise SimulationError(f"cannot skip {count} ticks")

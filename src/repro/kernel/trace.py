@@ -7,9 +7,11 @@ instrument for the paper's experiments: the prototype of Sect. 6 demonstrates
 its claims by *observing* scheduler and HM behaviour, and the tests/benches
 of this reproduction assert on these events.
 
-Events are frozen dataclasses sharing the :class:`TraceEvent` base (a ``tick``
-timestamp plus a ``kind`` string for cheap filtering).  :class:`Trace` is an
-append-only collector with query helpers.
+Events are hashable dataclasses sharing the :class:`TraceEvent` base (a
+``tick`` timestamp plus a ``kind`` string for cheap filtering); they are
+treated as immutable by convention — construction cost is on the clock-ISR
+hot path, so the classes skip ``frozen``'s per-field ``object.__setattr__``
+overhead.  :class:`Trace` is an append-only collector with query helpers.
 """
 
 from __future__ import annotations
@@ -48,7 +50,7 @@ __all__ = [
 E = TypeVar("E", bound="TraceEvent")
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class TraceEvent:
     """Base class: something that happened at simulated time ``tick``."""
 
@@ -65,7 +67,7 @@ class TraceEvent:
 # ------------------------------------------------------------------ #
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class PartitionDispatched(TraceEvent):
     """The Partition Dispatcher switched contexts (Algorithm 2, else-branch)."""
 
@@ -73,7 +75,7 @@ class PartitionDispatched(TraceEvent):
     heir: Optional[str]
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class PartitionWindowStarted(TraceEvent):
     """A partition's execution time window opened."""
 
@@ -83,7 +85,7 @@ class PartitionWindowStarted(TraceEvent):
     window_duration: Ticks
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class IdleWindowStarted(TraceEvent):
     """An idle gap (no partition scheduled) opened."""
 
@@ -91,7 +93,7 @@ class IdleWindowStarted(TraceEvent):
     duration: Ticks
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ScheduleSwitchRequested(TraceEvent):
     """SET_MODULE_SCHEDULE accepted a pending switch (Sect. 4.2)."""
 
@@ -100,7 +102,7 @@ class ScheduleSwitchRequested(TraceEvent):
     to_schedule: str
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ScheduleSwitched(TraceEvent):
     """A pending switch took effect at an MTF boundary (Algorithm 1, l. 4-6)."""
 
@@ -108,7 +110,7 @@ class ScheduleSwitched(TraceEvent):
     to_schedule: str
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ScheduleChangeActionApplied(TraceEvent):
     """A partition's ScheduleChangeAction ran at its first post-switch
     dispatch (Algorithm 2, line 9)."""
@@ -118,7 +120,7 @@ class ScheduleChangeActionApplied(TraceEvent):
     schedule: str
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class PartitionModeChanged(TraceEvent):
     """A partition's operating mode M_m(t) changed (eq. (3))."""
 
@@ -132,7 +134,7 @@ class PartitionModeChanged(TraceEvent):
 # ------------------------------------------------------------------ #
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ProcessDispatched(TraceEvent):
     """The partition's POS selected a new heir process (eq. (14))."""
 
@@ -141,7 +143,7 @@ class ProcessDispatched(TraceEvent):
     heir: Optional[str]
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ProcessStateChanged(TraceEvent):
     """A process moved between eq. (13) states."""
 
@@ -152,7 +154,7 @@ class ProcessStateChanged(TraceEvent):
     reason: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ProcessCompleted(TraceEvent):
     """A process body ran to completion (returned)."""
 
@@ -165,7 +167,7 @@ class ProcessCompleted(TraceEvent):
 # ------------------------------------------------------------------ #
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class DeadlineRegistered(TraceEvent):
     """The PAL registered/updated a process deadline (Fig. 6)."""
 
@@ -174,7 +176,7 @@ class DeadlineRegistered(TraceEvent):
     deadline_time: Ticks
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class DeadlineUnregistered(TraceEvent):
     """The PAL removed a process's deadline (process stopped)."""
 
@@ -182,7 +184,7 @@ class DeadlineUnregistered(TraceEvent):
     process: str
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class DeadlineMissed(TraceEvent):
     """Algorithm 3 detected a deadline violation — membership in V(t), eq. (24)."""
 
@@ -197,7 +199,7 @@ class DeadlineMissed(TraceEvent):
 # ------------------------------------------------------------------ #
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class HealthMonitorEvent(TraceEvent):
     """The Health Monitor classified an error and chose an action (Sect. 2.4)."""
 
@@ -209,7 +211,7 @@ class HealthMonitorEvent(TraceEvent):
     detail: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class MemoryFault(TraceEvent):
     """The simulated MMU refused a cross-boundary access (Fig. 3)."""
 
@@ -219,7 +221,7 @@ class MemoryFault(TraceEvent):
     detail: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ClockTamperTrapped(TraceEvent):
     """The paravirtualization layer trapped a guest clock operation (Sect. 2.5)."""
 
@@ -232,7 +234,7 @@ class ClockTamperTrapped(TraceEvent):
 # ------------------------------------------------------------------ #
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class PortMessageSent(TraceEvent):
     """A message entered an interpartition channel."""
 
@@ -241,7 +243,7 @@ class PortMessageSent(TraceEvent):
     size: int
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class PortMessageReceived(TraceEvent):
     """A message was delivered from an interpartition channel."""
 
@@ -251,7 +253,7 @@ class PortMessageReceived(TraceEvent):
     latency: Ticks
 
 
-@dataclass(frozen=True)
+@dataclass(unsafe_hash=True)
 class ApplicationMessage(TraceEvent):
     """Free-form output from an application (rendered by VITRAL windows)."""
 

@@ -139,6 +139,18 @@ class PartitionOs:
         """``Ready_m(t)`` — eq. (15): processes in ready or running state."""
         return [tcb for tcb in self._tcbs.values() if tcb.is_schedulable]
 
+    def has_schedulable(self) -> bool:
+        """True when ``Ready_m(t)`` is non-empty (cheaper than building it).
+
+        On the event-core horizon path; the unrolled state test avoids the
+        per-TCB enum-property cost of :attr:`Tcb.is_schedulable`.
+        """
+        for tcb in self._tcbs.values():
+            state = tcb.state
+            if state is ProcessState.READY or state is ProcessState.RUNNING:
+                return True
+        return False
+
     # -------------------------------------------------------------- #
     # state transition services used by APEX and resources
     # -------------------------------------------------------------- #
@@ -254,6 +266,35 @@ class PartitionOs:
                 tcb.has_pending_result = True
                 self.make_ready(tcb, reason="suspension timed out")
 
+    def next_timer_tick(self) -> Optional[Ticks]:
+        """Earliest pending timed wake-up among this POS's processes.
+
+        The POS timer horizon for the event-driven core: no delay expiry,
+        periodic release, resource timeout or timed-suspension wake can
+        happen strictly before the returned tick, so
+        :meth:`announce_ticks` is pure bookkeeping until then.  None when
+        every wait is purely event-driven.  O(n) over the (small) TCB set,
+        paid once per batched span rather than per tick.
+        """
+        earliest: Optional[Ticks] = None
+        for tcb in self._tcbs.values():
+            if tcb.state is not ProcessState.WAITING or tcb.wait is None:
+                continue
+            wake_at = tcb.wait.wake_at
+            if wake_at is not None and (earliest is None or wake_at < earliest):
+                earliest = wake_at
+        return earliest
+
+    def announce_span(self, elapsed: Ticks) -> None:
+        """Batch form of :meth:`announce_ticks` for a provably quiet span.
+
+        The caller (the event-driven core) guarantees no timed wake-up
+        falls inside the span (its end is bounded by
+        :meth:`next_timer_tick`), so only the elapsed-time bookkeeping
+        remains.
+        """
+        self._announced_ticks += elapsed
+
     def _release_periodic(self, tcb: Tcb, release_tick: Ticks) -> None:
         """Release a periodic process at *release_tick* (its release point)."""
         tcb.release_count += 1
@@ -278,7 +319,26 @@ class PartitionOs:
         raise NotImplementedError
 
     def on_tick_consumed(self, tcb: Tcb) -> None:
-        """Hook: *tcb* consumed one tick of CPU (quantum accounting)."""
+        """Hook: *tcb* consumed one tick of CPU (quantum accounting).
+
+        Subclasses overriding this must override :meth:`on_span_consumed`
+        with the equivalent batch update, or batched execution diverges
+        from per-tick execution.
+        """
+
+    def on_span_consumed(self, tcb: Tcb, ticks: Ticks) -> None:
+        """Batch form of :meth:`on_tick_consumed`: *ticks* consumed at once."""
+
+    def next_quantum_tick(self, now: Ticks) -> Optional[Ticks]:
+        """First tick at which the policy could preempt the running process.
+
+        The POS scheduling-policy horizon for the event-driven core.  The
+        base policy hooks never preempt a computing process between
+        preemption-relevant events, so there is no bound; quantum-driven
+        policies (:class:`~repro.pos.generic.GenericPos`) override this
+        with their round-robin expiry.
+        """
+        return None
 
     def dispatch(self, now: Ticks) -> Optional[Tcb]:
         """Apply the policy and effect the process-level context switch.
@@ -323,6 +383,27 @@ class PartitionOs:
         raise SimulationError(
             f"partition {self.name!r}: livelock — more than "
             f"{_MAX_ZERO_TIME_STEPS} zero-time steps at tick {now}")
+
+    def execute_span(self, ticks: Ticks) -> Optional[str]:
+        """Charge *ticks* window ticks as one batch — the event-core form
+        of *ticks* consecutive :meth:`execute_tick` calls over a uniform
+        span.
+
+        The caller guarantees uniformity: the running process (if any) has
+        at least *ticks* of ``Compute`` budget left and no wake-up,
+        release, deadline event, policy preemption or partition preemption
+        point falls inside the span — so each per-tick dispatch would have
+        returned the same heir and each tick would only have decremented
+        its budget.  With no running process the ready set is empty and
+        the partition idles in-window.  Returns the name of the process
+        charged, or None.
+        """
+        running = self._running
+        if running is None:
+            return None
+        running.compute_remaining -= ticks
+        self.on_span_consumed(running, ticks)
+        return running.name
 
     def _advance_body(self, tcb: Tcb, now: Ticks) -> None:
         """Drive *tcb*'s generator until it computes, blocks or completes."""

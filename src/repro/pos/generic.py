@@ -88,6 +88,25 @@ class GenericPos(PartitionOs):
         """Charge the consumed tick against the running quantum."""
         self._ticks_on_current += 1
 
+    def on_span_consumed(self, tcb: Tcb, ticks: Ticks) -> None:
+        """Charge a batched span against the running quantum."""
+        self._ticks_on_current += ticks
+
+    def next_quantum_tick(self, now: Ticks) -> Optional[Ticks]:
+        """First tick at which :meth:`choose_heir` would rotate the ring.
+
+        With a process running, the round-robin check fires once the
+        quantum is exhausted; ticks strictly before that keep the current
+        process and only advance the counter (batched by
+        :meth:`on_span_consumed`).  Under a preemption lock the counter
+        can already exceed the quantum — the clamp then returns *now*,
+        degrading that (rare) stretch to per-tick execution rather than
+        risking a missed rotation at unlock.
+        """
+        if self.running is None:
+            return None
+        return now + max(self.quantum - self._ticks_on_current, 0)
+
     # -------------------------------------------------------------- #
     # paravirtualized clock surface (Sect. 2.5)
     # -------------------------------------------------------------- #

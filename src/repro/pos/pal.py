@@ -107,6 +107,37 @@ class PosAdaptationLayer:
         self.pos.announce_ticks(now, elapsed)
         return self.monitor.verify(now)
 
+    def announce_span(self, elapsed: Ticks) -> None:
+        """Batch form of :meth:`announce_ticks` for a provably quiet span.
+
+        The event-driven core calls this when it has proven (via
+        :meth:`next_event_tick`) that neither the native POS announcement
+        nor the Algorithm 3 verification can observe anything inside the
+        span; only elapsed-time and instrumentation bookkeeping remain,
+        bit-identical to *elapsed* single-tick announcements.
+        """
+        self.pos.announce_span(elapsed)
+        self.monitor.batch_account(elapsed)
+
+    def next_event_tick(self, now: Ticks) -> Optional[Ticks]:
+        """First tick at which this partition's announcement could act.
+
+        The PAL horizon is the earliest of its layers' horizons: the POS
+        timer wheel (delay expiries, periodic releases, resource
+        timeouts), the POS scheduling policy (e.g. a round-robin quantum
+        expiry), and the Algorithm 3 deadline store.  None when all three
+        are unbounded.
+        """
+        pos = self.pos
+        event = pos.next_timer_tick()
+        quantum = pos.next_quantum_tick(now)
+        if quantum is not None and (event is None or quantum < event):
+            event = quantum
+        violation = self.monitor.next_violation_tick()
+        if violation is not None and (event is None or violation < event):
+            event = violation
+        return event
+
     # -------------------------------------------------------------- #
     # deadline register/unregister interfaces (Sect. 5.2, Fig. 6)
     # -------------------------------------------------------------- #
