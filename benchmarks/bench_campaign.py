@@ -1,0 +1,144 @@
+"""E15 — the parallel campaign engine on the Sect. 6 fault matrix.
+
+The campaign engine (``repro.campaign``) fans independent deterministic
+scenarios out over a ``multiprocessing`` pool.  This benchmark runs a
+>= 64-scenario fault-matrix campaign twice — serially, then pooled — and
+reports scenarios/sec for each, *always* asserting the determinism
+invariant: the pooled deterministic report is byte-identical to the serial
+one, for it is the same scenarios with the same seeds.
+
+The speedup claim (>= 3x scenarios/sec at 4 workers) only holds where 4
+hardware threads exist; the pytest entry point guards on the scheduling
+affinity, and the standalone mode asserts it only under ``--check``.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_campaign.py`` — asserts determinism always and
+  the speedup floor when the host has >= 4 usable CPUs;
+* ``python benchmarks/bench_campaign.py [--scenarios N] [--mtfs N]
+  [--workers N] [--json PATH] [--check]`` — standalone smoke (used by CI),
+  writing the measured numbers to ``BENCH_campaign.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict
+
+import pytest
+
+from repro.campaign import (
+    deterministic_report,
+    fault_matrix_campaign,
+    run_pool,
+    run_serial,
+)
+from repro.campaign.runner import autodetect_workers
+
+#: Acceptance floor: pooled scenarios/sec vs serial at 4 workers.
+SPEEDUP_FLOOR = 3.0
+
+#: Default campaign size (acceptance: >= 64 scenarios).  The horizon is
+#: long enough that per-scenario simulation work dominates pool startup.
+CAMPAIGN_SCENARIOS = 64
+CAMPAIGN_MTFS = 10
+
+
+def _report_bytes(results) -> str:
+    return json.dumps(deterministic_report(results), sort_keys=True)
+
+
+def run_benchmark(*, scenarios: int = CAMPAIGN_SCENARIOS,
+                  mtfs: int = CAMPAIGN_MTFS, workers: int = 4,
+                  chunksize=None) -> Dict[str, float]:
+    """Time serial vs pooled execution; assert identical aggregates."""
+    campaign = fault_matrix_campaign(count=scenarios, mtfs=mtfs)
+
+    start = time.perf_counter()
+    serial = run_serial(campaign)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = run_pool(campaign, workers=workers, chunksize=chunksize)
+    pooled_s = time.perf_counter() - start
+
+    # The determinism invariant is not load-dependent: assert it on every
+    # benchmark run, CI smoke included.
+    assert _report_bytes(pooled) == _report_bytes(serial), \
+        "pooled aggregate differs from serial aggregate"
+    assert all(result.ok for result in serial), \
+        "fault-matrix campaign had failing scenarios"
+
+    return {
+        "scenarios": scenarios,
+        "mtfs": mtfs,
+        "workers": workers,
+        "serial_s": serial_s,
+        "pooled_s": pooled_s,
+        "serial_scenarios_per_s": scenarios / serial_s,
+        "pooled_scenarios_per_s": scenarios / pooled_s,
+        "speedup": serial_s / pooled_s,
+    }
+
+
+# ------------------------------------------------------------------ #
+# pytest entry points
+# ------------------------------------------------------------------ #
+
+
+def test_pooled_aggregate_matches_serial():
+    """Determinism at benchmark scale, 2 workers (any host)."""
+    run_benchmark(scenarios=16, mtfs=4, workers=2)
+
+
+@pytest.mark.skipif(autodetect_workers() < 4,
+                    reason="speedup floor needs >= 4 usable CPUs")
+def test_speedup_floor_at_four_workers():
+    numbers = run_benchmark(workers=4)
+    assert numbers["speedup"] >= SPEEDUP_FLOOR, (
+        f"campaign speedup {numbers['speedup']:.2f}x at 4 workers "
+        f"below the {SPEEDUP_FLOOR}x floor")
+
+
+# ------------------------------------------------------------------ #
+# standalone entry point
+# ------------------------------------------------------------------ #
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenarios", type=int,
+                        default=CAMPAIGN_SCENARIOS)
+    parser.add_argument("--mtfs", type=int, default=CAMPAIGN_MTFS)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--json", default=None,
+                        help="write measured numbers to this path")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the speedup floor (needs >= 4 CPUs)")
+    args = parser.parse_args()
+
+    numbers = run_benchmark(scenarios=args.scenarios, mtfs=args.mtfs,
+                            workers=args.workers)
+    print(f"campaign: {args.scenarios} scenarios x {args.mtfs} MTFs")
+    print(f"  serial : {numbers['serial_s']:8.3f}s "
+          f"({numbers['serial_scenarios_per_s']:7.1f} scenarios/s)")
+    print(f"  pooled : {numbers['pooled_s']:8.3f}s "
+          f"({numbers['pooled_scenarios_per_s']:7.1f} scenarios/s, "
+          f"{args.workers} workers)")
+    print(f"  speedup: {numbers['speedup']:5.2f}x")
+    print("  determinism: pooled aggregate == serial aggregate")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(numbers, stream, indent=2, sort_keys=True)
+        print(f"  numbers written to {args.json}")
+    if args.check and numbers["speedup"] < SPEEDUP_FLOOR:
+        print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,10 @@ Integrator-facing entry points over the library:
   every partition under every schedule;
 * ``run <config.json> --ticks N`` — execute the scheduling skeleton of a
   serialized configuration (bodies are code and are not serialized; the
-  partitions idle inside their windows) and report window occupancy.
+  partitions idle inside their windows) and report window occupancy;
+* ``campaign`` — fan a multi-scenario campaign (fault matrix, seed sweep,
+  config sweep, or a JSON spec file) out over a worker pool and report the
+  deterministic aggregate.
 """
 
 from __future__ import annotations
@@ -82,6 +85,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import (
+        config_sweep_campaign,
+        fault_matrix_campaign,
+        load_campaign_spec,
+        render_summary,
+        report_json,
+        run_campaign,
+        seed_sweep_campaign,
+    )
+
+    if args.spec:
+        scenarios = load_campaign_spec(args.spec)
+    elif args.suite == "fault-matrix":
+        scenarios = fault_matrix_campaign(count=args.scenarios,
+                                          mtfs=args.mtfs, seed=args.seed)
+    elif args.suite == "seed-sweep":
+        scenarios = seed_sweep_campaign(count=args.scenarios,
+                                        mtfs=args.mtfs, base_seed=args.seed)
+    else:
+        scenarios = config_sweep_campaign(count=args.scenarios,
+                                          base_seed=args.seed)
+
+    results = run_campaign(scenarios, workers=args.workers,
+                           chunksize=args.chunksize,
+                           timeout_s=args.timeout)
+    if args.verify_serial and args.workers > 1:
+        serial = run_campaign(scenarios, workers=1, timeout_s=args.timeout)
+        if report_json(results) != report_json(serial):
+            print("DETERMINISM VIOLATION: pooled aggregate differs from "
+                  "serial aggregate", file=sys.stderr)
+            return 2
+        print(f"verified: pooled ({args.workers} workers) == serial "
+              f"aggregate")
+    print(render_summary(results))
+    if args.json:
+        meta = {"suite": args.spec or args.suite,
+                "scenarios": len(scenarios), "workers": args.workers}
+        with open(args.json, "w", encoding="utf-8") as stream:
+            stream.write(report_json(results, include_timing=True,
+                                     meta=meta) + "\n")
+        print(f"report written to {args.json}")
+    return 0 if all(result.ok for result in results) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -112,7 +160,43 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="ticks to simulate (default 10000)")
     run.set_defaults(handler=_cmd_run)
 
+    campaign = commands.add_parser(
+        "campaign", help="run a deterministic multi-scenario campaign")
+    campaign.add_argument("--suite",
+                          choices=["fault-matrix", "seed-sweep",
+                                   "config-sweep"],
+                          default="fault-matrix",
+                          help="built-in campaign builder (default "
+                               "fault-matrix)")
+    campaign.add_argument("--spec", default=None,
+                          help="JSON campaign spec file (overrides --suite)")
+    campaign.add_argument("--scenarios", type=int, default=64,
+                          help="scenario count for built-in suites "
+                               "(default 64)")
+    campaign.add_argument("--mtfs", type=int, default=6,
+                          help="tick horizon in MTFs for prototype suites "
+                               "(default 6)")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="base seed (default 0)")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes; 0 = autodetect "
+                               "(default 1, serial)")
+    campaign.add_argument("--chunksize", type=int, default=None,
+                          help="scenarios per pool work item "
+                               "(default: auto)")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          help="per-scenario wall-clock timeout in seconds")
+    campaign.add_argument("--json", default=None,
+                          help="write the full JSON report here")
+    campaign.add_argument("--verify-serial", action="store_true",
+                          help="re-run serially and require identical "
+                               "deterministic reports")
+    campaign.set_defaults(handler=_cmd_campaign)
+
     args = parser.parse_args(argv)
+    if getattr(args, "workers", None) == 0:
+        from .campaign import autodetect_workers
+        args.workers = autodetect_workers()
     return args.handler(args)
 
 

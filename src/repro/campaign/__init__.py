@@ -1,0 +1,43 @@
+"""Deterministic multi-scenario campaign engine.
+
+Fans independent, fully deterministic scenarios (fault-injection sweeps,
+seed sweeps, config sweeps) out over a ``multiprocessing`` worker pool and
+aggregates compact per-scenario summaries — the reproduction's answer to
+the repeatable TSP evaluation campaigns of the benchmarking literature.
+"""
+
+from .results import (
+    ScenarioResult,
+    aggregate,
+    deterministic_report,
+    render_summary,
+    report_json,
+)
+from .runner import (
+    autodetect_workers,
+    run_campaign,
+    run_pool,
+    run_scenario,
+    run_serial,
+)
+from .scenarios import (
+    FACTORIES,
+    Scenario,
+    config_sweep_campaign,
+    fault_matrix_campaign,
+    load_campaign_spec,
+    register_factory,
+    scenario_from_dict,
+    scenario_to_dict,
+    seed_sweep_campaign,
+)
+
+__all__ = [
+    "ScenarioResult", "aggregate", "deterministic_report", "render_summary",
+    "report_json",
+    "autodetect_workers", "run_campaign", "run_pool", "run_scenario",
+    "run_serial",
+    "FACTORIES", "Scenario", "config_sweep_campaign",
+    "fault_matrix_campaign", "load_campaign_spec", "register_factory",
+    "scenario_from_dict", "scenario_to_dict", "seed_sweep_campaign",
+]

@@ -1,0 +1,197 @@
+"""Campaign results: per-scenario summaries and deterministic aggregation.
+
+A :class:`ScenarioResult` is the compact record a worker ships back across
+the process boundary instead of the full trace: counters, window occupancy
+and the trace's content digest (:meth:`repro.kernel.trace.Trace.summary`).
+Aggregation is *deterministic by construction*: results are keyed and
+ordered by scenario id, wall-clock timings are kept out of the
+deterministic report, and the whole campaign collapses to one
+``campaign_digest`` — the invariant the pool runner is tested against
+(identical bytes for any worker count and chunking).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "ScenarioResult",
+    "aggregate",
+    "deterministic_report",
+    "report_json",
+    "render_summary",
+    "percentile",
+]
+
+#: Scenario completion states.
+STATUS_OK = "ok"
+STATUS_CRASHED = "crashed"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """What one scenario produced — everything the aggregate needs.
+
+    ``wall_time_s`` is the only nondeterministic field; every consumer of
+    the determinism invariant must go through :meth:`to_dict` (which
+    excludes it) or :func:`deterministic_report`.
+    """
+
+    scenario_id: str
+    seed: int
+    status: str
+    ticks: int = 0
+    deadline_misses: int = 0
+    hm_events: int = 0
+    schedule_switches: int = 0
+    memory_faults: int = 0
+    faults_applied: int = 0
+    trace_events: int = 0
+    trace_digest: str = ""
+    occupancy: Tuple[Tuple[str, int], ...] = ()
+    error: str = ""
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True if the scenario ran to its horizon without failure."""
+        return self.status == STATUS_OK
+
+    def to_dict(self, *, include_timing: bool = False) -> Dict[str, Any]:
+        """JSON-compatible record; timing only on request (nondeterministic)."""
+        record: Dict[str, Any] = {
+            "id": self.scenario_id,
+            "seed": self.seed,
+            "status": self.status,
+            "ticks": self.ticks,
+            "deadline_misses": self.deadline_misses,
+            "hm_events": self.hm_events,
+            "schedule_switches": self.schedule_switches,
+            "memory_faults": self.memory_faults,
+            "faults_applied": self.faults_applied,
+            "trace_events": self.trace_events,
+            "trace_digest": self.trace_digest,
+            "occupancy": {partition: ticks
+                          for partition, ticks in self.occupancy},
+            "error": self.error,
+        }
+        if include_timing:
+            record["wall_time_s"] = self.wall_time_s
+        return record
+
+
+def percentile(values: Sequence[int], fraction: float) -> int:
+    """Nearest-rank percentile of *values* (deterministic, no interpolation)."""
+    if not values:
+        return 0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], "
+                         f"got {fraction}")
+    ordered = sorted(values)
+    rank = math.ceil(fraction * len(ordered))
+    return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+
+def _distribution(values: Sequence[int]) -> Dict[str, int]:
+    return {
+        "p50": percentile(values, 0.50),
+        "p90": percentile(values, 0.90),
+        "p99": percentile(values, 0.99),
+        "max": max(values) if values else 0,
+    }
+
+
+def aggregate(results: Sequence[ScenarioResult]) -> Dict[str, Any]:
+    """Deterministic campaign aggregate, keyed by scenario id order.
+
+    Identical result sets produce byte-identical aggregates regardless of
+    the order workers delivered them in — the pool runner's invariant.
+    """
+    ordered = sorted(results, key=lambda result: result.scenario_id)
+    statuses: Dict[str, int] = {}
+    for result in ordered:
+        statuses[result.status] = statuses.get(result.status, 0) + 1
+    totals = {
+        "ticks": sum(r.ticks for r in ordered),
+        "deadline_misses": sum(r.deadline_misses for r in ordered),
+        "hm_events": sum(r.hm_events for r in ordered),
+        "schedule_switches": sum(r.schedule_switches for r in ordered),
+        "memory_faults": sum(r.memory_faults for r in ordered),
+        "faults_applied": sum(r.faults_applied for r in ordered),
+        "trace_events": sum(r.trace_events for r in ordered),
+    }
+    digest = hashlib.sha256("|".join(
+        f"{r.scenario_id}:{r.status}:{r.trace_digest}"
+        for r in ordered).encode("utf-8")).hexdigest()[:16]
+    return {
+        "scenarios": len(ordered),
+        "status": dict(sorted(statuses.items())),
+        "totals": totals,
+        "deadline_misses": _distribution(
+            [r.deadline_misses for r in ordered]),
+        "trace_events": _distribution([r.trace_events for r in ordered]),
+        "campaign_digest": digest,
+    }
+
+
+def deterministic_report(results: Sequence[ScenarioResult]
+                         ) -> Dict[str, Any]:
+    """Aggregate + per-scenario records, with every timing field excluded."""
+    ordered = sorted(results, key=lambda result: result.scenario_id)
+    return {
+        "aggregate": aggregate(ordered),
+        "scenarios": [result.to_dict() for result in ordered],
+    }
+
+
+def report_json(results: Sequence[ScenarioResult], *,
+                include_timing: bool = False,
+                meta: Optional[Mapping[str, Any]] = None) -> str:
+    """The campaign report as canonical JSON.
+
+    Without *include_timing* (and *meta*) the bytes depend only on the
+    scenario results — the form the determinism tests compare.
+    """
+    document: Dict[str, Any] = deterministic_report(results)
+    if include_timing:
+        ordered = sorted(results, key=lambda result: result.scenario_id)
+        document["timing"] = {
+            "total_wall_time_s": sum(r.wall_time_s for r in ordered),
+            "per_scenario_wall_time_s": {
+                r.scenario_id: r.wall_time_s for r in ordered},
+        }
+    if meta:
+        document["meta"] = dict(meta)
+    return json.dumps(document, sort_keys=True, indent=2)
+
+
+def render_summary(results: Sequence[ScenarioResult]) -> str:
+    """Human-readable campaign summary (the CLI's stdout)."""
+    summary = aggregate(results)
+    lines = [
+        f"campaign: {summary['scenarios']} scenarios, "
+        + ", ".join(f"{count} {status}"
+                    for status, count in summary["status"].items()),
+        f"  simulated ticks : {summary['totals']['ticks']}",
+        f"  deadline misses : {summary['totals']['deadline_misses']} "
+        f"(p50 {summary['deadline_misses']['p50']}, "
+        f"max {summary['deadline_misses']['max']})",
+        f"  HM events       : {summary['totals']['hm_events']}",
+        f"  schedule switches: {summary['totals']['schedule_switches']}",
+        f"  memory faults   : {summary['totals']['memory_faults']}",
+        f"  faults applied  : {summary['totals']['faults_applied']}",
+        f"  campaign digest : {summary['campaign_digest']}",
+    ]
+    failures = [r for r in sorted(results, key=lambda r: r.scenario_id)
+                if not r.ok]
+    for result in failures[:10]:
+        lines.append(f"  FAILED {result.scenario_id} "
+                     f"[{result.status}]: {result.error}")
+    if len(failures) > 10:
+        lines.append(f"  ... and {len(failures) - 10} more failures")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Campaign execution: serial and worker-pool scenario fan-out.
+
+One scenario is one fully deterministic simulation; a campaign is many of
+them.  :func:`run_scenario` is the single unit of work — build the config,
+drive the event core through a :class:`~repro.fault.injector.FaultInjector`,
+summarize the trace — and is what both the serial loop and the
+``multiprocessing`` pool execute.  Faults, crashes and per-scenario
+wall-clock timeouts degrade to recorded failure results; one bad scenario
+never takes the campaign down.
+
+Determinism invariant (tested): the deterministic report is byte-identical
+for any worker count and any chunk size, because every scenario is
+self-contained (config factory + seed), results are keyed by scenario id,
+and nothing nondeterministic (wall time, delivery order, pid) enters the
+deterministic record.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..fault.faults import ScheduleSwitchFault
+from ..fault.injector import FaultInjector
+from ..kernel.simulator import Simulator
+from ..kernel.trace import (
+    DeadlineMissed,
+    HealthMonitorEvent,
+    MemoryFault,
+    ScheduleSwitched,
+)
+from .results import (
+    STATUS_CRASHED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ScenarioResult,
+)
+from .scenarios import Scenario
+
+__all__ = [
+    "run_scenario",
+    "run_serial",
+    "run_pool",
+    "run_campaign",
+    "autodetect_workers",
+]
+
+#: Simulated ticks between wall-clock timeout polls inside a scenario.
+TIMEOUT_CHECK_INTERVAL = 20_000
+
+
+def autodetect_workers() -> int:
+    """Usable worker count: the scheduling affinity if the OS exposes it."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_scenario(scenario: Scenario, *,
+                 timeout_s: Optional[float] = None) -> ScenarioResult:
+    """Execute one scenario to completion, failure or timeout.
+
+    Any exception — a broken config factory, a fault naming an unknown
+    schedule, an internal invariant trip — is captured as a ``crashed``
+    result; exceeding *timeout_s* of wall time yields a ``timeout`` result
+    with the metrics gathered so far.  Either way the caller gets a
+    :class:`ScenarioResult`, never a raised exception.
+    """
+    start = time.perf_counter()
+    try:
+        config = scenario.build_config()
+        simulator = Simulator(config)
+        injector = FaultInjector(simulator)
+        for tick, fault in scenario.faults:
+            injector.schedule(tick, fault)
+        for tick, schedule_id in scenario.schedule_commands:
+            injector.schedule(tick, ScheduleSwitchFault(schedule_id))
+        should_abort = None
+        if timeout_s is not None:
+            deadline = start + timeout_s
+            should_abort = lambda: time.perf_counter() > deadline
+        completed = injector.run_fast(
+            scenario.ticks, should_abort=should_abort,
+            check_interval=TIMEOUT_CHECK_INTERVAL)
+    except Exception as exc:
+        return ScenarioResult(
+            scenario_id=scenario.scenario_id,
+            seed=scenario.seed,
+            status=STATUS_CRASHED,
+            error=f"{type(exc).__name__}: {exc}",
+            wall_time_s=time.perf_counter() - start,
+        )
+    trace = simulator.trace
+    status = STATUS_OK if completed else STATUS_TIMEOUT
+    error = "" if completed else \
+        f"exceeded {timeout_s}s wall-clock budget at tick {simulator.now}"
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        seed=scenario.seed,
+        status=status,
+        ticks=simulator.now,
+        deadline_misses=trace.count(DeadlineMissed),
+        hm_events=trace.count(HealthMonitorEvent),
+        schedule_switches=trace.count(ScheduleSwitched),
+        memory_faults=trace.count(MemoryFault),
+        faults_applied=len(injector.log),
+        trace_events=len(trace),
+        trace_digest=trace.digest(),
+        occupancy=tuple(sorted(simulator.pmk.partition_ticks.items())),
+        error=error,
+        wall_time_s=time.perf_counter() - start,
+    )
+
+
+def _pool_worker(payload: Tuple[Scenario, Optional[float]]
+                 ) -> ScenarioResult:
+    scenario, timeout_s = payload
+    return run_scenario(scenario, timeout_s=timeout_s)
+
+
+def run_serial(scenarios: Sequence[Scenario], *,
+               timeout_s: Optional[float] = None) -> List[ScenarioResult]:
+    """Run every scenario in this process, in order."""
+    return [run_scenario(scenario, timeout_s=timeout_s)
+            for scenario in scenarios]
+
+
+def run_pool(scenarios: Sequence[Scenario], *,
+             workers: Optional[int] = None,
+             chunksize: Optional[int] = None,
+             timeout_s: Optional[float] = None) -> List[ScenarioResult]:
+    """Fan scenarios out over a ``multiprocessing`` pool.
+
+    ``pool.map`` preserves input order, so the result list matches the
+    scenario list index-for-index regardless of which worker ran what.
+    Worker crashes are absorbed inside :func:`run_scenario`; only an
+    interpreter-level death (signal, OOM kill) can still fail the pool.
+    """
+    if workers is None:
+        workers = autodetect_workers()
+    if workers <= 1 or len(scenarios) <= 1:
+        return run_serial(scenarios, timeout_s=timeout_s)
+    if chunksize is None:
+        # Small chunks keep the pool load-balanced without paying per-item
+        # IPC for every scenario; determinism never depends on this.
+        chunksize = max(1, len(scenarios) // (workers * 4))
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+    payloads = [(scenario, timeout_s) for scenario in scenarios]
+    with context.Pool(processes=workers) as pool:
+        return pool.map(_pool_worker, payloads, chunksize=chunksize)
+
+
+def run_campaign(scenarios: Sequence[Scenario], *,
+                 workers: int = 1,
+                 chunksize: Optional[int] = None,
+                 timeout_s: Optional[float] = None) -> List[ScenarioResult]:
+    """Serial (`workers <= 1`) or pooled campaign execution."""
+    if workers <= 1:
+        return run_serial(scenarios, timeout_s=timeout_s)
+    return run_pool(scenarios, workers=workers, chunksize=chunksize,
+                    timeout_s=timeout_s)

@@ -1,0 +1,338 @@
+"""Campaign scenario specifications and builders.
+
+A :class:`Scenario` is a *picklable* description of one independent,
+fully deterministic simulation: which system to build (a named config
+factory plus kwargs, or a serialized :class:`~repro.config.schema.SystemConfig`
+document), a seed, a tick horizon, scheduled faults and schedule-switch
+commands.  Workers rebuild the live objects on their side of the process
+boundary — process bodies are code and cannot cross it, which is why
+factories are named rather than shipped.
+
+The module also provides the campaign builders the benchmarking literature
+asks for (de Magalhaes et al.: repeatable multi-scenario TSP campaigns;
+Cheptsov & Khoroshilov: robustness across many injected-fault runs):
+
+* :func:`fault_matrix_campaign` — the cross product of fault templates and
+  injection times over the Sect. 6 prototype;
+* :func:`seed_sweep_campaign` — the chaos workload (every fault class at
+  once) across seeds;
+* :func:`config_sweep_campaign` — generated systems from
+  :mod:`repro.analysis.generator` across seeds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..analysis.generator import generate_pst, random_requirements
+from ..apps.prototype import FAULTY_PROCESS, MTF, build_prototype
+from ..config.builder import SystemBuilder
+from ..config.loader import load_config
+from ..config.schema import SystemConfig
+from ..exceptions import ConfigurationError
+from ..fault.faults import (
+    Fault,
+    MemoryViolationFault,
+    MessageFloodFault,
+    PartitionCrashFault,
+    ProcessKillFault,
+    StartProcessFault,
+    fault_from_dict,
+    fault_to_dict,
+)
+from ..kernel.rng import SeededRng
+from ..types import Ticks
+
+__all__ = [
+    "Scenario",
+    "FACTORIES",
+    "register_factory",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "load_campaign_spec",
+    "fault_matrix_campaign",
+    "seed_sweep_campaign",
+    "config_sweep_campaign",
+]
+
+
+# ------------------------------------------------------------------ #
+# config factories
+# ------------------------------------------------------------------ #
+
+#: name -> callable(seed, **kwargs) -> SystemConfig.  Names (not callables)
+#: cross the worker-pool boundary, so entries must be importable module
+#: state, registered at import time.
+FACTORIES: Dict[str, Callable[..., SystemConfig]] = {}
+
+
+def register_factory(name: str):
+    """Register a campaign config factory under *name* (decorator)."""
+
+    def decorate(factory: Callable[..., SystemConfig]):
+        FACTORIES[name] = factory
+        return factory
+
+    return decorate
+
+
+@register_factory("prototype")
+def _prototype_config(seed: int = 0, **kwargs: Any) -> SystemConfig:
+    """The Sect. 6 four-partition satellite prototype (Fig. 8)."""
+    return build_prototype(seed=seed, **kwargs).config
+
+
+@register_factory("generated")
+def _generated_config(seed: int = 0, *, partitions: int = 4,
+                      utilization: float = 0.6,
+                      attempts: int = 32) -> SystemConfig:
+    """A synthetic system: random requirements + first-fit PST skeleton.
+
+    Requirements are drawn from the scenario seed; utilizations that defeat
+    the first-fit generator retry with a derived sub-seed, deterministically,
+    up to *attempts* times.
+    """
+    for attempt in range(attempts):
+        rng = SeededRng(seed).fork(f"campaign-config-{attempt}")
+        requirements = random_requirements(rng, partitions=partitions,
+                                           utilization=utilization)
+        table = generate_pst(requirements, schedule_id="generated")
+        if table is not None:
+            break
+    else:
+        raise ConfigurationError(
+            f"no schedulable generated system for seed={seed} "
+            f"in {attempts} attempts")
+    builder = SystemBuilder()
+    builder.seed(seed)
+    for requirement in requirements:
+        builder.partition(requirement.partition)
+    schedule = builder.schedule("generated", mtf=table.major_time_frame)
+    for requirement in requirements:
+        schedule.require(requirement.partition, cycle=requirement.cycle,
+                         duration=requirement.duration)
+    for window in table.windows:
+        schedule.window(window.partition, offset=window.offset,
+                        duration=window.duration)
+    builder.initial_schedule("generated")
+    return builder.build()
+
+
+@register_factory("broken")
+def _broken_config(seed: int = 0, **kwargs: Any) -> SystemConfig:
+    """A factory that always fails — the crash-capture testing aid."""
+    raise ConfigurationError(
+        f"broken factory invoked deliberately (seed={seed})")
+
+
+# ------------------------------------------------------------------ #
+# the scenario spec
+# ------------------------------------------------------------------ #
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One independent, deterministic simulation in a campaign.
+
+    Fully picklable and JSON-serializable; a worker rebuilds the
+    :class:`~repro.kernel.simulator.Simulator` from it and never ships
+    live objects back.
+    """
+
+    scenario_id: str
+    factory: str = "prototype"
+    seed: int = 0
+    ticks: Ticks = 0
+    factory_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    config_doc: Optional[Mapping[str, Any]] = None
+    faults: Tuple[Tuple[Ticks, Fault], ...] = ()
+    schedule_commands: Tuple[Tuple[Ticks, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.ticks < 0:
+            raise ConfigurationError(
+                f"{self.scenario_id}: negative tick horizon {self.ticks}")
+        if self.config_doc is None and self.factory not in FACTORIES:
+            raise ConfigurationError(
+                f"{self.scenario_id}: unknown config factory "
+                f"{self.factory!r} (known: {sorted(FACTORIES)})")
+
+    def build_config(self) -> SystemConfig:
+        """Materialize the scenario's :class:`SystemConfig` (worker side)."""
+        if self.config_doc is not None:
+            return load_config(self.config_doc)
+        return FACTORIES[self.factory](seed=self.seed, **self.factory_kwargs)
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """Encode *scenario* as a JSON-compatible campaign-spec entry."""
+    record: Dict[str, Any] = {
+        "id": scenario.scenario_id,
+        "factory": scenario.factory,
+        "seed": scenario.seed,
+        "ticks": scenario.ticks,
+    }
+    if scenario.factory_kwargs:
+        record["kwargs"] = dict(scenario.factory_kwargs)
+    if scenario.config_doc is not None:
+        record["config"] = dict(scenario.config_doc)
+    if scenario.faults:
+        record["faults"] = [dict(fault_to_dict(fault), tick=tick)
+                            for tick, fault in scenario.faults]
+    if scenario.schedule_commands:
+        record["schedule_commands"] = [
+            {"tick": tick, "schedule": schedule_id}
+            for tick, schedule_id in scenario.schedule_commands]
+    return record
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
+    """Rebuild a :class:`Scenario` from a campaign-spec entry."""
+    faults: List[Tuple[Ticks, Fault]] = []
+    for entry in data.get("faults", ()):
+        fields = dict(entry)
+        tick = fields.pop("tick")
+        faults.append((tick, fault_from_dict(fields)))
+    commands = tuple((entry["tick"], entry["schedule"])
+                     for entry in data.get("schedule_commands", ()))
+    return Scenario(
+        scenario_id=data["id"],
+        factory=data.get("factory", "prototype"),
+        seed=data.get("seed", 0),
+        ticks=data["ticks"],
+        factory_kwargs=dict(data.get("kwargs", {})),
+        config_doc=data.get("config"),
+        faults=tuple(faults),
+        schedule_commands=commands,
+    )
+
+
+def load_campaign_spec(path: str) -> List[Scenario]:
+    """Load a campaign spec document: ``{"scenarios": [entry, ...]}``."""
+    with open(path, "r", encoding="utf-8") as stream:
+        document = json.load(stream)
+    entries = document.get("scenarios")
+    if not isinstance(entries, list) or not entries:
+        raise ConfigurationError(
+            f"{path}: campaign spec needs a non-empty 'scenarios' list")
+    scenarios = [scenario_from_dict(entry) for entry in entries]
+    identifiers = [scenario.scenario_id for scenario in scenarios]
+    if len(set(identifiers)) != len(identifiers):
+        raise ConfigurationError(f"{path}: duplicate scenario ids")
+    return scenarios
+
+
+# ------------------------------------------------------------------ #
+# campaign builders
+# ------------------------------------------------------------------ #
+
+#: (template name, fault constructor) pairs for the fault matrix.
+_FAULT_TEMPLATES: Tuple[Tuple[str, Callable[[], Fault]], ...] = (
+    ("start-faulty", lambda: StartProcessFault("P1", FAULTY_PROCESS)),
+    ("mem-P2", lambda: MemoryViolationFault("P2")),
+    ("mem-P4", lambda: MemoryViolationFault("P4")),
+    ("crash-P2-warm", lambda: PartitionCrashFault("P2")),
+    ("crash-P4-cold", lambda: PartitionCrashFault("P4", cold=True)),
+    ("flood-alerts", lambda: MessageFloodFault("P4", "alert_out", count=100)),
+    ("flood-telemetry", lambda: MessageFloodFault("P2", "tm_out", count=64)),
+    ("kill-obdh", lambda: ProcessKillFault("P2", "obdh-storage")),
+)
+
+#: Within-MTF injection offsets: inside P1's window, at window boundaries,
+#: mid-P4 slack and the last window of the Fig. 8 tables.
+_INJECTION_OFFSETS: Tuple[Ticks, ...] = (50, 200, 375, 650, 1080, 1250)
+
+
+def fault_matrix_campaign(*, count: int = 64, mtfs: int = 6,
+                          seed: int = 0) -> List[Scenario]:
+    """Cross fault templates with injection times over the prototype.
+
+    Scenario *i* applies template ``i % len(templates)`` at MTF index and
+    within-MTF offset walked deterministically from *i*; every third
+    scenario additionally commands a mid-campaign switch to chi2, so the
+    matrix covers fault x time x schedule interactions.  Seeds are offset
+    by *seed* so whole matrices can themselves be swept.
+    """
+    if count < 1 or mtfs < 3:
+        raise ConfigurationError(
+            f"fault matrix needs count >= 1 and mtfs >= 3, "
+            f"got count={count}, mtfs={mtfs}")
+    scenarios: List[Scenario] = []
+    for index in range(count):
+        name, template = _FAULT_TEMPLATES[index % len(_FAULT_TEMPLATES)]
+        stride = index // len(_FAULT_TEMPLATES)
+        offset = _INJECTION_OFFSETS[stride % len(_INJECTION_OFFSETS)]
+        mtf_index = 1 + (stride // len(_INJECTION_OFFSETS)) % (mtfs - 2)
+        tick = mtf_index * MTF + offset
+        commands: Tuple[Tuple[Ticks, str], ...] = ()
+        if index % 3 == 0:
+            commands = ((tick + MTF // 2, "chi2"),)
+        scenarios.append(Scenario(
+            scenario_id=f"fm-{index:04d}-{name}",
+            factory="prototype",
+            seed=seed + index,
+            ticks=mtfs * MTF,
+            faults=((tick, template()),),
+            schedule_commands=commands,
+        ))
+    return scenarios
+
+
+def seed_sweep_campaign(*, count: int = 16, mtfs: int = 8,
+                        base_seed: int = 0) -> List[Scenario]:
+    """The chaos workload (every fault class at once) across seeds.
+
+    Mirrors ``tests/integration/test_chaos.py``: WCET overrun, memory
+    attack, message flood, partition crash and a schedule switch in one
+    run, repeated for *count* consecutive seeds.
+    """
+    if count < 1 or mtfs < 6:
+        raise ConfigurationError(
+            f"seed sweep needs count >= 1 and mtfs >= 6, "
+            f"got count={count}, mtfs={mtfs}")
+    scenarios: List[Scenario] = []
+    for index in range(count):
+        seed = base_seed + index
+        scenarios.append(Scenario(
+            scenario_id=f"seed-{seed:05d}",
+            factory="prototype",
+            seed=seed,
+            ticks=mtfs * MTF,
+            faults=(
+                (1 * MTF, StartProcessFault("P1", FAULTY_PROCESS)),
+                (2 * MTF + 100, MemoryViolationFault("P4")),
+                (3 * MTF + 500, MessageFloodFault("P4", "alert_out",
+                                                  count=100)),
+                (4 * MTF + 50, PartitionCrashFault("P2")),
+            ),
+            schedule_commands=((5 * MTF, "chi2"),),
+        ))
+    return scenarios
+
+
+def config_sweep_campaign(*, count: int = 16, partitions: int = 4,
+                          utilization: float = 0.6, ticks: Ticks = 20_000,
+                          base_seed: int = 0) -> List[Scenario]:
+    """Generated systems (E11-style synthetic PSTs) across seeds.
+
+    Each scenario builds its own random requirement set and first-fit PST
+    via the ``generated`` factory and runs the scheduling skeleton for
+    *ticks* — the campaign-scale version of the paper's automated
+    parameter-definition aids.
+    """
+    if count < 1:
+        raise ConfigurationError(f"config sweep needs count >= 1, "
+                                 f"got {count}")
+    return [
+        Scenario(
+            scenario_id=f"cfg-{base_seed + index:05d}",
+            factory="generated",
+            seed=base_seed + index,
+            ticks=ticks,
+            factory_kwargs={"partitions": partitions,
+                            "utilization": utilization},
+        )
+        for index in range(count)
+    ]

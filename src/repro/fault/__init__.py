@@ -7,12 +7,16 @@ from .faults import (
     MessageFloodFault,
     PartitionCrashFault,
     ProcessKillFault,
+    ScheduleSwitchFault,
     StartProcessFault,
+    fault_from_dict,
+    fault_to_dict,
 )
 from .injector import FaultInjector, InjectionRecord
 
 __all__ = [
     "ClockTamperFault", "Fault", "MemoryViolationFault", "MessageFloodFault",
-    "PartitionCrashFault", "ProcessKillFault", "StartProcessFault",
+    "PartitionCrashFault", "ProcessKillFault", "ScheduleSwitchFault",
+    "StartProcessFault", "fault_from_dict", "fault_to_dict",
     "FaultInjector", "InjectionRecord",
 ]

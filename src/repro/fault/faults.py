@@ -12,10 +12,12 @@ string (surfaced in VITRAL and injector logs).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
-from ..exceptions import ClockTamperingError, SpatialViolationError
+from ..exceptions import ClockTamperingError, ConfigurationError, \
+    SpatialViolationError
 from ..kernel.simulator import Simulator
 from ..pos.generic import GenericPos
 from ..types import AccessKind, ErrorCode, PartitionMode, PrivilegeLevel
@@ -28,6 +30,9 @@ __all__ = [
     "PartitionCrashFault",
     "MessageFloodFault",
     "ProcessKillFault",
+    "ScheduleSwitchFault",
+    "fault_to_dict",
+    "fault_from_dict",
 ]
 
 
@@ -158,3 +163,68 @@ class ProcessKillFault(Fault):
         result = simulator.apex(self.partition).stop(self.process)
         return (f"stopped {self.partition}/{self.process}: "
                 f"{result.code.value}")
+
+
+@dataclass(frozen=True)
+class ScheduleSwitchFault(Fault):
+    """Request a module schedule switch (SET_MODULE_SCHEDULE, Sect. 4.2).
+
+    Not a fault in the containment sense — it is the campaign engine's
+    picklable stand-in for the paper demo's TTC telecommand, so scenario
+    specs can express "switch to chi2 at tick T" through the same
+    time-ordered injection queue as real faults.  The switch takes effect
+    at the next MTF boundary, exactly like the APEX service.
+    """
+
+    schedule_id: str
+    requested_by: str = "campaign"
+
+    def apply(self, simulator: Simulator) -> str:
+        simulator.pmk.set_module_schedule(self.schedule_id,
+                                          requested_by=self.requested_by)
+        return f"schedule switch to {self.schedule_id!r} requested"
+
+
+# ------------------------------------------------------------------ #
+# (de)serialization — campaign specs carry faults as JSON documents
+# ------------------------------------------------------------------ #
+
+#: kind label -> fault class, for campaign-spec reconstruction.
+FAULT_KINDS: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (StartProcessFault, MemoryViolationFault, ClockTamperFault,
+                PartitionCrashFault, MessageFloodFault, ProcessKillFault,
+                ScheduleSwitchFault)
+}
+
+
+def fault_to_dict(fault: Fault) -> Dict[str, Any]:
+    """Encode *fault* as a JSON-compatible dict (``kind`` + fields)."""
+    record: Dict[str, Any] = {"kind": type(fault).__name__}
+    for field in dataclasses.fields(fault):
+        value = getattr(fault, field.name)
+        if isinstance(value, bytes):
+            value = value.decode("latin-1")
+        elif isinstance(value, AccessKind):
+            value = value.value
+        record[field.name] = value
+    return record
+
+
+def fault_from_dict(data: Mapping[str, Any]) -> Fault:
+    """Rebuild a fault from :func:`fault_to_dict` output."""
+    fields = dict(data)
+    kind = fields.pop("kind", None)
+    if kind not in FAULT_KINDS:
+        raise ConfigurationError(f"unknown fault kind {kind!r}")
+    fault_type = FAULT_KINDS[kind]
+    names = {field.name for field in dataclasses.fields(fault_type)}
+    unknown = set(fields) - names
+    if unknown:
+        raise ConfigurationError(
+            f"{kind}: unknown fault fields {sorted(unknown)}")
+    if "payload" in fields and isinstance(fields["payload"], str):
+        fields["payload"] = fields["payload"].encode("latin-1")
+    if "access" in fields and isinstance(fields["access"], str):
+        fields["access"] = AccessKind(fields["access"])
+    return fault_type(**fields)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..exceptions import SimulationError
 from ..kernel.simulator import Simulator
@@ -42,7 +42,14 @@ class FaultInjector:
         self._log: List[InjectionRecord] = []
 
     def schedule(self, tick: Ticks, fault: Fault) -> None:
-        """Apply *fault* just before simulated tick *tick* executes."""
+        """Apply *fault* just before simulated tick *tick* executes.
+
+        Scheduling strictly in the past raises :class:`SimulationError`
+        rather than silently never firing — a campaign spec with a stale
+        injection tick must fail loudly, not drop the fault.  ``tick ==
+        now`` is accepted: the fault fires before the current tick's ISR
+        on the next ``run``/``run_fast`` call.
+        """
         if tick < self.simulator.now:
             raise SimulationError(
                 f"cannot schedule a fault in the past "
@@ -75,6 +82,36 @@ class FaultInjector:
             self._apply_due()
             self.simulator.step()
         self._apply_due()  # faults scheduled exactly at the target tick
+
+    def run_fast(self, ticks: Ticks, *,
+                 should_abort: Optional[Callable[[], bool]] = None,
+                 check_interval: Ticks = 50_000) -> bool:
+        """Advance by *ticks* on the event-driven core, applying due faults.
+
+        Equivalent to :meth:`run` (bit-identical trace and injection log)
+        but drives the simulator with
+        :meth:`~repro.kernel.simulator.Simulator.run_fast` between
+        injection points: each inner span is bounded by the earliest
+        pending fault tick, so a fault scheduled at tick T is still
+        applied before T's clock ISR.
+
+        *should_abort*, polled at least every *check_interval* simulated
+        ticks, lets a caller impose a wall-clock budget (the campaign
+        runner's per-scenario timeout).  Returns False if aborted,
+        True on normal completion.
+        """
+        simulator = self.simulator
+        target = simulator.now + ticks
+        while simulator.now < target and not simulator.stopped:
+            if should_abort is not None and should_abort():
+                return False
+            self._apply_due()
+            bound = min(target, simulator.now + check_interval)
+            if self._pending:
+                bound = min(bound, self._pending[0][0])
+            simulator.run_fast(bound - simulator.now)
+        self._apply_due()  # faults scheduled exactly at the target tick
+        return True
 
     def run_mtf(self, count: int = 1) -> None:
         """Advance by *count* MTFs of the current schedule, applying faults."""

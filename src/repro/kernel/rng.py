@@ -7,6 +7,7 @@ depends on determinism); all stochastic workload parameters flow through a
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Optional, Sequence, TypeVar
 
@@ -60,7 +61,13 @@ class SeededRng:
         """Derive an independent child stream, stable for a given label.
 
         Components forked with distinct labels get decorrelated streams
-        while remaining fully determined by the parent seed.
+        while remaining fully determined by the parent seed.  Child seeds
+        are derived with sha256 over a canonical encoding — *not*
+        :func:`hash`, whose str hashing is randomized per interpreter
+        process and would silently decorrelate campaign workers from the
+        coordinator (and every run from every other run).
         """
-        child_seed = hash((self._seed, label)) & 0x7FFFFFFF
+        encoded = f"{self._seed}:{label}".encode("utf-8")
+        child_seed = int.from_bytes(
+            hashlib.sha256(encoded).digest()[:4], "big") & 0x7FFFFFFF
         return SeededRng(child_seed)

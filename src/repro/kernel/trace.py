@@ -17,9 +17,10 @@ overhead.  :class:`Trace` is an append-only collector with query helpers.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Tuple, Type, TypeVar
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type, TypeVar
 
 from ..types import Ticks
 
@@ -349,8 +350,83 @@ class Trace:
                 stream.write(json.dumps(record, sort_keys=True) + "\n")
         return len(events)
 
+    def to_json(self) -> str:
+        """The full trace as one canonical JSON document.
+
+        Canonical means ``sort_keys`` and no insignificant whitespace, so
+        equal traces serialize to equal bytes; :meth:`from_json` inverts it.
+        """
+        return json.dumps({"dropped": self._dropped,
+                           "events": self.to_dicts()},
+                          sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str,
+                  capacity: Optional[int] = None) -> "Trace":
+        """Rebuild a trace from :meth:`to_json` output.
+
+        Each event dict's ``kind`` field selects the event class; the
+        remaining fields are its constructor arguments.
+        """
+        document = json.loads(text)
+        trace = cls(capacity=capacity)
+        for record in document["events"]:
+            fields = dict(record)
+            kind = fields.pop("kind")
+            try:
+                event_type = _EVENT_TYPES[kind]
+            except KeyError:
+                raise ValueError(f"unknown trace event kind {kind!r}")
+            trace._events.append(event_type(**fields))
+        trace._dropped = document.get("dropped", 0)
+        return trace
+
+    def digest(self) -> str:
+        """Stable content digest of the retained events (hex, 16 chars).
+
+        Two traces with identical retained events (and drop counts) have
+        identical digests — the compact equivalence token that crosses the
+        campaign worker-pool boundary instead of the full event list.
+        """
+        return hashlib.sha256(
+            self.to_json().encode("utf-8")).hexdigest()[:16]
+
+    def summary(self) -> Dict[str, object]:
+        """Compact, JSON-compatible description of the trace.
+
+        Per-kind event counts, the covered tick range, the drop counter and
+        the content :meth:`digest` — everything a campaign aggregate needs,
+        at a fixed size regardless of trace length.
+        """
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            kind = event.kind
+            counts[kind] = counts.get(kind, 0) + 1
+        return {
+            "events": len(self._events),
+            "dropped": self._dropped,
+            "counts": dict(sorted(counts.items())),
+            "first_tick": self._events[0].tick if self._events else None,
+            "last_tick": self._events[-1].tick if self._events else None,
+            "digest": self.digest(),
+        }
+
     def __len__(self) -> int:
         return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
+
+
+def _event_types() -> Dict[str, Type[TraceEvent]]:
+    registry: Dict[str, Type[TraceEvent]] = {}
+    pending = list(TraceEvent.__subclasses__())
+    while pending:
+        event_type = pending.pop()
+        registry[event_type.__name__] = event_type
+        pending.extend(event_type.__subclasses__())
+    return registry
+
+
+#: kind label -> event class, for :meth:`Trace.from_json` reconstruction.
+_EVENT_TYPES = _event_types()

@@ -1,0 +1,102 @@
+"""Tests for campaign aggregation and the determinism invariant.
+
+The acceptance invariant of the campaign engine: the deterministic report
+is byte-identical for worker counts {1, 2, 4} and any chunk size — same
+scenarios, same seeds, same aggregate, ordered by scenario id.
+"""
+
+import pytest
+
+from repro.campaign.results import (
+    ScenarioResult,
+    aggregate,
+    deterministic_report,
+    percentile,
+    render_summary,
+    report_json,
+)
+from repro.campaign.runner import run_pool, run_serial
+from repro.campaign.scenarios import Scenario, fault_matrix_campaign
+
+
+def result(scenario_id, *, status="ok", misses=0, events=10, digest="d"):
+    return ScenarioResult(
+        scenario_id=scenario_id, seed=0, status=status,
+        ticks=100, deadline_misses=misses, trace_events=events,
+        trace_digest=digest, wall_time_s=0.5)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(values, 0.50) == 5
+        assert percentile(values, 0.90) == 9
+        assert percentile(values, 0.99) == 10
+        assert percentile(values, 1.0) == 10
+        assert percentile(values, 0.0) == 1
+
+    def test_empty_and_bad_fraction(self):
+        assert percentile([], 0.5) == 0
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestAggregate:
+    def test_totals_and_statuses(self):
+        summary = aggregate([result("a", misses=2),
+                             result("b", status="crashed"),
+                             result("c", misses=3)])
+        assert summary["scenarios"] == 3
+        assert summary["status"] == {"crashed": 1, "ok": 2}
+        assert summary["totals"]["deadline_misses"] == 5
+
+    def test_aggregate_is_delivery_order_independent(self):
+        results = [result("a", misses=1), result("b", misses=2),
+                   result("c", misses=3)]
+        assert aggregate(results) == aggregate(list(reversed(results)))
+
+    def test_digest_tracks_content(self):
+        base = [result("a"), result("b")]
+        changed = [result("a"), result("b", digest="other")]
+        assert aggregate(base)["campaign_digest"] != \
+            aggregate(changed)["campaign_digest"]
+
+    def test_report_json_excludes_timing_by_default(self):
+        text = report_json([result("a")])
+        assert "wall_time" not in text
+        assert "timing" not in text
+        assert "wall_time_s" in report_json([result("a")],
+                                            include_timing=True)
+
+    def test_render_summary_names_failures(self):
+        text = render_summary([result("a"),
+                               result("b", status="crashed")])
+        assert "FAILED b [crashed]" in text
+
+
+class TestDeterminismInvariant:
+    """Pooled execution must reproduce the serial report bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return fault_matrix_campaign(count=8, mtfs=4)
+
+    @pytest.fixture(scope="class")
+    def serial_json(self, campaign):
+        return report_json(run_serial(campaign))
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_counts_agree(self, campaign, serial_json, workers):
+        results = run_pool(campaign, workers=workers)
+        assert report_json(results) == serial_json
+
+    @pytest.mark.parametrize("chunksize", [1, 3, 8])
+    def test_chunk_sizes_agree(self, campaign, serial_json, chunksize):
+        results = run_pool(campaign, workers=2, chunksize=chunksize)
+        assert report_json(results) == serial_json
+
+    def test_failures_are_deterministic_too(self):
+        scenarios = [Scenario(scenario_id=f"b{i}", factory="broken",
+                              ticks=10) for i in range(4)]
+        assert report_json(run_pool(scenarios, workers=2)) == \
+            report_json(run_serial(scenarios))

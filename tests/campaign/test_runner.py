@@ -1,0 +1,100 @@
+"""Tests for serial and pooled campaign execution."""
+
+import pytest
+
+from repro.campaign.results import STATUS_CRASHED, STATUS_OK, STATUS_TIMEOUT
+from repro.campaign.runner import (
+    autodetect_workers,
+    run_campaign,
+    run_pool,
+    run_scenario,
+    run_serial,
+)
+from repro.campaign.scenarios import Scenario, fault_matrix_campaign
+from repro.apps.prototype import FAULTY_PROCESS, MTF
+from repro.fault.faults import StartProcessFault
+
+
+def faulty_scenario(scenario_id="one", mtfs=4, seed=0):
+    return Scenario(
+        scenario_id=scenario_id, factory="prototype", seed=seed,
+        ticks=mtfs * MTF,
+        faults=((1 * MTF, StartProcessFault("P1", FAULTY_PROCESS)),),
+        schedule_commands=((2 * MTF, "chi2"),))
+
+
+class TestRunScenario:
+    def test_ok_scenario_reports_metrics(self):
+        result = run_scenario(faulty_scenario())
+        assert result.status == STATUS_OK
+        assert result.ok
+        assert result.ticks == 4 * MTF
+        # The injected WCET overrun misses on every post-injection P1
+        # dispatch except the first (Sect. 6).
+        assert result.deadline_misses >= 1
+        assert result.schedule_switches == 1
+        assert result.faults_applied == 2  # fault + switch command
+        assert result.trace_events > 0
+        assert len(result.trace_digest) == 16
+        assert dict(result.occupancy)["P1"] == 4 * 200
+
+    def test_scenario_results_are_deterministic(self):
+        first = run_scenario(faulty_scenario())
+        second = run_scenario(faulty_scenario())
+        assert first.to_dict() == second.to_dict()
+
+    def test_broken_factory_degrades_to_crashed_result(self):
+        result = run_scenario(Scenario(scenario_id="b", factory="broken",
+                                       ticks=100))
+        assert result.status == STATUS_CRASHED
+        assert "broken factory" in result.error
+        assert not result.ok
+
+    def test_unknown_schedule_command_degrades_to_crashed_result(self):
+        scenario = Scenario(scenario_id="u", factory="prototype",
+                            ticks=2 * MTF,
+                            schedule_commands=((MTF, "no-such-chi"),))
+        result = run_scenario(scenario)
+        assert result.status == STATUS_CRASHED
+        assert "no-such-chi" in result.error
+
+    def test_timeout_degrades_to_timeout_result(self):
+        scenario = Scenario(scenario_id="t", factory="prototype",
+                            ticks=10_000_000)
+        result = run_scenario(scenario, timeout_s=0.01)
+        assert result.status == STATUS_TIMEOUT
+        assert 0 < result.ticks < 10_000_000
+        assert "wall-clock" in result.error
+
+
+class TestCampaignExecution:
+    def test_one_bad_scenario_does_not_abort_the_campaign(self):
+        scenarios = [faulty_scenario("a"),
+                     Scenario(scenario_id="b", factory="broken", ticks=10),
+                     faulty_scenario("c", seed=1)]
+        results = run_serial(scenarios)
+        assert [r.status for r in results] == \
+            [STATUS_OK, STATUS_CRASHED, STATUS_OK]
+
+    def test_pool_preserves_scenario_order(self):
+        scenarios = fault_matrix_campaign(count=6, mtfs=4)
+        results = run_pool(scenarios, workers=2)
+        assert [r.scenario_id for r in results] == \
+            [s.scenario_id for s in scenarios]
+
+    def test_pool_absorbs_crashed_scenarios(self):
+        scenarios = [faulty_scenario("a"),
+                     Scenario(scenario_id="b", factory="broken", ticks=10),
+                     faulty_scenario("c", seed=1),
+                     Scenario(scenario_id="d", factory="broken", ticks=10)]
+        results = run_pool(scenarios, workers=2)
+        assert [r.status for r in results] == \
+            [STATUS_OK, STATUS_CRASHED, STATUS_OK, STATUS_CRASHED]
+
+    def test_run_campaign_dispatches_serial_below_two_workers(self):
+        scenarios = fault_matrix_campaign(count=2, mtfs=3)
+        assert [r.to_dict() for r in run_campaign(scenarios, workers=1)] \
+            == [r.to_dict() for r in run_serial(scenarios)]
+
+    def test_autodetect_workers_positive(self):
+        assert autodetect_workers() >= 1

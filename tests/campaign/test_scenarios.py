@@ -1,0 +1,146 @@
+"""Tests for campaign scenario specs, factories and builders."""
+
+import pickle
+
+import pytest
+
+from repro.campaign.scenarios import (
+    FACTORIES,
+    Scenario,
+    config_sweep_campaign,
+    fault_matrix_campaign,
+    load_campaign_spec,
+    scenario_from_dict,
+    scenario_to_dict,
+    seed_sweep_campaign,
+)
+from repro.config.loader import dump_config
+from repro.exceptions import ConfigurationError
+from repro.fault.faults import (
+    MemoryViolationFault,
+    MessageFloodFault,
+    StartProcessFault,
+    fault_from_dict,
+    fault_to_dict,
+)
+
+
+class TestScenario:
+    def test_unknown_factory_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError, match="unknown config"):
+            Scenario(scenario_id="x", factory="no-such-factory", ticks=10)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            Scenario(scenario_id="x", ticks=-1)
+
+    def test_scenarios_are_picklable(self):
+        scenario = Scenario(
+            scenario_id="p", factory="prototype", seed=3, ticks=2600,
+            faults=((1300, StartProcessFault("P1", "p1-faulty")),),
+            schedule_commands=((2000, "chi2"),))
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone == scenario
+
+    def test_prototype_factory_builds(self):
+        config = Scenario(scenario_id="p", factory="prototype",
+                          ticks=100).build_config()
+        assert {p.name for p in config.model.partitions} == \
+            {"P1", "P2", "P3", "P4"}
+
+    def test_generated_factory_is_deterministic_per_seed(self):
+        scenario = Scenario(scenario_id="g", factory="generated", seed=11,
+                            ticks=100,
+                            factory_kwargs={"partitions": 3,
+                                            "utilization": 0.5})
+        first = dump_config(scenario.build_config())
+        second = dump_config(scenario.build_config())
+        assert first == second
+
+    def test_serialized_config_doc_round_trips(self):
+        document = dump_config(FACTORIES["prototype"](seed=0))
+        scenario = Scenario(scenario_id="doc", config_doc=document,
+                            ticks=100)
+        config = scenario.build_config()
+        assert {p.name for p in config.model.partitions} == \
+            {"P1", "P2", "P3", "P4"}
+
+    def test_broken_factory_raises(self):
+        scenario = Scenario(scenario_id="b", factory="broken", ticks=10)
+        with pytest.raises(ConfigurationError, match="broken factory"):
+            scenario.build_config()
+
+
+class TestFaultSerialization:
+    def test_round_trip_all_kinds(self):
+        faults = [
+            StartProcessFault("P1", "p1-faulty"),
+            MemoryViolationFault("P2"),
+            MessageFloodFault("P4", "alert_out", count=9, payload=b"\x00ff"),
+        ]
+        for fault in faults:
+            assert fault_from_dict(fault_to_dict(fault)) == fault
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            fault_from_dict({"kind": "NoSuchFault"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault fields"):
+            fault_from_dict({"kind": "StartProcessFault", "partition": "P1",
+                             "process": "p", "typo": 1})
+
+
+class TestSpecRoundTrip:
+    def test_scenario_dict_round_trip(self):
+        scenario = Scenario(
+            scenario_id="rt", factory="prototype", seed=5, ticks=3900,
+            faults=((1300, MemoryViolationFault("P2")),),
+            schedule_commands=((2600, "chi2"),))
+        assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+    def test_spec_file_round_trip(self, tmp_path):
+        import json
+
+        scenarios = fault_matrix_campaign(count=4, mtfs=4)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(
+            {"scenarios": [scenario_to_dict(s) for s in scenarios]}))
+        loaded = load_campaign_spec(str(path))
+        assert loaded == scenarios
+
+    def test_spec_duplicate_ids_rejected(self, tmp_path):
+        import json
+
+        entry = scenario_to_dict(Scenario(scenario_id="dup", ticks=10))
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"scenarios": [entry, entry]}))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            load_campaign_spec(str(path))
+
+
+class TestBuilders:
+    def test_fault_matrix_counts_and_unique_ids(self):
+        scenarios = fault_matrix_campaign(count=64, mtfs=6)
+        assert len(scenarios) == 64
+        assert len({s.scenario_id for s in scenarios}) == 64
+        assert all(s.ticks == 6 * 1300 for s in scenarios)
+        assert all(len(s.faults) == 1 for s in scenarios)
+
+    def test_fault_matrix_faults_inside_horizon(self):
+        for scenario in fault_matrix_campaign(count=64, mtfs=6):
+            for tick, _ in scenario.faults:
+                assert 0 < tick < scenario.ticks
+            for tick, _ in scenario.schedule_commands:
+                assert 0 < tick < scenario.ticks
+
+    def test_seed_sweep_varies_only_seed(self):
+        scenarios = seed_sweep_campaign(count=4, mtfs=8, base_seed=7)
+        assert [s.seed for s in scenarios] == [7, 8, 9, 10]
+        assert len({s.scenario_id for s in scenarios}) == 4
+        assert all(s.faults == scenarios[0].faults for s in scenarios)
+
+    def test_config_sweep_uses_generated_factory(self):
+        scenarios = config_sweep_campaign(count=3, ticks=5000)
+        assert all(s.factory == "generated" for s in scenarios)
+        assert all(s.ticks == 5000 for s in scenarios)

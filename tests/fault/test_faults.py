@@ -39,6 +39,64 @@ class TestInjector:
         with pytest.raises(SimulationError):
             injector.schedule(50, StartProcessFault("P1", FAULTY_PROCESS))
 
+    def test_past_tick_fails_loudly_not_silently(self, sim):
+        # Regression for campaign specs: a stale injection tick must raise
+        # at schedule time — never be accepted and simply never fire.
+        injector = FaultInjector(sim)
+        injector.run(2 * MTF)
+        with pytest.raises(SimulationError, match="in the past"):
+            injector.schedule(2 * MTF - 1,
+                              StartProcessFault("P1", FAULTY_PROCESS))
+        assert injector.pending_count == 0
+        assert len(injector.log) == 0
+
+    def test_schedule_at_the_current_tick_still_fires(self, sim):
+        sim.run(100)
+        injector = FaultInjector(sim)
+        injector.schedule(100, ProcessKillFault("P2", "obdh-storage"))
+        injector.run(1)
+        assert [r.tick for r in injector.log] == [100]
+
+    def test_run_fast_matches_run(self):
+        # The campaign runner drives scenarios with the event core; the
+        # injection log and trace must be bit-identical to per-tick run().
+        slow_sim = make_simulator()
+        fast_sim = make_simulator()
+        for simulator in (slow_sim, fast_sim):
+            injector = FaultInjector(simulator)
+            injector.schedule(1 * MTF, StartProcessFault("P1",
+                                                         FAULTY_PROCESS))
+            injector.schedule(2 * MTF + 100, MemoryViolationFault("P4"))
+            injector.schedule(3 * MTF + 50, PartitionCrashFault("P2"))
+            if simulator is slow_sim:
+                injector.run(4 * MTF)
+                slow = injector
+            else:
+                assert injector.run_fast(4 * MTF)
+                fast = injector
+        assert [(r.tick, r.status) for r in fast.log] == \
+            [(r.tick, r.status) for r in slow.log]
+        assert fast_sim.now == slow_sim.now
+        assert [repr(e) for e in fast_sim.trace.events] == \
+            [repr(e) for e in slow_sim.trace.events]
+
+    def test_run_fast_abort_hook_stops_early(self, sim):
+        injector = FaultInjector(sim)
+        assert injector.run_fast(10 * MTF, should_abort=lambda: True) \
+            is False
+        assert sim.now == 0
+
+    def test_schedule_switch_fault_requests_switch(self, sim):
+        from repro.fault.faults import ScheduleSwitchFault
+        from repro.kernel.trace import ScheduleSwitched
+
+        injector = FaultInjector(sim)
+        injector.schedule(MTF // 2, ScheduleSwitchFault("chi2"))
+        injector.run_fast(2 * MTF)
+        switches = sim.trace.of_type(ScheduleSwitched)
+        assert [s.to_schedule for s in switches] == ["chi2"]
+        assert switches[0].tick == MTF  # effective at the MTF boundary
+
     def test_faults_apply_in_time_order(self, sim):
         injector = FaultInjector(sim)
         injector.schedule(200, ProcessKillFault("P2", "obdh-storage"))

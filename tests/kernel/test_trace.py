@@ -1,5 +1,7 @@
 """Tests for the structured execution trace (repro.kernel.trace)."""
 
+import pytest
+
 from repro.kernel.trace import (
     ApplicationMessage,
     DeadlineMissed,
@@ -73,3 +75,64 @@ class TestRingBuffer:
             trace.record(dispatched(tick))
         assert len(trace) == 1000
         assert trace.dropped == 0
+
+
+class TestSummaryAndJson:
+    def sample_trace(self):
+        trace = Trace()
+        trace.record(dispatched(1))
+        trace.record(missed(2))
+        trace.record(ApplicationMessage(tick=3, partition="P3",
+                                        process=None, text="tm frame"))
+        trace.record(dispatched(4, heir=None))
+        return trace
+
+    def test_summary_counts_and_range(self):
+        summary = self.sample_trace().summary()
+        assert summary["events"] == 4
+        assert summary["counts"] == {"ApplicationMessage": 1,
+                                     "DeadlineMissed": 1,
+                                     "PartitionDispatched": 2}
+        assert summary["first_tick"] == 1
+        assert summary["last_tick"] == 4
+        assert len(summary["digest"]) == 16
+
+    def test_empty_trace_summary(self):
+        summary = Trace().summary()
+        assert summary["events"] == 0
+        assert summary["first_tick"] is None
+
+    def test_json_round_trip_preserves_events(self):
+        trace = self.sample_trace()
+        rebuilt = Trace.from_json(trace.to_json())
+        assert rebuilt.events == trace.events
+
+    def test_summary_survives_json_round_trip(self):
+        trace = self.sample_trace()
+        assert Trace.from_json(trace.to_json()).summary() == trace.summary()
+
+    def test_digest_differs_on_different_content(self):
+        assert self.sample_trace().digest() != Trace().digest()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            Trace.from_json('{"dropped": 0, "events": '
+                            '[{"kind": "NoSuchEvent", "tick": 1}]}')
+
+    def test_round_trip_of_a_real_run(self):
+        # The satellite-task contract: summarizing a live run equals
+        # summarizing the serialized-then-rebuilt trace of that run.
+        from repro.apps.prototype import (
+            MTF,
+            build_prototype,
+            inject_faulty_process,
+            make_simulator,
+        )
+
+        simulator = make_simulator(build_prototype())
+        inject_faulty_process(simulator)
+        simulator.run_fast(3 * MTF)
+        trace = simulator.trace
+        rebuilt = Trace.from_json(trace.to_json())
+        assert rebuilt.summary() == trace.summary()
+        assert rebuilt.events == trace.events
