@@ -11,9 +11,17 @@ Integrator-facing entry points over the library:
 * ``run <config.json> --ticks N`` — execute the scheduling skeleton of a
   serialized configuration (bodies are code and are not serialized; the
   partitions idle inside their windows) and report window occupancy;
+* ``observe <trace.jsonl>`` — offline analysis of a saved trace: derived
+  metrics (occupancy vs. entitlement, jitter, latencies) and/or a
+  Perfetto timeline, no simulator required;
 * ``campaign`` — fan a multi-scenario campaign (fault matrix, seed sweep,
   config sweep, or a JSON spec file) out over a worker pool and report the
   deterministic aggregate.
+
+The ``demo`` and ``run`` commands accept ``--metrics-out`` (deterministic
+metrics registry JSON), ``--timeline-out`` (Chrome trace-event JSON for
+``ui.perfetto.dev``) and — ``run`` only — ``--trace-out`` (JSON Lines
+event log) and ``--profile`` (host-time self-profile on stderr).
 """
 
 from __future__ import annotations
@@ -27,6 +35,20 @@ from .config.loader import read_config
 from .kernel.simulator import Simulator
 
 
+def _write_metrics(observer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(observer.collect().to_json() + "\n")
+    print(f"metrics written to {path}")
+
+
+def _write_timeline(trace, path: str) -> None:
+    from .obs import save_timeline
+
+    count = save_timeline(trace, path)
+    print(f"timeline written to {path} ({count} trace events; "
+          f"open in ui.perfetto.dev)")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .apps.prototype import (
         build_prototype,
@@ -38,16 +60,27 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     handles = build_prototype()
     simulator = make_simulator(handles)
+    observer = None
+    if args.metrics_out:
+        from .obs import instrument
+
+        observer = instrument(simulator)
     screen = VitralScreen(simulator)
     simulator.run_mtf(args.mtfs)
     inject_faulty_process(simulator)
     simulator.run_mtf(args.mtfs)
     handles.ttc_stats.queue_schedule_command("chi2")
     simulator.run_mtf(args.mtfs)
+    handles.ttc_stats.queue_schedule_command("chi1")
+    simulator.run_mtf(args.mtfs)
     print(screen.render())
     print(f"\ndeadline misses: {simulator.trace.count(DeadlineMissed)}")
     print(f"schedule switches: {simulator.trace.count(ScheduleSwitched)}")
     print(f"telemetry frames: {handles.ttc_stats.frames}")
+    if observer is not None:
+        _write_metrics(observer, args.metrics_out)
+    if args.timeline_out:
+        _write_timeline(simulator.trace, args.timeline_out)
     return 0
 
 
@@ -68,6 +101,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     config = read_config(args.config)
     simulator = Simulator(config)
+    observer = None
+    if args.metrics_out:
+        from .obs import instrument
+
+        observer = instrument(simulator)
+    profiler = simulator.enable_profiling() if args.profile else None
     occupancy: dict = {}
     for _ in range(args.ticks):
         if simulator.stopped:
@@ -82,6 +121,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
         label = partition if partition is not None else "(idle)"
         print(f"  {label:12s} {ticks:8d} ticks "
               f"({ticks / simulator.now:6.1%})")
+    if args.trace_out:
+        count = simulator.trace.save_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out} ({count} events)")
+    if observer is not None:
+        _write_metrics(observer, args.metrics_out)
+    if args.timeline_out:
+        _write_timeline(simulator.trace, args.timeline_out)
+    if profiler is not None:
+        print(profiler.report_json(simulator), file=sys.stderr)
+    return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    from .kernel.trace import Trace
+    from .obs import derived_metrics, derived_to_json
+
+    try:
+        trace = Trace.load_jsonl(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    config = read_config(args.config) if args.config else None
+    summary = trace.summary()
+    print(f"{summary['events']} events "
+          f"(ticks {summary['first_tick']}..{summary['last_tick']}, "
+          f"digest {summary['digest']})")
+    for kind, count in summary["counts"].items():
+        print(f"  {kind:28s} {count:8d}")
+    report = derived_metrics(trace, config)
+    for partition, entry in report["occupancy"].items():
+        print(f"occupancy {partition}: {entry['ticks']} ticks "
+              f"({entry['fraction']:.1%})")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as stream:
+            stream.write(derived_to_json(report) + "\n")
+        print(f"derived metrics written to {args.metrics_out}")
+    if args.timeline_out:
+        _write_timeline(trace, args.timeline_out)
     return 0
 
 
@@ -141,6 +218,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     demo = commands.add_parser("demo", help="run the Sect. 6 prototype demo")
     demo.add_argument("--mtfs", type=int, default=3,
                       help="MTFs per demo phase (default 3)")
+    demo.add_argument("--metrics-out", default=None,
+                      help="write the deterministic metrics registry JSON "
+                           "here")
+    demo.add_argument("--timeline-out", default=None,
+                      help="write a Chrome trace-event / Perfetto JSON "
+                           "timeline here")
     demo.set_defaults(handler=_cmd_demo)
 
     validate = commands.add_parser("validate",
@@ -158,7 +241,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("config", help="path to a config JSON document")
     run.add_argument("--ticks", type=int, default=10_000,
                      help="ticks to simulate (default 10000)")
+    run.add_argument("--trace-out", default=None,
+                     help="write the trace as JSON Lines here")
+    run.add_argument("--metrics-out", default=None,
+                     help="write the deterministic metrics registry JSON "
+                          "here")
+    run.add_argument("--timeline-out", default=None,
+                     help="write a Chrome trace-event / Perfetto JSON "
+                          "timeline here")
+    run.add_argument("--profile", action="store_true",
+                     help="print a host-time self-profile to stderr")
     run.set_defaults(handler=_cmd_run)
+
+    observe = commands.add_parser(
+        "observe", help="offline metrics/timeline from a saved trace")
+    observe.add_argument("trace", help="path to a save_jsonl trace file")
+    observe.add_argument("--config", default=None,
+                         help="config JSON for PST entitlement comparison")
+    observe.add_argument("--metrics-out", default=None,
+                         help="write the derived-metrics JSON here")
+    observe.add_argument("--timeline-out", default=None,
+                         help="write a Chrome trace-event / Perfetto JSON "
+                              "timeline here")
+    observe.set_defaults(handler=_cmd_observe)
 
     campaign = commands.add_parser(
         "campaign", help="run a deterministic multi-scenario campaign")

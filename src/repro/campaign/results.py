@@ -54,6 +54,8 @@ class ScenarioResult:
     trace_events: int = 0
     trace_digest: str = ""
     occupancy: Tuple[Tuple[str, int], ...] = ()
+    #: Compact deterministic metric pairs (:func:`repro.obs.compact_metrics`).
+    metrics: Tuple[Tuple[str, int], ...] = ()
     error: str = ""
     wall_time_s: float = 0.0
 
@@ -78,6 +80,7 @@ class ScenarioResult:
             "trace_digest": self.trace_digest,
             "occupancy": {partition: ticks
                           for partition, ticks in self.occupancy},
+            "metrics": {name: value for name, value in self.metrics},
             "error": self.error,
         }
         if include_timing:
@@ -128,6 +131,16 @@ def aggregate(results: Sequence[ScenarioResult]) -> Dict[str, Any]:
     digest = hashlib.sha256("|".join(
         f"{r.scenario_id}:{r.status}:{r.trace_digest}"
         for r in ordered).encode("utf-8")).hexdigest()[:16]
+    # Cross-scenario distributions of the compact metric pairs each
+    # worker computed (repro.obs.compact_metrics): folded in scenario-id
+    # order, so the section inherits the byte-identity invariant.
+    metric_samples: Dict[str, List[int]] = {}
+    for result in ordered:
+        for name, value in result.metrics:
+            metric_samples.setdefault(name, []).append(value)
+    metrics = {
+        name: dict(_distribution(values), total=sum(values))
+        for name, values in sorted(metric_samples.items())}
     return {
         "scenarios": len(ordered),
         "status": dict(sorted(statuses.items())),
@@ -135,6 +148,7 @@ def aggregate(results: Sequence[ScenarioResult]) -> Dict[str, Any]:
         "deadline_misses": _distribution(
             [r.deadline_misses for r in ordered]),
         "trace_events": _distribution([r.trace_events for r in ordered]),
+        "metrics": metrics,
         "campaign_digest": digest,
     }
 

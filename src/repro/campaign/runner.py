@@ -31,6 +31,7 @@ from ..kernel.trace import (
     MemoryFault,
     ScheduleSwitched,
 )
+from ..obs.derived import compact_metrics
 from .results import (
     STATUS_CRASHED,
     STATUS_OK,
@@ -110,6 +111,7 @@ def run_scenario(scenario: Scenario, *,
         trace_events=len(trace),
         trace_digest=trace.digest(),
         occupancy=tuple(sorted(simulator.pmk.partition_ticks.items())),
+        metrics=compact_metrics(trace),
         error=error,
         wall_time_s=time.perf_counter() - start,
     )

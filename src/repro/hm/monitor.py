@@ -162,6 +162,13 @@ class HealthMonitor:
         """How many times *code* was reported against *partition*."""
         return self._occurrences.get((partition, code), 0)
 
+    def occurrences(self) -> Tuple[Tuple[str, ErrorCode, int], ...]:
+        """Every (partition, code, count) triple, sorted (telemetry hook)."""
+        return tuple(sorted(
+            ((partition, code, count)
+             for (partition, code), count in self._occurrences.items()),
+            key=lambda item: (item[0], item[1].value)))
+
     # -------------------------------------------------------------- #
     # internals
     # -------------------------------------------------------------- #

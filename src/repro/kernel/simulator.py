@@ -38,6 +38,13 @@ class Simulator:
         self.pmk = Pmk(config, time=self.time, trace=self.trace)
         self.interrupts.install(Vector.CLOCK, self.pmk.clock_tick,
                                 owner=InterruptController.PMK_OWNER)
+        # Event-core efficiency counters.  Host-side bookkeeping only:
+        # they differ between run() and run_fast() by design, so they are
+        # reported through the self-profiling channel, never through the
+        # deterministic metrics registry.
+        self._spans_batched = 0
+        self._ticks_batched = 0
+        self._ticks_stepped = 0
 
     # -------------------------------------------------------------- #
     # time control
@@ -55,6 +62,7 @@ class Simulator:
 
     def step(self) -> None:
         """Execute exactly one clock tick."""
+        self._ticks_stepped += 1
         self.interrupts.raise_interrupt(Vector.CLOCK)
         self.time.advance()
 
@@ -100,6 +108,8 @@ class Simulator:
                 span = min(event, target) - now
                 pmk.execute_span(now, span)
                 time.skip(span)
+                self._spans_batched += 1
+                self._ticks_batched += span
                 now += span
                 if event >= target:
                     continue
@@ -136,6 +146,36 @@ class Simulator:
             self.step()
         raise SimulationError(
             f"run_while exceeded the {limit}-tick safety bound")
+
+    # -------------------------------------------------------------- #
+    # self-profiling (DESIGN decision 6)
+    # -------------------------------------------------------------- #
+
+    @property
+    def event_core_stats(self) -> dict:
+        """Event-core efficiency counters (host-side, nondeterministic
+        across execution modes): spans batched and the split of executed
+        ticks between batched spans and full stepped ISRs."""
+        return {
+            "spans_batched": self._spans_batched,
+            "ticks_batched": self._ticks_batched,
+            "ticks_stepped": self._ticks_stepped,
+        }
+
+    def enable_profiling(self):
+        """Opt into host-time self-profiling; returns the profiler.
+
+        The PMK's ISR body then times each subsystem with
+        ``perf_counter``.  Simulated behaviour is unchanged (asserted by
+        the profiling equivalence test); host throughput drops by the
+        probe overhead.  Read ``profiler.report(self)`` afterwards.
+        """
+        from ..obs.profiling import SelfProfiler
+
+        profiler = SelfProfiler()
+        profiler.start()
+        self.pmk.profiler = profiler
+        return profiler
 
     # -------------------------------------------------------------- #
     # convenience accessors

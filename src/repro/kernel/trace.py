@@ -19,8 +19,20 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type, TypeVar
+from itertools import islice
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+)
 
 from ..types import Ticks
 
@@ -272,20 +284,45 @@ class Trace:
     """Append-only event log with query helpers.
 
     The trace is unbounded by default; pass ``capacity`` to keep only the
-    most recent events (a ring buffer) for long-running simulations.
+    most recent events (a ring buffer) for long-running simulations.  The
+    store is a :class:`collections.deque` so a bounded trace evicts in O(1)
+    instead of the O(n) ``del list[0]``.
+
+    Observers registered with :meth:`subscribe` see every event as it is
+    recorded (live instrumentation, e.g. the metrics registry); with no
+    observers the only recording overhead beyond the append is one
+    truthiness check.
     """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
-        self._events: List[TraceEvent] = []
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._capacity = capacity
         self._dropped = 0
+        self._observers: Tuple[Callable[[TraceEvent], None], ...] = ()
 
     def record(self, event: TraceEvent) -> None:
         """Append *event*; evict the oldest if capacity is bounded."""
-        self._events.append(event)
-        if self._capacity is not None and len(self._events) > self._capacity:
-            del self._events[0]
+        events = self._events
+        if events.maxlen is not None and len(events) == events.maxlen:
             self._dropped += 1
+        events.append(event)
+        if self._observers:
+            for observer in self._observers:
+                observer(event)
+
+    # -------------------------------------------------------------- #
+    # live observers
+    # -------------------------------------------------------------- #
+
+    def subscribe(self, observer: Callable[[TraceEvent], None]) -> None:
+        """Register *observer* to be called with every recorded event."""
+        if observer not in self._observers:
+            self._observers = self._observers + (observer,)
+
+    def unsubscribe(self, observer: Callable[[TraceEvent], None]) -> None:
+        """Remove *observer*; a no-op if it is not registered."""
+        self._observers = tuple(
+            o for o in self._observers if o != observer)
 
     @property
     def events(self) -> Tuple[TraceEvent, ...]:
@@ -316,9 +353,32 @@ class Trace:
         """Number of events of *event_type*."""
         return sum(1 for e in self._events if isinstance(e, event_type))
 
+    def _lower_bound(self, tick: Ticks) -> int:
+        """First index whose event has ``tick >= tick`` (binary search).
+
+        Events are appended in nondecreasing tick order, so the tick
+        sequence is sorted.  Hand-rolled rather than :mod:`bisect` because
+        ``bisect(..., key=...)`` needs Python >= 3.10 and deque indexing
+        (block hops, not pointer arithmetic) is cheap enough for O(log n)
+        probes.
+        """
+        events = self._events
+        lo, hi = 0, len(events)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if events[mid].tick < tick:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
     def between(self, start: Ticks, end: Ticks) -> Tuple[TraceEvent, ...]:
-        """Events with ``start <= tick < end``."""
-        return tuple(e for e in self._events if start <= e.tick < end)
+        """Events with ``start <= tick < end`` (binary search, not a scan)."""
+        if end <= start:
+            return ()
+        lo = self._lower_bound(start)
+        hi = self._lower_bound(end)
+        return tuple(islice(self._events, lo, hi))
 
     def clear(self) -> None:
         """Drop all retained events (the drop counter is kept)."""
@@ -371,14 +431,21 @@ class Trace:
         document = json.loads(text)
         trace = cls(capacity=capacity)
         for record in document["events"]:
-            fields = dict(record)
-            kind = fields.pop("kind")
-            try:
-                event_type = _EVENT_TYPES[kind]
-            except KeyError:
-                raise ValueError(f"unknown trace event kind {kind!r}")
-            trace._events.append(event_type(**fields))
-        trace._dropped = document.get("dropped", 0)
+            trace.record(_event_from_dict(record))
+        trace._dropped += document.get("dropped", 0)
+        return trace
+
+    @classmethod
+    def load_jsonl(cls, path: str,
+                   capacity: Optional[int] = None) -> "Trace":
+        """Rebuild a trace from a :meth:`save_jsonl` file (one event per
+        line; blank lines are skipped)."""
+        trace = cls(capacity=capacity)
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    trace.record(_event_from_dict(json.loads(line)))
         return trace
 
     def digest(self) -> str:
@@ -416,6 +483,17 @@ class Trace:
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
+
+
+def _event_from_dict(record: dict) -> TraceEvent:
+    """Reconstruct one event from its :meth:`Trace.to_dicts` form."""
+    fields = dict(record)
+    kind = fields.pop("kind")
+    try:
+        event_type = _EVENT_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown trace event kind {kind!r}")
+    return event_type(**fields)
 
 
 def _event_types() -> Dict[str, Type[TraceEvent]]:

@@ -1,0 +1,42 @@
+"""Observability: deterministic telemetry for the simulated AIR system.
+
+DESIGN decision 6.  Four pieces, with a hard line between them:
+
+* :mod:`repro.obs.metrics` — deterministic instruments (counters, gauges,
+  fixed-bucket histograms) timestamped in simulated ticks;
+* :mod:`repro.obs.instrument` — live trace-observer feeding a registry
+  from a running :class:`~repro.kernel.simulator.Simulator`;
+* :mod:`repro.obs.derived` — paper-level quantities recomputed offline
+  from any saved :class:`~repro.kernel.trace.Trace`;
+* :mod:`repro.obs.timeline` — Chrome trace-event / Perfetto JSON export;
+* :mod:`repro.obs.profiling` — host-time self-profiling, explicitly
+  nondeterministic and kept out of the registry.
+"""
+
+from .derived import compact_metrics, derived_metrics, derived_to_json
+from .instrument import SimulatorMetrics, instrument
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profiling import SelfProfiler
+from .timeline import save_timeline, to_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "SimulatorMetrics",
+    "instrument",
+    "derived_metrics",
+    "derived_to_json",
+    "compact_metrics",
+    "to_chrome_trace",
+    "save_timeline",
+    "SelfProfiler",
+]

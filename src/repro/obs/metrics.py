@@ -1,0 +1,208 @@
+"""Deterministic metrics primitives: counters, gauges, fixed-bucket histograms.
+
+The registry is the telemetry core of DESIGN decision 6.  Every value is an
+integer (or an exact integer-derived quantity) timestamped in *simulated
+ticks* — never host time — so two runs of the same configuration and seed
+produce byte-identical serialized registries, regardless of execution mode
+(``run`` vs. ``run_fast``) or how many campaign workers computed them.
+
+Instruments are keyed by ``(name, labels)`` where labels are free-form
+string pairs (``partition=...``, ``process=...``, ``schedule=...``).  The
+canonical serialization sorts names, label sets and label keys, and uses
+compact separators, so ``to_json()`` output is directly comparable (and
+hashable) across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Label set in canonical form: key-sorted tuple of (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Fixed upper bounds for latency-style histograms (ticks).  Chosen to
+#: resolve the paper's quantities of interest: Algorithm 3 detection
+#: latencies are a few ticks, channel delivery latencies tens to hundreds.
+DEFAULT_LATENCY_BUCKETS: Tuple[int, ...] = (
+    0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000)
+
+
+def _canonical_labels(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically nondecreasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def to_value(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-written integer value (e.g. a queue depth at a point in time)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = int(value)
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        self.value -= amount
+
+    def to_value(self) -> int:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket integer histogram.
+
+    ``bounds`` are inclusive upper bucket edges; one overflow bucket
+    catches everything above the last bound.  Buckets are fixed at
+    construction — never derived from observed data — so the shape of the
+    serialized output is a function of the metric name alone, a
+    prerequisite for deterministic cross-run and cross-worker merges.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[int] = DEFAULT_LATENCY_BUCKETS) -> None:
+        self.bounds: Tuple[int, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"histogram bounds must be strictly increasing: {bounds}")
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        """Record one observation."""
+        value = int(value)
+        self.counts[bisect_right(self.bounds, value - 1)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def to_value(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Deterministic registry of labeled counters, gauges and histograms.
+
+    Lookups cache the instrument object, so hot paths fetch their counter
+    once and call ``inc()`` directly rather than re-resolving labels per
+    event.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -------------------------------------------------------------- #
+    # instrument accessors (create on first use)
+    # -------------------------------------------------------------- #
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _canonical_labels(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _canonical_labels(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: Sequence[int] = DEFAULT_LATENCY_BUCKETS,
+                  **labels: str) -> Histogram:
+        key = (name, _canonical_labels(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(bounds)
+        elif instrument.bounds != tuple(bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{instrument.bounds}, not {tuple(bounds)}")
+        return instrument
+
+    def counter_total(self, name: str) -> int:
+        """Sum of *name*'s counter across every label set (live displays)."""
+        return sum(counter.value
+                   for (series, _), counter in self._counters.items()
+                   if series == name)
+
+    # -------------------------------------------------------------- #
+    # export
+    # -------------------------------------------------------------- #
+
+    @staticmethod
+    def _series_name(name: str, labels: LabelKey) -> str:
+        if not labels:
+            return name
+        rendered = ",".join(f"{k}={v}" for k, v in labels)
+        return f"{name}{{{rendered}}}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-compatible form (sorted series, sorted keys)."""
+        def render(table):
+            return {self._series_name(name, labels): obj.to_value()
+                    for (name, labels), obj in sorted(table.items())}
+        return {
+            "counters": render(self._counters),
+            "gauges": render(self._gauges),
+            "histograms": render(self._histograms),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: equal registries serialize to equal bytes."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Stable content digest (hex, 16 chars) of :meth:`to_json`."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]

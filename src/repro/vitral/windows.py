@@ -54,6 +54,12 @@ class Window:
         inner = self.width - 2
         self._lines.append(line[:inner])
 
+    def set_lines(self, lines: List[str]) -> None:
+        """Replace the whole buffer (gauge-style windows redrawn per frame)."""
+        self._lines.clear()
+        for line in lines:
+            self.write(line)
+
     @property
     def lines(self) -> Tuple[str, ...]:
         """Currently visible lines."""
@@ -84,9 +90,12 @@ class VitralScreen:
 
     SCHEDULER_WINDOW = "AIR Partition Scheduler"
     HM_WINDOW = "AIR Health Monitor"
+    METRICS_WINDOW = "AIR Metrics"
 
     def __init__(self, simulator: Simulator, *, columns: int = 2,
                  window_width: int = 38, window_height: int = 8) -> None:
+        from ..obs.instrument import SimulatorMetrics
+
         self.simulator = simulator
         self.columns = max(columns, 1)
         self._cursor = 0
@@ -101,6 +110,11 @@ class VitralScreen:
         self.hm_window = Window(self.HM_WINDOW,
                                 width=window_width * self.columns,
                                 height=window_height)
+        self.metrics_window = Window(self.METRICS_WINDOW,
+                                     width=window_width * self.columns,
+                                     height=window_height)
+        #: Live deterministic metrics feeding the metrics window.
+        self.metrics = SimulatorMetrics(simulator)
 
     # -------------------------------------------------------------- #
     # event routing
@@ -113,7 +127,33 @@ class VitralScreen:
         self._cursor = len(events)
         for event in new:
             self._route(event)
+        self._refresh_metrics()
         return len(new)
+
+    def _refresh_metrics(self) -> None:
+        """Redraw the metrics window from the live registry (gauge-style:
+        current values, not a scrolling log)."""
+        pmk = self.simulator.pmk
+        registry = self.metrics.registry
+        occupancy = " ".join(
+            f"{name}:{fraction:.0%}"
+            for name, fraction in sorted(pmk.occupancy().items()))
+        self.metrics_window.set_lines([
+            f"ticks {pmk.ticks_executed}  idle {pmk.idle_ticks}",
+            f"occupancy {occupancy}",
+            f"ctx switches {pmk.dispatcher.stats.context_switches}  "
+            f"sched switches "
+            f"{registry.counter_total('air_schedule_switches_total')}",
+            f"deadline misses "
+            f"{registry.counter_total('air_deadline_misses_total')}",
+            f"hm events {registry.counter_total('air_hm_events_total')}  "
+            f"mem faults "
+            f"{registry.counter_total('air_memory_faults_total')}",
+            f"port msgs "
+            f"{registry.counter_total('air_port_messages_sent_total')} sent "
+            f"{registry.counter_total('air_port_messages_received_total')} "
+            f"rcvd  in-flight {pmk.router.in_flight}",
+        ])
 
     def _route(self, event: TraceEvent) -> None:
         if isinstance(event, ApplicationMessage):
@@ -205,6 +245,7 @@ class VitralScreen:
                     for i, r in enumerate(rendered)))
         rows.extend(self.scheduler_window.render())
         rows.extend(self.hm_window.render())
+        rows.extend(self.metrics_window.render())
         footer = (f" t={self.simulator.now} "
                   f"schedule={self.simulator.pmk.scheduler.current_schedule} "
                   f"active={self.simulator.active_partition or 'idle'} ")

@@ -74,6 +74,52 @@ class TestAggregate:
         assert "FAILED b [crashed]" in text
 
 
+class TestCampaignMetrics:
+    """ScenarioResult carries compact trace-derived metrics that aggregate
+    deterministically (the ISSUE 3 campaign integration)."""
+
+    def test_results_carry_compact_metrics(self):
+        from repro.campaign.runner import run_scenario
+
+        scenario = fault_matrix_campaign(count=1, mtfs=3)[0]
+        outcome = run_scenario(scenario)
+        pairs = dict(outcome.metrics)
+        assert pairs["deadline_misses"] == outcome.deadline_misses
+        assert pairs["context_switches"] > 0
+        assert outcome.to_dict()["metrics"] == pairs
+
+    def test_aggregate_summarizes_metric_distributions(self):
+        from dataclasses import replace
+
+        base = replace(
+            result("a"),
+            metrics=(("context_switches", 10), ("deadline_misses", 2)))
+        other = replace(
+            result("b"),
+            metrics=(("context_switches", 30), ("deadline_misses", 0)))
+        summary = aggregate([base, other])
+        section = summary["metrics"]["context_switches"]
+        assert section["total"] == 40
+        assert section["max"] == 30
+        assert section["p50"] == 10
+
+    def test_metric_aggregation_is_order_independent(self):
+        from dataclasses import replace
+
+        results = [replace(result(name), metrics=(("deadline_misses", i),))
+                   for i, name in enumerate("abc")]
+        assert aggregate(results)["metrics"] == \
+            aggregate(list(reversed(results)))["metrics"]
+
+    def test_pooled_metrics_match_serial(self):
+        campaign = fault_matrix_campaign(count=4, mtfs=3)
+        serial = aggregate(run_serial(campaign))["metrics"]
+        assert serial  # non-trivial section
+        for workers in (2, 4):
+            assert aggregate(run_pool(campaign,
+                                      workers=workers))["metrics"] == serial
+
+
 class TestDeterminismInvariant:
     """Pooled execution must reproduce the serial report bit-for-bit."""
 

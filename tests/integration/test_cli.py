@@ -22,7 +22,7 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "AIR Partition Scheduler" in out
         assert "deadline misses:" in out
-        assert "schedule switches: 1" in out
+        assert "schedule switches: 2" in out
 
 
 class TestValidate:
@@ -59,3 +59,89 @@ class TestRun:
         assert "ran 2600 ticks" in out
         for partition in ("P1", "P2", "P3", "P4"):
             assert partition in out
+
+    def test_run_trace_out_writes_jsonl(self, config_path, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["run", config_path, "--ticks", "2600",
+                     "--trace-out", str(trace_path)]) == 0
+        lines = [line for line in
+                 trace_path.read_text().splitlines() if line]
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert all("kind" in event and "tick" in event for event in events)
+        ticks = [event["tick"] for event in events]
+        assert ticks == sorted(ticks)
+        assert f"({len(events)} events)" in capsys.readouterr().out
+
+    def test_run_metrics_and_timeline_out(self, config_path, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        timeline_path = tmp_path / "timeline.json"
+        assert main(["run", config_path, "--ticks", "2600",
+                     "--metrics-out", str(metrics_path),
+                     "--timeline-out", str(timeline_path)]) == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]
+        assert metrics["gauges"]["air_ticks_executed"] == 2600
+        timeline = json.loads(timeline_path.read_text())
+        assert timeline["traceEvents"]
+
+    def test_run_profile_reports_to_stderr(self, config_path, capsys):
+        assert main(["run", config_path, "--ticks", "1300",
+                     "--profile"]) == 0
+        report = json.loads(capsys.readouterr().err)
+        assert report["deterministic"] is False
+        assert report["subsystems"]
+        assert report["event_core"]["ticks_batched"] + \
+            report["event_core"]["ticks_stepped"] == 1300
+
+
+class TestDemoArtifacts:
+    def test_demo_metrics_and_timeline_out(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        timeline_path = tmp_path / "timeline.json"
+        assert main(["demo", "--mtfs", "2",
+                     "--metrics-out", str(metrics_path),
+                     "--timeline-out", str(timeline_path)]) == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["air_deadline_misses_total"
+                                   "{partition=P1,process=p1-faulty}"] > 0
+        timeline = json.loads(timeline_path.read_text())
+        switches = sorted(event["name"]
+                          for event in timeline["traceEvents"]
+                          if event["ph"] == "i"
+                          and event.get("cat") == "schedule")
+        assert switches == ["PST switch: chi1 -> chi2",
+                            "PST switch: chi2 -> chi1"]
+
+
+class TestObserve:
+    def run_with_trace(self, config_path, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["run", config_path, "--ticks", "3900",
+                     "--trace-out", str(trace_path)]) == 0
+        return str(trace_path)
+
+    def test_observe_summarizes(self, config_path, tmp_path, capsys):
+        trace_path = self.run_with_trace(config_path, tmp_path)
+        capsys.readouterr()
+        assert main(["observe", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "events (ticks" in out
+        assert "PartitionDispatched" in out
+        assert "occupancy P1:" in out
+
+    def test_observe_writes_artifacts(self, config_path, tmp_path, capsys):
+        trace_path = self.run_with_trace(config_path, tmp_path)
+        metrics_path = tmp_path / "derived.json"
+        timeline_path = tmp_path / "timeline.json"
+        assert main(["observe", trace_path, "--config", config_path,
+                     "--metrics-out", str(metrics_path),
+                     "--timeline-out", str(timeline_path)]) == 0
+        derived = json.loads(metrics_path.read_text())
+        assert derived["occupancy"]["P1"]["ticks"] > 0
+        assert derived["occupancy"]["P1"]["entitlement"]["chi1"]["allocated"]
+        assert json.loads(timeline_path.read_text())["traceEvents"]
+
+    def test_observe_missing_file_fails(self, tmp_path, capsys):
+        assert main(["observe", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err.lower()

@@ -76,6 +76,133 @@ class TestRingBuffer:
         assert len(trace) == 1000
         assert trace.dropped == 0
 
+    def test_digest_matches_explicit_construction(self):
+        # The deque-backed store regression contract: recording through
+        # the ring buffer digests identically to a trace holding exactly
+        # the retained window with the same drop counter.
+        ring = Trace(capacity=3)
+        for tick in range(5):
+            ring.record(dispatched(tick))
+        reference = Trace.from_json(
+            '{"dropped": 2, "events": ['
+            '{"kind": "PartitionDispatched", "tick": 2, "previous": null,'
+            ' "heir": "P1"},'
+            '{"kind": "PartitionDispatched", "tick": 3, "previous": null,'
+            ' "heir": "P1"},'
+            '{"kind": "PartitionDispatched", "tick": 4, "previous": null,'
+            ' "heir": "P1"}]}')
+        assert ring.events == reference.events
+        assert ring.digest() == reference.digest()
+
+    def test_clear_keeps_drop_counter(self):
+        trace = Trace(capacity=2)
+        for tick in range(5):
+            trace.record(dispatched(tick))
+        assert trace.dropped == 3
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 3
+        # ...and further recording keeps counting from there.
+        for tick in range(3):
+            trace.record(dispatched(tick))
+        assert trace.dropped == 4
+
+
+class TestBetweenBisect:
+    def test_duplicate_boundary_ticks(self):
+        trace = Trace()
+        ticks = [0, 1, 1, 1, 2, 2, 3, 3, 3, 5]
+        for tick in ticks:
+            trace.record(dispatched(tick))
+        assert [e.tick for e in trace.between(1, 2)] == [1, 1, 1]
+        assert [e.tick for e in trace.between(1, 3)] == [1, 1, 1, 2, 2]
+        assert [e.tick for e in trace.between(3, 6)] == [3, 3, 3, 5]
+        assert trace.between(4, 5) == ()
+        assert trace.between(2, 2) == ()
+        assert trace.between(3, 1) == ()
+
+    def test_matches_linear_scan_reference(self):
+        trace = Trace()
+        ticks = [0, 0, 2, 2, 2, 5, 7, 7, 11, 11, 11, 11, 13]
+        for tick in ticks:
+            trace.record(dispatched(tick))
+        for start in range(-1, 15):
+            for end in range(-1, 16):
+                expected = tuple(e for e in trace.events
+                                 if start <= e.tick < end)
+                assert trace.between(start, end) == expected
+
+    def test_bounded_trace_after_eviction(self):
+        trace = Trace(capacity=4)
+        for tick in [1, 2, 2, 3, 4, 4, 5]:
+            trace.record(dispatched(tick))
+        assert [e.tick for e in trace.between(4, 6)] == [4, 4, 5]
+
+
+class TestWhere:
+    def test_where_filters_by_predicate(self):
+        trace = Trace()
+        trace.record(dispatched(1, heir="P1"))
+        trace.record(missed(2))
+        trace.record(dispatched(3, heir="P2"))
+        hits = trace.where(lambda e: e.tick >= 2)
+        assert [e.tick for e in hits] == [2, 3]
+        assert trace.where(lambda e: False) == ()
+
+
+class TestObservers:
+    def test_observer_sees_every_record(self):
+        trace = Trace()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(dispatched(1))
+        trace.record(missed(2))
+        assert [e.tick for e in seen] == [1, 2]
+
+    def test_subscribe_is_idempotent(self):
+        trace = Trace()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.subscribe(seen.append)
+        trace.record(dispatched(1))
+        assert len(seen) == 1
+
+    def test_unsubscribe_stops_delivery(self):
+        trace = Trace()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(dispatched(1))
+        trace.unsubscribe(seen.append)
+        trace.record(dispatched(2))
+        assert [e.tick for e in seen] == [1]
+
+    def test_unsubscribe_unknown_is_noop(self):
+        Trace().unsubscribe(lambda e: None)
+
+
+class TestJsonl:
+    def test_save_and_load_round_trip(self, tmp_path):
+        trace = Trace()
+        trace.record(dispatched(1))
+        trace.record(missed(2))
+        path = str(tmp_path / "trace.jsonl")
+        assert trace.save_jsonl(path) == 2
+        rebuilt = Trace.load_jsonl(path)
+        assert rebuilt.events == trace.events
+        assert rebuilt.digest() == trace.digest()
+
+    def test_load_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "PartitionDispatched", "tick": 1, '
+                        '"previous": null, "heir": "P1"}\n\n')
+        assert len(Trace.load_jsonl(str(path))) == 1
+
+    def test_load_jsonl_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "NoSuchEvent", "tick": 1}\n')
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            Trace.load_jsonl(str(path))
+
 
 class TestSummaryAndJson:
     def sample_trace(self):

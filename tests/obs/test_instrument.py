@@ -1,0 +1,94 @@
+"""Tests for live instrumentation and its determinism guarantees."""
+
+from repro.apps.prototype import (
+    MTF,
+    build_prototype,
+    inject_faulty_process,
+    make_simulator,
+)
+from repro.kernel.trace import DeadlineMissed
+from repro.obs import instrument
+
+
+def instrumented_run(*, fast, mtfs=3, faulty=True, seed=0):
+    handles = build_prototype(seed=seed)
+    simulator = make_simulator(handles)
+    observer = instrument(simulator)
+    if faulty:
+        inject_faulty_process(simulator)
+    handles.ttc_stats.queue_schedule_command("chi2")
+    runner = simulator.run_fast if fast else simulator.run
+    runner(mtfs * MTF)
+    return simulator, observer
+
+
+class TestLiveCounters:
+    def test_deadline_misses_match_trace(self):
+        simulator, observer = instrumented_run(fast=True)
+        registry = observer.collect()
+        assert registry.counter_total("air_deadline_misses_total") == \
+            simulator.trace.count(DeadlineMissed)
+        assert registry.counter_total("air_deadline_misses_total") > 0
+
+    def test_detection_latency_histogram_populated(self):
+        _, observer = instrumented_run(fast=True)
+        histogram = observer.registry.histogram(
+            "air_deadline_detection_latency_ticks", partition="P1")
+        assert histogram.count > 0
+        assert histogram.max >= histogram.min >= 0
+
+    def test_component_counters_collected(self):
+        simulator, observer = instrumented_run(fast=True)
+        document = observer.collect().to_dict()
+        assert document["gauges"]["air_ticks_executed"] == \
+            simulator.pmk.ticks_executed
+        assert document["gauges"]["air_partition_ticks{partition=P1}"] == \
+            simulator.pmk.partition_ticks["P1"]
+        assert document["gauges"]["air_scheduler_ticks"] == \
+            simulator.pmk.scheduler.stats.ticks
+
+    def test_schedule_switch_counted_with_labels(self):
+        _, observer = instrumented_run(fast=True)
+        counter = observer.registry.counter(
+            "air_schedule_switches_total",
+            from_schedule="chi1", to_schedule="chi2")
+        assert counter.value == 1
+
+    def test_close_detaches(self):
+        simulator, observer = instrumented_run(fast=True, mtfs=1)
+        before = observer.registry.counter_total(
+            "air_partition_context_switches_total")
+        observer.close()
+        simulator.run_fast(MTF)
+        after = observer.registry.counter_total(
+            "air_partition_context_switches_total")
+        assert after == before
+
+
+class TestDeterminism:
+    """The ISSUE's acceptance criteria: byte-identical registry output."""
+
+    def test_same_scenario_twice_is_byte_identical(self):
+        a = instrumented_run(fast=True)[1].collect().to_json()
+        b = instrumented_run(fast=True)[1].collect().to_json()
+        assert a == b
+
+    def test_run_fast_vs_stepped_is_byte_identical(self):
+        fast = instrumented_run(fast=True)[1].collect().to_json()
+        stepped = instrumented_run(fast=False)[1].collect().to_json()
+        assert fast == stepped
+
+    def test_registry_is_sensitive_to_the_run(self):
+        faulty = instrumented_run(fast=True, faulty=True)[1].collect()
+        healthy = instrumented_run(fast=True, faulty=False)[1].collect()
+        assert faulty.to_json() != healthy.to_json()
+        assert faulty.digest() != healthy.digest()
+
+    def test_instrumented_trace_equals_uninstrumented(self):
+        instrumented = instrumented_run(fast=True)[0]
+        handles = build_prototype()
+        bare = make_simulator(handles)
+        inject_faulty_process(bare)
+        handles.ttc_stats.queue_schedule_command("chi2")
+        bare.run_fast(3 * MTF)
+        assert bare.trace.digest() == instrumented.trace.digest()

@@ -1,0 +1,113 @@
+"""Tests for the deterministic metrics primitives (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        gauge = Gauge()
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 8
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram(bounds=(1, 10, 100))
+        for value in (0, 1, 2, 10, 11, 1000):
+            histogram.observe(value)
+        # <=1: {0, 1}; <=10: {2, 10}; <=100: {11}; overflow: {1000}
+        assert histogram.counts == [2, 2, 1, 1]
+        assert histogram.count == 6
+        assert histogram.total == 1024
+        assert histogram.min == 0
+        assert histogram.max == 1000
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(bounds=(5, 5, 10))
+
+    def test_empty_serializes(self):
+        value = Histogram(bounds=(1,)).to_value()
+        assert value["count"] == 0
+        assert value["min"] is None
+
+
+class TestRegistry:
+    def test_same_labels_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", partition="P1")
+        b = registry.counter("hits", partition="P1")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", partition="P1", process="p")
+        b = registry.counter("x", process="p", partition="P1")
+        assert a is b
+
+    def test_different_labels_different_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("hits", partition="P1") is not \
+            registry.counter("hits", partition="P2")
+
+    def test_histogram_bounds_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", bounds=(1, 2))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("lat", bounds=(1, 3))
+
+    def test_counter_total_sums_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", partition="P1").inc(2)
+        registry.counter("hits", partition="P2").inc(3)
+        registry.counter("other").inc(100)
+        assert registry.counter_total("hits") == 5
+
+    def test_canonical_json_is_sorted_and_loadable(self):
+        registry = MetricsRegistry()
+        registry.counter("z_last", partition="P2").inc()
+        registry.counter("a_first").inc()
+        registry.gauge("depth", port="tm").set(3)
+        registry.histogram("lat", bounds=(1, 10)).observe(4)
+        document = json.loads(registry.to_json())
+        assert list(document["counters"]) == ["a_first",
+                                              "z_last{partition=P2}"]
+        assert document["gauges"]["depth{port=tm}"] == 3
+        assert document["histograms"]["lat"]["counts"] == [0, 1, 0]
+
+    def test_equal_registries_equal_bytes_and_digest(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("hits", partition="P1").inc(3)
+            registry.histogram("lat", bounds=(1, 2)).observe(2)
+            return registry
+        a, b = build(), build()
+        assert a.to_json() == b.to_json()
+        assert a.digest() == b.digest()
+        b.counter("hits", partition="P1").inc()
+        assert a.digest() != b.digest()

@@ -1,0 +1,120 @@
+"""Tests for the Chrome trace-event / Perfetto exporter (repro.obs.timeline).
+
+The ISSUE's acceptance criterion: a timeline exported from the Sect. 6
+prototype demo scenario loads as valid JSON, has one track per partition,
+and carries instant events for the injected P1 deadline miss and both PST
+switches (chi1 -> chi2 and chi2 -> chi1).
+"""
+
+import json
+
+import pytest
+
+from repro.apps.prototype import (
+    MTF,
+    build_prototype,
+    inject_faulty_process,
+    make_simulator,
+)
+from repro.kernel.trace import Trace
+from repro.obs import save_timeline, to_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def demo_document():
+    """The demo scenario of ``python -m repro demo``: fault injection on
+    P1, switch to chi2, switch back to chi1."""
+    handles = build_prototype()
+    simulator = make_simulator(handles)
+    simulator.run_mtf(2)
+    inject_faulty_process(simulator)
+    simulator.run_mtf(2)
+    handles.ttc_stats.queue_schedule_command("chi2")
+    simulator.run_mtf(2)
+    handles.ttc_stats.queue_schedule_command("chi1")
+    simulator.run_mtf(2)
+    return to_chrome_trace(simulator.trace)
+
+
+class TestDemoTimeline:
+    def test_round_trips_as_json(self, demo_document):
+        assert json.loads(json.dumps(demo_document)) == demo_document
+        assert demo_document["displayTimeUnit"] == "ms"
+
+    def test_one_track_per_partition(self, demo_document):
+        threads = {event["args"]["name"]
+                   for event in demo_document["traceEvents"]
+                   if event["ph"] == "M" and event["name"] == "thread_name"}
+        assert {"P1", "P2", "P3", "P4"} <= threads
+
+    def test_partition_window_spans_nonempty(self, demo_document):
+        for partition in ("P1", "P2", "P3", "P4"):
+            spans = [event for event in demo_document["traceEvents"]
+                     if event["ph"] == "X" and event.get("cat") == "window"
+                     and event["name"] == partition]
+            assert spans, f"no window spans for {partition}"
+
+    def test_spans_are_monotonic(self, demo_document):
+        for event in demo_document["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+
+    def test_p1_deadline_miss_instant(self, demo_document):
+        misses = [event for event in demo_document["traceEvents"]
+                  if event["ph"] == "i" and event.get("cat") == "deadline"]
+        assert misses
+        assert any("p1-faulty" in event["name"] for event in misses)
+
+    def test_both_pst_switch_instants(self, demo_document):
+        switches = sorted(
+            event["name"] for event in demo_document["traceEvents"]
+            if event["ph"] == "i" and event.get("cat") == "schedule")
+        assert switches == ["PST switch: chi1 -> chi2",
+                            "PST switch: chi2 -> chi1"]
+
+    def test_process_spans_nest_inside_windows(self, demo_document):
+        windows = [(e["tid"], e["ts"], e["ts"] + e["dur"])
+                   for e in demo_document["traceEvents"]
+                   if e["ph"] == "X" and e.get("cat") == "window"]
+        for event in demo_document["traceEvents"]:
+            if event["ph"] == "X" and event.get("cat") == "process":
+                start, end = event["ts"], event["ts"] + event["dur"]
+                assert any(tid == event["tid"] and w_start <= start
+                           and end <= w_end
+                           for tid, w_start, w_end in windows), \
+                    f"process span {event['name']} not inside a window"
+
+    def test_queue_counter_events(self, demo_document):
+        counters = [event for event in demo_document["traceEvents"]
+                    if event["ph"] == "C"]
+        assert counters
+        assert all(event["args"]["in_flight"] >= 0 for event in counters)
+
+
+class TestExportMechanics:
+    def test_empty_trace_exports(self):
+        document = to_chrome_trace(Trace())
+        assert json.dumps(document)
+        # Only the module metadata events.
+        assert all(event["ph"] == "M" for event in document["traceEvents"])
+
+    def test_save_timeline_writes_valid_json(self, tmp_path):
+        handles = build_prototype()
+        simulator = make_simulator(handles)
+        simulator.run_fast(MTF)
+        path = str(tmp_path / "timeline.json")
+        count = save_timeline(simulator.trace, path)
+        with open(path, encoding="utf-8") as stream:
+            document = json.load(stream)
+        assert len(document["traceEvents"]) == count
+
+    def test_export_is_deterministic(self):
+        def build():
+            handles = build_prototype()
+            simulator = make_simulator(handles)
+            inject_faulty_process(simulator)
+            simulator.run_fast(2 * MTF)
+            return json.dumps(to_chrome_trace(simulator.trace),
+                              sort_keys=True)
+        assert build() == build()

@@ -69,6 +69,23 @@ class TestVitralScreen:
         assert "AIR Partition Scheduler" in frame
         assert "schedule=chi1" in frame
 
+    def test_metrics_window_tracks_live_registry(self):
+        sim = make_simulator()
+        screen = VitralScreen(sim)
+        inject_faulty_process(sim)
+        sim.run_mtf(3)
+        screen.sync()
+        lines = screen.metrics_window.lines
+        assert any(f"ticks {sim.pmk.ticks_executed}" in line
+                   for line in lines)
+        from repro.kernel.trace import DeadlineMissed
+
+        misses = sim.trace.count(DeadlineMissed)
+        assert any(f"deadline misses {misses}" in line for line in lines)
+        assert misses > 0
+        frame = screen.render()
+        assert "AIR Metrics" in frame
+
     def test_keyboard_bindings(self):
         # The demo's interaction: keys switch schedules and inject faults.
         handles = build_prototype()
