@@ -164,6 +164,7 @@ def _cmd_observe(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (
+        chaos_campaign,
         config_sweep_campaign,
         fault_matrix_campaign,
         load_campaign_spec,
@@ -181,6 +182,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     elif args.suite == "seed-sweep":
         scenarios = seed_sweep_campaign(count=args.scenarios,
                                         mtfs=args.mtfs, base_seed=args.seed)
+    elif args.suite == "chaos":
+        scenarios = chaos_campaign(count=args.scenarios,
+                                   mtfs=max(args.mtfs, 4),
+                                   base_seed=args.seed)
     else:
         scenarios = config_sweep_campaign(count=args.scenarios,
                                           base_seed=args.seed)
@@ -269,10 +274,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign", help="run a deterministic multi-scenario campaign")
     campaign.add_argument("--suite",
                           choices=["fault-matrix", "seed-sweep",
-                                   "config-sweep"],
+                                   "config-sweep", "chaos"],
                           default="fault-matrix",
                           help="built-in campaign builder (default "
-                               "fault-matrix)")
+                               "fault-matrix); 'chaos' barrages the "
+                               "FDIR-supervised prototype under the "
+                               "invariant oracle")
     campaign.add_argument("--spec", default=None,
                           help="JSON campaign spec file (overrides --suite)")
     campaign.add_argument("--scenarios", type=int, default=64,

@@ -109,6 +109,14 @@ class ModuleControl:
         """Current/next schedule and last switch time (Part 2)."""
         raise NotImplementedError
 
+    def kick_watchdog(self, partition: str) -> bool:
+        """Record a partition heartbeat (FDIR watchdog service).
+
+        Returns False when no watchdog watches *partition*.  Default:
+        no watchdog service present.
+        """
+        return False
+
 
 @dataclass
 class ProcessContext:
@@ -535,6 +543,22 @@ class ApexInterface:
         if self.module_control is None:
             return error(ReturnCode.NOT_AVAILABLE)
         return ok(self.module_control.schedule_status())
+
+    def kick_watchdog(self) -> ServiceResult[None]:
+        """KICK_WATCHDOG: heartbeat the partition's PMK-level watchdog.
+
+        A paravirtualized liveness report (the deadline lives in the PMK,
+        outside the partition's fault domain — a hung partition cannot
+        fake its own heartbeat).  ``NOT_AVAILABLE`` when no watchdog
+        service exists or none watches this partition; unlike
+        SET_MODULE_SCHEDULE this needs no authorization — a partition may
+        always attest its own liveness.
+        """
+        if self.module_control is None:
+            return error(ReturnCode.NOT_AVAILABLE)
+        if not self.module_control.kick_watchdog(self.partition):
+            return error(ReturnCode.NOT_AVAILABLE)
+        return ok()
 
     # ================================================================ #
     # intrapartition communication

@@ -7,8 +7,11 @@ an application error to Health Monitoring.
 
 Processes:
 
-* ``fdir-monitor`` — the watchdog described above;
-* ``fdir-logger`` — slow background consolidation.
+* ``fdir-monitor`` — the anomaly watcher described above;
+* ``fdir-logger`` — slow background consolidation;
+* ``fdir-heartbeat`` (optional) — kicks the partition's PMK-level
+  watchdog every cycle (APEX KICK_WATCHDOG), so a hung or crashed P4 is
+  *detected* by the FDIR supervision layer rather than merely observed.
 """
 
 from __future__ import annotations
@@ -20,13 +23,17 @@ from ..config.builder import PartitionBuilder
 from ..pos.effects import Call, Compute
 from ..types import PortDirection, Ticks
 
-__all__ = ["ATTITUDE_MON_PORT", "ALERT_PORT", "FdirStats", "configure"]
+__all__ = ["ATTITUDE_MON_PORT", "ALERT_PORT", "HEARTBEAT_PROCESS",
+           "FdirStats", "configure"]
 
 #: Destination sampling port monitoring AOCS attitude.
 ATTITUDE_MON_PORT = "attitude_mon"
 
 #: Source queuing port raising alerts toward TTC.
 ALERT_PORT = "alert_out"
+
+#: Name of the optional watchdog-kicking process.
+HEARTBEAT_PROCESS = "fdir-heartbeat"
 
 
 class FdirStats:
@@ -77,10 +84,27 @@ def _logger_body(work: Ticks):
     return factory
 
 
+def _heartbeat_body(work: Ticks):
+    def factory(ctx: ProcessContext) -> Iterator:
+        while True:
+            yield Compute(work)
+            # NOT_AVAILABLE (no watchdog configured) is deliberately
+            # ignored: the heartbeat is harmless without a supervisor.
+            yield Call(ctx.apex.kick_watchdog)
+            yield Call(ctx.apex.periodic_wait)
+
+    return factory
+
+
 def configure(builder: PartitionBuilder, *, cycle: Ticks, duty: Ticks,
               stats: Optional[FdirStats] = None,
-              anomaly_threshold: int = 3) -> FdirStats:
-    """Declare the FDIR processes on *builder*; returns the stats object."""
+              anomaly_threshold: int = 3,
+              heartbeat: bool = False) -> FdirStats:
+    """Declare the FDIR processes on *builder*; returns the stats object.
+
+    With ``heartbeat=True`` an additional high-priority process kicks the
+    partition's PMK watchdog once per cycle.
+    """
     if stats is None:
         stats = FdirStats()
     monitor = max(duty // 4, 1)
@@ -92,6 +116,13 @@ def configure(builder: PartitionBuilder, *, cycle: Ticks, duty: Ticks,
     builder.body("fdir-monitor",
                  _monitor_body(monitor, stats, anomaly_threshold))
     builder.body("fdir-logger", _logger_body(logger))
+    processes = ["fdir-monitor", "fdir-logger"]
+    if heartbeat:
+        beat = max(duty // 10, 1)
+        builder.process(HEARTBEAT_PROCESS, period=cycle, deadline=cycle,
+                        priority=0, wcet=beat)
+        builder.body(HEARTBEAT_PROCESS, _heartbeat_body(beat))
+        processes.insert(0, HEARTBEAT_PROCESS)
 
     def init(apex: ApexInterface) -> None:
         from ..types import PartitionMode
@@ -99,7 +130,7 @@ def configure(builder: PartitionBuilder, *, cycle: Ticks, duty: Ticks,
         apex.create_sampling_port(ATTITUDE_MON_PORT,
                                   PortDirection.DESTINATION)
         apex.create_queuing_port(ALERT_PORT, PortDirection.SOURCE)
-        for process in ("fdir-monitor", "fdir-logger"):
+        for process in processes:
             apex.start(process).expect(f"starting {process}")
         apex.set_partition_mode(PartitionMode.NORMAL)
 

@@ -66,11 +66,19 @@ class PrototypeHandles:
 def build_prototype(*, seed: int = 0, deadline_store: str = "list",
                     change_action_policy: str = "first_dispatch",
                     p1_change_action: ScheduleChangeAction =
-                    ScheduleChangeAction.IGNORE) -> PrototypeHandles:
+                    ScheduleChangeAction.IGNORE,
+                    fdir_supervision: bool = False) -> PrototypeHandles:
     """Build the Sect. 6 system configuration.
 
     ``p1_change_action`` optionally arms a ScheduleChangeAction for P1 on
     both schedules (the paper's demo uses none; tests use this hook).
+
+    ``fdir_supervision`` attaches the FDIR supervision layer: a P1
+    deadline-miss escalation chain (process restart -> partition restart
+    -> degraded ``chi2`` switch -> partition stop), restart-storm
+    parking, recovery probation back to ``chi1``, and a P4 heartbeat
+    watchdog (P4 gains a ``fdir-heartbeat`` process).  The default build
+    is unchanged — without supervision no new processes or events exist.
     """
     builder = SystemBuilder()
     builder.seed(seed)
@@ -103,7 +111,31 @@ def build_prototype(*, seed: int = 0, deadline_store: str = "list",
 
     obdh.configure(builder.partition("P2"), cycle=650, duty=100)
     ttc_stats = ttc.configure(builder.partition("P3"), cycle=650, duty=100)
-    fdir_stats = fdir.configure(builder.partition("P4"), cycle=MTF, duty=100)
+    fdir_stats = fdir.configure(builder.partition("P4"), cycle=MTF, duty=100,
+                                heartbeat=fdir_supervision)
+
+    if fdir_supervision:
+        from ..fdir.policy import EscalationRule, EscalationStep, FdirConfig
+        from ..types import ErrorCode, RecoveryAction
+
+        builder.fdir(FdirConfig(
+            rules=(
+                # The Sect. 6 faulty process misses once per MTF while
+                # armed; three misses within four frames climb one rung.
+                EscalationRule(
+                    code=ErrorCode.DEADLINE_MISSED, partition="P1",
+                    window=4 * MTF, threshold=3,
+                    chain=(
+                        EscalationStep(RecoveryAction.RESTART_PARTITION),
+                        EscalationStep(RecoveryAction.SWITCH_SCHEDULE,
+                                       schedule="chi2"),
+                        EscalationStep(RecoveryAction.STOP_PARTITION),
+                    )),
+            ),
+            storm_window=3 * MTF, storm_limit=3,
+            probation=8 * MTF,
+            watchdogs={"P4": 4 * MTF},
+        ))
 
     # --- interpartition channels ------------------------------------ #
     builder.sampling_channel(

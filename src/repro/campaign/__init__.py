@@ -23,6 +23,7 @@ from .runner import (
 from .scenarios import (
     FACTORIES,
     Scenario,
+    chaos_campaign,
     config_sweep_campaign,
     fault_matrix_campaign,
     load_campaign_spec,
@@ -37,7 +38,7 @@ __all__ = [
     "report_json",
     "autodetect_workers", "run_campaign", "run_pool", "run_scenario",
     "run_serial",
-    "FACTORIES", "Scenario", "config_sweep_campaign",
+    "FACTORIES", "Scenario", "chaos_campaign", "config_sweep_campaign",
     "fault_matrix_campaign", "load_campaign_spec", "register_factory",
     "scenario_from_dict", "scenario_to_dict", "seed_sweep_campaign",
 ]

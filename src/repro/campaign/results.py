@@ -51,6 +51,9 @@ class ScenarioResult:
     schedule_switches: int = 0
     memory_faults: int = 0
     faults_applied: int = 0
+    #: The injector's log, compacted to ``(tick, fault kind, status)`` —
+    #: what was actually applied, correlatable with the trace.
+    injections: Tuple[Tuple[int, str, str], ...] = ()
     trace_events: int = 0
     trace_digest: str = ""
     occupancy: Tuple[Tuple[str, int], ...] = ()
@@ -76,6 +79,9 @@ class ScenarioResult:
             "schedule_switches": self.schedule_switches,
             "memory_faults": self.memory_faults,
             "faults_applied": self.faults_applied,
+            "injections": [
+                {"tick": tick, "fault": kind, "status": status}
+                for tick, kind, status in self.injections],
             "trace_events": self.trace_events,
             "trace_digest": self.trace_digest,
             "occupancy": {partition: ticks
@@ -129,7 +135,9 @@ def aggregate(results: Sequence[ScenarioResult]) -> Dict[str, Any]:
         "trace_events": sum(r.trace_events for r in ordered),
     }
     digest = hashlib.sha256("|".join(
-        f"{r.scenario_id}:{r.status}:{r.trace_digest}"
+        f"{r.scenario_id}:{r.status}:{r.trace_digest}:"
+        + ";".join(f"{tick}@{kind}={status}"
+                   for tick, kind, status in r.injections)
         for r in ordered).encode("utf-8")).hexdigest()[:16]
     # Cross-scenario distributions of the compact metric pairs each
     # worker computed (repro.obs.compact_metrics): folded in scenario-id

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..fault.faults import ScheduleSwitchFault
 from ..fault.injector import FaultInjector
+from ..fdir.oracle import check_trace
 from ..kernel.simulator import Simulator
 from ..kernel.trace import (
     DeadlineMissed,
@@ -48,7 +49,8 @@ __all__ = [
     "autodetect_workers",
 ]
 
-#: Simulated ticks between wall-clock timeout polls inside a scenario.
+#: Default simulated ticks between wall-clock timeout polls inside a
+#: scenario; override per call with ``check_interval``.
 TIMEOUT_CHECK_INTERVAL = 20_000
 
 
@@ -61,7 +63,9 @@ def autodetect_workers() -> int:
 
 
 def run_scenario(scenario: Scenario, *,
-                 timeout_s: Optional[float] = None) -> ScenarioResult:
+                 timeout_s: Optional[float] = None,
+                 check_interval: int = TIMEOUT_CHECK_INTERVAL
+                 ) -> ScenarioResult:
     """Execute one scenario to completion, failure or timeout.
 
     Any exception — a broken config factory, a fault naming an unknown
@@ -69,8 +73,19 @@ def run_scenario(scenario: Scenario, *,
     result; exceeding *timeout_s* of wall time yields a ``timeout`` result
     with the metrics gathered so far.  Either way the caller gets a
     :class:`ScenarioResult`, never a raised exception.
+
+    *check_interval* bounds the simulated span between wall-clock timeout
+    polls (and thus the timeout's detection granularity).
+
+    Unless the scenario opts out (``oracle=False``), the finished trace is
+    audited by the TSP invariant oracle
+    (:func:`repro.fdir.oracle.check_trace`); any violation downgrades an
+    otherwise clean run to ``crashed`` with the violations in ``error``.
     """
     start = time.perf_counter()
+    if check_interval < 1:
+        raise ValueError(
+            f"check_interval must be >= 1, got {check_interval}")
     try:
         config = scenario.build_config()
         simulator = Simulator(config)
@@ -85,7 +100,7 @@ def run_scenario(scenario: Scenario, *,
             should_abort = lambda: time.perf_counter() > deadline
         completed = injector.run_fast(
             scenario.ticks, should_abort=should_abort,
-            check_interval=TIMEOUT_CHECK_INTERVAL)
+            check_interval=check_interval)
     except Exception as exc:
         return ScenarioResult(
             scenario_id=scenario.scenario_id,
@@ -98,6 +113,14 @@ def run_scenario(scenario: Scenario, *,
     status = STATUS_OK if completed else STATUS_TIMEOUT
     error = "" if completed else \
         f"exceeded {timeout_s}s wall-clock budget at tick {simulator.now}"
+    if completed and scenario.oracle:
+        violations = check_trace(trace, config)
+        if violations:
+            status = STATUS_CRASHED
+            error = (f"oracle: {len(violations)} invariant violation(s); "
+                     + "; ".join(
+                         f"{v.invariant}@{v.tick}: {v.detail}"
+                         for v in violations[:3]))
     return ScenarioResult(
         scenario_id=scenario.scenario_id,
         seed=scenario.seed,
@@ -108,6 +131,9 @@ def run_scenario(scenario: Scenario, *,
         schedule_switches=trace.count(ScheduleSwitched),
         memory_faults=trace.count(MemoryFault),
         faults_applied=len(injector.log),
+        injections=tuple(
+            (record.tick, type(record.fault).__name__, record.status)
+            for record in injector.log),
         trace_events=len(trace),
         trace_digest=trace.digest(),
         occupancy=tuple(sorted(simulator.pmk.partition_ticks.items())),
@@ -117,23 +143,29 @@ def run_scenario(scenario: Scenario, *,
     )
 
 
-def _pool_worker(payload: Tuple[Scenario, Optional[float]]
+def _pool_worker(payload: Tuple[Scenario, Optional[float], int]
                  ) -> ScenarioResult:
-    scenario, timeout_s = payload
-    return run_scenario(scenario, timeout_s=timeout_s)
+    scenario, timeout_s, check_interval = payload
+    return run_scenario(scenario, timeout_s=timeout_s,
+                        check_interval=check_interval)
 
 
 def run_serial(scenarios: Sequence[Scenario], *,
-               timeout_s: Optional[float] = None) -> List[ScenarioResult]:
+               timeout_s: Optional[float] = None,
+               check_interval: int = TIMEOUT_CHECK_INTERVAL
+               ) -> List[ScenarioResult]:
     """Run every scenario in this process, in order."""
-    return [run_scenario(scenario, timeout_s=timeout_s)
+    return [run_scenario(scenario, timeout_s=timeout_s,
+                         check_interval=check_interval)
             for scenario in scenarios]
 
 
 def run_pool(scenarios: Sequence[Scenario], *,
              workers: Optional[int] = None,
              chunksize: Optional[int] = None,
-             timeout_s: Optional[float] = None) -> List[ScenarioResult]:
+             timeout_s: Optional[float] = None,
+             check_interval: int = TIMEOUT_CHECK_INTERVAL
+             ) -> List[ScenarioResult]:
     """Fan scenarios out over a ``multiprocessing`` pool.
 
     ``pool.map`` preserves input order, so the result list matches the
@@ -144,7 +176,8 @@ def run_pool(scenarios: Sequence[Scenario], *,
     if workers is None:
         workers = autodetect_workers()
     if workers <= 1 or len(scenarios) <= 1:
-        return run_serial(scenarios, timeout_s=timeout_s)
+        return run_serial(scenarios, timeout_s=timeout_s,
+                          check_interval=check_interval)
     if chunksize is None:
         # Small chunks keep the pool load-balanced without paying per-item
         # IPC for every scenario; determinism never depends on this.
@@ -152,7 +185,8 @@ def run_pool(scenarios: Sequence[Scenario], *,
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
-    payloads = [(scenario, timeout_s) for scenario in scenarios]
+    payloads = [(scenario, timeout_s, check_interval)
+                for scenario in scenarios]
     with context.Pool(processes=workers) as pool:
         return pool.map(_pool_worker, payloads, chunksize=chunksize)
 
@@ -160,9 +194,12 @@ def run_pool(scenarios: Sequence[Scenario], *,
 def run_campaign(scenarios: Sequence[Scenario], *,
                  workers: int = 1,
                  chunksize: Optional[int] = None,
-                 timeout_s: Optional[float] = None) -> List[ScenarioResult]:
+                 timeout_s: Optional[float] = None,
+                 check_interval: int = TIMEOUT_CHECK_INTERVAL
+                 ) -> List[ScenarioResult]:
     """Serial (`workers <= 1`) or pooled campaign execution."""
     if workers <= 1:
-        return run_serial(scenarios, timeout_s=timeout_s)
+        return run_serial(scenarios, timeout_s=timeout_s,
+                          check_interval=check_interval)
     return run_pool(scenarios, workers=workers, chunksize=chunksize,
-                    timeout_s=timeout_s)
+                    timeout_s=timeout_s, check_interval=check_interval)

@@ -17,7 +17,9 @@ Cheptsov & Khoroshilov: robustness across many injected-fault runs):
 * :func:`seed_sweep_campaign` — the chaos workload (every fault class at
   once) across seeds;
 * :func:`config_sweep_campaign` — generated systems from
-  :mod:`repro.analysis.generator` across seeds.
+  :mod:`repro.analysis.generator` across seeds;
+* :func:`chaos_campaign` — randomized fault barrages against the
+  FDIR-supervised prototype, audited by the TSP invariant oracle.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..analysis.generator import generate_pst, random_requirements
+from ..apps.fdir import HEARTBEAT_PROCESS
 from ..apps.prototype import FAULTY_PROCESS, MTF, build_prototype
 from ..config.builder import SystemBuilder
 from ..config.loader import load_config
@@ -55,6 +58,7 @@ __all__ = [
     "fault_matrix_campaign",
     "seed_sweep_campaign",
     "config_sweep_campaign",
+    "chaos_campaign",
 ]
 
 
@@ -149,6 +153,10 @@ class Scenario:
     config_doc: Optional[Mapping[str, Any]] = None
     faults: Tuple[Tuple[Ticks, Fault], ...] = ()
     schedule_commands: Tuple[Tuple[Ticks, str], ...] = ()
+    #: Audit the finished trace with the TSP invariant oracle
+    #: (:func:`repro.fdir.oracle.check_trace`); violations downgrade the
+    #: result to ``crashed``.
+    oracle: bool = True
 
     def __post_init__(self) -> None:
         if self.ticks < 0:
@@ -185,6 +193,8 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
         record["schedule_commands"] = [
             {"tick": tick, "schedule": schedule_id}
             for tick, schedule_id in scenario.schedule_commands]
+    if not scenario.oracle:
+        record["oracle"] = False
     return record
 
 
@@ -206,6 +216,7 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
         config_doc=data.get("config"),
         faults=tuple(faults),
         schedule_commands=commands,
+        oracle=data.get("oracle", True),
     )
 
 
@@ -308,6 +319,69 @@ def seed_sweep_campaign(*, count: int = 16, mtfs: int = 8,
                 (4 * MTF + 50, PartitionCrashFault("P2")),
             ),
             schedule_commands=((5 * MTF, "chi2"),),
+        ))
+    return scenarios
+
+
+#: The chaos-campaign fault arsenal: constructors drawing any free
+#: parameters from the scenario's derived rng stream.  Deliberately
+#: confined to P1, P2 and P4 so P3 (the TTC system partition) stays
+#: fault-free and its windows remain assertable.
+_CHAOS_ARSENAL: Tuple[Callable[[SeededRng], Fault], ...] = (
+    lambda rng: StartProcessFault("P1", FAULTY_PROCESS),
+    lambda rng: MemoryViolationFault("P2"),
+    lambda rng: MemoryViolationFault("P4"),
+    lambda rng: PartitionCrashFault("P2"),
+    lambda rng: PartitionCrashFault("P4", cold=True),
+    lambda rng: MessageFloodFault("P4", "alert_out",
+                                  count=rng.randint(16, 128)),
+    lambda rng: MessageFloodFault("P2", "tm_out",
+                                  count=rng.randint(16, 64)),
+    lambda rng: ProcessKillFault("P2", "obdh-storage"),
+    # Silencing the heartbeat is the watchdog's reason to exist.
+    lambda rng: ProcessKillFault("P4", HEARTBEAT_PROCESS),
+)
+
+
+def chaos_campaign(*, count: int = 50, mtfs: int = 10,
+                   base_seed: int = 0) -> List[Scenario]:
+    """Randomized fault barrages against the FDIR-supervised prototype.
+
+    Each scenario derives its own rng stream from *base_seed* and draws
+    3–6 faults (times and kinds) from :data:`_CHAOS_ARSENAL`, sometimes
+    adding a mid-run commanded switch to ``chi2``.  The prototype runs
+    with ``fdir_supervision=True`` — escalation, storm parking, probation
+    and the P4 watchdog are all live — and every trace is audited by the
+    TSP invariant oracle (``oracle=True``): the campaign's pass criterion
+    is *no invariant ever breaks under supervision*, not merely "no
+    crash".  Fully deterministic: the same *base_seed* yields the same
+    scenarios, and thus the same campaign digest, for any worker count.
+    """
+    if count < 1 or mtfs < 4:
+        raise ConfigurationError(
+            f"chaos campaign needs count >= 1 and mtfs >= 4, "
+            f"got count={count}, mtfs={mtfs}")
+    scenarios: List[Scenario] = []
+    for index in range(count):
+        rng = SeededRng(base_seed).fork(f"chaos-{index}")
+        barrage = rng.randint(3, 6)
+        faults: List[Tuple[Ticks, Fault]] = []
+        for _ in range(barrage):
+            build = rng.choice(_CHAOS_ARSENAL)
+            tick = rng.randint(MTF // 2, (mtfs - 2) * MTF)
+            faults.append((tick, build(rng)))
+        faults.sort(key=lambda entry: entry[0])
+        commands: Tuple[Tuple[Ticks, str], ...] = ()
+        if rng.chance(0.3):
+            commands = ((rng.randint(MTF, (mtfs - 2) * MTF), "chi2"),)
+        scenarios.append(Scenario(
+            scenario_id=f"chaos-{base_seed + index:05d}",
+            factory="prototype",
+            seed=base_seed + index,
+            ticks=mtfs * MTF,
+            factory_kwargs={"fdir_supervision": True},
+            faults=tuple(faults),
+            schedule_commands=commands,
         ))
     return scenarios
 

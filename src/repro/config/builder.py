@@ -34,6 +34,7 @@ from ..core.model import (
     TimeWindow,
 )
 from ..exceptions import ConfigurationError
+from ..fdir.policy import FdirConfig
 from ..hm.monitor import ApplicationHandler
 from ..hm.tables import HmTables
 from ..pos.tcb import BodyFactory
@@ -192,6 +193,7 @@ class SystemBuilder:
         self._trace_capacity: Optional[int] = None
         self._seed = 0
         self._memory_emulation = False
+        self._fdir: Optional[FdirConfig] = None
 
     def partition(self, name: str) -> PartitionBuilder:
         """Get or create the builder for partition *name*."""
@@ -272,6 +274,11 @@ class SystemBuilder:
         self._memory_emulation = enabled
         return self
 
+    def fdir(self, config: FdirConfig) -> "SystemBuilder":
+        """Enable FDIR supervision (escalation, parking, watchdogs)."""
+        self._fdir = config
+        return self
+
     def build(self) -> SystemConfig:
         """Assemble and validate the configuration."""
         if not self._partitions:
@@ -293,6 +300,7 @@ class SystemBuilder:
             change_action_policy=self._change_action_policy,
             trace_capacity=self._trace_capacity,
             seed=self._seed,
-            memory_emulation=self._memory_emulation)
+            memory_emulation=self._memory_emulation,
+            fdir=self._fdir)
         config.validate().raise_if_invalid()
         return config

@@ -29,6 +29,7 @@ from ..core.model import (
     TimeWindow,
 )
 from ..exceptions import ConfigurationError
+from ..fdir.policy import fdir_config_from_dict, fdir_config_to_dict
 from ..hm.tables import HmTables
 from ..types import (
     ErrorCode,
@@ -225,6 +226,8 @@ def dump_config(config: SystemConfig) -> Dict[str, Any]:
         "trace_capacity": config.trace_capacity,
         "seed": config.seed,
         "memory_emulation": config.memory_emulation,
+        "fdir": (fdir_config_to_dict(config.fdir)
+                 if config.fdir is not None else None),
     }
 
 
@@ -249,7 +252,9 @@ def load_config(data: Mapping[str, Any]) -> SystemConfig:
                                       "first_dispatch"),
         trace_capacity=data.get("trace_capacity"),
         seed=data.get("seed", 0),
-        memory_emulation=data.get("memory_emulation", False))
+        memory_emulation=data.get("memory_emulation", False),
+        fdir=(fdir_config_from_dict(data["fdir"])
+              if data.get("fdir") is not None else None))
 
 
 def save_config(config: SystemConfig, path: str) -> None:

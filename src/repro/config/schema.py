@@ -23,10 +23,11 @@ from ..comm.messages import ChannelConfig
 from ..core.model import Partition, SystemModel
 from ..core.validation import Severity, ValidationReport, validate_system
 from ..exceptions import ConfigurationError
+from ..fdir.policy import FdirConfig
 from ..hm.monitor import ApplicationHandler
 from ..hm.tables import HmTables
 from ..pos.tcb import BodyFactory
-from ..types import Ticks
+from ..types import RecoveryAction, Ticks
 
 __all__ = ["PartitionRuntimeConfig", "SystemConfig",
            "DEFAULT_PARTITION_MEMORY"]
@@ -114,6 +115,10 @@ class SystemConfig:
     #: path on the hot loop, not just on faults.  Off by default (2-3x
     #: simulation cost).
     memory_emulation: bool = False
+    #: FDIR supervision policy (escalation chains, restart-storm parking,
+    #: recovery probation, partition watchdogs); None disables the
+    #: supervision layer entirely (the HM tables act alone).
+    fdir: Optional[FdirConfig] = None
 
     def __post_init__(self) -> None:
         if self.deadline_store_kind not in ("list", "tree"):
@@ -166,4 +171,22 @@ class SystemConfig:
                     report.add(Severity.ERROR, "CHANNEL_UNKNOWN_PARTITION",
                                f"channel {channel.name!r} references unknown "
                                f"partition {endpoint.partition!r}")
+        if self.fdir is not None:
+            schedules = {s.schedule_id for s in self.model.schedules}
+            for index, rule in enumerate(self.fdir.rules):
+                if rule.partition is not None and rule.partition not in known:
+                    report.add(Severity.ERROR, "FDIR_UNKNOWN_PARTITION",
+                               f"escalation rule {index} targets unknown "
+                               f"partition {rule.partition!r}")
+                for step in rule.chain:
+                    if (step.action is RecoveryAction.SWITCH_SCHEDULE
+                            and step.schedule not in schedules):
+                        report.add(Severity.ERROR, "FDIR_UNKNOWN_SCHEDULE",
+                                   f"escalation rule {index} switches to "
+                                   f"unknown schedule {step.schedule!r}")
+            for partition in self.fdir.watchdogs:
+                if partition not in known:
+                    report.add(Severity.ERROR, "FDIR_UNKNOWN_PARTITION",
+                               f"watchdog configured for unknown partition "
+                               f"{partition!r}")
         return report

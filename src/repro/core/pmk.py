@@ -32,6 +32,8 @@ from ..apex.types import ScheduleStatus
 from ..comm.router import CommRouter
 from ..config.schema import SystemConfig
 from ..exceptions import SimulationError, SpatialViolationError
+from ..fdir.supervisor import FdirSupervisor
+from ..fdir.watchdog import WatchdogService
 from ..hm.monitor import ActionExecutor, HealthMonitor
 from ..kernel.context import ContextBank
 from ..kernel.rng import SeededRng
@@ -121,6 +123,19 @@ class Pmk(ModuleControl, ActionExecutor):
         self.runtimes: Dict[str, PartitionRuntime] = {}
         for partition in config.model.partitions:
             self.runtimes[partition.name] = self._build_partition(partition.name)
+
+        # --- FDIR supervision (escalation, parking, watchdogs) ----------- #
+        self.watchdog: Optional[WatchdogService] = None
+        self.fdir: Optional[FdirSupervisor] = None
+        if config.fdir is not None:
+            if config.fdir.watchdogs:
+                self.watchdog = WatchdogService(
+                    config.fdir.watchdogs,
+                    on_expired=self._on_watchdog_expired, trace=trace)
+            self.fdir = FdirSupervisor(
+                config.fdir, module=self, watchdog=self.watchdog,
+                trace=trace)
+            self.health_monitor.supervisor = self.fdir
 
         #: Optional host-time profiler (``Simulator.enable_profiling``).
         self.profiler = None
@@ -260,6 +275,8 @@ class Pmk(ModuleControl, ActionExecutor):
             return
         now = self.time.now
         self.ticks_executed += 1
+        if self.fdir is not None:
+            self.fdir.poll(now)
         elapsed: Ticks = 1
         if self.scheduler.tick(now):
             active = self.dispatcher.active_partition
@@ -293,6 +310,10 @@ class Pmk(ModuleControl, ActionExecutor):
         profiler = self.profiler
         now = self.time.now
         self.ticks_executed += 1
+        if self.fdir is not None:
+            t0 = perf_counter()
+            self.fdir.poll(now)
+            profiler.record("fdir", perf_counter() - t0)
         elapsed: Ticks = 1
         t0 = perf_counter()
         preempt = self.scheduler.tick(now)
@@ -367,6 +388,10 @@ class Pmk(ModuleControl, ActionExecutor):
             event = delivery
         if partition_event is not None and partition_event < event:
             event = partition_event
+        if self.fdir is not None:
+            fdir_event = self.fdir.next_event_tick(now)
+            if fdir_event is not None and fdir_event < event:
+                event = fdir_event
         return event
 
     def execute_span(self, now: Ticks, ticks: Ticks) -> None:
@@ -433,6 +458,16 @@ class Pmk(ModuleControl, ActionExecutor):
             current_schedule=self.scheduler.current_schedule,
             next_schedule=self.scheduler.next_schedule)
 
+    def kick_watchdog(self, partition: str) -> bool:
+        """Record a heartbeat for *partition* (APEX KICK_WATCHDOG).
+
+        Returns False when no watchdog service is configured, or none
+        watches this partition.
+        """
+        if self.watchdog is None:
+            return False
+        return self.watchdog.kick(partition, self.time.now)
+
     # -------------------------------------------------------------- #
     # ActionExecutor (Health Monitor recovery actions — Sect. 5)
     # -------------------------------------------------------------- #
@@ -449,12 +484,19 @@ class Pmk(ModuleControl, ActionExecutor):
 
     def restart_partition(self, partition: str) -> None:
         """Warm-restart the partition (a Health Monitor recovery action)."""
+        if self.watchdog is not None:
+            # A deliberately restarted partition is not "hung": its stale
+            # heartbeat deadline is dropped; the restarted application
+            # re-arms the watchdog with its first kick.
+            self.watchdog.disarm(partition)
         self.runtime(partition).request_restart(
             PartitionMode.WARM_START,
             condition=StartCondition.HM_PARTITION_RESTART)
 
     def stop_partition(self, partition: str) -> None:
         """Shut the partition down (idle)."""
+        if self.watchdog is not None:
+            self.watchdog.disarm(partition)
         self.runtime(partition).shutdown()
 
     def module_stop(self) -> None:
@@ -491,6 +533,12 @@ class Pmk(ModuleControl, ActionExecutor):
             self.health_monitor.report(
                 ErrorCode.MEMORY_VIOLATION, partition=partition,
                 detail=f"{access.value}@{address:#x}: {detail}")
+
+    def _on_watchdog_expired(self, partition: str, last_kick: Ticks,
+                             now: Ticks) -> None:
+        self.health_monitor.report(
+            ErrorCode.WATCHDOG_EXPIRED, partition=partition,
+            detail=f"no heartbeat since tick {last_kick}")
 
     def _on_process_fault(self, partition: str, tcb: Tcb,
                           exc: BaseException) -> None:

@@ -1,0 +1,32 @@
+"""FDIR: fault detection, isolation and recovery supervision.
+
+The supervision layer between the AIR Health Monitor and the PMK:
+declarative escalation policy (:mod:`repro.fdir.policy`), the
+history-keeping supervisor (:mod:`repro.fdir.supervisor`), PMK-level
+partition watchdogs (:mod:`repro.fdir.watchdog`) and the offline TSP
+invariant oracle (:mod:`repro.fdir.oracle`).
+"""
+
+from .oracle import InvariantViolation, check_trace, render_violations
+from .policy import (
+    EscalationRule,
+    EscalationStep,
+    FdirConfig,
+    fdir_config_from_dict,
+    fdir_config_to_dict,
+)
+from .supervisor import FdirSupervisor
+from .watchdog import WatchdogService
+
+__all__ = [
+    "EscalationRule",
+    "EscalationStep",
+    "FdirConfig",
+    "FdirSupervisor",
+    "InvariantViolation",
+    "WatchdogService",
+    "check_trace",
+    "fdir_config_from_dict",
+    "fdir_config_to_dict",
+    "render_violations",
+]

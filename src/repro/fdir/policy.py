@@ -1,0 +1,206 @@
+"""FDIR escalation policy: configuration of the supervision layer.
+
+The Health Monitor tables (Sect. 2.4/5) map one error report to one
+recovery action — statically, forever.  Cheptsov & Khoroshilov
+(arXiv:2312.01436) argue that static per-error actions are insufficient
+against *persistent* faults; the DREMS-OS supervisor (arXiv:1710.00268)
+answers with escalation: repeated failures within a window climb a chain
+of increasingly drastic responses.  :class:`FdirConfig` captures that
+policy declaratively:
+
+* :class:`EscalationRule` — a persistence window (``threshold``
+  occurrences within ``window`` ticks) over a (partition, error-code)
+  match, driving an ordered :class:`EscalationStep` chain.  Rung 0 is
+  always "whatever the HM tables say", so a system with FDIR configured
+  but thresholds never crossed behaves exactly like one without.
+* restart-storm throttling — a partition that dies again within
+  ``storm_window`` ticks of its last supervised restart, ``storm_limit``
+  consecutive times, is *parked* (stopped, never restarted again).
+* recovery probation — after a :attr:`~repro.types.RecoveryAction.SWITCH_SCHEDULE`
+  rung degrades the module schedule, ``probation`` clean ticks switch it
+  back to the nominal schedule and reset all escalation state.
+* partition watchdogs — ``watchdogs[partition] = window`` arms a
+  PMK-level heartbeat deadline once the partition first kicks it.
+
+Everything here is immutable, hashable and JSON round-trippable (see
+:func:`fdir_config_to_dict` / :func:`fdir_config_from_dict`), so an
+:class:`FdirConfig` can cross the campaign worker-pool boundary inside a
+serialized :class:`~repro.config.schema.SystemConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from ..types import ErrorCode, RecoveryAction, Ticks
+
+__all__ = ["EscalationStep", "EscalationRule", "FdirConfig",
+           "fdir_config_to_dict", "fdir_config_from_dict"]
+
+
+@dataclass(frozen=True)
+class EscalationStep:
+    """One rung of an escalation chain.
+
+    ``schedule`` names the degraded PST for
+    :attr:`~repro.types.RecoveryAction.SWITCH_SCHEDULE` steps and must be
+    None for every other action.
+    """
+
+    action: RecoveryAction
+    schedule: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.action is RecoveryAction.SWITCH_SCHEDULE:
+            if not self.schedule:
+                raise ConfigurationError(
+                    "SWITCH_SCHEDULE escalation step needs a schedule id")
+        elif self.schedule is not None:
+            raise ConfigurationError(
+                f"escalation step {self.action.value!r} takes no schedule")
+
+
+@dataclass(frozen=True)
+class EscalationRule:
+    """Persistence window + chain for one (partition, code) match.
+
+    ``code`` / ``partition`` of None match any code / any partition (a
+    None-partition rule keeps *per-partition* state, so two partitions
+    tripping the same wildcard rule escalate independently).
+    ``threshold`` occurrences within ``window`` ticks advance the chain
+    one rung; the occurrence history resets on each advance, so each
+    subsequent rung needs a fresh burst of ``threshold`` occurrences.
+    """
+
+    code: Optional[ErrorCode] = None
+    partition: Optional[str] = None
+    window: Ticks = 1000
+    threshold: int = 3
+    chain: Tuple[EscalationStep, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(
+                f"escalation window must be >= 1 tick, got {self.window}")
+        if self.threshold < 1:
+            raise ConfigurationError(
+                f"escalation threshold must be >= 1, got {self.threshold}")
+        if not self.chain:
+            raise ConfigurationError("escalation rule needs a non-empty chain")
+
+    def matches(self, code: ErrorCode, partition: Optional[str]) -> bool:
+        """Does this rule govern a report of *code* against *partition*?"""
+        if self.code is not None and code is not self.code:
+            return False
+        if self.partition is not None and partition != self.partition:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FdirConfig:
+    """Complete FDIR supervision policy for one AIR module.
+
+    Parameters
+    ----------
+    rules:
+        Escalation rules, consulted in order; the first match governs a
+        report (so put specific (partition, code) rules before wildcards).
+    storm_window:
+        A supervised partition restart followed by another restart-worthy
+        report within this many ticks counts toward the storm limit.
+        0 disables storm throttling.
+    storm_limit:
+        Consecutive quick restarts after which the partition is parked.
+    probation:
+        Clean ticks in degraded mode before switching back to the nominal
+        schedule.  0 means degraded mode is permanent.
+    watchdogs:
+        ``{partition: window}`` heartbeat deadlines.  A watchdog is inert
+        until the partition's first kick (so a configured-but-never-kicked
+        watchdog changes nothing).
+    """
+
+    rules: Tuple[EscalationRule, ...] = ()
+    storm_window: Ticks = 0
+    storm_limit: int = 3
+    probation: Ticks = 0
+    watchdogs: Mapping[str, Ticks] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.storm_window < 0:
+            raise ConfigurationError(
+                f"storm_window must be >= 0, got {self.storm_window}")
+        if self.storm_limit < 1:
+            raise ConfigurationError(
+                f"storm_limit must be >= 1, got {self.storm_limit}")
+        if self.probation < 0:
+            raise ConfigurationError(
+                f"probation must be >= 0, got {self.probation}")
+        for partition, window in self.watchdogs.items():
+            if window < 1:
+                raise ConfigurationError(
+                    f"watchdog window for {partition!r} must be >= 1, "
+                    f"got {window}")
+
+    def rule_for(self, code: ErrorCode,
+                 partition: Optional[str]) -> Optional[EscalationRule]:
+        """First rule matching (*code*, *partition*), or None."""
+        for rule in self.rules:
+            if rule.matches(code, partition):
+                return rule
+        return None
+
+
+# ------------------------------------------------------------------ #
+# JSON round-trip (mirrors config.loader's enum <-> value convention)
+# ------------------------------------------------------------------ #
+
+
+def fdir_config_to_dict(config: FdirConfig) -> dict:
+    """JSON-compatible form of *config* (inverted by
+    :func:`fdir_config_from_dict`)."""
+    return {
+        "rules": [
+            {
+                "code": rule.code.value if rule.code is not None else None,
+                "partition": rule.partition,
+                "window": rule.window,
+                "threshold": rule.threshold,
+                "chain": [
+                    {"action": step.action.value, "schedule": step.schedule}
+                    for step in rule.chain
+                ],
+            }
+            for rule in config.rules
+        ],
+        "storm_window": config.storm_window,
+        "storm_limit": config.storm_limit,
+        "probation": config.probation,
+        "watchdogs": dict(sorted(config.watchdogs.items())),
+    }
+
+
+def fdir_config_from_dict(document: Mapping) -> FdirConfig:
+    """Rebuild an :class:`FdirConfig` from its dict form."""
+    rules = []
+    for entry in document.get("rules", []):
+        code = entry.get("code")
+        rules.append(EscalationRule(
+            code=ErrorCode(code) if code is not None else None,
+            partition=entry.get("partition"),
+            window=entry["window"],
+            threshold=entry["threshold"],
+            chain=tuple(
+                EscalationStep(action=RecoveryAction(step["action"]),
+                               schedule=step.get("schedule"))
+                for step in entry["chain"]),
+        ))
+    watchdogs: Dict[str, Ticks] = dict(document.get("watchdogs", {}))
+    return FdirConfig(rules=tuple(rules),
+                      storm_window=document.get("storm_window", 0),
+                      storm_limit=document.get("storm_limit", 3),
+                      probation=document.get("probation", 0),
+                      watchdogs=watchdogs)

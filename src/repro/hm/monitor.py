@@ -100,6 +100,10 @@ class HealthMonitor:
         self._log: List[HandledError] = []
         self._handlers: Dict[str, ApplicationHandler] = {}
         self._occurrences: Dict[Tuple[str, ErrorCode], int] = {}
+        #: Optional FDIR supervisor (see :mod:`repro.fdir.supervisor`):
+        #: consulted after table classification, before execution, so
+        #: escalation history can override the static table action.
+        self.supervisor = None
 
     # -------------------------------------------------------------- #
     # configuration
@@ -133,6 +137,8 @@ class HealthMonitor:
 
         action, by_application = self._decide(report, level)
         action = self._apply_log_threshold(report, action)
+        if self.supervisor is not None:
+            action = self.supervisor.supervise(report, action)
         self._execute(report, level, action)
 
         handled = HandledError(report=report, level=level, action=action,
@@ -181,7 +187,23 @@ class HealthMonitor:
         if level is ErrorLevel.PROCESS:
             handler = self._handlers.get(report.partition)
             if handler is not None:
-                chosen = handler(report)
+                try:
+                    chosen = handler(report)
+                except Exception as exc:  # noqa: BLE001 — fault containment
+                    # A faulty error handler is itself an application
+                    # error; it must not take the whole module down.
+                    # Record the failure and fall back to the table.
+                    if self._trace is not None:
+                        self._trace.record(HealthMonitorEvent(
+                            tick=report.tick,
+                            level=ErrorLevel.PROCESS.value,
+                            code=ErrorCode.APPLICATION_ERROR.value,
+                            partition=report.partition,
+                            process=report.process,
+                            action=RecoveryAction.IGNORE.value,
+                            detail=f"error handler raised "
+                                   f"{type(exc).__name__}: {exc}"))
+                    chosen = None
                 if chosen is not None:
                     return chosen, True
         return self.tables.partition_action(report.partition,
@@ -215,6 +237,10 @@ class HealthMonitor:
         elif action is RecoveryAction.RESTART_PARTITION and partition:
             self.executor.restart_partition(partition)
         elif action is RecoveryAction.STOP_PARTITION and partition:
+            self.executor.stop_partition(partition)
+        elif action is RecoveryAction.PARK_PARTITION and partition:
+            # Storm-throttled: stop the partition; the FDIR supervisor
+            # suppresses every later action against it, so it stays down.
             self.executor.stop_partition(partition)
         elif action is RecoveryAction.MODULE_RESTART:
             self.executor.module_restart()

@@ -36,6 +36,7 @@ DEFAULT_LEVELS: Mapping[ErrorCode, ErrorLevel] = {
     ErrorCode.STACK_OVERFLOW: ErrorLevel.PROCESS,
     ErrorCode.MEMORY_VIOLATION: ErrorLevel.PARTITION,
     ErrorCode.CLOCK_TAMPERING: ErrorLevel.PARTITION,
+    ErrorCode.WATCHDOG_EXPIRED: ErrorLevel.PARTITION,
     ErrorCode.CONFIG_ERROR: ErrorLevel.MODULE,
     ErrorCode.HARDWARE_FAULT: ErrorLevel.MODULE,
     ErrorCode.POWER_FAILURE: ErrorLevel.MODULE,
@@ -50,6 +51,7 @@ DEFAULT_PARTITION_ACTIONS: Mapping[ErrorCode, RecoveryAction] = {
     ErrorCode.STACK_OVERFLOW: RecoveryAction.STOP_PROCESS,
     ErrorCode.MEMORY_VIOLATION: RecoveryAction.RESTART_PARTITION,
     ErrorCode.CLOCK_TAMPERING: RecoveryAction.IGNORE,
+    ErrorCode.WATCHDOG_EXPIRED: RecoveryAction.RESTART_PARTITION,
     ErrorCode.CONFIG_ERROR: RecoveryAction.STOP_PARTITION,
     ErrorCode.HARDWARE_FAULT: RecoveryAction.STOP_PARTITION,
     ErrorCode.POWER_FAILURE: RecoveryAction.STOP_PARTITION,

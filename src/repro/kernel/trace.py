@@ -51,6 +51,10 @@ __all__ = [
     "DeadlineUnregistered",
     "DeadlineMissed",
     "HealthMonitorEvent",
+    "EscalationStepped",
+    "PartitionParked",
+    "EscalationRecovered",
+    "WatchdogExpired",
     "MemoryFault",
     "ClockTamperTrapped",
     "PortMessageSent",
@@ -222,6 +226,42 @@ class HealthMonitorEvent(TraceEvent):
     process: Optional[str]
     action: str
     detail: str = ""
+
+
+@dataclass(unsafe_hash=True)
+class EscalationStepped(TraceEvent):
+    """The FDIR supervisor advanced an escalation chain one rung
+    (persistence threshold crossed within its window)."""
+
+    partition: Optional[str]
+    code: str
+    rung: int
+    action: str
+
+
+@dataclass(unsafe_hash=True)
+class PartitionParked(TraceEvent):
+    """Restart-storm throttling gave up on a crash-looping partition:
+    no further restarts will be ordered for it."""
+
+    partition: str
+    restarts: int
+
+
+@dataclass(unsafe_hash=True)
+class EscalationRecovered(TraceEvent):
+    """A clean probation interval elapsed in degraded mode; the supervisor
+    switched back to the nominal schedule and reset escalation state."""
+
+    schedule: str
+
+
+@dataclass(unsafe_hash=True)
+class WatchdogExpired(TraceEvent):
+    """A partition's heartbeat watchdog went silent past its window."""
+
+    partition: str
+    last_kick: Ticks
 
 
 @dataclass(unsafe_hash=True)

@@ -28,14 +28,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..kernel.trace import (
     DeadlineMissed,
+    EscalationStepped,
     HealthMonitorEvent,
     MemoryFault,
     PartitionDispatched,
+    PartitionParked,
     PortMessageReceived,
     PortMessageSent,
     ProcessDispatched,
     ScheduleSwitched,
     Trace,
+    WatchdogExpired,
 )
 
 __all__ = ["derived_metrics", "derived_to_json", "compact_metrics",
@@ -282,6 +285,9 @@ def compact_metrics(trace: Trace) -> Tuple[Tuple[str, int], ...]:
     depth: Dict[str, int] = {}
     peak_depth = 0
     hm_events = 0
+    escalations = 0
+    parked = 0
+    watchdog_expiries = 0
     for event in trace:
         event_type = type(event)
         if event_type is PartitionDispatched:
@@ -307,6 +313,12 @@ def compact_metrics(trace: Trace) -> Tuple[Tuple[str, int], ...]:
             depth[event.port] = max(depth.get(event.port, 0) - 1, 0)
         elif event_type is HealthMonitorEvent:
             hm_events += 1
+        elif event_type is EscalationStepped:
+            escalations += 1
+        elif event_type is PartitionParked:
+            parked += 1
+        elif event_type is WatchdogExpired:
+            watchdog_expiries += 1
     return (
         ("context_switches", context_switches),
         ("deadline_detection_latency_max", latency_max),
@@ -314,6 +326,9 @@ def compact_metrics(trace: Trace) -> Tuple[Tuple[str, int], ...]:
         ("deadline_misses", misses),
         ("delivery_latency_max", delivery_max),
         ("delivery_latency_sum", delivery_sum),
+        ("fdir_escalations", escalations),
+        ("fdir_parked", parked),
+        ("fdir_watchdog_expiries", watchdog_expiries),
         ("hm_events", hm_events),
         ("peak_queue_depth", peak_depth),
         ("port_received", port_received),

@@ -24,10 +24,13 @@ from ..kernel.trace import (
     ApplicationMessage,
     ClockTamperTrapped,
     DeadlineMissed,
+    EscalationRecovered,
+    EscalationStepped,
     HealthMonitorEvent,
     MemoryFault,
     PartitionDispatched,
     PartitionModeChanged,
+    PartitionParked,
     PortMessageReceived,
     PortMessageSent,
     ProcessCompleted,
@@ -36,6 +39,7 @@ from ..kernel.trace import (
     ScheduleSwitchRequested,
     Trace,
     TraceEvent,
+    WatchdogExpired,
 )
 from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
@@ -75,6 +79,10 @@ class SimulatorMetrics:
             PortMessageSent: self._on_port_sent,
             PortMessageReceived: self._on_port_received,
             ApplicationMessage: self._on_application_message,
+            EscalationStepped: self._on_escalation_stepped,
+            PartitionParked: self._on_partition_parked,
+            EscalationRecovered: self._on_escalation_recovered,
+            WatchdogExpired: self._on_watchdog_expired,
         }
         # The subscribed observer is a closure, not a bound method: the
         # per-event path must not pay attribute lookups for the handler
@@ -234,6 +242,24 @@ class SimulatorMetrics:
                 "air_port_in_flight", port=port)
         gauge.set(depth)
 
+    def _on_escalation_stepped(self, event: EscalationStepped) -> None:
+        self.registry.counter("air_fdir_escalations_total",
+                              partition=event.partition or "<module>",
+                              code=event.code,
+                              action=event.action).inc()
+
+    def _on_partition_parked(self, event: PartitionParked) -> None:
+        self.registry.counter("air_fdir_partitions_parked_total",
+                              partition=event.partition).inc()
+
+    def _on_escalation_recovered(self, event: EscalationRecovered) -> None:
+        self.registry.counter("air_fdir_recoveries_total",
+                              schedule=event.schedule).inc()
+
+    def _on_watchdog_expired(self, event: WatchdogExpired) -> None:
+        self.registry.counter("air_watchdog_expiries_total",
+                              partition=event.partition).inc()
+
     def _on_application_message(self, event: ApplicationMessage) -> None:
         key = ("appmsg", event.partition)
         counter = self._cache.get(key)
@@ -296,6 +322,19 @@ class SimulatorMetrics:
         for partition, code, count in pmk.health_monitor.occurrences():
             registry.gauge("air_hm_occurrences",
                            partition=partition, code=code.value).set(count)
+
+        if pmk.fdir is not None:
+            fdir = pmk.fdir
+            registry.gauge("air_fdir_degraded").set(int(fdir.degraded))
+            registry.gauge("air_fdir_parked_partitions").set(
+                len(fdir.parked))
+            for partition, restarts in fdir.restart_counts():
+                registry.gauge("air_fdir_supervised_restarts",
+                               partition=partition).set(restarts)
+        if pmk.watchdog is not None:
+            registry.gauge("air_watchdog_kicks").set(pmk.watchdog.kicks)
+            registry.gauge("air_watchdog_expired").set(
+                pmk.watchdog.expiries)
         return registry
 
 

@@ -4,8 +4,9 @@ Produces the JSON object format documented for ``chrome://tracing`` and
 understood by ``ui.perfetto.dev``: one thread track per partition (spans
 for the partition's execution windows, nested spans for the process the
 partition's POS is running), instant events for deadline misses, schedule
-switches, HM actions and memory faults, and counter tracks for channel
-queue depths.
+switches, HM actions, memory faults and FDIR supervision (escalation
+rungs, parking, watchdog expiry, recovery), and counter tracks for
+channel queue depths.
 
 One simulated tick maps to one microsecond of trace time (``ts``/``dur``
 are integers, so the mapping is exact); ``displayTimeUnit`` is set to
@@ -22,14 +23,18 @@ from typing import Dict, List, Optional, Tuple
 from ..kernel.trace import (
     ClockTamperTrapped,
     DeadlineMissed,
+    EscalationRecovered,
+    EscalationStepped,
     HealthMonitorEvent,
     MemoryFault,
     PartitionDispatched,
+    PartitionParked,
     PortMessageReceived,
     PortMessageSent,
     ProcessDispatched,
     ScheduleSwitched,
     Trace,
+    WatchdogExpired,
 )
 
 __all__ = ["to_chrome_trace", "save_timeline"]
@@ -140,6 +145,25 @@ def to_chrome_trace(trace: Trace, *,
         elif event_type is ClockTamperTrapped:
             instant(f"clock tamper: {event.operation}", "paravirt",
                     tids.get(event.partition, MODULE_TID), event.tick, "t")
+        elif event_type is EscalationStepped:
+            tid = (tids.get(event.partition, MODULE_TID)
+                   if event.partition else MODULE_TID)
+            instant(f"FDIR escalation rung {event.rung}: {event.action}",
+                    "fdir", tid, event.tick, "t",
+                    {"code": event.code, "rung": event.rung,
+                     "action": event.action})
+        elif event_type is PartitionParked:
+            instant(f"FDIR parked {event.partition}", "fdir",
+                    tids.get(event.partition, MODULE_TID), event.tick, "g",
+                    {"restarts": event.restarts})
+        elif event_type is EscalationRecovered:
+            instant(f"FDIR recovered: back to {event.schedule}", "fdir",
+                    MODULE_TID, event.tick, "g",
+                    {"schedule": event.schedule})
+        elif event_type is WatchdogExpired:
+            instant(f"watchdog expired: {event.partition}", "fdir",
+                    tids.get(event.partition, MODULE_TID), event.tick, "t",
+                    {"last_kick": event.last_kick})
         elif event_type is PortMessageSent:
             depth[event.port] = depth.get(event.port, 0) + 1
             events.append({"name": f"queue:{event.port}", "cat": "comm",

@@ -102,6 +102,7 @@ class ErrorCode(enum.Enum):
     POWER_FAILURE = "powerFailure"
     CLOCK_TAMPERING = "clockTampering"
     CONFIG_ERROR = "configError"
+    WATCHDOG_EXPIRED = "watchdogExpired"
 
 
 class RecoveryAction(enum.Enum):
@@ -124,6 +125,10 @@ class RecoveryAction(enum.Enum):
     STOP_PARTITION = "stopPartition"
     MODULE_RESTART = "moduleRestart"
     MODULE_STOP = "moduleStop"
+    # FDIR supervision extensions: escalation rungs beyond the ARINC 653
+    # table vocabulary (Sect. 4 mode degradation; restart-storm parking).
+    SWITCH_SCHEDULE = "switchSchedule"
+    PARK_PARTITION = "parkPartition"
 
 
 class ScheduleChangeAction(enum.Enum):

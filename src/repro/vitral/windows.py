@@ -26,12 +26,16 @@ from ..kernel.simulator import Simulator
 from ..kernel.trace import (
     ApplicationMessage,
     DeadlineMissed,
+    EscalationRecovered,
+    EscalationStepped,
     HealthMonitorEvent,
     PartitionDispatched,
     PartitionModeChanged,
+    PartitionParked,
     ScheduleSwitchRequested,
     ScheduleSwitched,
     TraceEvent,
+    WatchdogExpired,
 )
 
 __all__ = ["Window", "VitralScreen"]
@@ -184,6 +188,24 @@ class VitralScreen:
             target = f"{event.partition or '-'}/{event.process or '-'}"
             self.hm_window.write(
                 f"[{event.tick}] {event.code} {target}: {event.action}")
+        elif isinstance(event, EscalationStepped):
+            self.hm_window.write(
+                f"[{event.tick}] FDIR rung {event.rung} "
+                f"{event.partition or '-'}: {event.action}")
+        elif isinstance(event, PartitionParked):
+            self.hm_window.write(
+                f"[{event.tick}] FDIR PARKED {event.partition} "
+                f"after {event.restarts} restarts")
+            window = self.partition_windows.get(event.partition)
+            if window is not None:
+                window.write(f"[{event.tick}] PARKED by FDIR")
+        elif isinstance(event, EscalationRecovered):
+            self.hm_window.write(
+                f"[{event.tick}] FDIR recovered -> {event.schedule}")
+        elif isinstance(event, WatchdogExpired):
+            self.hm_window.write(
+                f"[{event.tick}] WATCHDOG {event.partition} silent "
+                f"since {event.last_kick}")
 
     # -------------------------------------------------------------- #
     # keyboard interaction (Sect. 6's demo controls)

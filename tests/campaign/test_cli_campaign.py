@@ -62,3 +62,17 @@ class TestCampaignExitCodes:
         assert main(["campaign", "--suite", "config-sweep",
                      "--scenarios", "2"]) == 0
         assert "2 ok" in capsys.readouterr().out
+
+    def test_chaos_suite_runs_clean_and_verified(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main(["campaign", "--suite", "chaos",
+                     "--scenarios", "6", "--mtfs", "5",
+                     "--workers", "2", "--verify-serial",
+                     "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "6 ok" in out
+        assert "verified: pooled (2 workers) == serial" in out
+        document = json.loads(report.read_text())
+        assert document["aggregate"]["status"] == {"ok": 6}
+        # The injection log rides along in the per-scenario records.
+        assert all(entry["injections"] for entry in document["scenarios"])

@@ -61,6 +61,16 @@ class TestAggregate:
         assert aggregate(base)["campaign_digest"] != \
             aggregate(changed)["campaign_digest"]
 
+    def test_digest_tracks_injections(self):
+        from dataclasses import replace
+
+        base = [result("a"), result("b")]
+        changed = [result("a"),
+                   replace(result("b"),
+                           injections=((10, "MemoryViolationFault", "ok"),))]
+        assert aggregate(base)["campaign_digest"] != \
+            aggregate(changed)["campaign_digest"]
+
     def test_report_json_excludes_timing_by_default(self):
         text = report_json([result("a")])
         assert "wall_time" not in text
@@ -146,3 +156,31 @@ class TestDeterminismInvariant:
                               ticks=10) for i in range(4)]
         assert report_json(run_pool(scenarios, workers=2)) == \
             report_json(run_serial(scenarios))
+
+
+class TestChaosSuiteInvariant:
+    """The ISSUE 4 acceptance bar: a >= 50-scenario randomized barrage
+    under full FDIR supervision, every trace oracle-clean, and the report
+    byte-identical for any worker count (injections included in the
+    digest)."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        from repro.campaign.scenarios import chaos_campaign
+
+        return chaos_campaign(count=50, mtfs=8)
+
+    @pytest.fixture(scope="class")
+    def serial_results(self, campaign):
+        return run_serial(campaign)
+
+    def test_all_scenarios_survive_the_oracle(self, serial_results):
+        assert [r.status for r in serial_results] == ["ok"] * 50
+        # Every scenario actually injected its barrage.
+        assert all(len(r.injections) >= 3 for r in serial_results)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_counts_agree_byte_for_byte(self, campaign,
+                                               serial_results, workers):
+        assert report_json(run_pool(campaign, workers=workers)) == \
+            report_json(serial_results)

@@ -66,6 +66,62 @@ class TestRunScenario:
         assert 0 < result.ticks < 10_000_000
         assert "wall-clock" in result.error
 
+    def test_injection_log_surfaced_in_result(self):
+        result = run_scenario(faulty_scenario())
+        assert [(tick, kind) for tick, kind, _ in result.injections] == [
+            (1 * MTF, "StartProcessFault"),
+            (2 * MTF, "ScheduleSwitchFault"),
+        ]
+        assert result.injections[0][2] \
+            == "started P1/p1-faulty: noError"
+        assert result.to_dict()["injections"] == [
+            {"tick": tick, "fault": kind, "status": status}
+            for tick, kind, status in result.injections]
+
+    def test_check_interval_does_not_change_the_result(self):
+        default = run_scenario(faulty_scenario(), timeout_s=60.0)
+        fine = run_scenario(faulty_scenario(), timeout_s=60.0,
+                            check_interval=137)
+        assert fine.to_dict() == default.to_dict()
+
+    def test_invalid_check_interval_rejected(self):
+        with pytest.raises(ValueError, match="check_interval"):
+            run_scenario(faulty_scenario(), check_interval=0)
+
+
+class TestOracleIntegration:
+    def test_invariant_violation_downgrades_to_crashed(self, monkeypatch):
+        from repro.campaign import runner as runner_module
+        from repro.fdir.oracle import InvariantViolation
+
+        def corrupt(trace, config=None, **kwargs):
+            return (InvariantViolation(
+                invariant="schedule-conformance", tick=42,
+                detail="planted for the test"),)
+
+        monkeypatch.setattr(runner_module, "check_trace", corrupt)
+        result = run_scenario(faulty_scenario())
+        assert result.status == STATUS_CRASHED
+        assert result.error.startswith("oracle: 1 invariant violation")
+        assert "schedule-conformance@42" in result.error
+
+    def test_oracle_opt_out_skips_the_check(self, monkeypatch):
+        from dataclasses import replace
+
+        from repro.campaign import runner as runner_module
+
+        def explode(trace, config=None, **kwargs):  # pragma: no cover
+            raise AssertionError("oracle must not run when opted out")
+
+        monkeypatch.setattr(runner_module, "check_trace", explode)
+        result = run_scenario(replace(faulty_scenario(), oracle=False))
+        assert result.status == STATUS_OK
+
+    def test_real_scenarios_pass_the_oracle(self):
+        # Every faulty_scenario run in this file goes through the real
+        # check_trace and still reports ok — asserted explicitly here.
+        assert run_scenario(faulty_scenario()).status == STATUS_OK
+
 
 class TestCampaignExecution:
     def test_one_bad_scenario_does_not_abort_the_campaign(self):

@@ -7,6 +7,7 @@ import pytest
 from repro.campaign.scenarios import (
     FACTORIES,
     Scenario,
+    chaos_campaign,
     config_sweep_campaign,
     fault_matrix_campaign,
     load_campaign_spec,
@@ -99,6 +100,18 @@ class TestSpecRoundTrip:
             schedule_commands=((2600, "chi2"),))
         assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
 
+    def test_oracle_flag_round_trips(self):
+        quiet = Scenario(scenario_id="no-oracle", ticks=10, oracle=False)
+        document = scenario_to_dict(quiet)
+        assert document["oracle"] is False
+        assert scenario_from_dict(document) == quiet
+        # The default (oracle on) is implicit in the serialized form, so
+        # specs written before the oracle existed still load.
+        checked = Scenario(scenario_id="oracle", ticks=10)
+        document = scenario_to_dict(checked)
+        assert "oracle" not in document
+        assert scenario_from_dict(document).oracle is True
+
     def test_spec_file_round_trip(self, tmp_path):
         import json
 
@@ -144,3 +157,36 @@ class TestBuilders:
         scenarios = config_sweep_campaign(count=3, ticks=5000)
         assert all(s.factory == "generated" for s in scenarios)
         assert all(s.ticks == 5000 for s in scenarios)
+
+
+class TestChaosCampaign:
+    def test_counts_ids_and_supervision(self):
+        scenarios = chaos_campaign(count=12, mtfs=6)
+        assert len(scenarios) == 12
+        assert len({s.scenario_id for s in scenarios}) == 12
+        assert all(s.ticks == 6 * 1300 for s in scenarios)
+        assert all(s.factory_kwargs.get("fdir_supervision")
+                   for s in scenarios)
+        assert all(s.oracle for s in scenarios)
+
+    def test_barrages_inside_horizon_and_sorted(self):
+        for scenario in chaos_campaign(count=16, mtfs=5):
+            assert 3 <= len(scenario.faults) <= 6
+            ticks = [tick for tick, _ in scenario.faults]
+            assert ticks == sorted(ticks)
+            assert all(0 < tick < scenario.ticks for tick in ticks)
+            for tick, _ in scenario.schedule_commands:
+                assert 0 < tick < scenario.ticks
+
+    def test_deterministic_per_base_seed(self):
+        assert chaos_campaign(count=6, mtfs=5, base_seed=9) \
+            == chaos_campaign(count=6, mtfs=5, base_seed=9)
+        first = chaos_campaign(count=6, mtfs=5, base_seed=0)
+        other = chaos_campaign(count=6, mtfs=5, base_seed=1)
+        assert [s.faults for s in first] != [s.faults for s in other]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chaos_campaign(count=0)
+        with pytest.raises(ConfigurationError):
+            chaos_campaign(count=1, mtfs=3)

@@ -102,6 +102,20 @@ class TestConfigRoundTrip:
         assert config.deadline_store_kind == "list"
         assert config.channels == ()
         assert isinstance(config.hm_tables, HmTables)
+        assert config.fdir is None
+
+    def test_fdir_config_round_trips(self):
+        config = build_prototype(fdir_supervision=True).config
+        assert config.fdir is not None
+        document = dump_config(config)
+        rebuilt = load_config(json.loads(json.dumps(document)))
+        assert rebuilt.fdir == config.fdir
+
+    def test_absent_fdir_round_trips_as_none(self):
+        config = build_prototype().config
+        document = dump_config(config)
+        assert document["fdir"] is None
+        assert load_config(document).fdir is None
 
 
 class TestLoadedConfigRuns:

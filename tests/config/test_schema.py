@@ -83,3 +83,41 @@ class TestSystemConfig:
                 destinations=(PortSpec("P9", "in"),)),))
         report = config.validate()
         assert report.by_code("CHANNEL_UNKNOWN_PARTITION")
+
+
+class TestFdirValidation:
+    def make_fdir_config(self, **fdir_kwargs):
+        from repro.fdir.policy import FdirConfig
+
+        return SystemConfig(model=make_system(),
+                            fdir=FdirConfig(**fdir_kwargs))
+
+    def rule(self, *, partition=None, schedule=None):
+        from repro.fdir.policy import EscalationRule, EscalationStep
+        from repro.types import RecoveryAction
+
+        step = (EscalationStep(RecoveryAction.SWITCH_SCHEDULE,
+                               schedule=schedule) if schedule
+                else EscalationStep(RecoveryAction.RESTART_PARTITION))
+        return EscalationRule(partition=partition, chain=(step,))
+
+    def test_validate_flags_unknown_rule_partition(self):
+        config = self.make_fdir_config(rules=(self.rule(partition="P9"),))
+        assert config.validate().by_code("FDIR_UNKNOWN_PARTITION")
+
+    def test_validate_flags_unknown_degraded_schedule(self):
+        config = self.make_fdir_config(
+            rules=(self.rule(partition="P1", schedule="no-such-pst"),))
+        assert config.validate().by_code("FDIR_UNKNOWN_SCHEDULE")
+
+    def test_validate_flags_unknown_watchdog_partition(self):
+        config = self.make_fdir_config(watchdogs={"P9": 100})
+        assert config.validate().by_code("FDIR_UNKNOWN_PARTITION")
+
+    def test_valid_fdir_config_passes(self):
+        config = self.make_fdir_config(
+            rules=(self.rule(partition="P1", schedule="s1"),),
+            watchdogs={"P1": 100})
+        report = config.validate()
+        assert not report.by_code("FDIR_UNKNOWN_PARTITION")
+        assert not report.by_code("FDIR_UNKNOWN_SCHEDULE")

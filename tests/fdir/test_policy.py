@@ -1,0 +1,111 @@
+"""Tests for the FDIR policy schema (repro.fdir.policy)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.fdir.policy import (
+    EscalationRule,
+    EscalationStep,
+    FdirConfig,
+    fdir_config_from_dict,
+    fdir_config_to_dict,
+)
+from repro.types import ErrorCode, RecoveryAction
+
+
+class TestEscalationStep:
+    def test_switch_schedule_requires_schedule(self):
+        with pytest.raises(ConfigurationError):
+            EscalationStep(action=RecoveryAction.SWITCH_SCHEDULE)
+
+    def test_other_actions_reject_schedule(self):
+        with pytest.raises(ConfigurationError):
+            EscalationStep(action=RecoveryAction.RESTART_PARTITION,
+                           schedule="degraded")
+
+    def test_valid_steps(self):
+        EscalationStep(action=RecoveryAction.RESTART_PARTITION)
+        EscalationStep(action=RecoveryAction.SWITCH_SCHEDULE,
+                       schedule="degraded")
+
+
+class TestEscalationRule:
+    def test_validation(self):
+        step = EscalationStep(action=RecoveryAction.STOP_PARTITION)
+        with pytest.raises(ConfigurationError):
+            EscalationRule(window=0, chain=(step,))
+        with pytest.raises(ConfigurationError):
+            EscalationRule(threshold=0, chain=(step,))
+        with pytest.raises(ConfigurationError):
+            EscalationRule(chain=())
+
+    def test_matching_wildcards(self):
+        step = EscalationStep(action=RecoveryAction.STOP_PARTITION)
+        any_rule = EscalationRule(chain=(step,))
+        assert any_rule.matches(ErrorCode.DEADLINE_MISSED, "P1")
+        assert any_rule.matches(ErrorCode.MEMORY_VIOLATION, None)
+
+        scoped = EscalationRule(code=ErrorCode.DEADLINE_MISSED,
+                                partition="P1", chain=(step,))
+        assert scoped.matches(ErrorCode.DEADLINE_MISSED, "P1")
+        assert not scoped.matches(ErrorCode.DEADLINE_MISSED, "P2")
+        assert not scoped.matches(ErrorCode.MEMORY_VIOLATION, "P1")
+
+
+class TestFdirConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FdirConfig(storm_window=-1)
+        with pytest.raises(ConfigurationError):
+            FdirConfig(storm_limit=0)
+        with pytest.raises(ConfigurationError):
+            FdirConfig(probation=-1)
+        with pytest.raises(ConfigurationError):
+            FdirConfig(watchdogs={"P1": 0})
+
+    def test_rule_for_first_match_wins(self):
+        step = EscalationStep(action=RecoveryAction.STOP_PARTITION)
+        specific = EscalationRule(code=ErrorCode.DEADLINE_MISSED,
+                                  partition="P1", chain=(step,))
+        wildcard = EscalationRule(chain=(step,))
+        config = FdirConfig(rules=(specific, wildcard))
+        assert config.rule_for(ErrorCode.DEADLINE_MISSED, "P1") is specific
+        assert config.rule_for(ErrorCode.DEADLINE_MISSED, "P2") is wildcard
+        assert FdirConfig().rule_for(ErrorCode.DEADLINE_MISSED, "P1") is None
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_is_identity(self):
+        config = FdirConfig(
+            rules=(
+                EscalationRule(
+                    code=ErrorCode.DEADLINE_MISSED, partition="P1",
+                    window=5200, threshold=3,
+                    chain=(
+                        EscalationStep(RecoveryAction.RESTART_PARTITION),
+                        EscalationStep(RecoveryAction.SWITCH_SCHEDULE,
+                                       schedule="chi2"),
+                        EscalationStep(RecoveryAction.STOP_PARTITION),
+                    )),
+                EscalationRule(chain=(
+                    EscalationStep(RecoveryAction.RESTART_PARTITION),)),
+            ),
+            storm_window=3900, storm_limit=3, probation=10400,
+            watchdogs={"P4": 5200, "P2": 2600})
+        document = fdir_config_to_dict(config)
+        rebuilt = fdir_config_from_dict(document)
+        assert rebuilt == config
+        # And the dict itself is stable (watchdogs sorted).
+        assert list(document["watchdogs"]) == ["P2", "P4"]
+        assert fdir_config_to_dict(rebuilt) == document
+
+    def test_defaults_round_trip(self):
+        assert fdir_config_from_dict(fdir_config_to_dict(FdirConfig())) \
+            == FdirConfig()
+
+    def test_wildcard_code_round_trips_as_none(self):
+        config = FdirConfig(rules=(EscalationRule(chain=(
+            EscalationStep(RecoveryAction.RESTART_PARTITION),)),))
+        document = fdir_config_to_dict(config)
+        assert document["rules"][0]["code"] is None
+        assert fdir_config_from_dict(document).rules[0].code is None

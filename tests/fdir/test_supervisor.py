@@ -1,0 +1,247 @@
+"""Unit tests for the FDIR supervisor (repro.fdir.supervisor)."""
+
+from repro.fdir.policy import EscalationRule, EscalationStep, FdirConfig
+from repro.fdir.supervisor import FdirSupervisor
+from repro.fdir.watchdog import WatchdogService
+from repro.hm.monitor import ErrorReport
+from repro.kernel.trace import (
+    EscalationRecovered,
+    EscalationStepped,
+    PartitionParked,
+    Trace,
+)
+from repro.types import ErrorCode, RecoveryAction
+
+
+class StubModule:
+    """The slice of the PMK the supervisor touches."""
+
+    class _Scheduler:
+        def __init__(self):
+            self.current_schedule = "nominal"
+
+    def __init__(self):
+        self.scheduler = self._Scheduler()
+        self.switches = []
+
+    def set_module_schedule(self, schedule, requested_by=None):
+        self.switches.append((schedule, requested_by))
+        self.scheduler.current_schedule = schedule
+
+
+def make_supervisor(config, watchdog=None, trace=None):
+    module = StubModule()
+    supervisor = FdirSupervisor(config, module=module, watchdog=watchdog,
+                                trace=trace)
+    return supervisor, module
+
+
+def report_miss(supervisor, tick, partition="P1",
+                table=RecoveryAction.STOP_AND_RESTART_PROCESS):
+    report = ErrorReport(tick=tick, code=ErrorCode.DEADLINE_MISSED,
+                         partition=partition, process="p")
+    return supervisor.supervise(report, table)
+
+
+ESCALATION = FdirConfig(rules=(EscalationRule(
+    code=ErrorCode.DEADLINE_MISSED, partition="P1",
+    window=1000, threshold=3,
+    chain=(EscalationStep(RecoveryAction.RESTART_PARTITION),
+           EscalationStep(RecoveryAction.SWITCH_SCHEDULE, schedule="chi2"),
+           EscalationStep(RecoveryAction.STOP_PARTITION))),))
+
+
+class TestEscalation:
+    def test_below_threshold_keeps_table_action(self):
+        supervisor, _ = make_supervisor(ESCALATION)
+        assert report_miss(supervisor, 0) is RecoveryAction.STOP_AND_RESTART_PROCESS
+        assert report_miss(supervisor, 100) is RecoveryAction.STOP_AND_RESTART_PROCESS
+        rule = ESCALATION.rules[0]
+        assert supervisor.rung_of(rule, "P1") == 0
+
+    def test_rung_fires_once_on_threshold_then_table_resumes(self):
+        trace = Trace()
+        supervisor, _ = make_supervisor(ESCALATION, trace=trace)
+        report_miss(supervisor, 0)
+        report_miss(supervisor, 100)
+        # Third occurrence within the window crosses the threshold.
+        assert report_miss(supervisor, 200) \
+            is RecoveryAction.RESTART_PARTITION
+        # Fire-once: the next report is back to the table action while
+        # evidence for rung 2 re-accumulates.
+        assert report_miss(supervisor, 300) is RecoveryAction.STOP_AND_RESTART_PROCESS
+        rule = ESCALATION.rules[0]
+        assert supervisor.rung_of(rule, "P1") == 1
+        stepped = trace.of_type(EscalationStepped)
+        assert [(e.tick, e.rung, e.action) for e in stepped] \
+            == [(200, 1, "restartPartition")]
+
+    def test_second_burst_climbs_to_schedule_switch(self):
+        supervisor, module = make_supervisor(ESCALATION)
+        for tick in (0, 100, 200):  # rung 1
+            report_miss(supervisor, tick)
+        report_miss(supervisor, 300)
+        report_miss(supervisor, 400)
+        assert report_miss(supervisor, 500) \
+            is RecoveryAction.SWITCH_SCHEDULE
+        assert supervisor.degraded
+        assert module.switches == [("chi2", "fdir")]
+
+    def test_chain_exhausted_falls_back_to_table(self):
+        supervisor, _ = make_supervisor(ESCALATION)
+        for burst in range(3):  # climb all three rungs
+            base = burst * 300
+            for offset in (0, 100, 200):
+                report_miss(supervisor, base + offset)
+        rule = ESCALATION.rules[0]
+        assert supervisor.rung_of(rule, "P1") == 3
+        for tick in (900, 1000, 1100, 1200):
+            assert report_miss(supervisor, tick) \
+                is RecoveryAction.STOP_AND_RESTART_PROCESS
+
+    def test_occurrences_outside_window_never_escalate(self):
+        supervisor, _ = make_supervisor(ESCALATION)
+        for tick in (0, 2000, 4000, 6000):
+            assert report_miss(supervisor, tick) \
+                is RecoveryAction.STOP_AND_RESTART_PROCESS
+
+    def test_wildcard_rule_keeps_per_partition_state(self):
+        config = FdirConfig(rules=(EscalationRule(
+            window=1000, threshold=2,
+            chain=(EscalationStep(RecoveryAction.RESTART_PARTITION),)),))
+        supervisor, _ = make_supervisor(config)
+        report_miss(supervisor, 0, partition="P1")
+        # P2's first occurrence does not inherit P1's count.
+        assert report_miss(supervisor, 50, partition="P2") \
+            is RecoveryAction.STOP_AND_RESTART_PROCESS
+        assert report_miss(supervisor, 100, partition="P1") \
+            is RecoveryAction.RESTART_PARTITION
+
+
+STORM = FdirConfig(storm_window=500, storm_limit=3)
+
+
+class TestStormThrottling:
+    def test_quick_restarts_park_after_limit(self):
+        trace = Trace()
+        supervisor, _ = make_supervisor(STORM, trace=trace)
+        for tick in (0, 100, 200):
+            assert report_miss(supervisor, tick,
+                               table=RecoveryAction.RESTART_PARTITION) \
+                is RecoveryAction.RESTART_PARTITION
+        # The fourth restart-worthy report inside the window parks.
+        assert report_miss(supervisor, 300,
+                           table=RecoveryAction.RESTART_PARTITION) \
+            is RecoveryAction.PARK_PARTITION
+        assert supervisor.is_parked("P1")
+        assert supervisor.parked == ("P1",)
+        assert supervisor.restart_count("P1") == 3
+        parked = trace.of_type(PartitionParked)
+        assert [(e.tick, e.partition, e.restarts) for e in parked] \
+            == [(300, "P1", 3)]
+
+    def test_parked_partition_reports_are_ignored(self):
+        supervisor, _ = make_supervisor(STORM)
+        for tick in (0, 100, 200, 300):
+            report_miss(supervisor, tick,
+                        table=RecoveryAction.RESTART_PARTITION)
+        assert report_miss(supervisor, 400,
+                           table=RecoveryAction.RESTART_PARTITION) \
+            is RecoveryAction.IGNORE
+        assert report_miss(supervisor, 500,
+                           table=RecoveryAction.STOP_PROCESS) \
+            is RecoveryAction.IGNORE
+
+    def test_slow_restarts_reset_the_streak(self):
+        supervisor, _ = make_supervisor(STORM)
+        for tick in (0, 1000, 2000, 3000, 4000):  # all outside the window
+            assert report_miss(supervisor, tick,
+                               table=RecoveryAction.RESTART_PARTITION) \
+                is RecoveryAction.RESTART_PARTITION
+        assert not supervisor.is_parked("P1")
+        assert supervisor.restart_counts() == (("P1", 5),)
+
+    def test_zero_window_disables_throttling(self):
+        supervisor, _ = make_supervisor(FdirConfig(storm_window=0))
+        for tick in range(0, 1000, 100):
+            assert report_miss(supervisor, tick,
+                               table=RecoveryAction.RESTART_PARTITION) \
+                is RecoveryAction.RESTART_PARTITION
+        assert supervisor.parked == ()
+
+
+DEGRADE = FdirConfig(
+    rules=(EscalationRule(
+        code=ErrorCode.DEADLINE_MISSED, partition="P1",
+        window=1000, threshold=2,
+        chain=(EscalationStep(RecoveryAction.SWITCH_SCHEDULE,
+                              schedule="chi2"),)),),
+    probation=5000)
+
+
+class TestProbation:
+    def degrade(self, supervisor):
+        report_miss(supervisor, 0)
+        assert report_miss(supervisor, 100) \
+            is RecoveryAction.SWITCH_SCHEDULE
+        assert supervisor.degraded
+
+    def test_probation_lapse_recovers_nominal_schedule(self):
+        trace = Trace()
+        supervisor, module = make_supervisor(DEGRADE, trace=trace)
+        self.degrade(supervisor)
+        assert supervisor.next_event_tick(100) == 5100
+        supervisor.poll(5099)
+        assert supervisor.degraded
+        supervisor.poll(5100)
+        assert not supervisor.degraded
+        assert module.switches == [("chi2", "fdir"), ("nominal", "fdir")]
+        recovered = trace.of_type(EscalationRecovered)
+        assert [(e.tick, e.schedule) for e in recovered] \
+            == [(5100, "nominal")]
+
+    def test_matching_reports_extend_probation(self):
+        supervisor, _ = make_supervisor(DEGRADE)
+        self.degrade(supervisor)
+        report_miss(supervisor, 3000)
+        assert supervisor.next_event_tick(3000) == 8000
+        supervisor.poll(5100)
+        assert supervisor.degraded
+
+    def test_recovery_resets_escalation_state(self):
+        supervisor, _ = make_supervisor(DEGRADE)
+        self.degrade(supervisor)
+        supervisor.poll(5100)
+        rule = DEGRADE.rules[0]
+        assert supervisor.rung_of(rule, "P1") == 0
+        # The chain can climb again after recovery.
+        report_miss(supervisor, 6000)
+        assert report_miss(supervisor, 6100) \
+            is RecoveryAction.SWITCH_SCHEDULE
+
+
+class TestWatchdogIntegration:
+    def test_poll_checks_watchdog_and_horizon_folds_expiry(self):
+        fired = []
+        watchdog = WatchdogService(
+            {"P4": 200},
+            on_expired=lambda partition, last, now:
+                fired.append((partition, last, now)))
+        supervisor, _ = make_supervisor(DEGRADE, watchdog=watchdog)
+        watchdog.kick("P4", 0)
+        assert supervisor.next_event_tick(0) == 200
+        supervisor.poll(100)
+        assert fired == []
+        supervisor.poll(200)
+        assert fired == [("P4", 0, 200)]
+
+    def test_parking_disarms_the_watchdog(self):
+        watchdog = WatchdogService(
+            {"P1": 10_000}, on_expired=lambda *args: None)
+        supervisor, _ = make_supervisor(STORM, watchdog=watchdog)
+        watchdog.kick("P1", 0)
+        for tick in (0, 100, 200, 300):
+            report_miss(supervisor, tick,
+                        table=RecoveryAction.RESTART_PARTITION)
+        assert supervisor.is_parked("P1")
+        assert watchdog.next_expiry() is None

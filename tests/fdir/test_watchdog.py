@@ -1,0 +1,88 @@
+"""Tests for the PMK-level watchdog service (repro.fdir.watchdog)."""
+
+from repro.fdir.watchdog import WatchdogService
+from repro.kernel.trace import Trace, WatchdogExpired
+
+
+def make_service(windows, trace=None):
+    fired = []
+    service = WatchdogService(
+        windows,
+        on_expired=lambda partition, last_kick, now:
+            fired.append((partition, last_kick, now)),
+        trace=trace)
+    return service, fired
+
+
+class TestArming:
+    def test_inert_until_first_kick(self):
+        service, fired = make_service({"P1": 100})
+        assert service.watches("P1")
+        assert service.next_expiry() is None
+        assert service.check(10_000) == ()
+        assert fired == []
+
+    def test_kick_arms_and_sets_deadline(self):
+        service, _ = make_service({"P1": 100})
+        assert service.kick("P1", 50)
+        assert service.next_expiry() == 150
+        assert service.armed() == (("P1", 50, 150),)
+        assert service.kicks == 1
+
+    def test_kick_on_unwatched_partition_is_a_noop(self):
+        service, _ = make_service({"P1": 100})
+        assert not service.kick("P2", 50)
+        assert not service.watches("P2")
+        assert service.next_expiry() is None
+
+    def test_rekick_extends_deadline(self):
+        service, fired = make_service({"P1": 100})
+        service.kick("P1", 0)
+        service.kick("P1", 90)
+        assert service.next_expiry() == 190
+        assert service.check(150) == ()
+        assert fired == []
+
+
+class TestExpiry:
+    def test_expiry_fires_callback_and_trace_then_disarms(self):
+        trace = Trace()
+        service, fired = make_service({"P1": 100}, trace=trace)
+        service.kick("P1", 0)
+        assert service.check(99) == ()
+        assert service.check(100) == ("P1",)
+        assert fired == [("P1", 0, 100)]
+        assert service.expiries == 1
+        events = trace.of_type(WatchdogExpired)
+        assert len(events) == 1
+        assert events[0].tick == 100
+        assert events[0].partition == "P1"
+        assert events[0].last_kick == 0
+        # One report per silence: the watchdog disarmed itself.
+        assert service.next_expiry() is None
+        assert service.check(1_000) == ()
+        assert len(fired) == 1
+
+    def test_rearm_after_expiry(self):
+        service, fired = make_service({"P1": 100})
+        service.kick("P1", 0)
+        service.check(100)
+        service.kick("P1", 300)
+        assert service.check(400) == ("P1",)
+        assert fired == [("P1", 0, 100), ("P1", 300, 400)]
+
+    def test_simultaneous_expiries_fire_sorted_by_name(self):
+        service, fired = make_service({"P2": 100, "P1": 100})
+        service.kick("P2", 0)
+        service.kick("P1", 0)
+        assert service.check(100) == ("P1", "P2")
+        assert [partition for partition, _, _ in fired] == ["P1", "P2"]
+
+    def test_disarm_cancels_pending_expiry(self):
+        service, fired = make_service({"P1": 100, "P2": 50})
+        service.kick("P1", 0)
+        service.kick("P2", 0)
+        service.disarm("P2")
+        assert service.next_expiry() == 100
+        assert service.check(200) == ("P1",)
+        assert fired == [("P1", 0, 200)]

@@ -93,6 +93,66 @@ class TestRouting:
         assert not handled.handled_by_application
 
 
+class TestIdentityEscalation:
+    def test_process_code_without_partition_escalates_to_module(self):
+        # No partition identity at all: a process-level code must climb
+        # to module level and take the module table's action.
+        monitor, executor = make_monitor()
+        handled = monitor.report(ErrorCode.DEADLINE_MISSED)
+        assert handled.level is ErrorLevel.MODULE
+        assert handled.report.partition is None
+
+    def test_process_code_with_partition_but_no_process(self):
+        monitor, executor = make_monitor()
+        handled = monitor.report(ErrorCode.DEADLINE_MISSED, partition="P1")
+        assert handled.level is ErrorLevel.PARTITION
+        # The partition table's deadline action applies, not the process
+        # handler path.
+        assert not handled.handled_by_application
+
+
+class TestFaultyHandler:
+    def test_raising_handler_falls_back_to_table(self):
+        # Fault containment: an error handler that itself blows up must
+        # not take the module down — the partition table decides instead.
+        trace = Trace()
+        monitor, executor = make_monitor(trace=trace)
+
+        def broken(report):
+            raise ZeroDivisionError("handler bug")
+
+        monitor.install_handler("P1", broken)
+        handled = monitor.report(ErrorCode.APPLICATION_ERROR,
+                                 partition="P1", process="a")
+        assert not handled.handled_by_application
+        assert handled.action is RecoveryAction.STOP_PROCESS
+        assert executor.calls == [("stop_process", "P1", "a")]
+        # The handler failure itself is recorded as an application error.
+        events = trace.of_type(HealthMonitorEvent)
+        failures = [e for e in events
+                    if "error handler raised" in e.detail]
+        assert len(failures) == 1
+        assert "ZeroDivisionError" in failures[0].detail
+
+    def test_raising_handler_does_not_poison_later_reports(self):
+        monitor, executor = make_monitor()
+        calls = {"count": 0}
+
+        def flaky(report):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("first call explodes")
+            return RecoveryAction.STOP_AND_RESTART_PROCESS
+
+        monitor.install_handler("P1", flaky)
+        monitor.report(ErrorCode.APPLICATION_ERROR, partition="P1",
+                       process="a")
+        handled = monitor.report(ErrorCode.APPLICATION_ERROR,
+                                 partition="P1", process="a")
+        assert handled.handled_by_application
+        assert executor.calls[-1] == ("restart_process", "P1", "a")
+
+
 class TestLogThreshold:
     def test_log_then_act(self):
         # Sect. 5: "logging the error a certain number of times before
@@ -109,6 +169,22 @@ class TestLogThreshold:
         handled = monitor.report(ErrorCode.DEADLINE_MISSED, partition="P1",
                                  process="a")
         assert handled.action is RecoveryAction.STOP_PROCESS
+        assert executor.calls == [("stop_process", "P1", "a")]
+
+    def test_log_then_act_exact_boundary(self):
+        # Exactly at the threshold the error is still only logged; the
+        # report *after* the threshold acts.
+        tables = HmTables(partition_actions={
+            "P1": {ErrorCode.DEADLINE_MISSED: RecoveryAction.LOG_THEN_ACT}},
+            log_threshold=3,
+            log_fallback_action=RecoveryAction.STOP_PROCESS)
+        monitor, executor = make_monitor(tables)
+        dispositions = [
+            monitor.report(ErrorCode.DEADLINE_MISSED, partition="P1",
+                           process="a").action
+            for _ in range(4)]
+        assert dispositions == [RecoveryAction.IGNORE] * 3 \
+            + [RecoveryAction.STOP_PROCESS]
         assert executor.calls == [("stop_process", "P1", "a")]
 
     def test_occurrence_counting_is_per_partition_and_code(self):
@@ -144,3 +220,29 @@ class TestObservability:
         monitor, executor = make_monitor(tables)
         monitor.report(ErrorCode.DEADLINE_MISSED, partition="P1", process="a")
         assert executor.calls == []
+
+
+class TestSupervisorHook:
+    def test_supervisor_can_override_table_action(self):
+        monitor, executor = make_monitor()
+
+        class Override:
+            def supervise(self, report, action):
+                return RecoveryAction.RESTART_PARTITION
+
+        monitor.supervisor = Override()
+        handled = monitor.report(ErrorCode.APPLICATION_ERROR,
+                                 partition="P1", process="a")
+        assert handled.action is RecoveryAction.RESTART_PARTITION
+        assert executor.calls == [("restart_partition", "P1")]
+
+    def test_park_partition_action_stops_the_partition(self):
+        monitor, executor = make_monitor()
+
+        class Park:
+            def supervise(self, report, action):
+                return RecoveryAction.PARK_PARTITION
+
+        monitor.supervisor = Park()
+        monitor.report(ErrorCode.MEMORY_VIOLATION, partition="P1")
+        assert executor.calls == [("stop_partition", "P1")]

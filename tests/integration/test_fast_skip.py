@@ -139,6 +139,12 @@ def hm_restart_config():
     return builder.build()
 
 
+def supervised_prototype_config():
+    """The Sect. 6 prototype with the FDIR layer armed: watchdog deadlines
+    and supervisor polling feed the event-core horizon."""
+    return build_prototype(fdir_supervision=True).config
+
+
 def signature(simulator):
     return [(e.tick, e.kind, getattr(e, "partition", None),
              getattr(e, "heir", None), getattr(e, "text", None))
@@ -167,6 +173,7 @@ def assert_counters_match(fast, normal):
     (memory_config, 3000),
     (generic_pos_config, 3000),
     (hm_restart_config, 4000),
+    (supervised_prototype_config, 4 * 1300 + 137),
 ])
 def test_fast_skip_trace_equivalence(make_config, ticks):
     normal = Simulator(make_config())

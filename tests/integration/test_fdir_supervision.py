@@ -1,0 +1,203 @@
+"""Integration tests for FDIR supervision on the Sect. 6 prototype.
+
+Three end-to-end stories, each checked against the TSP invariant oracle:
+
+* a persistent WCET overrun in P1 climbs the full escalation chain
+  (partition restart -> degraded ``chi2`` switch -> partition stop) and,
+  once the fault source is gone, probation recovers the nominal PST;
+* a crash-looping P2 is parked by restart-storm throttling after a
+  bounded number of supervised restarts;
+* killing P4's heartbeat process trips the PMK watchdog, the HM restarts
+  P4, and the reinitialized partition re-arms its own watchdog.
+
+Plus the determinism contract: ``run`` and ``run_fast`` remain
+bit-identical with the whole supervision layer active.
+"""
+
+import pytest
+
+from repro.apps.fdir import HEARTBEAT_PROCESS
+from repro.apps.prototype import (
+    FAULTY_PROCESS,
+    MTF,
+    build_prototype,
+    make_simulator,
+)
+from repro.fault.faults import (
+    MemoryViolationFault,
+    ProcessKillFault,
+    StartProcessFault,
+)
+from repro.fault.injector import FaultInjector
+from repro.fdir.oracle import check_trace
+from repro.kernel.trace import (
+    EscalationRecovered,
+    EscalationStepped,
+    PartitionParked,
+    ScheduleSwitched,
+    WatchdogExpired,
+)
+from repro.obs.derived import compact_metrics
+from repro.obs.instrument import SimulatorMetrics
+from repro.obs.timeline import to_chrome_trace
+from repro.types import PartitionMode
+
+
+def escalation_faults(injector):
+    """The persistent-overrun driver: re-inject the faulty process every
+    other frame (partition restarts leave it dormant, Sect. 6)."""
+    for k in range(1, 7):
+        injector.schedule(k * 2 * MTF,
+                          StartProcessFault("P1", FAULTY_PROCESS))
+
+
+@pytest.fixture(scope="module")
+def escalation_run():
+    handles = build_prototype(fdir_supervision=True)
+    simulator = make_simulator(handles)
+    metrics = SimulatorMetrics(simulator)
+    injector = FaultInjector(simulator)
+    escalation_faults(injector)
+    injector.run_fast(25 * MTF)
+    return handles, simulator, metrics
+
+
+class TestEscalationChain:
+    def test_chain_climbs_rung_by_rung(self, escalation_run):
+        _, simulator, _ = escalation_run
+        stepped = simulator.trace.of_type(EscalationStepped)
+        assert [(e.tick, e.rung, e.action) for e in stepped] == [
+            (6500, 1, "restartPartition"),
+            (11700, 2, "switchSchedule"),
+            (16900, 3, "stopPartition"),
+        ]
+        assert all(e.partition == "P1" and e.code == "deadlineMissed"
+                   for e in stepped)
+
+    def test_degraded_switch_and_recovery_land_on_mtf_boundaries(
+            self, escalation_run):
+        _, simulator, _ = escalation_run
+        switches = simulator.trace.of_type(ScheduleSwitched)
+        assert [(e.tick, e.from_schedule, e.to_schedule)
+                for e in switches] == [
+            (13000, "chi1", "chi2"),   # rung 2, at the next MTF boundary
+            (27300, "chi2", "chi1"),   # probation recovery
+        ]
+        assert all(e.tick % MTF == 0 for e in switches)
+
+    def test_probation_recovers_once_the_fault_source_is_gone(
+            self, escalation_run):
+        _, simulator, _ = escalation_run
+        recovered = simulator.trace.of_type(EscalationRecovered)
+        assert [(e.tick, e.schedule) for e in recovered] \
+            == [(27300, "chi1")]
+        assert not simulator.pmk.fdir.degraded
+        assert simulator.pmk.scheduler.current_schedule == "chi1"
+
+    def test_oracle_holds_over_the_whole_story(self, escalation_run):
+        handles, simulator, _ = escalation_run
+        assert check_trace(simulator.trace, handles.config) == ()
+
+    def test_escalations_visible_in_metrics(self, escalation_run):
+        _, simulator, metrics = escalation_run
+        registry = metrics.registry
+        assert registry.counter_total("air_fdir_escalations_total") == 3
+        assert registry.counter_total("air_fdir_recoveries_total") == 1
+        compact = dict(compact_metrics(simulator.trace))
+        assert compact["fdir_escalations"] == 3
+        assert compact["fdir_parked"] == 0
+
+    def test_escalations_visible_in_timeline(self, escalation_run):
+        _, simulator, _ = escalation_run
+        names = {event.get("name", "")
+                 for event in to_chrome_trace(simulator.trace)["traceEvents"]}
+        assert "FDIR escalation rung 1: restartPartition" in names
+        assert "FDIR escalation rung 2: switchSchedule" in names
+        assert "FDIR recovered: back to chi1" in names
+
+
+class TestStormParking:
+    @pytest.fixture(scope="class")
+    def storm_run(self):
+        handles = build_prototype(fdir_supervision=True)
+        simulator = make_simulator(handles)
+        injector = FaultInjector(simulator)
+        for k in range(6):  # crash-loop P2 faster than the storm window
+            injector.schedule(MTF + k * 400 + 10, MemoryViolationFault("P2"))
+        injector.run_fast(5 * MTF)
+        return handles, simulator
+
+    def test_parked_within_bounded_restarts(self, storm_run):
+        _, simulator = storm_run
+        parked = simulator.trace.of_type(PartitionParked)
+        assert [(e.tick, e.partition, e.restarts) for e in parked] \
+            == [(2510, "P2", 3)]
+        fdir = simulator.pmk.fdir
+        assert fdir.parked == ("P2",)
+        # Bounded: exactly storm_limit supervised restarts, then parked —
+        # the remaining injections are suppressed to IGNORE.
+        assert fdir.restart_count("P2") == 3
+
+    def test_parked_partition_stays_down(self, storm_run):
+        handles, simulator = storm_run
+        assert simulator.runtime("P2").mode is PartitionMode.IDLE
+        assert check_trace(simulator.trace, handles.config) == ()
+
+
+class TestWatchdog:
+    @pytest.fixture(scope="class")
+    def watchdog_run(self):
+        handles = build_prototype(fdir_supervision=True)
+        simulator = make_simulator(handles)
+        injector = FaultInjector(simulator)
+        injector.schedule(2 * MTF, ProcessKillFault("P4", HEARTBEAT_PROCESS))
+        injector.run_fast(10 * MTF)
+        return handles, simulator
+
+    def test_silent_partition_detected_and_restarted(self, watchdog_run):
+        handles, simulator = watchdog_run
+        expired = simulator.trace.of_type(WatchdogExpired)
+        assert [(e.tick, e.partition, e.last_kick) for e in expired] \
+            == [(6910, "P4", 1710)]
+        # The HM's watchdogExpired action restarted P4.
+        assert simulator.runtime("P4").init_count == 2
+        assert simulator.runtime("P4").mode is PartitionMode.NORMAL
+        assert check_trace(simulator.trace, handles.config) == ()
+
+    def test_restarted_partition_rearms_its_watchdog(self, watchdog_run):
+        _, simulator = watchdog_run
+        watchdog = simulator.pmk.watchdog
+        assert watchdog.expiries == 1
+        assert watchdog.kicks == 7      # heartbeats before and after
+        # Armed again: exactly one pending deadline, for P4.
+        assert [entry[0] for entry in watchdog.armed()] == ["P4"]
+
+
+class TestDeterminism:
+    def test_run_and_run_fast_identical_under_full_supervision(self):
+        signatures = []
+        for fast in (False, True):
+            handles = build_prototype(fdir_supervision=True)
+            simulator = make_simulator(handles)
+            injector = FaultInjector(simulator)
+            escalation_faults(injector)
+            injector.schedule(3 * MTF + 70,
+                              ProcessKillFault("P4", HEARTBEAT_PROCESS))
+            injector.schedule(4 * MTF + 430, MemoryViolationFault("P2"))
+            if fast:
+                injector.run_fast(25 * MTF)
+            else:
+                injector.run(25 * MTF)
+            signatures.append([repr(event)
+                               for event in simulator.trace.events])
+        assert signatures[0] == signatures[1]
+
+    def test_unsupervised_prototype_is_untouched(self):
+        # fdir_supervision=False must build the exact pre-FDIR system:
+        # no watchdog, no supervisor, no heartbeat process.
+        simulator = make_simulator(build_prototype())
+        assert simulator.pmk.fdir is None
+        assert simulator.pmk.watchdog is None
+        simulator.run_fast(4 * MTF)
+        assert not any(HEARTBEAT_PROCESS in repr(event)
+                       for event in simulator.trace.events)
