@@ -192,9 +192,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     results = run_campaign(scenarios, workers=args.workers,
                            chunksize=args.chunksize,
-                           timeout_s=args.timeout)
+                           timeout_s=args.timeout,
+                           prefix_cache=args.prefix_cache)
     if args.verify_serial and args.workers > 1:
-        serial = run_campaign(scenarios, workers=1, timeout_s=args.timeout)
+        serial = run_campaign(scenarios, workers=1, timeout_s=args.timeout,
+                              prefix_cache=args.prefix_cache)
         if report_json(results) != report_json(serial):
             print("DETERMINISM VIOLATION: pooled aggregate differs from "
                   "serial aggregate", file=sys.stderr)
@@ -303,6 +305,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     campaign.add_argument("--verify-serial", action="store_true",
                           help="re-run serially and require identical "
                                "deterministic reports")
+    campaign.add_argument("--prefix-cache", dest="prefix_cache",
+                          action="store_true", default=True,
+                          help="fork scenarios from cached snapshots of "
+                               "their shared fault-free prefixes (default)")
+    campaign.add_argument("--no-prefix-cache", dest="prefix_cache",
+                          action="store_false",
+                          help="always simulate scenarios from tick 0")
     campaign.set_defaults(handler=_cmd_campaign)
 
     args = parser.parse_args(argv)

@@ -35,7 +35,11 @@ from typing import Any, Callable, Dict, Optional
 from ..comm.messages import PortSpec
 from ..comm.router import CommRouter
 from ..core.model import ProcessModel
-from ..exceptions import AuthorizationError, UnknownProcessError
+from ..exceptions import (
+    AuthorizationError,
+    SimulationError,
+    UnknownProcessError,
+)
 from ..hm.monitor import ApplicationHandler, HealthMonitor
 from ..kernel.rng import SeededRng
 from ..kernel.trace import ApplicationMessage, Trace
@@ -720,6 +724,86 @@ class ApexInterface:
             return error(ReturnCode.INVALID_MODE)
         self.health_monitor.install_handler(self.partition, handler)
         return ok()
+
+    # ================================================================ #
+    # snapshot / restore (simulator checkpointing)
+    # ================================================================ #
+
+    #: Resource-category tables, in a fixed order, for symbolic references.
+    _RESOURCE_KINDS = ("buffers", "blackboards", "events", "semaphores",
+                       "sampling_ports", "queuing_ports")
+
+    def _resource_tables(self) -> Dict[str, Dict[str, Any]]:
+        return {"buffers": self._buffers,
+                "blackboards": self._blackboards,
+                "events": self._events,
+                "semaphores": self._semaphores,
+                "sampling_ports": self._sampling_ports,
+                "queuing_ports": self._queuing_ports}
+
+    def resource_ref(self, resource: object) -> Any:
+        """Symbolic ``(kind, name)`` reference for a live resource object.
+
+        Used to encode :class:`~repro.pos.tcb.WaitCondition` resources in
+        snapshots; inverted by :meth:`resolve_resource`.
+        """
+        for kind, table in self._resource_tables().items():
+            for name, candidate in table.items():
+                if candidate is resource:
+                    return (kind, name)
+        raise KeyError(
+            f"partition {self.partition!r}: cannot encode wait resource "
+            f"{resource!r} — not a registered APEX object")
+
+    def resolve_resource(self, ref: Any) -> object:
+        """Resolve a :meth:`resource_ref` reference against this APEX."""
+        kind, name = ref
+        return self._resource_tables()[kind][name]
+
+    def rebuild_body(self, tcb: Tcb, resume_log: list) -> None:
+        """Reconstruct *tcb*'s generator by replaying its resume log.
+
+        The body is re-instantiated exactly as :meth:`start` would (fresh
+        :class:`ProcessContext`, same forked rng stream) and fed the same
+        send sequence the original generator consumed; the effects it
+        yields along the way are discarded — their side effects already
+        happened and live in the snapshotted state being overlaid.
+        """
+        factory = self._factories.get(tcb.name, tcb.body_factory)
+        if factory is None:
+            raise SimulationError(
+                f"partition {self.partition!r}: no body factory for "
+                f"{tcb.name!r} during snapshot restore")
+        tcb.body_factory = factory
+        tcb.instantiate_body(self._make_context(tcb.name))
+        generator = tcb.generator
+        for value in resume_log:
+            try:
+                generator.send(value)
+            except StopIteration:
+                raise SimulationError(
+                    f"process {self.partition}/{tcb.name}: body completed "
+                    f"during snapshot replay — nondeterministic body?")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture resource/port contents and the rng stream as pure data."""
+        state: Dict[str, Any] = {"rng": self._rng.state_dict()}
+        for kind, table in self._resource_tables().items():
+            state[kind] = {name: obj.snapshot()
+                           for name, obj in sorted(table.items())}
+        return state
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Overlay a :meth:`snapshot` capture onto this interface.
+
+        Every captured object must already exist (recreated structurally
+        by the partition-initialization replay); a missing one means the
+        restore-side configuration diverged and raises ``KeyError``.
+        """
+        self._rng.load_state_dict(state["rng"])
+        for kind, table in self._resource_tables().items():
+            for name, obj_state in state[kind].items():
+                table[name].restore(obj_state)
 
     # ================================================================ #
     # internals

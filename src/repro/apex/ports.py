@@ -114,6 +114,16 @@ class SamplingPort(_Port):
     def _on_delivery(self, envelope: Envelope) -> None:
         self._latest = envelope
 
+    # snapshot / restore ------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture the port's most recent envelope (pure data)."""
+        return {"latest": self._latest}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture."""
+        self._latest = state["latest"]
+
 
 class QueuingPort(_Port):
     """Bounded FIFO port with blocking receive and overflow accounting."""
@@ -189,6 +199,21 @@ class QueuingPort(_Port):
     def cancel_wait(self, tcb: Tcb) -> None:
         """A blocked receiver was stopped."""
         self._waiters.remove(tcb)
+
+    # snapshot / restore ------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture queued envelopes, blocked receivers and overflow count."""
+        return {"queue": list(self._queue),
+                "waiters": self._waiters.snapshot(),
+                "overflow_count": self.overflow_count}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture (waiters resolved via POS)."""
+        self._queue = deque(state["queue"])
+        if self._pos is not None:
+            self._waiters.restore(state["waiters"], self._pos.tcb)
+        self.overflow_count = state["overflow_count"]
 
     def _on_delivery(self, envelope: Envelope) -> None:
         assert self._pos is not None

@@ -68,6 +68,21 @@ class WaitQueue:
     def __len__(self) -> int:
         return len(self._entries)
 
+    # snapshot / restore ------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture waiters symbolically (by process name) as pure data."""
+        return {"entries": [(arrival, tcb.name)
+                            for arrival, tcb in self._entries],
+                "arrival": self._arrival}
+
+    def restore(self, state: dict,
+                tcb_of: Callable[[str], Tcb]) -> None:
+        """Rebuild the queue, resolving waiter names through *tcb_of*."""
+        self._entries = [(arrival, tcb_of(name))
+                         for arrival, name in state["entries"]]
+        self._arrival = state["arrival"]
+
 
 class _Resource:
     """Shared blocking machinery for intrapartition resources.
@@ -112,6 +127,17 @@ class _Resource:
     def cancel_wait(self, tcb: Tcb) -> None:
         """The waiter was stopped while queued (STOP recovery action)."""
         self.queue.remove(tcb)
+
+    # snapshot / restore ------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture resource state (wait queue; subclasses add content)."""
+        return {"queue": self.queue.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture (waiters resolved via the
+        owning POS)."""
+        self.queue.restore(state["queue"], self.pos.tcb)
 
 
 class Buffer(_Resource):
@@ -179,6 +205,17 @@ class Buffer(_Resource):
         self._pending_sends.pop(tcb.name, None)
         super().cancel_wait(tcb)
 
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["messages"] = list(self._messages)
+        state["pending_sends"] = dict(self._pending_sends)
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._messages = deque(state["messages"])
+        self._pending_sends = dict(state["pending_sends"])
+
     def _admit_pending_sender(self) -> None:
         """A slot freed: admit one blocked sender's message, waking it."""
         sender = self.queue.dequeue()
@@ -238,6 +275,15 @@ class Blackboard(_Resource):
         return self._block_caller(timeout, self._clock(),
                                   f"blackboard {self.name}: empty")
 
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["message"] = self._message
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._message = state["message"]
+
 
 class Event(_Resource):
     """APEX event: a boolean flag processes can wait on.
@@ -281,6 +327,15 @@ class Event(_Resource):
         return self._block_caller(timeout, self._clock(),
                                   f"event {self.name}: down")
 
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["is_set"] = self._is_set
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._is_set = state["is_set"]
+
 
 class Semaphore(_Resource):
     """APEX counting semaphore with FIFO or priority queuing."""
@@ -323,3 +378,12 @@ class Semaphore(_Resource):
             return error(ReturnCode.NO_ACTION)
         self._value += 1
         return ok()
+
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["value"] = self._value
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._value = state["value"]

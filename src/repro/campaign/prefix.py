@@ -1,0 +1,225 @@
+"""Prefix-sharing campaign scheduling over simulator snapshots.
+
+Campaign scenarios built from the same configuration and seed execute
+*identically* until their first fault or schedule command — everything
+before the first divergence point is shared, deterministic work.  A chaos
+campaign injecting at tick ``10_000`` of fifty 20-MTF scenarios spends half
+its budget simulating the same fault-free prefix fifty times.
+
+This module removes that redundancy:
+
+* :func:`scenario_fingerprint` — content digest of everything that shapes
+  a scenario's pre-divergence execution (config factory, seed, kwargs,
+  inline config document);
+* :func:`divergence_tick` — the first tick at which a scenario stops being
+  a pure prefix run (its earliest fault or schedule command);
+* :class:`SnapshotCache` — bounded LRU of *pickled*
+  :class:`~repro.kernel.snapshot.SimulatorSnapshot` payloads, keyed by
+  ``(fingerprint, tick)``;
+* :func:`run_with_prefix_cache` — the drop-in scenario executor: fork from
+  the longest cached prefix at or before the divergence tick (extending a
+  shorter cached prefix instead of starting cold when one exists), cache
+  the snapshot at the divergence tick, and run the scenario's divergent
+  suffix from the fork.
+
+Correctness rests on the snapshot layer's bit-identity contract (tested by
+the fork-equivalence matrix): a forked run's trace digest, metrics and
+oracle verdict equal a cold run's, so the campaign digest is identical
+with the cache on or off, at any worker count.  Fault scheduling needs no
+snapshot support because prefixes are fault-free by construction: every
+fault tick is ``>=`` the fork tick, so the forked injector schedules them
+fresh, exactly as the cold run's injector did.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..kernel.snapshot import SimulatorSnapshot
+from ..types import Ticks
+from .scenarios import Scenario
+
+__all__ = [
+    "MIN_PREFIX_TICKS",
+    "PREFIX_QUANTUM",
+    "SnapshotCache",
+    "divergence_tick",
+    "run_with_prefix_cache",
+    "scenario_fingerprint",
+]
+
+#: Prefixes shorter than this are not worth a capture/restore round trip.
+MIN_PREFIX_TICKS: Ticks = 256
+
+#: Snapshot ticks are quantized down to multiples of this, so scenarios
+#: whose divergence ticks fall in the same quantum share one cache entry
+#: (one capture + pickle, many forks) instead of each capturing its own.
+#: The sub-quantum remainder is simply simulated inside the forked run.
+PREFIX_QUANTUM: Ticks = 1024
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """Digest of everything shaping a scenario's pre-divergence execution.
+
+    Two scenarios with equal fingerprints run bit-identically until the
+    earlier of their divergence ticks, so their prefixes are
+    interchangeable.  Faults, schedule commands and the tick horizon are
+    deliberately excluded — they only shape the suffix.
+    """
+    document = {
+        "factory": scenario.factory,
+        "seed": scenario.seed,
+        "kwargs": dict(scenario.factory_kwargs),
+        "config": (dict(scenario.config_doc)
+                   if scenario.config_doc is not None else None),
+    }
+    canonical = json.dumps(document, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def divergence_tick(scenario: Scenario) -> Ticks:
+    """First tick at which *scenario* stops being a pure prefix run.
+
+    The earliest fault or schedule-command tick, clamped to the scenario
+    horizon.  A fault at tick T applies before T's clock ISR, so a
+    snapshot taken *at* tick T is still strictly pre-divergence.
+    """
+    events = [tick for tick, _ in scenario.faults]
+    events += [tick for tick, _ in scenario.schedule_commands]
+    first = min(events) if events else scenario.ticks
+    return max(0, min(first, scenario.ticks))
+
+
+class SnapshotCache:
+    """Bounded LRU of prefix snapshots.
+
+    Content-addressed by ``(fingerprint, tick)``.  Each entry holds the
+    pickled payload (the canonical, explicitly-sized form) plus a memoized
+    live :class:`SimulatorSnapshot`, so the hot path forks without paying
+    an unpickle per scenario.  Sharing one live snapshot across forks is
+    sound because ``restore`` copies every mutable container out of the
+    snapshot state and never mutates it (pinned by the repeated-fork
+    entries of the fork-equivalence matrix).
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        # key -> [payload bytes, memoized SimulatorSnapshot or None]
+        self._entries: "OrderedDict[Tuple[str, Ticks], list]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, fingerprint: str, tick: Ticks, payload: bytes,
+            snapshot: Optional[SimulatorSnapshot] = None) -> None:
+        """Insert (or refresh) the snapshot at ``(fingerprint, tick)``."""
+        key = (fingerprint, tick)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = [payload, snapshot]
+        self.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, fingerprint: str, tick: Ticks) -> Optional[bytes]:
+        """Exact payload lookup; counts a hit or miss, refreshes recency."""
+        entry = self._entries.get((fingerprint, tick))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end((fingerprint, tick))
+        return entry[0]
+
+    def get_snapshot(self, fingerprint: str,
+                     tick: Ticks) -> Optional[SimulatorSnapshot]:
+        """Exact lookup as a live snapshot, unpickling at most once."""
+        entry = self._entries.get((fingerprint, tick))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end((fingerprint, tick))
+        if entry[1] is None:
+            entry[1] = SimulatorSnapshot.from_bytes(entry[0])
+        return entry[1]
+
+    def best_prefix(self, fingerprint: str,
+                    max_tick: Ticks) -> Optional[Tuple[Ticks, bytes]]:
+        """Longest cached prefix of *fingerprint* at or before *max_tick*.
+
+        Advisory (used to extend a shorter prefix rather than rebuild
+        from cold); does not touch the hit/miss counters.
+        """
+        best: Optional[Tuple[Ticks, bytes]] = None
+        for (cached_fp, tick), entry in self._entries.items():
+            if cached_fp != fingerprint or tick > max_tick:
+                continue
+            if best is None or tick > best[0]:
+                best = (tick, entry[0])
+        if best is not None:
+            self._entries.move_to_end((fingerprint, best[0]))
+        return best
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the nondeterministic reporting sidecar."""
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "stores": self.stores,
+                "evictions": self.evictions}
+
+
+def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
+                          timeout_s: Optional[float] = None,
+                          check_interval: int = 20_000,
+                          quantum: Ticks = PREFIX_QUANTUM):
+    """Run *scenario*, sharing its fault-free prefix through *cache*.
+
+    Scheduling policy: the snapshot tick is the scenario's divergence
+    tick quantized down to a multiple of *quantum*, so scenarios whose
+    divergence ticks land in the same quantum fork from one shared cache
+    entry (the sub-quantum remainder is simulated inside the forked run,
+    where it costs one event-core pass).  On a miss the prefix is built
+    once — extending the longest shorter cached prefix when one exists,
+    from cold otherwise — cached, and forked.  Prefix construction
+    failures degrade to an uncached cold run: the cache is an
+    optimization, never a correctness dependency.
+    """
+    from ..kernel.simulator import Simulator
+    from .runner import run_scenario
+
+    if quantum < 1:
+        raise ValueError(f"quantum must be >= 1, got {quantum}")
+    snap_tick = (divergence_tick(scenario) // quantum) * quantum
+    if snap_tick < MIN_PREFIX_TICKS:
+        return run_scenario(scenario, timeout_s=timeout_s,
+                            check_interval=check_interval)
+    fingerprint = scenario_fingerprint(scenario)
+    snapshot = cache.get_snapshot(fingerprint, snap_tick)
+    if snapshot is None:
+        base = cache.best_prefix(fingerprint, snap_tick)
+        try:
+            config = scenario.build_config()
+            if base is not None:
+                simulator = SimulatorSnapshot.from_bytes(
+                    base[1]).restore(config)
+            else:
+                simulator = Simulator(config)
+            simulator.run_fast(snap_tick - simulator.now)
+            snapshot = SimulatorSnapshot.capture(simulator)
+            cache.put(fingerprint, snap_tick, snapshot.to_bytes(), snapshot)
+        except Exception:  # noqa: BLE001 — degrade to a cold run
+            snapshot = None
+    return run_scenario(scenario, timeout_s=timeout_s,
+                        check_interval=check_interval,
+                        from_snapshot=snapshot)

@@ -37,9 +37,10 @@ STATUS_TIMEOUT = "timeout"
 class ScenarioResult:
     """What one scenario produced — everything the aggregate needs.
 
-    ``wall_time_s`` is the only nondeterministic field; every consumer of
-    the determinism invariant must go through :meth:`to_dict` (which
-    excludes it) or :func:`deterministic_report`.
+    ``wall_time_s`` and ``forked_at_tick`` are the only nondeterministic
+    fields (cache contents depend on scheduling order, wall time on the
+    host); every consumer of the determinism invariant must go through
+    :meth:`to_dict` (which excludes them) or :func:`deterministic_report`.
     """
 
     scenario_id: str
@@ -61,6 +62,10 @@ class ScenarioResult:
     metrics: Tuple[Tuple[str, int], ...] = ()
     error: str = ""
     wall_time_s: float = 0.0
+    #: Tick this run forked from a cached prefix snapshot (``-1`` = cold
+    #: run).  Which runs fork depends on cache state, not on the scenario,
+    #: so this lives with the timing sidecar, never in the digest.
+    forked_at_tick: int = -1
 
     @property
     def ok(self) -> bool:
@@ -91,6 +96,7 @@ class ScenarioResult:
         }
         if include_timing:
             record["wall_time_s"] = self.wall_time_s
+            record["forked_at_tick"] = self.forked_at_tick
         return record
 
 
@@ -186,6 +192,14 @@ def report_json(results: Sequence[ScenarioResult], *,
             "total_wall_time_s": sum(r.wall_time_s for r in ordered),
             "per_scenario_wall_time_s": {
                 r.scenario_id: r.wall_time_s for r in ordered},
+            "prefix_cache": {
+                "forked_scenarios": sum(
+                    1 for r in ordered if r.forked_at_tick >= 0),
+                "ticks_skipped": sum(
+                    max(r.forked_at_tick, 0) for r in ordered),
+                "per_scenario_forked_at": {
+                    r.scenario_id: r.forked_at_tick for r in ordered},
+            },
         }
     if meta:
         document["meta"] = dict(meta)

@@ -13,6 +13,13 @@ for any worker count and any chunk size, because every scenario is
 self-contained (config factory + seed), results are keyed by scenario id,
 and nothing nondeterministic (wall time, delivery order, pid) enters the
 deterministic record.
+
+Prefix sharing (on by default, ``prefix_cache=False`` / ``--no-prefix-cache``
+to disable): scenarios with a common configuration and seed fork from a
+cached :class:`~repro.kernel.snapshot.SimulatorSnapshot` of their shared
+fault-free prefix instead of re-simulating it (:mod:`repro.campaign.prefix`).
+Forked runs are bit-identical to cold runs, so the determinism invariant
+extends across the cache setting: same digests with it on or off.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from ..fault.faults import ScheduleSwitchFault
 from ..fault.injector import FaultInjector
 from ..fdir.oracle import check_trace
 from ..kernel.simulator import Simulator
+from ..kernel.snapshot import SimulatorSnapshot
 from ..kernel.trace import (
     DeadlineMissed,
     HealthMonitorEvent,
@@ -64,7 +72,8 @@ def autodetect_workers() -> int:
 
 def run_scenario(scenario: Scenario, *,
                  timeout_s: Optional[float] = None,
-                 check_interval: int = TIMEOUT_CHECK_INTERVAL
+                 check_interval: int = TIMEOUT_CHECK_INTERVAL,
+                 from_snapshot: Optional[SimulatorSnapshot] = None
                  ) -> ScenarioResult:
     """Execute one scenario to completion, failure or timeout.
 
@@ -77,6 +86,14 @@ def run_scenario(scenario: Scenario, *,
     *check_interval* bounds the simulated span between wall-clock timeout
     polls (and thus the timeout's detection granularity).
 
+    *from_snapshot* forks the scenario from a checkpoint instead of a cold
+    simulator: the snapshot must have been captured from the scenario's
+    own configuration at or before its first fault/command tick, and the
+    run covers the remaining ``scenario.ticks - snapshot.tick`` ticks.
+    The result is bit-identical to a cold run (the snapshot layer's
+    contract); only the nondeterministic ``forked_at_tick`` field records
+    that a fork happened.
+
     Unless the scenario opts out (``oracle=False``), the finished trace is
     audited by the TSP invariant oracle
     (:func:`repro.fdir.oracle.check_trace`); any violation downgrades an
@@ -86,9 +103,14 @@ def run_scenario(scenario: Scenario, *,
     if check_interval < 1:
         raise ValueError(
             f"check_interval must be >= 1, got {check_interval}")
+    forked_at = -1
     try:
         config = scenario.build_config()
-        simulator = Simulator(config)
+        if from_snapshot is not None:
+            simulator = from_snapshot.restore(config)
+            forked_at = simulator.now
+        else:
+            simulator = Simulator(config)
         injector = FaultInjector(simulator)
         for tick, fault in scenario.faults:
             injector.schedule(tick, fault)
@@ -99,7 +121,7 @@ def run_scenario(scenario: Scenario, *,
             deadline = start + timeout_s
             should_abort = lambda: time.perf_counter() > deadline
         completed = injector.run_fast(
-            scenario.ticks, should_abort=should_abort,
+            scenario.ticks - simulator.now, should_abort=should_abort,
             check_interval=check_interval)
     except Exception as exc:
         return ScenarioResult(
@@ -108,6 +130,7 @@ def run_scenario(scenario: Scenario, *,
             status=STATUS_CRASHED,
             error=f"{type(exc).__name__}: {exc}",
             wall_time_s=time.perf_counter() - start,
+            forked_at_tick=forked_at,
         )
     trace = simulator.trace
     status = STATUS_OK if completed else STATUS_TIMEOUT
@@ -140,23 +163,60 @@ def run_scenario(scenario: Scenario, *,
         metrics=compact_metrics(trace),
         error=error,
         wall_time_s=time.perf_counter() - start,
+        forked_at_tick=forked_at,
     )
 
 
-def _pool_worker(payload: Tuple[Scenario, Optional[float], int]
+#: Per-worker-process prefix cache, created lazily on the first prefix-
+#: enabled scenario and reused across every ``pool.map`` chunk the worker
+#: handles.  Module-level so it survives between tasks in the same worker.
+_WORKER_PREFIX_CACHE = None
+
+
+def _run_one(scenario: Scenario, *, timeout_s: Optional[float],
+             check_interval: int, prefix_cache: bool) -> ScenarioResult:
+    """One unit of campaign work, with or without prefix sharing."""
+    global _WORKER_PREFIX_CACHE
+    if not prefix_cache:
+        return run_scenario(scenario, timeout_s=timeout_s,
+                            check_interval=check_interval)
+    from .prefix import SnapshotCache, run_with_prefix_cache
+
+    if _WORKER_PREFIX_CACHE is None:
+        _WORKER_PREFIX_CACHE = SnapshotCache()
+    return run_with_prefix_cache(scenario, _WORKER_PREFIX_CACHE,
+                                 timeout_s=timeout_s,
+                                 check_interval=check_interval)
+
+
+def _pool_worker(payload: Tuple[Scenario, Optional[float], int, bool]
                  ) -> ScenarioResult:
-    scenario, timeout_s, check_interval = payload
-    return run_scenario(scenario, timeout_s=timeout_s,
-                        check_interval=check_interval)
+    scenario, timeout_s, check_interval, prefix_cache = payload
+    return _run_one(scenario, timeout_s=timeout_s,
+                    check_interval=check_interval,
+                    prefix_cache=prefix_cache)
 
 
 def run_serial(scenarios: Sequence[Scenario], *,
                timeout_s: Optional[float] = None,
-               check_interval: int = TIMEOUT_CHECK_INTERVAL
+               check_interval: int = TIMEOUT_CHECK_INTERVAL,
+               prefix_cache: bool = True
                ) -> List[ScenarioResult]:
-    """Run every scenario in this process, in order."""
-    return [run_scenario(scenario, timeout_s=timeout_s,
-                         check_interval=check_interval)
+    """Run every scenario in this process, in order.
+
+    With *prefix_cache* (the default) scenarios sharing a configuration
+    and seed fork from a cached snapshot of their common fault-free
+    prefix; results are bit-identical either way.
+    """
+    from .prefix import SnapshotCache, run_with_prefix_cache
+
+    if not prefix_cache:
+        return [run_scenario(scenario, timeout_s=timeout_s,
+                             check_interval=check_interval)
+                for scenario in scenarios]
+    cache = SnapshotCache()
+    return [run_with_prefix_cache(scenario, cache, timeout_s=timeout_s,
+                                  check_interval=check_interval)
             for scenario in scenarios]
 
 
@@ -164,7 +224,8 @@ def run_pool(scenarios: Sequence[Scenario], *,
              workers: Optional[int] = None,
              chunksize: Optional[int] = None,
              timeout_s: Optional[float] = None,
-             check_interval: int = TIMEOUT_CHECK_INTERVAL
+             check_interval: int = TIMEOUT_CHECK_INTERVAL,
+             prefix_cache: bool = True
              ) -> List[ScenarioResult]:
     """Fan scenarios out over a ``multiprocessing`` pool.
 
@@ -172,12 +233,15 @@ def run_pool(scenarios: Sequence[Scenario], *,
     scenario list index-for-index regardless of which worker ran what.
     Worker crashes are absorbed inside :func:`run_scenario`; only an
     interpreter-level death (signal, OOM kill) can still fail the pool.
+    Each worker process keeps its own prefix cache (snapshots are cheap
+    to hold, and sharing one across processes would serialize on it).
     """
     if workers is None:
         workers = autodetect_workers()
     if workers <= 1 or len(scenarios) <= 1:
         return run_serial(scenarios, timeout_s=timeout_s,
-                          check_interval=check_interval)
+                          check_interval=check_interval,
+                          prefix_cache=prefix_cache)
     if chunksize is None:
         # Small chunks keep the pool load-balanced without paying per-item
         # IPC for every scenario; determinism never depends on this.
@@ -185,7 +249,7 @@ def run_pool(scenarios: Sequence[Scenario], *,
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
-    payloads = [(scenario, timeout_s, check_interval)
+    payloads = [(scenario, timeout_s, check_interval, prefix_cache)
                 for scenario in scenarios]
     with context.Pool(processes=workers) as pool:
         return pool.map(_pool_worker, payloads, chunksize=chunksize)
@@ -195,11 +259,14 @@ def run_campaign(scenarios: Sequence[Scenario], *,
                  workers: int = 1,
                  chunksize: Optional[int] = None,
                  timeout_s: Optional[float] = None,
-                 check_interval: int = TIMEOUT_CHECK_INTERVAL
+                 check_interval: int = TIMEOUT_CHECK_INTERVAL,
+                 prefix_cache: bool = True
                  ) -> List[ScenarioResult]:
     """Serial (`workers <= 1`) or pooled campaign execution."""
     if workers <= 1:
         return run_serial(scenarios, timeout_s=timeout_s,
-                          check_interval=check_interval)
+                          check_interval=check_interval,
+                          prefix_cache=prefix_cache)
     return run_pool(scenarios, workers=workers, chunksize=chunksize,
-                    timeout_s=timeout_s, check_interval=check_interval)
+                    timeout_s=timeout_s, check_interval=check_interval,
+                    prefix_cache=prefix_cache)

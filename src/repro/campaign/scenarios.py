@@ -344,7 +344,8 @@ _CHAOS_ARSENAL: Tuple[Callable[[SeededRng], Fault], ...] = (
 
 
 def chaos_campaign(*, count: int = 50, mtfs: int = 10,
-                   base_seed: int = 0) -> List[Scenario]:
+                   base_seed: int = 0, shared_seed: bool = False,
+                   prefix_mtfs: int = 0) -> List[Scenario]:
     """Randomized fault barrages against the FDIR-supervised prototype.
 
     Each scenario derives its own rng stream from *base_seed* and draws
@@ -356,11 +357,24 @@ def chaos_campaign(*, count: int = 50, mtfs: int = 10,
     is *no invariant ever breaks under supervision*, not merely "no
     crash".  Fully deterministic: the same *base_seed* yields the same
     scenarios, and thus the same campaign digest, for any worker count.
+
+    *shared_seed* gives every scenario ``seed=base_seed`` instead of
+    consecutive seeds (variety still comes from each scenario's own fault
+    draw stream), and *prefix_mtfs* keeps the first that many MTFs
+    fault-free — together they produce campaigns whose scenarios share a
+    long common prefix, the workload prefix-sharing
+    (:mod:`repro.campaign.prefix`) accelerates.  The defaults reproduce
+    the historical suite digests exactly.
     """
     if count < 1 or mtfs < 4:
         raise ConfigurationError(
             f"chaos campaign needs count >= 1 and mtfs >= 4, "
             f"got count={count}, mtfs={mtfs}")
+    if not 0 <= prefix_mtfs <= mtfs - 3:
+        raise ConfigurationError(
+            f"prefix_mtfs must be in [0, mtfs - 3], got "
+            f"prefix_mtfs={prefix_mtfs} with mtfs={mtfs}")
+    earliest = max(MTF // 2, prefix_mtfs * MTF)
     scenarios: List[Scenario] = []
     for index in range(count):
         rng = SeededRng(base_seed).fork(f"chaos-{index}")
@@ -368,16 +382,17 @@ def chaos_campaign(*, count: int = 50, mtfs: int = 10,
         faults: List[Tuple[Ticks, Fault]] = []
         for _ in range(barrage):
             build = rng.choice(_CHAOS_ARSENAL)
-            tick = rng.randint(MTF // 2, (mtfs - 2) * MTF)
+            tick = rng.randint(earliest, (mtfs - 2) * MTF)
             faults.append((tick, build(rng)))
         faults.sort(key=lambda entry: entry[0])
         commands: Tuple[Tuple[Ticks, str], ...] = ()
         if rng.chance(0.3):
-            commands = ((rng.randint(MTF, (mtfs - 2) * MTF), "chi2"),)
+            commands = ((rng.randint(max(MTF, earliest),
+                                     (mtfs - 2) * MTF), "chi2"),)
         scenarios.append(Scenario(
             scenario_id=f"chaos-{base_seed + index:05d}",
             factory="prototype",
-            seed=base_seed + index,
+            seed=base_seed if shared_seed else base_seed + index,
             ticks=mtfs * MTF,
             factory_kwargs={"fdir_supervision": True},
             faults=tuple(faults),

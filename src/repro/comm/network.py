@@ -55,20 +55,27 @@ class NetworkLink:
         self.latency = latency
         self.loss_probability = loss_probability
         self._rng = rng if rng is not None else SeededRng(0)
-        self._in_flight: List[Tuple[Ticks, int, Envelope, DeliverFn]] = []
+        self._in_flight: List[Tuple[Ticks, int, Envelope, DeliverFn, object]] = []
         self._sequence = 0
         self.stats = LinkStats()
 
     def transmit(self, envelope: Envelope, now: Ticks,
-                 deliver: DeliverFn) -> bool:
-        """Send *envelope*; returns False if the link dropped it."""
+                 deliver: DeliverFn, *, tag: object = None) -> bool:
+        """Send *envelope*; returns False if the link dropped it.
+
+        *tag* is an optional pure-data identifier of the destination
+        (snapshot support: the ``deliver`` closure itself cannot be
+        captured, so checkpoints record the tag and the restore side
+        rebuilds an equivalent closure from it).
+        """
         self.stats.sent += 1
         if self.loss_probability and self._rng.chance(self.loss_probability):
             self.stats.dropped += 1
             return False
         self._sequence += 1
         heapq.heappush(self._in_flight,
-                       (now + self.latency, self._sequence, envelope, deliver))
+                       (now + self.latency, self._sequence, envelope, deliver,
+                        tag))
         return True
 
     def pump(self, now: Ticks) -> int:
@@ -78,7 +85,7 @@ class NetworkLink:
         """
         delivered = 0
         while self._in_flight and self._in_flight[0][0] <= now:
-            _, _, envelope, deliver = heapq.heappop(self._in_flight)
+            _, _, envelope, deliver, _ = heapq.heappop(self._in_flight)
             deliver(envelope)
             self.stats.delivered += 1
             delivered += 1
@@ -98,6 +105,40 @@ class NetworkLink:
         (excluding) it need no pump.
         """
         return self._in_flight[0][0] if self._in_flight else None
+
+    # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture in-flight messages (closures encoded as their tags),
+        the loss rng stream and the counters as pure data."""
+        return {
+            "in_flight": [(arrival, seq, envelope, tag)
+                          for arrival, seq, envelope, _, tag
+                          in sorted(self._in_flight)],
+            "sequence": self._sequence,
+            "rng": self._rng.state_dict(),
+            "stats": {"sent": self.stats.sent,
+                      "delivered": self.stats.delivered,
+                      "dropped": self.stats.dropped,
+                      "retransmissions": self.stats.retransmissions},
+        }
+
+    def restore(self, state: dict,
+                make_deliver: Callable[[object], DeliverFn]) -> None:
+        """Overlay a :meth:`snapshot` capture.
+
+        *make_deliver* maps a transmit-time tag back to a live delivery
+        closure (the router supplies one resolving destination port specs).
+        """
+        self._in_flight = [(arrival, seq, envelope, make_deliver(tag), tag)
+                           for arrival, seq, envelope, tag
+                           in state["in_flight"]]
+        heapq.heapify(self._in_flight)
+        self._sequence = state["sequence"]
+        self._rng.load_state_dict(state["rng"])
+        self.stats = LinkStats(**state["stats"])
 
 
 class ReliableLink:
@@ -122,10 +163,10 @@ class ReliableLink:
         return self.link.stats
 
     def transmit(self, envelope: Envelope, now: Ticks,
-                 deliver: DeliverFn) -> bool:
+                 deliver: DeliverFn, *, tag: object = None) -> bool:
         """Send with retransmission; returns False only on retry exhaustion."""
         for attempt in range(self.max_retries):
-            if self.link.transmit(envelope, now, deliver):
+            if self.link.transmit(envelope, now, deliver, tag=tag):
                 return True
             self.link.stats.retransmissions += 1
         return False
@@ -143,3 +184,12 @@ class ReliableLink:
     def next_delivery_tick(self) -> Optional[Ticks]:
         """Arrival tick of the earliest in-flight message, or None."""
         return self.link.next_delivery_tick
+
+    def snapshot(self) -> dict:
+        """Forward to the wrapped link (the wrapper itself is stateless)."""
+        return self.link.snapshot()
+
+    def restore(self, state: dict,
+                make_deliver: Callable[[object], DeliverFn]) -> None:
+        """Forward to the wrapped link."""
+        self.link.restore(state, make_deliver)

@@ -159,7 +159,8 @@ class CommRouter:
                 assert channel.link is not None
                 channel.link.transmit(
                     envelope, now,
-                    lambda env, dest=destination: self._deliver(dest, env))
+                    lambda env, dest=destination: self._deliver(dest, env),
+                    tag=destination)
         return envelope
 
     @property
@@ -191,6 +192,42 @@ class CommRouter:
             if channel.link is not None:
                 delivered += channel.link.pump(now)
         return delivered
+
+    # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture channel sequences, link state and held messages.
+
+        Channel configurations and destination handlers are structural
+        (rebuilt from the system configuration and port re-registration);
+        only the data path's mutable state is captured.
+        """
+        return {
+            "channels": {
+                name: {"sequence": channel.sequence,
+                       "link": (channel.link.snapshot()
+                                if channel.link is not None else None)}
+                for name, channel in self._channels.items()},
+            "undelivered": {spec: list(envelopes)
+                            for spec, envelopes
+                            in self._undelivered.items()},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto configured channels."""
+        for name, channel_state in state["channels"].items():
+            channel = self._channels[name]
+            channel.sequence = channel_state["sequence"]
+            if channel_state["link"] is not None:
+                assert channel.link is not None
+                channel.link.restore(
+                    channel_state["link"],
+                    lambda dest: lambda env: self._deliver(dest, env))
+        self._undelivered = {spec: list(envelopes)
+                             for spec, envelopes
+                             in state["undelivered"].items()}
 
     def _deliver(self, destination: PortSpec, envelope: Envelope) -> None:
         handler = self._handlers.get(destination)

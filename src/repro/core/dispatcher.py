@@ -153,6 +153,23 @@ class PartitionDispatcher:
         return DispatchOutcome(active_partition=heir, elapsed_ticks=elapsed,
                                switched=True)
 
+    # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture the dispatcher's mutable state as pure data."""
+        return {"active_partition": self.active_partition,
+                "stats": {"runs": self.stats.runs,
+                          "context_switches": self.stats.context_switches,
+                          "change_actions_applied":
+                              self.stats.change_actions_applied}}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto this dispatcher."""
+        self.active_partition = state["active_partition"]
+        self.stats = DispatcherStats(**state["stats"])
+
     def _apply_all_pending(self, ticks: Ticks) -> None:
         """``mtf_start`` policy: drain every pending action immediately."""
         for partition in list(self.scheduler.pending_change_actions):

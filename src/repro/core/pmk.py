@@ -250,6 +250,91 @@ class Pmk(ModuleControl, ActionExecutor):
                 for name, ticks in self.partition_ticks.items()}
 
     # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture the full deterministic PMK state as pure data.
+
+        Every sub-component contributes its own :meth:`snapshot`; the
+        result contains no live objects (generators are encoded as resume
+        logs, wait resources and delivery closures as symbolic
+        references), so it pickles and survives process boundaries.
+        """
+        partitions = {}
+        for name, runtime in self.runtimes.items():
+            apex = runtime.apex
+            assert apex is not None
+            partitions[name] = {
+                "runtime": runtime.snapshot(),
+                "pal": runtime.pal.snapshot(),
+                "pos": runtime.pos.snapshot(apex.resource_ref),
+                "apex": apex.snapshot(),
+            }
+        return {
+            "stopped": self.stopped,
+            "module_restarts": self.module_restarts,
+            "rng": self._rng.state_dict(),
+            "ticks_executed": self.ticks_executed,
+            "idle_ticks": self.idle_ticks,
+            "partition_ticks": dict(self.partition_ticks),
+            "scheduler": self.scheduler.snapshot(),
+            "contexts": self.contexts.snapshot(),
+            "dispatcher": self.dispatcher.snapshot(),
+            "mmu": self.mmu.snapshot(),
+            "router": self.router.snapshot(),
+            "health_monitor": self.health_monitor.snapshot(),
+            "fdir": self.fdir.snapshot() if self.fdir is not None else None,
+            "partitions": partitions,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto this freshly built PMK.
+
+        Restore protocol (order matters):
+
+        1. replay each previously-initialized partition's initialization
+           sequence — rebuilds *structural* wiring (registered bodies,
+           error handlers, resources, ports, router handlers) exactly as
+           the original run did;
+        2. per partition, rebuild process generators by replaying their
+           resume logs, then overlay POS/TCB, runtime, PAL and APEX state
+           (the overlays win over any state side effects of steps 1-2);
+        3. overlay module-level components wholesale.
+
+        The caller (:class:`~repro.kernel.snapshot.SimulatorSnapshot`)
+        overlays the trace and time source afterwards, erasing the trace
+        events steps 1-2 emitted.
+        """
+        self.stopped = state["stopped"]
+        self.module_restarts = state["module_restarts"]
+        self._rng.load_state_dict(state["rng"])
+        self.ticks_executed = state["ticks_executed"]
+        self.idle_ticks = state["idle_ticks"]
+        self.partition_ticks = dict(state["partition_ticks"])
+        for name, partition_state in state["partitions"].items():
+            if partition_state["runtime"]["init_count"] > 0:
+                self.runtime(name).replay_initialization()
+        for name, partition_state in state["partitions"].items():
+            runtime = self.runtime(name)
+            apex = runtime.apex
+            assert apex is not None
+            runtime.pos.restore(partition_state["pos"],
+                                resolve_resource=apex.resolve_resource,
+                                rebuild_body=apex.rebuild_body)
+            runtime.restore(partition_state["runtime"])
+            runtime.pal.restore(partition_state["pal"])
+            apex.restore(partition_state["apex"])
+        self.scheduler.restore(state["scheduler"])
+        self.contexts.restore_state(state["contexts"])
+        self.dispatcher.restore(state["dispatcher"])
+        self.mmu.restore(state["mmu"])
+        self.router.restore(state["router"])
+        self.health_monitor.restore(state["health_monitor"])
+        if state["fdir"] is not None and self.fdir is not None:
+            self.fdir.restore(state["fdir"])
+
+    # -------------------------------------------------------------- #
     # the clock-tick ISR body
     # -------------------------------------------------------------- #
 

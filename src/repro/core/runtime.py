@@ -189,6 +189,47 @@ class PartitionRuntime(PartitionControl):
         return self.pos.execute_span(ticks)
 
     # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture mode/lifecycle state as pure data.
+
+        ``init_count`` doubles as the restore-side signal for whether the
+        structural initialization replay must run (see
+        :mod:`repro.kernel.snapshot`).
+        """
+        return {"mode": self._mode,
+                "start_condition": self._start_condition,
+                "initialized": self._initialized,
+                "pending_restart": self._pending_restart,
+                "init_count": self.init_count,
+                "restart_count": self.restart_count}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture (no trace events emitted)."""
+        self._mode = state["mode"]
+        self._start_condition = state["start_condition"]
+        self._initialized = state["initialized"]
+        self._pending_restart = state["pending_restart"]
+        self.init_count = state["init_count"]
+        self.restart_count = state["restart_count"]
+
+    def replay_initialization(self) -> None:
+        """Re-run the structural half of initialization during restore.
+
+        Rebuilds everything :meth:`_initialize` wires up — bodies, error
+        handler, ports, resources, started processes — on a freshly
+        constructed simulator.  The *state* it sets as a side effect
+        (process fields, partition mode, trace events) is overwritten by
+        the component overlays applied afterwards; the APEX ``create_*``
+        services are idempotent (NO_ACTION on duplicates), so this is safe
+        even if initialization partially completed before the checkpoint.
+        """
+        self._initialize()
+        self.init_count -= 1  # the overlaid count is authoritative
+
+    # -------------------------------------------------------------- #
     # internals
     # -------------------------------------------------------------- #
 

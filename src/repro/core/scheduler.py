@@ -238,6 +238,42 @@ class PartitionScheduler:
         self.stats.ticks += ticks
         self.stats.fast_path += ticks
 
+    # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture Algorithm 1's mutable state as pure data.
+
+        Compiled schedules are structural (rebuilt from the system model
+        at construction) and are *not* captured — only the iterator
+        position, schedule identifiers, pending change actions and
+        instrumentation counters.
+        """
+        return {
+            "current_schedule": self.current_schedule,
+            "next_schedule": self.next_schedule,
+            "last_schedule_switch": self.last_schedule_switch,
+            "table_iterator": self.table_iterator,
+            "heir_partition": self.heir_partition,
+            "pending_change_actions": dict(self.pending_change_actions),
+            "stats": {"ticks": self.stats.ticks,
+                      "fast_path": self.stats.fast_path,
+                      "preemption_points": self.stats.preemption_points,
+                      "schedule_switches": self.stats.schedule_switches},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto this scheduler."""
+        self.current_schedule = state["current_schedule"]
+        self.next_schedule = state["next_schedule"]
+        self.last_schedule_switch = state["last_schedule_switch"]
+        self.table_iterator = state["table_iterator"]
+        self.heir_partition = state["heir_partition"]
+        self.pending_change_actions = dict(state["pending_change_actions"])
+        stats = state["stats"]
+        self.stats = SchedulerStats(**stats)
+
     def _arm_change_actions(self, schedule: CompiledSchedule) -> None:
         """Arm each scheduled partition's ScheduleChangeAction.
 

@@ -154,6 +154,24 @@ class DeadlineMonitor:
         self._comparisons += checks
 
     # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture the deadline store and detection history as pure data."""
+        return {"store": self.store.snapshot(),
+                "violations": list(self._violations),
+                "checks": self._checks,
+                "comparisons": self._comparisons}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto this monitor."""
+        self.store.restore(state["store"])
+        self._violations = list(state["violations"])
+        self._checks = state["checks"]
+        self._comparisons = state["comparisons"]
+
+    # -------------------------------------------------------------- #
     # instrumentation
     # -------------------------------------------------------------- #
 

@@ -83,6 +83,15 @@ class DeadlineStore:
         """All entries, ascending — convenience for tests."""
         return list(self)
 
+    def snapshot(self) -> dict:
+        """Capture entries (with their tie-breaking sequence numbers) and
+        the sequence counter as pure data."""
+        raise NotImplementedError
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the store bit-identically from a :meth:`snapshot`."""
+        raise NotImplementedError
+
 
 # ------------------------------------------------------------------ #
 # sorted doubly linked list (the paper's choice)
@@ -158,6 +167,31 @@ class DeadlineList(DeadlineStore):
         while node is not None:
             yield node.record
             node = node.next
+
+    # snapshot / restore -------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        entries = []
+        node = self._head
+        while node is not None:
+            entries.append((node.record.process, node.record.deadline_time,
+                            node.sequence))
+            node = node.next
+        return {"entries": entries, "sequence": self._sequence}
+
+    def restore(self, state: dict) -> None:
+        self._head = self._tail = None
+        self._index = {}
+        for process, deadline_time, sequence in state["entries"]:
+            node = _ListNode(DeadlineRecord(process, deadline_time), sequence)
+            if self._tail is None:          # entries come pre-sorted
+                self._head = self._tail = node
+            else:
+                node.prev = self._tail
+                self._tail.next = node
+                self._tail = node
+            self._index[process] = node
+        self._sequence = state["sequence"]
 
     # internals ----------------------------------------------------- #
 
@@ -311,6 +345,24 @@ class DeadlineTree(DeadlineStore):
 
     def __iter__(self) -> Iterator[DeadlineRecord]:
         yield from self._walk(self._root)
+
+    # snapshot / restore -------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        entries = [(record.process, record.deadline_time,
+                    self._keys[record.process][1]) for record in self]
+        return {"entries": entries, "sequence": self._sequence}
+
+    def restore(self, state: dict) -> None:
+        self._root = None
+        self._keys = {}
+        for process, deadline_time, sequence in state["entries"]:
+            key = (deadline_time, sequence)
+            record = DeadlineRecord(process, deadline_time)
+            self._root = self._insert(self._root, key, record)
+            self._keys[process] = key
+        self._sequence = state["sequence"]
+        self._refresh_min()
 
     # internals ----------------------------------------------------- #
 

@@ -181,6 +181,47 @@ class FdirSupervisor:
         return horizon
 
     # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture escalation/storm/parking/probation state as pure data.
+
+        Rule identities are captured by index (``config.rules`` order),
+        which is stable across a rebuild from the same configuration.
+        """
+        return {
+            "states": {key: {"occurrences": list(state.occurrences),
+                             "rung": state.rung}
+                       for key, state in self._states.items()},
+            "storm": dict(self._storm),
+            "restarts": dict(self._restarts),
+            "parked": dict(self._parked),
+            "nominal_schedule": self._nominal_schedule,
+            "degraded_schedule": self._degraded_schedule,
+            "probation_deadline": self._probation_deadline,
+            "watchdog": (self.watchdog.snapshot()
+                         if self.watchdog is not None else None),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto this supervisor."""
+        self._states = {}
+        for key, rule_state in state["states"].items():
+            rebuilt = _RuleState()
+            rebuilt.occurrences = deque(rule_state["occurrences"])
+            rebuilt.rung = rule_state["rung"]
+            self._states[key] = rebuilt
+        self._storm = dict(state["storm"])
+        self._restarts = dict(state["restarts"])
+        self._parked = dict(state["parked"])
+        self._nominal_schedule = state["nominal_schedule"]
+        self._degraded_schedule = state["degraded_schedule"]
+        self._probation_deadline = state["probation_deadline"]
+        if state["watchdog"] is not None and self.watchdog is not None:
+            self.watchdog.restore(state["watchdog"])
+
+    # -------------------------------------------------------------- #
     # internals
     # -------------------------------------------------------------- #
 

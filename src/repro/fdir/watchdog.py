@@ -103,6 +103,23 @@ class WatchdogService:
             (partition, last_kick, deadline)
             for partition, (last_kick, deadline) in self._armed.items()))
 
+    # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture armed deadlines and counters as pure data."""
+        return {"armed": dict(self._armed),
+                "kicks": self.kicks,
+                "expiries": self.expiries}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto this service."""
+        self._armed = dict(state["armed"])
+        self.kicks = state["kicks"]
+        self.expiries = state["expiries"]
+        self._refresh_next_expiry()
+
     def _refresh_next_expiry(self) -> None:
         self._next_expiry = (min(deadline for _, deadline
                                  in self._armed.values())

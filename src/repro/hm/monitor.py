@@ -176,6 +176,25 @@ class HealthMonitor:
             key=lambda item: (item[0], item[1].value)))
 
     # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture the disposition log and occurrence counters as pure data.
+
+        Application handlers are structural (reinstalled by the partition
+        initialization replay via CREATE_ERROR_HANDLER) and the supervisor
+        hook is wired at construction; neither is captured here.
+        """
+        return {"log": list(self._log),
+                "occurrences": dict(self._occurrences)}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto this monitor."""
+        self._log = list(state["log"])
+        self._occurrences = dict(state["occurrences"])
+
+    # -------------------------------------------------------------- #
     # internals
     # -------------------------------------------------------------- #
 

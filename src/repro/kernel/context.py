@@ -123,3 +123,39 @@ class ContextBank:
         where there is no active partition context to save.
         """
         self._live = None
+
+    # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture every partition context and the live marker as pure data.
+
+        ``scratch`` is POS-owned plain data; it is copied shallowly (the
+        POSs in this model only store scalars there, if anything).
+        """
+        return {
+            "live": self._live,
+            "contexts": {
+                name: {"last_tick": ctx.last_tick,
+                       "running_process": ctx.running_process,
+                       "scratch": dict(ctx.scratch),
+                       "save_count": ctx.save_count,
+                       "restore_count": ctx.restore_count}
+                for name, ctx in self._contexts.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto registered contexts.
+
+        (Named ``restore_state`` because :meth:`restore` is Algorithm 2's
+        RESTORECONTEXT.)
+        """
+        self._live = state["live"]
+        for name, ctx_state in state["contexts"].items():
+            context = self.context_of(name)
+            context.last_tick = ctx_state["last_tick"]
+            context.running_process = ctx_state["running_process"]
+            context.scratch = dict(ctx_state["scratch"])
+            context.save_count = ctx_state["save_count"]
+            context.restore_count = ctx_state["restore_count"]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import List, Optional, Sequence, TypeVar
+from typing import Any, Dict, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -56,6 +56,33 @@ class SeededRng:
     def chance(self, probability: float) -> bool:
         """True with the given *probability* in ``[0, 1]``."""
         return self._random.random() < probability
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable stream position: seed plus the Mersenne state.
+
+        The returned value is pure data (ints and tuples) — picklable and
+        JSON-encodable after a tuple→list conversion — so simulator
+        snapshots can freeze a stream mid-sequence and
+        :meth:`load_state_dict` can resume it bit-exactly, in this process
+        or another.
+        """
+        return {"seed": self._seed, "state": self._random.getstate()}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a position captured by :meth:`state_dict`.
+
+        After loading, the stream produces exactly the draws the captured
+        stream would have produced next, and :meth:`fork` children are
+        identical (forking depends only on the seed, never on the
+        position).
+        """
+        self._seed = state["seed"]
+        raw = state["state"]
+        # Tolerate a JSON round-trip: getstate() is nested tuples, which
+        # JSON flattens to lists.
+        self._random.setstate(
+            (raw[0], tuple(raw[1]), raw[2]) if not isinstance(raw, tuple)
+            else raw)
 
     def fork(self, label: str) -> "SeededRng":
         """Derive an independent child stream, stable for a given label.

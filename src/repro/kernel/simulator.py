@@ -148,6 +148,23 @@ class Simulator:
             f"run_while exceeded the {limit}-tick safety bound")
 
     # -------------------------------------------------------------- #
+    # snapshot / fork (DESIGN decision 8)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self):
+        """Checkpoint the full deterministic state at the current tick.
+
+        Returns a :class:`~repro.kernel.snapshot.SimulatorSnapshot` that
+        can be pickled, cached, and forked into any number of independent
+        continuations — each bit-identical to a cold run reaching the
+        same tick.  The host-side event-core counters are *not* captured
+        (they are nondeterministic across execution modes by design).
+        """
+        from .snapshot import SimulatorSnapshot
+
+        return SimulatorSnapshot.capture(self)
+
+    # -------------------------------------------------------------- #
     # self-profiling (DESIGN decision 6)
     # -------------------------------------------------------------- #
 

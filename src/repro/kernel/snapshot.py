@@ -1,0 +1,150 @@
+"""Deterministic simulator checkpoints: capture, pickle, fork, resume.
+
+A :class:`SimulatorSnapshot` captures the *complete* deterministic state of
+a :class:`~repro.kernel.simulator.Simulator` at a tick boundary — scheduler
+iterator position, per-partition runtime/POS/process state, deadline
+structures, port queues and in-flight router messages, Health Monitor and
+FDIR supervision history, watchdog deadlines, every rng stream, and the
+trace recorded so far — as *pure data*: no live object graph, no
+``deepcopy``.  Each component contributes an explicit ``snapshot()`` /
+``restore()`` pair, which keeps the capture honest (a new piece of mutable
+state must be added to its component's snapshot or the fork-equivalence
+tests fail loudly) and makes snapshots picklable across process boundaries.
+
+The two deliberately non-data pieces of simulator state are encoded
+symbolically and reconstructed on restore:
+
+* **process generators** — Python generators cannot be pickled, so each
+  TCB records the sequence of values its generator consumed
+  (``Tcb.resume_log``); restore re-instantiates the body from its factory
+  and replays that sequence, discarding the yielded effects (their side
+  effects already live in the captured state, which is overlaid on top);
+* **closures** — wait-condition resources and in-flight delivery callbacks
+  are captured as ``(kind, name)`` / destination-port references and
+  resolved against the freshly built simulator.
+
+Restore is *structural re-init + state overlay*: build a fresh
+``Simulator(config)`` from a configuration equal to the captured one
+(configurations hold process bodies and init hooks — closures — so they
+are intentionally **not** part of the snapshot; the caller supplies one),
+replay each initialized partition's initialization sequence to rebuild
+wiring, then overlay every component's captured state.  The contract,
+enforced by the fork-equivalence test matrix, is bit-identical
+continuation: a forked simulator's trace digest, metrics digest and oracle
+verdict equal those of an uninterrupted run from tick 0.
+
+One snapshot can be restored any number of times — each call builds an
+independent continuation, which is what makes prefix-sharing campaign
+scheduling (:mod:`repro.campaign.prefix`) possible.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..config.schema import SystemConfig
+from ..exceptions import SimulationError
+from ..types import Ticks
+from .simulator import Simulator
+
+__all__ = ["SNAPSHOT_VERSION", "SimulatorSnapshot", "config_identity"]
+
+#: Bumped whenever the snapshot layout changes incompatibly.
+SNAPSHOT_VERSION = 1
+
+
+def config_identity(config: SystemConfig) -> Dict[str, Any]:
+    """Cheap structural fingerprint of *config* for restore validation.
+
+    Restoring a snapshot onto a configuration that differs structurally
+    from the captured one would silently corrupt the continuation; this
+    identity check catches the obvious mismatches (it is a guard, not a
+    cryptographic digest — the campaign layer keys its snapshot cache on
+    the full scenario fingerprint).
+    """
+    model = config.model
+    return {
+        "seed": config.seed,
+        "partitions": tuple(model.partition_names),
+        "schedules": tuple(sorted(s.schedule_id for s in model.schedules)),
+        "initial_schedule": model.initial_schedule,
+    }
+
+
+@dataclass(frozen=True)
+class SimulatorSnapshot:
+    """One checkpoint of a simulator, forkable into any number of runs."""
+
+    version: int
+    tick: Ticks
+    identity: Dict[str, Any]
+    time: Dict[str, Any]
+    trace: Dict[str, Any]
+    pmk: Dict[str, Any]
+
+    # ------------------------------------------------------------ #
+    # capture
+    # ------------------------------------------------------------ #
+
+    @classmethod
+    def capture(cls, sim: Simulator) -> "SimulatorSnapshot":
+        """Checkpoint *sim* at its current tick (any tick boundary)."""
+        return cls(version=SNAPSHOT_VERSION,
+                   tick=sim.time.now,
+                   identity=config_identity(sim.config),
+                   time=sim.time.snapshot(),
+                   trace=sim.trace.snapshot(),
+                   pmk=sim.pmk.snapshot())
+
+    # ------------------------------------------------------------ #
+    # fork / resume
+    # ------------------------------------------------------------ #
+
+    def restore(self, config: SystemConfig) -> Simulator:
+        """Build a fresh simulator continuing from this checkpoint.
+
+        *config* must be structurally equal to the captured simulator's
+        configuration (same seed, partitions and schedules) — it carries
+        the process bodies and init hooks the snapshot intentionally
+        excludes.  Overlay order matters: time first (replay runs under
+        the checkpoint clock), then the PMK (initialization replay and
+        body reconstruction happen inside), then the trace — wholesale,
+        erasing any events the replays emitted.
+        """
+        if self.version != SNAPSHOT_VERSION:
+            raise SimulationError(
+                f"snapshot version {self.version} != supported "
+                f"{SNAPSHOT_VERSION}")
+        identity = config_identity(config)
+        if identity != self.identity:
+            raise SimulationError(
+                f"snapshot/config mismatch: captured {self.identity}, "
+                f"restoring onto {identity}")
+        sim = Simulator(config)
+        sim.time.restore(self.time)
+        sim.pmk.restore(self.pmk)
+        sim.trace.restore(self.trace)
+        return sim
+
+    def fork(self, config: SystemConfig) -> Simulator:
+        """Alias of :meth:`restore` — every call is an independent fork."""
+        return self.restore(config)
+
+    # ------------------------------------------------------------ #
+    # process-boundary transport
+    # ------------------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        """Serialize for caching or shipping to a worker process."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "SimulatorSnapshot":
+        """Inverse of :meth:`to_bytes`."""
+        snapshot = pickle.loads(payload)
+        if not isinstance(snapshot, cls):
+            raise SimulationError(
+                f"payload does not contain a {cls.__name__}")
+        return snapshot

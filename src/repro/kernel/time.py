@@ -104,6 +104,20 @@ class TimeSource:
         """A read-only clock handle for *partition*'s operating system."""
         return GuestClock(self, partition)
 
+    # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture the tick counter and tamper log as pure data."""
+        return {"ticks": self._ticks,
+                "tamper_attempts": list(self._tamper_attempts)}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto this time source."""
+        self._ticks = state["ticks"]
+        self._tamper_attempts = list(state["tamper_attempts"])
+
 
 class GuestClock:
     """Read-only clock exposed to a partition's operating system.

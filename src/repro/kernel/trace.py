@@ -339,6 +339,20 @@ class Trace:
         self._capacity = capacity
         self._dropped = 0
         self._observers: Tuple[Callable[[TraceEvent], None], ...] = ()
+        # digest()/summary() memoization: (length, dropped, last tick) is
+        # enough to detect growth of an append-only log without touching
+        # the record() hot path; wholesale mutators (clear/restore) bump
+        # the generation counter to defeat coincidental key collisions.
+        self._memo_generation = 0
+        self._memo_key: Optional[tuple] = None
+        self._memo_json: Optional[str] = None
+        self._memo_digest: Optional[str] = None
+        self._memo_summary: Optional[Dict[str, object]] = None
+
+    def _current_memo_key(self) -> tuple:
+        events = self._events
+        return (self._memo_generation, len(events), self._dropped,
+                events[-1].tick if events else None)
 
     def record(self, event: TraceEvent) -> None:
         """Append *event*; evict the oldest if capacity is bounded."""
@@ -423,6 +437,25 @@ class Trace:
     def clear(self) -> None:
         """Drop all retained events (the drop counter is kept)."""
         self._events.clear()
+        self._memo_generation += 1
+
+    # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture the retained events and drop counter as pure data."""
+        return {"events": list(self._events), "dropped": self._dropped}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace the log wholesale with a :meth:`snapshot` capture.
+
+        Observers are untouched (they are structural wiring, not state);
+        the capacity bound stays whatever this trace was built with.
+        """
+        self._events = deque(state["events"], maxlen=self._capacity)
+        self._dropped = state["dropped"]
+        self._memo_generation += 1
 
     # -------------------------------------------------------------- #
     # export
@@ -430,11 +463,17 @@ class Trace:
 
     def to_dicts(self) -> List[dict]:
         """Every retained event as a JSON-compatible dict (``kind`` field
-        added for dispatch on the consuming side)."""
+        added for dispatch on the consuming side).
+
+        Events are flat dataclasses of scalars, so this copies
+        ``__dict__`` directly instead of paying ``dataclasses.asdict``'s
+        recursive deep copy — an order of magnitude on digest-heavy
+        campaign paths, with byte-identical JSON.
+        """
         out = []
         for event in self._events:
-            record = dataclasses.asdict(event)
-            record["kind"] = event.kind
+            record = dict(event.__dict__)
+            record["kind"] = type(event).__name__
             out.append(record)
         return out
 
@@ -456,9 +495,18 @@ class Trace:
         Canonical means ``sort_keys`` and no insignificant whitespace, so
         equal traces serialize to equal bytes; :meth:`from_json` inverts it.
         """
-        return json.dumps({"dropped": self._dropped,
+        key = self._current_memo_key()
+        if self._memo_json is not None and self._memo_key == key:
+            return self._memo_json
+        text = json.dumps({"dropped": self._dropped,
                            "events": self.to_dicts()},
                           sort_keys=True, separators=(",", ":"))
+        if self._memo_key != key:
+            self._memo_key = key
+            self._memo_digest = None
+            self._memo_summary = None
+        self._memo_json = text
+        return text
 
     @classmethod
     def from_json(cls, text: str,
@@ -494,9 +542,19 @@ class Trace:
         Two traces with identical retained events (and drop counts) have
         identical digests — the compact equivalence token that crosses the
         campaign worker-pool boundary instead of the full event list.
+
+        Memoized: repeated calls on an unchanged trace return the cached
+        value without rescanning the event log (campaigns digest the same
+        finished trace from several reporting paths).
         """
-        return hashlib.sha256(
+        key = self._current_memo_key()
+        if self._memo_digest is not None and self._memo_key == key:
+            return self._memo_digest
+        digest = hashlib.sha256(
             self.to_json().encode("utf-8")).hexdigest()[:16]
+        # to_json() has synchronized _memo_key to `key`.
+        self._memo_digest = digest
+        return digest
 
     def summary(self) -> Dict[str, object]:
         """Compact, JSON-compatible description of the trace.
@@ -505,11 +563,14 @@ class Trace:
         the content :meth:`digest` — everything a campaign aggregate needs,
         at a fixed size regardless of trace length.
         """
+        key = self._current_memo_key()
+        if self._memo_summary is not None and self._memo_key == key:
+            return dict(self._memo_summary)
         counts: Dict[str, int] = {}
         for event in self._events:
             kind = event.kind
             counts[kind] = counts.get(kind, 0) + 1
-        return {
+        summary = {
             "events": len(self._events),
             "dropped": self._dropped,
             "counts": dict(sorted(counts.items())),
@@ -517,6 +578,9 @@ class Trace:
             "last_tick": self._events[-1].tick if self._events else None,
             "digest": self.digest(),
         }
+        if self._memo_key == self._current_memo_key():
+            self._memo_summary = dict(summary)
+        return summary
 
     def __len__(self) -> int:
         return len(self._events)

@@ -338,9 +338,22 @@ class SimulatorMetrics:
         return registry
 
 
-def instrument(simulator) -> SimulatorMetrics:
+def instrument(simulator, *, replay: bool = False) -> SimulatorMetrics:
     """Attach live metrics to *simulator*; returns the observer.
 
     Call before running; read ``observer.collect().to_json()`` after.
+
+    *replay* feeds the events already in the simulator's trace through
+    the observer before going live — the way to instrument a simulator
+    restored from a :class:`~repro.kernel.snapshot.SimulatorSnapshot`:
+    the restored trace holds the pre-checkpoint events, so replaying them
+    makes the registry digest equal a cold run instrumented from tick 0
+    (component-counter gauges come from ``collect()`` and are captured by
+    the snapshot already).
     """
-    return SimulatorMetrics(simulator)
+    metrics = SimulatorMetrics(simulator)
+    if replay:
+        observe = metrics._observe
+        for event in simulator.trace:
+            observe(event)
+    return metrics

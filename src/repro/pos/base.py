@@ -423,6 +423,10 @@ class PartitionOs:
             send_value = None
             tcb.body_started = True
         for _ in range(_MAX_ZERO_TIME_STEPS):
+            # The resume log records every value fed to the generator so a
+            # simulator snapshot can rebuild it later by replaying the
+            # same send sequence into a fresh instance of the body.
+            tcb.resume_log.append(send_value)
             try:
                 effect = tcb.generator.send(send_value)
             except StopIteration:
@@ -479,6 +483,50 @@ class PartitionOs:
             raise ProcessFaultError(
                 f"unhandled fault in {self.name}/{tcb.name}: {exc}",
                 partition=self.name, process=tcb.name, cause=exc)
+
+    # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self, resource_ref: Callable[[object], Any]) -> dict:
+        """Capture all POS scheduling state as pure data.
+
+        *resource_ref* symbolically encodes the resource objects inside
+        TCB wait conditions (see :meth:`Tcb.snapshot`).
+        """
+        return {
+            "tcbs": {name: tcb.snapshot(resource_ref)
+                     for name, tcb in self._tcbs.items()},
+            "ready_sequence": self._ready_sequence,
+            "running": self._running.name if self._running else None,
+            "preemption_lock": self._preemption_lock,
+            "announced_ticks": self._announced_ticks,
+        }
+
+    def restore(self, state: dict, *,
+                resolve_resource: Callable[[Any], object],
+                rebuild_body: Callable[[Tcb, List[Any]], None]) -> None:
+        """Overlay a :meth:`snapshot` capture onto this POS.
+
+        *rebuild_body* reconstructs a TCB's generator by re-instantiating
+        its body and replaying the given resume log (supplied by the
+        snapshot orchestrator, which owns the APEX context wiring); it runs
+        before the TCB field overlay so the overlay always wins.
+        """
+        for name, tcb_state in state["tcbs"].items():
+            tcb = self._tcbs.get(name)
+            if tcb is None:
+                tcb = self.add_process(tcb_state["model"])
+            if tcb_state["has_generator"]:
+                rebuild_body(tcb, list(tcb_state["resume_log"]))
+            else:
+                tcb.generator = None
+            tcb.restore(tcb_state, resolve_resource)
+        self._ready_sequence = state["ready_sequence"]
+        running = state["running"]
+        self._running = self._tcbs[running] if running is not None else None
+        self._preemption_lock = state["preemption_lock"]
+        self._announced_ticks = state["announced_ticks"]
 
     # -------------------------------------------------------------- #
     # internals

@@ -108,6 +108,21 @@ class GenericPos(PartitionOs):
         return now + max(self.quantum - self._ticks_on_current, 0)
 
     # -------------------------------------------------------------- #
+    # snapshot / restore
+    # -------------------------------------------------------------- #
+
+    def snapshot(self, resource_ref) -> dict:
+        state = super().snapshot(resource_ref)
+        state["ticks_on_current"] = self._ticks_on_current
+        state["takeover_attempts"] = self._takeover_attempts
+        return state
+
+    def restore(self, state: dict, **kwargs) -> None:
+        super().restore(state, **kwargs)
+        self._ticks_on_current = state["ticks_on_current"]
+        self._takeover_attempts = state["takeover_attempts"]
+
+    # -------------------------------------------------------------- #
     # paravirtualized clock surface (Sect. 2.5)
     # -------------------------------------------------------------- #
 

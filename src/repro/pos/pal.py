@@ -158,6 +158,18 @@ class PosAdaptationLayer:
         self.pos.tcb(process).deadline_time = None
 
     # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture the PAL's only mutable state: the deadline monitor."""
+        return {"monitor": self.monitor.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture (callbacks are structural)."""
+        self.monitor.restore(state["monitor"])
+
+    # -------------------------------------------------------------- #
     # POS callback handlers
     # -------------------------------------------------------------- #
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 from ..core.model import ProcessModel
 from ..exceptions import SimulationError
@@ -98,6 +98,11 @@ class Tcb:
     started_at: Optional[Ticks] = None
     completed: bool = False
     on_state_change: Optional[Callable[["Tcb", ProcessState, str], None]] = None
+    #: Every value sent into :attr:`generator` since the last
+    #: :meth:`instantiate_body` — the replay script simulator snapshots use
+    #: to reconstruct the (unpicklable) generator: re-instantiate the body
+    #: and feed it the same send sequence, discarding the yielded effects.
+    resume_log: List[Any] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.current_priority = self.model.priority
@@ -188,6 +193,7 @@ class Tcb:
         self.has_pending_result = False
         self.body_started = False
         self.completed = False
+        self.resume_log = []
 
     def reset_runtime(self) -> None:
         """Clear all runtime fields back to the dormant baseline."""
@@ -206,6 +212,84 @@ class Tcb:
         self.overload_rejections = 0
         self.started_at = None
         self.completed = False
+        self.resume_log = []
+
+    # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self, resource_ref: Callable[[object], Any]) -> dict:
+        """Capture runtime state as pure data (no generator, no callbacks).
+
+        The generator itself cannot be serialized; :attr:`resume_log`
+        stands in for it (see :class:`SimulatorSnapshot`).  *resource_ref*
+        encodes a live resource object (semaphore, buffer, queuing port…)
+        as a symbolic reference the restoring side can resolve.
+        """
+        wait = None
+        if self.wait is not None:
+            wait = {
+                "reason": self.wait.reason.value,
+                "wake_at": self.wait.wake_at,
+                "resource": (None if self.wait.resource is None
+                             else resource_ref(self.wait.resource)),
+                "timed_out": self.wait.timed_out,
+            }
+        return {
+            "model": self.model,
+            "state": self.state.value,
+            "current_priority": self.current_priority,
+            "deadline_time": self.deadline_time,
+            "has_generator": self.generator is not None,
+            "resume_log": list(self.resume_log),
+            "compute_remaining": self.compute_remaining,
+            "pending_result": self.pending_result,
+            "has_pending_result": self.has_pending_result,
+            "wait": wait,
+            "ready_since": self.ready_since,
+            "release_count": self.release_count,
+            "next_release": self.next_release,
+            "activation_count": self.activation_count,
+            "overload_rejections": self.overload_rejections,
+            "body_started": self.body_started,
+            "started_at": self.started_at,
+            "completed": self.completed,
+        }
+
+    def restore(self, state: dict,
+                resolve_resource: Callable[[Any], object]) -> None:
+        """Overlay a :meth:`snapshot` capture onto this TCB.
+
+        The caller must already have reconstructed :attr:`generator` (via
+        body replay) when ``state["has_generator"]`` is set; this method
+        only restores the plain fields, bypassing the state machine (the
+        captured state was legal when captured).
+        """
+        self.state = ProcessState(state["state"])
+        self.current_priority = state["current_priority"]
+        self.deadline_time = state["deadline_time"]
+        self.resume_log = list(state["resume_log"])
+        self.compute_remaining = state["compute_remaining"]
+        self.pending_result = state["pending_result"]
+        self.has_pending_result = state["has_pending_result"]
+        wait = state["wait"]
+        if wait is None:
+            self.wait = None
+        else:
+            self.wait = WaitCondition(
+                reason=WaitReason(wait["reason"]),
+                wake_at=wait["wake_at"],
+                resource=(None if wait["resource"] is None
+                          else resolve_resource(wait["resource"])),
+                timed_out=wait["timed_out"])
+        self.ready_since = state["ready_since"]
+        self.release_count = state["release_count"]
+        self.next_release = state["next_release"]
+        self.activation_count = state["activation_count"]
+        self.overload_rejections = state["overload_rejections"]
+        self.body_started = state["body_started"]
+        self.started_at = state["started_at"]
+        self.completed = state["completed"]
 
     def describe(self) -> str:
         """One-line human-readable status (used by VITRAL windows)."""

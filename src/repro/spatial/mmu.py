@@ -187,6 +187,26 @@ class Mmu:
                 f"no MMU context for partition {partition!r}") from None
 
     # -------------------------------------------------------------- #
+    # snapshot / restore (simulator checkpointing)
+    # -------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Capture the active context and counters as pure data.
+
+        Page tables are structural — compiled from the configuration's
+        memory maps at construction — and are not captured.
+        """
+        return {"active": self._active,
+                "access_count": self.access_count,
+                "fault_count": self.fault_count}
+
+    def restore(self, state: dict) -> None:
+        """Overlay a :meth:`snapshot` capture onto this MMU."""
+        self._active = state["active"]
+        self.access_count = state["access_count"]
+        self.fault_count = state["fault_count"]
+
+    # -------------------------------------------------------------- #
     # access checking
     # -------------------------------------------------------------- #
 

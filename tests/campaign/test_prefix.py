@@ -1,0 +1,213 @@
+"""Tests for prefix-sharing campaign scheduling (repro.campaign.prefix)."""
+
+import json
+
+import pytest
+
+from repro.apps.prototype import MTF
+from repro.campaign.prefix import (
+    MIN_PREFIX_TICKS,
+    PREFIX_QUANTUM,
+    SnapshotCache,
+    divergence_tick,
+    run_with_prefix_cache,
+    scenario_fingerprint,
+)
+from repro.campaign.results import deterministic_report, report_json
+from repro.campaign.runner import run_campaign, run_serial
+from repro.campaign.scenarios import Scenario, chaos_campaign
+from repro.fault.faults import MemoryViolationFault
+
+
+def scenario(scenario_id="s", seed=0, ticks=4 * MTF, faults=(),
+             commands=(), **kwargs):
+    return Scenario(scenario_id=scenario_id, seed=seed, ticks=ticks,
+                    faults=tuple(faults), schedule_commands=tuple(commands),
+                    **kwargs)
+
+
+class TestScenarioFingerprint:
+    def test_shared_seed_scenarios_share_a_fingerprint(self):
+        a = scenario("a", faults=((MTF, MemoryViolationFault("P2")),))
+        b = scenario("b", ticks=9 * MTF,
+                     commands=((2 * MTF, "chi2"),))
+        assert scenario_fingerprint(a) == scenario_fingerprint(b)
+
+    def test_seed_and_kwargs_change_the_fingerprint(self):
+        base = scenario()
+        assert scenario_fingerprint(scenario(seed=1)) != \
+            scenario_fingerprint(base)
+        assert scenario_fingerprint(
+            scenario(factory_kwargs={"fdir_supervision": True})) != \
+            scenario_fingerprint(base)
+
+    def test_fingerprint_is_stable_across_calls(self):
+        assert scenario_fingerprint(scenario()) == \
+            scenario_fingerprint(scenario())
+
+
+class TestDivergenceTick:
+    def test_fault_free_scenario_diverges_at_the_horizon(self):
+        assert divergence_tick(scenario(ticks=5 * MTF)) == 5 * MTF
+
+    def test_earliest_fault_or_command_wins(self):
+        both = scenario(
+            faults=((3 * MTF, MemoryViolationFault("P2")),),
+            commands=((2 * MTF + 7, "chi2"),))
+        assert divergence_tick(both) == 2 * MTF + 7
+
+    def test_clamped_to_the_horizon(self):
+        late = scenario(ticks=MTF,
+                        faults=((9 * MTF, MemoryViolationFault("P2")),))
+        assert divergence_tick(late) == MTF
+
+
+class TestSnapshotCache:
+    def test_get_put_round_trip_and_counters(self):
+        cache = SnapshotCache(capacity=4)
+        assert cache.get("fp", 1024) is None
+        cache.put("fp", 1024, b"payload")
+        assert cache.get("fp", 1024) == b"payload"
+        assert cache.get("fp", 2048) is None
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 2,
+                                 "stores": 1, "evictions": 0}
+
+    def test_lru_eviction_order(self):
+        cache = SnapshotCache(capacity=2)
+        cache.put("a", 0, b"a")
+        cache.put("b", 0, b"b")
+        assert cache.get("a", 0) == b"a"  # refresh a's recency
+        cache.put("c", 0, b"c")           # evicts b, the LRU entry
+        assert cache.get("b", 0) is None
+        assert cache.get("a", 0) == b"a"
+        assert cache.get("c", 0) == b"c"
+        assert cache.evictions == 1
+
+    def test_duplicate_put_refreshes_without_storing(self):
+        cache = SnapshotCache(capacity=2)
+        cache.put("a", 0, b"a")
+        cache.put("b", 0, b"b")
+        cache.put("a", 0, b"ignored")
+        assert cache.stores == 2
+        cache.put("c", 0, b"c")  # b is now the LRU entry
+        assert cache.get("a", 0) == b"a"
+        assert cache.get("b", 0) is None
+
+    def test_best_prefix_picks_the_longest_at_or_before(self):
+        cache = SnapshotCache()
+        cache.put("fp", 1024, b"short")
+        cache.put("fp", 3072, b"long")
+        cache.put("other", 4096, b"foreign")
+        assert cache.best_prefix("fp", 5000) == (3072, b"long")
+        assert cache.best_prefix("fp", 2000) == (1024, b"short")
+        assert cache.best_prefix("fp", 100) is None
+        assert cache.best_prefix("missing", 5000) is None
+        # advisory: no hit/miss accounting
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SnapshotCache(capacity=0)
+
+
+class TestRunWithPrefixCache:
+    def make(self, scenario_id, fault_tick, *, ticks=6 * MTF):
+        return scenario(scenario_id, ticks=ticks,
+                        faults=((fault_tick, MemoryViolationFault("P2")),))
+
+    def test_result_matches_cold_run_and_reports_the_fork(self):
+        from repro.campaign.runner import run_scenario
+
+        spec = self.make("warm", 4 * MTF + 50)
+        cache = SnapshotCache()
+        seeded = run_with_prefix_cache(spec, cache)   # seeds the cache
+        warm = run_with_prefix_cache(spec, cache)     # forks from it
+        cold = run_scenario(spec)
+        assert cold.forked_at_tick == -1
+        assert warm.forked_at_tick == \
+            (4 * MTF + 50) // PREFIX_QUANTUM * PREFIX_QUANTUM
+        for run in (seeded, warm):
+            assert run.to_dict(include_timing=False) == \
+                cold.to_dict(include_timing=False)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["stores"] == 1
+
+    def test_quantum_sharing_one_entry_many_forks(self):
+        cache = SnapshotCache()
+        specs = [self.make(f"q{i}", 4 * MTF + i * 7) for i in range(4)]
+        for spec in specs:
+            run_with_prefix_cache(spec, cache)
+        # All four divergence ticks quantize into the same snapshot tick:
+        # one store, three hits.
+        assert cache.stats()["stores"] == 1
+        assert cache.stats()["hits"] == 3
+
+    def test_short_prefix_degrades_to_a_cold_run(self):
+        spec = self.make("early", MIN_PREFIX_TICKS // 2)
+        cache = SnapshotCache()
+        result = run_with_prefix_cache(spec, cache)
+        assert result.ok
+        assert result.forked_at_tick == -1
+        assert len(cache) == 0
+
+    def test_prefix_failure_degrades_to_a_cold_run(self, monkeypatch):
+        from repro.kernel.snapshot import SimulatorSnapshot
+
+        def broken_capture(cls, sim):
+            raise RuntimeError("capture exploded")
+
+        monkeypatch.setattr(SimulatorSnapshot, "capture",
+                            classmethod(broken_capture))
+        spec = self.make("degraded", 4 * MTF)
+        result = run_with_prefix_cache(spec, SnapshotCache())
+        assert result.ok
+        assert result.forked_at_tick == -1
+
+    def test_rejects_nonpositive_quantum(self):
+        with pytest.raises(ValueError, match="quantum"):
+            run_with_prefix_cache(self.make("s", 4 * MTF),
+                                  SnapshotCache(), quantum=0)
+
+
+class TestCampaignBitIdentity:
+    """The ISSUE invariant: cache on/off, any worker count — one digest."""
+
+    def campaign(self):
+        return chaos_campaign(count=6, mtfs=10, base_seed=3,
+                              shared_seed=True, prefix_mtfs=6)
+
+    def deterministic(self, results):
+        return json.dumps(deterministic_report(results), sort_keys=True)
+
+    def test_serial_cache_on_equals_cache_off(self):
+        campaign = self.campaign()
+        cold = run_serial(campaign, prefix_cache=False)
+        warm = run_serial(campaign, prefix_cache=True)
+        assert self.deterministic(warm) == self.deterministic(cold)
+        assert all(r.forked_at_tick >= 0 for r in warm)
+        assert all(r.forked_at_tick == -1 for r in cold)
+
+    def test_pooled_cache_on_equals_serial_cache_off(self):
+        campaign = self.campaign()
+        cold = run_serial(campaign, prefix_cache=False)
+        pooled = run_campaign(campaign, workers=2, prefix_cache=True)
+        assert self.deterministic(pooled) == self.deterministic(cold)
+
+    def test_report_sidecar_carries_prefix_cache_stats(self):
+        campaign = self.campaign()
+        results = run_serial(campaign, prefix_cache=True)
+        report = json.loads(report_json(results, include_timing=True))
+        stats = report["timing"]["prefix_cache"]
+        assert stats["forked_scenarios"] == len(campaign)
+        assert stats["ticks_skipped"] > 0
+        assert set(stats["per_scenario_forked_at"]) == \
+            {s.scenario_id for s in campaign}
+        # ...and the deterministic form never mentions the cache.
+        assert "prefix_cache" not in report_json(results)
+
+    def test_distinct_seeds_never_share_prefixes(self):
+        campaign = chaos_campaign(count=3, mtfs=10, base_seed=3,
+                                  prefix_mtfs=6)  # per-scenario seeds
+        cold = run_serial(campaign, prefix_cache=False)
+        warm = run_serial(campaign, prefix_cache=True)
+        assert self.deterministic(warm) == self.deterministic(cold)

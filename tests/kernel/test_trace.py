@@ -108,6 +108,57 @@ class TestRingBuffer:
         assert trace.dropped == 4
 
 
+class TestDigestMemoization:
+    def test_repeated_digest_does_not_rescan(self, monkeypatch):
+        # Regression: campaigns digest the same finished trace from
+        # several reporting paths; only the first call may serialize.
+        trace = Trace()
+        for tick in range(50):
+            trace.record(dispatched(tick))
+        calls = {"count": 0}
+        original = Trace.to_dicts
+
+        def counting_to_dicts(self):
+            calls["count"] += 1
+            return original(self)
+
+        monkeypatch.setattr(Trace, "to_dicts", counting_to_dicts)
+        first = trace.digest()
+        assert calls["count"] == 1
+        assert trace.digest() == first
+        assert trace.summary()["digest"] == first
+        assert calls["count"] == 1, "memoized digest rescanned the log"
+
+    def test_append_invalidates_the_memo(self):
+        trace = Trace()
+        trace.record(dispatched(1))
+        before = trace.digest()
+        trace.record(dispatched(2))
+        after = trace.digest()
+        assert after != before
+
+    def test_restore_invalidates_the_memo(self):
+        trace = Trace()
+        trace.record(dispatched(1))
+        stale = trace.digest()
+        other = Trace()
+        other.record(dispatched(1))
+        other.record(missed(2))
+        trace.restore(other.snapshot())
+        assert trace.digest() == other.digest() != stale
+
+    def test_same_length_same_last_tick_still_distinguished(self):
+        # The memo key must not collapse distinct same-shape logs: clear()
+        # bumps the generation precisely so a rebuilt log of equal length
+        # and final tick cannot alias a stale cached digest.
+        trace = Trace()
+        trace.record(dispatched(1, heir="P1"))
+        first = trace.digest()
+        trace.clear()
+        trace.record(dispatched(1, heir="P2"))
+        assert trace.digest() != first
+
+
 class TestBetweenBisect:
     def test_duplicate_boundary_ticks(self):
         trace = Trace()
