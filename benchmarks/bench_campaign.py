@@ -16,8 +16,9 @@ Runs two ways:
 * ``pytest benchmarks/bench_campaign.py`` — asserts determinism always and
   the speedup floor when the host has >= 4 usable CPUs;
 * ``python benchmarks/bench_campaign.py [--scenarios N] [--mtfs N]
-  [--workers N] [--json PATH] [--check]`` — standalone smoke (used by CI),
-  writing the measured numbers to ``BENCH_campaign.json``.
+  [--workers N] [--backend B] [--json PATH] [--check]`` — standalone smoke
+  (used by CI), writing the schema-versioned artifact to
+  ``BENCH_campaign.json`` in the repo root (via ``bench_lib``).
 """
 
 from __future__ import annotations
@@ -36,6 +37,8 @@ from repro.campaign import (
 )
 from repro.campaign.runner import autodetect_workers
 
+from bench_lib import emit_bench_json, workload_record
+
 #: Acceptance floor: pooled scenarios/sec vs serial at 4 workers.
 SPEEDUP_FLOOR = 3.0
 
@@ -51,16 +54,18 @@ def _report_bytes(results) -> str:
 
 def run_benchmark(*, scenarios: int = CAMPAIGN_SCENARIOS,
                   mtfs: int = CAMPAIGN_MTFS, workers: int = 4,
-                  chunksize=None) -> Dict[str, float]:
+                  chunksize=None, backend: str = "reference"
+                  ) -> Dict[str, float]:
     """Time serial vs pooled execution; assert identical aggregates."""
     campaign = fault_matrix_campaign(count=scenarios, mtfs=mtfs)
 
     start = time.perf_counter()
-    serial = run_serial(campaign)
+    serial = run_serial(campaign, backend=backend)
     serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    pooled = run_pool(campaign, workers=workers, chunksize=chunksize)
+    pooled = run_pool(campaign, workers=workers, chunksize=chunksize,
+                      backend=backend)
     pooled_s = time.perf_counter() - start
 
     # The determinism invariant is not load-dependent: assert it on every
@@ -74,6 +79,7 @@ def run_benchmark(*, scenarios: int = CAMPAIGN_SCENARIOS,
         "scenarios": scenarios,
         "mtfs": mtfs,
         "workers": workers,
+        "backend": backend,
         "serial_s": serial_s,
         "pooled_s": pooled_s,
         "serial_scenarios_per_s": scenarios / serial_s,
@@ -90,6 +96,11 @@ def run_benchmark(*, scenarios: int = CAMPAIGN_SCENARIOS,
 def test_pooled_aggregate_matches_serial():
     """Determinism at benchmark scale, 2 workers (any host)."""
     run_benchmark(scenarios=16, mtfs=4, workers=2)
+
+
+def test_pooled_aggregate_matches_serial_fast_backend():
+    """Same determinism invariant on the fast backend."""
+    run_benchmark(scenarios=16, mtfs=4, workers=2, backend="fast")
 
 
 @pytest.mark.skipif(autodetect_workers() < 4,
@@ -114,14 +125,18 @@ def main() -> int:
                         default=CAMPAIGN_SCENARIOS)
     parser.add_argument("--mtfs", type=int, default=CAMPAIGN_MTFS)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--backend", default="reference",
+                        choices=("reference", "fast"),
+                        help="execution backend for every scenario")
     parser.add_argument("--json", default=None,
-                        help="write measured numbers to this path")
+                        help="artifact path (default: BENCH_campaign.json "
+                             "in the repo root)")
     parser.add_argument("--check", action="store_true",
                         help="assert the speedup floor (needs >= 4 CPUs)")
     args = parser.parse_args()
 
     numbers = run_benchmark(scenarios=args.scenarios, mtfs=args.mtfs,
-                            workers=args.workers)
+                            workers=args.workers, backend=args.backend)
     print(f"campaign: {args.scenarios} scenarios x {args.mtfs} MTFs")
     print(f"  serial : {numbers['serial_s']:8.3f}s "
           f"({numbers['serial_scenarios_per_s']:7.1f} scenarios/s)")
@@ -130,10 +145,22 @@ def main() -> int:
           f"{args.workers} workers)")
     print(f"  speedup: {numbers['speedup']:5.2f}x")
     print("  determinism: pooled aggregate == serial aggregate")
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as stream:
-            json.dump(numbers, stream, indent=2, sort_keys=True)
-        print(f"  numbers written to {args.json}")
+    workload = f"fault-matrix-{args.scenarios}x{args.mtfs}"
+    path = emit_bench_json("campaign", [
+        workload_record(workload, backend=args.backend, mode="serial",
+                        scenarios_per_s=round(
+                            numbers["serial_scenarios_per_s"], 2),
+                        digests_asserted=True),
+        workload_record(workload, backend=args.backend,
+                        mode=f"pooled-{args.workers}",
+                        scenarios_per_s=round(
+                            numbers["pooled_scenarios_per_s"], 2),
+                        speedup=numbers["speedup"],
+                        speedup_reference="serial, same backend",
+                        digests_asserted=True,
+                        speedup_floor=SPEEDUP_FLOOR),
+    ], path=args.json)
+    print(f"  wrote {path}")
     if args.check and numbers["speedup"] < SPEEDUP_FLOOR:
         print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
         return 1

@@ -25,8 +25,9 @@ Runs two ways:
 * ``pytest benchmarks/bench_snapshot_fork.py`` — asserts bit-identity
   always and the speedup floor on capable hosts;
 * ``python benchmarks/bench_snapshot_fork.py [--scenarios N] [--mtfs N]
-  [--prefix-mtfs N] [--json PATH] [--check]`` — standalone smoke (used by
-  CI), writing the measured numbers to ``BENCH_snapshot_fork.json``.
+  [--prefix-mtfs N] [--backend B] [--json PATH] [--check]`` — standalone
+  smoke (used by CI), writing the schema-versioned artifact to
+  ``BENCH_snapshot_fork.json`` in the repo root (via ``bench_lib``).
 """
 
 from __future__ import annotations
@@ -37,6 +38,8 @@ from typing import Dict
 
 from repro.campaign import chaos_campaign, deterministic_report
 from repro.campaign.runner import run_serial
+
+from bench_lib import emit_bench_json, workload_record
 
 #: Acceptance floor (E18): cached scenarios/sec vs cold, serially.
 SPEEDUP_FLOOR = 2.0
@@ -56,7 +59,8 @@ def _report_bytes(results) -> str:
 def run_benchmark(*, scenarios: int = CAMPAIGN_SCENARIOS,
                   mtfs: int = CAMPAIGN_MTFS,
                   prefix_mtfs: int = CAMPAIGN_PREFIX_MTFS,
-                  seed: int = 7, repeats: int = 3) -> Dict[str, float]:
+                  seed: int = 7, repeats: int = 3,
+                  backend: str = "reference") -> Dict[str, float]:
     """Time cold vs prefix-cached serial execution; assert bit-identity.
 
     Each mode is timed *repeats* times and the fastest run is kept — the
@@ -70,13 +74,13 @@ def run_benchmark(*, scenarios: int = CAMPAIGN_SCENARIOS,
     cold_s = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        cold = run_serial(campaign, prefix_cache=False)
+        cold = run_serial(campaign, prefix_cache=False, backend=backend)
         cold_s = min(cold_s, time.perf_counter() - start)
 
     cached_s = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        cached = run_serial(campaign, prefix_cache=True)
+        cached = run_serial(campaign, prefix_cache=True, backend=backend)
         cached_s = min(cached_s, time.perf_counter() - start)
 
     # The bit-identity invariant is not load-dependent: assert it on
@@ -93,6 +97,7 @@ def run_benchmark(*, scenarios: int = CAMPAIGN_SCENARIOS,
         "scenarios": scenarios,
         "mtfs": mtfs,
         "prefix_mtfs": prefix_mtfs,
+        "backend": backend,
         "cold_s": cold_s,
         "cached_s": cached_s,
         "cold_scenarios_per_s": scenarios / cold_s,
@@ -110,6 +115,11 @@ def run_benchmark(*, scenarios: int = CAMPAIGN_SCENARIOS,
 def test_cached_report_matches_cold():
     """Bit-identity at benchmark scale, small geometry (any host)."""
     run_benchmark(scenarios=6, mtfs=12, prefix_mtfs=9)
+
+
+def test_cached_report_matches_cold_fast_backend():
+    """Same bit-identity invariant with every run on the fast backend."""
+    run_benchmark(scenarios=6, mtfs=12, prefix_mtfs=9, backend="fast")
 
 
 def test_speedup_floor():
@@ -133,14 +143,19 @@ def main() -> int:
     parser.add_argument("--mtfs", type=int, default=CAMPAIGN_MTFS)
     parser.add_argument("--prefix-mtfs", type=int,
                         default=CAMPAIGN_PREFIX_MTFS)
+    parser.add_argument("--backend", default="reference",
+                        choices=("reference", "fast"),
+                        help="execution backend for prefixes and forks")
     parser.add_argument("--json", default=None,
-                        help="write measured numbers to this path")
+                        help="artifact path (default: "
+                             "BENCH_snapshot_fork.json in the repo root)")
     parser.add_argument("--check", action="store_true",
                         help="assert the speedup floor")
     args = parser.parse_args()
 
     numbers = run_benchmark(scenarios=args.scenarios, mtfs=args.mtfs,
-                            prefix_mtfs=args.prefix_mtfs)
+                            prefix_mtfs=args.prefix_mtfs,
+                            backend=args.backend)
     print(f"snapshot fork: {args.scenarios} shared-seed chaos scenarios "
           f"x {args.mtfs} MTFs ({args.prefix_mtfs} MTFs fault-free)")
     print(f"  cold   : {numbers['cold_s']:8.3f}s "
@@ -150,10 +165,24 @@ def main() -> int:
           f"{numbers['ticks_skipped']} prefix ticks forked over)")
     print(f"  speedup: {numbers['speedup']:5.2f}x")
     print("  bit-identity: cached deterministic report == cold report")
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as stream:
-            json.dump(numbers, stream, indent=2, sort_keys=True)
-        print(f"  numbers written to {args.json}")
+    workload = (f"chaos-shared-seed-{args.scenarios}x{args.mtfs}"
+                f"-prefix{args.prefix_mtfs}")
+    path = emit_bench_json("snapshot_fork", [
+        workload_record(workload, backend=args.backend, mode="cold",
+                        scenarios_per_s=round(
+                            numbers["cold_scenarios_per_s"], 2),
+                        digests_asserted=True),
+        workload_record(workload, backend=args.backend,
+                        mode="prefix-cached",
+                        scenarios_per_s=round(
+                            numbers["cached_scenarios_per_s"], 2),
+                        speedup=numbers["speedup"],
+                        speedup_reference="cold serial, same backend",
+                        digests_asserted=True,
+                        speedup_floor=SPEEDUP_FLOOR,
+                        ticks_skipped=numbers["ticks_skipped"]),
+    ], path=args.json)
+    print(f"  wrote {path}")
     if args.check and numbers["speedup"] < SPEEDUP_FLOOR:
         print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
         return 1

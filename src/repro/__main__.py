@@ -32,7 +32,7 @@ from typing import List, Optional
 
 from .analysis.report import build_report
 from .config.loader import read_config
-from .kernel.simulator import Simulator
+from .kernel.simulator import BACKENDS, Simulator
 
 
 def _write_metrics(observer, path: str) -> None:
@@ -59,7 +59,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from .vitral.windows import VitralScreen
 
     handles = build_prototype()
-    simulator = make_simulator(handles)
+    simulator = make_simulator(handles, backend=args.backend)
     observer = None
     if args.metrics_out:
         from .obs import instrument
@@ -100,7 +100,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = read_config(args.config)
-    simulator = Simulator(config)
+    simulator = Simulator(config, backend=args.backend)
     observer = None
     if args.metrics_out:
         from .obs import instrument
@@ -193,10 +193,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     results = run_campaign(scenarios, workers=args.workers,
                            chunksize=args.chunksize,
                            timeout_s=args.timeout,
-                           prefix_cache=args.prefix_cache)
+                           prefix_cache=args.prefix_cache,
+                           backend=args.backend)
     if args.verify_serial and args.workers > 1:
         serial = run_campaign(scenarios, workers=1, timeout_s=args.timeout,
-                              prefix_cache=args.prefix_cache)
+                              prefix_cache=args.prefix_cache,
+                              backend=args.backend)
         if report_json(results) != report_json(serial):
             print("DETERMINISM VIOLATION: pooled aggregate differs from "
                   "serial aggregate", file=sys.stderr)
@@ -231,6 +233,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     demo.add_argument("--timeline-out", default=None,
                       help="write a Chrome trace-event / Perfetto JSON "
                            "timeline here")
+    demo.add_argument("--backend", choices=BACKENDS, default="reference",
+                      help="execution backend; 'fast' is bit-identical to "
+                           "the reference (default reference)")
     demo.set_defaults(handler=_cmd_demo)
 
     validate = commands.add_parser("validate",
@@ -258,6 +263,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                           "timeline here")
     run.add_argument("--profile", action="store_true",
                      help="print a host-time self-profile to stderr")
+    run.add_argument("--backend", choices=BACKENDS, default="reference",
+                     help="execution backend; 'fast' is bit-identical to "
+                          "the reference (default reference)")
     run.set_defaults(handler=_cmd_run)
 
     observe = commands.add_parser(
@@ -312,6 +320,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     campaign.add_argument("--no-prefix-cache", dest="prefix_cache",
                           action="store_false",
                           help="always simulate scenarios from tick 0")
+    campaign.add_argument("--backend", choices=BACKENDS,
+                          default="reference",
+                          help="execution backend; 'fast' is bit-identical "
+                               "to the reference, so campaign digests do "
+                               "not depend on it (default reference)")
     campaign.set_defaults(handler=_cmd_campaign)
 
     args = parser.parse_args(argv)

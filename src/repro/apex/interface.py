@@ -353,6 +353,9 @@ class ApexInterface:
         if tcb.state is ProcessState.DORMANT:
             return error(ReturnCode.INVALID_MODE)
         tcb.current_priority = priority
+        # No eq. (13) transition happens here, so the POS scheduling memos
+        # must be invalidated explicitly.
+        self.pos.touch()
         return ok()
 
     def get_process_status(self, process: str) -> ServiceResult[ProcessStatus]:

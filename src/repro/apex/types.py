@@ -41,7 +41,7 @@ class ReturnCode(enum.Enum):
     TIMED_OUT = "timedOut"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceResult(Generic[T]):
     """Outcome of one APEX service invocation."""
 
@@ -66,8 +66,18 @@ class ServiceResult(Generic[T]):
 
 
 def ok(value: Optional[T] = None) -> ServiceResult[T]:
-    """Shorthand for a ``NO_ERROR`` result."""
+    """Shorthand for a ``NO_ERROR`` result.
+
+    The value-free success result is a shared singleton: frozen-dataclass
+    construction goes through ``object.__setattr__`` per field, and the
+    bare ``ok()`` is the result of nearly every hot-path service call.
+    """
+    if value is None:
+        return _OK_RESULT
     return ServiceResult(ReturnCode.NO_ERROR, value)
+
+
+_OK_RESULT: ServiceResult = ServiceResult(ReturnCode.NO_ERROR, None)
 
 
 def error(code: ReturnCode, value: Optional[T] = None) -> ServiceResult[T]:

@@ -183,12 +183,13 @@ def build_prototype(*, seed: int = 0, deadline_store: str = "list",
 
 
 def make_simulator(handles: Optional[PrototypeHandles] = None,
+                   backend: str = "reference",
                    **kwargs) -> Simulator:
     """Convenience: build (or reuse) a prototype config and wrap it in a
-    simulator."""
+    simulator.  *backend* selects the execution backend."""
     if handles is None:
         handles = build_prototype(**kwargs)
-    return Simulator(handles.config)
+    return Simulator(handles.config, backend=backend)
 
 
 def inject_faulty_process(simulator: Simulator) -> None:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import zlib
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -103,18 +104,42 @@ class SnapshotCache:
     sound because ``restore`` copies every mutable container out of the
     snapshot state and never mutates it (pinned by the repeated-fork
     entries of the fork-equivalence matrix).
+
+    Two independent LRU bounds apply: *capacity* (entry count) and
+    *max_bytes* (sum of stored payload sizes; ``None`` = unbounded).
+    With *compress_level* set, payloads are zlib-compressed at ``put`` —
+    the byte budget then meters compressed sizes — and every consumer
+    decompresses transparently through the magic-byte sniffing in
+    :meth:`SimulatorSnapshot.from_bytes`.
+
+    All counters (including the byte totals) describe cache behaviour
+    only — they belong to the nondeterministic reporting sidecar, never
+    to campaign digests.
     """
 
-    def __init__(self, capacity: int = 16) -> None:
+    def __init__(self, capacity: int = 16,
+                 max_bytes: Optional[int] = None,
+                 compress_level: Optional[int] = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if compress_level is not None and not 0 <= compress_level <= 9:
+            raise ValueError(
+                f"compress_level must be in 0..9, got {compress_level}")
         self.capacity = capacity
+        self.max_bytes = max_bytes
+        self.compress_level = compress_level
         # key -> [payload bytes, memoized SimulatorSnapshot or None]
         self._entries: "OrderedDict[Tuple[str, Ticks], list]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.total_bytes = 0
+        self.stored_bytes = 0
+        self.hit_bytes = 0
+        self.evicted_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -126,19 +151,34 @@ class SnapshotCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             return
+        if self.compress_level is not None:
+            payload = zlib.compress(payload, self.compress_level)
         self._entries[key] = [payload, snapshot]
         self.stores += 1
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        self.total_bytes += len(payload)
+        self.stored_bytes += len(payload)
+        while len(self._entries) > self.capacity or (
+                self.max_bytes is not None
+                and self.total_bytes > self.max_bytes
+                and self._entries):
+            _, evicted = self._entries.popitem(last=False)
             self.evictions += 1
+            self.total_bytes -= len(evicted[0])
+            self.evicted_bytes += len(evicted[0])
 
     def get(self, fingerprint: str, tick: Ticks) -> Optional[bytes]:
-        """Exact payload lookup; counts a hit or miss, refreshes recency."""
+        """Exact payload lookup; counts a hit or miss, refreshes recency.
+
+        The returned bytes may be zlib-compressed (when the cache runs a
+        compression tier); :meth:`SimulatorSnapshot.from_bytes` sniffs
+        and handles both forms.
+        """
         entry = self._entries.get((fingerprint, tick))
         if entry is None:
             self.misses += 1
             return None
         self.hits += 1
+        self.hit_bytes += len(entry[0])
         self._entries.move_to_end((fingerprint, tick))
         return entry[0]
 
@@ -150,6 +190,7 @@ class SnapshotCache:
             self.misses += 1
             return None
         self.hits += 1
+        self.hit_bytes += len(entry[0])
         self._entries.move_to_end((fingerprint, tick))
         if entry[1] is None:
             entry[1] = SimulatorSnapshot.from_bytes(entry[0])
@@ -176,13 +217,18 @@ class SnapshotCache:
         """Counters for the nondeterministic reporting sidecar."""
         return {"entries": len(self._entries), "hits": self.hits,
                 "misses": self.misses, "stores": self.stores,
-                "evictions": self.evictions}
+                "evictions": self.evictions,
+                "total_bytes": self.total_bytes,
+                "stored_bytes": self.stored_bytes,
+                "hit_bytes": self.hit_bytes,
+                "evicted_bytes": self.evicted_bytes}
 
 
 def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
                           timeout_s: Optional[float] = None,
                           check_interval: int = 20_000,
-                          quantum: Ticks = PREFIX_QUANTUM):
+                          quantum: Ticks = PREFIX_QUANTUM,
+                          backend: str = "reference"):
     """Run *scenario*, sharing its fault-free prefix through *cache*.
 
     Scheduling policy: the snapshot tick is the scenario's divergence
@@ -203,7 +249,8 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
     snap_tick = (divergence_tick(scenario) // quantum) * quantum
     if snap_tick < MIN_PREFIX_TICKS:
         return run_scenario(scenario, timeout_s=timeout_s,
-                            check_interval=check_interval)
+                            check_interval=check_interval,
+                            backend=backend)
     fingerprint = scenario_fingerprint(scenario)
     snapshot = cache.get_snapshot(fingerprint, snap_tick)
     if snapshot is None:
@@ -212,9 +259,9 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
             config = scenario.build_config()
             if base is not None:
                 simulator = SimulatorSnapshot.from_bytes(
-                    base[1]).restore(config)
+                    base[1]).restore(config, backend=backend)
             else:
-                simulator = Simulator(config)
+                simulator = Simulator(config, backend=backend)
             simulator.run_fast(snap_tick - simulator.now)
             snapshot = SimulatorSnapshot.capture(simulator)
             cache.put(fingerprint, snap_tick, snapshot.to_bytes(), snapshot)
@@ -222,4 +269,5 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
             snapshot = None
     return run_scenario(scenario, timeout_s=timeout_s,
                         check_interval=check_interval,
-                        from_snapshot=snapshot)
+                        from_snapshot=snapshot,
+                        backend=backend)

@@ -73,8 +73,8 @@ def autodetect_workers() -> int:
 def run_scenario(scenario: Scenario, *,
                  timeout_s: Optional[float] = None,
                  check_interval: int = TIMEOUT_CHECK_INTERVAL,
-                 from_snapshot: Optional[SimulatorSnapshot] = None
-                 ) -> ScenarioResult:
+                 from_snapshot: Optional[SimulatorSnapshot] = None,
+                 backend: str = "reference") -> ScenarioResult:
     """Execute one scenario to completion, failure or timeout.
 
     Any exception — a broken config factory, a fault naming an unknown
@@ -94,6 +94,11 @@ def run_scenario(scenario: Scenario, *,
     contract); only the nondeterministic ``forked_at_tick`` field records
     that a fork happened.
 
+    *backend* selects the execution backend
+    (:data:`repro.kernel.simulator.BACKENDS`); the fast backend is
+    bit-identical to the reference, so campaign digests are independent
+    of it.
+
     Unless the scenario opts out (``oracle=False``), the finished trace is
     audited by the TSP invariant oracle
     (:func:`repro.fdir.oracle.check_trace`); any violation downgrades an
@@ -107,10 +112,10 @@ def run_scenario(scenario: Scenario, *,
     try:
         config = scenario.build_config()
         if from_snapshot is not None:
-            simulator = from_snapshot.restore(config)
+            simulator = from_snapshot.restore(config, backend=backend)
             forked_at = simulator.now
         else:
-            simulator = Simulator(config)
+            simulator = Simulator(config, backend=backend)
         injector = FaultInjector(simulator)
         for tick, fault in scenario.faults:
             injector.schedule(tick, fault)
@@ -174,34 +179,38 @@ _WORKER_PREFIX_CACHE = None
 
 
 def _run_one(scenario: Scenario, *, timeout_s: Optional[float],
-             check_interval: int, prefix_cache: bool) -> ScenarioResult:
+             check_interval: int, prefix_cache: bool,
+             backend: str) -> ScenarioResult:
     """One unit of campaign work, with or without prefix sharing."""
     global _WORKER_PREFIX_CACHE
     if not prefix_cache:
         return run_scenario(scenario, timeout_s=timeout_s,
-                            check_interval=check_interval)
+                            check_interval=check_interval,
+                            backend=backend)
     from .prefix import SnapshotCache, run_with_prefix_cache
 
     if _WORKER_PREFIX_CACHE is None:
         _WORKER_PREFIX_CACHE = SnapshotCache()
     return run_with_prefix_cache(scenario, _WORKER_PREFIX_CACHE,
                                  timeout_s=timeout_s,
-                                 check_interval=check_interval)
+                                 check_interval=check_interval,
+                                 backend=backend)
 
 
-def _pool_worker(payload: Tuple[Scenario, Optional[float], int, bool]
+def _pool_worker(payload: Tuple[Scenario, Optional[float], int, bool, str]
                  ) -> ScenarioResult:
-    scenario, timeout_s, check_interval, prefix_cache = payload
+    scenario, timeout_s, check_interval, prefix_cache, backend = payload
     return _run_one(scenario, timeout_s=timeout_s,
                     check_interval=check_interval,
-                    prefix_cache=prefix_cache)
+                    prefix_cache=prefix_cache,
+                    backend=backend)
 
 
 def run_serial(scenarios: Sequence[Scenario], *,
                timeout_s: Optional[float] = None,
                check_interval: int = TIMEOUT_CHECK_INTERVAL,
-               prefix_cache: bool = True
-               ) -> List[ScenarioResult]:
+               prefix_cache: bool = True,
+               backend: str = "reference") -> List[ScenarioResult]:
     """Run every scenario in this process, in order.
 
     With *prefix_cache* (the default) scenarios sharing a configuration
@@ -212,11 +221,13 @@ def run_serial(scenarios: Sequence[Scenario], *,
 
     if not prefix_cache:
         return [run_scenario(scenario, timeout_s=timeout_s,
-                             check_interval=check_interval)
+                             check_interval=check_interval,
+                             backend=backend)
                 for scenario in scenarios]
     cache = SnapshotCache()
     return [run_with_prefix_cache(scenario, cache, timeout_s=timeout_s,
-                                  check_interval=check_interval)
+                                  check_interval=check_interval,
+                                  backend=backend)
             for scenario in scenarios]
 
 
@@ -225,8 +236,8 @@ def run_pool(scenarios: Sequence[Scenario], *,
              chunksize: Optional[int] = None,
              timeout_s: Optional[float] = None,
              check_interval: int = TIMEOUT_CHECK_INTERVAL,
-             prefix_cache: bool = True
-             ) -> List[ScenarioResult]:
+             prefix_cache: bool = True,
+             backend: str = "reference") -> List[ScenarioResult]:
     """Fan scenarios out over a ``multiprocessing`` pool.
 
     ``pool.map`` preserves input order, so the result list matches the
@@ -241,7 +252,8 @@ def run_pool(scenarios: Sequence[Scenario], *,
     if workers <= 1 or len(scenarios) <= 1:
         return run_serial(scenarios, timeout_s=timeout_s,
                           check_interval=check_interval,
-                          prefix_cache=prefix_cache)
+                          prefix_cache=prefix_cache,
+                          backend=backend)
     if chunksize is None:
         # Small chunks keep the pool load-balanced without paying per-item
         # IPC for every scenario; determinism never depends on this.
@@ -249,7 +261,7 @@ def run_pool(scenarios: Sequence[Scenario], *,
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
-    payloads = [(scenario, timeout_s, check_interval, prefix_cache)
+    payloads = [(scenario, timeout_s, check_interval, prefix_cache, backend)
                 for scenario in scenarios]
     with context.Pool(processes=workers) as pool:
         return pool.map(_pool_worker, payloads, chunksize=chunksize)
@@ -260,13 +272,15 @@ def run_campaign(scenarios: Sequence[Scenario], *,
                  chunksize: Optional[int] = None,
                  timeout_s: Optional[float] = None,
                  check_interval: int = TIMEOUT_CHECK_INTERVAL,
-                 prefix_cache: bool = True
-                 ) -> List[ScenarioResult]:
+                 prefix_cache: bool = True,
+                 backend: str = "reference") -> List[ScenarioResult]:
     """Serial (`workers <= 1`) or pooled campaign execution."""
     if workers <= 1:
         return run_serial(scenarios, timeout_s=timeout_s,
                           check_interval=check_interval,
-                          prefix_cache=prefix_cache)
+                          prefix_cache=prefix_cache,
+                          backend=backend)
     return run_pool(scenarios, workers=workers, chunksize=chunksize,
                     timeout_s=timeout_s, check_interval=check_interval,
-                    prefix_cache=prefix_cache)
+                    prefix_cache=prefix_cache,
+                    backend=backend)

@@ -62,6 +62,10 @@ class CommRouter:
         # the destination port object is created are held here and drained
         # at registration.
         self._undelivered: Dict[PortSpec, List[Envelope]] = {}
+        #: Horizon-memo state generation: bumped whenever a link's
+        #: in-flight heap can change (remote transmit, pump, restore).
+        self._horizon_generation = 0
+        self._horizon_memo: Tuple[int, Optional[Ticks]] = (-1, None)
 
     # -------------------------------------------------------------- #
     # configuration
@@ -161,6 +165,8 @@ class CommRouter:
                     envelope, now,
                     lambda env, dest=destination: self._deliver(dest, env),
                     tag=destination)
+        if not config.is_local:
+            self._horizon_generation += 1
         return envelope
 
     @property
@@ -177,20 +183,31 @@ class CommRouter:
         at every tick strictly before the returned one, so the
         event-driven core may batch across in-flight messages instead of
         degrading to tick-by-tick execution the moment one is airborne.
+
+        The result depends only on the in-flight heaps, which change only
+        under :meth:`send` (remote transmit), :meth:`pump` and
+        :meth:`restore` — all of which bump the generation counter — so it
+        is memoized per generation.
         """
+        generation = self._horizon_generation
+        memo_generation, memo_tick = self._horizon_memo
+        if memo_generation == generation:
+            return memo_tick
         earliest: Optional[Ticks] = None
         for channel in self._linked:
             arrival = channel.link.next_delivery_tick
             if arrival is not None and (earliest is None or arrival < earliest):
                 earliest = arrival
+        self._horizon_memo = (generation, earliest)
         return earliest
 
     def pump(self, now: Ticks) -> int:
         """Advance all remote links to *now*; returns deliveries performed."""
         delivered = 0
-        for channel in self._channels.values():
-            if channel.link is not None:
-                delivered += channel.link.pump(now)
+        for channel in self._linked:
+            delivered += channel.link.pump(now)
+        if delivered:
+            self._horizon_generation += 1
         return delivered
 
     # -------------------------------------------------------------- #
@@ -228,6 +245,7 @@ class CommRouter:
         self._undelivered = {spec: list(envelopes)
                              for spec, envelopes
                              in state["undelivered"].items()}
+        self._horizon_generation += 1
 
     def _deliver(self, destination: PortSpec, envelope: Envelope) -> None:
         handler = self._handlers.get(destination)

@@ -31,7 +31,7 @@ __all__ = ["DispatchOutcome", "DispatcherStats", "PartitionDispatcher"]
 ChangeActionApplier = Callable[[str, ScheduleChangeAction], None]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DispatchOutcome:
     """Result of one dispatcher run.
 

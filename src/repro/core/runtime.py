@@ -135,6 +135,18 @@ class PartitionRuntime(PartitionControl):
             return None  # idle / still starting: no process execution
         return self.pos.execute_tick(now)
 
+    def execute_tick_fast(self, now: Ticks) -> Optional[str]:
+        """:meth:`execute_tick` through the POS dispatch memo.
+
+        NORMAL mode implies no pending restart (a restart request moves
+        the mode to coldStart/warmStart immediately), so the restart and
+        initialization ladder only matters off the NORMAL path — those
+        rare ticks are delegated to the reference method wholesale.
+        """
+        if self._mode is PartitionMode.NORMAL:
+            return self.pos.execute_tick_fast(now)
+        return self.execute_tick(now)
+
     # -------------------------------------------------------------- #
     # event-driven execution support
     # -------------------------------------------------------------- #
@@ -181,12 +193,17 @@ class PartitionRuntime(PartitionControl):
         The caller guarantees the span ends at or before
         :meth:`next_event_tick`, so the per-tick sequence (surrogate
         announcement, then process execution) reduces to batch
-        bookkeeping.  Returns the process charged, or None.
+        bookkeeping.  The PAL's :meth:`~repro.pos.pal.PosAdaptationLayer.
+        announce_span` is inlined here (POS elapsed-time bookkeeping plus
+        the Algorithm 3 batch accounting) — this runs on every batched
+        span of the event core.  Returns the process charged, or None.
         """
-        self.pal.announce_span(ticks)
+        pos = self.pos
+        pos.announce_span(ticks)
+        self.pal.monitor.batch_account(ticks)
         if self._mode is not PartitionMode.NORMAL:
             return None
-        return self.pos.execute_span(ticks)
+        return pos.execute_span(ticks)
 
     # -------------------------------------------------------------- #
     # snapshot / restore (simulator checkpointing)

@@ -95,6 +95,11 @@ class PartitionScheduler:
         #: Partitions owing a ScheduleChangeAction at their next dispatch
         #: (consumed by the Partition Dispatcher — Algorithm 2, line 9).
         self.pending_change_actions: Dict[str, ScheduleChangeAction] = {}
+        #: Horizon-memo state generation: bumped whenever the table
+        #: iterator, current schedule or epoch can move (the preemption
+        #: point path of :meth:`tick`, and :meth:`restore`).
+        self._horizon_generation = 0
+        self._horizon_memo: Tuple[int, Ticks] = (-1, 0)
 
     # -------------------------------------------------------------- #
     # introspection
@@ -202,6 +207,7 @@ class PartitionScheduler:
         self.table_iterator = ((self.table_iterator + 1)                # l. 9
                                % schedule.number_partition_preemption_points)
         self.stats.preemption_points += 1
+        self._horizon_generation += 1
         return True
 
     # -------------------------------------------------------------- #
@@ -221,11 +227,23 @@ class PartitionScheduler:
         switch takes effect at an MTF boundary, and an MTF boundary always
         carries a dispatch-table entry (offset 0), i.e. it *is* a
         preemption point of the current schedule.
+
+        The absolute result is constant between preemption points (the
+        iterator only advances inside :meth:`tick`'s match path, which
+        bumps the generation counter), so it is memoized per generation —
+        a ``request_switch`` does not move the horizon because the MTF
+        boundary it targets is itself a table entry.
         """
+        generation = self._horizon_generation
+        memo_generation, memo_tick = self._horizon_memo
+        if memo_generation == generation and memo_tick >= now:
+            return memo_tick
         schedule = self._schedules[self.current_schedule]
         entry = schedule.table[self.table_iterator]
         offset = (now - self.last_schedule_switch) % schedule.mtf
-        return now + (entry.tick - offset) % schedule.mtf
+        horizon = now + (entry.tick - offset) % schedule.mtf
+        self._horizon_memo = (generation, horizon)
+        return horizon
 
     def batch_account(self, ticks: Ticks) -> None:
         """Account *ticks* fast-path ticks executed as one batch.
@@ -273,6 +291,7 @@ class PartitionScheduler:
         self.pending_change_actions = dict(state["pending_change_actions"])
         stats = state["stats"]
         self.stats = SchedulerStats(**stats)
+        self._horizon_generation += 1
 
     def _arm_change_actions(self, schedule: CompiledSchedule) -> None:
         """Arm each scheduled partition's ScheduleChangeAction.

@@ -30,7 +30,7 @@ from .structures import DeadlineRecord, DeadlineStore, make_store
 __all__ = ["Violation", "DeadlineMonitor"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Violation:
     """One detected deadline miss.
 

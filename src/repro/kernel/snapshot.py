@@ -41,8 +41,9 @@ scheduling (:mod:`repro.campaign.prefix`) possible.
 from __future__ import annotations
 
 import pickle
+import zlib
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..config.schema import SystemConfig
 from ..exceptions import SimulationError
@@ -52,7 +53,8 @@ from .simulator import Simulator
 __all__ = ["SNAPSHOT_VERSION", "SimulatorSnapshot", "config_identity"]
 
 #: Bumped whenever the snapshot layout changes incompatibly.
-SNAPSHOT_VERSION = 1
+#: v2: trace events are tuple-encoded (see :meth:`Trace.snapshot`).
+SNAPSHOT_VERSION = 2
 
 
 def config_identity(config: SystemConfig) -> Dict[str, Any]:
@@ -102,7 +104,8 @@ class SimulatorSnapshot:
     # fork / resume
     # ------------------------------------------------------------ #
 
-    def restore(self, config: SystemConfig) -> Simulator:
+    def restore(self, config: SystemConfig, *,
+                backend: str = "reference") -> Simulator:
         """Build a fresh simulator continuing from this checkpoint.
 
         *config* must be structurally equal to the captured simulator's
@@ -112,6 +115,10 @@ class SimulatorSnapshot:
         the checkpoint clock), then the PMK (initialization replay and
         body reconstruction happen inside), then the trace — wholesale,
         erasing any events the replays emitted.
+
+        *backend* selects the continuation's execution backend; snapshots
+        are backend-agnostic (they capture deterministic state only), so
+        a checkpoint taken on one backend forks onto any other.
         """
         if self.version != SNAPSHOT_VERSION:
             raise SimulationError(
@@ -122,27 +129,67 @@ class SimulatorSnapshot:
             raise SimulationError(
                 f"snapshot/config mismatch: captured {self.identity}, "
                 f"restoring onto {identity}")
-        sim = Simulator(config)
+        sim = Simulator(config, backend=backend)
         sim.time.restore(self.time)
         sim.pmk.restore(self.pmk)
         sim.trace.restore(self.trace)
         return sim
 
-    def fork(self, config: SystemConfig) -> Simulator:
+    def fork(self, config: SystemConfig, *,
+             backend: str = "reference") -> Simulator:
         """Alias of :meth:`restore` — every call is an independent fork."""
-        return self.restore(config)
+        return self.restore(config, backend=backend)
 
     # ------------------------------------------------------------ #
     # process-boundary transport
     # ------------------------------------------------------------ #
 
-    def to_bytes(self) -> bytes:
-        """Serialize for caching or shipping to a worker process."""
-        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+    def to_bytes(self, *, compress: Optional[int] = None) -> bytes:
+        """Serialize for caching or shipping to a worker process.
+
+        Pickle protocol 5.  With *compress* (a zlib level, 0-9) the
+        payload is deflated; :meth:`from_bytes` transparently accepts
+        either form by sniffing the leading magic byte.
+        """
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        if compress is not None:
+            return zlib.compress(payload, compress)
+        return payload
+
+    def to_buffers(self) -> Tuple[bytes, List[bytes]]:
+        """Protocol-5 out-of-band form: ``(main stream, buffer list)``.
+
+        Any :class:`pickle.PickleBuffer`-able payloads inside the
+        snapshot state are carried as separate buffers instead of being
+        copied into the pickle stream — the zero-copy transport for
+        same-machine channels (shared memory, pipes with vectored I/O)
+        that can ship the buffers without re-serializing them.  Inverse:
+        :meth:`from_buffers`.
+        """
+        buffers: List[pickle.PickleBuffer] = []
+        main = pickle.dumps(self, protocol=5,
+                            buffer_callback=buffers.append)
+        return main, [buffer.raw().tobytes() for buffer in buffers]
+
+    @classmethod
+    def from_buffers(cls, main: bytes,
+                     buffers: List[bytes]) -> "SimulatorSnapshot":
+        """Inverse of :meth:`to_buffers`."""
+        snapshot = pickle.loads(main, buffers=buffers)
+        if not isinstance(snapshot, cls):
+            raise SimulationError(
+                f"payload does not contain a {cls.__name__}")
+        return snapshot
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "SimulatorSnapshot":
-        """Inverse of :meth:`to_bytes`."""
+        """Inverse of :meth:`to_bytes`, plain or zlib-compressed.
+
+        Sniffed by magic byte: a protocol-2+ pickle stream starts with
+        ``\\x80``; a zlib stream starts with ``\\x78``.
+        """
+        if payload[:1] == b"\x78":
+            payload = zlib.decompress(payload)
         snapshot = pickle.loads(payload)
         if not isinstance(snapshot, cls):
             raise SimulationError(

@@ -11,7 +11,8 @@ Events are hashable dataclasses sharing the :class:`TraceEvent` base (a
 ``tick`` timestamp plus a ``kind`` string for cheap filtering); they are
 treated as immutable by convention — construction cost is on the clock-ISR
 hot path, so the classes skip ``frozen``'s per-field ``object.__setattr__``
-overhead.  :class:`Trace` is an append-only collector with query helpers.
+overhead and use ``slots`` (no per-instance dict to allocate, faster field
+access).  :class:`Trace` is an append-only collector with query helpers.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import sys
 from collections import deque
 from dataclasses import dataclass, field
 from itertools import islice
@@ -67,7 +69,7 @@ __all__ = [
 E = TypeVar("E", bound="TraceEvent")
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class TraceEvent:
     """Base class: something that happened at simulated time ``tick``."""
 
@@ -84,7 +86,7 @@ class TraceEvent:
 # ------------------------------------------------------------------ #
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class PartitionDispatched(TraceEvent):
     """The Partition Dispatcher switched contexts (Algorithm 2, else-branch)."""
 
@@ -92,7 +94,7 @@ class PartitionDispatched(TraceEvent):
     heir: Optional[str]
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class PartitionWindowStarted(TraceEvent):
     """A partition's execution time window opened."""
 
@@ -102,7 +104,7 @@ class PartitionWindowStarted(TraceEvent):
     window_duration: Ticks
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class IdleWindowStarted(TraceEvent):
     """An idle gap (no partition scheduled) opened."""
 
@@ -110,7 +112,7 @@ class IdleWindowStarted(TraceEvent):
     duration: Ticks
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ScheduleSwitchRequested(TraceEvent):
     """SET_MODULE_SCHEDULE accepted a pending switch (Sect. 4.2)."""
 
@@ -119,7 +121,7 @@ class ScheduleSwitchRequested(TraceEvent):
     to_schedule: str
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ScheduleSwitched(TraceEvent):
     """A pending switch took effect at an MTF boundary (Algorithm 1, l. 4-6)."""
 
@@ -127,7 +129,7 @@ class ScheduleSwitched(TraceEvent):
     to_schedule: str
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ScheduleChangeActionApplied(TraceEvent):
     """A partition's ScheduleChangeAction ran at its first post-switch
     dispatch (Algorithm 2, line 9)."""
@@ -137,7 +139,7 @@ class ScheduleChangeActionApplied(TraceEvent):
     schedule: str
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class PartitionModeChanged(TraceEvent):
     """A partition's operating mode M_m(t) changed (eq. (3))."""
 
@@ -151,7 +153,7 @@ class PartitionModeChanged(TraceEvent):
 # ------------------------------------------------------------------ #
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ProcessDispatched(TraceEvent):
     """The partition's POS selected a new heir process (eq. (14))."""
 
@@ -160,7 +162,7 @@ class ProcessDispatched(TraceEvent):
     heir: Optional[str]
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ProcessStateChanged(TraceEvent):
     """A process moved between eq. (13) states."""
 
@@ -171,7 +173,7 @@ class ProcessStateChanged(TraceEvent):
     reason: str = ""
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ProcessCompleted(TraceEvent):
     """A process body ran to completion (returned)."""
 
@@ -184,7 +186,7 @@ class ProcessCompleted(TraceEvent):
 # ------------------------------------------------------------------ #
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class DeadlineRegistered(TraceEvent):
     """The PAL registered/updated a process deadline (Fig. 6)."""
 
@@ -193,7 +195,7 @@ class DeadlineRegistered(TraceEvent):
     deadline_time: Ticks
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class DeadlineUnregistered(TraceEvent):
     """The PAL removed a process's deadline (process stopped)."""
 
@@ -201,7 +203,7 @@ class DeadlineUnregistered(TraceEvent):
     process: str
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class DeadlineMissed(TraceEvent):
     """Algorithm 3 detected a deadline violation — membership in V(t), eq. (24)."""
 
@@ -216,7 +218,7 @@ class DeadlineMissed(TraceEvent):
 # ------------------------------------------------------------------ #
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class HealthMonitorEvent(TraceEvent):
     """The Health Monitor classified an error and chose an action (Sect. 2.4)."""
 
@@ -228,7 +230,7 @@ class HealthMonitorEvent(TraceEvent):
     detail: str = ""
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class EscalationStepped(TraceEvent):
     """The FDIR supervisor advanced an escalation chain one rung
     (persistence threshold crossed within its window)."""
@@ -239,7 +241,7 @@ class EscalationStepped(TraceEvent):
     action: str
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class PartitionParked(TraceEvent):
     """Restart-storm throttling gave up on a crash-looping partition:
     no further restarts will be ordered for it."""
@@ -248,7 +250,7 @@ class PartitionParked(TraceEvent):
     restarts: int
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class EscalationRecovered(TraceEvent):
     """A clean probation interval elapsed in degraded mode; the supervisor
     switched back to the nominal schedule and reset escalation state."""
@@ -256,7 +258,7 @@ class EscalationRecovered(TraceEvent):
     schedule: str
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class WatchdogExpired(TraceEvent):
     """A partition's heartbeat watchdog went silent past its window."""
 
@@ -264,7 +266,7 @@ class WatchdogExpired(TraceEvent):
     last_kick: Ticks
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class MemoryFault(TraceEvent):
     """The simulated MMU refused a cross-boundary access (Fig. 3)."""
 
@@ -274,7 +276,7 @@ class MemoryFault(TraceEvent):
     detail: str = ""
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ClockTamperTrapped(TraceEvent):
     """The paravirtualization layer trapped a guest clock operation (Sect. 2.5)."""
 
@@ -287,7 +289,7 @@ class ClockTamperTrapped(TraceEvent):
 # ------------------------------------------------------------------ #
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class PortMessageSent(TraceEvent):
     """A message entered an interpartition channel."""
 
@@ -296,7 +298,7 @@ class PortMessageSent(TraceEvent):
     size: int
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class PortMessageReceived(TraceEvent):
     """A message was delivered from an interpartition channel."""
 
@@ -306,7 +308,7 @@ class PortMessageReceived(TraceEvent):
     latency: Ticks
 
 
-@dataclass(unsafe_hash=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ApplicationMessage(TraceEvent):
     """Free-form output from an application (rendered by VITRAL windows)."""
 
@@ -444,8 +446,18 @@ class Trace:
     # -------------------------------------------------------------- #
 
     def snapshot(self) -> Dict[str, object]:
-        """Capture the retained events and drop counter as pure data."""
-        return {"events": list(self._events), "dropped": self._dropped}
+        """Capture the retained events and drop counter as pure data.
+
+        Events are tuple-encoded — ``(kind, *field values)`` — instead of
+        pickling the dataclass instances themselves: plain tuples of
+        scalars serialize in a fraction of the time and bytes of an object
+        graph with per-instance class references (snapshot format v2).
+        """
+        return {"events": [(type(event).__name__,)
+                           + tuple(getattr(event, name)
+                                   for name in _field_names(type(event)))
+                           for event in self._events],
+                "dropped": self._dropped}
 
     def restore(self, state: Dict[str, object]) -> None:
         """Replace the log wholesale with a :meth:`snapshot` capture.
@@ -453,7 +465,10 @@ class Trace:
         Observers are untouched (they are structural wiring, not state);
         the capacity bound stays whatever this trace was built with.
         """
-        self._events = deque(state["events"], maxlen=self._capacity)
+        self._events = deque(
+            (_EVENT_TYPES[encoded[0]](*encoded[1:])
+             for encoded in state["events"]),
+            maxlen=self._capacity)
         self._dropped = state["dropped"]
         self._memo_generation += 1
 
@@ -465,15 +480,21 @@ class Trace:
         """Every retained event as a JSON-compatible dict (``kind`` field
         added for dispatch on the consuming side).
 
-        Events are flat dataclasses of scalars, so this copies
-        ``__dict__`` directly instead of paying ``dataclasses.asdict``'s
-        recursive deep copy — an order of magnitude on digest-heavy
-        campaign paths, with byte-identical JSON.
+        Events are flat slotted dataclasses of scalars, so this reads the
+        cached per-class field-name tuple directly instead of paying
+        ``dataclasses.asdict``'s recursive deep copy — an order of
+        magnitude on digest-heavy campaign paths, with byte-identical
+        JSON.
         """
         out = []
+        names_by_type = _FIELD_NAMES
         for event in self._events:
-            record = dict(event.__dict__)
-            record["kind"] = type(event).__name__
+            event_type = type(event)
+            names = names_by_type.get(event_type)
+            if names is None:
+                names = _field_names(event_type)
+            record = {name: getattr(event, name) for name in names}
+            record["kind"] = event_type.__name__
             out.append(record)
         return out
 
@@ -605,10 +626,30 @@ def _event_types() -> Dict[str, Type[TraceEvent]]:
     pending = list(TraceEvent.__subclasses__())
     while pending:
         event_type = pending.pop()
-        registry[event_type.__name__] = event_type
+        # ``@dataclass(slots=True)`` replaces each class; until a GC
+        # pass, the discarded pre-decorator original still shows up in
+        # ``__subclasses__()``.  Resolve through the defining module so
+        # the registry always holds the live binding — events must be
+        # reconstructed as instances of the class the observers'
+        # ``type(event)`` dispatch tables reference.
+        module = sys.modules.get(event_type.__module__)
+        registry[event_type.__name__] = getattr(
+            module, event_type.__name__, event_type)
         pending.extend(event_type.__subclasses__())
     return registry
 
 
 #: kind label -> event class, for :meth:`Trace.from_json` reconstruction.
 _EVENT_TYPES = _event_types()
+
+#: event class -> field-name tuple, in definition order (slots classes have
+#: no ``__dict__``; export and snapshot encoding read fields through this).
+_FIELD_NAMES: Dict[Type[TraceEvent], Tuple[str, ...]] = {}
+
+
+def _field_names(event_type: Type[TraceEvent]) -> Tuple[str, ...]:
+    names = _FIELD_NAMES.get(event_type)
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(event_type))
+        _FIELD_NAMES[event_type] = names
+    return names

@@ -26,6 +26,11 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
+try:  # numpy-gated vectorization; every consumer has a pure-Python path
+    import numpy as _np
+except ImportError:  # pragma: no cover — the toolchain ships numpy
+    _np = None
+
 from ..kernel.trace import (
     DeadlineMissed,
     EscalationStepped,
@@ -53,10 +58,33 @@ def percentile(values: Sequence[int], fraction: float) -> int:
 
 
 def distribution(values: Sequence[int]) -> Dict[str, int]:
-    """Deterministic summary of an integer sample: count/sum/min/max/p50/p90/p99."""
+    """Deterministic summary of an integer sample: count/sum/min/max/p50/p90/p99.
+
+    With numpy available the sample is sorted once as an ``int64`` array
+    and all seven quantities read off it; the pure-Python path computes
+    the same nearest-rank statistics (the vectorization equality test
+    pins byte-identical JSON between the two).
+    """
     if not values:
         return {"count": 0, "sum": 0, "min": None, "max": None,
                 "p50": None, "p90": None, "p99": None}
+    if _np is not None:
+        ordered = _np.sort(_np.asarray(values, dtype=_np.int64))
+        count = len(ordered)
+
+        def rank(fraction: float) -> int:
+            position = max(1, -(-count * fraction // 1))
+            return int(ordered[min(int(position), count) - 1])
+
+        return {
+            "count": count,
+            "sum": int(ordered.sum(dtype=_np.int64)),
+            "min": int(ordered[0]),
+            "max": int(ordered[-1]),
+            "p50": rank(0.50),
+            "p90": rank(0.90),
+            "p99": rank(0.99),
+        }
     return {
         "count": len(values),
         "sum": sum(values),
@@ -107,6 +135,48 @@ def _overlap(a_start: int, a_end: int, b_start: int, b_end: int) -> int:
     return max(0, min(a_end, b_end) - max(a_start, b_start))
 
 
+def _make_frame_occupancy(spans, partitions):
+    """Per-frame occupancy function over *spans*: ``f(start, end) ->
+    {partition: ticks}``.
+
+    This is the quadratic kernel of the utilization series (frames x
+    spans).  With numpy the spans are packed once into ``int64`` arrays
+    and each frame's overlaps are clipped and summed per owner with
+    exact integer arithmetic (``np.add.at``); the pure-Python closure is
+    the reference semantics, byte-identical by the vectorization
+    equality test.
+    """
+    if _np is not None and spans:
+        owner_index = {partition: i for i, partition in
+                       enumerate(partitions)}
+        owned = [(start, end, owner_index[owner])
+                 for start, end, owner in spans if owner in owner_index]
+        if owned:
+            starts = _np.array([s for s, _, _ in owned], dtype=_np.int64)
+            ends = _np.array([e for _, e, _ in owned], dtype=_np.int64)
+            owners = _np.array([o for _, _, o in owned], dtype=_np.intp)
+
+            def vectorized(frame_start: int, frame_end: int):
+                overlap = (_np.minimum(ends, frame_end)
+                           - _np.maximum(starts, frame_start))
+                _np.clip(overlap, 0, None, out=overlap)
+                sums = _np.zeros(len(partitions), dtype=_np.int64)
+                _np.add.at(sums, owners, overlap)
+                return {partition: int(sums[i])
+                        for i, partition in enumerate(partitions)}
+
+            return vectorized
+
+    def reference(frame_start: int, frame_end: int):
+        return {
+            partition: sum(
+                _overlap(start, end, frame_start, frame_end)
+                for start, end, owner in spans if owner == partition)
+            for partition in partitions}
+
+    return reference
+
+
 def derived_metrics(trace: Trace, config=None,
                     horizon: Optional[int] = None) -> Dict[str, object]:
     """Compute the derived-metric report from *trace*.
@@ -153,6 +223,7 @@ def derived_metrics(trace: Trace, config=None,
     # ---- MTF-by-MTF utilization series ---------------------------- #
     utilization_series: List[Dict[str, object]] = []
     if model is not None:
+        frame_occupancy = _make_frame_occupancy(spans, partitions)
         for seg_start, seg_end, schedule_id in segments:
             if schedule_id is None:
                 continue
@@ -161,17 +232,12 @@ def derived_metrics(trace: Trace, config=None,
             index = 0
             while frame_start < seg_end:
                 frame_end = min(frame_start + mtf, seg_end)
-                frame = {
-                    partition: sum(
-                        _overlap(start, end, frame_start, frame_end)
-                        for start, end, owner in spans if owner == partition)
-                    for partition in partitions}
                 utilization_series.append({
                     "schedule": schedule_id,
                     "frame": index,
                     "start": frame_start,
                     "ticks": frame_end - frame_start,
-                    "occupied": frame,
+                    "occupied": frame_occupancy(frame_start, frame_end),
                 })
                 frame_start = frame_end
                 index += 1

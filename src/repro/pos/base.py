@@ -75,6 +75,12 @@ class PartitionOs:
     #: Flavour label overridden by subclasses.
     kernel_name = "abstract"
 
+    #: True when :meth:`next_quantum_tick` can ever return a bound.  The
+    #: PAL horizon consults this flag to skip the call entirely for
+    #: policies with no quantum concept (it is on the span-boundary hot
+    #: path of the event-driven core).
+    has_quantum_horizon = False
+
     def __init__(self, partition: Partition) -> None:
         self.partition = partition
         self.callbacks = PosCallbacks()
@@ -83,6 +89,13 @@ class PartitionOs:
         self._running: Optional[Tcb] = None
         self._preemption_lock = 0
         self._announced_ticks: Ticks = 0
+        # Scheduling-state generation counter.  Every eq. (13) transition
+        # funnels through Tcb.set_state -> _forward_state_change, so the
+        # counter advances whenever the ready set, a wait condition or a
+        # priority can have changed; horizon and dispatch memos key on it.
+        self._generation = 0
+        self._timer_memo: Tuple[int, Optional[Ticks]] = (-1, None)
+        self._dispatch_generation = -1
         for model in partition.processes:
             self._tcbs[model.name] = Tcb(model=model, partition=partition.name)
         for tcb in self._tcbs.values():
@@ -133,7 +146,16 @@ class PartitionOs:
         tcb = Tcb(model=model, partition=self.name)
         tcb.on_state_change = self._forward_state_change
         self._tcbs[model.name] = tcb
+        self._generation += 1
         return tcb
+
+    def touch(self) -> None:
+        """Invalidate scheduling memos after an out-of-band TCB mutation.
+
+        For the rare services that change policy-relevant TCB fields
+        *without* an eq. (13) state transition (APEX SET_PRIORITY).
+        """
+        self._generation += 1
 
     def ready_set(self) -> List[Tcb]:
         """``Ready_m(t)`` — eq. (15): processes in ready or running state."""
@@ -238,8 +260,21 @@ class PartitionOs:
         (Fig. 7a: the native announcement is invoked ``#elapsedTicks``
         times).  Wakes timed waits whose expiry fell within the announced
         span and releases periodic processes.
+
+        The scan is guarded by the memoized timer horizon: when no timed
+        wait can have expired (the common case on a busy tick), the
+        announcement is pure elapsed-time bookkeeping.  The guard cannot
+        change behaviour — the scan below wakes exactly the waits with
+        ``wake_at <= now``, and the horizon is their minimum.
         """
         self._announced_ticks += elapsed
+        wake = self.next_timer_tick()
+        if wake is None or wake > now:
+            return
+        self._wake_expired(now)
+
+    def _wake_expired(self, now: Ticks) -> None:
+        """Wake every timed wait whose expiry tick has been reached."""
         for tcb in self._tcbs.values():
             if tcb.state is not ProcessState.WAITING or tcb.wait is None:
                 continue
@@ -274,8 +309,15 @@ class PartitionOs:
         happen strictly before the returned tick, so
         :meth:`announce_ticks` is pure bookkeeping until then.  None when
         every wait is purely event-driven.  O(n) over the (small) TCB set,
-        paid once per batched span rather than per tick.
+        but memoized on the scheduling-state generation: wait conditions
+        only change through :meth:`Tcb.set_state` transitions (wake-at
+        values are fixed at :class:`WaitCondition` construction), so the
+        scan is repaid only after a transition.
         """
+        generation = self._generation
+        memo_generation, memo_tick = self._timer_memo
+        if memo_generation == generation:
+            return memo_tick
         earliest: Optional[Ticks] = None
         for tcb in self._tcbs.values():
             if tcb.state is not ProcessState.WAITING or tcb.wait is None:
@@ -283,6 +325,7 @@ class PartitionOs:
             wake_at = tcb.wait.wake_at
             if wake_at is not None and (earliest is None or wake_at < earliest):
                 earliest = wake_at
+        self._timer_memo = (generation, earliest)
         return earliest
 
     def announce_span(self, elapsed: Ticks) -> None:
@@ -365,6 +408,28 @@ class PartitionOs:
                                        heir.name if heir else None)
         return heir
 
+    def dispatch_fast(self, now: Ticks) -> Optional[Tcb]:
+        """Memoized :meth:`dispatch` for the fast execution backend.
+
+        When no scheduling-relevant state changed since the last dispatch
+        (same generation), :meth:`dispatch` provably selects the same heir
+        and performs no transition or callback, so the memo returns the
+        running process directly.  The memo is never consulted or stored
+        while the preemption lock is held: the lock makes the heir depend
+        on the lock level, which has no generation of its own.
+
+        Policies whose heir choice carries per-call state (round-robin
+        rotation in :class:`~repro.pos.generic.GenericPos`) must override
+        this back to plain :meth:`dispatch`.
+        """
+        if self._dispatch_generation == self._generation \
+                and not self._preemption_lock:
+            return self._running
+        heir = self.dispatch(now)
+        if not self._preemption_lock:
+            self._dispatch_generation = self._generation
+        return heir
+
     def execute_tick(self, now: Ticks) -> Optional[str]:
         """Run the partition's processes for one tick of window time.
 
@@ -373,6 +438,21 @@ class PartitionOs:
         """
         for _ in range(_MAX_ZERO_TIME_STEPS):
             heir = self.dispatch(now)
+            if heir is None:
+                return None
+            if heir.compute_remaining > 0:
+                heir.compute_remaining -= 1
+                self.on_tick_consumed(heir)
+                return heir.name
+            self._advance_body(heir, now)
+        raise SimulationError(
+            f"partition {self.name!r}: livelock — more than "
+            f"{_MAX_ZERO_TIME_STEPS} zero-time steps at tick {now}")
+
+    def execute_tick_fast(self, now: Ticks) -> Optional[str]:
+        """:meth:`execute_tick` through :meth:`dispatch_fast` (fast backend)."""
+        for _ in range(_MAX_ZERO_TIME_STEPS):
+            heir = self.dispatch_fast(now)
             if heir is None:
                 return None
             if heir.compute_remaining > 0:
@@ -527,6 +607,9 @@ class PartitionOs:
         self._running = self._tcbs[running] if running is not None else None
         self._preemption_lock = state["preemption_lock"]
         self._announced_ticks = state["announced_ticks"]
+        # Tcb.restore writes states directly (bypassing set_state), so the
+        # memos must be invalidated explicitly.
+        self._generation += 1
 
     # -------------------------------------------------------------- #
     # internals
@@ -534,5 +617,6 @@ class PartitionOs:
 
     def _forward_state_change(self, tcb: Tcb, previous: ProcessState,
                               reason: str) -> None:
+        self._generation += 1
         if self.callbacks.on_state_change is not None:
             self.callbacks.on_state_change(tcb, previous, reason)

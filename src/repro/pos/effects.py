@@ -31,7 +31,7 @@ from ..types import Ticks
 __all__ = ["Compute", "Call", "Effect"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Consume *ticks* of CPU time before the body resumes."""
 
@@ -43,7 +43,7 @@ class Compute:
                              f"got {self.ticks}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Call:
     """Invoke ``service(*args, **kwargs)`` on behalf of the process.
 

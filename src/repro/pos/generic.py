@@ -36,6 +36,7 @@ class GenericPos(PartitionOs):
     """Round-robin, priority-blind scheduler modelling a non-RT guest."""
 
     kernel_name = "generic"
+    has_quantum_horizon = True
 
     def __init__(self, partition: Partition,
                  quantum: Ticks = DEFAULT_QUANTUM) -> None:
@@ -83,6 +84,12 @@ class GenericPos(PartitionOs):
         if heir is not previous:
             self._ticks_on_current = 0
         return heir
+
+    def dispatch_fast(self, now: Ticks) -> Optional[Tcb]:
+        """Round-robin dispatch cannot be memoized: :meth:`choose_heir`
+        reads (and rotates on) the quantum counter, which advances without
+        a state-generation bump — every call must run the real policy."""
+        return self.dispatch(now)
 
     def on_tick_consumed(self, tcb: Tcb) -> None:
         """Charge the consumed tick against the running quantum."""

@@ -71,6 +71,10 @@ class PosAdaptationLayer:
         self.pos = pos
         self._clock = clock
         self._trace = trace
+        # The partition name is read on every traced state change — the
+        # clock-ISR hot path — so it is cached here instead of going
+        # through two property hops per event.
+        self._partition_name = pos.name
         self.on_violation = on_violation
         self.on_fault = on_fault
         self.monitor = DeadlineMonitor(pos.name, store_kind=store_kind,
@@ -84,7 +88,7 @@ class PosAdaptationLayer:
     @property
     def partition(self) -> str:
         """Name of the wrapped partition."""
-        return self.pos.name
+        return self._partition_name
 
     def now(self) -> Ticks:
         """PAL_GETCURRENTTIME — the PMK's clock, read-only."""
@@ -104,6 +108,18 @@ class PosAdaptationLayer:
         violations detected by this announcement.
         """
         now = self._clock()
+        self.pos.announce_ticks(now, elapsed)
+        return self.monitor.verify(now)
+
+    def announce_ticks_fast(self, now: Ticks, elapsed: Ticks) -> List[Violation]:
+        """:meth:`announce_ticks` with *now* supplied by the caller.
+
+        The fast execution backend already holds the current tick in the
+        driving loop, so the ``PAL_GETCURRENTTIME`` read is redundant.
+        The Algorithm 3 verification still runs on every announcement —
+        its check/comparison counters are deterministic state captured by
+        snapshots, so skipping a verify would break bit-identity.
+        """
         self.pos.announce_ticks(now, elapsed)
         return self.monitor.verify(now)
 
@@ -130,9 +146,10 @@ class PosAdaptationLayer:
         """
         pos = self.pos
         event = pos.next_timer_tick()
-        quantum = pos.next_quantum_tick(now)
-        if quantum is not None and (event is None or quantum < event):
-            event = quantum
+        if pos.has_quantum_horizon:
+            quantum = pos.next_quantum_tick(now)
+            if quantum is not None and (event is None or quantum < event):
+                event = quantum
         violation = self.monitor.next_violation_tick()
         if violation is not None and (event is None or violation < event):
             event = violation
@@ -147,14 +164,14 @@ class PosAdaptationLayer:
         self.monitor.register(process, deadline_time)
         self.pos.tcb(process).deadline_time = deadline_time
         self._trace.record(DeadlineRegistered(
-            tick=self._clock(), partition=self.partition, process=process,
+            tick=self._clock(), partition=self._partition_name, process=process,
             deadline_time=deadline_time))
 
     def unregister_deadline(self, process: str) -> None:
         """Drop *process*'s deadline (STOP, completion)."""
         if self.monitor.unregister(process):
             self._trace.record(DeadlineUnregistered(
-                tick=self._clock(), partition=self.partition, process=process))
+                tick=self._clock(), partition=self._partition_name, process=process))
         self.pos.tcb(process).deadline_time = None
 
     # -------------------------------------------------------------- #
@@ -175,7 +192,7 @@ class PosAdaptationLayer:
 
     def _report_violation(self, violation: Violation) -> None:
         self._trace.record(DeadlineMissed(
-            tick=violation.detected_at, partition=self.partition,
+            tick=violation.detected_at, partition=self._partition_name,
             process=violation.process, deadline_time=violation.deadline_time,
             detection_latency=violation.detection_latency))
         if self.on_violation is not None:
@@ -190,7 +207,7 @@ class PosAdaptationLayer:
     def _handle_completion(self, tcb: Tcb) -> None:
         self.unregister_deadline(tcb.name)
         self._trace.record(ProcessCompleted(
-            tick=self._clock(), partition=self.partition, process=tcb.name))
+            tick=self._clock(), partition=self._partition_name, process=tcb.name))
 
     def _handle_fault(self, tcb: Tcb, exc: BaseException) -> None:
         self.unregister_deadline(tcb.name)
@@ -199,12 +216,15 @@ class PosAdaptationLayer:
 
     def _trace_state_change(self, tcb: Tcb, previous: ProcessState,
                             reason: str) -> None:
+        # ``_value_`` is the plain instance attribute behind ``Enum.value``
+        # — the descriptor hop is measurable at this call rate.
         self._trace.record(ProcessStateChanged(
-            tick=self._clock(), partition=self.partition, process=tcb.name,
-            previous_state=previous.value, new_state=tcb.state.value,
-            reason=reason))
+            tick=self._clock(), partition=self._partition_name,
+            process=tcb.model.name, previous_state=previous._value_,
+            new_state=tcb.state._value_, reason=reason))
 
     def _trace_dispatch(self, now: Ticks, previous: Optional[str],
                         heir: Optional[str]) -> None:
         self._trace.record(ProcessDispatched(
-            tick=now, partition=self.partition, previous=previous, heir=heir))
+            tick=now, partition=self._partition_name, previous=previous,
+            heir=heir))

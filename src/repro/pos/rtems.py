@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.model import Partition
-from ..types import Ticks
+from ..types import ProcessState, Ticks
 from .base import PartitionOs
 from .tcb import Tcb
 
@@ -32,9 +32,27 @@ class RtemsPos(PartitionOs):
         priorities go to the process that entered the ready state first
         (the paper's ``h < q`` index tie-break generalized to arrival
         order, which is how RTEMS FIFO-orders equal-priority tasks).
+
+        Implemented as a single pass over the TCB table — this runs on
+        every dispatch, and building the ready list plus a keyed ``min``
+        dominated the dispatch cost.  The strict ``<`` on the
+        (priority, antiquity) key keeps ``min``'s first-of-ties pick
+        over the insertion-ordered table.
         """
-        ready = self.ready_set()
-        if not ready:
-            return None
-        return min(ready, key=lambda tcb: (tcb.current_priority,
-                                           tcb.ready_since))
+        ready = ProcessState.READY
+        running = ProcessState.RUNNING
+        best: Optional[Tcb] = None
+        best_priority = 0
+        best_since = 0
+        for tcb in self._tcbs.values():
+            state = tcb.state
+            if state is not ready and state is not running:
+                continue
+            priority = tcb.current_priority
+            if (best is None or priority < best_priority
+                    or (priority == best_priority
+                        and tcb.ready_since < best_since)):
+                best = tcb
+                best_priority = priority
+                best_since = tcb.ready_since
+        return best

@@ -39,7 +39,7 @@ class WaitReason(enum.Enum):
     SPORADIC = "sporadic"          # sporadic process awaiting activation
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitCondition:
     """What will wake a waiting process.
 
@@ -57,7 +57,7 @@ class WaitCondition:
     timed_out: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Tcb:
     """Runtime control block of one process.
 
@@ -130,13 +130,17 @@ class Tcb:
     # state machine
     # -------------------------------------------------------------- #
 
+    # Keyed by the state's ``_value_`` string with tuple values: enum
+    # members hash through a Python-level ``Enum.__hash__``, which showed
+    # up in the tick-loop profile at two hashes per transition.  String
+    # keys hash in C (and cache), and tuple membership tests by identity.
     _ALLOWED = {
-        ProcessState.DORMANT: {ProcessState.READY, ProcessState.WAITING},
-        ProcessState.READY: {ProcessState.RUNNING, ProcessState.DORMANT,
-                             ProcessState.WAITING},
-        ProcessState.RUNNING: {ProcessState.READY, ProcessState.WAITING,
-                               ProcessState.DORMANT},
-        ProcessState.WAITING: {ProcessState.READY, ProcessState.DORMANT},
+        "dormant": (ProcessState.READY, ProcessState.WAITING),
+        "ready": (ProcessState.RUNNING, ProcessState.DORMANT,
+                  ProcessState.WAITING),
+        "running": (ProcessState.READY, ProcessState.WAITING,
+                    ProcessState.DORMANT),
+        "waiting": (ProcessState.READY, ProcessState.DORMANT),
     }
 
     def set_state(self, new_state: ProcessState, *, reason: str = "",
@@ -149,7 +153,7 @@ class Tcb:
         """
         if new_state is self.state:
             return
-        if new_state not in self._ALLOWED[self.state]:
+        if new_state not in self._ALLOWED[self.state._value_]:
             raise SimulationError(
                 f"process {self.partition}/{self.name}: illegal state "
                 f"transition {self.state.value} -> {new_state.value} "

@@ -70,7 +70,9 @@ class TestSnapshotCache:
         assert cache.get("fp", 1024) == b"payload"
         assert cache.get("fp", 2048) is None
         assert cache.stats() == {"entries": 1, "hits": 1, "misses": 2,
-                                 "stores": 1, "evictions": 0}
+                                 "stores": 1, "evictions": 0,
+                                 "total_bytes": 7, "stored_bytes": 7,
+                                 "hit_bytes": 7, "evicted_bytes": 0}
 
     def test_lru_eviction_order(self):
         cache = SnapshotCache(capacity=2)
@@ -108,6 +110,45 @@ class TestSnapshotCache:
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError, match="capacity"):
             SnapshotCache(capacity=0)
+
+    def test_byte_bound_evicts_in_lru_order(self):
+        cache = SnapshotCache(capacity=16, max_bytes=8)
+        cache.put("a", 0, b"aaaa")
+        cache.put("b", 0, b"bbbb")
+        assert cache.total_bytes == 8
+        assert cache.get("a", 0) == b"aaaa"  # refresh a's recency
+        cache.put("c", 0, b"cc")             # over budget: evicts b, not a
+        assert cache.get("b", 0) is None
+        assert cache.get("a", 0) == b"aaaa"
+        assert cache.get("c", 0) == b"cc"
+        assert cache.evictions == 1
+        assert cache.evicted_bytes == 4
+        assert cache.total_bytes == 6
+
+    def test_byte_bound_evicts_until_within_budget(self):
+        cache = SnapshotCache(capacity=16, max_bytes=10)
+        cache.put("a", 0, b"aaaa")
+        cache.put("b", 0, b"bbbb")
+        cache.put("c", 0, b"cccccccc")  # 8 bytes: both older entries go
+        assert cache.evictions == 2
+        assert cache.total_bytes == 8
+        assert cache.get("c", 0) == b"cccccccc"
+
+    def test_byte_counters_in_stats_sidecar(self):
+        cache = SnapshotCache(capacity=2, max_bytes=None)
+        cache.put("a", 0, b"12345")
+        cache.get("a", 0)
+        cache.get("a", 0)
+        stats = cache.stats()
+        assert stats["stored_bytes"] == 5
+        assert stats["hit_bytes"] == 10
+        assert stats["total_bytes"] == 5
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            SnapshotCache(max_bytes=0)
+        with pytest.raises(ValueError, match="compress_level"):
+            SnapshotCache(compress_level=11)
 
 
 class TestRunWithPrefixCache:

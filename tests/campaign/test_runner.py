@@ -154,3 +154,34 @@ class TestCampaignExecution:
 
     def test_autodetect_workers_positive(self):
         assert autodetect_workers() >= 1
+
+
+class TestBackendDigestEquality:
+    """The fast-backend acceptance gate at campaign scale: a 50-scenario
+    chaos barrage produces byte-identical deterministic reports (trace
+    digests, metrics, oracle verdicts) on both backends, serial and
+    pooled."""
+
+    @pytest.fixture(scope="class")
+    def chaos_50(self):
+        from repro.campaign.scenarios import chaos_campaign
+
+        return chaos_campaign(count=50, mtfs=5, base_seed=11)
+
+    @pytest.fixture(scope="class")
+    def reference_report(self, chaos_50):
+        return self.deterministic(run_serial(chaos_50))
+
+    def deterministic(self, results):
+        import json
+
+        from repro.campaign.results import deterministic_report
+
+        return json.dumps(deterministic_report(results), sort_keys=True)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_fast_backend_chaos_digests_match_reference(
+            self, chaos_50, reference_report, workers):
+        fast = run_campaign(chaos_50, workers=workers, backend="fast")
+        assert self.deterministic(fast) == reference_report
+        assert all(result.ok for result in fast)

@@ -40,9 +40,9 @@ from repro.kernel.snapshot import (
 from repro.obs import instrument
 
 
-def build_sim(**kwargs):
+def build_sim(backend="reference", **kwargs):
     handles = build_prototype(fdir_supervision=True, **kwargs)
-    return make_simulator(handles), handles.config
+    return make_simulator(handles, backend=backend), handles.config
 
 
 def cold_run(faults, total):
@@ -56,9 +56,16 @@ def cold_run(faults, total):
     return sim, config, observer
 
 
-def forked_run(faults, total, fork_tick, *, precondition=None):
-    """Prefix to *fork_tick*, checkpoint (via pickle), fork, continue."""
-    prefix_sim, _ = build_sim()
+def forked_run(faults, total, fork_tick, *, precondition=None,
+               backend="reference"):
+    """Prefix to *fork_tick*, checkpoint (via pickle), fork, continue.
+
+    *backend* drives both the prefix and the forked continuation; the
+    cold run it is compared against always uses the reference backend,
+    so the fast-backend matrix entries assert cross-backend
+    bit-identity through a checkpoint.
+    """
+    prefix_sim, _ = build_sim(backend=backend)
     prefix_injector = FaultInjector(prefix_sim)
     for tick, make in faults:
         if tick < fork_tick:
@@ -69,7 +76,7 @@ def forked_run(faults, total, fork_tick, *, precondition=None):
         precondition(prefix_sim)
     snapshot = SimulatorSnapshot.from_bytes(prefix_sim.snapshot().to_bytes())
     _, config = build_sim()
-    sim = snapshot.restore(config)
+    sim = snapshot.restore(config, backend=backend)
     observer = instrument(sim, replay=True)
     injector = FaultInjector(sim)
     for tick, make in faults:
@@ -79,10 +86,12 @@ def forked_run(faults, total, fork_tick, *, precondition=None):
     return sim, config, observer
 
 
-def assert_fork_equivalent(faults, total, fork_tick, *, precondition=None):
+def assert_fork_equivalent(faults, total, fork_tick, *, precondition=None,
+                           backend="reference"):
     cold_sim, cold_config, cold_obs = cold_run(faults, total)
     fork_sim, fork_config, fork_obs = forked_run(
-        faults, total, fork_tick, precondition=precondition)
+        faults, total, fork_tick, precondition=precondition,
+        backend=backend)
     assert fork_sim.now == cold_sim.now
     assert fork_sim.trace.digest() == cold_sim.trace.digest()
     assert fork_obs.collect().digest() == cold_obs.collect().digest()
@@ -104,9 +113,16 @@ CHAOS_FAULTS = (
 CHAOS_TOTAL = 8 * MTF
 
 
+@pytest.mark.parametrize("backend", ["reference", "fast"])
 class TestForkEquivalenceMatrix:
-    def test_fault_free_mid_window_fork(self):
-        assert_fork_equivalent((), 4 * MTF + 77, 2 * MTF + 391)
+    """Every entry runs once per backend: the prefix and the forked
+    continuation execute on *backend* while the cold run stays on the
+    reference interpreter, so the ``fast`` rows double as cross-backend
+    bit-identity gates."""
+
+    def test_fault_free_mid_window_fork(self, backend):
+        assert_fork_equivalent((), 4 * MTF + 77, 2 * MTF + 391,
+                               backend=backend)
 
     @pytest.mark.parametrize("fork_tick", [
         137,             # inside the very first partition window
@@ -117,17 +133,20 @@ class TestForkEquivalenceMatrix:
         4 * MTF + 60,    # just after the partition crash
         5 * MTF + 3,     # right after the commanded switch took effect
     ])
-    def test_chaos_schedule_forked_at(self, fork_tick):
-        assert_fork_equivalent(CHAOS_FAULTS, CHAOS_TOTAL, fork_tick)
+    def test_chaos_schedule_forked_at(self, fork_tick, backend):
+        assert_fork_equivalent(CHAOS_FAULTS, CHAOS_TOTAL, fork_tick,
+                               backend=backend)
 
-    def test_fork_straddling_pending_schedule_switch(self):
+    def test_fork_straddling_pending_schedule_switch(self, backend):
         # Request lands at 2*MTF - 60; Algorithm 1 applies it at the
         # 2*MTF boundary.  Forking in between must carry the pending
         # switch (scheduler.next_schedule) across the checkpoint.
         faults = ((2 * MTF - 60, lambda: ScheduleSwitchFault("chi2")),)
-        assert_fork_equivalent(faults, 4 * MTF, 2 * MTF - 25)
+        assert_fork_equivalent(faults, 4 * MTF, 2 * MTF - 25,
+                               backend=backend)
 
-    def test_fork_exactly_at_mtf_boundary_with_pending_chi2_switch(self):
+    def test_fork_exactly_at_mtf_boundary_with_pending_chi2_switch(
+            self, backend):
         # The boundary tick itself performs the switch; a snapshot taken
         # at now == boundary precedes that tick's ISR, so the fork must
         # replay the switch exactly once — not zero, not two times.
@@ -138,9 +157,9 @@ class TestForkEquivalenceMatrix:
             assert scheduler.next_schedule is not None
 
         assert_fork_equivalent(faults, 4 * MTF, 2 * MTF,
-                               precondition=pending)
+                               precondition=pending, backend=backend)
 
-    def test_fork_while_partition_parked_by_fdir(self):
+    def test_fork_while_partition_parked_by_fdir(self, backend):
         # Crash-loop P2 faster than the storm window: FDIR parks it at
         # tick 2510 (pinned by the supervision integration suite).  Fork
         # after parking, with one more (suppressed) injection after the
@@ -152,9 +171,10 @@ class TestForkEquivalenceMatrix:
         def parked(sim):
             assert sim.pmk.fdir.parked == ("P2",)
 
-        assert_fork_equivalent(faults, 5 * MTF, 3000, precondition=parked)
+        assert_fork_equivalent(faults, 5 * MTF, 3000, precondition=parked,
+                               backend=backend)
 
-    def test_fork_with_nonempty_queuing_port(self):
+    def test_fork_with_nonempty_queuing_port(self, backend):
         # Flood P4's alert queue, fork while messages are still queued.
         faults = ((2 * MTF + 100,
                    lambda: MessageFloodFault("P4", "alert_out",
@@ -169,16 +189,17 @@ class TestForkEquivalenceMatrix:
             assert any(depth > 0 for depth in depths), depths
 
         assert_fork_equivalent(faults, 5 * MTF, 2 * MTF + 140,
-                               precondition=queued)
+                               precondition=queued, backend=backend)
 
-    def test_fork_after_watchdog_relevant_kill(self):
+    def test_fork_after_watchdog_relevant_kill(self, backend):
         # Silencing P4's heartbeat exercises the watchdog expiry path;
         # fork between the kill and the expiry.
         faults = ((2 * MTF + 10,
                    lambda: ProcessKillFault("P4", "fdir-heartbeat")),)
-        assert_fork_equivalent(faults, 6 * MTF, 2 * MTF + 400)
+        assert_fork_equivalent(faults, 6 * MTF, 2 * MTF + 400,
+                               backend=backend)
 
-    def test_one_snapshot_forks_many_equivalent_continuations(self):
+    def test_one_snapshot_forks_many_equivalent_continuations(self, backend):
         # The SAME live snapshot object is restored three times — the
         # prefix cache leans on restore copying every mutable container
         # out of the snapshot state rather than aliasing it, so a prior
@@ -191,7 +212,7 @@ class TestForkEquivalenceMatrix:
             prefix_sim.snapshot().to_bytes())
         for _ in range(3):
             _, config = build_sim()
-            fork = shared.restore(config)
+            fork = shared.restore(config, backend=backend)
             injector = FaultInjector(fork)
             for tick, make in CHAOS_FAULTS:
                 injector.schedule(tick, make())
@@ -231,6 +252,56 @@ class TestSnapshotGuards:
         other = build_prototype(fdir_supervision=True, seed=1)
         assert config_identity(make_simulator(other).config) != \
             config_identity(a)
+
+
+class TestSerializationTiers:
+    """to_bytes/from_bytes variants: zlib tier and protocol-5 buffers."""
+
+    def capture(self):
+        sim, config = build_sim()
+        sim.run_fast(MTF + 137)
+        return sim.snapshot(), config
+
+    def continuation_digest(self, snapshot, config):
+        sim = snapshot.restore(config)
+        sim.run_fast(2 * MTF - sim.now)
+        return sim.trace.digest()
+
+    def test_zlib_tier_round_trips_bit_identically(self):
+        snapshot, config = self.capture()
+        plain = snapshot.to_bytes()
+        packed = snapshot.to_bytes(compress=6)
+        assert packed[:1] == b"\x78"  # zlib magic; sniffed by from_bytes
+        assert len(packed) < len(plain)
+        expected = self.continuation_digest(
+            SimulatorSnapshot.from_bytes(plain), config)
+        assert self.continuation_digest(
+            SimulatorSnapshot.from_bytes(packed), config) == expected
+
+    def test_out_of_band_buffers_round_trip(self):
+        snapshot, config = self.capture()
+        main, buffers = snapshot.to_buffers()
+        rebuilt = SimulatorSnapshot.from_buffers(main, buffers)
+        assert rebuilt.tick == snapshot.tick
+        assert self.continuation_digest(rebuilt, config) == \
+            self.continuation_digest(
+                SimulatorSnapshot.from_bytes(snapshot.to_bytes()), config)
+
+    def test_cache_compression_tier_is_transparent(self):
+        from repro.campaign.prefix import SnapshotCache
+
+        snapshot, config = self.capture()
+        payload = snapshot.to_bytes()
+        cache = SnapshotCache(capacity=2, compress_level=6)
+        cache.put("fp", snapshot.tick, payload)
+        stored = cache.get("fp", snapshot.tick)
+        assert stored is not None and stored[:1] == b"\x78"
+        assert len(stored) < len(payload)
+        assert cache.total_bytes == len(stored)
+        live = cache.get_snapshot("fp", snapshot.tick)
+        assert self.continuation_digest(live, config) == \
+            self.continuation_digest(
+                SimulatorSnapshot.from_bytes(payload), config)
 
 
 def _restore_in_child(payload_and_ticks):

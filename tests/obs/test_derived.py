@@ -161,3 +161,35 @@ class TestCompactMetrics:
 
     def test_empty_trace_is_all_zero(self):
         assert all(value == 0 for _, value in compact_metrics(Trace()))
+
+
+class TestVectorizationEquality:
+    """The numpy fast path and the pure-Python fallback must emit
+    byte-identical canonical JSON — the vectorization is gated, never
+    semantic."""
+
+    def test_numpy_and_fallback_reports_are_byte_identical(self, monkeypatch):
+        import repro.obs.derived as derived_module
+
+        if derived_module._np is None:
+            import pytest
+            pytest.skip("numpy unavailable; only the fallback path exists")
+        simulator = prototype_run(mtfs=4)
+        vectorized = derived_to_json(derived_metrics(
+            simulator.trace, simulator.config, horizon=simulator.now))
+        monkeypatch.setattr(derived_module, "_np", None)
+        fallback = derived_to_json(derived_metrics(
+            simulator.trace, simulator.config, horizon=simulator.now))
+        assert vectorized == fallback
+
+    def test_distribution_paths_agree_on_edge_samples(self, monkeypatch):
+        import repro.obs.derived as derived_module
+
+        if derived_module._np is None:
+            import pytest
+            pytest.skip("numpy unavailable; only the fallback path exists")
+        samples = ([7], [3, 1, 2], list(range(100, 0, -1)),
+                   [5] * 9, [0, 0, 1, 10**9])
+        with_numpy = [distribution(s) for s in samples]
+        monkeypatch.setattr(derived_module, "_np", None)
+        assert [distribution(s) for s in samples] == with_numpy
