@@ -1,37 +1,50 @@
-"""E15 — the parallel campaign engine on the Sect. 6 fault matrix.
+"""E15/E20 — the parallel campaign engine: fault matrix and prefix tree.
 
-The campaign engine (``repro.campaign``) fans independent deterministic
-scenarios out over a ``multiprocessing`` pool.  This benchmark runs a
->= 64-scenario fault-matrix campaign twice — serially, then pooled — and
-reports scenarios/sec for each, *always* asserting the determinism
-invariant: the pooled deterministic report is byte-identical to the serial
-one, for it is the same scenarios with the same seeds.
+Two suites over the campaign engine (``repro.campaign``):
 
-The speedup claim (>= 3x scenarios/sec at 4 workers) only holds where 4
-hardware threads exist; the pytest entry point guards on the scheduling
-affinity, and the standalone mode asserts it only under ``--check``.
+* **fault-matrix** (E15) — a >= 64-scenario fault-matrix campaign run
+  serially, then pooled, reporting scenarios/sec for each and *always*
+  asserting the determinism invariant (pooled deterministic report
+  byte-identical to serial).  Speedup floor: >= 3x at 4 workers.
+
+* **prefix-tree** (E20) — a deep shared-fault chaos campaign (>= 16
+  scenarios sharing >= 2 identical leading faults) run with the
+  divergence trie on (``prefix_depth=None``) vs off (``prefix_depth=0``,
+  the root-only prefix sharing of before).  Reports simulated ticks/sec
+  for both and asserts the digest matrix — byte-identical deterministic
+  reports across {serial, pooled x {1, 2, 4}} x {tree on, tree off} x
+  {reference, fast}.  Speedup floor: >= 2x ticks/sec over the root-only
+  baseline, serial.  Per-worker prefix-cache hit rates and shared-memory
+  attach counts ride in the artifact's nondeterministic ``meta`` sidecar.
+
+The speedup claims only hold where the hardware exists; pytest entry
+points guard on the scheduling affinity, and the standalone mode asserts
+them only under ``--check``.
 
 Runs two ways:
 
 * ``pytest benchmarks/bench_campaign.py`` — asserts determinism always and
-  the speedup floor when the host has >= 4 usable CPUs;
+  the speedup floors where the host allows;
 * ``python benchmarks/bench_campaign.py [--scenarios N] [--mtfs N]
-  [--workers N] [--backend B] [--json PATH] [--check]`` — standalone smoke
-  (used by CI), writing the schema-versioned artifact to
-  ``BENCH_campaign.json`` in the repo root (via ``bench_lib``).
+  [--workers N] [--backend B] [--depth N] [--prefix-scenarios N]
+  [--prefix-mtfs N] [--json PATH] [--check]`` — standalone smoke (used by
+  CI), writing the schema-versioned artifact to ``BENCH_campaign.json``
+  in the repo root (via ``bench_lib``).
 """
 
 from __future__ import annotations
 
 import json
 import time
-from typing import Dict
+from typing import Dict, Optional
 
 import pytest
 
 from repro.campaign import (
+    chaos_campaign,
     deterministic_report,
     fault_matrix_campaign,
+    run_campaign,
     run_pool,
     run_serial,
 )
@@ -46,6 +59,20 @@ SPEEDUP_FLOOR = 3.0
 #: long enough that per-scenario simulation work dominates pool startup.
 CAMPAIGN_SCENARIOS = 64
 CAMPAIGN_MTFS = 10
+
+#: Acceptance floor: divergence-trie ticks/sec vs root-only sharing on
+#: the deep shared-fault workload, serial.
+PREFIX_SPEEDUP_FLOOR = 2.0
+
+#: Default deep shared-fault campaign: >= 16 scenarios, one seed, three
+#: identical leading faults spread across the first seven eighths of a
+#: long injection span.  The horizon is deliberately deep — the trie's
+#: advantage is the shared span it skips, while both modes pay the same
+#: per-scenario digest/oracle/report costs, so short horizons understate
+#: the steady-state ratio.
+PREFIX_SCENARIOS = 16
+PREFIX_MTFS = 128
+PREFIX_SHARED_FAULTS = 3
 
 
 def _report_bytes(results) -> str:
@@ -89,6 +116,135 @@ def run_benchmark(*, scenarios: int = CAMPAIGN_SCENARIOS,
 
 
 # ------------------------------------------------------------------ #
+# the prefix-tree suite (E20)
+# ------------------------------------------------------------------ #
+
+
+def deep_shared_campaign(*, scenarios: int = PREFIX_SCENARIOS,
+                         mtfs: int = PREFIX_MTFS,
+                         shared_faults: int = PREFIX_SHARED_FAULTS,
+                         base_seed: int = 2):
+    """The divergence-trie workload: one seed, identical leading faults."""
+    return chaos_campaign(count=scenarios, mtfs=mtfs, base_seed=base_seed,
+                          shared_seed=True, shared_faults=shared_faults)
+
+
+def assert_digest_matrix(campaign, *, depth: Optional[int],
+                         worker_counts=(1, 2, 4)) -> int:
+    """Byte-identical reports across dispatch x tree x backend.
+
+    Runs {serial, pooled x *worker_counts*} x {tree on (*depth*), tree
+    off (0)} x {reference, fast} and asserts every deterministic report
+    equals the serial/tree-off/reference one.  Returns the number of
+    variants checked.
+    """
+    expected = _report_bytes(run_serial(campaign, prefix_depth=0))
+    checked = 1
+    for backend in ("reference", "fast"):
+        for prefix_depth in (depth, 0):
+            for workers in (None, *worker_counts):
+                if backend == "reference" and prefix_depth == 0 \
+                        and workers is None:
+                    continue  # the expected variant itself
+                if workers is None:
+                    results = run_serial(campaign, backend=backend,
+                                         prefix_depth=prefix_depth)
+                else:
+                    results = run_campaign(campaign, workers=workers,
+                                           backend=backend,
+                                           prefix_depth=prefix_depth)
+                label = (f"backend={backend} depth={prefix_depth} "
+                         f"workers={workers or 'serial'}")
+                assert _report_bytes(results) == expected, \
+                    f"digest mismatch: {label}"
+                checked += 1
+    return checked
+
+
+def _worker_sidecar(telemetry: Dict) -> Dict:
+    """Per-worker hit rates + shm attach counts (nondeterministic)."""
+    workers = {}
+    for pid, stats in (telemetry.get("workers") or {}).items():
+        cache = stats.get("prefix_cache") or {}
+        lookups = cache.get("hits", 0) + cache.get("misses", 0)
+        workers[pid] = {
+            "prefix_hits": cache.get("hits", 0),
+            "prefix_misses": cache.get("misses", 0),
+            "prefix_hit_rate": round(cache.get("hits", 0) / lookups, 3)
+            if lookups else None,
+            "shm_attaches": (stats.get("shm") or {}).get("attaches", 0),
+            "shm_publishes": (stats.get("shm") or {}).get("publishes", 0),
+        }
+    return {"workers": workers,
+            "prefix_tree": telemetry.get("prefix_tree"),
+            "shm": telemetry.get("shm")}
+
+
+def run_prefix_benchmark(*, scenarios: int = PREFIX_SCENARIOS,
+                         mtfs: int = PREFIX_MTFS,
+                         shared_faults: int = PREFIX_SHARED_FAULTS,
+                         depth: Optional[int] = None, workers: int = 4,
+                         backend: str = "reference",
+                         digest_matrix: bool = True) -> Dict:
+    """Time tree-on vs tree-off (root-only) on the deep shared workload."""
+    campaign = deep_shared_campaign(scenarios=scenarios, mtfs=mtfs,
+                                    shared_faults=shared_faults)
+
+    start = time.perf_counter()
+    baseline = run_serial(campaign, backend=backend, prefix_depth=0)
+    baseline_s = time.perf_counter() - start
+    total_ticks = sum(result.ticks for result in baseline)
+
+    start = time.perf_counter()
+    tree = run_serial(campaign, backend=backend, prefix_depth=depth)
+    tree_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled_baseline = run_pool(campaign, workers=workers, backend=backend,
+                               prefix_depth=0)
+    pooled_baseline_s = time.perf_counter() - start
+
+    telemetry: Dict = {}
+    start = time.perf_counter()
+    pooled_tree = run_pool(campaign, workers=workers, backend=backend,
+                           prefix_depth=depth, telemetry=telemetry)
+    pooled_tree_s = time.perf_counter() - start
+
+    expected = _report_bytes(baseline)
+    for results in (tree, pooled_baseline, pooled_tree):
+        assert _report_bytes(results) == expected, \
+            "prefix-tree variant changed the deterministic report"
+    assert all(result.ok for result in baseline), \
+        "deep shared-fault campaign had failing scenarios"
+
+    matrix_checked = 0
+    if digest_matrix:
+        matrix_checked = assert_digest_matrix(campaign, depth=depth)
+
+    return {
+        "scenarios": scenarios,
+        "mtfs": mtfs,
+        "shared_faults": shared_faults,
+        "depth": depth,
+        "workers": workers,
+        "backend": backend,
+        "total_ticks": total_ticks,
+        "baseline_s": baseline_s,
+        "tree_s": tree_s,
+        "pooled_baseline_s": pooled_baseline_s,
+        "pooled_tree_s": pooled_tree_s,
+        "baseline_ticks_per_s": total_ticks / baseline_s,
+        "tree_ticks_per_s": total_ticks / tree_s,
+        "pooled_baseline_ticks_per_s": total_ticks / pooled_baseline_s,
+        "pooled_tree_ticks_per_s": total_ticks / pooled_tree_s,
+        "serial_speedup": baseline_s / tree_s,
+        "pooled_speedup": pooled_baseline_s / pooled_tree_s,
+        "digest_matrix_checked": matrix_checked,
+        "sidecar": _worker_sidecar(telemetry),
+    }
+
+
+# ------------------------------------------------------------------ #
 # pytest entry points
 # ------------------------------------------------------------------ #
 
@@ -112,6 +268,21 @@ def test_speedup_floor_at_four_workers():
         f"below the {SPEEDUP_FLOOR}x floor")
 
 
+def test_prefix_tree_digest_matrix_small():
+    """The full dispatch x tree x backend matrix at smoke scale."""
+    campaign = deep_shared_campaign(scenarios=8, mtfs=12, shared_faults=2)
+    assert assert_digest_matrix(campaign, depth=None,
+                                worker_counts=(2,)) == 8
+
+
+def test_prefix_tree_serial_speedup_floor():
+    """Serial trie speedup needs no extra CPUs — asserted everywhere."""
+    numbers = run_prefix_benchmark(workers=2, digest_matrix=False)
+    assert numbers["serial_speedup"] >= PREFIX_SPEEDUP_FLOOR, (
+        f"prefix-tree speedup {numbers['serial_speedup']:.2f}x serial "
+        f"below the {PREFIX_SPEEDUP_FLOOR}x floor")
+
+
 # ------------------------------------------------------------------ #
 # standalone entry point
 # ------------------------------------------------------------------ #
@@ -131,8 +302,22 @@ def main() -> int:
     parser.add_argument("--json", default=None,
                         help="artifact path (default: BENCH_campaign.json "
                              "in the repo root)")
+    parser.add_argument("--depth", type=int, default=None,
+                        help="divergence-trie depth cap for the "
+                             "prefix-tree suite (default: unlimited)")
+    parser.add_argument("--prefix-scenarios", type=int,
+                        default=PREFIX_SCENARIOS,
+                        help="scenario count for the prefix-tree suite")
+    parser.add_argument("--prefix-mtfs", type=int, default=PREFIX_MTFS,
+                        help="tick horizon in MTFs for the prefix-tree "
+                             "suite")
+    parser.add_argument("--shared-faults", type=int,
+                        default=PREFIX_SHARED_FAULTS,
+                        help="identical leading faults per scenario in "
+                             "the prefix-tree suite")
     parser.add_argument("--check", action="store_true",
-                        help="assert the speedup floor (needs >= 4 CPUs)")
+                        help="assert the speedup floors (the pooled one "
+                             "needs >= 4 CPUs)")
     args = parser.parse_args()
 
     numbers = run_benchmark(scenarios=args.scenarios, mtfs=args.mtfs,
@@ -145,13 +330,38 @@ def main() -> int:
           f"{args.workers} workers)")
     print(f"  speedup: {numbers['speedup']:5.2f}x")
     print("  determinism: pooled aggregate == serial aggregate")
-    workload = f"fault-matrix-{args.scenarios}x{args.mtfs}"
+
+    prefix = run_prefix_benchmark(
+        scenarios=args.prefix_scenarios, mtfs=args.prefix_mtfs,
+        shared_faults=args.shared_faults, depth=args.depth,
+        workers=args.workers, backend=args.backend)
+    print(f"prefix-tree: {prefix['scenarios']} scenarios x "
+          f"{prefix['mtfs']} MTFs, {prefix['shared_faults']} shared "
+          f"leading faults, depth="
+          f"{'unlimited' if prefix['depth'] is None else prefix['depth']}")
+    print(f"  root-only serial : {prefix['baseline_s']:8.3f}s "
+          f"({prefix['baseline_ticks_per_s']:12,.0f} ticks/s)")
+    print(f"  trie serial      : {prefix['tree_s']:8.3f}s "
+          f"({prefix['tree_ticks_per_s']:12,.0f} ticks/s, "
+          f"{prefix['serial_speedup']:.2f}x)")
+    print(f"  root-only pooled : {prefix['pooled_baseline_s']:8.3f}s "
+          f"({prefix['pooled_baseline_ticks_per_s']:12,.0f} ticks/s, "
+          f"{args.workers} workers)")
+    print(f"  trie pooled      : {prefix['pooled_tree_s']:8.3f}s "
+          f"({prefix['pooled_tree_ticks_per_s']:12,.0f} ticks/s, "
+          f"{prefix['pooled_speedup']:.2f}x)")
+    print(f"  digest matrix    : {prefix['digest_matrix_checked']} "
+          f"variants byte-identical (dispatch x tree x backend)")
+
+    matrix = f"fault-matrix-{args.scenarios}x{args.mtfs}"
+    deep = (f"prefix-tree-{prefix['scenarios']}x{prefix['mtfs']}"
+            f"-shared{prefix['shared_faults']}")
     path = emit_bench_json("campaign", [
-        workload_record(workload, backend=args.backend, mode="serial",
+        workload_record(matrix, backend=args.backend, mode="serial",
                         scenarios_per_s=round(
                             numbers["serial_scenarios_per_s"], 2),
                         digests_asserted=True),
-        workload_record(workload, backend=args.backend,
+        workload_record(matrix, backend=args.backend,
                         mode=f"pooled-{args.workers}",
                         scenarios_per_s=round(
                             numbers["pooled_scenarios_per_s"], 2),
@@ -159,12 +369,40 @@ def main() -> int:
                         speedup_reference="serial, same backend",
                         digests_asserted=True,
                         speedup_floor=SPEEDUP_FLOOR),
-    ], path=args.json)
+        workload_record(deep, backend=args.backend, mode="root-only",
+                        ticks_per_s=prefix["baseline_ticks_per_s"],
+                        digests_asserted=True),
+        workload_record(deep, backend=args.backend, mode="prefix-tree",
+                        ticks_per_s=prefix["tree_ticks_per_s"],
+                        speedup=prefix["serial_speedup"],
+                        speedup_reference="root-only prefix sharing, "
+                                          "serial, same backend",
+                        digests_asserted=True,
+                        speedup_floor=PREFIX_SPEEDUP_FLOOR,
+                        digest_matrix_variants=prefix[
+                            "digest_matrix_checked"]),
+        workload_record(deep, backend=args.backend,
+                        mode=f"prefix-tree-pooled-{args.workers}",
+                        ticks_per_s=prefix["pooled_tree_ticks_per_s"],
+                        speedup=prefix["pooled_speedup"],
+                        speedup_reference="root-only prefix sharing, "
+                                          "same worker count",
+                        digests_asserted=True),
+    ], path=args.json, meta={"prefix_tree_sidecar": prefix["sidecar"]})
     print(f"  wrote {path}")
-    if args.check and numbers["speedup"] < SPEEDUP_FLOOR:
-        print(f"  FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
-        return 1
-    return 0
+    failed = False
+    if (args.check and numbers["speedup"] < SPEEDUP_FLOOR
+            and autodetect_workers() >= 4):
+        # Same gate as the pytest twin: the pooled floor is meaningless
+        # without enough usable CPUs to parallelize onto.
+        print(f"  FAIL: fault-matrix speedup below the "
+              f"{SPEEDUP_FLOOR}x floor")
+        failed = True
+    if args.check and prefix["serial_speedup"] < PREFIX_SPEEDUP_FLOOR:
+        print(f"  FAIL: prefix-tree serial speedup below the "
+              f"{PREFIX_SPEEDUP_FLOOR}x floor")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -185,20 +185,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     elif args.suite == "chaos":
         scenarios = chaos_campaign(count=args.scenarios,
                                    mtfs=max(args.mtfs, 4),
-                                   base_seed=args.seed)
+                                   base_seed=args.seed,
+                                   shared_seed=args.shared_seed,
+                                   prefix_mtfs=args.prefix_mtfs,
+                                   shared_faults=args.shared_faults)
     else:
         scenarios = config_sweep_campaign(count=args.scenarios,
                                           base_seed=args.seed)
 
+    telemetry: dict = {}
     results = run_campaign(scenarios, workers=args.workers,
                            chunksize=args.chunksize,
                            timeout_s=args.timeout,
                            prefix_cache=args.prefix_cache,
-                           backend=args.backend)
+                           backend=args.backend,
+                           prefix_depth=args.prefix_depth,
+                           locality=args.locality,
+                           shm=args.shm,
+                           telemetry=telemetry)
     if args.verify_serial and args.workers > 1:
         serial = run_campaign(scenarios, workers=1, timeout_s=args.timeout,
                               prefix_cache=args.prefix_cache,
-                              backend=args.backend)
+                              backend=args.backend,
+                              prefix_depth=args.prefix_depth)
         if report_json(results) != report_json(serial):
             print("DETERMINISM VIOLATION: pooled aggregate differs from "
                   "serial aggregate", file=sys.stderr)
@@ -208,10 +217,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(render_summary(results))
     if args.json:
         meta = {"suite": args.spec or args.suite,
-                "scenarios": len(scenarios), "workers": args.workers}
+                "scenarios": len(scenarios), "workers": args.workers,
+                "prefix_depth": args.prefix_depth,
+                "locality": args.locality}
         with open(args.json, "w", encoding="utf-8") as stream:
             stream.write(report_json(results, include_timing=True,
-                                     meta=meta) + "\n")
+                                     meta=meta,
+                                     telemetry=telemetry) + "\n")
         print(f"report written to {args.json}")
     return 0 if all(result.ok for result in results) else 1
 
@@ -320,6 +332,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     campaign.add_argument("--no-prefix-cache", dest="prefix_cache",
                           action="store_false",
                           help="always simulate scenarios from tick 0")
+    campaign.add_argument("--prefix-depth", type=int, default=None,
+                          help="divergence-trie depth cap: scenarios "
+                               "sharing identical leading faults fork from "
+                               "interior checkpoints up to this many "
+                               "events deep (default: unlimited; 0 = "
+                               "root-only prefix sharing as before)")
+    campaign.add_argument("--locality", dest="locality",
+                          action="store_true", default=True,
+                          help="group scenarios sharing a prefix onto the "
+                               "same worker (default)")
+    campaign.add_argument("--no-locality", dest="locality",
+                          action="store_false",
+                          help="plain order-preserving pool dispatch")
+    campaign.add_argument("--shm", dest="shm", action="store_true",
+                          default=None,
+                          help="publish prefix checkpoints via shared "
+                               "memory so sibling workers attach instead "
+                               "of rebuilding (default: auto where the "
+                               "fork start method exists)")
+    campaign.add_argument("--no-shm", dest="shm", action="store_false",
+                          help="never use the shared-memory snapshot "
+                               "transport")
+    campaign.add_argument("--shared-seed", action="store_true",
+                          help="chaos suite: one seed for every scenario "
+                               "(maximizes prefix sharing)")
+    campaign.add_argument("--prefix-mtfs", type=int, default=0,
+                          help="chaos suite: keep the first N MTFs "
+                               "fault-free (default 0)")
+    campaign.add_argument("--shared-faults", type=int, default=0,
+                          help="chaos suite: prepend N identical leading "
+                               "faults to every scenario — the deep "
+                               "shared-fault workload the divergence trie "
+                               "accelerates (default 0)")
     campaign.add_argument("--backend", choices=BACKENDS,
                           default="reference",
                           help="execution backend; 'fast' is bit-identical "

@@ -6,6 +6,14 @@ aggregates compact per-scenario summaries — the reproduction's answer to
 the repeatable TSP evaluation campaigns of the benchmarking literature.
 """
 
+from .prefix import (
+    PrefixPlan,
+    SnapshotCache,
+    build_divergence_trie,
+    prefix_key,
+    run_with_prefix_cache,
+    scenario_fingerprint,
+)
 from .results import (
     ScenarioResult,
     aggregate,
@@ -13,6 +21,7 @@ from .results import (
     render_summary,
     report_json,
 )
+from .shm import SnapshotTransport, shm_available
 from .runner import (
     autodetect_workers,
     run_campaign,
@@ -34,6 +43,9 @@ from .scenarios import (
 )
 
 __all__ = [
+    "PrefixPlan", "SnapshotCache", "build_divergence_trie", "prefix_key",
+    "run_with_prefix_cache", "scenario_fingerprint",
+    "SnapshotTransport", "shm_available",
     "ScenarioResult", "aggregate", "deterministic_report", "render_summary",
     "report_json",
     "autodetect_workers", "run_campaign", "run_pool", "run_scenario",

@@ -179,11 +179,15 @@ def deterministic_report(results: Sequence[ScenarioResult]
 
 def report_json(results: Sequence[ScenarioResult], *,
                 include_timing: bool = False,
-                meta: Optional[Mapping[str, Any]] = None) -> str:
+                meta: Optional[Mapping[str, Any]] = None,
+                telemetry: Optional[Mapping[str, Any]] = None) -> str:
     """The campaign report as canonical JSON.
 
     Without *include_timing* (and *meta*) the bytes depend only on the
     scenario results — the form the determinism tests compare.
+    *telemetry* (the runner's execution-telemetry dict: divergence-trie
+    shape, per-worker cache counters, shared-memory transport stats) is
+    nondeterministic sidecar material and only emitted with timing.
     """
     document: Dict[str, Any] = deterministic_report(results)
     if include_timing:
@@ -201,6 +205,8 @@ def report_json(results: Sequence[ScenarioResult], *,
                     r.scenario_id: r.forked_at_tick for r in ordered},
             },
         }
+        if telemetry:
+            document["timing"]["execution"] = dict(telemetry)
     if meta:
         document["meta"] = dict(meta)
     return json.dumps(document, sort_keys=True, indent=2)

@@ -27,9 +27,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from typing import List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..fault.faults import ScheduleSwitchFault
 from ..fault.injector import FaultInjector
 from ..fdir.oracle import check_trace
 from ..kernel.simulator import Simulator
@@ -88,8 +88,12 @@ def run_scenario(scenario: Scenario, *,
 
     *from_snapshot* forks the scenario from a checkpoint instead of a cold
     simulator: the snapshot must have been captured from the scenario's
-    own configuration at or before its first fault/command tick, and the
-    run covers the remaining ``scenario.ticks - snapshot.tick`` ticks.
+    own configuration, either before its first fault/command tick (a
+    fault-free root) or — when the snapshot's ``extras`` carry the fault
+    injector's applied log — after any leading slice of its timeline was
+    applied (an interior divergence-trie node).  The injector is seeded
+    from that log and schedules only the not-yet-applied remainder, and
+    the run covers the remaining ``scenario.ticks - snapshot.tick`` ticks.
     The result is bit-identical to a cold run (the snapshot layer's
     contract); only the nondeterministic ``forked_at_tick`` field records
     that a fork happened.
@@ -117,10 +121,18 @@ def run_scenario(scenario: Scenario, *,
         else:
             simulator = Simulator(config, backend=backend)
         injector = FaultInjector(simulator)
-        for tick, fault in scenario.faults:
+        applied = 0
+        if from_snapshot is not None and from_snapshot.extras:
+            state = from_snapshot.extras.get("injector")
+            if state is not None:
+                injector.load_state_dict(state)
+                applied = len(injector.log)
+        # The merged timeline reproduces the historical heap order exactly
+        # (faults first at equal ticks — see Scenario.timeline), so cold
+        # runs are bit-identical to the former faults-then-commands
+        # scheduling, and forked runs skip exactly the applied slice.
+        for tick, fault in scenario.timeline()[applied:]:
             injector.schedule(tick, fault)
-        for tick, schedule_id in scenario.schedule_commands:
-            injector.schedule(tick, ScheduleSwitchFault(schedule_id))
         should_abort = None
         if timeout_s is not None:
             deadline = start + timeout_s
@@ -173,25 +185,46 @@ def run_scenario(scenario: Scenario, *,
 
 
 #: Per-worker-process prefix cache, created lazily on the first prefix-
-#: enabled scenario and reused across every ``pool.map`` chunk the worker
-#: handles.  Module-level so it survives between tasks in the same worker.
+#: enabled scenario and reused across every pool task the worker handles.
+#: Module-level so it survives between tasks in the same worker.
 _WORKER_PREFIX_CACHE = None
+
+#: Per-worker-process shared-memory transport, keyed by the campaign run
+#: id so consecutive campaigns in one long-lived pool never cross-attach.
+_WORKER_TRANSPORT = None
+
+
+def _worker_cache():
+    global _WORKER_PREFIX_CACHE
+    if _WORKER_PREFIX_CACHE is None:
+        from .prefix import SnapshotCache
+
+        _WORKER_PREFIX_CACHE = SnapshotCache()
+    return _WORKER_PREFIX_CACHE
+
+
+def _worker_transport(run_id: Optional[str]):
+    global _WORKER_TRANSPORT
+    if run_id is None:
+        return None
+    if _WORKER_TRANSPORT is None or _WORKER_TRANSPORT.run_id != run_id:
+        from .shm import SnapshotTransport
+
+        _WORKER_TRANSPORT = SnapshotTransport(run_id, probe=False)
+    return _WORKER_TRANSPORT
 
 
 def _run_one(scenario: Scenario, *, timeout_s: Optional[float],
              check_interval: int, prefix_cache: bool,
              backend: str) -> ScenarioResult:
     """One unit of campaign work, with or without prefix sharing."""
-    global _WORKER_PREFIX_CACHE
     if not prefix_cache:
         return run_scenario(scenario, timeout_s=timeout_s,
                             check_interval=check_interval,
                             backend=backend)
-    from .prefix import SnapshotCache, run_with_prefix_cache
+    from .prefix import run_with_prefix_cache
 
-    if _WORKER_PREFIX_CACHE is None:
-        _WORKER_PREFIX_CACHE = SnapshotCache()
-    return run_with_prefix_cache(scenario, _WORKER_PREFIX_CACHE,
+    return run_with_prefix_cache(scenario, _worker_cache(),
                                  timeout_s=timeout_s,
                                  check_interval=check_interval,
                                  backend=backend)
@@ -206,29 +239,104 @@ def _pool_worker(payload: Tuple[Scenario, Optional[float], int, bool, str]
                     backend=backend)
 
 
+def _group_worker(payload):
+    """Run one locality group (scenarios sharing a prefix) in one worker.
+
+    Returns ``(original indices, results, sidecar)`` — the parent
+    reassembles results into campaign order by index, so dispatch order
+    (``imap_unordered``) never reaches the deterministic report.  The
+    sidecar carries this worker's cumulative cache/transport counters
+    (keyed by pid on the parent side; later tasks from the same worker
+    simply overwrite with larger counts).
+    """
+    (indices, group, plans, timeout_s, check_interval, backend,
+     run_id) = payload
+    from .prefix import run_with_prefix_cache
+
+    cache = _worker_cache()
+    transport = _worker_transport(run_id)
+    results = [
+        run_with_prefix_cache(scenario, cache, timeout_s=timeout_s,
+                              check_interval=check_interval,
+                              backend=backend, plan=plan,
+                              transport=transport)
+        for scenario, plan in zip(group, plans)]
+    sidecar = {"pid": os.getpid(),
+               "prefix_cache": cache.stats(),
+               "shm": transport.stats() if transport is not None else None}
+    return indices, results, sidecar
+
+
+def _plan_campaign(scenarios: Sequence[Scenario], prefix_cache: bool,
+                   prefix_depth: Optional[int]):
+    """The campaign's divergence trie, or None for root-only sharing.
+
+    ``prefix_depth=0`` (or a disabled cache) turns the trie off entirely:
+    execution takes the exact PR 5 root-only path, which is what the
+    tree-on == tree-off digest gates compare against.
+    """
+    if not prefix_cache or prefix_depth == 0:
+        return None
+    from .prefix import build_divergence_trie
+
+    return build_divergence_trie(scenarios, max_depth=prefix_depth)
+
+
 def run_serial(scenarios: Sequence[Scenario], *,
                timeout_s: Optional[float] = None,
                check_interval: int = TIMEOUT_CHECK_INTERVAL,
                prefix_cache: bool = True,
-               backend: str = "reference") -> List[ScenarioResult]:
+               backend: str = "reference",
+               prefix_depth: Optional[int] = None,
+               telemetry: Optional[Dict] = None) -> List[ScenarioResult]:
     """Run every scenario in this process, in order.
 
     With *prefix_cache* (the default) scenarios sharing a configuration
-    and seed fork from a cached snapshot of their common fault-free
-    prefix; results are bit-identical either way.
+    and seed fork from cached snapshots of their common prefixes — the
+    fault-free root and, via the divergence trie, interior checkpoints
+    after shared faults (*prefix_depth* caps the trie depth; ``0`` =
+    root-only, ``None`` = unlimited); results are bit-identical either
+    way.  *telemetry*, when a dict, receives nondeterministic cache
+    counters for the reporting sidecar.
     """
-    from .prefix import SnapshotCache, run_with_prefix_cache
-
     if not prefix_cache:
         return [run_scenario(scenario, timeout_s=timeout_s,
                              check_interval=check_interval,
                              backend=backend)
                 for scenario in scenarios]
+    from .prefix import SnapshotCache, run_with_prefix_cache
+
+    plans = _plan_campaign(scenarios, prefix_cache, prefix_depth)
     cache = SnapshotCache()
-    return [run_with_prefix_cache(scenario, cache, timeout_s=timeout_s,
-                                  check_interval=check_interval,
-                                  backend=backend)
-            for scenario in scenarios]
+    results = [
+        run_with_prefix_cache(
+            scenario, cache, timeout_s=timeout_s,
+            check_interval=check_interval, backend=backend,
+            plan=None if plans is None else plans[scenario.scenario_id])
+        for scenario in scenarios]
+    if telemetry is not None:
+        telemetry["prefix_tree"] = _tree_telemetry(plans, prefix_depth)
+        telemetry["workers"] = {
+            "serial": {"prefix_cache": cache.stats(), "shm": None}}
+    return results
+
+
+def _tree_telemetry(plans, prefix_depth: Optional[int]) -> Dict:
+    if plans is None:
+        return {"enabled": False, "depth_limit": prefix_depth}
+    groups = {plan.group_key for plan in plans.values()}
+    levels = {level for plan in plans.values()
+              for level in plan.capture_levels}
+    return {
+        "enabled": True,
+        "depth_limit": prefix_depth,
+        "groups": len(groups),
+        "planned_scenarios": sum(
+            1 for plan in plans.values() if plan.capture_levels),
+        "capture_levels": len(levels),
+        "max_depth_planned": max(
+            (level[0] for level in levels), default=0),
+    }
 
 
 def run_pool(scenarios: Sequence[Scenario], *,
@@ -237,15 +345,42 @@ def run_pool(scenarios: Sequence[Scenario], *,
              timeout_s: Optional[float] = None,
              check_interval: int = TIMEOUT_CHECK_INTERVAL,
              prefix_cache: bool = True,
-             backend: str = "reference") -> List[ScenarioResult]:
+             backend: str = "reference",
+             prefix_depth: Optional[int] = None,
+             locality: bool = True,
+             shm: Optional[bool] = None,
+             telemetry: Optional[Dict] = None) -> List[ScenarioResult]:
     """Fan scenarios out over a ``multiprocessing`` pool.
 
-    ``pool.map`` preserves input order, so the result list matches the
-    scenario list index-for-index regardless of which worker ran what.
+    With the divergence trie on (*prefix_cache* and ``prefix_depth !=
+    0``) and *locality* (the default), scenarios are grouped by their
+    deepest shared prefix key and whole groups are handed to the same
+    worker via ``imap_unordered`` — the worker that builds a prefix
+    checkpoint is the worker that reuses it.  Results are reassembled
+    into campaign order by original index, so the result list matches
+    the scenario list index-for-index exactly as ``pool.map`` would, and
+    the deterministic report is provably independent of dispatch: every
+    scenario is self-contained, results are re-sorted by scenario id in
+    the aggregate, and nothing nondeterministic enters the deterministic
+    record.  *chunksize* caps scenarios per group task (default: each
+    group split across the worker count).
+
+    *shm* (default: auto) additionally carries checkpoints across the
+    pool through ``multiprocessing.shared_memory``: the parent
+    pre-builds and publishes the chain of every group split across
+    multiple workers (so its workers start with a zero-copy attach
+    instead of racing to cold-build the same chain), and workers
+    publish whatever they build so later chunks attach instead of
+    rebuilding.  It degrades transparently wherever shared memory or
+    the fork start method is unavailable.
+
     Worker crashes are absorbed inside :func:`run_scenario`; only an
     interpreter-level death (signal, OOM kill) can still fail the pool.
     Each worker process keeps its own prefix cache (snapshots are cheap
     to hold, and sharing one across processes would serialize on it).
+
+    With the trie off this is the PR 5 path: order-preserving
+    ``pool.map`` over per-scenario payloads, root-only prefix sharing.
     """
     if workers is None:
         workers = autodetect_workers()
@@ -253,18 +388,114 @@ def run_pool(scenarios: Sequence[Scenario], *,
         return run_serial(scenarios, timeout_s=timeout_s,
                           check_interval=check_interval,
                           prefix_cache=prefix_cache,
-                          backend=backend)
-    if chunksize is None:
-        # Small chunks keep the pool load-balanced without paying per-item
-        # IPC for every scenario; determinism never depends on this.
-        chunksize = max(1, len(scenarios) // (workers * 4))
+                          backend=backend, prefix_depth=prefix_depth,
+                          telemetry=telemetry)
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
-    payloads = [(scenario, timeout_s, check_interval, prefix_cache, backend)
-                for scenario in scenarios]
+    plans = _plan_campaign(scenarios, prefix_cache, prefix_depth)
+    if plans is None or not locality:
+        if chunksize is None:
+            # Small chunks keep the pool load-balanced without paying
+            # per-item IPC for every scenario; determinism never depends
+            # on this.
+            chunksize = max(1, len(scenarios) // (workers * 4))
+        payloads = [(scenario, timeout_s, check_interval, prefix_cache,
+                     backend) for scenario in scenarios]
+        with context.Pool(processes=workers) as pool:
+            results = pool.map(_pool_worker, payloads, chunksize=chunksize)
+        if telemetry is not None:
+            telemetry["prefix_tree"] = _tree_telemetry(None, prefix_depth)
+        return results
+
+    # Locality-aware dispatch: group scenarios by their deepest shared
+    # prefix key (first-appearance order), split each group into at most
+    # chunksize-sized tasks, and reassemble results by original index.
+    groups: "OrderedDict[str, List[int]]" = OrderedDict()
+    for index, scenario in enumerate(scenarios):
+        key = plans[scenario.scenario_id].group_key
+        groups.setdefault(key, []).append(index)
+
+    transport = None
+    run_id = None
+    if shm is None:
+        from .shm import shm_available
+
+        shm = context.get_start_method() == "fork" and shm_available()
+    if shm:
+        from .shm import SnapshotTransport
+
+        transport = SnapshotTransport()  # parent: names + tracker probe
+        run_id = transport.run_id
+
+    payloads = []
+    split_groups: List[str] = []
+    for key, indices in groups.items():
+        cap = chunksize if chunksize else max(
+            1, -(-len(indices) // workers))
+        if len(indices) > cap:
+            split_groups.append(key)
+        for start in range(0, len(indices), cap):
+            chunk = indices[start:start + cap]
+            payloads.append((
+                tuple(chunk),
+                tuple(scenarios[i] for i in chunk),
+                tuple(plans[scenarios[i].scenario_id] for i in chunk),
+                timeout_s, check_interval, backend, run_id))
+
+    if transport is not None and split_groups:
+        # Pre-build each split group's checkpoint chain once in the
+        # parent and publish it, so the workers sharing that group all
+        # start with a guaranteed zero-copy attach instead of racing
+        # each other to cold-build the same chain (workers launched
+        # together would otherwise each miss every level before anyone
+        # has published it).  Single-chunk groups skip this: their one
+        # worker builds the chain exactly once anyway, and serializing
+        # that build into the parent would only delay dispatch.
+        from .prefix import SnapshotCache, _build_plan_levels
+
+        prebuild_cache = SnapshotCache()
+        for key in split_groups:
+            scenario = scenarios[groups[key][0]]
+            plan = plans[scenario.scenario_id]
+            if plan.capture_levels:
+                _build_plan_levels(scenario, prebuild_cache, plan,
+                                   None, -1, backend=backend,
+                                   check_interval=check_interval,
+                                   transport=transport)
+
+    results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+    worker_stats: Dict[str, Dict] = {}
     with context.Pool(processes=workers) as pool:
-        return pool.map(_pool_worker, payloads, chunksize=chunksize)
+        for indices, group_results, sidecar in pool.imap_unordered(
+                _group_worker, payloads, chunksize=1):
+            for index, result in zip(indices, group_results):
+                results[index] = result
+            worker_stats[str(sidecar["pid"])] = sidecar
+    unlinked = 0
+    if transport is not None:
+        unlinked = transport.unlink_all(
+            {(key, tick) for plan in plans.values()
+             for _, key, tick in plan.capture_levels})
+    if telemetry is not None:
+        telemetry["prefix_tree"] = _tree_telemetry(plans, prefix_depth)
+        telemetry["workers"] = {
+            pid: {"prefix_cache": sidecar["prefix_cache"],
+                  "shm": sidecar["shm"]}
+            for pid, sidecar in sorted(worker_stats.items())}
+        shm_totals: Dict[str, int] = {}
+        for sidecar in worker_stats.values():
+            for name, value in (sidecar["shm"] or {}).items():
+                shm_totals[name] = shm_totals.get(name, 0) + value
+        if transport is not None:
+            # Parent pre-build publishes count toward the totals too —
+            # without them "every existing segment was published exactly
+            # once" would look violated in the sidecar.
+            for name, value in transport.stats().items():
+                shm_totals[name] = shm_totals.get(name, 0) + value
+        telemetry["shm"] = {"enabled": transport is not None,
+                            "unlinked_segments": unlinked, **shm_totals}
+    return results  # type: ignore[return-value]
 
 
 def run_campaign(scenarios: Sequence[Scenario], *,
@@ -273,14 +504,20 @@ def run_campaign(scenarios: Sequence[Scenario], *,
                  timeout_s: Optional[float] = None,
                  check_interval: int = TIMEOUT_CHECK_INTERVAL,
                  prefix_cache: bool = True,
-                 backend: str = "reference") -> List[ScenarioResult]:
+                 backend: str = "reference",
+                 prefix_depth: Optional[int] = None,
+                 locality: bool = True,
+                 shm: Optional[bool] = None,
+                 telemetry: Optional[Dict] = None) -> List[ScenarioResult]:
     """Serial (`workers <= 1`) or pooled campaign execution."""
     if workers <= 1:
         return run_serial(scenarios, timeout_s=timeout_s,
                           check_interval=check_interval,
                           prefix_cache=prefix_cache,
-                          backend=backend)
+                          backend=backend, prefix_depth=prefix_depth,
+                          telemetry=telemetry)
     return run_pool(scenarios, workers=workers, chunksize=chunksize,
                     timeout_s=timeout_s, check_interval=check_interval,
                     prefix_cache=prefix_cache,
-                    backend=backend)
+                    backend=backend, prefix_depth=prefix_depth,
+                    locality=locality, shm=shm, telemetry=telemetry)

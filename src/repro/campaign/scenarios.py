@@ -41,6 +41,7 @@ from ..fault.faults import (
     MessageFloodFault,
     PartitionCrashFault,
     ProcessKillFault,
+    ScheduleSwitchFault,
     StartProcessFault,
     fault_from_dict,
     fault_to_dict,
@@ -172,6 +173,23 @@ class Scenario:
         if self.config_doc is not None:
             return load_config(self.config_doc)
         return FACTORIES[self.factory](seed=self.seed, **self.factory_kwargs)
+
+    def timeline(self) -> Tuple[Tuple[Ticks, Fault], ...]:
+        """Faults and schedule commands merged into one application order.
+
+        Schedule commands become :class:`ScheduleSwitchFault` instances and
+        the merged sequence is stable-sorted by tick, which reproduces the
+        injector's heap order exactly: the injector pops ``(tick, seq)``
+        with sequence numbers assigned faults-first (in list order), then
+        commands — precisely what a stable sort of
+        ``[*faults, *commands]`` by tick yields.  The prefix-sharing layer
+        keys interior checkpoints on leading slices of this sequence.
+        """
+        merged = [(tick, fault) for tick, fault in self.faults]
+        merged += [(tick, ScheduleSwitchFault(schedule_id))
+                   for tick, schedule_id in self.schedule_commands]
+        merged.sort(key=lambda entry: entry[0])
+        return tuple(merged)
 
 
 def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
@@ -345,7 +363,8 @@ _CHAOS_ARSENAL: Tuple[Callable[[SeededRng], Fault], ...] = (
 
 def chaos_campaign(*, count: int = 50, mtfs: int = 10,
                    base_seed: int = 0, shared_seed: bool = False,
-                   prefix_mtfs: int = 0) -> List[Scenario]:
+                   prefix_mtfs: int = 0,
+                   shared_faults: int = 0) -> List[Scenario]:
     """Randomized fault barrages against the FDIR-supervised prototype.
 
     Each scenario derives its own rng stream from *base_seed* and draws
@@ -363,8 +382,16 @@ def chaos_campaign(*, count: int = 50, mtfs: int = 10,
     draw stream), and *prefix_mtfs* keeps the first that many MTFs
     fault-free — together they produce campaigns whose scenarios share a
     long common prefix, the workload prefix-sharing
-    (:mod:`repro.campaign.prefix`) accelerates.  The defaults reproduce
-    the historical suite digests exactly.
+    (:mod:`repro.campaign.prefix`) accelerates.  *shared_faults* goes one
+    step further: that many leading faults are drawn *once* (from a
+    ``chaos-shared`` stream of *base_seed*) into the first half of the
+    injection span and prepended to every scenario, so scenarios share
+    not just a fault-free root but a chain of identical applied faults —
+    the deep shared-fault workload the divergence trie forks at interior
+    checkpoints.  With ``shared_faults > 0`` the per-scenario draws (and
+    any commanded switch) land strictly after the shared region, keeping
+    the common prefix genuinely common.  The defaults reproduce the
+    historical suite digests exactly.
     """
     if count < 1 or mtfs < 4:
         raise ConfigurationError(
@@ -374,7 +401,36 @@ def chaos_campaign(*, count: int = 50, mtfs: int = 10,
         raise ConfigurationError(
             f"prefix_mtfs must be in [0, mtfs - 3], got "
             f"prefix_mtfs={prefix_mtfs} with mtfs={mtfs}")
+    if shared_faults < 0:
+        raise ConfigurationError(
+            f"shared_faults must be >= 0, got {shared_faults}")
     earliest = max(MTF // 2, prefix_mtfs * MTF)
+    span_end = (mtfs - 2) * MTF
+    shared: List[Tuple[Ticks, Fault]] = []
+    divergent_from = earliest
+    if shared_faults:
+        # The shared chain covers the first seven eighths of the
+        # injection span, drawn stratified (fault i in stratum i) so the
+        # chain starts near *earliest* and its interior checkpoints are
+        # spread deep into the run — the geometry the divergence trie
+        # exploits (root-only sharing stops at the FIRST shared fault;
+        # the trie forks past the LAST one).
+        shared_end = earliest + 7 * (span_end - earliest) // 8
+        if shared_end <= earliest or shared_end + 1 > span_end:
+            raise ConfigurationError(
+                f"shared_faults needs a wider injection span: "
+                f"[{earliest}, {span_end}] cannot hold a shared region "
+                f"(raise mtfs or lower prefix_mtfs)")
+        shared_rng = SeededRng(base_seed).fork("chaos-shared")
+        span = shared_end - earliest
+        for index in range(shared_faults):
+            build = shared_rng.choice(_CHAOS_ARSENAL)
+            low = earliest + span * index // shared_faults
+            high = earliest + span * (index + 1) // shared_faults
+            tick = shared_rng.randint(low, high)
+            shared.append((tick, build(shared_rng)))
+        shared.sort(key=lambda entry: entry[0])
+        divergent_from = shared_end + 1
     scenarios: List[Scenario] = []
     for index in range(count):
         rng = SeededRng(base_seed).fork(f"chaos-{index}")
@@ -382,13 +438,14 @@ def chaos_campaign(*, count: int = 50, mtfs: int = 10,
         faults: List[Tuple[Ticks, Fault]] = []
         for _ in range(barrage):
             build = rng.choice(_CHAOS_ARSENAL)
-            tick = rng.randint(earliest, (mtfs - 2) * MTF)
+            tick = rng.randint(divergent_from, span_end)
             faults.append((tick, build(rng)))
         faults.sort(key=lambda entry: entry[0])
         commands: Tuple[Tuple[Ticks, str], ...] = ()
         if rng.chance(0.3):
-            commands = ((rng.randint(max(MTF, earliest),
-                                     (mtfs - 2) * MTF), "chi2"),)
+            commands = ((rng.randint(max(MTF, divergent_from),
+                                     span_end), "chi2"),)
+        faults = shared + faults
         scenarios.append(Scenario(
             scenario_id=f"chaos-{base_seed + index:05d}",
             factory="prototype",

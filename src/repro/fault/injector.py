@@ -13,12 +13,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..exceptions import SimulationError
 from ..kernel.simulator import Simulator
 from ..types import Ticks
-from .faults import Fault
+from .faults import Fault, fault_from_dict, fault_to_dict
 
 __all__ = ["InjectionRecord", "FaultInjector"]
 
@@ -74,6 +74,38 @@ class FaultInjector:
     def pending_count(self) -> int:
         """Faults scheduled but not yet applied."""
         return len(self._pending)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The applied-fault log as pure data (for snapshot transport).
+
+        Lets a simulator checkpoint taken *after* faults were applied
+        carry its injection history: a forked continuation seeds a fresh
+        injector with this state and schedules only the not-yet-applied
+        remainder of its timeline, so the final log is bit-identical to an
+        uninterrupted run's.  Pending (scheduled but unapplied) faults are
+        deliberately not captured — snapshots are taken at points where
+        everything scheduled has fired; capturing with live pending faults
+        would silently drop them, so it fails loudly instead.
+        """
+        if self._pending:
+            raise SimulationError(
+                f"cannot capture injector state with {len(self._pending)} "
+                f"pending fault(s) — run past them or don't schedule them "
+                f"before capture")
+        return {"log": [(record.tick, fault_to_dict(record.fault),
+                         record.status) for record in self._log]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Overlay a captured applied-fault log (inverse of state_dict).
+
+        Replaces the current log wholesale; faults are rebuilt from their
+        dict forms, so the restored records are value-equal (same kind,
+        fields, tick and status) to the captured ones.
+        """
+        self._log = [
+            InjectionRecord(tick=tick, fault=fault_from_dict(dict(fields)),
+                            status=status)
+            for tick, fields, status in state["log"]]
 
     def run(self, ticks: Ticks) -> None:
         """Advance the simulation by *ticks*, applying due faults."""

@@ -54,7 +54,9 @@ __all__ = ["SNAPSHOT_VERSION", "SimulatorSnapshot", "config_identity"]
 
 #: Bumped whenever the snapshot layout changes incompatibly.
 #: v2: trace events are tuple-encoded (see :meth:`Trace.snapshot`).
-SNAPSHOT_VERSION = 2
+#: v3: optional ``extras`` side-channel (e.g. the fault injector's
+#: applied log for snapshot-after-applied-faults prefix sharing).
+SNAPSHOT_VERSION = 3
 
 
 def config_identity(config: SystemConfig) -> Dict[str, Any]:
@@ -85,20 +87,33 @@ class SimulatorSnapshot:
     time: Dict[str, Any]
     trace: Dict[str, Any]
     pmk: Dict[str, Any]
+    #: Caller-owned side-channel riding along with the checkpoint — pure
+    #: data, ignored by :meth:`restore`.  The campaign layer uses it to
+    #: carry the fault injector's applied log for checkpoints taken
+    #: *after* faults fired (interior divergence-trie nodes), so a forked
+    #: continuation can seed its injector instead of re-applying.
+    extras: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------ #
     # capture
     # ------------------------------------------------------------ #
 
     @classmethod
-    def capture(cls, sim: Simulator) -> "SimulatorSnapshot":
-        """Checkpoint *sim* at its current tick (any tick boundary)."""
+    def capture(cls, sim: Simulator, *,
+                extras: Optional[Dict[str, Any]] = None
+                ) -> "SimulatorSnapshot":
+        """Checkpoint *sim* at its current tick (any tick boundary).
+
+        *extras* attaches caller-owned pure data (it must pickle) to the
+        checkpoint; the simulator state capture is unaffected by it.
+        """
         return cls(version=SNAPSHOT_VERSION,
                    tick=sim.time.now,
                    identity=config_identity(sim.config),
                    time=sim.time.snapshot(),
                    trace=sim.trace.snapshot(),
-                   pmk=sim.pmk.snapshot())
+                   pmk=sim.pmk.snapshot(),
+                   extras=extras)
 
     # ------------------------------------------------------------ #
     # fork / resume

@@ -350,6 +350,15 @@ class Trace:
         self._memo_json: Optional[str] = None
         self._memo_digest: Optional[str] = None
         self._memo_summary: Optional[Dict[str, object]] = None
+        # Canonical JSON of already-encoded events, kept as joined chunks
+        # (each chunk covers a contiguous batch, entries comma-separated)
+        # with a watermark of how many events they cover.  Built lazily
+        # and append-only; only maintained for unbounded traces (eviction
+        # would desynchronize it).  Carried through snapshot()/restore()
+        # so a run forked from a checkpoint re-encodes only its own tail
+        # when digesting the full trace.
+        self._encoded: List[str] = []
+        self._encoded_count = 0
 
     def _current_memo_key(self) -> tuple:
         events = self._events
@@ -439,6 +448,8 @@ class Trace:
     def clear(self) -> None:
         """Drop all retained events (the drop counter is kept)."""
         self._events.clear()
+        self._encoded = []
+        self._encoded_count = 0
         self._memo_generation += 1
 
     # -------------------------------------------------------------- #
@@ -453,11 +464,19 @@ class Trace:
         scalars serialize in a fraction of the time and bytes of an object
         graph with per-instance class references (snapshot format v2).
         """
-        return {"events": [(type(event).__name__,)
-                           + tuple(getattr(event, name)
-                                   for name in _field_names(type(event)))
-                           for event in self._events],
-                "dropped": self._dropped}
+        state: Dict[str, object] = {
+            "events": [(type(event).__name__,)
+                       + tuple(getattr(event, name)
+                               for name in _field_names(type(event)))
+                       for event in self._events],
+            "dropped": self._dropped}
+        if self._capacity is None and not self._dropped:
+            # Ship the canonical event JSON alongside the raw tuples: a
+            # trace restored from this capture digests its shared prefix
+            # without re-encoding it.  Amortized free — each event is
+            # encoded at most once over the trace's whole lifetime.
+            state["encoded"] = ",".join(self._encode_pending())
+        return state
 
     def restore(self, state: Dict[str, object]) -> None:
         """Replace the log wholesale with a :meth:`snapshot` capture.
@@ -470,6 +489,16 @@ class Trace:
              for encoded in state["events"]),
             maxlen=self._capacity)
         self._dropped = state["dropped"]
+        prior = state.get("encoded")
+        if (self._capacity is None and not self._dropped
+                and isinstance(prior, str)):
+            # The capture encoded exactly the events it shipped, so the
+            # adopted chunk's watermark is everything just restored.
+            self._encoded = [prior] if prior else []
+            self._encoded_count = len(self._events)
+        else:
+            self._encoded = []
+            self._encoded_count = 0
         self._memo_generation += 1
 
     # -------------------------------------------------------------- #
@@ -510,18 +539,58 @@ class Trace:
                 stream.write(json.dumps(record, sort_keys=True) + "\n")
         return len(events)
 
+    def _encode_pending(self) -> List[str]:
+        """Canonical JSON chunks covering every retained event.
+
+        Only the events beyond the already-encoded watermark are encoded
+        (one batched ``json.dumps`` over the whole tail — the C encoder
+        in a single call, not one dispatch per event); earlier chunks
+        (including a prefix adopted from :meth:`restore`) are reused
+        verbatim.  Joining the chunks with ``","`` is byte-identical to
+        the events array of the one-shot :meth:`to_json` document.
+        Callers must hold the unbounded-trace invariant (``capacity is
+        None``) — eviction would silently desynchronize the watermark.
+        """
+        events = self._events
+        count = self._encoded_count
+        if count < len(events):
+            names_by_type = _FIELD_NAMES
+            records = []
+            for event in islice(events, count, None):
+                event_type = type(event)
+                names = names_by_type.get(event_type)
+                if names is None:
+                    names = _field_names(event_type)
+                record = {name: getattr(event, name) for name in names}
+                record["kind"] = event_type.__name__
+                records.append(record)
+            chunk = json.dumps(records, sort_keys=True,
+                               separators=(",", ":"))[1:-1]
+            if chunk:
+                self._encoded.append(chunk)
+            self._encoded_count = len(events)
+        return self._encoded
+
     def to_json(self) -> str:
         """The full trace as one canonical JSON document.
 
         Canonical means ``sort_keys`` and no insignificant whitespace, so
         equal traces serialize to equal bytes; :meth:`from_json` inverts it.
+        Unbounded traces assemble the document from the lazily-maintained
+        per-event encodings (see :meth:`_encode_pending`) — byte-identical
+        to the one-shot ``json.dumps`` but incremental, so a trace restored
+        from a checkpoint only pays for the events recorded after the fork.
         """
         key = self._current_memo_key()
         if self._memo_json is not None and self._memo_key == key:
             return self._memo_json
-        text = json.dumps({"dropped": self._dropped,
-                           "events": self.to_dicts()},
-                          sort_keys=True, separators=(",", ":"))
+        if self._capacity is None and not self._dropped:
+            text = '{"dropped":%d,"events":[%s]}' % (
+                self._dropped, ",".join(self._encode_pending()))
+        else:
+            text = json.dumps({"dropped": self._dropped,
+                               "events": self.to_dicts()},
+                              sort_keys=True, separators=(",", ":"))
         if self._memo_key != key:
             self._memo_key = key
             self._memo_digest = None

@@ -9,14 +9,17 @@ from repro.campaign.prefix import (
     MIN_PREFIX_TICKS,
     PREFIX_QUANTUM,
     SnapshotCache,
+    build_divergence_trie,
     divergence_tick,
+    prefix_key,
+    prefix_levels,
     run_with_prefix_cache,
     scenario_fingerprint,
 )
 from repro.campaign.results import deterministic_report, report_json
-from repro.campaign.runner import run_campaign, run_serial
+from repro.campaign.runner import run_campaign, run_scenario, run_serial
 from repro.campaign.scenarios import Scenario, chaos_campaign
-from repro.fault.faults import MemoryViolationFault
+from repro.fault.faults import MemoryViolationFault, PartitionCrashFault
 
 
 def scenario(scenario_id="s", seed=0, ticks=4 * MTF, faults=(),
@@ -70,7 +73,8 @@ class TestSnapshotCache:
         assert cache.get("fp", 1024) == b"payload"
         assert cache.get("fp", 2048) is None
         assert cache.stats() == {"entries": 1, "hits": 1, "misses": 2,
-                                 "stores": 1, "evictions": 0,
+                                 "stores": 1, "refreshes": 0, "rejects": 0,
+                                 "evictions": 0,
                                  "total_bytes": 7, "stored_bytes": 7,
                                  "hit_bytes": 7, "evicted_bytes": 0}
 
@@ -85,15 +89,65 @@ class TestSnapshotCache:
         assert cache.get("c", 0) == b"c"
         assert cache.evictions == 1
 
-    def test_duplicate_put_refreshes_without_storing(self):
+    def test_duplicate_put_replaces_payload_and_touches_recency(self):
         cache = SnapshotCache(capacity=2)
         cache.put("a", 0, b"a")
         cache.put("b", 0, b"b")
-        cache.put("a", 0, b"ignored")
-        assert cache.stores == 2
+        cache.put("a", 0, b"fresh")
+        assert cache.stores == 2        # still two distinct entries...
+        assert cache.refreshes == 1     # ...one of them refreshed in place
+        assert cache.total_bytes == len(b"fresh") + len(b"b")
         cache.put("c", 0, b"c")  # b is now the LRU entry
-        assert cache.get("a", 0) == b"a"
+        assert cache.get("a", 0) == b"fresh"  # not the stale first payload
         assert cache.get("b", 0) is None
+
+    def test_duplicate_put_resets_the_memoized_snapshot(self):
+        """A refreshed entry must not serve the stale live snapshot."""
+        from repro.apps.prototype import build_prototype
+        from repro.kernel.simulator import Simulator
+        from repro.kernel.snapshot import SimulatorSnapshot
+
+        sim = Simulator(build_prototype().config)
+        sim.run_fast(512)
+        early = SimulatorSnapshot.capture(sim)
+        cache = SnapshotCache()
+        cache.put("fp", 512, early.to_bytes(), early)
+        assert cache.get_snapshot("fp", 512) is early
+        sim.run_fast(512)
+        late = SimulatorSnapshot.capture(sim)
+        cache.put("fp", 512, late.to_bytes(), late)
+        assert cache.get_snapshot("fp", 512) is late
+        # A refresh without a live snapshot re-memoizes from the payload.
+        cache.put("fp", 512, late.to_bytes())
+        memoized = cache.get_snapshot("fp", 512)
+        assert memoized is not late and memoized.tick == late.tick
+
+    def test_oversize_payload_rejected_not_thrashed(self):
+        """An entry bigger than max_bytes must never evict the world.
+
+        Historically an oversize put evicted every entry *including
+        itself*, so each later lookup missed, rebuilt and re-evicted —
+        permanent thrash.  Now it is rejected outright and counted.
+        """
+        cache = SnapshotCache(capacity=16, max_bytes=8)
+        cache.put("a", 0, b"aaaa")
+        cache.put("b", 0, b"bbbb")
+        assert cache.put("big", 0, b"x" * 9) is False
+        assert cache.rejects == 1
+        assert cache.evictions == 0          # nobody was collateral damage
+        assert cache.get("big", 0) is None
+        assert cache.get("a", 0) == b"aaaa"  # survivors intact
+        assert cache.get("b", 0) == b"bbbb"
+        assert cache.total_bytes == 8
+        # ...and an in-budget put still evicts normally (True = stored).
+        assert cache.put("c", 0, b"cccc") is True
+        assert cache.evictions == 1
+
+    def test_oversize_rejection_meters_the_compressed_size(self):
+        cache = SnapshotCache(max_bytes=64, compress_level=9)
+        # 1 KiB of zeros deflates far below the 64-byte budget.
+        assert cache.put("fp", 0, b"\x00" * 1024) is True
+        assert cache.rejects == 0
 
     def test_best_prefix_picks_the_longest_at_or_before(self):
         cache = SnapshotCache()
@@ -106,6 +160,24 @@ class TestSnapshotCache:
         assert cache.best_prefix("missing", 5000) is None
         # advisory: no hit/miss accounting
         assert cache.hits == 0 and cache.misses == 0
+
+    def test_best_prefix_ignores_recency_when_ranking(self):
+        """The longest prefix wins even if a shorter one is hotter."""
+        cache = SnapshotCache()
+        cache.put("fp", 3072, b"long")
+        cache.put("fp", 1024, b"short")
+        cache.get("fp", 1024)  # make the short prefix most-recent
+        assert cache.best_prefix("fp", 5000) == (3072, b"long")
+
+    def test_best_prefix_touches_the_winners_lru_recency(self):
+        """An entry still seeding builds must not be the next eviction."""
+        cache = SnapshotCache(capacity=2)
+        cache.put("fp", 1024, b"seed")
+        cache.put("other", 0, b"noise")
+        assert cache.best_prefix("fp", 5000) == (1024, b"seed")
+        cache.put("third", 0, b"third")  # evicts "other", not the seed
+        assert cache.get("fp", 1024) == b"seed"
+        assert cache.get("other", 0) is None
 
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError, match="capacity"):
@@ -208,6 +280,255 @@ class TestRunWithPrefixCache:
         with pytest.raises(ValueError, match="quantum"):
             run_with_prefix_cache(self.make("s", 4 * MTF),
                                   SnapshotCache(), quantum=0)
+
+    def test_extending_a_shorter_prefix_matches_a_cold_build(self):
+        """best_prefix extension: digests identical to building from cold.
+
+        Seed the cache with a short prefix (early divergence), then run a
+        scenario whose divergence is later: its prefix is built by
+        extending the short entry, and both the extended run and a
+        subsequent fork of the new entry must match the cold run
+        byte-for-byte.
+        """
+        cache = SnapshotCache()
+        early = self.make("early", 2 * MTF + 10)
+        run_with_prefix_cache(early, cache)
+        short_tick = (2 * MTF + 10) // PREFIX_QUANTUM * PREFIX_QUANTUM
+        assert cache.stats()["stores"] == 1
+        late = self.make("late", 5 * MTF + 10)
+        extended = run_with_prefix_cache(late, cache)
+        long_tick = (5 * MTF + 10) // PREFIX_QUANTUM * PREFIX_QUANTUM
+        assert cache.stats()["stores"] == 2  # the extension was cached...
+        forked = run_with_prefix_cache(late, cache)  # ...and is forkable
+        cold = run_scenario(late)
+        assert extended.to_dict() == cold.to_dict()
+        assert forked.to_dict() == cold.to_dict()
+        assert forked.forked_at_tick == long_tick
+        # both prefixes remain individually addressable
+        assert cache.best_prefix(scenario_fingerprint(late),
+                                 short_tick)[0] == short_tick
+
+
+class TestPrefixKey:
+    def shared(self, scenario_id, extra_faults=(), **kwargs):
+        lead = ((2 * MTF, MemoryViolationFault("P2")),)
+        return scenario(scenario_id, ticks=8 * MTF,
+                        faults=lead + tuple(extra_faults), **kwargs)
+
+    def test_depth_zero_is_the_fingerprint(self):
+        spec = self.shared("s")
+        assert prefix_key(spec, 0) == scenario_fingerprint(spec)
+
+    def test_shared_leading_events_share_deeper_keys(self):
+        a = self.shared("a", [(5 * MTF, MemoryViolationFault("P4"))])
+        b = self.shared("b", [(6 * MTF, PartitionCrashFault("P2"))])
+        assert prefix_key(a, 1) == prefix_key(b, 1)
+        assert prefix_key(a, 2) != prefix_key(b, 2)
+
+    def test_fault_payload_and_tick_enter_the_key(self):
+        base = scenario("x", faults=((2 * MTF, MemoryViolationFault("P2")),))
+        other_tick = scenario(
+            "y", faults=((2 * MTF + 1, MemoryViolationFault("P2")),))
+        other_fault = scenario(
+            "z", faults=((2 * MTF, MemoryViolationFault("P4")),))
+        assert prefix_key(base, 1) != prefix_key(other_tick, 1)
+        assert prefix_key(base, 1) != prefix_key(other_fault, 1)
+
+    def test_commands_enter_the_timeline_and_the_key(self):
+        with_command = scenario("c", commands=((2 * MTF, "chi2"),))
+        with_fault = scenario(
+            "f", faults=((2 * MTF, MemoryViolationFault("P2")),))
+        assert prefix_key(with_command, 1) != prefix_key(with_fault, 1)
+
+    def test_depth_beyond_the_timeline_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            prefix_key(self.shared("s"), 5)
+
+
+class TestPrefixLevels:
+    def test_fault_free_scenario_has_only_the_root_level(self):
+        levels = prefix_levels(scenario("s", ticks=4 * MTF))
+        assert [(depth, tick) for depth, _, tick in levels] == \
+            [(0, 4 * MTF // PREFIX_QUANTUM * PREFIX_QUANTUM)]
+
+    def test_each_event_adds_a_level_at_its_quantized_boundary(self):
+        spec = scenario("s", ticks=8 * MTF, faults=(
+            (3 * MTF, MemoryViolationFault("P2")),
+            (5 * MTF + 100, PartitionCrashFault("P2")),
+        ))
+        levels = prefix_levels(spec)
+        quantize = lambda t: t // PREFIX_QUANTUM * PREFIX_QUANTUM
+        assert [(depth, tick) for depth, _, tick in levels] == [
+            (0, quantize(3 * MTF)),
+            (1, quantize(5 * MTF + 100)),
+            (2, quantize(8 * MTF)),
+        ]
+
+    def test_too_early_root_is_skipped_but_deeper_levels_survive(self):
+        spec = scenario("s", ticks=4 * MTF,
+                        faults=((100, MemoryViolationFault("P2")),))
+        levels = prefix_levels(spec)
+        assert [depth for depth, _, _ in levels] == [1]
+        # The surviving checkpoint sits after the fault it applied.
+        assert levels[0][2] >= 100
+
+    def test_level_quantizing_below_its_last_event_is_skipped(self):
+        # Second fault lands in the same quantum as the first: a depth-1
+        # checkpoint would quantize to before the applied fault — invalid.
+        spec = scenario("s", ticks=4 * MTF, faults=(
+            (2 * MTF + 100, MemoryViolationFault("P2")),
+            (2 * MTF + 200, PartitionCrashFault("P2")),
+        ))
+        depths = [depth for depth, _, _ in prefix_levels(spec)]
+        assert 1 not in depths
+        assert 0 in depths and 2 in depths
+
+    def test_max_depth_truncates(self):
+        spec = scenario("s", ticks=8 * MTF,
+                        faults=((3 * MTF, MemoryViolationFault("P2")),))
+        assert [d for d, _, _ in prefix_levels(spec, max_depth=0)] == [0]
+
+
+class TestDivergenceTrie:
+    def pair(self):
+        lead = ((2 * MTF, MemoryViolationFault("P2")),
+                (3 * MTF + 100, PartitionCrashFault("P2")))
+        a = scenario("a", ticks=8 * MTF, faults=lead
+                     + ((5 * MTF, MemoryViolationFault("P4")),))
+        b = scenario("b", ticks=8 * MTF, faults=lead
+                     + ((6 * MTF + 50, PartitionCrashFault("P4",
+                                                           cold=True)),))
+        return a, b
+
+    def test_shared_levels_pinned_to_the_minimum_boundary(self):
+        a, b = self.pair()
+        plans = build_divergence_trie([a, b])
+        assert plans["a"].capture_levels == plans["b"].capture_levels
+        depths = [depth for depth, _, _ in plans["a"].capture_levels]
+        assert depths == [0, 1, 2]
+        # Depth 2 (both shared faults applied) diverges at 5*MTF for a,
+        # 6*MTF+50 for b: pinned to the minimum quantized boundary so
+        # both sharers address the same cache entry.
+        quantize = lambda t: t // PREFIX_QUANTUM * PREFIX_QUANTUM
+        assert plans["a"].capture_levels[2][2] == quantize(5 * MTF)
+        ticks = [tick for _, _, tick in plans["a"].capture_levels]
+        assert ticks == sorted(ticks)
+        assert plans["a"].group_key == plans["b"].group_key \
+            == plans["a"].capture_levels[2][1]
+
+    def test_fork_levels_walk_deepest_first(self):
+        a, b = self.pair()
+        plan = build_divergence_trie([a, b])["a"]
+        assert plan.fork_levels == tuple(reversed(plan.capture_levels))
+
+    def test_unshared_scenarios_get_empty_plans(self):
+        a, _ = self.pair()
+        loner = scenario("loner", seed=99, ticks=4 * MTF)
+        plans = build_divergence_trie([a, loner])
+        assert plans["loner"].capture_levels == ()
+        assert plans["loner"].group_key == "loner"
+        assert plans["a"].capture_levels == ()  # nobody shares with a now
+        assert plans["a"].group_key == "a"
+
+    def test_root_only_sharing_without_common_faults(self):
+        x = scenario("x", ticks=6 * MTF,
+                     faults=((4 * MTF, MemoryViolationFault("P2")),))
+        y = scenario("y", ticks=6 * MTF,
+                     faults=((4 * MTF + 700, PartitionCrashFault("P2")),))
+        plans = build_divergence_trie([x, y])
+        assert [d for d, _, _ in plans["x"].capture_levels] == [0]
+        # Pinned to the *minimum* quantized divergence across sharers.
+        assert plans["x"].capture_levels[0][2] == \
+            4 * MTF // PREFIX_QUANTUM * PREFIX_QUANTUM
+        assert plans["y"].capture_levels == plans["x"].capture_levels
+        assert plans["x"].group_key == scenario_fingerprint(x)
+
+    def test_max_depth_zero_is_root_only(self):
+        a, b = self.pair()
+        plans = build_divergence_trie([a, b], max_depth=0)
+        assert all(
+            [d for d, _, _ in plan.capture_levels] == [0]
+            for plan in plans.values())
+
+
+class TestPlanExecution:
+    """run_with_prefix_cache with a divergence-trie plan: multi-level
+    forking is bit-identical to cold runs, and siblings hit the deepest
+    shared checkpoint."""
+
+    def pair(self):
+        lead = ((2 * MTF, MemoryViolationFault("P2")),
+                (3 * MTF + 100, PartitionCrashFault("P2")))
+        a = scenario("a", ticks=8 * MTF, faults=lead
+                     + ((5 * MTF, MemoryViolationFault("P4")),))
+        b = scenario("b", ticks=8 * MTF, faults=lead
+                     + ((6 * MTF + 50, PartitionCrashFault("P4",
+                                                           cold=True)),))
+        return a, b
+
+    def test_multi_level_fork_matches_cold_runs(self):
+        a, b = self.pair()
+        plans = build_divergence_trie([a, b])
+        cache = SnapshotCache()
+        first = run_with_prefix_cache(a, cache, plan=plans["a"])
+        second = run_with_prefix_cache(b, cache, plan=plans["b"])
+        deepest_tick = plans["a"].capture_levels[-1][2]
+        # The builder stored every shared level, ran from the deepest...
+        assert cache.stats()["stores"] == len(plans["a"].capture_levels)
+        assert first.forked_at_tick == deepest_tick
+        # ...and the sibling exact-hit the deepest checkpoint directly.
+        assert cache.stats()["hits"] == 1
+        assert second.forked_at_tick == deepest_tick
+        assert first.to_dict() == run_scenario(a).to_dict()
+        assert second.to_dict() == run_scenario(b).to_dict()
+        # Interior forks really did skip past applied faults.
+        assert deepest_tick > 3 * MTF + 100
+        assert first.faults_applied == 3
+
+    def test_shallower_hit_extends_to_the_deeper_levels(self):
+        a, b = self.pair()
+        plans = build_divergence_trie([a, b])
+        cache = SnapshotCache()
+        # Seed only the root level, as a root-only planner would have.
+        root = plans["a"].capture_levels[0]
+        run_with_prefix_cache(
+            a, cache,
+            plan=type(plans["a"])(scenario_id="a", group_key="a",
+                                  capture_levels=(root,)))
+        stores_after_root = cache.stats()["stores"]
+        assert stores_after_root == 1
+        # The full plan finds the root, extends it to the deeper levels.
+        result = run_with_prefix_cache(b, cache, plan=plans["b"])
+        assert cache.stats()["stores"] == len(plans["b"].capture_levels)
+        assert result.forked_at_tick == plans["b"].capture_levels[-1][2]
+        assert result.to_dict() == run_scenario(b).to_dict()
+
+    def test_empty_plan_runs_cold_without_caching(self):
+        a, _ = self.pair()
+        from repro.campaign.prefix import PrefixPlan
+
+        cache = SnapshotCache()
+        result = run_with_prefix_cache(
+            a, cache, plan=PrefixPlan(scenario_id="a", group_key="a",
+                                      capture_levels=()))
+        assert result.ok and result.forked_at_tick == -1
+        assert len(cache) == 0
+
+    def test_plan_build_failure_degrades_to_cold(self, monkeypatch):
+        from repro.kernel.snapshot import SimulatorSnapshot
+
+        def broken_capture(cls, sim, extras=None):
+            raise RuntimeError("capture exploded")
+
+        monkeypatch.setattr(SimulatorSnapshot, "capture",
+                            classmethod(broken_capture))
+        a, b = self.pair()
+        plans = build_divergence_trie([a, b])
+        cache = SnapshotCache()
+        result = run_with_prefix_cache(a, cache, plan=plans["a"])
+        assert result.ok
+        assert result.forked_at_tick == -1
+        assert result.to_dict() == run_scenario(a).to_dict()
 
 
 class TestCampaignBitIdentity:

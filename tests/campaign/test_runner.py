@@ -179,9 +179,86 @@ class TestBackendDigestEquality:
 
         return json.dumps(deterministic_report(results), sort_keys=True)
 
-    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_fast_backend_chaos_digests_match_reference(
             self, chaos_50, reference_report, workers):
         fast = run_campaign(chaos_50, workers=workers, backend="fast")
         assert self.deterministic(fast) == reference_report
         assert all(result.ok for result in fast)
+
+
+def deterministic(results):
+    import json
+
+    from repro.campaign.results import deterministic_report
+
+    return json.dumps(deterministic_report(results), sort_keys=True)
+
+
+class TestPrefixTreeDigestEquality:
+    """The divergence-trie acceptance gate: over a deep shared-fault
+    chaos campaign, the deterministic report is byte-identical across
+    {tree on, tree off} x {serial, pooled at 1/2/4 workers} x dispatch
+    variants — the trie, locality grouping and shared-memory transport
+    are pure optimizations."""
+
+    @pytest.fixture(scope="class")
+    def shared_chaos(self):
+        from repro.campaign.scenarios import chaos_campaign
+
+        return chaos_campaign(count=12, mtfs=8, base_seed=7,
+                              shared_seed=True, prefix_mtfs=2,
+                              shared_faults=2)
+
+    @pytest.fixture(scope="class")
+    def tree_off_report(self, shared_chaos):
+        # prefix_depth=0 is the exact PR 5 root-only path.
+        return deterministic(run_serial(shared_chaos, prefix_depth=0))
+
+    def test_serial_tree_on_matches_tree_off(self, shared_chaos,
+                                             tree_off_report):
+        telemetry = {}
+        results = run_serial(shared_chaos, telemetry=telemetry)
+        assert deterministic(results) == tree_off_report
+        assert telemetry["prefix_tree"]["enabled"]
+        assert telemetry["prefix_tree"]["planned_scenarios"] == \
+            len(shared_chaos)
+        # Interior forking really happened: past the fault-free prefix.
+        assert max(r.forked_at_tick for r in results) > 2 * MTF
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    @pytest.mark.parametrize("prefix_depth", [None, 0])
+    def test_pooled_digests_match_at_any_worker_count(
+            self, shared_chaos, tree_off_report, workers, prefix_depth):
+        pooled = run_campaign(shared_chaos, workers=workers,
+                              backend="fast", prefix_depth=prefix_depth)
+        assert deterministic(pooled) == tree_off_report
+
+    def test_locality_off_matches_too(self, shared_chaos, tree_off_report):
+        pooled = run_pool(shared_chaos, workers=2, locality=False)
+        assert deterministic(pooled) == tree_off_report
+
+    def test_shm_off_matches_too(self, shared_chaos, tree_off_report):
+        pooled = run_pool(shared_chaos, workers=2, shm=False)
+        assert deterministic(pooled) == tree_off_report
+
+    def test_chunksize_never_changes_the_report(self, shared_chaos,
+                                                tree_off_report):
+        pooled = run_pool(shared_chaos, workers=2, chunksize=1)
+        assert deterministic(pooled) == tree_off_report
+
+    def test_pool_telemetry_reports_tree_workers_and_shm(self,
+                                                         shared_chaos):
+        telemetry = {}
+        run_pool(shared_chaos, workers=2, telemetry=telemetry)
+        tree = telemetry["prefix_tree"]
+        assert tree["enabled"]
+        assert tree["groups"] >= 1
+        assert tree["capture_levels"] >= 1
+        for stats in telemetry["workers"].values():
+            assert stats["prefix_cache"]["stores"] >= 0
+        assert "enabled" in telemetry["shm"]
+        if telemetry["shm"]["enabled"]:
+            # Every published segment was reclaimed by the parent.
+            assert telemetry["shm"]["unlinked_segments"] == \
+                telemetry["shm"]["publishes"]

@@ -190,3 +190,69 @@ class TestChaosCampaign:
             chaos_campaign(count=0)
         with pytest.raises(ConfigurationError):
             chaos_campaign(count=1, mtfs=3)
+
+
+class TestSharedFaultChaos:
+    def test_shared_faults_lead_every_scenario_identically(self):
+        scenarios = chaos_campaign(count=8, mtfs=8, base_seed=3,
+                                   shared_seed=True, prefix_mtfs=2,
+                                   shared_faults=3)
+        lead = scenarios[0].faults[:3]
+        assert len(lead) == 3
+        for scenario in scenarios:
+            assert scenario.faults[:3] == lead
+            # Divergent material lands strictly after the shared region.
+            shared_end = max(tick for tick, _ in lead)
+            assert all(tick > shared_end
+                       for tick, _ in scenario.faults[3:])
+            assert all(tick > shared_end
+                       for tick, _ in scenario.schedule_commands)
+
+    def test_shared_region_respects_the_fault_free_prefix(self):
+        MTF = 1300
+        scenarios = chaos_campaign(count=4, mtfs=8, base_seed=3,
+                                   shared_seed=True, prefix_mtfs=3,
+                                   shared_faults=2)
+        for scenario in scenarios:
+            assert all(tick >= 3 * MTF for tick, _ in scenario.faults)
+
+    def test_defaults_preserve_historical_campaigns(self):
+        # shared_faults=0 must be byte-identical to the pre-flag builder.
+        assert chaos_campaign(count=6, mtfs=6, base_seed=5) == \
+            chaos_campaign(count=6, mtfs=6, base_seed=5, shared_faults=0)
+
+    def test_shared_faults_validation(self):
+        with pytest.raises(ConfigurationError, match="shared_faults"):
+            chaos_campaign(count=2, shared_faults=-1)
+
+
+class TestTimeline:
+    def test_merges_faults_and_commands_by_tick(self):
+        from repro.fault.faults import ScheduleSwitchFault
+
+        scenario = Scenario(
+            scenario_id="t", ticks=10_000,
+            faults=((400, MemoryViolationFault("P2")),
+                    (900, MemoryViolationFault("P4"))),
+            schedule_commands=((700, "chi2"),))
+        timeline = scenario.timeline()
+        assert [tick for tick, _ in timeline] == [400, 700, 900]
+        assert isinstance(timeline[1][1], ScheduleSwitchFault)
+        assert timeline[1][1].schedule_id == "chi2"
+
+    def test_equal_ticks_keep_faults_before_commands(self):
+        # The injector assigns faults lower sequence numbers than
+        # commands; the stable sort must reproduce that order so cold
+        # runs stay bit-identical to the historical scheduling.
+        from repro.fault.faults import ScheduleSwitchFault
+
+        scenario = Scenario(
+            scenario_id="t", ticks=10_000,
+            faults=((500, MemoryViolationFault("P2")),),
+            schedule_commands=((500, "chi2"),))
+        timeline = scenario.timeline()
+        assert isinstance(timeline[0][1], MemoryViolationFault)
+        assert isinstance(timeline[1][1], ScheduleSwitchFault)
+
+    def test_empty_scenario_has_an_empty_timeline(self):
+        assert Scenario(scenario_id="t", ticks=100).timeline() == ()

@@ -1,0 +1,148 @@
+"""Tests for the shared-memory snapshot transport (repro.campaign.shm)."""
+
+import struct
+
+import pytest
+
+from repro.apps.prototype import MTF, make_simulator
+from repro.campaign.shm import SnapshotTransport, shm_available
+from repro.kernel.snapshot import SimulatorSnapshot
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(),
+    reason="shared-memory transport needs the fork start method")
+
+
+def checkpoint(run_to=MTF + 37):
+    sim = make_simulator()
+    sim.run_fast(run_to)
+    return SimulatorSnapshot.capture(sim), sim.config
+
+
+def continuation_digest(snapshot, config):
+    sim = snapshot.restore(config)
+    sim.run_fast(2 * MTF - sim.now)
+    return sim.trace.digest()
+
+
+class TestPublishFetch:
+    def test_round_trip_preserves_the_continuation(self):
+        snapshot, config = checkpoint()
+        transport = SnapshotTransport(probe=False)
+        try:
+            assert transport.publish("deadbeef", snapshot.tick, snapshot)
+            fetched = transport.fetch("deadbeef", snapshot.tick)
+            assert fetched is not None
+            assert fetched.tick == snapshot.tick
+            assert continuation_digest(fetched, config) == \
+                continuation_digest(snapshot, config)
+            assert transport.stats()["publishes"] == 1
+            assert transport.stats()["attaches"] == 1
+        finally:
+            transport.unlink_all([("deadbeef", snapshot.tick)])
+
+    def test_repeat_fetches_hit_the_memo(self):
+        snapshot, _ = checkpoint()
+        transport = SnapshotTransport(probe=False)
+        try:
+            transport.publish("k", snapshot.tick, snapshot)
+            first = transport.fetch("k", snapshot.tick)
+            second = transport.fetch("k", snapshot.tick)
+            assert second is first  # memoized live object
+            assert transport.stats()["memo_hits"] == 1
+            assert transport.stats()["attaches"] == 1
+        finally:
+            transport.unlink_all([("k", snapshot.tick)])
+
+    def test_extras_travel_with_the_snapshot(self):
+        sim = make_simulator()
+        sim.run_fast(MTF)
+        extras = {"injector": {"log": [[5, {"kind": "x"}, "ok"]]}}
+        snapshot = SimulatorSnapshot.capture(sim, extras=extras)
+        transport = SnapshotTransport(probe=False)
+        try:
+            transport.publish("k", snapshot.tick, snapshot)
+            assert transport.fetch("k", snapshot.tick).extras == extras
+        finally:
+            transport.unlink_all([("k", snapshot.tick)])
+
+
+class TestDegradation:
+    def test_missing_segment_is_a_counted_miss(self):
+        transport = SnapshotTransport(probe=False)
+        assert transport.fetch("nothere", 1024) is None
+        assert transport.stats()["fetch_misses"] == 1
+
+    def test_torn_segment_degrades_to_none(self):
+        # A publisher that died mid-write leaves ready=0: readers must
+        # treat the segment as absent, not unpickle garbage.
+        from multiprocessing import shared_memory
+
+        transport = SnapshotTransport(probe=False)
+        name = transport._segment_name("torn", 512)
+        segment = shared_memory.SharedMemory(name=name, create=True,
+                                             size=64)
+        try:
+            struct.pack_into("<IIQI", segment.buf, 0,
+                             0x52505346, 0, 4, 0)  # magic ok, not ready
+            assert transport.fetch("torn", 512) is None
+            assert transport.stats()["attach_failures"] == 1
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_foreign_segment_degrades_to_none(self):
+        from multiprocessing import shared_memory
+
+        transport = SnapshotTransport(probe=False)
+        name = transport._segment_name("alien", 256)
+        segment = shared_memory.SharedMemory(name=name, create=True,
+                                             size=64)
+        try:
+            segment.buf[:4] = b"XXXX"  # wrong magic entirely
+            assert transport.fetch("alien", 256) is None
+            assert transport.stats()["attach_failures"] == 1
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_create_race_first_writer_wins(self):
+        snapshot, _ = checkpoint()
+        publisher = SnapshotTransport(probe=False)
+        racer = SnapshotTransport(publisher.run_id, probe=False)
+        try:
+            assert publisher.publish("k", snapshot.tick, snapshot)
+            assert racer.publish("k", snapshot.tick, snapshot) is False
+            assert racer.stats()["publish_races"] == 1
+            assert racer.fetch("k", snapshot.tick) is not None
+        finally:
+            publisher.unlink_all([("k", snapshot.tick)])
+
+
+class TestLifecycle:
+    def test_unlink_all_reclaims_only_what_exists(self):
+        snapshot, _ = checkpoint()
+        transport = SnapshotTransport(probe=False)
+        transport.publish("a", snapshot.tick, snapshot)
+        transport.publish("b", snapshot.tick, snapshot)
+        removed = transport.unlink_all([
+            ("a", snapshot.tick), ("b", snapshot.tick),
+            ("never-published", 2048)])
+        assert removed == 2
+        assert transport.fetch("a", snapshot.tick) is None  # gone
+
+    def test_run_ids_namespace_the_segments(self):
+        snapshot, _ = checkpoint()
+        first = SnapshotTransport("aaaaaa", probe=False)
+        second = SnapshotTransport("bbbbbb", probe=False)
+        try:
+            first.publish("k", snapshot.tick, snapshot)
+            assert second.fetch("k", snapshot.tick) is None
+            assert second.stats()["fetch_misses"] == 1
+        finally:
+            first.unlink_all([("k", snapshot.tick)])
+
+    def test_probe_constructor_is_harmless(self):
+        transport = SnapshotTransport()  # parent-side tracker probe path
+        assert len(transport.run_id) == 6
+        assert transport.stats()["publishes"] == 0

@@ -115,6 +115,48 @@ class TestInjector:
         assert injector.pending_count == 1
 
 
+class TestInjectorStateDict:
+    def test_applied_log_round_trips(self, sim):
+        injector = FaultInjector(sim)
+        injector.schedule(1 * MTF, StartProcessFault("P1", FAULTY_PROCESS))
+        injector.schedule(2 * MTF + 100, MemoryViolationFault("P4"))
+        injector.run_fast(3 * MTF)
+        state = injector.state_dict()
+        clone = FaultInjector(make_simulator())
+        clone.load_state_dict(state)
+        assert [(r.tick, type(r.fault), r.status) for r in clone.log] == \
+            [(r.tick, type(r.fault), r.status) for r in injector.log]
+        assert clone.log[0].fault == injector.log[0].fault
+
+    def test_state_dict_is_pure_data(self, sim):
+        import json
+
+        injector = FaultInjector(sim)
+        injector.schedule(MTF, PartitionCrashFault("P2", cold=True))
+        injector.run_fast(2 * MTF)
+        # Must serialize without live objects — the snapshot extras
+        # channel ships it across process boundaries.
+        encoded = json.dumps(injector.state_dict())
+        clone = FaultInjector(make_simulator())
+        clone.load_state_dict(json.loads(encoded))
+        assert clone.log[0].fault == PartitionCrashFault("P2", cold=True)
+
+    def test_pending_faults_refuse_to_snapshot(self, sim):
+        injector = FaultInjector(sim)
+        injector.schedule(10_000, PartitionCrashFault("P2"))
+        with pytest.raises(SimulationError, match="pending"):
+            injector.state_dict()
+
+    def test_loaded_log_continues_numbering_not_reapplying(self, sim):
+        injector = FaultInjector(sim)
+        injector.schedule(MTF, MemoryViolationFault("P2"))
+        injector.run_fast(2 * MTF)
+        resumed = FaultInjector(make_simulator())
+        resumed.load_state_dict(injector.state_dict())
+        assert resumed.pending_count == 0
+        assert len(resumed.log) == 1  # seeded, not re-applied
+
+
 class TestFaults:
     def test_start_process_fault_triggers_deadline_misses(self, sim):
         injector = FaultInjector(sim)

@@ -199,6 +199,41 @@ class TestForkEquivalenceMatrix:
         assert_fork_equivalent(faults, 6 * MTF, 2 * MTF + 400,
                                backend=backend)
 
+    def test_fork_after_applied_faults_with_injector_extras(self, backend):
+        # Interior divergence-trie node: the checkpoint is taken AFTER
+        # two faults fired, with the injector's applied log riding in the
+        # extras side-channel.  The continuation seeds its injector from
+        # that log (never re-applying) and schedules only the remainder.
+        fork_tick = 3 * MTF
+        cold_sim, cold_config, cold_obs = cold_run(CHAOS_FAULTS,
+                                                   CHAOS_TOTAL)
+        prefix_sim, _ = build_sim(backend=backend)
+        prefix_injector = FaultInjector(prefix_sim)
+        for tick, make in CHAOS_FAULTS:
+            if tick < fork_tick:
+                prefix_injector.schedule(tick, make())
+        prefix_injector.run_fast(fork_tick)
+        snapshot = SimulatorSnapshot.from_bytes(
+            SimulatorSnapshot.capture(
+                prefix_sim,
+                extras={"injector": prefix_injector.state_dict()},
+            ).to_bytes())
+        _, config = build_sim()
+        sim = snapshot.restore(config, backend=backend)
+        observer = instrument(sim, replay=True)
+        resumed = FaultInjector(sim)
+        resumed.load_state_dict(snapshot.extras["injector"])
+        assert len(resumed.log) == 2  # seeded, not re-applied
+        for tick, make in CHAOS_FAULTS:
+            if tick >= fork_tick:
+                resumed.schedule(tick, make())
+        resumed.run_fast(CHAOS_TOTAL - fork_tick)
+        assert len(resumed.log) == len(CHAOS_FAULTS)
+        assert sim.trace.digest() == cold_sim.trace.digest()
+        assert observer.collect().digest() == cold_obs.collect().digest()
+        assert check_trace(sim.trace, config) == \
+            check_trace(cold_sim.trace, cold_config)
+
     def test_one_snapshot_forks_many_equivalent_continuations(self, backend):
         # The SAME live snapshot object is restored three times — the
         # prefix cache leans on restore copying every mutable container
@@ -286,6 +321,32 @@ class TestSerializationTiers:
         assert self.continuation_digest(rebuilt, config) == \
             self.continuation_digest(
                 SimulatorSnapshot.from_bytes(snapshot.to_bytes()), config)
+
+    def test_extras_ride_every_serialization_tier(self):
+        sim, _ = build_sim()
+        sim.run_fast(MTF)
+        extras = {"injector": {"log": [[7, {"kind": "x"}, "ok"]]}}
+        snapshot = SimulatorSnapshot.capture(sim, extras=extras)
+        assert SimulatorSnapshot.from_bytes(
+            snapshot.to_bytes()).extras == extras
+        assert SimulatorSnapshot.from_bytes(
+            snapshot.to_bytes(compress=6)).extras == extras
+        main, buffers = snapshot.to_buffers()
+        assert SimulatorSnapshot.from_buffers(main, buffers).extras \
+            == extras
+        # Default capture carries no extras; restore ignores them either
+        # way (they are caller-owned pure data, not simulator state).
+        assert SimulatorSnapshot.capture(sim).extras is None
+
+    def test_extras_do_not_change_the_restored_continuation(self):
+        snapshot, config = self.capture()
+        tagged = SimulatorSnapshot(
+            version=snapshot.version, tick=snapshot.tick,
+            identity=snapshot.identity, time=snapshot.time,
+            trace=snapshot.trace, pmk=snapshot.pmk,
+            extras={"arbitrary": "payload"})
+        assert self.continuation_digest(tagged, config) == \
+            self.continuation_digest(snapshot, config)
 
     def test_cache_compression_tier_is_transparent(self):
         from repro.campaign.prefix import SnapshotCache

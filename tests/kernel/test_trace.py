@@ -116,13 +116,13 @@ class TestDigestMemoization:
         for tick in range(50):
             trace.record(dispatched(tick))
         calls = {"count": 0}
-        original = Trace.to_dicts
+        original = Trace._encode_pending
 
-        def counting_to_dicts(self):
+        def counting_encode(self):
             calls["count"] += 1
             return original(self)
 
-        monkeypatch.setattr(Trace, "to_dicts", counting_to_dicts)
+        monkeypatch.setattr(Trace, "_encode_pending", counting_encode)
         first = trace.digest()
         assert calls["count"] == 1
         assert trace.digest() == first
@@ -314,3 +314,96 @@ class TestSummaryAndJson:
         rebuilt = Trace.from_json(trace.to_json())
         assert rebuilt.summary() == trace.summary()
         assert rebuilt.events == trace.events
+
+
+class TestIncrementalEncoding:
+    """Unbounded traces assemble to_json from lazily-encoded chunks; the
+    result must stay byte-identical to the one-shot ``json.dumps`` and
+    survive snapshot/restore so forks only encode their own tail."""
+
+    def one_shot(self, trace):
+        import json
+        return json.dumps({"dropped": trace.dropped,
+                           "events": trace.to_dicts()},
+                          sort_keys=True, separators=(",", ":"))
+
+    def test_incremental_json_is_byte_identical(self):
+        trace = Trace()
+        for tick in range(20):
+            trace.record(dispatched(tick))
+        trace.record(ApplicationMessage(tick=21, partition="P3",
+                                        process=None, text="tm frame"))
+        assert trace.to_json() == self.one_shot(trace)
+
+    def test_encoding_grows_in_chunks_across_appends(self):
+        trace = Trace()
+        trace.record(dispatched(1))
+        first = trace.to_json()
+        trace.record(missed(2))
+        second = trace.to_json()
+        assert second == self.one_shot(trace)
+        assert first != second
+
+    def test_snapshot_ships_the_encoded_prefix(self):
+        trace = Trace()
+        for tick in range(5):
+            trace.record(dispatched(tick))
+        state = trace.snapshot()
+        assert state["encoded"]  # canonical JSON rides the capture
+
+    def test_restored_trace_reuses_prefix_and_encodes_only_the_tail(
+            self, monkeypatch):
+        trace = Trace()
+        for tick in range(8):
+            trace.record(dispatched(tick))
+        state = trace.snapshot()
+
+        forked = Trace()
+        forked.restore(state)
+        forked.record(missed(9))
+
+        encoded_batches = []
+        original = Trace._encode_pending
+
+        def spying_encode(self):
+            watermark = self._encoded_count
+            result = original(self)
+            encoded_batches.append(self._encoded_count - watermark)
+            return result
+
+        monkeypatch.setattr(Trace, "_encode_pending", spying_encode)
+        digest = forked.digest()
+        assert encoded_batches == [1]  # only the post-fork tail
+
+        cold = Trace()
+        for tick in range(8):
+            cold.record(dispatched(tick))
+        cold.record(missed(9))
+        assert digest == cold.digest()
+
+    def test_bounded_trace_falls_back_to_one_shot_encoding(self):
+        trace = Trace(capacity=3)
+        for tick in range(5):
+            trace.record(dispatched(tick))
+        assert trace.dropped == 2
+        document = trace.to_json()
+        assert document == self.one_shot(trace)
+        # ...and its snapshot does not claim an encoded prefix.
+        assert "encoded" not in trace.snapshot()
+
+    def test_restore_into_bounded_trace_ignores_encoded_prefix(self):
+        source = Trace()
+        for tick in range(4):
+            source.record(dispatched(tick))
+        state = source.snapshot()
+        bounded = Trace(capacity=10)
+        bounded.restore(state)
+        assert bounded.to_json() == source.to_json()
+
+    def test_clear_resets_the_encoded_prefix(self):
+        trace = Trace()
+        trace.record(dispatched(1))
+        trace.to_json()
+        trace.clear()
+        trace.record(dispatched(2))
+        assert trace.to_json() == self.one_shot(trace)
