@@ -1,6 +1,6 @@
-"""E15/E20 — the parallel campaign engine: fault matrix and prefix tree.
+"""E15/E20/E21 — campaign engine: fault matrix, prefix tree, telemetry bus.
 
-Two suites over the campaign engine (``repro.campaign``):
+Three suites over the campaign engine (``repro.campaign``):
 
 * **fault-matrix** (E15) — a >= 64-scenario fault-matrix campaign run
   serially, then pooled, reporting scenarios/sec for each and *always*
@@ -16,6 +16,13 @@ Two suites over the campaign engine (``repro.campaign``):
   {reference, fast}.  Speedup floor: >= 2x ticks/sec over the root-only
   baseline, serial.  Per-worker prefix-cache hit rates and shared-memory
   attach counts ride in the artifact's nondeterministic ``meta`` sidecar.
+
+* **telemetry** (E21) — the E15 fault-matrix workload pooled with the
+  campaign telemetry bus fully enabled (live streaming to a discarding
+  sink + JSONL event log) vs disabled, asserting byte-identical
+  deterministic reports and reporting the enabled-overhead ratio.
+  Acceptance ceiling: <= 10% wall-clock overhead enabled; disabled is
+  the same code path with a None publisher, i.e. free by construction.
 
 The speedup claims only hold where the hardware exists; pytest entry
 points guard on the scheduling affinity, and the standalone mode asserts
@@ -63,6 +70,10 @@ CAMPAIGN_MTFS = 10
 #: Acceptance floor: divergence-trie ticks/sec vs root-only sharing on
 #: the deep shared-fault workload, serial.
 PREFIX_SPEEDUP_FLOOR = 2.0
+
+#: Acceptance ceiling: enabled-telemetry wall time over disabled on the
+#: E15 workload (ISSUE 8: <= 10% enabled, ~zero disabled).
+TELEMETRY_OVERHEAD_CEILING = 1.10
 
 #: Default deep shared-fault campaign: >= 16 scenarios, one seed, three
 #: identical leading faults spread across the first seven eighths of a
@@ -245,6 +256,70 @@ def run_prefix_benchmark(*, scenarios: int = PREFIX_SCENARIOS,
 
 
 # ------------------------------------------------------------------ #
+# the telemetry-bus suite (E21)
+# ------------------------------------------------------------------ #
+
+
+def run_telemetry_benchmark(*, scenarios: int = CAMPAIGN_SCENARIOS,
+                            mtfs: int = CAMPAIGN_MTFS, workers: int = 4,
+                            backend: str = "reference") -> Dict:
+    """Time the E15 workload with the telemetry bus enabled vs disabled.
+
+    Enabled means the full production path: worker-side publishers over
+    the multiprocessing queue, live rendering into a discarding printer,
+    and the JSONL event log — everything ``--live --telemetry-out``
+    switches on.  Disabled is the default ``bus=None`` path.  Asserts the
+    deterministic reports are byte-identical either way.
+    """
+    import os
+    import tempfile
+
+    from repro.obs.telemetry import TelemetryAggregator, \
+        campaign_spec_digest
+
+    campaign = fault_matrix_campaign(count=scenarios, mtfs=mtfs)
+
+    start = time.perf_counter()
+    disabled = run_campaign(campaign, workers=workers, backend=backend)
+    disabled_s = time.perf_counter() - start
+
+    handle, log_path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(handle)
+    try:
+        bus = TelemetryAggregator(campaign_spec_digest(campaign),
+                                  log_path=log_path, live=True,
+                                  total=len(campaign),
+                                  printer=lambda line: None)
+        telemetry: Dict = {}
+        start = time.perf_counter()
+        enabled = run_campaign(campaign, workers=workers, backend=backend,
+                               bus=bus, telemetry=telemetry)
+        enabled_s = time.perf_counter() - start
+        logged_events = sum(1 for _ in open(log_path, encoding="utf-8"))
+    finally:
+        os.unlink(log_path)
+
+    assert _report_bytes(enabled) == _report_bytes(disabled), \
+        "telemetry perturbed the deterministic report"
+    stream = telemetry.get("telemetry_stream") or {}
+    assert stream.get("invalid_topics", 0) == 0, \
+        "telemetry stream published ungoverned topics"
+
+    return {
+        "scenarios": scenarios,
+        "mtfs": mtfs,
+        "workers": workers,
+        "backend": backend,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead": enabled_s / disabled_s,
+        "timing_events": stream.get("timing_events", 0),
+        "deterministic_events": stream.get("deterministic_events", 0),
+        "logged_events": logged_events,
+    }
+
+
+# ------------------------------------------------------------------ #
 # pytest entry points
 # ------------------------------------------------------------------ #
 
@@ -273,6 +348,22 @@ def test_prefix_tree_digest_matrix_small():
     campaign = deep_shared_campaign(scenarios=8, mtfs=12, shared_faults=2)
     assert assert_digest_matrix(campaign, depth=None,
                                 worker_counts=(2,)) == 8
+
+
+def test_telemetry_on_matches_off_at_smoke_scale():
+    """Digest identity with the bus fully enabled — the E21 invariant."""
+    numbers = run_telemetry_benchmark(scenarios=16, mtfs=4, workers=2)
+    assert numbers["timing_events"] > 0
+    assert numbers["deterministic_events"] > 0
+
+
+@pytest.mark.skipif(autodetect_workers() < 4,
+                    reason="overhead ceiling needs >= 4 usable CPUs")
+def test_telemetry_overhead_ceiling():
+    numbers = run_telemetry_benchmark(workers=4)
+    assert numbers["overhead"] <= TELEMETRY_OVERHEAD_CEILING, (
+        f"telemetry overhead {numbers['overhead']:.3f}x above the "
+        f"{TELEMETRY_OVERHEAD_CEILING}x ceiling")
 
 
 def test_prefix_tree_serial_speedup_floor():
@@ -331,6 +422,18 @@ def main() -> int:
     print(f"  speedup: {numbers['speedup']:5.2f}x")
     print("  determinism: pooled aggregate == serial aggregate")
 
+    bus = run_telemetry_benchmark(scenarios=args.scenarios,
+                                  mtfs=args.mtfs, workers=args.workers,
+                                  backend=args.backend)
+    print(f"telemetry: same workload, bus enabled vs disabled")
+    print(f"  disabled : {bus['disabled_s']:8.3f}s")
+    print(f"  enabled  : {bus['enabled_s']:8.3f}s "
+          f"({bus['timing_events']} timing + "
+          f"{bus['deterministic_events']} deterministic events)")
+    print(f"  overhead : {bus['overhead']:5.3f}x "
+          f"(ceiling {TELEMETRY_OVERHEAD_CEILING}x)")
+    print("  determinism: enabled aggregate == disabled aggregate")
+
     prefix = run_prefix_benchmark(
         scenarios=args.prefix_scenarios, mtfs=args.prefix_mtfs,
         shared_faults=args.shared_faults, depth=args.depth,
@@ -388,6 +491,18 @@ def main() -> int:
                         speedup_reference="root-only prefix sharing, "
                                           "same worker count",
                         digests_asserted=True),
+        workload_record(matrix, backend=args.backend,
+                        mode=f"telemetry-enabled-{args.workers}",
+                        scenarios_per_s=round(
+                            args.scenarios / bus["enabled_s"], 2),
+                        speedup=round(1.0 / bus["overhead"], 4),
+                        speedup_reference="same workload, telemetry "
+                                          "disabled",
+                        digests_asserted=True,
+                        telemetry_overhead=round(bus["overhead"], 4),
+                        telemetry_overhead_ceiling=
+                        TELEMETRY_OVERHEAD_CEILING,
+                        telemetry_events_logged=bus["logged_events"]),
     ], path=args.json, meta={"prefix_tree_sidecar": prefix["sidecar"]})
     print(f"  wrote {path}")
     failed = False
@@ -401,6 +516,11 @@ def main() -> int:
     if args.check and prefix["serial_speedup"] < PREFIX_SPEEDUP_FLOOR:
         print(f"  FAIL: prefix-tree serial speedup below the "
               f"{PREFIX_SPEEDUP_FLOOR}x floor")
+        failed = True
+    if (args.check and bus["overhead"] > TELEMETRY_OVERHEAD_CEILING
+            and autodetect_workers() >= 4):
+        print(f"  FAIL: telemetry overhead {bus['overhead']:.3f}x above "
+              f"the {TELEMETRY_OVERHEAD_CEILING}x ceiling")
         failed = True
     return 1 if failed else 0
 

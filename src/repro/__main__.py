@@ -16,7 +16,13 @@ Integrator-facing entry points over the library:
   Perfetto timeline, no simulator required;
 * ``campaign`` — fan a multi-scenario campaign (fault matrix, seed sweep,
   config sweep, or a JSON spec file) out over a worker pool and report the
-  deterministic aggregate.
+  deterministic aggregate; ``--live``/``--telemetry-out`` stream the
+  campaign telemetry bus, ``--flight-recorder-dir`` captures post-mortem
+  bundles for failed scenarios, and ``--metrics-out-dir`` /
+  ``--timeline-out-dir`` dump per-scenario observability artifacts;
+* ``telemetry topics|validate`` — print the governed telemetry topic
+  registry, or batch-validate an event log (or plain topic list) against
+  it.
 
 The ``demo`` and ``run`` commands accept ``--metrics-out`` (deterministic
 metrics registry JSON), ``--timeline-out`` (Chrome trace-event JSON for
@@ -164,6 +170,7 @@ def _cmd_observe(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (
+        ScenarioArtifacts,
         chaos_campaign,
         config_sweep_campaign,
         fault_matrix_campaign,
@@ -188,10 +195,30 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                    base_seed=args.seed,
                                    shared_seed=args.shared_seed,
                                    prefix_mtfs=args.prefix_mtfs,
-                                   shared_faults=args.shared_faults)
+                                   shared_faults=args.shared_faults,
+                                   crash_scenarios=args.crash_scenarios)
     else:
         scenarios = config_sweep_campaign(count=args.scenarios,
                                           base_seed=args.seed)
+
+    artifacts = None
+    if (args.metrics_out_dir or args.timeline_out_dir
+            or args.flight_recorder_dir):
+        artifacts = ScenarioArtifacts(
+            metrics_dir=args.metrics_out_dir,
+            timeline_dir=args.timeline_out_dir,
+            flight_recorder_dir=args.flight_recorder_dir)
+    bus = None
+    panel = None
+    if args.live or args.telemetry_out:
+        from .obs.telemetry import TelemetryAggregator, campaign_spec_digest
+        from .vitral import CampaignPanel
+
+        panel = CampaignPanel(total=len(scenarios))
+        bus = TelemetryAggregator(campaign_spec_digest(scenarios),
+                                  log_path=args.telemetry_out,
+                                  live=args.live, panel=panel,
+                                  total=len(scenarios))
 
     telemetry: dict = {}
     results = run_campaign(scenarios, workers=args.workers,
@@ -202,7 +229,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                            prefix_depth=args.prefix_depth,
                            locality=args.locality,
                            shm=args.shm,
-                           telemetry=telemetry)
+                           telemetry=telemetry,
+                           bus=bus,
+                           artifacts=artifacts)
     if args.verify_serial and args.workers > 1:
         serial = run_campaign(scenarios, workers=1, timeout_s=args.timeout,
                               prefix_cache=args.prefix_cache,
@@ -214,6 +243,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             return 2
         print(f"verified: pooled ({args.workers} workers) == serial "
               f"aggregate")
+    if args.live and panel is not None:
+        print(panel.render())
+    if args.telemetry_out:
+        stream_stats = telemetry.get("telemetry_stream") or {}
+        print(f"telemetry written to {args.telemetry_out} "
+              f"({stream_stats.get('timing_events', 0)} timing + "
+              f"{stream_stats.get('deterministic_events', 0)} deterministic "
+              f"events, {stream_stats.get('invalid_topics', 0)} invalid "
+              f"topics)")
     print(render_summary(results))
     if args.json:
         meta = {"suite": args.spec or args.suite,
@@ -226,6 +264,46 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                      telemetry=telemetry) + "\n")
         print(f"report written to {args.json}")
     return 0 if all(result.ok for result in results) else 1
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.telemetry import default_registry
+
+    registry = default_registry()
+    if args.action == "topics":
+        print(json.dumps(registry.to_dict(), sort_keys=True, indent=2))
+        return 0
+    # validate: the batch governance check over an event log (JSON Lines
+    # of telemetry records, `topic` + optional `channel` per line) or a
+    # plain list of one topic per line.
+    entries = []
+    try:
+        with open(args.file, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("{"):
+                    record = json.loads(line)
+                    entries.append((record.get("topic", ""),
+                                    record.get("channel")))
+                else:
+                    entries.append((line, None))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    report = registry.validate_batch(entries)
+    invalid = [entry for entry in report if not entry["valid"]]
+    document = {
+        "file": args.file,
+        "topics": len(report),
+        "invalid": len(invalid),
+        "results": report if args.verbose else invalid,
+    }
+    print(json.dumps(document, sort_keys=True, indent=2))
+    return 1 if invalid else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -365,12 +443,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                                "faults to every scenario — the deep "
                                "shared-fault workload the divergence trie "
                                "accelerates (default 0)")
+    campaign.add_argument("--crash-scenarios", type=int, default=0,
+                          help="chaos suite: make the first N scenarios "
+                               "crash deterministically (flight-recorder "
+                               "drills; default 0)")
     campaign.add_argument("--backend", choices=BACKENDS,
                           default="reference",
                           help="execution backend; 'fast' is bit-identical "
                                "to the reference, so campaign digests do "
                                "not depend on it (default reference)")
+    campaign.add_argument("--live", action="store_true",
+                          help="stream live per-scenario telemetry "
+                               "(started/forked/finished) to stdout while "
+                               "the campaign runs")
+    campaign.add_argument("--telemetry-out", default=None,
+                          help="write the full telemetry event log (JSON "
+                               "Lines; timing channel in arrival order, "
+                               "deterministic channel derived at the end) "
+                               "here")
+    campaign.add_argument("--flight-recorder-dir", default=None,
+                          help="write a post-mortem flight-record bundle "
+                               "for every crashed or oracle-violating "
+                               "scenario into this directory")
+    campaign.add_argument("--metrics-out-dir", default=None,
+                          help="write per-scenario deterministic metrics "
+                               "registry JSON files into this directory")
+    campaign.add_argument("--timeline-out-dir", default=None,
+                          help="write per-scenario Perfetto timeline JSON "
+                               "files into this directory")
     campaign.set_defaults(handler=_cmd_campaign)
+
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="governed telemetry-topic namespace: list or validate")
+    telemetry_actions = telemetry.add_subparsers(dest="action",
+                                                 required=True)
+    topics = telemetry_actions.add_parser(
+        "topics", help="print the governed topic registry as JSON")
+    topics.set_defaults(handler=_cmd_telemetry)
+    validate_topics = telemetry_actions.add_parser(
+        "validate",
+        help="batch-validate a telemetry event log (JSON Lines) or a "
+             "plain topic-per-line file against the registry")
+    validate_topics.add_argument("file",
+                                 help="telemetry JSONL event log or plain "
+                                      "topic list")
+    validate_topics.add_argument("--verbose", action="store_true",
+                                 help="include valid topics in the JSON "
+                                      "report (default: invalid only)")
+    validate_topics.set_defaults(handler=_cmd_telemetry)
 
     args = parser.parse_args(argv)
     if getattr(args, "workers", None) == 0:

@@ -6,6 +6,7 @@ aggregates compact per-scenario summaries — the reproduction's answer to
 the repeatable TSP evaluation campaigns of the benchmarking literature.
 """
 
+from .artifacts import ScenarioArtifacts, write_scenario_artifacts
 from .prefix import (
     PrefixPlan,
     SnapshotCache,
@@ -17,6 +18,7 @@ from .prefix import (
 from .results import (
     ScenarioResult,
     aggregate,
+    canonical_execution_telemetry,
     deterministic_report,
     render_summary,
     report_json,
@@ -43,11 +45,12 @@ from .scenarios import (
 )
 
 __all__ = [
+    "ScenarioArtifacts", "write_scenario_artifacts",
     "PrefixPlan", "SnapshotCache", "build_divergence_trie", "prefix_key",
     "run_with_prefix_cache", "scenario_fingerprint",
     "SnapshotTransport", "shm_available",
-    "ScenarioResult", "aggregate", "deterministic_report", "render_summary",
-    "report_json",
+    "ScenarioResult", "aggregate", "canonical_execution_telemetry",
+    "deterministic_report", "render_summary", "report_json",
     "autodetect_workers", "run_campaign", "run_pool", "run_scenario",
     "run_serial",
     "FACTORIES", "Scenario", "chaos_campaign", "config_sweep_campaign",

@@ -287,6 +287,12 @@ class SnapshotCache:
     to campaign digests.
     """
 
+    #: The fixed key set :meth:`stats` emits.  The governed telemetry
+    #: namespace constrains ``worker/<n>/cache/<stat>`` to this set.
+    STAT_KEYS = ("entries", "hits", "misses", "stores", "refreshes",
+                 "rejects", "evictions", "total_bytes", "stored_bytes",
+                 "hit_bytes", "evicted_bytes")
+
     def __init__(self, capacity: int = 16,
                  max_bytes: Optional[int] = None,
                  compress_level: Optional[int] = None) -> None:
@@ -508,7 +514,9 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
                           quantum: Ticks = PREFIX_QUANTUM,
                           backend: str = "reference",
                           plan: Optional[PrefixPlan] = None,
-                          transport=None):
+                          transport=None,
+                          publisher=None,
+                          artifacts=None):
     """Run *scenario*, sharing its execution prefix through *cache*.
 
     Without a *plan* this is root-only sharing (the PR 5 behaviour): the
@@ -557,12 +565,14 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
         return run_scenario(scenario, timeout_s=timeout_s,
                             check_interval=check_interval,
                             from_snapshot=snapshot,
-                            backend=backend)
+                            backend=backend, publisher=publisher,
+                            artifacts=artifacts)
     snap_tick = (divergence_tick(scenario) // quantum) * quantum
     if snap_tick < MIN_PREFIX_TICKS:
         return run_scenario(scenario, timeout_s=timeout_s,
                             check_interval=check_interval,
-                            backend=backend)
+                            backend=backend, publisher=publisher,
+                            artifacts=artifacts)
     fingerprint = scenario_fingerprint(scenario)
     snapshot = cache.get_snapshot(fingerprint, snap_tick)
     if snapshot is None:
@@ -582,4 +592,5 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
     return run_scenario(scenario, timeout_s=timeout_s,
                         check_interval=check_interval,
                         from_snapshot=snapshot,
-                        backend=backend)
+                        backend=backend, publisher=publisher,
+                        artifacts=artifacts)

@@ -21,11 +21,18 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 __all__ = [
     "ScenarioResult",
     "aggregate",
+    "canonical_execution_telemetry",
     "deterministic_report",
     "report_json",
     "render_summary",
     "percentile",
 ]
+
+#: The fixed top-level key set of the canonicalized ``timing.execution``
+#: sidecar — every key always present (None when the runner produced no
+#: such section), so sidecar diffs across runs compare like for like.
+EXECUTION_TELEMETRY_KEYS = ("prefix_tree", "shm", "telemetry_stream",
+                            "workers")
 
 #: Scenario completion states.
 STATUS_OK = "ok"
@@ -177,6 +184,42 @@ def deterministic_report(results: Sequence[ScenarioResult]
     }
 
 
+def canonical_execution_telemetry(
+        telemetry: Mapping[str, Any]) -> Dict[str, Any]:
+    """Canonical form of the runner's execution-telemetry sidecar.
+
+    The raw dict the runner fills is keyed by whatever execution produced
+    — most damagingly, the per-worker section is keyed by *pid*, so two
+    otherwise identical runs never diff clean.  Canonicalization pins the
+    shape:
+
+    * the top level always carries exactly
+      :data:`EXECUTION_TELEMETRY_KEYS` (missing sections become None);
+    * worker entries are renamed ``worker-00``, ``worker-01``, ... in
+      sorted original-key order (pids are monotonic per campaign, so the
+      renumbering is stable within a run and comparable across runs;
+      the nondeterministic pid itself is preserved *inside* the entry);
+    * everything else is passed through untouched.
+
+    The values stay nondeterministic (they are timing-channel material);
+    only the key structure is stabilized, which is what makes sidecar
+    diffs meaningful.
+    """
+    canonical: Dict[str, Any] = {
+        key: telemetry.get(key) for key in EXECUTION_TELEMETRY_KEYS}
+    workers = telemetry.get("workers")
+    if workers:
+        renamed: Dict[str, Any] = {}
+        for index, key in enumerate(sorted(workers)):
+            entry = workers[key]
+            if isinstance(entry, Mapping):
+                entry = dict(entry)
+                entry.setdefault("label", key)
+            renamed[f"worker-{index:02d}"] = entry
+        canonical["workers"] = renamed
+    return canonical
+
+
 def report_json(results: Sequence[ScenarioResult], *,
                 include_timing: bool = False,
                 meta: Optional[Mapping[str, Any]] = None,
@@ -186,8 +229,10 @@ def report_json(results: Sequence[ScenarioResult], *,
     Without *include_timing* (and *meta*) the bytes depend only on the
     scenario results — the form the determinism tests compare.
     *telemetry* (the runner's execution-telemetry dict: divergence-trie
-    shape, per-worker cache counters, shared-memory transport stats) is
-    nondeterministic sidecar material and only emitted with timing.
+    shape, per-worker cache counters, shared-memory transport stats,
+    telemetry-stream counters) is nondeterministic sidecar material and
+    only emitted with timing, in the stable key order of
+    :func:`canonical_execution_telemetry`.
     """
     document: Dict[str, Any] = deterministic_report(results)
     if include_timing:
@@ -206,7 +251,8 @@ def report_json(results: Sequence[ScenarioResult], *,
             },
         }
         if telemetry:
-            document["timing"]["execution"] = dict(telemetry)
+            document["timing"]["execution"] = \
+                canonical_execution_telemetry(telemetry)
     if meta:
         document["meta"] = dict(meta)
     return json.dumps(document, sort_keys=True, indent=2)

@@ -41,6 +41,7 @@ from ..kernel.trace import (
     ScheduleSwitched,
 )
 from ..obs.derived import compact_metrics
+from .artifacts import ScenarioArtifacts, write_scenario_artifacts
 from .results import (
     STATUS_CRASHED,
     STATUS_OK,
@@ -70,11 +71,43 @@ def autodetect_workers() -> int:
         return os.cpu_count() or 1
 
 
+def _record_failure(scenario, *, status: str, error: str,
+                    violations: Sequence = (), simulator=None,
+                    injector=None, from_snapshot=None,
+                    forked_at: int = -1, publisher=None,
+                    artifacts: Optional[ScenarioArtifacts] = None) -> None:
+    """Failure-path observability: flight-recorder bundle + crash events.
+
+    Best effort throughout — nothing here may replace or mask the
+    scenario's original error.
+    """
+    path = None
+    if artifacts is not None and artifacts.flight_recorder_dir is not None:
+        from ..obs.telemetry.recorder import (
+            flight_record,
+            save_flight_record,
+        )
+
+        bundle = flight_record(
+            scenario, status=status, error=error, violations=violations,
+            simulator=simulator, injector=injector,
+            from_snapshot=from_snapshot, forked_at=forked_at,
+            last_n=artifacts.flight_record_last_n)
+        path = save_flight_record(bundle, artifacts.flight_recorder_dir)
+    if publisher is not None:
+        publisher.scenario_crashed(scenario.scenario_id, error)
+        if path is not None:
+            publisher.flight_record(scenario.scenario_id, path)
+
+
 def run_scenario(scenario: Scenario, *,
                  timeout_s: Optional[float] = None,
                  check_interval: int = TIMEOUT_CHECK_INTERVAL,
                  from_snapshot: Optional[SimulatorSnapshot] = None,
-                 backend: str = "reference") -> ScenarioResult:
+                 backend: str = "reference",
+                 publisher=None,
+                 artifacts: Optional[ScenarioArtifacts] = None
+                 ) -> ScenarioResult:
     """Execute one scenario to completion, failure or timeout.
 
     Any exception — a broken config factory, a fault naming an unknown
@@ -107,17 +140,32 @@ def run_scenario(scenario: Scenario, *,
     audited by the TSP invariant oracle
     (:func:`repro.fdir.oracle.check_trace`); any violation downgrades an
     otherwise clean run to ``crashed`` with the violations in ``error``.
+
+    *publisher* (a :class:`~repro.obs.telemetry.TelemetryPublisher`)
+    streams timing-channel lifecycle events; *artifacts*
+    (:class:`~repro.campaign.artifacts.ScenarioArtifacts`) dumps
+    per-scenario metrics/timeline files and failure flight-recorder
+    bundles.  Both are pure observers: every simulation step — including
+    the ``run_fast`` chunking, whose span bounds are computed identically
+    whether ``should_abort`` is set or not — is byte-identical with them
+    on, off, or partially consumed.
     """
     start = time.perf_counter()
     if check_interval < 1:
         raise ValueError(
             f"check_interval must be >= 1, got {check_interval}")
     forked_at = -1
+    simulator = None
+    injector = None
+    if publisher is not None:
+        publisher.scenario_started(scenario.scenario_id, scenario.ticks)
     try:
         config = scenario.build_config()
         if from_snapshot is not None:
             simulator = from_snapshot.restore(config, backend=backend)
             forked_at = simulator.now
+            if publisher is not None:
+                publisher.scenario_forked(scenario.scenario_id, forked_at)
         else:
             simulator = Simulator(config, backend=backend)
         injector = FaultInjector(simulator)
@@ -137,22 +185,45 @@ def run_scenario(scenario: Scenario, *,
         if timeout_s is not None:
             deadline = start + timeout_s
             should_abort = lambda: time.perf_counter() > deadline
+        if publisher is not None:
+            # Progress heartbeats piggyback on the existing abort poll:
+            # run_fast's span bounds do not depend on should_abort being
+            # set, so publishing from it cannot perturb the simulation.
+            inner_abort = should_abort
+            live_simulator = simulator
+
+            def should_abort() -> bool:
+                publisher.scenario_progress(
+                    scenario.scenario_id, live_simulator.now,
+                    scenario.ticks)
+                return inner_abort() if inner_abort is not None else False
         completed = injector.run_fast(
             scenario.ticks - simulator.now, should_abort=should_abort,
             check_interval=check_interval)
     except Exception as exc:
-        return ScenarioResult(
+        error = f"{type(exc).__name__}: {exc}"
+        result = ScenarioResult(
             scenario_id=scenario.scenario_id,
             seed=scenario.seed,
             status=STATUS_CRASHED,
-            error=f"{type(exc).__name__}: {exc}",
+            error=error,
             wall_time_s=time.perf_counter() - start,
             forked_at_tick=forked_at,
         )
+        _record_failure(scenario, status=STATUS_CRASHED, error=error,
+                        simulator=simulator, injector=injector,
+                        from_snapshot=from_snapshot, forked_at=forked_at,
+                        publisher=publisher, artifacts=artifacts)
+        if publisher is not None:
+            publisher.scenario_finished(
+                scenario.scenario_id, STATUS_CRASHED,
+                result.wall_time_s, forked_at)
+        return result
     trace = simulator.trace
     status = STATUS_OK if completed else STATUS_TIMEOUT
     error = "" if completed else \
         f"exceeded {timeout_s}s wall-clock budget at tick {simulator.now}"
+    violations: Sequence = ()
     if completed and scenario.oracle:
         violations = check_trace(trace, config)
         if violations:
@@ -161,7 +232,16 @@ def run_scenario(scenario: Scenario, *,
                      + "; ".join(
                          f"{v.invariant}@{v.tick}: {v.detail}"
                          for v in violations[:3]))
-    return ScenarioResult(
+    if status == STATUS_CRASHED:
+        _record_failure(scenario, status=status, error=error,
+                        violations=violations, simulator=simulator,
+                        injector=injector, from_snapshot=from_snapshot,
+                        forked_at=forked_at, publisher=publisher,
+                        artifacts=artifacts)
+    if artifacts is not None and artifacts.wants_exports:
+        write_scenario_artifacts(scenario.scenario_id, simulator,
+                                 artifacts)
+    result = ScenarioResult(
         scenario_id=scenario.scenario_id,
         seed=scenario.seed,
         status=status,
@@ -182,6 +262,10 @@ def run_scenario(scenario: Scenario, *,
         wall_time_s=time.perf_counter() - start,
         forked_at_tick=forked_at,
     )
+    if publisher is not None:
+        publisher.scenario_finished(scenario.scenario_id, status,
+                                    result.wall_time_s, forked_at)
+    return result
 
 
 #: Per-worker-process prefix cache, created lazily on the first prefix-
@@ -192,6 +276,34 @@ _WORKER_PREFIX_CACHE = None
 #: Per-worker-process shared-memory transport, keyed by the campaign run
 #: id so consecutive campaigns in one long-lived pool never cross-attach.
 _WORKER_TRANSPORT = None
+
+#: Per-worker-process telemetry wiring, installed by the pool initializer
+#: (:func:`_init_worker_telemetry`): ``(sink, campaign id)`` or None.
+_WORKER_TELEMETRY = None
+
+#: Lazily built per-process :class:`TelemetryPublisher` over the wiring.
+_WORKER_PUBLISHER = None
+
+
+def _init_worker_telemetry(sink, campaign_id: str) -> None:
+    """Pool initializer: hand each worker the parent's telemetry sink."""
+    global _WORKER_TELEMETRY, _WORKER_PUBLISHER
+    _WORKER_TELEMETRY = (sink, campaign_id)
+    _WORKER_PUBLISHER = None
+
+
+def _worker_publisher():
+    """This worker's publisher, or None when telemetry is off."""
+    global _WORKER_PUBLISHER
+    if _WORKER_TELEMETRY is None:
+        return None
+    if _WORKER_PUBLISHER is None:
+        from ..obs.telemetry.bus import TelemetryPublisher
+
+        sink, campaign_id = _WORKER_TELEMETRY
+        _WORKER_PUBLISHER = TelemetryPublisher(
+            sink, campaign_id, worker=str(os.getpid()))
+    return _WORKER_PUBLISHER
 
 
 def _worker_cache():
@@ -216,27 +328,34 @@ def _worker_transport(run_id: Optional[str]):
 
 def _run_one(scenario: Scenario, *, timeout_s: Optional[float],
              check_interval: int, prefix_cache: bool,
-             backend: str) -> ScenarioResult:
+             backend: str,
+             artifacts: Optional[ScenarioArtifacts] = None
+             ) -> ScenarioResult:
     """One unit of campaign work, with or without prefix sharing."""
+    publisher = _worker_publisher()
     if not prefix_cache:
         return run_scenario(scenario, timeout_s=timeout_s,
                             check_interval=check_interval,
-                            backend=backend)
+                            backend=backend, publisher=publisher,
+                            artifacts=artifacts)
     from .prefix import run_with_prefix_cache
 
     return run_with_prefix_cache(scenario, _worker_cache(),
                                  timeout_s=timeout_s,
                                  check_interval=check_interval,
-                                 backend=backend)
+                                 backend=backend, publisher=publisher,
+                                 artifacts=artifacts)
 
 
-def _pool_worker(payload: Tuple[Scenario, Optional[float], int, bool, str]
+def _pool_worker(payload: Tuple[Scenario, Optional[float], int, bool, str,
+                                Optional[ScenarioArtifacts]]
                  ) -> ScenarioResult:
-    scenario, timeout_s, check_interval, prefix_cache, backend = payload
+    (scenario, timeout_s, check_interval, prefix_cache, backend,
+     artifacts) = payload
     return _run_one(scenario, timeout_s=timeout_s,
                     check_interval=check_interval,
                     prefix_cache=prefix_cache,
-                    backend=backend)
+                    backend=backend, artifacts=artifacts)
 
 
 def _group_worker(payload):
@@ -250,20 +369,28 @@ def _group_worker(payload):
     simply overwrite with larger counts).
     """
     (indices, group, plans, timeout_s, check_interval, backend,
-     run_id) = payload
+     run_id, artifacts) = payload
     from .prefix import run_with_prefix_cache
 
     cache = _worker_cache()
     transport = _worker_transport(run_id)
+    publisher = _worker_publisher()
     results = [
         run_with_prefix_cache(scenario, cache, timeout_s=timeout_s,
                               check_interval=check_interval,
                               backend=backend, plan=plan,
-                              transport=transport)
+                              transport=transport, publisher=publisher,
+                              artifacts=artifacts)
         for scenario, plan in zip(group, plans)]
     sidecar = {"pid": os.getpid(),
                "prefix_cache": cache.stats(),
                "shm": transport.stats() if transport is not None else None}
+    if publisher is not None:
+        # Cumulative counters per task; the log consumer reads the last
+        # event per (worker, stat) topic as the worker's final value.
+        publisher.cache_stats(cache.stats())
+        if transport is not None:
+            publisher.shm_stats(transport.stats())
     return indices, results, sidecar
 
 
@@ -282,13 +409,27 @@ def _plan_campaign(scenarios: Sequence[Scenario], prefix_cache: bool,
     return build_divergence_trie(scenarios, max_depth=prefix_depth)
 
 
+def _close_bus(bus, results: Sequence[ScenarioResult],
+               telemetry: Optional[Dict]) -> None:
+    """Finish the aggregator (deterministic block + log close) and stash
+    its stream counters into the reporting sidecar."""
+    if bus is None:
+        return
+    stats = bus.finish(results)
+    if telemetry is not None:
+        telemetry["telemetry_stream"] = stats
+
+
 def run_serial(scenarios: Sequence[Scenario], *,
                timeout_s: Optional[float] = None,
                check_interval: int = TIMEOUT_CHECK_INTERVAL,
                prefix_cache: bool = True,
                backend: str = "reference",
                prefix_depth: Optional[int] = None,
-               telemetry: Optional[Dict] = None) -> List[ScenarioResult]:
+               telemetry: Optional[Dict] = None,
+               bus=None,
+               artifacts: Optional[ScenarioArtifacts] = None
+               ) -> List[ScenarioResult]:
     """Run every scenario in this process, in order.
 
     With *prefix_cache* (the default) scenarios sharing a configuration
@@ -298,12 +439,27 @@ def run_serial(scenarios: Sequence[Scenario], *,
     root-only, ``None`` = unlimited); results are bit-identical either
     way.  *telemetry*, when a dict, receives nondeterministic cache
     counters for the reporting sidecar.
+
+    *bus* (a :class:`~repro.obs.telemetry.TelemetryAggregator`) turns on
+    live streaming: the serial loop publishes straight into the
+    aggregator (no queue), and the deterministic event block is derived
+    from the finished results on close.  *artifacts* dumps per-scenario
+    metrics/timeline files and failure flight-recorder bundles.
     """
+    publisher = None
+    if bus is not None:
+        from ..obs.telemetry.bus import TelemetryPublisher
+
+        publisher = TelemetryPublisher(bus.start(None), bus.campaign_id,
+                                       worker="serial")
     if not prefix_cache:
-        return [run_scenario(scenario, timeout_s=timeout_s,
-                             check_interval=check_interval,
-                             backend=backend)
-                for scenario in scenarios]
+        results = [run_scenario(scenario, timeout_s=timeout_s,
+                                check_interval=check_interval,
+                                backend=backend, publisher=publisher,
+                                artifacts=artifacts)
+                   for scenario in scenarios]
+        _close_bus(bus, results, telemetry)
+        return results
     from .prefix import SnapshotCache, run_with_prefix_cache
 
     plans = _plan_campaign(scenarios, prefix_cache, prefix_depth)
@@ -312,12 +468,16 @@ def run_serial(scenarios: Sequence[Scenario], *,
         run_with_prefix_cache(
             scenario, cache, timeout_s=timeout_s,
             check_interval=check_interval, backend=backend,
-            plan=None if plans is None else plans[scenario.scenario_id])
+            plan=None if plans is None else plans[scenario.scenario_id],
+            publisher=publisher, artifacts=artifacts)
         for scenario in scenarios]
     if telemetry is not None:
         telemetry["prefix_tree"] = _tree_telemetry(plans, prefix_depth)
         telemetry["workers"] = {
             "serial": {"prefix_cache": cache.stats(), "shm": None}}
+    if publisher is not None:
+        publisher.cache_stats(cache.stats())
+    _close_bus(bus, results, telemetry)
     return results
 
 
@@ -349,7 +509,10 @@ def run_pool(scenarios: Sequence[Scenario], *,
              prefix_depth: Optional[int] = None,
              locality: bool = True,
              shm: Optional[bool] = None,
-             telemetry: Optional[Dict] = None) -> List[ScenarioResult]:
+             telemetry: Optional[Dict] = None,
+             bus=None,
+             artifacts: Optional[ScenarioArtifacts] = None
+             ) -> List[ScenarioResult]:
     """Fan scenarios out over a ``multiprocessing`` pool.
 
     With the divergence trie on (*prefix_cache* and ``prefix_depth !=
@@ -389,10 +552,20 @@ def run_pool(scenarios: Sequence[Scenario], *,
                           check_interval=check_interval,
                           prefix_cache=prefix_cache,
                           backend=backend, prefix_depth=prefix_depth,
-                          telemetry=telemetry)
+                          telemetry=telemetry, bus=bus,
+                          artifacts=artifacts)
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+    # Telemetry: the aggregator owns a queue in this (parent) process and
+    # drains it on a daemon thread, so events stream live even while the
+    # blocking map/imap call below is in flight; workers receive the
+    # queue sink through the pool initializer.
+    initializer = None
+    initargs: Tuple = ()
+    if bus is not None:
+        initializer = _init_worker_telemetry
+        initargs = (bus.start(context), bus.campaign_id)
     plans = _plan_campaign(scenarios, prefix_cache, prefix_depth)
     if plans is None or not locality:
         if chunksize is None:
@@ -401,11 +574,13 @@ def run_pool(scenarios: Sequence[Scenario], *,
             # on this.
             chunksize = max(1, len(scenarios) // (workers * 4))
         payloads = [(scenario, timeout_s, check_interval, prefix_cache,
-                     backend) for scenario in scenarios]
-        with context.Pool(processes=workers) as pool:
+                     backend, artifacts) for scenario in scenarios]
+        with context.Pool(processes=workers, initializer=initializer,
+                          initargs=initargs) as pool:
             results = pool.map(_pool_worker, payloads, chunksize=chunksize)
         if telemetry is not None:
             telemetry["prefix_tree"] = _tree_telemetry(None, prefix_depth)
+        _close_bus(bus, results, telemetry)
         return results
 
     # Locality-aware dispatch: group scenarios by their deepest shared
@@ -441,7 +616,7 @@ def run_pool(scenarios: Sequence[Scenario], *,
                 tuple(chunk),
                 tuple(scenarios[i] for i in chunk),
                 tuple(plans[scenarios[i].scenario_id] for i in chunk),
-                timeout_s, check_interval, backend, run_id))
+                timeout_s, check_interval, backend, run_id, artifacts))
 
     if transport is not None and split_groups:
         # Pre-build each split group's checkpoint chain once in the
@@ -466,7 +641,8 @@ def run_pool(scenarios: Sequence[Scenario], *,
 
     results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
     worker_stats: Dict[str, Dict] = {}
-    with context.Pool(processes=workers) as pool:
+    with context.Pool(processes=workers, initializer=initializer,
+                      initargs=initargs) as pool:
         for indices, group_results, sidecar in pool.imap_unordered(
                 _group_worker, payloads, chunksize=1):
             for index, result in zip(indices, group_results):
@@ -495,6 +671,7 @@ def run_pool(scenarios: Sequence[Scenario], *,
                 shm_totals[name] = shm_totals.get(name, 0) + value
         telemetry["shm"] = {"enabled": transport is not None,
                             "unlinked_segments": unlinked, **shm_totals}
+    _close_bus(bus, results, telemetry)  # type: ignore[arg-type]
     return results  # type: ignore[return-value]
 
 
@@ -508,16 +685,27 @@ def run_campaign(scenarios: Sequence[Scenario], *,
                  prefix_depth: Optional[int] = None,
                  locality: bool = True,
                  shm: Optional[bool] = None,
-                 telemetry: Optional[Dict] = None) -> List[ScenarioResult]:
-    """Serial (`workers <= 1`) or pooled campaign execution."""
+                 telemetry: Optional[Dict] = None,
+                 bus=None,
+                 artifacts: Optional[ScenarioArtifacts] = None
+                 ) -> List[ScenarioResult]:
+    """Serial (`workers <= 1`) or pooled campaign execution.
+
+    *bus* streams live telemetry (see :func:`run_serial` /
+    :func:`run_pool`); *artifacts* dumps per-scenario files.  Both leave
+    every deterministic output — campaign digest, trace digests, oracle
+    verdicts — byte-identical to a run without them.
+    """
     if workers <= 1:
         return run_serial(scenarios, timeout_s=timeout_s,
                           check_interval=check_interval,
                           prefix_cache=prefix_cache,
                           backend=backend, prefix_depth=prefix_depth,
-                          telemetry=telemetry)
+                          telemetry=telemetry, bus=bus,
+                          artifacts=artifacts)
     return run_pool(scenarios, workers=workers, chunksize=chunksize,
                     timeout_s=timeout_s, check_interval=check_interval,
                     prefix_cache=prefix_cache,
                     backend=backend, prefix_depth=prefix_depth,
-                    locality=locality, shm=shm, telemetry=telemetry)
+                    locality=locality, shm=shm, telemetry=telemetry,
+                    bus=bus, artifacts=artifacts)

@@ -42,6 +42,7 @@ from ..fault.faults import (
     PartitionCrashFault,
     ProcessKillFault,
     ScheduleSwitchFault,
+    SimulatedCrashFault,
     StartProcessFault,
     fault_from_dict,
     fault_to_dict,
@@ -364,7 +365,8 @@ _CHAOS_ARSENAL: Tuple[Callable[[SeededRng], Fault], ...] = (
 def chaos_campaign(*, count: int = 50, mtfs: int = 10,
                    base_seed: int = 0, shared_seed: bool = False,
                    prefix_mtfs: int = 0,
-                   shared_faults: int = 0) -> List[Scenario]:
+                   shared_faults: int = 0,
+                   crash_scenarios: int = 0) -> List[Scenario]:
     """Randomized fault barrages against the FDIR-supervised prototype.
 
     Each scenario derives its own rng stream from *base_seed* and draws
@@ -392,11 +394,23 @@ def chaos_campaign(*, count: int = 50, mtfs: int = 10,
     any commanded switch) land strictly after the shared region, keeping
     the common prefix genuinely common.  The defaults reproduce the
     historical suite digests exactly.
+
+    *crash_scenarios* appends a late
+    :class:`~repro.fault.faults.SimulatedCrashFault` to the first that
+    many scenarios — the deterministic, reproducible failures the flight
+    recorder (and the CI ``telemetry-smoke`` job) needs a campaign to
+    contain.  The fault lands after every drawn injection (at the end of
+    the injection span), so the crashed scenarios still exercise their
+    full barrage first.  The default of 0 changes nothing.
     """
     if count < 1 or mtfs < 4:
         raise ConfigurationError(
             f"chaos campaign needs count >= 1 and mtfs >= 4, "
             f"got count={count}, mtfs={mtfs}")
+    if not 0 <= crash_scenarios <= count:
+        raise ConfigurationError(
+            f"crash_scenarios must be in [0, count], got "
+            f"crash_scenarios={crash_scenarios} with count={count}")
     if not 0 <= prefix_mtfs <= mtfs - 3:
         raise ConfigurationError(
             f"prefix_mtfs must be in [0, mtfs - 3], got "
@@ -446,6 +460,9 @@ def chaos_campaign(*, count: int = 50, mtfs: int = 10,
             commands = ((rng.randint(max(MTF, divergent_from),
                                      span_end), "chi2"),)
         faults = shared + faults
+        if index < crash_scenarios:
+            faults.append((span_end, SimulatedCrashFault(
+                detail=f"chaos-{base_seed + index:05d} crash drill")))
         scenarios.append(Scenario(
             scenario_id=f"chaos-{base_seed + index:05d}",
             factory="prototype",

@@ -84,6 +84,12 @@ class SnapshotTransport:
     sidecar material.
     """
 
+    #: The fixed key set :meth:`stats` emits.  The governed telemetry
+    #: namespace constrains ``worker/<n>/shm/<stat>`` to this set.
+    STAT_KEYS = ("publishes", "publish_races", "publish_failures",
+                 "attaches", "attach_failures", "fetch_misses",
+                 "memo_hits")
+
     def __init__(self, run_id: Optional[str] = None, *,
                  probe: bool = True) -> None:
         self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:6]

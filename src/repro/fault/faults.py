@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
 
 from ..exceptions import ClockTamperingError, ConfigurationError, \
-    SpatialViolationError
+    SimulationError, SpatialViolationError
 from ..kernel.simulator import Simulator
 from ..pos.generic import GenericPos
 from ..types import AccessKind, ErrorCode, PartitionMode, PrivilegeLevel
@@ -31,6 +31,7 @@ __all__ = [
     "MessageFloodFault",
     "ProcessKillFault",
     "ScheduleSwitchFault",
+    "SimulatedCrashFault",
     "fault_to_dict",
     "fault_from_dict",
 ]
@@ -185,6 +186,26 @@ class ScheduleSwitchFault(Fault):
         return f"schedule switch to {self.schedule_id!r} requested"
 
 
+@dataclass(frozen=True)
+class SimulatedCrashFault(Fault):
+    """Deterministically crash the *scenario* (not a partition).
+
+    Raises from ``apply``, which the campaign runner records as a
+    ``crashed`` result — the reproducible failure the flight-recorder
+    pipeline and its CI smoke job exercise.  Unlike every other fault it
+    models a defect in the simulation harness itself (an escaped
+    exception), so nothing about containment is asserted; the injection
+    never reaches the log (``inject_now`` appends only after ``apply``
+    returns), and the raised message carries the detail instead.
+    """
+
+    detail: str = "simulated crash"
+
+    def apply(self, simulator: Simulator) -> str:
+        raise SimulationError(
+            f"SimulatedCrashFault at tick {simulator.now}: {self.detail}")
+
+
 # ------------------------------------------------------------------ #
 # (de)serialization — campaign specs carry faults as JSON documents
 # ------------------------------------------------------------------ #
@@ -194,7 +215,7 @@ FAULT_KINDS: Dict[str, type] = {
     cls.__name__: cls
     for cls in (StartProcessFault, MemoryViolationFault, ClockTamperFault,
                 PartitionCrashFault, MessageFloodFault, ProcessKillFault,
-                ScheduleSwitchFault)
+                ScheduleSwitchFault, SimulatedCrashFault)
 }
 
 

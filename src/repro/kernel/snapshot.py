@@ -115,6 +115,29 @@ class SimulatorSnapshot:
                    pmk=sim.pmk.snapshot(),
                    extras=extras)
 
+    def provenance(self) -> Dict[str, Any]:
+        """JSON-ready identity of this checkpoint for post-mortem bundles.
+
+        What a flight recorder needs to answer "what state did this run
+        fork from": layout version, capture tick, the structural config
+        identity, and whether an injector log rode along in ``extras`` —
+        never the state payload itself (bundles must stay small and
+        diffable).
+        """
+        identity = dict(self.identity)
+        for key, value in identity.items():
+            if isinstance(value, tuple):
+                identity[key] = list(value)
+        return {
+            "version": self.version,
+            "tick": self.tick,
+            "identity": identity,
+            "trace_events": len(self.trace.get("events", ()))
+            if isinstance(self.trace, dict) else None,
+            "carries_injector_state": bool(
+                self.extras and "injector" in self.extras),
+        }
+
     # ------------------------------------------------------------ #
     # fork / resume
     # ------------------------------------------------------------ #

@@ -10,11 +10,15 @@ DESIGN decision 6.  Four pieces, with a hard line between them:
   from any saved :class:`~repro.kernel.trace.Trace`;
 * :mod:`repro.obs.timeline` — Chrome trace-event / Perfetto JSON export;
 * :mod:`repro.obs.profiling` — host-time self-profiling, explicitly
-  nondeterministic and kept out of the registry.
+  nondeterministic and kept out of the registry;
+* :mod:`repro.obs.telemetry` — the campaign telemetry bus: governed
+  topic namespace, live worker streaming, crash flight recorder
+  (DESIGN decision 11).
 """
 
-from .derived import compact_metrics, derived_metrics, derived_to_json
-from .instrument import SimulatorMetrics, instrument
+from .derived import COMPACT_METRIC_NAMES, compact_metrics, \
+    derived_metrics, derived_to_json
+from .instrument import AIR_INSTRUMENTS, SimulatorMetrics, instrument
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -26,6 +30,8 @@ from .profiling import SelfProfiler
 from .timeline import save_timeline, to_chrome_trace
 
 __all__ = [
+    "AIR_INSTRUMENTS",
+    "COMPACT_METRIC_NAMES",
     "Counter",
     "Gauge",
     "Histogram",

@@ -46,8 +46,28 @@ from ..kernel.trace import (
     WatchdogExpired,
 )
 
-__all__ = ["derived_metrics", "derived_to_json", "compact_metrics",
-           "percentile", "distribution"]
+__all__ = ["COMPACT_METRIC_NAMES", "derived_metrics", "derived_to_json",
+           "compact_metrics", "percentile", "distribution"]
+
+#: The fixed key set :func:`compact_metrics` emits, in emission order.
+#: The governed telemetry namespace constrains the
+#: ``campaign/<digest>/scenario/<id>/metric/<name>`` topic to this set.
+COMPACT_METRIC_NAMES: Tuple[str, ...] = (
+    "context_switches",
+    "deadline_detection_latency_max",
+    "deadline_detection_latency_sum",
+    "deadline_misses",
+    "delivery_latency_max",
+    "delivery_latency_sum",
+    "fdir_escalations",
+    "fdir_parked",
+    "fdir_watchdog_expiries",
+    "hm_events",
+    "peak_queue_depth",
+    "port_received",
+    "port_sent",
+    "process_dispatches",
+)
 
 
 def percentile(values: Sequence[int], fraction: float) -> int:

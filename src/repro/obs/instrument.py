@@ -43,10 +43,67 @@ from ..kernel.trace import (
 )
 from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
-__all__ = ["SimulatorMetrics", "instrument"]
+__all__ = ["AIR_INSTRUMENTS", "SimulatorMetrics", "instrument"]
 
 #: Queue-depth histogram bounds (messages in flight per channel).
 QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64)
+
+#: The authoritative instrument inventory: every metric name this module
+#: can register, mapped to ``(kind, units)``.  The governed telemetry
+#: namespace (:mod:`repro.obs.telemetry.topics`) derives its ``air/...``
+#: topic set from this table, and ``tests/obs`` pins that every name a
+#: handler or ``collect()`` touches appears here — add an instrument
+#: without listing it and the governance tests fail, not production.
+AIR_INSTRUMENTS: Dict[str, tuple] = {
+    # per-event counters (trace observer handlers)
+    "air_partition_context_switches_total": ("counter", "switches"),
+    "air_partition_dispatches_total": ("counter", "dispatches"),
+    "air_process_dispatches_total": ("counter", "dispatches"),
+    "air_process_completions_total": ("counter", "completions"),
+    "air_deadline_misses_total": ("counter", "misses"),
+    "air_schedule_switch_requests_total": ("counter", "requests"),
+    "air_schedule_switches_total": ("counter", "switches"),
+    "air_partition_mode_changes_total": ("counter", "changes"),
+    "air_hm_events_total": ("counter", "events"),
+    "air_memory_faults_total": ("counter", "faults"),
+    "air_clock_tamper_traps_total": ("counter", "traps"),
+    "air_port_messages_sent_total": ("counter", "messages"),
+    "air_port_messages_received_total": ("counter", "messages"),
+    "air_application_messages_total": ("counter", "messages"),
+    "air_fdir_escalations_total": ("counter", "escalations"),
+    "air_fdir_partitions_parked_total": ("counter", "partitions"),
+    "air_fdir_recoveries_total": ("counter", "recoveries"),
+    "air_watchdog_expiries_total": ("counter", "expiries"),
+    # distributions (trace observer handlers)
+    "air_deadline_detection_latency_ticks": ("histogram", "ticks"),
+    "air_port_queue_depth": ("histogram", "messages"),
+    "air_port_delivery_latency_ticks": ("histogram", "ticks"),
+    # component-counter snapshots (collect())
+    "air_port_in_flight": ("gauge", "messages"),
+    "air_ticks_executed": ("gauge", "ticks"),
+    "air_idle_ticks": ("gauge", "ticks"),
+    "air_partition_ticks": ("gauge", "ticks"),
+    "air_module_restarts": ("gauge", "restarts"),
+    "air_scheduler_ticks": ("gauge", "ticks"),
+    "air_scheduler_fast_path_ticks": ("gauge", "ticks"),
+    "air_scheduler_preemption_points": ("gauge", "points"),
+    "air_scheduler_schedule_switches": ("gauge", "switches"),
+    "air_dispatcher_runs": ("gauge", "runs"),
+    "air_dispatcher_context_switches": ("gauge", "switches"),
+    "air_dispatcher_change_actions": ("gauge", "actions"),
+    "air_deadline_checks": ("gauge", "checks"),
+    "air_deadline_comparisons": ("gauge", "comparisons"),
+    "air_deadlines_pending": ("gauge", "deadlines"),
+    "air_mmu_accesses": ("gauge", "accesses"),
+    "air_mmu_faults": ("gauge", "faults"),
+    "air_comm_in_flight": ("gauge", "messages"),
+    "air_hm_occurrences": ("gauge", "events"),
+    "air_fdir_degraded": ("gauge", "flag"),
+    "air_fdir_parked_partitions": ("gauge", "partitions"),
+    "air_fdir_supervised_restarts": ("gauge", "restarts"),
+    "air_watchdog_kicks": ("gauge", "kicks"),
+    "air_watchdog_expired": ("gauge", "expiries"),
+}
 
 
 class SimulatorMetrics:

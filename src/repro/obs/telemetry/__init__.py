@@ -1,0 +1,57 @@
+"""Campaign telemetry: governed topics, live streaming, flight recorder.
+
+The three layers of the campaign telemetry bus (ISSUE 8 / DESIGN
+decision 11):
+
+* :mod:`~repro.obs.telemetry.topics` — the governed namespace: every
+  topic resolves to a registered schema (type, units, deterministic vs
+  timing channel, semver) and batches validate through
+  ``python -m repro telemetry validate``;
+* :mod:`~repro.obs.telemetry.events` / :mod:`~repro.obs.telemetry.bus` —
+  typed events streamed from workers over a multiprocessing queue to a
+  parent-side aggregator (live view + JSONL log), with the deterministic
+  channel *derived* from the sorted results rather than streamed;
+* :mod:`~repro.obs.telemetry.recorder` — post-mortem flight-recorder
+  bundles for crashed or oracle-violating scenarios.
+"""
+
+from .bus import (
+    PROGRESS_MIN_INTERVAL_S,
+    TelemetryAggregator,
+    TelemetryPublisher,
+    derive_deterministic_events,
+)
+from .events import TelemetryEvent, campaign_spec_digest
+from .recorder import (
+    FLIGHT_RECORD_LAST_N,
+    FLIGHT_RECORD_SCHEMA_VERSION,
+    flight_record,
+    save_flight_record,
+)
+from .topics import (
+    CHANNEL_DETERMINISTIC,
+    CHANNEL_TIMING,
+    TOPIC_TYPES,
+    TopicRegistry,
+    TopicSpec,
+    default_registry,
+)
+
+__all__ = [
+    "CHANNEL_DETERMINISTIC",
+    "CHANNEL_TIMING",
+    "FLIGHT_RECORD_LAST_N",
+    "FLIGHT_RECORD_SCHEMA_VERSION",
+    "PROGRESS_MIN_INTERVAL_S",
+    "TOPIC_TYPES",
+    "TelemetryAggregator",
+    "TelemetryEvent",
+    "TelemetryPublisher",
+    "TopicRegistry",
+    "TopicSpec",
+    "campaign_spec_digest",
+    "default_registry",
+    "derive_deterministic_events",
+    "flight_record",
+    "save_flight_record",
+]

@@ -1,0 +1,97 @@
+"""Typed telemetry events and the pre-run campaign identity digest.
+
+A :class:`TelemetryEvent` is the one envelope everything on the bus
+travels in: a governed topic (:mod:`repro.obs.telemetry.topics`), the
+channel it was published on, and a JSON-ready payload.  Timing-channel
+events additionally carry the publishing worker's label and a per-worker
+sequence number (both host-dependent, which is why they are *forbidden*
+on deterministic events — the envelope enforces the channel split
+structurally, not by convention).
+
+:func:`campaign_spec_digest` gives a campaign an identity *before* it
+runs: the post-run ``campaign_digest`` (which folds in statuses and trace
+digests) cannot name live topics, so the topic hierarchy's
+``campaign/<digest>/...`` segment is the spec digest — a content hash of
+the scenario list — and the final deterministic ``report`` payload
+carries both, tying the live stream to the post-run aggregate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+from .topics import CHANNEL_DETERMINISTIC, CHANNEL_TIMING
+
+__all__ = ["TelemetryEvent", "campaign_spec_digest"]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One bus message: governed topic, channel, JSON-ready payload.
+
+    ``worker`` and ``seq`` exist only on the timing channel; a
+    deterministic event carrying either raises at construction, because a
+    deterministic JSONL line must be byte-stable across worker counts and
+    a worker label or queue-arrival sequence number would break that by
+    construction.
+    """
+
+    topic: str
+    channel: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+    worker: Optional[str] = None
+    seq: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.channel == CHANNEL_DETERMINISTIC and (
+                self.worker is not None or self.seq is not None):
+            raise ValueError(
+                f"{self.topic}: deterministic events must not carry "
+                f"worker/seq (got worker={self.worker!r}, "
+                f"seq={self.seq!r})")
+        if self.channel == CHANNEL_TIMING and self.worker is None:
+            raise ValueError(
+                f"{self.topic}: timing events must carry a worker label")
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "topic": self.topic,
+            "channel": self.channel,
+            "payload": dict(self.payload),
+        }
+        if self.worker is not None:
+            record["worker"] = self.worker
+        if self.seq is not None:
+            record["seq"] = self.seq
+        return record
+
+    def to_json(self) -> str:
+        """Canonical JSONL form (sorted keys, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, object]) -> "TelemetryEvent":
+        return cls(topic=record["topic"], channel=record["channel"],
+                   payload=record.get("payload", {}),
+                   worker=record.get("worker"), seq=record.get("seq"))
+
+
+def campaign_spec_digest(scenarios: Sequence) -> str:
+    """Pre-run campaign identity: content hash of the scenario list.
+
+    Folds each scenario's id, seed and tick horizon in scenario-id order,
+    so the digest is independent of submission order, worker count and
+    everything else about *how* the campaign executes — two runs of the
+    same scenario list share one live-topic namespace.  Sixteen hex chars,
+    like every other digest in the repo.
+    """
+    document = sorted(
+        (scenario.scenario_id, scenario.seed, scenario.ticks)
+        for scenario in scenarios)
+    canonical = json.dumps(document, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,149 @@
+"""Flight recorder: post-mortem bundles for crashed or violating scenarios.
+
+A chaos-campaign failure used to be a one-line ``crashed`` entry in the
+aggregate; the flight recorder turns it into a self-contained bundle —
+the aerospace flight-data-recorder shape — written next to the campaign
+artifacts whenever a scenario crashes or the TSP invariant oracle flags a
+violation:
+
+* the scenario's identity (id, seed, horizon) and the structural
+  :func:`~repro.kernel.snapshot.config_identity` of its configuration;
+* the fault injector's applied log (what actually fired, with payloads);
+* the last *N* trace events before the failure — the bounded ring every
+  :class:`~repro.kernel.trace.Trace` effectively maintains, materialized
+  at dump time so steady-state runs pay nothing;
+* the oracle verdict (checked?, every violation);
+* snapshot provenance when the run forked from a prefix checkpoint
+  (:meth:`SimulatorSnapshot.provenance`) — forked failures must be
+  attributable to the checkpoint they continued from.
+
+Bundles are canonical JSON.  Their *contents* are deterministic for a
+deterministic failure (everything comes from simulator state), but
+whether a bundle exists at all can depend on cache state (a fork-level
+crash), so bundles live with the timing-channel artifacts and never feed
+a digest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["FLIGHT_RECORD_SCHEMA_VERSION", "FLIGHT_RECORD_LAST_N",
+           "flight_record", "save_flight_record"]
+
+FLIGHT_RECORD_SCHEMA_VERSION = 1
+
+#: Default depth of the recent-event ring dumped into a bundle.
+FLIGHT_RECORD_LAST_N = 64
+
+
+def flight_record(scenario, *, status: str, error: str = "",
+                  violations: Sequence = (),
+                  simulator=None, injector=None,
+                  from_snapshot=None, forked_at: int = -1,
+                  last_n: int = FLIGHT_RECORD_LAST_N) -> Dict[str, object]:
+    """Build the post-mortem bundle for a failed *scenario*.
+
+    *simulator*/*injector* may be None (the failure can pre-date their
+    construction — a broken config factory); every derived section
+    degrades to empty rather than raising, because the recorder runs on
+    the failure path and must never mask the original error.
+    """
+    from ...fault.faults import fault_to_dict
+    from ...kernel.snapshot import config_identity
+
+    identity: Optional[Dict[str, object]] = None
+    last_events: List[Dict[str, object]] = []
+    occupancy: Dict[str, int] = {}
+    tick = None
+    if simulator is not None:
+        try:
+            raw = config_identity(simulator.config)
+            identity = {key: list(value) if isinstance(value, tuple)
+                        else value for key, value in raw.items()}
+        except Exception:  # noqa: BLE001 — best effort on the crash path
+            identity = None
+        try:
+            events = simulator.trace.to_dicts()
+            last_events = list(events[-last_n:]) if last_n > 0 else []
+        except Exception:  # noqa: BLE001
+            last_events = []
+        try:
+            tick = simulator.now
+            occupancy = {str(partition): ticks for partition, ticks
+                         in sorted(simulator.pmk.partition_ticks.items())}
+        except Exception:  # noqa: BLE001
+            pass
+
+    fault_log: List[Dict[str, object]] = []
+    if injector is not None:
+        try:
+            for record in injector.log:
+                entry: Dict[str, object] = {
+                    "tick": record.tick,
+                    "kind": type(record.fault).__name__,
+                    "status": record.status,
+                }
+                try:
+                    entry["fault"] = fault_to_dict(record.fault)
+                except Exception:  # noqa: BLE001 — payload is best effort
+                    pass
+                fault_log.append(entry)
+        except Exception:  # noqa: BLE001
+            fault_log = []
+
+    oracle = {
+        "checked": bool(getattr(scenario, "oracle", False)),
+        "violations": [
+            {"invariant": violation.invariant, "tick": violation.tick,
+             "detail": violation.detail,
+             "partition": violation.partition,
+             "process": violation.process}
+            for violation in violations],
+    }
+
+    provenance = None
+    if from_snapshot is not None:
+        try:
+            provenance = from_snapshot.provenance()
+        except Exception:  # noqa: BLE001
+            provenance = None
+
+    return {
+        "schema_version": FLIGHT_RECORD_SCHEMA_VERSION,
+        "scenario_id": scenario.scenario_id,
+        "seed": scenario.seed,
+        "ticks": scenario.ticks,
+        "status": status,
+        "error": error,
+        "tick_at_failure": tick,
+        "config_identity": identity,
+        "fault_log": fault_log,
+        "last_events": last_events,
+        "occupancy": occupancy,
+        "oracle": oracle,
+        "snapshot_provenance": provenance,
+        "forked_at_tick": forked_at,
+    }
+
+
+def save_flight_record(bundle: Dict[str, object],
+                       directory: str) -> Optional[str]:
+    """Write *bundle* as ``<id>.flightrec.json`` under *directory*.
+
+    Returns the path, or None when the write failed (failure-path code:
+    a full disk must not replace the scenario's original error).
+    """
+    try:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(
+            directory, f"{bundle['scenario_id']}.flightrec.json")
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(bundle, stream, sort_keys=True,
+                      separators=(",", ":"))
+            stream.write("\n")
+        return path
+    except Exception:  # noqa: BLE001
+        return None

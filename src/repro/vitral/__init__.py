@@ -1,5 +1,6 @@
 """VITRAL-like text-mode window manager (Sect. 6, Fig. 9)."""
 
+from .campaign import CampaignPanel
 from .windows import VitralScreen, Window
 
-__all__ = ["VitralScreen", "Window"]
+__all__ = ["CampaignPanel", "VitralScreen", "Window"]

@@ -1,0 +1,232 @@
+"""Campaign-level telemetry integration: digests, streams, artifacts.
+
+The load-bearing invariant: enabling the telemetry bus must not perturb
+the simulation — campaign digests are byte-identical with telemetry on
+vs off, at any worker count, on either backend — and the deterministic
+channel of the event log is itself byte-stable across worker counts.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.campaign import (
+    ScenarioArtifacts,
+    canonical_execution_telemetry,
+    chaos_campaign,
+    report_json,
+    run_campaign,
+)
+from repro.campaign.results import EXECUTION_TELEMETRY_KEYS
+from repro.obs.telemetry import (
+    TelemetryAggregator,
+    campaign_spec_digest,
+    default_registry,
+)
+
+
+def small_chaos(crash_scenarios=0):
+    return chaos_campaign(count=4, mtfs=4, base_seed=0,
+                          crash_scenarios=crash_scenarios)
+
+
+def run_with_bus(scenarios, *, workers, backend="reference", log_path=None,
+                 artifacts=None, panel=None):
+    bus = TelemetryAggregator(campaign_spec_digest(scenarios),
+                              log_path=log_path, panel=panel,
+                              total=len(scenarios))
+    telemetry: dict = {}
+    results = run_campaign(scenarios, workers=workers, backend=backend,
+                           telemetry=telemetry, bus=bus,
+                           artifacts=artifacts)
+    return results, telemetry
+
+
+class TestTelemetryDoesNotPerturbDigests:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_reports_identical_with_and_without_bus(self, workers):
+        scenarios = small_chaos()
+        baseline = run_campaign(scenarios, workers=workers)
+        with_bus, _ = run_with_bus(scenarios, workers=workers)
+        assert report_json(with_bus) == report_json(baseline)
+
+    def test_fast_backend_identical_with_bus(self):
+        scenarios = small_chaos()
+        reference = run_campaign(scenarios, workers=1)
+        fast, _ = run_with_bus(scenarios, workers=2, backend="fast")
+        assert report_json(fast) == report_json(reference)
+
+
+class TestDeterministicChannelByteStability:
+    def test_identical_across_worker_counts(self, tmp_path):
+        scenarios = small_chaos()
+        blocks = []
+        for workers in (1, 2, 4):
+            log = tmp_path / f"telemetry-{workers}.jsonl"
+            run_with_bus(scenarios, workers=workers, log_path=str(log))
+            blocks.append([line for line in log.read_text().splitlines()
+                           if json.loads(line)["channel"]
+                           == "deterministic"])
+        assert blocks[0] == blocks[1] == blocks[2]
+        assert blocks[0]  # non-empty: records + report
+
+    def test_every_logged_topic_is_governed(self, tmp_path):
+        scenarios = small_chaos(crash_scenarios=1)
+        log = tmp_path / "telemetry.jsonl"
+        results, telemetry = run_with_bus(
+            scenarios, workers=2, log_path=str(log),
+            artifacts=ScenarioArtifacts(
+                flight_recorder_dir=str(tmp_path / "flightrec")))
+        registry = default_registry()
+        entries = [(record["topic"], record["channel"]) for record in
+                   map(json.loads, log.read_text().splitlines())]
+        assert entries
+        report = registry.validate_batch(entries)
+        assert all(entry["valid"] for entry in report), [
+            entry for entry in report if not entry["valid"]]
+        assert telemetry["telemetry_stream"]["invalid_topics"] == 0
+
+
+class TestFlightRecorderThroughRunner:
+    def test_crashed_scenario_produces_bundle(self, tmp_path):
+        scenarios = small_chaos(crash_scenarios=1)
+        directory = tmp_path / "flightrec"
+        results, _ = run_with_bus(
+            scenarios, workers=2,
+            artifacts=ScenarioArtifacts(
+                flight_recorder_dir=str(directory)))
+        crashed = [r for r in results if r.status == "crashed"]
+        assert len(crashed) == 1
+        bundle_path = directory / f"{crashed[0].scenario_id}.flightrec.json"
+        bundle = json.loads(bundle_path.read_text())
+        assert bundle["status"] == "crashed"
+        assert "SimulatedCrashFault" in bundle["error"]
+        assert bundle["config_identity"]["partitions"]
+        assert bundle["fault_log"]  # the barrage before the crash drill
+        assert bundle["last_events"]
+        assert bundle["oracle"]["checked"] is True
+        # Only failed scenarios leave bundles.
+        assert len(list(directory.iterdir())) == 1
+
+    def test_crash_drill_does_not_change_surviving_digests(self):
+        plain = {r.scenario_id: r.trace_digest
+                 for r in run_campaign(small_chaos(), workers=1)}
+        drilled = {r.scenario_id: r.trace_digest
+                   for r in run_campaign(small_chaos(crash_scenarios=1),
+                                         workers=1)}
+        survivors = {sid for sid, digest in drilled.items() if digest}
+        assert survivors  # the non-crashing scenarios
+        for sid in survivors:
+            assert drilled[sid] == plain[sid]
+
+
+class TestScenarioArtifactDirs:
+    def test_metrics_and_timeline_dumps(self, tmp_path):
+        scenarios = small_chaos()
+        metrics_dir = tmp_path / "metrics"
+        timeline_dir = tmp_path / "timelines"
+        results = run_campaign(
+            scenarios, workers=2,
+            artifacts=ScenarioArtifacts(metrics_dir=str(metrics_dir),
+                                        timeline_dir=str(timeline_dir)))
+        assert all(result.ok for result in results)
+        for result in results:
+            metrics = json.loads(
+                (metrics_dir / f"{result.scenario_id}.metrics.json")
+                .read_text())
+            assert any(name.startswith("air_process_dispatches_total")
+                       for name in metrics["counters"])
+            timeline = json.loads(
+                (timeline_dir / f"{result.scenario_id}.timeline.json")
+                .read_text())
+            assert timeline["traceEvents"]
+
+    def test_replayed_metrics_match_compact_pairs(self, tmp_path):
+        """The dumped registry agrees with the worker's compact metrics."""
+        scenarios = small_chaos()[:1]
+        metrics_dir = tmp_path / "metrics"
+        results = run_campaign(
+            scenarios, workers=1,
+            artifacts=ScenarioArtifacts(metrics_dir=str(metrics_dir)))
+        result = results[0]
+        registry = json.loads(
+            (metrics_dir / f"{result.scenario_id}.metrics.json")
+            .read_text())
+
+        def total(prefix):
+            return sum(value
+                       for name, value in registry["counters"].items()
+                       if name.split("{")[0] == prefix)
+
+        compact = dict(result.metrics)
+        assert total("air_deadline_misses_total") == \
+            compact["deadline_misses"]
+        assert total("air_hm_events_total") == compact["hm_events"]
+
+
+class TestExecutionSidecarCanonicalization:
+    def test_fixed_top_level_key_order(self):
+        canonical = canonical_execution_telemetry({})
+        assert tuple(canonical) == EXECUTION_TELEMETRY_KEYS
+        assert all(value is None for value in canonical.values())
+
+    def test_worker_sections_renamed_stably(self):
+        telemetry = {"workers": {"9911": {"hits": 1},
+                                 "1002": {"hits": 2}}}
+        canonical = canonical_execution_telemetry(telemetry)
+        assert list(canonical["workers"]) == ["worker-00", "worker-01"]
+        assert canonical["workers"]["worker-00"] == {"hits": 2,
+                                                     "label": "1002"}
+        assert canonical["workers"]["worker-01"] == {"hits": 1,
+                                                     "label": "9911"}
+
+    def test_report_json_sidecar_regression(self, tmp_path):
+        """End to end: the emitted sidecar carries the canonical shape."""
+        scenarios = small_chaos()
+        telemetry: dict = {}
+        results = run_campaign(scenarios, workers=2, telemetry=telemetry)
+        document = json.loads(report_json(results, include_timing=True,
+                                          telemetry=telemetry))
+        execution = document["timing"]["execution"]
+        assert list(execution) == sorted(EXECUTION_TELEMETRY_KEYS)
+        workers = execution["workers"]
+        assert workers and all(key.startswith("worker-")
+                               for key in workers)
+        assert all("label" in entry for entry in workers.values())
+
+
+class TestTelemetryCLI:
+    def test_campaign_live_telemetry_and_validate(self, tmp_path, capsys):
+        log = tmp_path / "telemetry.jsonl"
+        flightrec = tmp_path / "flightrec"
+        assert main(["campaign", "--suite", "chaos", "--scenarios", "4",
+                     "--mtfs", "4", "--workers", "2",
+                     "--crash-scenarios", "1", "--live",
+                     "--telemetry-out", str(log),
+                     "--flight-recorder-dir", str(flightrec)]) == 1
+        out = capsys.readouterr().out
+        assert "[telemetry]" in out
+        assert "Campaign Activity" in out  # the VITRAL panel frame
+        assert "telemetry written to" in out
+        assert list(flightrec.glob("*.flightrec.json"))
+        # The produced log passes the governance validator.
+        assert main(["telemetry", "validate", str(log)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["invalid"] == 0
+        assert report["topics"] > 0
+
+    def test_telemetry_validate_flags_bad_topics(self, tmp_path, capsys):
+        bad = tmp_path / "topics.txt"
+        bad.write_text("worker/1/cache/hits\nnothing/registered\n")
+        assert main(["telemetry", "validate", str(bad)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["invalid"] == 1
+        assert report["results"][0]["topic"] == "nothing/registered"
+
+    def test_telemetry_topics_lists_registry(self, capsys):
+        assert main(["telemetry", "topics"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        patterns = {entry["pattern"] for entry in document}
+        assert "campaign/<digest>/scenario/<id>/record" in patterns
+        assert "bench/<benchmark>/<field>" in patterns

@@ -117,6 +117,30 @@ class TestTraceIntrinsic:
         assert report["occupancy"] == {}
         assert report["events"] == 0
 
+    def test_empty_trace_canonical_json_round_trips(self):
+        import json
+
+        report = derived_metrics(Trace())
+        assert json.loads(derived_to_json(report)) == report
+        assert report["utilization_series"] == []
+        assert report["ports"] == {}
+        assert report["hm_events"] == {}
+
+    def test_single_mtf_trace(self):
+        """One MTF, no switch: exactly one utilization frame, occupancy
+        sums to the frame, and the jitter sample for each partition is a
+        single dispatch (empty interval distribution)."""
+        simulator = prototype_run(mtfs=1, switch=False)
+        report = derived_metrics(simulator.trace, simulator.config,
+                                 horizon=simulator.now)
+        assert simulator.now == MTF
+        series = report["utilization_series"]
+        assert len(series) == 1
+        assert series[0]["ticks"] == MTF
+        for partition, entry in report["occupancy"].items():
+            assert series[0]["occupied"][partition] == entry["ticks"]
+        assert [s["schedule"] for s in report["schedules"]] == ["chi1"]
+
 
 class TestDeterminism:
     def test_derived_json_byte_identical_across_modes(self):
@@ -161,6 +185,12 @@ class TestCompactMetrics:
 
     def test_empty_trace_is_all_zero(self):
         assert all(value == 0 for _, value in compact_metrics(Trace()))
+
+    def test_names_match_the_governed_constant(self):
+        from repro.obs.derived import COMPACT_METRIC_NAMES
+
+        pairs = compact_metrics(Trace())
+        assert tuple(name for name, _ in pairs) == COMPACT_METRIC_NAMES
 
 
 class TestVectorizationEquality:
