@@ -197,6 +197,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                    prefix_mtfs=args.prefix_mtfs,
                                    shared_faults=args.shared_faults,
                                    crash_scenarios=args.crash_scenarios)
+    elif args.suite == "constellation":
+        from .constellation import constellation_campaign
+
+        scenarios = constellation_campaign(count=args.scenarios,
+                                           nodes=args.nodes,
+                                           mtfs=max(args.mtfs, 6),
+                                           base_seed=args.seed)
     else:
         scenarios = config_sweep_campaign(count=args.scenarios,
                                           base_seed=args.seed)
@@ -374,12 +381,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign", help="run a deterministic multi-scenario campaign")
     campaign.add_argument("--suite",
                           choices=["fault-matrix", "seed-sweep",
-                                   "config-sweep", "chaos"],
+                                   "config-sweep", "chaos",
+                                   "constellation"],
                           default="fault-matrix",
                           help="built-in campaign builder (default "
                                "fault-matrix); 'chaos' barrages the "
                                "FDIR-supervised prototype under the "
-                               "invariant oracle")
+                               "invariant oracle; 'constellation' runs "
+                               "multi-node chaos with leader failover "
+                               "under the cross-node oracle")
+    campaign.add_argument("--nodes", type=int, default=3,
+                          help="constellation suite: nodes per "
+                               "constellation (default 3)")
     campaign.add_argument("--spec", default=None,
                           help="JSON campaign spec file (overrides --suite)")
     campaign.add_argument("--scenarios", type=int, default=64,

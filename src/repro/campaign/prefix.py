@@ -188,6 +188,12 @@ def prefix_levels(scenario: Scenario, *, quantum: Ticks = PREFIX_QUANTUM,
     """
     if quantum < 1:
         raise ValueError(f"quantum must be >= 1, got {quantum}")
+    if getattr(scenario, "is_constellation", False):
+        # A constellation has no single-simulator prefix to checkpoint:
+        # N snapshots plus fabric/protocol state is not a
+        # SimulatorSnapshot.  No levels -> singleton locality group ->
+        # always a cold run.
+        return []
     events = scenario.timeline()
     horizon = scenario.ticks
     limit = len(events)
@@ -544,6 +550,13 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
 
     if quantum < 1:
         raise ValueError(f"quantum must be >= 1, got {quantum}")
+    if getattr(scenario, "is_constellation", False):
+        # Constellations never fork from snapshots; run_scenario
+        # dispatches to the constellation runner.
+        return run_scenario(scenario, timeout_s=timeout_s,
+                            check_interval=check_interval,
+                            backend=backend, publisher=publisher,
+                            artifacts=artifacts)
     if plan is not None:
         snapshot = None
         found_depth = -1

@@ -68,6 +68,12 @@ class ScenarioResult:
     #: Compact deterministic metric pairs (:func:`repro.obs.compact_metrics`).
     metrics: Tuple[Tuple[str, int], ...] = ()
     error: str = ""
+    #: Per-node inter-node fabric counters for constellation scenarios:
+    #: ``(("n0", (("sent", 12), ...)), ...)`` keyed by
+    #: :data:`repro.constellation.comm.NODE_COMM_STAT_KEYS`.  Empty for
+    #: single-node scenarios (and then absent from :meth:`to_dict`, so
+    #: historical report bytes are unchanged).
+    node_comm: Tuple[Tuple[str, Tuple[Tuple[str, int], ...]], ...] = ()
     wall_time_s: float = 0.0
     #: Tick this run forked from a cached prefix snapshot (``-1`` = cold
     #: run).  Which runs fork depends on cache state, not on the scenario,
@@ -101,6 +107,10 @@ class ScenarioResult:
             "metrics": {name: value for name, value in self.metrics},
             "error": self.error,
         }
+        if self.node_comm:
+            record["node_comm"] = {
+                node: {name: value for name, value in stats}
+                for node, stats in self.node_comm}
         if include_timing:
             record["wall_time_s"] = self.wall_time_s
             record["forked_at_tick"] = self.forked_at_tick

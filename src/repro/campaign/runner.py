@@ -149,7 +149,18 @@ def run_scenario(scenario: Scenario, *,
     the ``run_fast`` chunking, whose span bounds are computed identically
     whether ``should_abort`` is set or not — is byte-identical with them
     on, off, or partially consumed.
+
+    Constellation scenarios (``is_constellation``) dispatch to
+    :func:`repro.constellation.runner.run_constellation_scenario` — same
+    contract, N lockstep nodes instead of one simulator.  They never fork
+    from snapshots (each constellation is its own locality group).
     """
+    if getattr(scenario, "is_constellation", False):
+        from ..constellation.runner import run_constellation_scenario
+
+        return run_constellation_scenario(
+            scenario, timeout_s=timeout_s, check_interval=check_interval,
+            backend=backend, publisher=publisher, artifacts=artifacts)
     start = time.perf_counter()
     if check_interval < 1:
         raise ValueError(

@@ -240,14 +240,28 @@ def scenario_from_dict(data: Mapping[str, Any]) -> Scenario:
 
 
 def load_campaign_spec(path: str) -> List[Scenario]:
-    """Load a campaign spec document: ``{"scenarios": [entry, ...]}``."""
+    """Load a campaign spec document: ``{"scenarios": [entry, ...]}``.
+
+    Entries carrying a ``nodes`` key are constellation scenarios
+    (:func:`repro.constellation.scenarios.constellation_scenario_from_dict`);
+    the two kinds mix freely in one spec — the campaign runner dispatches
+    per scenario.
+    """
     with open(path, "r", encoding="utf-8") as stream:
         document = json.load(stream)
     entries = document.get("scenarios")
     if not isinstance(entries, list) or not entries:
         raise ConfigurationError(
             f"{path}: campaign spec needs a non-empty 'scenarios' list")
-    scenarios = [scenario_from_dict(entry) for entry in entries]
+    scenarios: List = []
+    for entry in entries:
+        if "nodes" in entry:
+            from ..constellation.scenarios import \
+                constellation_scenario_from_dict
+
+            scenarios.append(constellation_scenario_from_dict(entry))
+        else:
+            scenarios.append(scenario_from_dict(entry))
     identifiers = [scenario.scenario_id for scenario in scenarios]
     if len(set(identifiers)) != len(identifiers):
         raise ConfigurationError(f"{path}: duplicate scenario ids")

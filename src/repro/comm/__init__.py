@@ -1,10 +1,10 @@
 """Interpartition communication substrate (Sect. 2.1)."""
 
 from .messages import ChannelConfig, Envelope, PortSpec, TransferMode
-from .network import LinkStats, NetworkLink, ReliableLink
+from .network import LINK_STAT_KEYS, LinkStats, NetworkLink, ReliableLink
 from .router import CommRouter
 
 __all__ = [
     "ChannelConfig", "Envelope", "PortSpec", "TransferMode", "LinkStats",
-    "NetworkLink", "ReliableLink", "CommRouter",
+    "LINK_STAT_KEYS", "NetworkLink", "ReliableLink", "CommRouter",
 ]

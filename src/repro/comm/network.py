@@ -20,10 +20,16 @@ from ..kernel.rng import SeededRng
 from ..types import Ticks
 from .messages import Envelope
 
-__all__ = ["LinkStats", "NetworkLink", "ReliableLink"]
+__all__ = ["LINK_STAT_KEYS", "LinkStats", "NetworkLink", "ReliableLink"]
 
 #: Delivery callback: (deliver_at_tick, envelope).
 DeliverFn = Callable[[Envelope], None]
+
+#: Authoritative stat names, in emission order.  Telemetry topic governance
+#: (``node/<id>/link/<peer>/<stat>``) enumerates exactly these values, so a
+#: counter added here without a registry update fails the topic audit.
+LINK_STAT_KEYS: Tuple[str, ...] = (
+    "sent", "delivered", "dropped", "duplicated", "retransmissions")
 
 
 @dataclass
@@ -33,7 +39,12 @@ class LinkStats:
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    duplicated: int = 0
     retransmissions: int = 0
+
+    def as_dict(self) -> dict:
+        """Counters keyed by :data:`LINK_STAT_KEYS`, in order."""
+        return {key: getattr(self, key) for key in LINK_STAT_KEYS}
 
 
 class NetworkLink:
@@ -41,41 +52,57 @@ class NetworkLink:
 
     Messages are enqueued with :meth:`transmit` and surface through the
     ``deliver`` callback when :meth:`pump` reaches their arrival tick.
-    Loss is decided at transmit time with a seeded RNG so runs are
-    reproducible.
+    Loss and duplication are decided at transmit time with a seeded RNG so
+    runs are reproducible.
     """
 
     def __init__(self, *, latency: Ticks, loss_probability: float = 0.0,
+                 duplicate_probability: float = 0.0,
                  rng: Optional[SeededRng] = None) -> None:
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(
                 f"loss_probability must be in [0, 1), got {loss_probability}")
+        if not 0.0 <= duplicate_probability < 1.0:
+            raise ValueError(f"duplicate_probability must be in [0, 1), "
+                             f"got {duplicate_probability}")
         self.latency = latency
         self.loss_probability = loss_probability
+        self.duplicate_probability = duplicate_probability
         self._rng = rng if rng is not None else SeededRng(0)
         self._in_flight: List[Tuple[Ticks, int, Envelope, DeliverFn, object]] = []
         self._sequence = 0
         self.stats = LinkStats()
 
     def transmit(self, envelope: Envelope, now: Ticks,
-                 deliver: DeliverFn, *, tag: object = None) -> bool:
+                 deliver: DeliverFn, *, tag: object = None,
+                 delay: Ticks = 0) -> bool:
         """Send *envelope*; returns False if the link dropped it.
 
         *tag* is an optional pure-data identifier of the destination
         (snapshot support: the ``deliver`` closure itself cannot be
         captured, so checkpoints record the tag and the restore side
-        rebuilds an equivalent closure from it).
+        rebuilds an equivalent closure from it).  *delay* adds extra
+        latency to this transmission only (retransmission backoff).
         """
         self.stats.sent += 1
         if self.loss_probability and self._rng.chance(self.loss_probability):
             self.stats.dropped += 1
             return False
+        arrival = now + self.latency + delay
         self._sequence += 1
         heapq.heappush(self._in_flight,
-                       (now + self.latency, self._sequence, envelope, deliver,
-                        tag))
+                       (arrival, self._sequence, envelope, deliver, tag))
+        if (self.duplicate_probability
+                and self._rng.chance(self.duplicate_probability)):
+            # A duplicated frame: same payload, one tick behind the
+            # original, so receiver-side dedup is genuinely exercised.
+            self.stats.duplicated += 1
+            self._sequence += 1
+            heapq.heappush(self._in_flight,
+                           (arrival + 1, self._sequence, envelope, deliver,
+                            tag))
         return True
 
     def pump(self, now: Ticks) -> int:
@@ -119,10 +146,7 @@ class NetworkLink:
                           in sorted(self._in_flight)],
             "sequence": self._sequence,
             "rng": self._rng.state_dict(),
-            "stats": {"sent": self.stats.sent,
-                      "delivered": self.stats.delivered,
-                      "dropped": self.stats.dropped,
-                      "retransmissions": self.stats.retransmissions},
+            "stats": self.stats.as_dict(),
         }
 
     def restore(self, state: dict,
@@ -146,16 +170,27 @@ class ReliableLink:
 
     The PMK is "obliged to message delivery guarantees" (Sect. 2.1); over a
     lossy transport that means retransmission.  The wrapper retries a
-    transmit-time drop immediately (up to ``max_retries`` per message) —
-    modelling a link-layer ARQ whose retry round-trips are folded into the
-    configured latency.
+    transmit-time drop (up to ``max_retries`` per message), modelling a
+    link-layer ARQ.  With ``backoff=(lo, hi)`` every retry adds a delay
+    drawn from the wrapper's **own** RNG stream — forked from the supplied
+    parent, never shared with the link's loss stream, so enabling backoff
+    cannot perturb which frames the underlying link drops.
     """
 
-    def __init__(self, link: NetworkLink, *, max_retries: int = 16) -> None:
+    def __init__(self, link: NetworkLink, *, max_retries: int = 16,
+                 backoff: Tuple[Ticks, Ticks] = (0, 0),
+                 rng: Optional[SeededRng] = None) -> None:
         if max_retries < 1:
             raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        lo, hi = backoff
+        if lo < 0 or hi < lo:
+            raise ValueError(f"backoff must be (lo, hi) with 0 <= lo <= hi, "
+                             f"got {backoff!r}")
         self.link = link
         self.max_retries = max_retries
+        self.backoff = (lo, hi)
+        parent = rng if rng is not None else SeededRng(0)
+        self._rng = parent.fork("reliable-backoff")
 
     @property
     def stats(self) -> LinkStats:
@@ -163,12 +198,17 @@ class ReliableLink:
         return self.link.stats
 
     def transmit(self, envelope: Envelope, now: Ticks,
-                 deliver: DeliverFn, *, tag: object = None) -> bool:
+                 deliver: DeliverFn, *, tag: object = None,
+                 delay: Ticks = 0) -> bool:
         """Send with retransmission; returns False only on retry exhaustion."""
+        lo, hi = self.backoff
         for attempt in range(self.max_retries):
-            if self.link.transmit(envelope, now, deliver, tag=tag):
+            if self.link.transmit(envelope, now, deliver, tag=tag,
+                                  delay=delay):
                 return True
             self.link.stats.retransmissions += 1
+            if hi:
+                delay += self._rng.randint(lo, hi)
         return False
 
     def pump(self, now: Ticks) -> int:
@@ -186,10 +226,19 @@ class ReliableLink:
         return self.link.next_delivery_tick
 
     def snapshot(self) -> dict:
-        """Forward to the wrapped link (the wrapper itself is stateless)."""
-        return self.link.snapshot()
+        """Capture the wrapped link plus the backoff rng stream."""
+        return {"link": self.link.snapshot(),
+                "backoff_rng": self._rng.state_dict()}
 
     def restore(self, state: dict,
                 make_deliver: Callable[[object], DeliverFn]) -> None:
-        """Forward to the wrapped link."""
-        self.link.restore(state, make_deliver)
+        """Overlay a :meth:`snapshot` capture (either format).
+
+        Accepts both the wrapper format and a bare
+        :meth:`NetworkLink.snapshot` dict (pre-backoff checkpoints).
+        """
+        if "link" in state:
+            self.link.restore(state["link"], make_deliver)
+            self._rng.load_state_dict(state["backoff_rng"])
+        else:
+            self.link.restore(state, make_deliver)

@@ -1,0 +1,351 @@
+"""Inter-node communication fabric: mesh links, framing, fault hooks.
+
+Every directed node pair gets its own
+:class:`~repro.comm.network.ReliableLink`-wrapped
+:class:`~repro.comm.network.NetworkLink`, each seeded from a distinct
+fork of the constellation rng (``link-<i>-<j>`` for the loss/duplication
+stream, ``arq-<i>-<j>`` for the retransmit-backoff stream) — so fabric
+randomness can never bleed between links or into a node's own simulator.
+
+Protocol messages are canonical-JSON documents framed with a CRC32
+trailer (:func:`encode_message` / :func:`decode_message`): a Byzantine
+sender corrupts bytes on the wire, the receiver's CRC check rejects the
+frame, and the rejection — like every other fabric observation — lands in
+the pure-data :attr:`InterNodeComm.events` log the cross-node oracle
+audits and the combined trace digest folds in.
+
+Cross-node faults act here through narrow hooks (:meth:`partition`,
+:meth:`silence`, :meth:`corrupt`, :meth:`storm`); each records a
+``fault-window`` event so the oracle can tell injected damage from real
+protocol defects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..comm.messages import Envelope
+from ..comm.network import NetworkLink, ReliableLink
+from ..kernel.rng import SeededRng
+from ..types import Ticks
+from .config import ConstellationConfig
+
+__all__ = [
+    "MSG_HEARTBEAT",
+    "MSG_STATUS",
+    "MSG_CLAIM",
+    "NODE_COMM_STAT_KEYS",
+    "encode_message",
+    "decode_message",
+    "InterNodeComm",
+]
+
+#: Protocol message kinds.
+MSG_HEARTBEAT = "heartbeat"   # leader liveness beacon
+MSG_STATUS = "status"         # standby liveness beacon
+MSG_CLAIM = "leader-claim"    # promotion announcement
+
+#: Authoritative per-node fabric counter names; the governed telemetry
+#: namespace (``campaign/<digest>/scenario/<id>/node/<node>/comm/<stat>``)
+#: enumerates exactly these.
+NODE_COMM_STAT_KEYS: Tuple[str, ...] = (
+    "sent", "delivered", "dropped", "duplicates_discarded",
+    "rejected_corrupt", "retransmissions", "backlog")
+
+#: Permanent (open-ended) fault windows use this sentinel expiry.
+FOREVER: Ticks = -1
+
+
+def encode_message(document: Dict[str, Any]) -> bytes:
+    """Frame *document* as canonical JSON + CRC32 trailer."""
+    body = json.dumps(document, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return body + b"|" + format(zlib.crc32(body), "08x").encode("ascii")
+
+
+def decode_message(payload: bytes) -> Optional[Dict[str, Any]]:
+    """Inverse of :func:`encode_message`; None when the CRC rejects."""
+    body, _, trailer = payload.rpartition(b"|")
+    if not body:
+        return None
+    try:
+        if int(trailer.decode("ascii"), 16) != zlib.crc32(body):
+            return None
+        return json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+class _Window:
+    """One injected fault window: active from application until expiry."""
+
+    __slots__ = ("until",)
+
+    def __init__(self, until: Ticks) -> None:
+        self.until = until
+
+    def active(self, now: Ticks) -> bool:
+        return self.until == FOREVER or now < self.until
+
+
+class InterNodeComm:
+    """The constellation's message fabric.
+
+    All state is deterministic: link randomness comes from forked seeded
+    streams, delivery order from the links' arrival heaps, and every
+    observable (sends, deliveries, dedup discards, CRC rejections,
+    injected-fault windows) is appended to :attr:`events` as a pure-data
+    dict — the record the cross-node oracle and the combined trace digest
+    consume.
+    """
+
+    def __init__(self, config: ConstellationConfig, seed: int) -> None:
+        self.config = config
+        root = SeededRng(seed).fork("constellation-comm")
+        self._links: Dict[Tuple[int, int], ReliableLink] = {}
+        for src in range(config.nodes):
+            for dst in range(config.nodes):
+                if src == dst:
+                    continue
+                link = NetworkLink(
+                    latency=config.link_latency,
+                    loss_probability=config.loss_probability,
+                    duplicate_probability=config.duplicate_probability,
+                    rng=root.fork(f"link-{src}-{dst}"))
+                self._links[(src, dst)] = ReliableLink(
+                    link, max_retries=config.max_retries,
+                    backoff=config.backoff, rng=root.fork(f"arq-{src}-{dst}"))
+        self._corrupt_rng = [root.fork(f"byz-{node}")
+                             for node in range(config.nodes)]
+        self._inboxes: Dict[int, List[Tuple[int, Envelope]]] = {
+            node: [] for node in range(config.nodes)}
+        self._accepted: Dict[Tuple[int, int], set] = {}
+        self._partitioned: Dict[Tuple[int, int], _Window] = {}
+        self._silenced: Dict[int, _Window] = {}
+        self._byzantine: Dict[int, _Window] = {}
+        #: Pure-data observation log (oracle + digest input).
+        self.events: List[Dict[str, Any]] = []
+        #: Per-node counters, keyed by :data:`NODE_COMM_STAT_KEYS` minus
+        #: the derived ``backlog``/``retransmissions`` entries.
+        self._counters: List[Dict[str, int]] = [
+            {"sent": 0, "delivered": 0, "dropped": 0,
+             "duplicates_discarded": 0, "rejected_corrupt": 0}
+            for _ in range(config.nodes)]
+        self._pump_now: Ticks = 0
+
+    # ---------------------------------------------------------------- #
+    # fault hooks
+    # ---------------------------------------------------------------- #
+
+    def _window_event(self, now: Ticks, kind: str, until: Ticks,
+                      **detail: Any) -> None:
+        self.events.append(dict({"event": "fault-window", "tick": now,
+                                 "kind": kind, "until": until}, **detail))
+
+    def partition(self, now: Ticks, group_a: Tuple[int, ...],
+                  group_b: Tuple[int, ...], until: Ticks) -> int:
+        """Sever every link between *group_a* and *group_b* until *until*."""
+        severed = 0
+        for a in group_a:
+            for b in group_b:
+                if a == b:
+                    continue
+                self._partitioned[(a, b)] = _Window(until)
+                self._partitioned[(b, a)] = _Window(until)
+                severed += 2
+        self._window_event(now, "link-partition", until,
+                           group_a=list(group_a), group_b=list(group_b))
+        return severed
+
+    def silence(self, now: Ticks, node: int, until: Ticks) -> None:
+        """Blackhole every outgoing transmission of *node* until *until*."""
+        self._silenced[node] = _Window(until)
+        self._window_event(now, "silent-node", until, node=node)
+
+    def corrupt(self, now: Ticks, node: int, until: Ticks) -> None:
+        """Make *node* Byzantine (corrupt its payloads) until *until*."""
+        self._byzantine[node] = _Window(until)
+        self._window_event(now, "byzantine-node", until, node=node)
+
+    def storm(self, now: Ticks, src: int, dst: int, count: int) -> int:
+        """Flood the *src*->*dst* link with *count* junk frames."""
+        self._window_event(now, "link-storm", now, src=src, dst=dst,
+                           count=count)
+        injected = 0
+        for index in range(count):
+            frame = b"STORM-" + str(index).encode("ascii")
+            if self._transmit_raw(now, src, dst, frame, kind="storm-junk",
+                                  seq=-(index + 1)):
+                injected += 1
+        return injected
+
+    def fault_windows(self, now: Ticks) -> Dict[str, int]:
+        """Currently active injected windows, for crash bundles."""
+        return {
+            "partitioned_links": sum(
+                1 for window in self._partitioned.values()
+                if window.active(now)),
+            "silenced_nodes": sum(1 for window in self._silenced.values()
+                                  if window.active(now)),
+            "byzantine_nodes": sum(1 for window in self._byzantine.values()
+                                   if window.active(now)),
+        }
+
+    # ---------------------------------------------------------------- #
+    # send / pump / receive
+    # ---------------------------------------------------------------- #
+
+    def send(self, now: Ticks, src: int, dst: int,
+             document: Dict[str, Any]) -> bool:
+        """Frame and transmit a protocol *document* from *src* to *dst*.
+
+        Returns True when the frame entered the link (delivery still
+        subject to the loss model); False when an injected fault or retry
+        exhaustion dropped it.  Every outcome is logged.
+        """
+        seq = document["seq"]
+        kind = document["kind"]
+        counters = self._counters[src]
+        counters["sent"] += 1
+        self.events.append({"event": "sent", "tick": now, "src": src,
+                            "dst": dst, "seq": seq, "kind": kind})
+        silenced = self._silenced.get(src)
+        if silenced is not None and silenced.active(now):
+            counters["dropped"] += 1
+            self.events.append({"event": "dropped", "tick": now, "src": src,
+                                "dst": dst, "seq": seq,
+                                "reason": "silent-node"})
+            return False
+        partitioned = self._partitioned.get((src, dst))
+        if partitioned is not None and partitioned.active(now):
+            counters["dropped"] += 1
+            self.events.append({"event": "dropped", "tick": now, "src": src,
+                                "dst": dst, "seq": seq,
+                                "reason": "link-partition"})
+            return False
+        payload = encode_message(document)
+        byzantine = self._byzantine.get(src)
+        if byzantine is not None and byzantine.active(now):
+            payload = self._corrupt_payload(src, payload)
+            self.events.append({"event": "corrupted", "tick": now,
+                                "src": src, "dst": dst, "seq": seq})
+        return self._transmit_raw(now, src, dst, payload, kind=kind, seq=seq)
+
+    def _corrupt_payload(self, src: int, payload: bytes) -> bytes:
+        """Flip one deterministic byte of the frame body."""
+        index = self._corrupt_rng[src].randint(0, max(0, len(payload) - 10))
+        flipped = bytes([payload[index] ^ 0xFF])
+        return payload[:index] + flipped + payload[index + 1:]
+
+    def _transmit_raw(self, now: Ticks, src: int, dst: int,
+                      payload: bytes, *, kind: str, seq: int) -> bool:
+        link = self._links[(src, dst)]
+        envelope = Envelope(payload=payload, sent_at=now,
+                            channel=f"xnode-{src}-{dst}", sequence=seq)
+        inboxes = self._inboxes
+
+        def deliver(delivered: Envelope, _src: int = src,
+                    _dst: int = dst) -> None:
+            # Resolve the inbox at delivery time: receive() drains it
+            # between transmit and pump, and a closure over the list
+            # object would append into a stale drain.
+            inboxes[_dst].append((_src, delivered))
+
+        accepted = link.transmit(envelope, now, deliver,
+                                 tag=(src, dst, seq))
+        if not accepted:
+            self._counters[src]["dropped"] += 1
+            self.events.append({"event": "dropped", "tick": now, "src": src,
+                                "dst": dst, "seq": seq,
+                                "reason": "retry-exhausted"})
+        return accepted
+
+    def pump(self, now: Ticks) -> int:
+        """Deliver everything due on every link, in link order."""
+        self._pump_now = now
+        delivered = 0
+        for (src, dst) in sorted(self._links):
+            delivered += self._links[(src, dst)].pump(now)
+        return delivered
+
+    def receive(self, now: Ticks, dst: int) -> List[Dict[str, Any]]:
+        """Drain *dst*'s inbox: CRC-check, dedup, log, return documents.
+
+        Returns the accepted protocol documents in arrival order, each
+        with ``_from`` (sender node) attached.
+        """
+        accepted_documents: List[Dict[str, Any]] = []
+        counters = self._counters[dst]
+        arrivals = list(self._inboxes[dst])
+        self._inboxes[dst].clear()
+        for src, envelope in arrivals:
+            seq = envelope.sequence
+            self.events.append({"event": "delivered", "tick": now,
+                                "src": src, "dst": dst, "seq": seq})
+            document = decode_message(envelope.payload)
+            if document is None:
+                counters["rejected_corrupt"] += 1
+                self.events.append({"event": "rejected-corrupt",
+                                    "tick": now, "src": src, "dst": dst,
+                                    "seq": seq})
+                continue
+            seen = self._accepted.setdefault((src, dst), set())
+            if seq in seen:
+                counters["duplicates_discarded"] += 1
+                self.events.append({"event": "duplicate-discarded",
+                                    "tick": now, "src": src, "dst": dst,
+                                    "seq": seq})
+                continue
+            seen.add(seq)
+            counters["delivered"] += 1
+            self.events.append({"event": "accepted", "tick": now,
+                                "src": src, "dst": dst, "seq": seq,
+                                "kind": document.get("kind", "?")})
+            document["_from"] = src
+            accepted_documents.append(document)
+        return accepted_documents
+
+    # ---------------------------------------------------------------- #
+    # horizons, stats, digests
+    # ---------------------------------------------------------------- #
+
+    @property
+    def next_delivery_tick(self) -> Optional[Ticks]:
+        """Earliest in-flight arrival across every link, or None."""
+        ticks = [link.next_delivery_tick for link in self._links.values()
+                 if link.next_delivery_tick is not None]
+        return min(ticks) if ticks else None
+
+    def backlog(self, node: Optional[int] = None) -> int:
+        """In-flight frames + undrained inbox depth (one node or all)."""
+        if node is None:
+            in_flight = sum(link.in_flight for link in self._links.values())
+            inboxed = sum(len(inbox) for inbox in self._inboxes.values())
+            return in_flight + inboxed
+        in_flight = sum(link.in_flight
+                        for (src, dst), link in self._links.items()
+                        if dst == node)
+        return in_flight + len(self._inboxes[node])
+
+    def link_stats(self, src: int, dst: int) -> Dict[str, int]:
+        """The governed :data:`~repro.comm.network.LINK_STAT_KEYS` counters."""
+        return self._links[(src, dst)].stats.as_dict()
+
+    def node_stats(self, node: int) -> Dict[str, int]:
+        """Per-node fabric counters keyed by :data:`NODE_COMM_STAT_KEYS`."""
+        retransmissions = sum(
+            link.stats.retransmissions
+            for (src, _dst), link in self._links.items() if src == node)
+        stats = dict(self._counters[node])
+        stats["retransmissions"] = retransmissions
+        stats["backlog"] = self.backlog(node)
+        return {key: stats[key] for key in NODE_COMM_STAT_KEYS}
+
+    def events_digest(self) -> str:
+        """Content digest of the full observation log."""
+        canonical = json.dumps(self.events, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

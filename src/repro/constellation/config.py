@@ -1,0 +1,118 @@
+"""Constellation configuration: N AIR nodes plus the inter-node fabric.
+
+The paper's Sect. 2.1 allows partitions "not sharing the same processing
+platform", with interpartition communication implying "data transmission
+through a communication infrastructure".  A :class:`ConstellationConfig`
+describes one such fleet: how many nodes, which per-node system (a
+campaign config factory), the link fabric's latency/loss/duplication
+model, and the leader/standby failover protocol's timing contract —
+heartbeat period, heartbeat timeout (the FDIR watchdog window) and the
+declared failover deadline the cross-node oracle enforces.
+
+Everything is picklable and JSON-serializable, so constellation scenarios
+cross the campaign worker-pool boundary exactly like single-node ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from ..apps.prototype import MTF
+from ..exceptions import ConfigurationError
+from ..types import Ticks
+
+__all__ = ["ConstellationConfig", "DEFAULT_FAILOVER_DEADLINE"]
+
+#: Default promotion bound: the standby promotes at its next MTF boundary
+#: after detection, so one full MTF plus a sync-quantum of slack always
+#: suffices on the nominal path.
+DEFAULT_FAILOVER_DEADLINE: Ticks = MTF + 300
+
+
+@dataclass(frozen=True)
+class ConstellationConfig:
+    """One deterministic multi-node constellation.
+
+    *nodes* full AIR simulators run in lockstep; node ``0`` boots as the
+    epoch-0 leader, the rest as standbys.  Links are a full mesh of
+    directed :class:`~repro.comm.network.ReliableLink`-wrapped
+    :class:`~repro.comm.network.NetworkLink` instances, each with its own
+    forked rng stream.  ``heartbeat_timeout`` is the leader watchdog
+    window (a :class:`~repro.fdir.watchdog.WatchdogService` per standby);
+    ``failover_deadline`` is the declared detection-to-promotion bound
+    the cross-node oracle checks.
+    """
+
+    nodes: int = 3
+    factory: str = "prototype"
+    factory_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    link_latency: Ticks = 40
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    max_retries: int = 16
+    backoff: Tuple[Ticks, Ticks] = (0, 0)
+    heartbeat_period: Ticks = MTF // 4
+    heartbeat_timeout: Ticks = MTF
+    failover_deadline: Ticks = DEFAULT_FAILOVER_DEADLINE
+    sync_quantum: Ticks = 200
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ConfigurationError(
+                f"a constellation needs >= 2 nodes, got {self.nodes}")
+        if self.link_latency < 0:
+            raise ConfigurationError(
+                f"link_latency must be >= 0, got {self.link_latency}")
+        if self.heartbeat_period < 1:
+            raise ConfigurationError(
+                f"heartbeat_period must be >= 1, got "
+                f"{self.heartbeat_period}")
+        if self.heartbeat_timeout <= self.heartbeat_period + \
+                self.link_latency:
+            raise ConfigurationError(
+                f"heartbeat_timeout ({self.heartbeat_timeout}) must exceed "
+                f"heartbeat_period + link_latency "
+                f"({self.heartbeat_period} + {self.link_latency}) or every "
+                f"in-flight heartbeat trips the watchdog")
+        if self.failover_deadline < 1:
+            raise ConfigurationError(
+                f"failover_deadline must be >= 1, got "
+                f"{self.failover_deadline}")
+        if self.sync_quantum < 1:
+            raise ConfigurationError(
+                f"sync_quantum must be >= 1, got {self.sync_quantum}")
+        if isinstance(self.backoff, list):
+            object.__setattr__(self, "backoff", tuple(self.backoff))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return {
+            "nodes": self.nodes,
+            "factory": self.factory,
+            "factory_kwargs": dict(self.factory_kwargs),
+            "link_latency": self.link_latency,
+            "loss_probability": self.loss_probability,
+            "duplicate_probability": self.duplicate_probability,
+            "max_retries": self.max_retries,
+            "backoff": list(self.backoff),
+            "heartbeat_period": self.heartbeat_period,
+            "heartbeat_timeout": self.heartbeat_timeout,
+            "failover_deadline": self.failover_deadline,
+            "sync_quantum": self.sync_quantum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConstellationConfig":
+        """Rebuild from :meth:`to_dict` output (extra keys rejected)."""
+        fields = dict(data)
+        known = {name for name in cls.__dataclass_fields__}  # type: ignore
+        unknown = set(fields) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown constellation config fields {sorted(unknown)}")
+        if "backoff" in fields:
+            fields["backoff"] = tuple(fields["backoff"])
+        if "factory_kwargs" in fields:
+            fields["factory_kwargs"] = dict(fields["factory_kwargs"])
+        return cls(**fields)

@@ -1,0 +1,179 @@
+"""Cross-node fault models (link partition/storm, silent/Byzantine node,
+cascading crashes).
+
+These are the constellation-level counterparts of
+:mod:`repro.fault.faults`: frozen dataclasses entered into the same
+:data:`~repro.fault.faults.FAULT_KINDS` registry (so the registry-driven
+round-trip serialization audit covers them automatically) but applied to
+a :class:`~repro.constellation.constellation.Constellation` rather than a
+single :class:`~repro.kernel.simulator.Simulator`.
+
+Every application opens a *fault window* in the inter-node fabric's
+observation log; the cross-node oracle excuses message loss, duplicate
+leaders and missed heartbeats only inside such windows — damage outside
+an injected window is a genuine protocol defect and fails the scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..exceptions import ConfigurationError
+from ..fault.faults import register_fault
+from ..types import Ticks
+
+__all__ = [
+    "ConstellationFault",
+    "LinkPartitionFault",
+    "LinkStormFault",
+    "SilentNodeFault",
+    "ByzantineNodeFault",
+    "NodeCrashFault",
+]
+
+#: duration == FOREVER means the window never closes.
+FOREVER: Ticks = -1
+
+
+class ConstellationFault:
+    """One injectable cross-node fault.
+
+    Unlike :class:`~repro.fault.faults.Fault` this applies to the whole
+    constellation; the lockstep loop dispatches on this base class.
+    """
+
+    def apply_to(self, constellation) -> str:
+        """Inject into *constellation*; returns a status line."""
+        raise NotImplementedError
+
+
+def _until(now: Ticks, duration: Ticks) -> Ticks:
+    return FOREVER if duration == FOREVER else now + duration
+
+
+@register_fault
+@dataclass(frozen=True)
+class LinkPartitionFault(ConstellationFault):
+    """Sever links between two node groups for *duration* ticks.
+
+    With ``group_b`` empty, ``group_a`` is cut off from everyone else —
+    the classic network partition.  Messages crossing the cut are dropped
+    at transmit time and logged with reason ``link-partition``.
+    """
+
+    group_a: Tuple[int, ...]
+    group_b: Tuple[int, ...] = ()
+    duration: Ticks = FOREVER
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group_a", tuple(self.group_a))
+        object.__setattr__(self, "group_b", tuple(self.group_b))
+
+    def apply_to(self, constellation) -> str:
+        now = constellation.now
+        group_b = self.group_b or tuple(
+            node for node in range(constellation.config.nodes)
+            if node not in self.group_a)
+        severed = constellation.comm.partition(
+            now, self.group_a, group_b, _until(now, self.duration))
+        return (f"partitioned {list(self.group_a)} | {list(group_b)}: "
+                f"{severed} directed links severed")
+
+
+@register_fault
+@dataclass(frozen=True)
+class LinkStormFault(ConstellationFault):
+    """Babbling-idiot storm: *count* junk frames down one directed link.
+
+    The receiver's CRC framing must reject every frame; the storm may
+    delay but must never corrupt protocol state.
+    """
+
+    src: int
+    dst: int
+    count: int = 64
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ConfigurationError(
+                f"link storm needs a directed link; the mesh has no "
+                f"self-link {self.src}->{self.dst}")
+
+    def apply_to(self, constellation) -> str:
+        injected = constellation.comm.storm(constellation.now, self.src,
+                                            self.dst, self.count)
+        return (f"storm {self.src}->{self.dst}: {injected}/{self.count} "
+                f"junk frames injected")
+
+
+@register_fault
+@dataclass(frozen=True)
+class SilentNodeFault(ConstellationFault):
+    """Blackhole a node's transmissions (fail-silent, node still runs).
+
+    Applied to the current leader this is the canonical failover drill:
+    standbys stop hearing heartbeats, the FDIR watchdog expires, and the
+    successor must promote within the declared deadline.
+    """
+
+    node: int
+    duration: Ticks = FOREVER
+
+    def apply_to(self, constellation) -> str:
+        now = constellation.now
+        constellation.comm.silence(now, self.node,
+                                   _until(now, self.duration))
+        span = ("permanently" if self.duration == FOREVER
+                else f"for {self.duration} ticks")
+        return f"node {self.node} silenced {span}"
+
+
+@register_fault
+@dataclass(frozen=True)
+class ByzantineNodeFault(ConstellationFault):
+    """Make a node Byzantine: its payloads are corrupted on the wire.
+
+    Receivers must reject the frames via CRC framing; the corruption may
+    cost liveness (a Byzantine leader looks silent) but never safety.
+    """
+
+    node: int
+    duration: Ticks = FOREVER
+
+    def apply_to(self, constellation) -> str:
+        now = constellation.now
+        constellation.comm.corrupt(now, self.node,
+                                   _until(now, self.duration))
+        span = ("permanently" if self.duration == FOREVER
+                else f"for {self.duration} ticks")
+        return f"node {self.node} Byzantine {span}"
+
+
+@register_fault
+@dataclass(frozen=True)
+class NodeCrashFault(ConstellationFault):
+    """Crash a node outright; optionally cascade to dependent nodes.
+
+    The crashed node's module is stopped (``pmk.module_stop``), its
+    fabric silenced, and each node in ``cascade`` is scheduled to crash
+    ``cascade_delay`` ticks later — the multi-node cascading-failure
+    scenario the chaos suite draws on.
+    """
+
+    node: int
+    cascade: Tuple[int, ...] = ()
+    cascade_delay: Ticks = 500
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cascade", tuple(self.cascade))
+
+    def apply_to(self, constellation) -> str:
+        constellation.crash_node(self.node)
+        for offset, victim in enumerate(self.cascade, start=1):
+            constellation.schedule_fault(
+                constellation.now + offset * self.cascade_delay,
+                NodeCrashFault(node=victim))
+        suffix = (f", cascading to {list(self.cascade)}" if self.cascade
+                  else "")
+        return f"node {self.node} crashed{suffix}"

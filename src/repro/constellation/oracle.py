@@ -1,0 +1,202 @@
+"""Cross-node invariant oracle (the distributed extension of
+:mod:`repro.fdir.oracle`).
+
+Single-node invariants are still checked per node trace with
+:func:`repro.fdir.oracle.check_trace`; this module adds the invariants
+that only exist *between* nodes, verified over the fabric's pure-data
+observation log and the constellation's protocol record:
+
+``xnode-message-accounting``
+    Every inter-node message sent is accepted exactly once — unless an
+    injected fault window explains its loss (partition/silence drop,
+    Byzantine CRC rejection, retry exhaustion under a configured loss
+    model, destination crashed) or it was still in flight/inboxed when
+    the run ended.  Acceptance without a send, and double acceptance,
+    are violations unconditionally.
+``single-leader-epoch``
+    At most one node claims each epoch.  Two claims of one epoch are
+    excused only when an injected fault window overlaps the interval
+    between them (a partition can legitimately split the fleet).
+``failover-deadline``
+    Every detected failover completes (promotion) or is cancelled (the
+    old leader reappeared) within the declared ``failover_deadline``;
+    a detection left dangling longer than the deadline before the run
+    ended is equally a violation.
+
+Violations reuse :class:`repro.fdir.oracle.InvariantViolation` — the
+``partition`` field carries ``node<i>`` so reports read uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..fdir.oracle import InvariantViolation
+from ..types import Ticks
+from .config import ConstellationConfig
+
+__all__ = ["check_constellation"]
+
+#: Drop reasons the fabric only emits under an injected fault or a
+#: configured loss model — always excused.
+_EXCUSED_DROPS = frozenset(
+    {"silent-node", "link-partition", "retry-exhausted"})
+
+
+def check_constellation(
+        comm_events: List[Dict[str, Any]],
+        protocol_events: List[Dict[str, Any]],
+        config: ConstellationConfig, *,
+        end_tick: Ticks,
+        final_backlog: int = 0,
+        max_violations: int = 64) -> Tuple[InvariantViolation, ...]:
+    """Verify the cross-node invariants over one finished run."""
+    violations: List[InvariantViolation] = []
+
+    def flag(invariant: str, tick: Ticks, detail: str,
+             node: int = -1) -> None:
+        if len(violations) < max_violations:
+            violations.append(InvariantViolation(
+                invariant=invariant, tick=tick, detail=detail,
+                partition=f"node{node}" if node >= 0 else None))
+
+    # ------------------------------------------------------------ #
+    # reconstruct fault windows and crash times
+    # ------------------------------------------------------------ #
+    fault_windows: List[Tuple[Ticks, Ticks]] = []
+    corrupted_keys = set()
+    storms: List[Tuple[int, int]] = []
+    for event in comm_events:
+        kind = event.get("event")
+        if kind == "corrupted":
+            # The fabric logs exactly which frames a Byzantine window
+            # mangled at send time; only those may be CRC-rejected.
+            corrupted_keys.add((event["src"], event["dst"], event["seq"]))
+            continue
+        if kind != "fault-window":
+            continue
+        start = event["tick"]
+        until = event["until"]
+        end = end_tick + 1 if until == -1 else until
+        fault_windows.append((start, end))
+        if event["kind"] == "link-storm":
+            storms.append((event["src"], event["dst"]))
+    crashed_at: Dict[int, Ticks] = {}
+    for event in protocol_events:
+        if event.get("event") == "node-crashed":
+            crashed_at.setdefault(event["node"], event["tick"])
+
+    def any_window_overlaps(start: Ticks, end: Ticks) -> bool:
+        return any(w_start <= end and w_end >= start
+                   for w_start, w_end in fault_windows)
+
+    # ------------------------------------------------------------ #
+    # xnode-message-accounting
+    # ------------------------------------------------------------ #
+    sent: Dict[Tuple[int, int, int], Ticks] = {}
+    resolved: Dict[Tuple[int, int, int], str] = {}
+    for event in comm_events:
+        kind = event.get("event")
+        if kind not in ("sent", "accepted", "dropped", "rejected-corrupt",
+                        "duplicate-discarded"):
+            continue
+        key = (event["src"], event["dst"], event["seq"])
+        tick = event["tick"]
+        if kind == "sent":
+            sent[key] = tick
+        elif kind == "accepted":
+            if key not in sent and key[2] >= 0:
+                flag("xnode-message-accounting", tick,
+                     f"accepted message {key} was never sent",
+                     node=event["dst"])
+            elif resolved.get(key) == "accepted":
+                flag("xnode-message-accounting", tick,
+                     f"message {key} accepted twice (dedup breach)",
+                     node=event["dst"])
+            else:
+                resolved[key] = "accepted"
+        elif kind == "dropped":
+            reason = event.get("reason", "?")
+            if reason not in _EXCUSED_DROPS:
+                flag("xnode-message-accounting", tick,
+                     f"message {key} dropped for unexplained reason "
+                     f"{reason!r}", node=event["src"])
+            resolved.setdefault(key, "dropped")
+        elif kind == "rejected-corrupt":
+            src, dst = key[0], key[1]
+            storm_frame = key[2] < 0 and (src, dst) in storms
+            if not storm_frame and key not in corrupted_keys:
+                flag("xnode-message-accounting", tick,
+                     f"message {key} rejected as corrupt but was never "
+                     f"corrupted by an injected Byzantine fault", node=dst)
+            resolved.setdefault(key, "rejected")
+    # retry-exhausted drops need a configured loss model to be excusable.
+    if config.loss_probability == 0.0:
+        for event in comm_events:
+            if (event.get("event") == "dropped"
+                    and event.get("reason") == "retry-exhausted"):
+                flag("xnode-message-accounting", event["tick"],
+                     "retry exhaustion on a loss-free link",
+                     node=event["src"])
+    unresolved = 0
+    for key, tick in sorted(sent.items()):
+        if key in resolved:
+            continue
+        dst = key[1]
+        if dst in crashed_at and tick >= crashed_at[dst]:
+            continue  # receiver died; the message had nowhere to land
+        unresolved += 1
+    if unresolved > final_backlog:
+        flag("xnode-message-accounting", end_tick,
+             f"{unresolved} sent message(s) neither accepted, dropped "
+             f"nor still in transit (final backlog {final_backlog})")
+
+    # ------------------------------------------------------------ #
+    # single-leader-epoch
+    # ------------------------------------------------------------ #
+    claims: Dict[int, List[Tuple[Ticks, int]]] = {}
+    for event in protocol_events:
+        if event.get("event") == "leader-claimed":
+            claims.setdefault(event["epoch"], []).append(
+                (event["tick"], event["node"]))
+    for epoch, claimants in sorted(claims.items()):
+        nodes = {node for _, node in claimants}
+        if len(nodes) <= 1:
+            continue
+        first = min(tick for tick, _ in claimants)
+        last = max(tick for tick, _ in claimants)
+        if not any_window_overlaps(first, last):
+            flag("single-leader-epoch", last,
+                 f"epoch {epoch} claimed by nodes {sorted(nodes)} with no "
+                 f"fault window overlapping [{first}, {last}]")
+
+    # ------------------------------------------------------------ #
+    # failover-deadline
+    # ------------------------------------------------------------ #
+    deadline = config.failover_deadline
+    open_detections: Dict[int, Ticks] = {}
+    for event in protocol_events:
+        kind = event.get("event")
+        node = event.get("node", -1)
+        tick = event.get("tick", 0)
+        if kind == "failover-detected":
+            open_detections[node] = tick
+        elif kind == "failover-cancelled":
+            open_detections.pop(node, None)
+        elif kind == "leader-claimed" and event.get("detected_at") is not None:
+            detected = open_detections.pop(node, event["detected_at"])
+            if tick - detected > deadline:
+                flag("failover-deadline", tick,
+                     f"promotion {tick - detected} ticks after detection "
+                     f"at {detected} exceeds deadline {deadline}",
+                     node=node)
+        elif kind == "node-crashed":
+            open_detections.pop(node, None)  # the successor itself died
+    for node, detected in sorted(open_detections.items()):
+        if end_tick - detected > deadline:
+            flag("failover-deadline", end_tick,
+                 f"failover detected at {detected} still incomplete "
+                 f"{end_tick - detected} ticks later (deadline {deadline})",
+                 node=node)
+
+    return tuple(violations)

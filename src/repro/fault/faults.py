@@ -24,6 +24,8 @@ from ..types import AccessKind, ErrorCode, PartitionMode, PrivilegeLevel
 
 __all__ = [
     "Fault",
+    "FAULT_KINDS",
+    "register_fault",
     "StartProcessFault",
     "MemoryViolationFault",
     "ClockTamperFault",
@@ -36,6 +38,22 @@ __all__ = [
     "fault_from_dict",
 ]
 
+#: kind label -> fault class, for campaign-spec reconstruction.  Populated
+#: by :func:`register_fault`; every entry automatically gains dict
+#: round-trip serialization coverage (``tests/fault/test_registry.py``),
+#: so a new fault class registered here without serializable fields fails
+#: CI rather than production.
+FAULT_KINDS: Dict[str, type] = {}
+
+
+def register_fault(cls: type) -> type:
+    """Class decorator: enter *cls* into :data:`FAULT_KINDS` by name."""
+    if cls.__name__ in FAULT_KINDS:
+        raise ConfigurationError(
+            f"fault kind already registered: {cls.__name__!r}")
+    FAULT_KINDS[cls.__name__] = cls
+    return cls
+
 
 class Fault:
     """One injectable fault."""
@@ -45,6 +63,7 @@ class Fault:
         raise NotImplementedError
 
 
+@register_fault
 @dataclass(frozen=True)
 class StartProcessFault(Fault):
     """Activate a (faulty) dormant process — the Sect. 6 injection.
@@ -61,6 +80,7 @@ class StartProcessFault(Fault):
                 f"{result.code.value}")
 
 
+@register_fault
 @dataclass(frozen=True)
 class MemoryViolationFault(Fault):
     """Attempt a cross-boundary memory access from a partition's context.
@@ -93,6 +113,7 @@ class MemoryViolationFault(Fault):
                 f"WAS NOT TRAPPED (containment breach!)")
 
 
+@register_fault
 @dataclass(frozen=True)
 class ClockTamperFault(Fault):
     """A generic (non-real-time) POS tries to take over the system clock.
@@ -117,6 +138,7 @@ class ClockTamperFault(Fault):
         return f"{self.partition}: {len(trapped)} clock operations trapped"
 
 
+@register_fault
 @dataclass(frozen=True)
 class PartitionCrashFault(Fault):
     """Force a partition restart (models an unrecoverable internal crash)."""
@@ -131,6 +153,7 @@ class PartitionCrashFault(Fault):
         return f"{self.partition}: crashed, restarting {mode.value}"
 
 
+@register_fault
 @dataclass(frozen=True)
 class MessageFloodFault(Fault):
     """Babbling idiot: flood a queuing channel from its source port.
@@ -153,6 +176,7 @@ class MessageFloodFault(Fault):
         return f"{self.partition}:{self.port}: flooded {sent}/{self.count}"
 
 
+@register_fault
 @dataclass(frozen=True)
 class ProcessKillFault(Fault):
     """Stop a process outright (models a detected unrecoverable fault)."""
@@ -166,6 +190,7 @@ class ProcessKillFault(Fault):
                 f"{result.code.value}")
 
 
+@register_fault
 @dataclass(frozen=True)
 class ScheduleSwitchFault(Fault):
     """Request a module schedule switch (SET_MODULE_SCHEDULE, Sect. 4.2).
@@ -186,6 +211,7 @@ class ScheduleSwitchFault(Fault):
         return f"schedule switch to {self.schedule_id!r} requested"
 
 
+@register_fault
 @dataclass(frozen=True)
 class SimulatedCrashFault(Fault):
     """Deterministically crash the *scenario* (not a partition).
@@ -209,15 +235,6 @@ class SimulatedCrashFault(Fault):
 # ------------------------------------------------------------------ #
 # (de)serialization — campaign specs carry faults as JSON documents
 # ------------------------------------------------------------------ #
-
-#: kind label -> fault class, for campaign-spec reconstruction.
-FAULT_KINDS: Dict[str, type] = {
-    cls.__name__: cls
-    for cls in (StartProcessFault, MemoryViolationFault, ClockTamperFault,
-                PartitionCrashFault, MessageFloodFault, ProcessKillFault,
-                ScheduleSwitchFault, SimulatedCrashFault)
-}
-
 
 def fault_to_dict(fault: Fault) -> Dict[str, Any]:
     """Encode *fault* as a JSON-compatible dict (``kind`` + fields)."""
@@ -248,4 +265,10 @@ def fault_from_dict(data: Mapping[str, Any]) -> Fault:
         fields["payload"] = fields["payload"].encode("latin-1")
     if "access" in fields and isinstance(fields["access"], str):
         fields["access"] = AccessKind(fields["access"])
+    # JSON has no tuples: list-valued fields (cross-node fault node
+    # groups) come back as lists and are coerced to the tuple the frozen
+    # dataclasses declare.
+    for name, value in fields.items():
+        if isinstance(value, list):
+            fields[name] = tuple(value)
     return fault_type(**fields)

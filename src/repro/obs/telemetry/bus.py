@@ -132,6 +132,22 @@ class TelemetryPublisher:
         self._publish(f"scenario/{scenario_id}/flight-record",
                       {"path": path})
 
+    # ---- constellation node stream -------------------------------- #
+
+    def node_role(self, node: int, role: str, epoch: int) -> None:
+        self._publish_worker(f"node/{node}/role",
+                             {"role": role, "epoch": epoch})
+
+    def node_crashed(self, node: int, tick: int, role: str) -> None:
+        self._publish_worker(f"node/{node}/crash",
+                             {"tick": tick, "role": role})
+
+    def node_link_stats(self, src: int, dst: int,
+                        stats: Dict[str, int]) -> None:
+        for name, value in sorted(stats.items()):
+            self._publish_worker(f"node/{src}/link/{dst}/{name}",
+                                 {"value": value})
+
     # ---- worker counters ------------------------------------------ #
 
     def cache_stats(self, stats: Dict[str, int]) -> None:
@@ -338,6 +354,12 @@ def derive_deterministic_events(campaign_id: str,
                 topic=f"{base}/metric/{name}",
                 channel=CHANNEL_DETERMINISTIC,
                 payload={"value": value}))
+        for node, stats in getattr(result, "node_comm", ()):
+            for name, value in stats:
+                events.append(TelemetryEvent(
+                    topic=f"{base}/node/{node}/comm/{name}",
+                    channel=CHANNEL_DETERMINISTIC,
+                    payload={"value": value}))
     events.append(TelemetryEvent(
         topic=f"campaign/{campaign_id}/report",
         channel=CHANNEL_DETERMINISTIC,

@@ -43,6 +43,8 @@ def flight_record(scenario, *, status: str, error: str = "",
                   violations: Sequence = (),
                   simulator=None, injector=None,
                   from_snapshot=None, forked_at: int = -1,
+                  node_id: Optional[int] = None,
+                  internode_backlog: Optional[Dict[str, int]] = None,
                   last_n: int = FLIGHT_RECORD_LAST_N) -> Dict[str, object]:
     """Build the post-mortem bundle for a failed *scenario*.
 
@@ -50,6 +52,12 @@ def flight_record(scenario, *, status: str, error: str = "",
     construction — a broken config factory); every derived section
     degrades to empty rather than raising, because the recorder runs on
     the failure path and must never mask the original error.
+
+    Constellation failures stamp the bundle with the failing node:
+    *node_id* names it (its simulator/injector should be the ones passed
+    here) and *internode_backlog* carries the fabric's undelivered-message
+    census (in-flight frames plus per-node inbox depths) at failure time.
+    Both keys are always present — None means "not a constellation run".
     """
     from ...fault.faults import fault_to_dict
     from ...kernel.snapshot import config_identity
@@ -126,6 +134,9 @@ def flight_record(scenario, *, status: str, error: str = "",
         "oracle": oracle,
         "snapshot_provenance": provenance,
         "forked_at_tick": forked_at,
+        "node_id": node_id,
+        "internode_backlog": (dict(internode_backlog)
+                              if internode_backlog is not None else None),
     }
 
 

@@ -276,6 +276,8 @@ def default_registry() -> TopicRegistry:
     """
     from ...campaign.prefix import SnapshotCache
     from ...campaign.shm import SnapshotTransport
+    from ...comm.network import LINK_STAT_KEYS
+    from ...constellation.comm import NODE_COMM_STAT_KEYS
     from ..derived import COMPACT_METRIC_NAMES
     from ..instrument import AIR_INSTRUMENTS
 
@@ -310,6 +312,14 @@ def default_registry() -> TopicRegistry:
                     "(repro.obs.compact_metrics)",
         segment_values={"name": tuple(COMPACT_METRIC_NAMES)}))
     registry.register(TopicSpec(
+        pattern="campaign/<digest>/scenario/<id>/node/<node>/comm/<stat>",
+        type="counter", units="count", channel=CHANNEL_DETERMINISTIC,
+        version="1.0.0",
+        description="per-node inter-node fabric counter from "
+                    "ScenarioResult.node_comm (constellation scenarios; "
+                    "byte-stable across worker counts and backends)",
+        segment_values={"stat": tuple(NODE_COMM_STAT_KEYS)}))
+    registry.register(TopicSpec(
         pattern="campaign/<digest>/report",
         type="event", units="none", channel=CHANNEL_DETERMINISTIC,
         version="1.0.0",
@@ -331,6 +341,27 @@ def default_registry() -> TopicRegistry:
         description="per-worker shared-memory transport counters "
                     "(SnapshotTransport.stats)",
         segment_values={"stat": tuple(SnapshotTransport.STAT_KEYS)}))
+
+    # ---- constellation node stream (timing channel) ---------------- #
+    registry.register(TopicSpec(
+        pattern="node/<id>/role",
+        type="event", units="none", channel=CHANNEL_TIMING,
+        version="1.0.0",
+        description="node's failover role and epoch at scenario end "
+                    "(constellation live stream)"))
+    registry.register(TopicSpec(
+        pattern="node/<id>/crash",
+        type="event", units="none", channel=CHANNEL_TIMING,
+        version="1.0.0",
+        description="node crashed (injected NodeCrashFault or its own "
+                    "FDIR stopping the module), with tick and last role"))
+    registry.register(TopicSpec(
+        pattern="node/<id>/link/<peer>/<stat>",
+        type="counter", units="count", channel=CHANNEL_TIMING,
+        version="1.0.0",
+        description="per-directed-link inter-node fabric counters "
+                    "(repro.comm.network LinkStats)",
+        segment_values={"stat": tuple(LINK_STAT_KEYS)}))
 
     # ---- simulator instruments (deterministic channel) ------------- #
     for instrument_type in ("counter", "gauge", "histogram"):

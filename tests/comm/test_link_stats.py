@@ -1,0 +1,172 @@
+"""Link hardening tests: duplicate/drop counters, forked backoff streams,
+and cross-interpreter determinism of the delivery schedule."""
+
+import hashlib
+
+from repro.comm.messages import Envelope
+from repro.comm.network import (
+    LINK_STAT_KEYS,
+    NetworkLink,
+    ReliableLink,
+)
+from repro.kernel.rng import SeededRng
+
+
+def envelope(sequence):
+    return Envelope(payload=f"m{sequence}".encode(), sent_at=0,
+                    channel="ch", sequence=sequence)
+
+
+class TestLinkStats:
+    def test_as_dict_matches_governed_keys(self):
+        link = NetworkLink(latency=1)
+        stats = link.stats.as_dict()
+        assert tuple(stats) == LINK_STAT_KEYS
+        assert all(value == 0 for value in stats.values())
+
+    def test_duplicate_counter(self):
+        link = NetworkLink(latency=2, duplicate_probability=0.5,
+                           rng=SeededRng(7))
+        delivered = []
+        for sequence in range(100):
+            link.transmit(envelope(sequence), now=0,
+                          deliver=delivered.append)
+        link.pump(100)
+        stats = link.stats.as_dict()
+        assert stats["duplicated"] > 0
+        # Every duplicate surfaces as an extra delivery of the same frame.
+        assert stats["delivered"] == 100 + stats["duplicated"]
+        assert len(delivered) == stats["delivered"]
+
+    def test_duplicate_arrives_after_original(self):
+        link = NetworkLink(latency=3, duplicate_probability=0.99,
+                           rng=SeededRng(1))
+        seen = []
+        link.transmit(envelope(1), now=0, deliver=seen.append)
+        assert link.stats.duplicated == 1
+        link.pump(3)
+        assert len(seen) == 1  # original at latency
+        link.pump(4)
+        assert len(seen) == 2  # duplicate one tick behind
+
+    def test_dropped_counter_under_loss(self):
+        link = NetworkLink(latency=1, loss_probability=0.5,
+                           rng=SeededRng(3))
+        for sequence in range(100):
+            link.transmit(envelope(sequence), now=0, deliver=lambda e: None)
+        stats = link.stats.as_dict()
+        assert stats["dropped"] > 0
+        assert stats["sent"] == 100
+
+
+class TestReliableBackoff:
+    def test_backoff_validation(self):
+        import pytest
+
+        link = NetworkLink(latency=1)
+        with pytest.raises(ValueError):
+            ReliableLink(link, backoff=(-1, 3))
+        with pytest.raises(ValueError):
+            ReliableLink(link, backoff=(5, 2))
+
+    def test_backoff_delays_retransmissions(self):
+        lossy = NetworkLink(latency=2, loss_probability=0.6,
+                            rng=SeededRng(3))
+        link = ReliableLink(lossy, max_retries=64, backoff=(5, 9),
+                            rng=SeededRng(11))
+        arrivals = []
+        assert link.transmit(envelope(0), now=0,
+                             deliver=lambda e: arrivals.append("x"))
+        # First accepted attempt retried at least once under seed 3?  Not
+        # guaranteed per frame — send enough frames that some retried.
+        for sequence in range(1, 40):
+            link.transmit(envelope(sequence), now=0,
+                          deliver=lambda e: arrivals.append("x"))
+        assert link.stats.retransmissions > 0
+        # With (5, 9) backoff some deliveries land past the base latency.
+        assert link.next_delivery_tick is not None
+        link.pump(2)
+        early = len(arrivals)
+        link.pump(1000)
+        assert len(arrivals) > early
+
+    def test_backoff_stream_is_forked_not_shared(self):
+        # Enabling backoff must not perturb which frames the link drops:
+        # the wrapper draws from its own fork, never the loss stream.
+        def drop_pattern(backoff):
+            lossy = NetworkLink(latency=1, loss_probability=0.4,
+                                rng=SeededRng(5))
+            link = ReliableLink(lossy, max_retries=1, backoff=backoff,
+                                rng=SeededRng(5))
+            return [link.transmit(envelope(sequence), now=0,
+                                  deliver=lambda e: None)
+                    for sequence in range(200)]
+
+        assert drop_pattern((0, 0)) == drop_pattern((3, 17))
+
+    def test_snapshot_round_trip_with_backoff(self):
+        lossy = NetworkLink(latency=2, loss_probability=0.5,
+                            rng=SeededRng(9))
+        link = ReliableLink(lossy, max_retries=8, backoff=(1, 6),
+                            rng=SeededRng(9))
+        for sequence in range(20):
+            link.transmit(envelope(sequence), now=0, deliver=lambda e: None,
+                          tag="t")
+        state = link.snapshot()
+        assert "link" in state and "backoff_rng" in state
+
+        restored_inner = NetworkLink(latency=2, loss_probability=0.5,
+                                     rng=SeededRng(0))
+        restored = ReliableLink(restored_inner, max_retries=8,
+                                backoff=(1, 6), rng=SeededRng(0))
+        delivered_a, delivered_b = [], []
+        restored.restore(state,
+                         lambda tag: delivered_b.append)
+        # Same continuation from both instances: identical future draws.
+        for sequence in range(20, 40):
+            a = link.transmit(envelope(sequence), now=5,
+                              deliver=delivered_a.append)
+            b = restored.transmit(envelope(sequence), now=5,
+                                  deliver=delivered_b.append)
+            assert a == b
+        assert link.stats.as_dict() == restored.stats.as_dict()
+
+    def test_legacy_bare_snapshot_accepted(self):
+        inner = NetworkLink(latency=1)
+        link = ReliableLink(inner, max_retries=4)
+        bare = inner.snapshot()  # pre-backoff checkpoint format
+        link.restore(bare, lambda tag: (lambda e: None))
+        assert link.stats.sent == 0
+
+
+class TestCrossInterpreterDeterminism:
+    """Pinned digests: the delivery schedule is a pure function of the
+    seed, so these constants hold on any interpreter, platform and
+    worker count — the cross-interpreter determinism gate."""
+
+    @staticmethod
+    def _schedule_digest(duplicate=0.0, backoff=(0, 0)):
+        lossy = NetworkLink(latency=3, loss_probability=0.3,
+                            duplicate_probability=duplicate,
+                            rng=SeededRng(42))
+        link = ReliableLink(lossy, max_retries=16, backoff=backoff,
+                            rng=SeededRng(42))
+        log = []
+        for sequence in range(64):
+            link.transmit(envelope(sequence), now=sequence,
+                          deliver=lambda e, s=sequence:
+                          log.append((s, e.sequence)))
+        for now in range(0, 2000, 7):
+            link.pump(now)
+        trail = "|".join(f"{s}:{e}" for s, e in log)
+        stats = ",".join(f"{k}={v}"
+                         for k, v in link.stats.as_dict().items())
+        return hashlib.sha256(
+            f"{trail}#{stats}".encode()).hexdigest()[:16]
+
+    def test_plain_schedule_digest_pinned(self):
+        assert self._schedule_digest() == "527bf7e3744af2c4"
+
+    def test_backoff_and_duplication_digest_pinned(self):
+        assert self._schedule_digest(
+            duplicate=0.2, backoff=(2, 11)) == "401fd8a6c9fa866b"

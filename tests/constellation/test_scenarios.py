@@ -1,0 +1,127 @@
+"""Constellation scenario serialization and campaign-builder tests."""
+
+import json
+
+import pytest
+
+from repro.apps.prototype import MTF
+from repro.constellation import (
+    ConstellationConfig,
+    ConstellationScenario,
+    LinkPartitionFault,
+    SilentNodeFault,
+    constellation_campaign,
+    constellation_scenario_from_dict,
+    constellation_scenario_to_dict,
+    failover_drill,
+)
+from repro.exceptions import ConfigurationError
+from repro.fault.faults import MemoryViolationFault
+
+
+class TestConfig:
+    def test_round_trip(self):
+        config = ConstellationConfig(
+            nodes=4, loss_probability=0.1, duplicate_probability=0.05,
+            backoff=(3, 12), factory_kwargs={"fdir_supervision": True},
+            heartbeat_timeout=2000)
+        rebuilt = ConstellationConfig.from_dict(
+            json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstellationConfig.from_dict({"nodes": 3, "warp_drive": 1})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstellationConfig(nodes=1)
+        with pytest.raises(ConfigurationError):
+            # A timeout inside one heartbeat+latency would trip on every
+            # in-flight beacon.
+            ConstellationConfig(heartbeat_period=500, link_latency=100,
+                                heartbeat_timeout=550)
+
+
+class TestScenarioSerialization:
+    def scenario(self):
+        return ConstellationScenario(
+            scenario_id="xt-1", seed=9, ticks=6 * MTF,
+            constellation=ConstellationConfig(nodes=3,
+                                              loss_probability=0.05),
+            faults=((MTF, SilentNodeFault(node=0)),
+                    (2 * MTF, LinkPartitionFault(group_a=(2,),
+                                                 duration=MTF))),
+            node_faults=((1, MTF + 50, MemoryViolationFault("P2")),))
+
+    def test_json_round_trip(self):
+        scenario = self.scenario()
+        record = constellation_scenario_to_dict(scenario)
+        assert record["nodes"] == 3  # the campaign-spec dispatch marker
+        rebuilt = constellation_scenario_from_dict(
+            json.loads(json.dumps(record)))
+        assert rebuilt == scenario
+        assert rebuilt.is_constellation
+
+    def test_single_node_fault_rejected_under_faults(self):
+        record = constellation_scenario_to_dict(self.scenario())
+        record["faults"].append(
+            {"kind": "MemoryViolationFault", "partition": "P2",
+             "tick": 100})
+        with pytest.raises(ConfigurationError, match="node_faults"):
+            constellation_scenario_from_dict(record)
+
+    def test_out_of_range_node_fault_rejected(self):
+        with pytest.raises(ConfigurationError, match="targets node 7"):
+            ConstellationScenario(
+                scenario_id="bad", ticks=MTF,
+                node_faults=((7, 10, MemoryViolationFault("P2")),))
+
+
+class TestBuilders:
+    def test_failover_drill_shape(self):
+        drill = failover_drill(nodes=3, seed=0, mtfs=8)
+        assert drill.ticks == 8 * MTF
+        [(tick, fault)] = drill.faults
+        assert isinstance(fault, SilentNodeFault)
+        assert fault.node == 0
+        assert 0 < tick < drill.ticks
+
+    def test_failover_drill_needs_room(self):
+        with pytest.raises(ConfigurationError):
+            failover_drill(mtfs=3)
+
+    def test_campaign_deterministic(self):
+        first = constellation_campaign(count=8, base_seed=3)
+        second = constellation_campaign(count=8, base_seed=3)
+        assert first == second
+        assert constellation_campaign(count=8, base_seed=4) != first
+
+    def test_campaign_spec_round_trips(self):
+        for scenario in constellation_campaign(count=12, base_seed=0):
+            record = json.loads(json.dumps(
+                constellation_scenario_to_dict(scenario)))
+            assert constellation_scenario_from_dict(record) == scenario
+
+    def test_campaign_fault_ticks_leave_settle_tail(self):
+        mtfs = 8
+        for scenario in constellation_campaign(count=12, mtfs=mtfs,
+                                               base_seed=1):
+            for tick, _ in scenario.faults:
+                assert MTF <= tick <= (mtfs - 3) * MTF
+            for _, tick, _ in scenario.node_faults:
+                assert MTF <= tick <= (mtfs - 3) * MTF
+
+    def test_campaign_storms_never_target_self_links(self):
+        from repro.constellation import LinkStormFault
+
+        for scenario in constellation_campaign(count=50, base_seed=0):
+            for _, fault in scenario.faults:
+                if isinstance(fault, LinkStormFault):
+                    assert fault.src != fault.dst
+
+    def test_campaign_validation(self):
+        with pytest.raises(ConfigurationError):
+            constellation_campaign(count=0)
+        with pytest.raises(ConfigurationError):
+            constellation_campaign(mtfs=4)

@@ -1,0 +1,88 @@
+"""Registry-driven serialization audit of every registered fault kind.
+
+:data:`repro.fault.faults.FAULT_KINDS` is the single source of truth for
+campaign-spec reconstruction; these tests iterate it, so a fault class
+entered into the registry (single-node or cross-node) without working
+dict round-trip serialization fails here rather than inside a campaign.
+"""
+
+import json
+
+import pytest
+
+import repro.constellation.faults as xnode_faults  # registers cross-node kinds
+from repro.exceptions import ConfigurationError
+from repro.fault.faults import (
+    FAULT_KINDS,
+    Fault,
+    fault_from_dict,
+    fault_to_dict,
+    register_fault,
+)
+
+#: One representative instance's required kwargs per registered kind.
+#: The audit asserts this table and the registry cover each other
+#: exactly, so registering a new fault without a sample here fails CI.
+SAMPLE_KWARGS = {
+    "StartProcessFault": {"partition": "P1", "process": "px"},
+    "MemoryViolationFault": {"partition": "P2", "address": 4096},
+    "ClockTamperFault": {"partition": "P3"},
+    "PartitionCrashFault": {"partition": "P2", "cold": True},
+    "MessageFloodFault": {"partition": "P4", "port": "alert_out",
+                          "count": 9, "payload": b"XYZ"},
+    "ProcessKillFault": {"partition": "P2", "process": "obdh-storage"},
+    "ScheduleSwitchFault": {"schedule_id": "chi2"},
+    "SimulatedCrashFault": {"detail": "boom"},
+    "LinkPartitionFault": {"group_a": (0,), "group_b": (1, 2),
+                           "duration": 650},
+    "LinkStormFault": {"src": 0, "dst": 1, "count": 8},
+    "SilentNodeFault": {"node": 0},
+    "ByzantineNodeFault": {"node": 2, "duration": 77},
+    "NodeCrashFault": {"node": 1, "cascade": (2,), "cascade_delay": 120},
+}
+
+
+class TestRegistry:
+    def test_sample_table_covers_registry_exactly(self):
+        assert sorted(SAMPLE_KWARGS) == sorted(FAULT_KINDS)
+
+    def test_cross_node_kinds_are_registered(self):
+        for name in ("LinkPartitionFault", "LinkStormFault",
+                     "SilentNodeFault", "ByzantineNodeFault",
+                     "NodeCrashFault"):
+            assert FAULT_KINDS[name] is getattr(xnode_faults, name)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_fault(type("SilentNodeFault", (Fault,), {}))
+
+    @pytest.mark.parametrize("kind", sorted(FAULT_KINDS))
+    def test_dict_round_trip(self, kind):
+        fault = FAULT_KINDS[kind](**SAMPLE_KWARGS[kind])
+        record = fault_to_dict(fault)
+        assert record["kind"] == kind
+        # Campaign specs are JSON documents: the round trip must survive
+        # an actual JSON encode/decode (tuples -> lists -> tuples,
+        # bytes/enums through their encodings).
+        rebuilt = fault_from_dict(json.loads(json.dumps(record)))
+        assert rebuilt == fault
+        assert type(rebuilt) is type(fault)
+
+    @pytest.mark.parametrize("kind", sorted(FAULT_KINDS))
+    def test_defaults_round_trip(self, kind):
+        # A second point per kind: defaults for everything optional.
+        import dataclasses
+
+        required = {
+            field.name: SAMPLE_KWARGS[kind][field.name]
+            for field in dataclasses.fields(FAULT_KINDS[kind])
+            if field.default is dataclasses.MISSING
+            and field.default_factory is dataclasses.MISSING}
+        fault = FAULT_KINDS[kind](**required)
+        rebuilt = fault_from_dict(json.loads(json.dumps(
+            fault_to_dict(fault))))
+        assert rebuilt == fault
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fault_from_dict({"kind": "NoSuchFault"})

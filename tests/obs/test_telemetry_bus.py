@@ -222,6 +222,32 @@ class TestFlightRecorder:
         assert bundle["fault_log"][0]["fault"]["partition"] == "P1"
         assert bundle["occupancy"]
 
+    def test_bundle_field_schema(self):
+        # The post-mortem schema is a contract for external tooling:
+        # every bundle carries exactly these keys, with the constellation
+        # fields (node_id, internode_backlog) present-but-None on
+        # single-node failures.
+        scenario = Scenario(scenario_id="s1", factory="prototype",
+                            ticks=100)
+        bundle = flight_record(scenario, status=STATUS_CRASHED, error="x")
+        assert sorted(bundle) == [
+            "config_identity", "error", "fault_log", "forked_at_tick",
+            "internode_backlog", "last_events", "node_id", "occupancy",
+            "oracle", "scenario_id", "schema_version", "seed",
+            "snapshot_provenance", "status", "tick_at_failure", "ticks"]
+        assert bundle["node_id"] is None
+        assert bundle["internode_backlog"] is None
+
+    def test_bundle_constellation_fields(self):
+        scenario = Scenario(scenario_id="s1", factory="prototype",
+                            ticks=100)
+        bundle = flight_record(
+            scenario, status=STATUS_CRASHED, error="x", node_id=2,
+            internode_backlog={"node0": 1, "node1": 0, "node2": 4,
+                               "total": 5})
+        assert bundle["node_id"] == 2
+        assert bundle["internode_backlog"]["total"] == 5
+
     def test_save_and_reload(self, tmp_path):
         scenario = Scenario(scenario_id="s1", factory="prototype",
                             ticks=100)
