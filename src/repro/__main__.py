@@ -233,6 +233,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                            timeout_s=args.timeout,
                            prefix_cache=args.prefix_cache,
                            backend=args.backend,
+                           cycle_cache=args.cycle_cache,
                            prefix_depth=args.prefix_depth,
                            locality=args.locality,
                            shm=args.shm,
@@ -243,6 +244,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         serial = run_campaign(scenarios, workers=1, timeout_s=args.timeout,
                               prefix_cache=args.prefix_cache,
                               backend=args.backend,
+                              cycle_cache=args.cycle_cache,
                               prefix_depth=args.prefix_depth)
         if report_json(results) != report_json(serial):
             print("DETERMINISM VIOLATION: pooled aggregate differs from "
@@ -465,6 +467,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="execution backend; 'fast' is bit-identical "
                                "to the reference, so campaign digests do "
                                "not depend on it (default reference)")
+    campaign.add_argument("--cycle-cache", dest="cycle_cache",
+                          action="store_true", default=False,
+                          help="memoize steady-state MTF cycles: replay "
+                               "fingerprint-verified cycle templates "
+                               "instead of re-stepping them (bit-identical "
+                               "digests either way; default off)")
+    campaign.add_argument("--no-cycle-cache", dest="cycle_cache",
+                          action="store_false",
+                          help="never memoize steady-state cycles "
+                               "(the default)")
     campaign.add_argument("--live", action="store_true",
                           help="stream live per-scenario telemetry "
                                "(started/forked/finished) to stdout while "

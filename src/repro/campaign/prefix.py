@@ -519,6 +519,7 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
                           check_interval: int = 20_000,
                           quantum: Ticks = PREFIX_QUANTUM,
                           backend: str = "reference",
+                          cycle_cache: bool = False,
                           plan: Optional[PrefixPlan] = None,
                           transport=None,
                           publisher=None,
@@ -544,6 +545,11 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
 
     Prefix construction failures degrade to an uncached cold run: the
     cache is an optimization, never a correctness dependency.
+
+    *cycle_cache* arms steady-state MTF memoization on the scenario's
+    own run only — prefix *chain construction* always runs without it,
+    so cached checkpoints are byte-identical whichever mode the
+    scenarios forking from them use.
     """
     from ..kernel.simulator import Simulator
     from .runner import run_scenario
@@ -578,13 +584,15 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
         return run_scenario(scenario, timeout_s=timeout_s,
                             check_interval=check_interval,
                             from_snapshot=snapshot,
-                            backend=backend, publisher=publisher,
+                            backend=backend, cycle_cache=cycle_cache,
+                            publisher=publisher,
                             artifacts=artifacts)
     snap_tick = (divergence_tick(scenario) // quantum) * quantum
     if snap_tick < MIN_PREFIX_TICKS:
         return run_scenario(scenario, timeout_s=timeout_s,
                             check_interval=check_interval,
-                            backend=backend, publisher=publisher,
+                            backend=backend, cycle_cache=cycle_cache,
+                            publisher=publisher,
                             artifacts=artifacts)
     fingerprint = scenario_fingerprint(scenario)
     snapshot = cache.get_snapshot(fingerprint, snap_tick)
@@ -605,5 +613,6 @@ def run_with_prefix_cache(scenario: Scenario, cache: SnapshotCache, *,
     return run_scenario(scenario, timeout_s=timeout_s,
                         check_interval=check_interval,
                         from_snapshot=snapshot,
-                        backend=backend, publisher=publisher,
+                        backend=backend, cycle_cache=cycle_cache,
+                        publisher=publisher,
                         artifacts=artifacts)

@@ -32,7 +32,7 @@ __all__ = [
 #: sidecar — every key always present (None when the runner produced no
 #: such section), so sidecar diffs across runs compare like for like.
 EXECUTION_TELEMETRY_KEYS = ("prefix_tree", "shm", "telemetry_stream",
-                            "workers")
+                            "cycle_cache", "workers")
 
 #: Scenario completion states.
 STATUS_OK = "ok"

@@ -40,6 +40,7 @@ from ..kernel.trace import (
     MemoryFault,
     ScheduleSwitched,
 )
+from ..kernel.cycle_cache import CYCLE_CACHE_STAT_KEYS
 from ..obs.derived import compact_metrics
 from .artifacts import ScenarioArtifacts, write_scenario_artifacts
 from .results import (
@@ -100,11 +101,31 @@ def _record_failure(scenario, *, status: str, error: str,
             publisher.flight_record(scenario.scenario_id, path)
 
 
+#: Per-process cycle-cache counter totals, accumulated across every
+#: scenario this process executes with the cache armed (None until the
+#: first one).  Host-side material for the execution sidecar only.
+_CYCLE_CACHE_TOTALS: Optional[Dict[str, int]] = None
+
+
+def _note_cycle_stats(simulator) -> None:
+    """Fold *simulator*'s cycle-cache counters into this process's total."""
+    global _CYCLE_CACHE_TOTALS
+    stats = getattr(simulator, "cycle_cache_stats", None) \
+        if simulator is not None else None
+    if not stats:
+        return
+    if _CYCLE_CACHE_TOTALS is None:
+        _CYCLE_CACHE_TOTALS = {key: 0 for key in CYCLE_CACHE_STAT_KEYS}
+    for key, value in stats.items():
+        _CYCLE_CACHE_TOTALS[key] = _CYCLE_CACHE_TOTALS.get(key, 0) + value
+
+
 def run_scenario(scenario: Scenario, *,
                  timeout_s: Optional[float] = None,
                  check_interval: int = TIMEOUT_CHECK_INTERVAL,
                  from_snapshot: Optional[SimulatorSnapshot] = None,
                  backend: str = "reference",
+                 cycle_cache: bool = False,
                  publisher=None,
                  artifacts: Optional[ScenarioArtifacts] = None
                  ) -> ScenarioResult:
@@ -134,7 +155,10 @@ def run_scenario(scenario: Scenario, *,
     *backend* selects the execution backend
     (:data:`repro.kernel.simulator.BACKENDS`); the fast backend is
     bit-identical to the reference, so campaign digests are independent
-    of it.
+    of it.  *cycle_cache* arms steady-state MTF memoization (DESIGN
+    decision 13) on the scenario's simulator — the same bit-identity
+    contract, so digests are independent of it too; its host-side hit
+    counters accumulate into the per-worker execution sidecar.
 
     Unless the scenario opts out (``oracle=False``), the finished trace is
     audited by the TSP invariant oracle
@@ -158,6 +182,9 @@ def run_scenario(scenario: Scenario, *,
     if getattr(scenario, "is_constellation", False):
         from ..constellation.runner import run_constellation_scenario
 
+        # Constellations run N lockstep nodes whose simulators the node
+        # runner owns; cycle memoization is a single-simulator feature
+        # and is simply not armed there.
         return run_constellation_scenario(
             scenario, timeout_s=timeout_s, check_interval=check_interval,
             backend=backend, publisher=publisher, artifacts=artifacts)
@@ -173,12 +200,14 @@ def run_scenario(scenario: Scenario, *,
     try:
         config = scenario.build_config()
         if from_snapshot is not None:
-            simulator = from_snapshot.restore(config, backend=backend)
+            simulator = from_snapshot.restore(config, backend=backend,
+                                              cycle_cache=cycle_cache)
             forked_at = simulator.now
             if publisher is not None:
                 publisher.scenario_forked(scenario.scenario_id, forked_at)
         else:
-            simulator = Simulator(config, backend=backend)
+            simulator = Simulator(config, backend=backend,
+                                  cycle_cache=cycle_cache)
         injector = FaultInjector(simulator)
         applied = 0
         if from_snapshot is not None and from_snapshot.extras:
@@ -212,6 +241,7 @@ def run_scenario(scenario: Scenario, *,
             scenario.ticks - simulator.now, should_abort=should_abort,
             check_interval=check_interval)
     except Exception as exc:
+        _note_cycle_stats(simulator)
         error = f"{type(exc).__name__}: {exc}"
         result = ScenarioResult(
             scenario_id=scenario.scenario_id,
@@ -230,6 +260,7 @@ def run_scenario(scenario: Scenario, *,
                 scenario.scenario_id, STATUS_CRASHED,
                 result.wall_time_s, forked_at)
         return result
+    _note_cycle_stats(simulator)
     trace = simulator.trace
     status = STATUS_OK if completed else STATUS_TIMEOUT
     error = "" if completed else \
@@ -339,7 +370,7 @@ def _worker_transport(run_id: Optional[str]):
 
 def _run_one(scenario: Scenario, *, timeout_s: Optional[float],
              check_interval: int, prefix_cache: bool,
-             backend: str,
+             backend: str, cycle_cache: bool = False,
              artifacts: Optional[ScenarioArtifacts] = None
              ) -> ScenarioResult:
     """One unit of campaign work, with or without prefix sharing."""
@@ -347,26 +378,29 @@ def _run_one(scenario: Scenario, *, timeout_s: Optional[float],
     if not prefix_cache:
         return run_scenario(scenario, timeout_s=timeout_s,
                             check_interval=check_interval,
-                            backend=backend, publisher=publisher,
+                            backend=backend, cycle_cache=cycle_cache,
+                            publisher=publisher,
                             artifacts=artifacts)
     from .prefix import run_with_prefix_cache
 
     return run_with_prefix_cache(scenario, _worker_cache(),
                                  timeout_s=timeout_s,
                                  check_interval=check_interval,
-                                 backend=backend, publisher=publisher,
+                                 backend=backend, cycle_cache=cycle_cache,
+                                 publisher=publisher,
                                  artifacts=artifacts)
 
 
 def _pool_worker(payload: Tuple[Scenario, Optional[float], int, bool, str,
-                                Optional[ScenarioArtifacts]]
+                                bool, Optional[ScenarioArtifacts]]
                  ) -> ScenarioResult:
     (scenario, timeout_s, check_interval, prefix_cache, backend,
-     artifacts) = payload
+     cycle_cache, artifacts) = payload
     return _run_one(scenario, timeout_s=timeout_s,
                     check_interval=check_interval,
                     prefix_cache=prefix_cache,
-                    backend=backend, artifacts=artifacts)
+                    backend=backend, cycle_cache=cycle_cache,
+                    artifacts=artifacts)
 
 
 def _group_worker(payload):
@@ -380,7 +414,7 @@ def _group_worker(payload):
     simply overwrite with larger counts).
     """
     (indices, group, plans, timeout_s, check_interval, backend,
-     run_id, artifacts) = payload
+     cycle_cache, run_id, artifacts) = payload
     from .prefix import run_with_prefix_cache
 
     cache = _worker_cache()
@@ -389,19 +423,24 @@ def _group_worker(payload):
     results = [
         run_with_prefix_cache(scenario, cache, timeout_s=timeout_s,
                               check_interval=check_interval,
-                              backend=backend, plan=plan,
+                              backend=backend, cycle_cache=cycle_cache,
+                              plan=plan,
                               transport=transport, publisher=publisher,
                               artifacts=artifacts)
         for scenario, plan in zip(group, plans)]
     sidecar = {"pid": os.getpid(),
                "prefix_cache": cache.stats(),
-               "shm": transport.stats() if transport is not None else None}
+               "shm": transport.stats() if transport is not None else None,
+               "cycle_cache": dict(_CYCLE_CACHE_TOTALS)
+               if _CYCLE_CACHE_TOTALS is not None else None}
     if publisher is not None:
         # Cumulative counters per task; the log consumer reads the last
         # event per (worker, stat) topic as the worker's final value.
         publisher.cache_stats(cache.stats())
         if transport is not None:
             publisher.shm_stats(transport.stats())
+        if _CYCLE_CACHE_TOTALS is not None:
+            publisher.cycle_cache_stats(_CYCLE_CACHE_TOTALS)
     return indices, results, sidecar
 
 
@@ -436,6 +475,7 @@ def run_serial(scenarios: Sequence[Scenario], *,
                check_interval: int = TIMEOUT_CHECK_INTERVAL,
                prefix_cache: bool = True,
                backend: str = "reference",
+               cycle_cache: bool = False,
                prefix_depth: Optional[int] = None,
                telemetry: Optional[Dict] = None,
                bus=None,
@@ -463,12 +503,19 @@ def run_serial(scenarios: Sequence[Scenario], *,
 
         publisher = TelemetryPublisher(bus.start(None), bus.campaign_id,
                                        worker="serial")
+    cycle_before = dict(_CYCLE_CACHE_TOTALS or {})
     if not prefix_cache:
         results = [run_scenario(scenario, timeout_s=timeout_s,
                                 check_interval=check_interval,
-                                backend=backend, publisher=publisher,
+                                backend=backend, cycle_cache=cycle_cache,
+                                publisher=publisher,
                                 artifacts=artifacts)
                    for scenario in scenarios]
+        if telemetry is not None:
+            _serial_cycle_telemetry(telemetry, cycle_before, cycle_cache)
+        if publisher is not None and cycle_cache:
+            publisher.cycle_cache_stats(
+                _cycle_totals_since(cycle_before))
         _close_bus(bus, results, telemetry)
         return results
     from .prefix import SnapshotCache, run_with_prefix_cache
@@ -479,6 +526,7 @@ def run_serial(scenarios: Sequence[Scenario], *,
         run_with_prefix_cache(
             scenario, cache, timeout_s=timeout_s,
             check_interval=check_interval, backend=backend,
+            cycle_cache=cycle_cache,
             plan=None if plans is None else plans[scenario.scenario_id],
             publisher=publisher, artifacts=artifacts)
         for scenario in scenarios]
@@ -486,10 +534,32 @@ def run_serial(scenarios: Sequence[Scenario], *,
         telemetry["prefix_tree"] = _tree_telemetry(plans, prefix_depth)
         telemetry["workers"] = {
             "serial": {"prefix_cache": cache.stats(), "shm": None}}
+        _serial_cycle_telemetry(telemetry, cycle_before, cycle_cache)
     if publisher is not None:
         publisher.cache_stats(cache.stats())
+        if cycle_cache:
+            publisher.cycle_cache_stats(_cycle_totals_since(cycle_before))
     _close_bus(bus, results, telemetry)
     return results
+
+
+def _cycle_totals_since(before: Dict[str, int]) -> Dict[str, int]:
+    """This process's cycle-cache counters accumulated since *before*."""
+    totals = _CYCLE_CACHE_TOTALS or {}
+    return {key: totals.get(key, 0) - before.get(key, 0)
+            for key in CYCLE_CACHE_STAT_KEYS}
+
+
+def _serial_cycle_telemetry(telemetry: Dict, before: Dict[str, int],
+                            cycle_cache: bool) -> None:
+    """Stash this campaign's serial-process cycle-cache counters."""
+    if not cycle_cache:
+        telemetry["cycle_cache"] = {"enabled": False}
+        return
+    delta = _cycle_totals_since(before)
+    telemetry["cycle_cache"] = {"enabled": True, **delta}
+    workers = telemetry.setdefault("workers", {})
+    workers.setdefault("serial", {})["cycle_cache"] = delta
 
 
 def _tree_telemetry(plans, prefix_depth: Optional[int]) -> Dict:
@@ -517,6 +587,7 @@ def run_pool(scenarios: Sequence[Scenario], *,
              check_interval: int = TIMEOUT_CHECK_INTERVAL,
              prefix_cache: bool = True,
              backend: str = "reference",
+             cycle_cache: bool = False,
              prefix_depth: Optional[int] = None,
              locality: bool = True,
              shm: Optional[bool] = None,
@@ -562,7 +633,8 @@ def run_pool(scenarios: Sequence[Scenario], *,
         return run_serial(scenarios, timeout_s=timeout_s,
                           check_interval=check_interval,
                           prefix_cache=prefix_cache,
-                          backend=backend, prefix_depth=prefix_depth,
+                          backend=backend, cycle_cache=cycle_cache,
+                          prefix_depth=prefix_depth,
                           telemetry=telemetry, bus=bus,
                           artifacts=artifacts)
     methods = multiprocessing.get_all_start_methods()
@@ -585,12 +657,14 @@ def run_pool(scenarios: Sequence[Scenario], *,
             # on this.
             chunksize = max(1, len(scenarios) // (workers * 4))
         payloads = [(scenario, timeout_s, check_interval, prefix_cache,
-                     backend, artifacts) for scenario in scenarios]
+                     backend, cycle_cache, artifacts)
+                    for scenario in scenarios]
         with context.Pool(processes=workers, initializer=initializer,
                           initargs=initargs) as pool:
             results = pool.map(_pool_worker, payloads, chunksize=chunksize)
         if telemetry is not None:
             telemetry["prefix_tree"] = _tree_telemetry(None, prefix_depth)
+            telemetry["cycle_cache"] = {"enabled": cycle_cache}
         _close_bus(bus, results, telemetry)
         return results
 
@@ -627,7 +701,8 @@ def run_pool(scenarios: Sequence[Scenario], *,
                 tuple(chunk),
                 tuple(scenarios[i] for i in chunk),
                 tuple(plans[scenarios[i].scenario_id] for i in chunk),
-                timeout_s, check_interval, backend, run_id, artifacts))
+                timeout_s, check_interval, backend, cycle_cache,
+                run_id, artifacts))
 
     if transport is not None and split_groups:
         # Pre-build each split group's checkpoint chain once in the
@@ -668,8 +743,15 @@ def run_pool(scenarios: Sequence[Scenario], *,
         telemetry["prefix_tree"] = _tree_telemetry(plans, prefix_depth)
         telemetry["workers"] = {
             pid: {"prefix_cache": sidecar["prefix_cache"],
-                  "shm": sidecar["shm"]}
+                  "shm": sidecar["shm"],
+                  "cycle_cache": sidecar.get("cycle_cache")}
             for pid, sidecar in sorted(worker_stats.items())}
+        cycle_totals: Dict[str, int] = {}
+        for sidecar in worker_stats.values():
+            for name, value in (sidecar.get("cycle_cache") or {}).items():
+                cycle_totals[name] = cycle_totals.get(name, 0) + value
+        telemetry["cycle_cache"] = {"enabled": cycle_cache,
+                                    **cycle_totals}
         shm_totals: Dict[str, int] = {}
         for sidecar in worker_stats.values():
             for name, value in (sidecar["shm"] or {}).items():
@@ -693,6 +775,7 @@ def run_campaign(scenarios: Sequence[Scenario], *,
                  check_interval: int = TIMEOUT_CHECK_INTERVAL,
                  prefix_cache: bool = True,
                  backend: str = "reference",
+                 cycle_cache: bool = False,
                  prefix_depth: Optional[int] = None,
                  locality: bool = True,
                  shm: Optional[bool] = None,
@@ -705,18 +788,21 @@ def run_campaign(scenarios: Sequence[Scenario], *,
     *bus* streams live telemetry (see :func:`run_serial` /
     :func:`run_pool`); *artifacts* dumps per-scenario files.  Both leave
     every deterministic output — campaign digest, trace digests, oracle
-    verdicts — byte-identical to a run without them.
+    verdicts — byte-identical to a run without them, as does
+    *cycle_cache* (steady-state MTF memoization, off by default).
     """
     if workers <= 1:
         return run_serial(scenarios, timeout_s=timeout_s,
                           check_interval=check_interval,
                           prefix_cache=prefix_cache,
-                          backend=backend, prefix_depth=prefix_depth,
+                          backend=backend, cycle_cache=cycle_cache,
+                          prefix_depth=prefix_depth,
                           telemetry=telemetry, bus=bus,
                           artifacts=artifacts)
     return run_pool(scenarios, workers=workers, chunksize=chunksize,
                     timeout_s=timeout_s, check_interval=check_interval,
                     prefix_cache=prefix_cache,
-                    backend=backend, prefix_depth=prefix_depth,
+                    backend=backend, cycle_cache=cycle_cache,
+                    prefix_depth=prefix_depth,
                     locality=locality, shm=shm, telemetry=telemetry,
                     bus=bus, artifacts=artifacts)

@@ -71,6 +71,11 @@ __all__ = ["Pmk"]
 _AREA_ALIGN = 64 * 1024
 
 
+def _keep_live_generator(tcb, resume_log) -> None:
+    """``rebuild_body`` stand-in for :meth:`Pmk.overlay`: keep the TCB's
+    live generator instead of replaying the resume log."""
+
+
 class Pmk(ModuleControl, ActionExecutor):
     """The Partition Management Kernel instance for one module."""
 
@@ -322,6 +327,46 @@ class Pmk(ModuleControl, ActionExecutor):
             runtime.pos.restore(partition_state["pos"],
                                 resolve_resource=apex.resolve_resource,
                                 rebuild_body=apex.rebuild_body)
+            runtime.restore(partition_state["runtime"])
+            runtime.pal.restore(partition_state["pal"])
+            apex.restore(partition_state["apex"])
+        self.scheduler.restore(state["scheduler"])
+        self.contexts.restore_state(state["contexts"])
+        self.dispatcher.restore(state["dispatcher"])
+        self.mmu.restore(state["mmu"])
+        self.router.restore(state["router"])
+        self.health_monitor.restore(state["health_monitor"])
+        if state["fdir"] is not None and self.fdir is not None:
+            self.fdir.restore(state["fdir"])
+
+    def overlay(self, state: dict, *, rebuild_bodies: bool = False) -> None:
+        """Overlay a :meth:`snapshot`-shaped *state* onto this *live* PMK.
+
+        The cycle cache's resynchronization path (DESIGN decision 13):
+        unlike :meth:`restore` this never replays initialization sequences
+        (the PMK is mid-run, structural wiring is already live) and, by
+        default, keeps the partitions' live process generators instead of
+        rebuilding them from resume logs — the caller asserts the
+        generators already correspond to *state* (the cache verified every
+        generator yield it replayed).  ``rebuild_bodies=True`` is the
+        rollback form: generators are discarded and rebuilt by resume-log
+        replay exactly as :meth:`restore` would.
+        """
+        self.stopped = state["stopped"]
+        self.module_restarts = state["module_restarts"]
+        self._rng.load_state_dict(state["rng"])
+        self.ticks_executed = state["ticks_executed"]
+        self.idle_ticks = state["idle_ticks"]
+        self.partition_ticks = dict(state["partition_ticks"])
+        for name, partition_state in state["partitions"].items():
+            runtime = self.runtime(name)
+            apex = runtime.apex
+            assert apex is not None
+            rebuild_body = (apex.rebuild_body if rebuild_bodies
+                            else _keep_live_generator)
+            runtime.pos.restore(partition_state["pos"],
+                                resolve_resource=apex.resolve_resource,
+                                rebuild_body=rebuild_body)
             runtime.restore(partition_state["runtime"])
             runtime.pal.restore(partition_state["pal"])
             apex.restore(partition_state["apex"])

@@ -1,0 +1,1107 @@
+"""Steady-state MTF cycle memoization (DESIGN.md decision 13).
+
+The span-ceiling ablation (EXPERIMENTS.md E19) showed the event core's
+remaining cost is the per-MTF semantic machinery itself: once every
+provably-uniform span is batched, a healthy workload still executes ~18
+stepped ticks and ~18 span boundaries of pure Python *per major time
+frame* — and in steady state every one of those frames is a byte-
+predictable repeat of the previous one.  The paper's strict temporal and
+spatial partitioning (eqs. (1)-(24)) makes that repetition provable:
+MTF-boundary state is a pure function of MTF-boundary state, so a frame
+whose start state matches the previous frame's start state *up to a
+constant time shift* must reproduce the previous frame shifted by one
+MTF.  This module exploits exactly that.
+
+How it works
+------------
+
+At each MTF boundary the cache computes a **time-rebased fingerprint**
+of the full deterministic simulator state: sha256 over a canonical byte
+encoding of the existing per-component ``snapshot()`` captures, where
+
+* **absolute-tick leaves** (process wake-ups, armed deadlines, watchdog
+  arming, envelope send times, context save stamps …) are encoded as
+  their offset from the boundary tick, so values that march forward by
+  exactly one MTF per frame compare equal;
+* **monotonic-counter leaves** (tick/occupancy/sequence/arrival
+  counters) are excluded from the digest and collected separately —
+  their per-frame *deltas* must be uniform, their absolute values are
+  free to grow;
+* **everything else** (modes, rungs, queued payloads, rng streams,
+  histories, resume logs) is encoded verbatim — any change blocks the
+  cache by construction.
+
+Three verification layers keep replay honest:
+
+1. the fingerprint fixed point itself: two consecutive boundaries must
+   produce identical digests (stale absolute values — an unkicked
+   watchdog, a pending chi2 switch, an armed deadline crossing the
+   boundary — break the fixed point and conservatively block caching);
+2. at template build, the two fingerprint-equal frames are compared in
+   full: uniform counter deltas, field-exact trace-event deltas (rebased
+   by one MTF), identical generator-resume sequences (captured by a POS
+   probe), and resume-log growth consistent with those resumes;
+3. every replayed frame re-drives the *live* process generators with the
+   recorded send values and verifies each yielded effect — a divergent
+   body rolls the frame back and falls out to live execution.
+
+A replayed frame is then: verified generator sends, the recorded trace
+delta re-recorded with rebased ticks (observers — the deterministic
+metrics registry — fire exactly as live), and one ``time.skip(MTF)``.
+Live component state is resynchronized from an advanced copy of the
+boundary snapshot when replay hands control back to the event loop.
+
+All statistics live in :data:`CYCLE_CACHE_STAT_KEYS` and are host-side
+(nondeterministic) telemetry, governed under the ``timing.execution``
+sidecar like every other execution-mode counter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from enum import Enum
+from itertools import islice
+from time import perf_counter_ns
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+from ..types import Ticks
+from .trace import rebase_event, rebase_plan
+
+__all__ = ["CycleCache", "CYCLE_CACHE_STAT_KEYS", "state_fingerprint"]
+
+#: Host-side cycle-cache statistics, in the order the telemetry registry
+#: governs them (``worker/<n>/cycle_cache/<stat>``).
+CYCLE_CACHE_STAT_KEYS = ("hits", "misses", "invalidations",
+                         "fingerprint_ns", "bytes")
+
+# --------------------------------------------------------------------- #
+# leaf classification
+# --------------------------------------------------------------------- #
+
+_RAW, _TIME, _TIME_MOD, _COUNTER = range(4)
+
+#: Snapshot keys whose integer values are absolute simulation ticks that
+#: advance with time in steady state (encoded relative to the boundary).
+_TIME_KEYS = frozenset({
+    "wake_at", "deadline_time", "next_release", "sent_at", "last_tick",
+    "ticks", "probation_deadline",
+})
+
+#: Snapshot keys whose integer values are monotonic counters: excluded
+#: from the digest, delta-verified at template build.
+_COUNTER_KEYS = frozenset({
+    "ticks_executed", "idle_ticks", "announced_ticks", "checks",
+    "comparisons", "save_count", "restore_count", "access_count",
+    "release_count", "activation_count", "kicks", "expiries",
+    "overflow_count", "ready_sequence", "sequence", "ready_since",
+    "arrival",
+})
+
+#: Parent keys whose *every* integer child is a counter (stats blocks,
+#: per-partition occupancy ticks).
+_COUNTER_PARENTS = frozenset({"stats", "partition_ticks"})
+
+#: Subtrees carried and compared verbatim: histories and opaque values
+#: whose inner fields must never be rebased even when their names collide
+#: with the live-state key sets above (e.g. ``deadline_time`` inside a
+#: recorded violation, ``tick`` inside a tamper-attempt record).
+_RAW_SUBTREES = frozenset({
+    "model", "rng", "backoff_rng", "pending_result", "tamper_attempts",
+    "violations", "log", "occurrences", "storm", "parked", "restarts",
+    "scratch",
+})
+
+#: Parents under which an ``"entries"`` list is a wait queue
+#: (``(arrival-ordinal, process-name)`` pairs).
+_WAIT_QUEUE_PARENTS = frozenset({"queue", "waiters"})
+
+#: Consecutive fingerprint misses tolerated before probing backs off.
+_BACKOFF_AFTER = 8
+
+#: Maximum boundaries skipped between probe groups once backed off.
+_MAX_STRIDE = 32
+
+
+def _classify(key: Any, parent: Any) -> int:
+    if parent in _COUNTER_PARENTS:
+        return _COUNTER
+    if key in _TIME_KEYS:
+        return _TIME
+    if key == "last_schedule_switch":
+        return _TIME_MOD
+    if key in _COUNTER_KEYS:
+        return _COUNTER
+    return _RAW
+
+
+class _Unsupported(Exception):
+    """State contains a value the canonical encoding cannot handle."""
+
+
+# --------------------------------------------------------------------- #
+# canonical fingerprint encoding
+# --------------------------------------------------------------------- #
+
+class _Fingerprinter:
+    """One fingerprint walk: canonical bytes -> sha256, per component.
+
+    The byte grammar is deliberately explicit and versioned by the test
+    suite's pinned digests: every value is tagged (``N`` none, ``T``/``F``
+    bool, ``i`` int, ``t`` boundary-relative tick, ``m`` MTF-phase tick,
+    ``c`` counter placeholder, ``f`` float, ``s`` str, ``b`` bytes, ``l``
+    list, ``u`` tuple, ``d`` dict, ``E`` enum, ``D`` dataclass, ``C``
+    callable, ``R``/``L`` resume-log reset/slice) so two states cannot
+    collide across type or structure differences.  Dict items are encoded
+    in insertion order — snapshot construction order, which is fixed by
+    code, making digests stable across processes and interpreters.
+    """
+
+    def __init__(self, *, origin: Ticks, mtf: Ticks,
+                 full_logs: bool = False) -> None:
+        self.origin = origin
+        self.mtf = mtf
+        self.full_logs = full_logs
+        #: previous boundary's (partition, process) -> resume-log length,
+        #: supplied per component before :meth:`encode_component`.
+        self.prev_lens: Dict[Tuple[str, str], int] = {}
+        #: (partition, process) -> resume-log length at this boundary.
+        self.new_lens: Dict[Tuple[str, str], int] = {}
+        self.counters: Dict[str, int] = {}
+        self.had_time = False
+        self.slices_empty = True
+        self._buffer = bytearray()
+        self._stack: List[str] = []
+        self._partition = ""
+        self._process = ""
+
+    # -- component entry point ------------------------------------- #
+
+    def encode_component(self, name: str, value: Any,
+                         prev_lens: Optional[Dict[Tuple[str, str], int]]
+                         = None) -> Tuple[bytes, int]:
+        """Encode one component; returns ``(digest, byte_count)``."""
+        self._buffer.clear()
+        self.prev_lens = prev_lens if prev_lens is not None else {}
+        self.new_lens = {}
+        self.counters = {}
+        self.had_time = False
+        self.slices_empty = True
+        self._stack = [name]
+        if name.startswith("partition:"):
+            self._partition = name[len("partition:"):]
+        else:
+            self._partition = ""
+        self._walk(value, name, None, False)
+        data = bytes(self._buffer)
+        return hashlib.sha256(data).digest(), len(data)
+
+    # -- recursion -------------------------------------------------- #
+
+    def _path(self) -> str:
+        return "/".join(self._stack)
+
+    def _walk(self, value: Any, key: Any, parent: Any, raw: bool) -> None:
+        out = self._buffer
+        if value is None:
+            out += b"N"
+            return
+        if value is True:
+            out += b"T"
+            return
+        if value is False:
+            out += b"F"
+            return
+        kind = type(value)
+        if kind is int:
+            cls = _RAW if raw else _classify(key, parent)
+            if cls is _TIME:
+                self.had_time = True
+                out += b"t%d" % (value - self.origin)
+            elif cls is _TIME_MOD:
+                out += b"m%d" % ((value - self.origin) % self.mtf)
+            elif cls is _COUNTER:
+                self.counters[self._path()] = value
+                out += b"c"
+            else:
+                out += b"i%d" % value
+            return
+        if kind is str:
+            encoded = value.encode("utf-8")
+            out += b"s%d:" % len(encoded)
+            out += encoded
+            return
+        if kind is bytes:
+            out += b"b%d:" % len(value)
+            out += value
+            return
+        if kind is float:
+            out += b"f%s" % repr(value).encode("ascii")
+            return
+        if kind is dict:
+            self._walk_dict(value, key, raw)
+            return
+        if kind is list:
+            out += b"l%d:" % len(value)
+            stack = self._stack
+            for index, item in enumerate(value):
+                stack.append(str(index))
+                self._walk(item, None, key, raw)
+                stack.pop()
+            return
+        if kind is tuple:
+            out += b"u%d:" % len(value)
+            stack = self._stack
+            for index, item in enumerate(value):
+                stack.append(str(index))
+                self._walk(item, None, key, raw)
+                stack.pop()
+            return
+        if isinstance(value, Enum):
+            out += b"E%s.%s;" % (type(value).__qualname__.encode("utf-8"),
+                                 value.name.encode("utf-8"))
+            return
+        if dataclasses.is_dataclass(value):
+            out += b"D%s;" % type(value).__qualname__.encode("utf-8")
+            stack = self._stack
+            for field in dataclasses.fields(value):
+                stack.append(field.name)
+                self._walk(getattr(value, field.name), field.name, None, raw)
+                stack.pop()
+            return
+        if callable(value):
+            out += b"C%s.%s;" % (
+                getattr(value, "__module__", "?").encode("utf-8"),
+                getattr(value, "__qualname__",
+                        type(value).__qualname__).encode("utf-8"))
+            return
+        raise _Unsupported(f"cycle cache cannot encode {type(value)!r} "
+                           f"at {self._path()}")
+
+    def _walk_dict(self, value: Dict[Any, Any], key: Any,
+                   raw: bool) -> None:
+        out = self._buffer
+        out += b"d%d:" % len(value)
+        stack = self._stack
+        in_tcbs = key == "tcbs" and not raw
+        for k, v in value.items():
+            encoded_key = repr(k).encode("utf-8")
+            out += b"k%d:" % len(encoded_key)
+            out += encoded_key
+            stack.append(str(k))
+            if in_tcbs:
+                self._process = str(k)
+            if raw:
+                self._walk(v, k, key, True)
+            elif k in _RAW_SUBTREES:
+                self._walk(v, k, key, True)
+            elif k == "resume_log" and type(v) is list:
+                self._encode_resume_log(v)
+            elif k == "armed" and type(v) is dict:
+                self._encode_armed(v)
+            elif (k == "entries" and key in _WAIT_QUEUE_PARENTS
+                    and type(v) is list):
+                self._encode_wait_entries(v)
+            elif k == "entries" and key == "store" and type(v) is list:
+                self._encode_store_entries(v)
+            elif k == "in_flight" and type(v) is list:
+                self._encode_in_flight(v)
+            else:
+                self._walk(v, k, key, False)
+            stack.pop()
+        if in_tcbs:
+            self._process = ""
+
+    # -- special shapes --------------------------------------------- #
+
+    def _encode_resume_log(self, log: List[Any]) -> None:
+        """Growing-log encoding: only the growth since the previous probe
+        is content-compared; two boundaries match when their *new* resume
+        entries match (the prefix is the generator's already-verified
+        history).  An unknown or shrunken previous length is a reset
+        marker, which can never match a slice encoding — the boundary
+        after a pipeline (re)start is deliberately incomparable."""
+        out = self._buffer
+        lkey = (self._partition, self._process)
+        length = len(log)
+        self.new_lens[lkey] = length
+        if self.full_logs:
+            out += b"R%d:" % length
+            start = 0
+        else:
+            prev = self.prev_lens.get(lkey)
+            if prev is None or prev > length:
+                out += b"R%d" % length
+                return
+            start = prev
+            out += b"L%d:" % (length - start)
+        if length > start:
+            self.slices_empty = False
+        stack = self._stack
+        for index in range(start, length):
+            stack.append(str(index))
+            self._walk(log[index], None, "resume_log", True)
+            stack.pop()
+
+    def _encode_armed(self, armed: Dict[Any, Any]) -> None:
+        """Watchdog arming: ``{name: (last_kick, deadline)}`` — both
+        absolute ticks, rebased like any other live timer."""
+        out = self._buffer
+        out += b"d%d:" % len(armed)
+        origin = self.origin
+        for k, v in armed.items():
+            encoded_key = repr(k).encode("utf-8")
+            out += b"k%d:" % len(encoded_key)
+            out += encoded_key
+            last_kick, deadline = v
+            self.had_time = True
+            out += b"u2:t%d t%d" % (last_kick - origin, deadline - origin)
+
+    def _encode_wait_entries(self, entries: List[Any]) -> None:
+        """Wait-queue entries: ``(arrival-ordinal, process-name)``."""
+        out = self._buffer
+        out += b"l%d:" % len(entries)
+        stack = self._stack
+        for index, (arrival, name) in enumerate(entries):
+            stack.append("%d/arrival" % index)
+            self.counters[self._path()] = arrival
+            stack.pop()
+            encoded = name.encode("utf-8")
+            out += b"u2:cs%d:" % len(encoded)
+            out += encoded
+
+    def _encode_store_entries(self, entries: List[Any]) -> None:
+        """Deadline-store entries: ``(process, deadline_time, sequence)``."""
+        out = self._buffer
+        out += b"l%d:" % len(entries)
+        origin = self.origin
+        stack = self._stack
+        for index, (process, deadline_time, sequence) in enumerate(entries):
+            encoded = process.encode("utf-8")
+            self.had_time = True
+            out += b"u3:s%d:" % len(encoded)
+            out += encoded
+            out += b"t%dc" % (deadline_time - origin)
+            stack.append("%d/seq" % index)
+            self.counters[self._path()] = sequence
+            stack.pop()
+
+    def _encode_in_flight(self, entries: List[Any]) -> None:
+        """Network-link in-flight entries:
+        ``(arrival-tick, sequence, envelope, tag)``."""
+        out = self._buffer
+        origin = self.origin
+        out += b"l%d:" % len(entries)
+        stack = self._stack
+        for index, (arrival, sequence, envelope, tag) in enumerate(entries):
+            self.had_time = True
+            out += b"u4:t%d" % (arrival - origin)
+            out += b"c"
+            stack.append("%d/seq" % index)
+            self.counters[self._path()] = sequence
+            stack.pop()
+            stack.append("%d/env" % index)
+            self._walk(envelope, None, "in_flight", False)
+            stack.pop()
+            self._walk(tag, None, "in_flight", True)
+
+
+# --------------------------------------------------------------------- #
+# state advancement (replay resynchronization)
+# --------------------------------------------------------------------- #
+
+class _Advancer:
+    """Pure rewrite of a boundary snapshot *n* frames into the future.
+
+    Mirrors the fingerprint walk's classification exactly (the identity
+    matrices in CI are the cross-check): absolute ticks gain ``n * MTF``,
+    counters gain ``n *`` their verified per-frame delta (looked up by
+    the same path the fingerprint walk recorded), resume logs append the
+    verified per-frame slice ``n`` times, raw subtrees are carried by
+    reference.  Consumption of every counter path is tracked so a walk
+    mismatch surfaces as a template rejection, never as silent state
+    corruption.
+    """
+
+    def __init__(self, *, shift: Ticks, cycles: int,
+                 deltas: Dict[str, int],
+                 slices: Dict[Tuple[str, str], Tuple[Any, ...]]) -> None:
+        self.shift = shift
+        self.cycles = cycles
+        self.deltas = deltas
+        self.slices = slices
+        self.consumed: set = set()
+        self._stack: List[str] = []
+        self._partition = ""
+        self._process = ""
+
+    def advance_component(self, name: str, value: Any) -> Any:
+        self._stack = [name]
+        if name.startswith("partition:"):
+            self._partition = name[len("partition:"):]
+        else:
+            self._partition = ""
+        return self._walk(value, name, None, False)
+
+    def _path(self) -> str:
+        return "/".join(self._stack)
+
+    def _counter(self, value: int) -> int:
+        path = self._path()
+        self.consumed.add(path)
+        delta = self.deltas.get(path)
+        if delta is None:
+            raise _Unsupported(f"no counter delta recorded for {path}")
+        return value + self.cycles * delta
+
+    def _walk(self, value: Any, key: Any, parent: Any, raw: bool) -> Any:
+        if raw or value is None or value is True or value is False:
+            return value
+        kind = type(value)
+        if kind is int:
+            cls = _classify(key, parent)
+            if cls is _TIME:
+                return value + self.shift
+            if cls is _COUNTER:
+                return self._counter(value)
+            return value  # RAW and TIME_MOD ints are frame-invariant
+        if kind in (str, bytes, float):
+            return value
+        if kind is dict:
+            return self._walk_dict(value, key)
+        if kind is list:
+            stack = self._stack
+            result = []
+            for index, item in enumerate(value):
+                stack.append(str(index))
+                result.append(self._walk(item, None, key, False))
+                stack.pop()
+            return result
+        if kind is tuple:
+            stack = self._stack
+            result = []
+            for index, item in enumerate(value):
+                stack.append(str(index))
+                result.append(self._walk(item, None, key, False))
+                stack.pop()
+            return tuple(result)
+        if isinstance(value, Enum):
+            return value
+        if dataclasses.is_dataclass(value):
+            stack = self._stack
+            kwargs = {}
+            for field in dataclasses.fields(value):
+                stack.append(field.name)
+                kwargs[field.name] = self._walk(
+                    getattr(value, field.name), field.name, None, False)
+                stack.pop()
+            return dataclasses.replace(value, **kwargs)
+        return value
+
+    def _walk_dict(self, value: Dict[Any, Any], key: Any) -> Dict[Any, Any]:
+        stack = self._stack
+        in_tcbs = key == "tcbs"
+        result: Dict[Any, Any] = {}
+        for k, v in value.items():
+            stack.append(str(k))
+            if in_tcbs:
+                self._process = str(k)
+            if k in _RAW_SUBTREES:
+                result[k] = v
+            elif k == "resume_log" and type(v) is list:
+                result[k] = self._advance_resume_log(v)
+            elif k == "armed" and type(v) is dict:
+                result[k] = {
+                    name: (last_kick + self.shift, deadline + self.shift)
+                    for name, (last_kick, deadline) in v.items()}
+            elif (k == "entries" and key in _WAIT_QUEUE_PARENTS
+                    and type(v) is list):
+                result[k] = self._advance_wait_entries(v)
+            elif k == "entries" and key == "store" and type(v) is list:
+                result[k] = self._advance_store_entries(v)
+            elif k == "in_flight" and type(v) is list:
+                result[k] = self._advance_in_flight(v)
+            else:
+                result[k] = self._walk(v, k, key, False)
+            stack.pop()
+        if in_tcbs:
+            self._process = ""
+        return result
+
+    def _advance_resume_log(self, log: List[Any]) -> List[Any]:
+        slice_ = self.slices.get((self._partition, self._process))
+        if not slice_:
+            return log
+        return log + list(slice_) * self.cycles
+
+    def _advance_wait_entries(self, entries: List[Any]) -> List[Any]:
+        stack = self._stack
+        result = []
+        for index, (arrival, name) in enumerate(entries):
+            stack.append("%d/arrival" % index)
+            result.append((self._counter(arrival), name))
+            stack.pop()
+        return result
+
+    def _advance_store_entries(self, entries: List[Any]) -> List[Any]:
+        stack = self._stack
+        result = []
+        for index, (process, deadline_time, sequence) in enumerate(entries):
+            stack.append("%d/seq" % index)
+            result.append((process, deadline_time + self.shift,
+                           self._counter(sequence)))
+            stack.pop()
+        return result
+
+    def _advance_in_flight(self, entries: List[Any]) -> List[Any]:
+        stack = self._stack
+        result = []
+        for index, (arrival, sequence, envelope, tag) in enumerate(entries):
+            stack.append("%d/seq" % index)
+            sequence = self._counter(sequence)
+            stack.pop()
+            stack.append("%d/env" % index)
+            envelope = self._walk(envelope, None, "in_flight", False)
+            stack.pop()
+            result.append((arrival + self.shift, sequence, envelope, tag))
+        return result
+
+
+# --------------------------------------------------------------------- #
+# component decomposition
+# --------------------------------------------------------------------- #
+
+def _components(state: dict, time_state: dict) -> List[Tuple[str, Any]]:
+    """Split a PMK snapshot (+ time snapshot) into fingerprint components.
+
+    The split is the dirty-reuse granularity: partitions are one
+    component each, the rng stream is isolated (so steady frames that
+    draw nothing reuse its digest), and the remaining module-level
+    captures keep their snapshot keys.  The ``rng`` capture is wrapped
+    one level so both walks treat its internals as a raw subtree.
+    """
+    components: List[Tuple[str, Any]] = [
+        ("time", time_state),
+        ("rng", {"rng": state["rng"]}),
+        ("core", {"stopped": state["stopped"],
+                  "module_restarts": state["module_restarts"],
+                  "ticks_executed": state["ticks_executed"],
+                  "idle_ticks": state["idle_ticks"]}),
+        ("partition_ticks", state["partition_ticks"]),
+        ("scheduler", state["scheduler"]),
+        ("contexts", state["contexts"]),
+        ("dispatcher", state["dispatcher"]),
+        ("mmu", state["mmu"]),
+        ("router", state["router"]),
+        ("health_monitor", state["health_monitor"]),
+        ("fdir", state["fdir"]),
+    ]
+    for name, partition_state in state["partitions"].items():
+        components.append(("partition:" + name, partition_state))
+    return components
+
+
+# --------------------------------------------------------------------- #
+# boundary records and cycle templates
+# --------------------------------------------------------------------- #
+
+class _Record:
+    """Per-component fingerprint record, reusable while the component's
+    raw snapshot is unchanged and contains no boundary-relative ticks."""
+
+    __slots__ = ("raw", "digest", "counters", "lens", "had_time",
+                 "slices_empty")
+
+    def __init__(self, raw: Any, digest: bytes, counters: Dict[str, int],
+                 lens: Dict[Tuple[str, str], int], had_time: bool,
+                 slices_empty: bool) -> None:
+        self.raw = raw
+        self.digest = digest
+        self.counters = counters
+        self.lens = lens
+        self.had_time = had_time
+        self.slices_empty = slices_empty
+
+
+class _Boundary:
+    """Everything one probed MTF boundary contributes to the pipeline."""
+
+    __slots__ = ("now", "mtf", "fp", "records", "counters", "state",
+                 "trace_len")
+
+    def __init__(self, now: Ticks, mtf: Ticks, fp: bytes,
+                 records: Dict[str, _Record], counters: Dict[str, int],
+                 state: dict, trace_len: int) -> None:
+        self.now = now
+        self.mtf = mtf
+        self.fp = fp
+        self.records = records
+        self.counters = counters
+        self.state = state
+        self.trace_len = trace_len
+
+
+class _Template:
+    """A verified steady-state frame, ready for replay."""
+
+    __slots__ = ("fp", "mtf", "recorded_start", "sends", "events",
+                 "compiled", "deltas", "slices")
+
+    def __init__(self, fp: bytes, mtf: Ticks, recorded_start: Ticks,
+                 sends: List[Tuple[Any, Any, Any]],
+                 events: Tuple[Any, ...], deltas: Dict[str, int],
+                 slices: Dict[Tuple[str, str], Tuple[Any, ...]]) -> None:
+        self.fp = fp
+        self.mtf = mtf
+        self.recorded_start = recorded_start
+        self.sends = sends
+        self.events = events
+        #: Per-event ``(type, positional args, tick indices)`` — replay
+        #: reconstructs rebased events by direct construction instead of
+        #: per-event field introspection.
+        self.compiled = tuple(rebase_plan(event) for event in events)
+        self.deltas = deltas
+        self.slices = slices
+
+
+# --------------------------------------------------------------------- #
+# the cache
+# --------------------------------------------------------------------- #
+
+class CycleCache:
+    """Fingerprint-keyed whole-MTF replay for one simulator instance.
+
+    Opt-in (``Simulator(config, cycle_cache=True)``), orthogonal to the
+    execution backend, and bit-identity-preserving by construction: every
+    observable the determinism contract covers — trace bytes, metrics
+    digests, deterministic counters, oracle verdicts — is reproduced
+    exactly, which the fast-skip/fork/chaos identity matrices assert.
+    """
+
+    def __init__(self, simulator: Any) -> None:
+        self._sim = simulator
+        self.stats: Dict[str, int] = {key: 0 for key in
+                                      CYCLE_CACHE_STAT_KEYS}
+        # Bounded traces evict events (the delta splice would corrupt the
+        # document) and memory emulation probes host state per executed
+        # tick; both are permanently incompatible with replay.
+        self._disabled = (simulator.trace._capacity is not None
+                          or bool(simulator.pmk._memory_probes))
+        self._prev1: Optional[_Boundary] = None
+        self._prev2: Optional[_Boundary] = None
+        self._template: Optional[_Template] = None
+        self._entries: List[Tuple[str, str, Any, Any]] = []
+        self._entries_prev: Optional[List[Tuple[str, str, Any, Any]]] = None
+        self._hook_armed = False
+        self._miss_streak = 0
+        self._stride = 1
+        self._skip = 0
+        # Cheap probe gate (see _gate_open): absolute counter signature
+        # at the last boundary seen, and the last inter-boundary delta.
+        self._gate_last: Optional[Tuple[Ticks, tuple]] = None
+        self._gate_delta: Optional[tuple] = None
+
+    # -- driver entry point ------------------------------------------ #
+
+    def on_boundary(self, now: Ticks, target: Ticks) -> int:
+        """Called by the ``run_fast`` loops each iteration.
+
+        Returns the number of whole MTFs replayed (0 = step live).  When
+        nonzero, the simulator clock, trace, metrics observers and every
+        live component have already been advanced to the post-replay
+        boundary.
+        """
+        if self._disabled:
+            return 0
+        pmk = self._sim.pmk
+        if pmk.profiler is not None:
+            # Replayed frames are invisible to the host-time profiler;
+            # keep profiled runs fully live.
+            self._reset_pipeline()
+            return 0
+        scheduler = pmk.scheduler
+        mtf = scheduler.current.mtf
+        if (now - scheduler.last_schedule_switch) % mtf:
+            return 0  # not an MTF boundary
+        if self._skip > 0:
+            self._skip -= 1
+            self._reset_pipeline()
+            return 0
+        if not self._gate_open(now, mtf):
+            # The last two inter-boundary counter deltas disagree, so the
+            # frame provably is not on a 1-MTF cycle — skip the (orders
+            # of magnitude more expensive) fingerprint probe.  This keeps
+            # the cache's cost on never-steady workloads down to a few
+            # integer compares per boundary.
+            self._reset_pipeline()
+            return 0
+        started = perf_counter_ns()
+        try:
+            boundary = self._probe(now, mtf)
+        except _Unsupported:
+            self._disable()
+            return 0
+        finally:
+            self.stats["fingerprint_ns"] += perf_counter_ns() - started
+        entries = self._entries
+        self._entries = []
+        self._arm_hook()
+        prev1, prev2 = self._prev1, self._prev2
+        consecutive = (prev1 is not None and prev1.mtf == mtf
+                       and prev1.now + mtf == now)
+        template = self._template
+        if (template is not None and template.mtf == mtf
+                and template.fp == boundary.fp):
+            replayed = self._replay(boundary, template, now, target)
+            if replayed:
+                return replayed
+            self._rotate(boundary, entries, consecutive)
+            return 0
+        if not consecutive:
+            self._rotate(boundary, entries, consecutive=False)
+            return 0
+        if boundary.fp != prev1.fp:
+            self.stats["misses"] += 1
+            self._back_off()
+            self._rotate(boundary, entries, consecutive=True)
+            return 0
+        self._miss_streak = 0
+        self._stride = 1
+        matched_pair = (prev2 is not None and prev2.mtf == mtf
+                        and prev2.now + mtf == prev1.now
+                        and prev2.fp == prev1.fp
+                        and self._entries_prev is not None)
+        if matched_pair:
+            template = self._build_template(prev2, prev1, boundary,
+                                            self._entries_prev, entries)
+            if template is not None:
+                self._template = template
+                replayed = self._replay(boundary, template, now, target)
+                if replayed:
+                    return replayed
+            else:
+                self.stats["invalidations"] += 1
+                self._back_off()
+        self._rotate(boundary, entries, consecutive=True)
+        return 0
+
+    # -- pipeline bookkeeping ---------------------------------------- #
+
+    def _rotate(self, boundary: _Boundary,
+                entries: List[Tuple[str, str, Any, Any]],
+                consecutive: bool) -> None:
+        self._prev2 = self._prev1 if consecutive else None
+        self._prev1 = boundary
+        self._entries_prev = entries if consecutive else None
+
+    def _reset_pipeline(self) -> None:
+        self._prev1 = None
+        self._prev2 = None
+        self._entries_prev = None
+        self._entries = []
+        self._disarm_hook()
+
+    def _back_off(self) -> None:
+        self._miss_streak += 1
+        if self._miss_streak >= _BACKOFF_AFTER:
+            self._skip = self._stride
+            self._stride = min(self._stride * 2, _MAX_STRIDE)
+
+    # -- cheap probe gate --------------------------------------------- #
+
+    def _gate_absolute(self) -> tuple:
+        pmk = self._sim.pmk
+        trace = self._sim.trace
+        # Insertion order of partition_ticks is stable within a run, so
+        # the values tuple compares positionally (no sort needed); the
+        # key tuple rides along to guard against partition set changes.
+        return (pmk.ticks_executed, pmk.idle_ticks,
+                len(trace._events) + trace._dropped,
+                tuple(pmk.partition_ticks),
+                tuple(pmk.partition_ticks.values()))
+
+    def _gate_open(self, now: Ticks, mtf: Ticks) -> bool:
+        """Whether this boundary is worth a full fingerprint probe.
+
+        A steady 1-MTF cycle advances every execution counter by the
+        same amount each frame, so two consecutive *equal* inter-boundary
+        deltas of a handful of cheap counters (ticks executed, idle
+        ticks, trace growth, per-partition occupancy) are a necessary
+        condition for a fingerprint fixed point.  Workloads that are
+        never frame-periodic (varying log cadence, multi-MTF component
+        periods, fault handling) fail the delta comparison immediately
+        and never pay for a snapshot+hash probe.  Purely a cost filter:
+        a false *pass* just means the fingerprint itself decides.
+        """
+        absolute = self._gate_absolute()
+        last = self._gate_last
+        self._gate_last = (now, absolute)
+        if last is None or last[0] + mtf != now:
+            self._gate_delta = None
+            return False
+        previous = last[1]
+        if absolute[3] != previous[3]:  # partition set changed
+            self._gate_delta = None
+            return False
+        delta = (absolute[0] - previous[0], absolute[1] - previous[1],
+                 absolute[2] - previous[2],
+                 tuple(value - prior for value, prior
+                       in zip(absolute[4], previous[4])))
+        matched = delta == self._gate_delta
+        self._gate_delta = delta
+        return matched
+
+    def _disable(self) -> None:
+        self.stats["invalidations"] += 1
+        self._disabled = True
+        self._template = None
+        self._reset_pipeline()
+
+    def _arm_hook(self) -> None:
+        if self._hook_armed:
+            return
+        for runtime in self._sim.pmk.runtimes.values():
+            runtime.pos._cycle_probe = self._on_resume
+        self._hook_armed = True
+
+    def _disarm_hook(self) -> None:
+        if not self._hook_armed:
+            return
+        for runtime in self._sim.pmk.runtimes.values():
+            runtime.pos._cycle_probe = None
+        self._hook_armed = False
+
+    def _on_resume(self, partition: str, process: str, send: Any,
+                   effect: Any) -> None:
+        self._entries.append((partition, process, send, effect))
+
+    # -- fingerprinting ----------------------------------------------- #
+
+    def _probe(self, now: Ticks, mtf: Ticks) -> _Boundary:
+        sim = self._sim
+        state = sim.pmk.snapshot()
+        time_state = sim.time.snapshot()
+        prev1 = self._prev1
+        prev_records = prev1.records if prev1 is not None else {}
+        walker = _Fingerprinter(origin=now, mtf=mtf)
+        records: Dict[str, _Record] = {}
+        counters: Dict[str, int] = {}
+        digest = hashlib.sha256()
+        for name, value in _components(state, time_state):
+            prev = prev_records.get(name)
+            if (prev is not None and not prev.had_time
+                    and prev.slices_empty and prev.raw == value):
+                # Unchanged pure-data component with no boundary-relative
+                # leaves and no resume-log growth: its canonical bytes
+                # are identical by construction — reuse the digest
+                # without re-encoding.
+                record = prev
+            else:
+                comp_digest, nbytes = walker.encode_component(
+                    name, value, prev.lens if prev is not None else None)
+                self.stats["bytes"] += nbytes
+                record = _Record(value, comp_digest, walker.counters,
+                                 walker.new_lens, walker.had_time,
+                                 walker.slices_empty)
+            records[name] = record
+            counters.update(record.counters)
+            digest.update(record.digest)
+        return _Boundary(now, mtf, digest.digest(), records, counters,
+                         state, len(sim.trace))
+
+    # -- template construction ---------------------------------------- #
+
+    def _build_template(self, a: _Boundary, b: _Boundary, c: _Boundary,
+                        entries_ab: List[Tuple[str, str, Any, Any]],
+                        entries_bc: List[Tuple[str, str, Any, Any]],
+                        ) -> Optional[_Template]:
+        mtf = c.mtf
+        # 1. Uniform counter advancement across both frames.
+        if a.counters.keys() != b.counters.keys() \
+                or b.counters.keys() != c.counters.keys():
+            return None
+        deltas: Dict[str, int] = {}
+        for path, value_b in b.counters.items():
+            delta = value_b - a.counters[path]
+            if c.counters[path] - value_b != delta:
+                return None
+            deltas[path] = delta
+        # 2. Field-exact trace delta, rebased by one MTF.
+        trace_events = self._sim.trace._events
+        if b.trace_len - a.trace_len != c.trace_len - b.trace_len:
+            return None
+        events_ab = list(islice(trace_events, a.trace_len, b.trace_len))
+        events_bc = list(islice(trace_events, b.trace_len, c.trace_len))
+        for first, second in zip(events_ab, events_bc):
+            if type(first) is not type(second) \
+                    or rebase_event(first, mtf) != second:
+                return None
+        # 3. Identical generator-resume sequences in both frames.
+        if entries_ab != entries_bc:
+            return None
+        # 4. Resume-log growth must be explained exactly by the observed
+        #    resumes: a send that faulted or completed the body appends to
+        #    the log without reaching the probe, and must block replay.
+        slices: Dict[Tuple[str, str], Tuple[Any, ...]] = {}
+        observed: Dict[Tuple[str, str], List[Any]] = {}
+        for partition, process, send, _effect in entries_bc:
+            observed.setdefault((partition, process), []).append(send)
+        for name, partition_state in c.state["partitions"].items():
+            for process, tcb_state in partition_state["pos"]["tcbs"].items():
+                key = (name, process)
+                length_c = len(tcb_state["resume_log"])
+                record_b = b.records.get("partition:" + name)
+                if record_b is None or key not in record_b.lens:
+                    return None
+                length_b = record_b.lens[key]
+                grown = tcb_state["resume_log"][length_b:length_c]
+                if grown != observed.get(key, []):
+                    return None
+                if grown:
+                    slices[key] = tuple(grown)
+        if set(observed) - set(slices):
+            return None
+        # 5. Pre-resolve the send targets against the live POSs.
+        pmk = self._sim.pmk
+        sends: List[Tuple[Any, Any, Any]] = []
+        for partition, process, send, effect in entries_bc:
+            sends.append((pmk.runtime(partition).pos.tcb(process), send,
+                          effect))
+        # 6. Dry-run the advancement walk so a classification mismatch
+        #    between the fingerprint and advance traversals rejects the
+        #    template instead of corrupting a resynchronization.
+        advancer = _Advancer(shift=0, cycles=0, deltas=deltas,
+                             slices=slices)
+        try:
+            for name, value in _components(c.state, {}):
+                if name != "time":
+                    advancer.advance_component(name, value)
+        except _Unsupported:
+            return None
+        if advancer.consumed != set(deltas):
+            return None
+        return _Template(c.fp, mtf, b.now, sends, tuple(events_bc),
+                         deltas, slices)
+
+    # -- replay -------------------------------------------------------- #
+
+    def _replay(self, boundary: _Boundary, template: _Template,
+                now: Ticks, target: Ticks) -> int:
+        mtf = template.mtf
+        want = (target - now) // mtf
+        if want <= 0:
+            return 0
+        sim = self._sim
+        trace = sim.trace
+        # With no live observers the rebased delta can be appended to the
+        # event deque directly (record() would do exactly that); bounded
+        # traces never reach here — the cache is disabled for them.
+        emit = (trace._events.append if not trace._observers
+                else trace.record)
+        skip = sim.time.skip
+        compiled = template.compiled
+        base_offset = now - template.recorded_start
+        committed = 0
+        diverged = False
+        # Nothing but this loop runs during the batch, so the generator
+        # objects cannot be swapped out mid-replay: bind their ``send``
+        # methods once.  A completed generator raises StopIteration into
+        # the divergence path like any other body fault.
+        resumes: List[Tuple[Any, Any, Any]] = []
+        for tcb, send, expected in template.sends:
+            generator = tcb.generator
+            if generator is None:
+                return 0
+            resumes.append((generator.send, send, expected))
+        for _cycle in range(want):
+            for resume, send, expected in resumes:
+                try:
+                    effect = resume(send)
+                except Exception:
+                    diverged = True
+                    break
+                if effect != expected:
+                    diverged = True
+                    break
+            if diverged:
+                break
+            offset = base_offset + committed * mtf
+            for event_type, args, indices in compiled:
+                rebased = list(args)
+                for index in indices:
+                    rebased[index] += offset
+                emit(event_type(*rebased))
+            skip(mtf)
+            committed += 1
+        if committed == 0 and not diverged:
+            return 0
+        # Resynchronize every live component from the advanced boundary
+        # state.  On divergence the partially-resumed generators are
+        # discarded and rebuilt from the committed resume logs (the same
+        # mechanism snapshot restore uses); on clean exit the live
+        # generators *are* the advanced state and are kept.  The time
+        # source needs no overlay: replay advanced it via ``skip`` and
+        # the tamper history is raw-compared by the fingerprint.
+        advancer = _Advancer(shift=committed * mtf, cycles=committed,
+                             deltas=template.deltas,
+                             slices=template.slices)
+        state = boundary.state
+        advanced: Dict[str, Any] = {"rng": state["rng"],
+                                    "partitions": {}}
+        for name, value in _components(state, {}):
+            if name in ("time", "rng"):
+                continue
+            result = advancer.advance_component(name, value)
+            if name == "core":
+                advanced.update(result)
+            elif name.startswith("partition:"):
+                advanced["partitions"][name[len("partition:"):]] = result
+            else:
+                advanced[name] = result
+        try:
+            sim.pmk.overlay(advanced, rebuild_bodies=diverged)
+        except Exception as exc:
+            raise SimulationError(
+                f"cycle cache failed to resynchronize after {committed} "
+                f"replayed frame(s): {exc}") from exc
+        if diverged:
+            self.stats["invalidations"] += 1
+            self._template = None
+        self.stats["hits"] += committed
+        # Replay advanced every gated counter by the uniform cycle delta,
+        # so the gate stays open at the next boundary instead of needing
+        # two live frames to re-learn the steady delta.
+        self._gate_last = (now + committed * mtf, self._gate_absolute())
+        # The overlay handed snapshot subtrees to live components; drop
+        # every stored reference so later dirty-reuse comparisons can
+        # never alias live state.
+        self._reset_pipeline()
+        self._arm_hook()
+        return committed
+
+
+# --------------------------------------------------------------------- #
+# test/diagnostic helper
+# --------------------------------------------------------------------- #
+
+def state_fingerprint(simulator: Any) -> str:
+    """Hex fingerprint of *simulator*'s full deterministic state.
+
+    The regression-test entry point: uses the cycle cache's canonical
+    encoding with full resume-log content (no growth slicing, no digest
+    reuse), so two simulators in genuinely different states — divergent
+    rng streams, FDIR escalation rungs, queued port payloads, pending
+    schedule switches — produce different digests, and identical states
+    produce identical digests across processes and interpreters.
+    """
+    pmk_state = simulator.pmk.snapshot()
+    time_state = simulator.time.snapshot()
+    scheduler = simulator.pmk.scheduler
+    walker = _Fingerprinter(origin=simulator.time.now,
+                            mtf=scheduler.current.mtf, full_logs=True)
+    digest = hashlib.sha256()
+    for name, value in _components(pmk_state, time_state):
+        comp_digest, _ = walker.encode_component(name, value)
+        digest.update(comp_digest)
+    return digest.hexdigest()

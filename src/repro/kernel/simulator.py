@@ -47,10 +47,17 @@ class Simulator:
 
     ``run`` and ``step`` always use the per-tick reference ISR — the
     backend only changes how provably uniform spans are driven.
+
+    ``cycle_cache`` (opt-in, orthogonal to the backend) enables
+    steady-state MTF cycle memoization (DESIGN decision 13): the
+    ``run_fast`` loops probe MTF boundaries for a fingerprint fixed
+    point and replay verified whole-frame templates instead of stepping,
+    under the same bit-identity contract.
     """
 
     def __init__(self, config: SystemConfig, *,
-                 backend: str = "reference") -> None:
+                 backend: str = "reference",
+                 cycle_cache: bool = False) -> None:
         if backend not in BACKENDS:
             raise SimulationError(
                 f"unknown backend {backend!r} (choose from {BACKENDS})")
@@ -69,6 +76,11 @@ class Simulator:
         self._spans_batched = 0
         self._ticks_batched = 0
         self._ticks_stepped = 0
+        self._cycle_cache = None
+        if cycle_cache:
+            from .cycle_cache import CycleCache
+
+            self._cycle_cache = CycleCache(self)
 
     # -------------------------------------------------------------- #
     # time control
@@ -132,11 +144,15 @@ class Simulator:
         time = self.time
         pmk = self.pmk
         step = self.step
+        cache = self._cycle_cache
         now = time.now
         target = now + ticks
         while now < target:
             if pmk.stopped:
                 return
+            if cache is not None and cache.on_boundary(now, target):
+                now = time.now
+                continue
             event = pmk.next_event_tick(now)
             if event > now:
                 span = min(event, target) - now
@@ -146,6 +162,12 @@ class Simulator:
                 self._ticks_batched += span
                 now += span
                 if event >= target:
+                    continue
+                # Spans typically land exactly on the MTF boundary (the
+                # schedule switch is an event tick), so the cache must be
+                # consulted again before the boundary tick is stepped.
+                if cache is not None and cache.on_boundary(now, target):
+                    now = time.now
                     continue
             # The event tick itself always goes through the full ISR —
             # no need to recompute the horizon to discover that.
@@ -188,6 +210,7 @@ class Simulator:
         execute_span = pmk.execute_span
         skip = time.skip
         advance = time.advance
+        cache = self._cycle_cache
         now = time.now
         target = now + ticks
         stepped = 0
@@ -195,6 +218,9 @@ class Simulator:
             while now < target:
                 if pmk.stopped:
                     return
+                if cache is not None and cache.on_boundary(now, target):
+                    now = time.now
+                    continue
                 event = next_event(now)
                 if event > now:
                     span = min(event, target) - now
@@ -204,6 +230,9 @@ class Simulator:
                     self._ticks_batched += span
                     now += span
                     if event >= target:
+                        continue
+                    if cache is not None and cache.on_boundary(now, target):
+                        now = time.now
                         continue
                 tick_fast(now)
                 advance()
@@ -273,6 +302,16 @@ class Simulator:
             "ticks_batched": self._ticks_batched,
             "ticks_stepped": self._ticks_stepped,
         }
+
+    @property
+    def cycle_cache_stats(self) -> Optional[dict]:
+        """Cycle-cache counters (DESIGN decision 13), or None when the
+        cache is off.  Host-side, nondeterministic material — governed
+        under the ``timing.execution`` telemetry sidecar, never part of
+        the deterministic report."""
+        if self._cycle_cache is None:
+            return None
+        return dict(self._cycle_cache.stats)
 
     def enable_profiling(self):
         """Opt into host-time self-profiling; returns the profiler.

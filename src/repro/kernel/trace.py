@@ -64,6 +64,10 @@ __all__ = [
     "PartitionModeChanged",
     "ApplicationMessage",
     "Trace",
+    "EXTRA_TICK_FIELDS",
+    "rebase_event",
+    "rebase_plan",
+    "tick_fields",
 ]
 
 E = TypeVar("E", bound="TraceEvent")
@@ -722,3 +726,67 @@ def _field_names(event_type: Type[TraceEvent]) -> Tuple[str, ...]:
         names = tuple(f.name for f in dataclasses.fields(event_type))
         _FIELD_NAMES[event_type] = names
     return names
+
+
+#: Absolute-tick fields carried by event classes *beyond* the universal
+#: ``tick`` stamp.  The cycle cache (DESIGN decision 13) translates recorded
+#: event deltas forward by a whole number of major time frames; every field
+#: listed here shifts with the translation, while everything else
+#: (durations, window offsets, latencies, counts, labels) is
+#: time-origin-relative and is carried verbatim.
+EXTRA_TICK_FIELDS: Dict[Type[TraceEvent], Tuple[str, ...]] = {
+    DeadlineRegistered: ("deadline_time",),
+    DeadlineMissed: ("deadline_time",),
+    WatchdogExpired: ("last_kick",),
+}
+
+#: event class -> frozenset of every absolute-tick field name (cache).
+_TICK_FIELD_SETS: Dict[Type[TraceEvent], frozenset] = {}
+
+
+def tick_fields(event_type: Type[TraceEvent]) -> frozenset:
+    """Every absolute-tick field of *event_type* (``tick`` + extras)."""
+    fields = _TICK_FIELD_SETS.get(event_type)
+    if fields is None:
+        fields = frozenset(
+            ("tick",) + EXTRA_TICK_FIELDS.get(event_type, ()))
+        _TICK_FIELD_SETS[event_type] = fields
+    return fields
+
+
+def rebase_event(event: TraceEvent, offset: Ticks) -> TraceEvent:
+    """A copy of *event* with every absolute-tick field shifted by *offset*.
+
+    Relative quantities (latencies, durations, window offsets) are carried
+    verbatim — rebasing a steady-state cycle's event delta by a multiple of
+    the MTF must produce exactly the events a stepped run would have
+    recorded one cycle later.
+    """
+    event_type = type(event)
+    shifted = tick_fields(event_type)
+    kwargs = {}
+    for name in _field_names(event_type):
+        value = getattr(event, name)
+        if name in shifted and value is not None:
+            value = value + offset
+        kwargs[name] = value
+    return event_type(**kwargs)
+
+
+def rebase_plan(event: TraceEvent
+                ) -> Tuple[Type[TraceEvent], Tuple, Tuple[int, ...]]:
+    """Precompiled form of :func:`rebase_event` for hot replay loops.
+
+    Returns ``(type, args, tick_indices)``: the event's field values in
+    positional order plus the indices of the non-``None`` absolute-tick
+    fields among them.  ``type(*args')`` with the indexed positions
+    shifted reproduces ``rebase_event(event, offset)`` without per-call
+    field introspection.
+    """
+    event_type = type(event)
+    shifted = tick_fields(event_type)
+    names = _field_names(event_type)
+    args = tuple(getattr(event, name) for name in names)
+    indices = tuple(index for index, name in enumerate(names)
+                    if name in shifted and args[index] is not None)
+    return event_type, args, indices

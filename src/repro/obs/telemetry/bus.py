@@ -160,6 +160,11 @@ class TelemetryPublisher:
             self._publish_worker(f"worker/{self.worker}/shm/{name}",
                                  {"value": value})
 
+    def cycle_cache_stats(self, stats: Dict[str, int]) -> None:
+        for name, value in sorted(stats.items()):
+            self._publish_worker(f"worker/{self.worker}/cycle_cache/{name}",
+                                 {"value": value})
+
 
 class _QueueSink:
     """Picklable non-blocking adapter around a multiprocessing queue."""

@@ -276,6 +276,7 @@ def default_registry() -> TopicRegistry:
     """
     from ...campaign.prefix import SnapshotCache
     from ...campaign.shm import SnapshotTransport
+    from ...kernel.cycle_cache import CYCLE_CACHE_STAT_KEYS
     from ...comm.network import LINK_STAT_KEYS
     from ...constellation.comm import NODE_COMM_STAT_KEYS
     from ..derived import COMPACT_METRIC_NAMES
@@ -341,6 +342,14 @@ def default_registry() -> TopicRegistry:
         description="per-worker shared-memory transport counters "
                     "(SnapshotTransport.stats)",
         segment_values={"stat": tuple(SnapshotTransport.STAT_KEYS)}))
+    registry.register(TopicSpec(
+        pattern="worker/<n>/cycle_cache/<stat>",
+        type="counter", units="count", channel=CHANNEL_TIMING,
+        version="1.0.0",
+        description="per-worker steady-state cycle-cache counters "
+                    "(Simulator.cycle_cache_stats; host-side, never "
+                    "deterministic)",
+        segment_values={"stat": tuple(CYCLE_CACHE_STAT_KEYS)}))
 
     # ---- constellation node stream (timing channel) ---------------- #
     registry.register(TopicSpec(

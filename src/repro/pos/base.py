@@ -96,6 +96,11 @@ class PartitionOs:
         self._generation = 0
         self._timer_memo: Tuple[int, Optional[Ticks]] = (-1, None)
         self._dispatch_generation = -1
+        #: Optional ``(partition, process, send_value, effect)`` observer
+        #: fired after every successful generator resume — the cycle
+        #: cache's recording tap (:mod:`repro.kernel.cycle_cache`).
+        self._cycle_probe: Optional[Callable[[str, str, Any, Any],
+                                             None]] = None
         for model in partition.processes:
             self._tcbs[model.name] = Tcb(model=model, partition=partition.name)
         for tcb in self._tcbs.values():
@@ -515,6 +520,8 @@ class PartitionOs:
             except Exception as exc:  # application fault containment
                 self._fault(tcb, exc)
                 return
+            if self._cycle_probe is not None:
+                self._cycle_probe(self.name, tcb.name, send_value, effect)
             send_value = None
             if isinstance(effect, Compute):
                 tcb.compute_remaining = effect.ticks

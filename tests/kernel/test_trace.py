@@ -407,3 +407,130 @@ class TestIncrementalEncoding:
         trace.clear()
         trace.record(dispatched(2))
         assert trace.to_json() == self.one_shot(trace)
+
+    def test_restore_mid_chunk_then_rebased_delta_is_byte_identical(self):
+        # The cycle-cache replay path: a checkpoint lands while the
+        # source trace holds several already-encoded chunks plus an
+        # unencoded tail; the fork then splices a *rebased* copy of a
+        # template delta on top of the adopted prefix.  The assembled
+        # document must stay byte-identical to a one-shot encoding.
+        from repro.kernel.trace import rebase_event
+
+        source = Trace()
+        for tick in range(4):
+            source.record(dispatched(tick))
+        source.to_json()  # chunk 1 sealed at the watermark
+        source.record(missed(4))
+        source.to_json()  # chunk 2
+        for tick in range(5, 8):
+            source.record(dispatched(tick))  # unencoded tail
+        state = source.snapshot()
+
+        forked = Trace()
+        forked.restore(state)
+        template = [dispatched(8), missed(9)]
+        for offset in (0, 10, 20):
+            for event in template:
+                forked.record(rebase_event(event, offset))
+        assert forked.to_json() == self.one_shot(forked)
+        assert [e.tick for e in forked.events] == \
+            [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 18, 19, 28, 29]
+
+    def test_direct_append_replay_fast_path_is_byte_identical(self):
+        # With no observers subscribed, replay appends straight onto the
+        # event deque (Trace.record minus the observer fan-out).  The
+        # incremental encoder's watermark must still pick those events
+        # up, and the memo key must notice the growth.
+        trace = Trace()
+        for tick in range(3):
+            trace.record(dispatched(tick))
+        first = trace.to_json()
+        trace._events.append(dispatched(3))
+        trace._events.append(missed(4))
+        second = trace.to_json()
+        assert second != first
+        assert second == self.one_shot(trace)
+
+    def test_chained_forks_each_encode_only_their_tail(self, monkeypatch):
+        # fork-of-a-fork: every restore adopts the whole encoded prefix,
+        # so each generation's digest re-encodes only its own delta —
+        # and the final bytes still equal a cold end-to-end encoding.
+        from repro.kernel.trace import rebase_event
+
+        root = Trace()
+        for tick in range(6):
+            root.record(dispatched(tick))
+
+        first = Trace()
+        first.restore(root.snapshot())
+        delta = [dispatched(6), missed(7)]
+        for event in delta:
+            first.record(rebase_event(event, 0))
+
+        second = Trace()
+        second.restore(first.snapshot())
+        for event in delta:
+            second.record(rebase_event(event, 10))
+
+        encoded_batches = []
+        original = Trace._encode_pending
+
+        def spying_encode(self):
+            watermark = self._encoded_count
+            result = original(self)
+            encoded_batches.append(self._encoded_count - watermark)
+            return result
+
+        monkeypatch.setattr(Trace, "_encode_pending", spying_encode)
+        document = second.to_json()
+        assert encoded_batches == [2]  # only the second fork's delta
+
+        cold = Trace()
+        for tick in range(6):
+            cold.record(dispatched(tick))
+        for offset in (0, 10):
+            for event in delta:
+                cold.record(rebase_event(event, offset))
+        assert document == cold.to_json()
+        assert second.digest() == cold.digest()
+
+
+class TestRebasePlan:
+    """rebase_plan must be a faithful precompilation of rebase_event."""
+
+    def test_matches_rebase_event_for_every_field_shape(self):
+        from repro.kernel.trace import (
+            DeadlineRegistered,
+            WatchdogExpired,
+            rebase_event,
+            rebase_plan,
+        )
+
+        samples = [
+            dispatched(5),
+            missed(9),
+            ApplicationMessage(tick=3, partition="P2", process="p",
+                               text="tm"),
+            # extra tick-valued fields beyond .tick:
+            DeadlineRegistered(tick=4, partition="P1", process="p",
+                               deadline_time=10),
+            WatchdogExpired(tick=7, partition="P1", last_kick=2),
+        ]
+        for event in samples:
+            for offset in (0, 13, 2600):
+                event_type, args, indices = rebase_plan(event)
+                rebased = list(args)
+                for index in indices:
+                    rebased[index] += offset
+                assert event_type(*rebased) == rebase_event(event, offset)
+
+    def test_none_valued_tick_fields_are_left_alone(self):
+        from repro.kernel.trace import DeadlineRegistered, rebase_plan
+
+        event = DeadlineRegistered(tick=4, partition="P1", process="p",
+                                   deadline_time=None)
+        event_type, args, indices = rebase_plan(event)
+        rebased = list(args)
+        for index in indices:
+            rebased[index] += 50
+        assert event_type(*rebased).deadline_time is None
